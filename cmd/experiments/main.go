@@ -1,0 +1,399 @@
+// Command experiments regenerates, in one run, the measured side of every
+// table in EXPERIMENTS.md: the Table 1 census (T1), the GT_f structure
+// (F1), the Section 3 complexity claims (E1, E2), the tradeoff sweep and
+// product (E3, E5), the lower-bound encoding (E4), the separation,
+// liveness and FCFS matrices (E6, E8, E12), the ordering objects (E7), the
+// accounting comparison (E9), amortization (E10) and contention (E11).
+//
+// Output is markdown by default (so the results file can be refreshed
+// directly) or JSON with -json (for downstream tooling).
+//
+// Usage:
+//
+//	experiments [-quick] [-json] [-only E3,E4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tradingfences"
+)
+
+// table is one experiment's result set, renderable as markdown or JSON.
+type table struct {
+	Note    string   `json:"note,omitempty"`
+	Headers []string `json:"headers"`
+	Rows    [][]any  `json:"rows"`
+}
+
+func (t *table) add(cells ...any) { t.Rows = append(t.Rows, cells) }
+
+func (t *table) markdown() string {
+	var b strings.Builder
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "|%s|\n", strings.Join(seps, "|"))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			switch v := c.(type) {
+			case float64:
+				cells[i] = fmt.Sprintf("%.2f", v)
+			default:
+				cells[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+	}
+	return b.String()
+}
+
+type experiment struct {
+	id   string
+	name string
+	run  func(quick bool) (*table, error)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of markdown")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	all := []experiment{
+		{"T1", "Table 1 command census", runT1},
+		{"F1", "Figure 1 GT_f structure", runF1},
+		{"E1", "Bakery complexity", runE1},
+		{"E2", "Tournament complexity", runE2},
+		{"E3", "GT_f tradeoff sweep (Equation 2)", runE3},
+		{"E4", "Lower-bound encoding (Theorem 4.2)", runE4},
+		{"E5", "Tradeoff product (Equation 1)", runE5},
+		{"E6", "Memory-model separation", runE6},
+		{"E7", "Ordering objects", runE7},
+		{"E8", "Liveness", runE8},
+		{"E9", "RMR accountings", runE9},
+		{"E10", "Repeated-passage amortization", runE10},
+		{"E11", "Contention", runE11},
+		{"E12", "FCFS fairness", runE12},
+	}
+
+	results := make(map[string]*table)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tbl, err := e.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			results[e.id] = tbl
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n%s\n", e.id, e.name, tbl.markdown())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func pick(quick bool, small, full int) int {
+	if quick {
+		return small
+	}
+	return full
+}
+
+func runT1(quick bool) (*table, error) {
+	n := pick(quick, 8, 16)
+	t := &table{
+		Note:    fmt.Sprintf("Count objects, n = %d, random π", n),
+		Headers: []string{"object", "proceed", "commit", "wait-hidden-commit", "wait-read-finish", "wait-local-finish"},
+	}
+	for _, spec := range []tradingfences.LockSpec{{Kind: tradingfences.Bakery}, {Kind: tradingfences.Tournament}} {
+		rep, err := tradingfences.EncodePermutation(spec, tradingfences.Count, tradingfences.RandomPerm(n, 1))
+		if err != nil {
+			return nil, err
+		}
+		c := rep.Census
+		t.add("Count over "+spec.String(), c.Proceed, c.Commit, c.WaitHiddenCommit, c.WaitReadFinish, c.WaitLocalFinish)
+	}
+	return t, nil
+}
+
+func runF1(quick bool) (*table, error) {
+	n := pick(quick, 16, 64)
+	t := &table{
+		Note:    fmt.Sprintf("n = %d", n),
+		Headers: []string{"f", "branching", "nodes per level"},
+	}
+	for f := 1; f <= 4; f++ {
+		sh := tradingfences.ShapeGT(n, f)
+		t.add(f, sh.Branching, fmt.Sprint(sh.NodesPerLevel))
+	}
+	return t, nil
+}
+
+func sweepRows(spec tradingfences.LockSpec, ns []int) (*table, error) {
+	t := &table{Headers: []string{"n", "fences/passage", "RMRs/passage"}}
+	for _, n := range ns {
+		pt, err := tradingfences.MeasureLock(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		t.add(n, pt.Fences, pt.RMRs)
+	}
+	return t, nil
+}
+
+func complexityNs(quick bool) []int {
+	if quick {
+		return []int{4, 16}
+	}
+	return []int{4, 16, 64, 256}
+}
+
+func runE1(quick bool) (*table, error) {
+	return sweepRows(tradingfences.LockSpec{Kind: tradingfences.Bakery}, complexityNs(quick))
+}
+
+func runE2(quick bool) (*table, error) {
+	return sweepRows(tradingfences.LockSpec{Kind: tradingfences.Tournament}, complexityNs(quick))
+}
+
+func runE3(quick bool) (*table, error) {
+	n := pick(quick, 64, 256)
+	pts, err := tradingfences.TradeoffSweep(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{
+		Note:    fmt.Sprintf("n = %d", n),
+		Headers: []string{"f", "fences", "RMRs", "f·n^(1/f)", "RMRs/budget"},
+	}
+	for _, pt := range pts {
+		t.add(pt.Lock.F, pt.Fences, pt.RMRs, pt.RMRBound, float64(pt.RMRs)/pt.RMRBound)
+	}
+	return t, nil
+}
+
+func runE4(quick bool) (*table, error) {
+	type cfg struct {
+		spec tradingfences.LockSpec
+		n    int
+	}
+	cfgs := []cfg{
+		{tradingfences.LockSpec{Kind: tradingfences.Bakery}, 16},
+		{tradingfences.LockSpec{Kind: tradingfences.Bakery}, 32},
+		{tradingfences.LockSpec{Kind: tradingfences.GT, F: 2}, 32},
+	}
+	if quick {
+		cfgs = cfgs[:1]
+	}
+	t := &table{Headers: []string{"lock", "n", "β", "ρ", "bits/lg(n!)", "β(lg(ρ/β)+1)/lg(n!)"}}
+	for _, c := range cfgs {
+		rep, err := tradingfences.EncodePermutation(c.spec, tradingfences.Count, tradingfences.RandomPerm(c.n, 7))
+		if err != nil {
+			return nil, err
+		}
+		t.add(c.spec.String(), c.n, rep.Fences, rep.RMRs,
+			float64(rep.BitLen)/rep.InfoContent, rep.TheoremLHS/rep.InfoContent)
+	}
+	return t, nil
+}
+
+func runE5(quick bool) (*table, error) {
+	n := pick(quick, 64, 256)
+	t := &table{
+		Note:    fmt.Sprintf("n = %d", n),
+		Headers: []string{"lock", "f·(lg(r/f)+1)/lg n"},
+	}
+	for _, spec := range []tradingfences.LockSpec{
+		{Kind: tradingfences.Bakery},
+		{Kind: tradingfences.GT, F: 2},
+		{Kind: tradingfences.GT, F: 4},
+		{Kind: tradingfences.Tournament},
+		{Kind: tradingfences.Filter},
+	} {
+		pt, err := tradingfences.MeasureLock(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		t.add(spec.String(), pt.Normalized)
+	}
+	return t, nil
+}
+
+func runE6(quick bool) (*table, error) {
+	states := pick(quick, 1_000_000, 3_000_000)
+	rows, err := tradingfences.SeparationMatrix(states)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{Headers: []string{"lock", "fences", "SC", "TSO", "PSO"}}
+	cell := func(v *tradingfences.MutexVerdict) string {
+		switch {
+		case v.Violated:
+			return "violated"
+		case v.Proved:
+			return fmt.Sprintf("proved (%d st)", v.States)
+		default:
+			return "inconclusive"
+		}
+	}
+	for _, row := range rows {
+		t.add(row.Lock.String(), row.Fences,
+			cell(row.Verdicts[tradingfences.SC]),
+			cell(row.Verdicts[tradingfences.TSO]),
+			cell(row.Verdicts[tradingfences.PSO]))
+	}
+	return t, nil
+}
+
+func runE7(quick bool) (*table, error) {
+	n := pick(quick, 8, 12)
+	t := &table{Headers: []string{"object", "fences/proc", "RMRs/proc", "round trip"}}
+	for _, obj := range []tradingfences.ObjectKind{tradingfences.Count, tradingfences.FetchAndIncrement, tradingfences.QueueEnqueue} {
+		pi := tradingfences.RandomPerm(n, 3)
+		spec := tradingfences.LockSpec{Kind: tradingfences.Bakery}
+		rep, err := tradingfences.EncodePermutation(spec, obj, pi)
+		if err != nil {
+			return nil, err
+		}
+		back, err := tradingfences.RecoverPermutationFromCode(spec, obj, n, rep.Code, rep.BitLen)
+		if err != nil {
+			return nil, err
+		}
+		ok := "ok"
+		for i := range pi {
+			if back[i] != pi[i] {
+				ok = "MISMATCH"
+			}
+		}
+		t.add(obj.String(), float64(rep.Fences)/float64(n), float64(rep.RMRs)/float64(n), ok)
+	}
+	return t, nil
+}
+
+func runE8(quick bool) (*table, error) {
+	states := pick(quick, 1_000_000, 3_000_000)
+	t := &table{Headers: []string{"lock", "states", "deadlock-free", "weakly obstruction-free"}}
+	for _, spec := range []tradingfences.LockSpec{
+		{Kind: tradingfences.Peterson},
+		{Kind: tradingfences.Bakery},
+		{Kind: tradingfences.Tournament},
+		{Kind: tradingfences.DeadlockDemo},
+		{Kind: tradingfences.RendezvousDemo},
+	} {
+		v, err := tradingfences.CheckLiveness(spec, 2, 1, tradingfences.PSO, states)
+		if err != nil {
+			return nil, err
+		}
+		t.add(spec.String(), v.States, v.DeadlockFree, v.WeakObstructionFree)
+	}
+	return t, nil
+}
+
+func runE9(quick bool) (*table, error) {
+	n := pick(quick, 16, 64)
+	t := &table{
+		Note:    fmt.Sprintf("n = %d, RMRs per passage", n),
+		Headers: []string{"lock", "combined", "DSM", "CC"},
+	}
+	for _, spec := range []tradingfences.LockSpec{{Kind: tradingfences.Bakery}, {Kind: tradingfences.Tournament}} {
+		var rmrs [3]int64
+		for i, acct := range tradingfences.RMRModels() {
+			pt, err := tradingfences.MeasureLockIn(spec, n, acct)
+			if err != nil {
+				return nil, err
+			}
+			rmrs[i] = pt.RMRs
+		}
+		t.add(spec.String(), rmrs[0], rmrs[1], rmrs[2])
+	}
+	return t, nil
+}
+
+func runE10(quick bool) (*table, error) {
+	n := pick(quick, 16, 64)
+	t := &table{
+		Note:    fmt.Sprintf("n = %d, 8 passages per process", n),
+		Headers: []string{"lock", "first RMRs", "amortized RMRs/passage", "fences/passage"},
+	}
+	for _, spec := range []tradingfences.LockSpec{{Kind: tradingfences.Bakery}, {Kind: tradingfences.Tournament}} {
+		pt, err := tradingfences.MeasureLockRepeated(spec, n, 8, tradingfences.CombinedModel)
+		if err != nil {
+			return nil, err
+		}
+		t.add(spec.String(), pt.FirstRMRs, pt.AmortizedRMRs, pt.AmortizedFences)
+	}
+	return t, nil
+}
+
+func runE11(quick bool) (*table, error) {
+	n := pick(quick, 8, 16)
+	t := &table{
+		Note:    fmt.Sprintf("n = %d, fair round-robin", n),
+		Headers: []string{"lock", "solo RMRs", "contended RMRs"},
+	}
+	for _, spec := range []tradingfences.LockSpec{
+		{Kind: tradingfences.Bakery},
+		{Kind: tradingfences.GT, F: 2},
+		{Kind: tradingfences.Tournament},
+	} {
+		pt, err := tradingfences.MeasureLockContended(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		t.add(spec.String(), pt.SoloRMRs, pt.ContendedRMRs)
+	}
+	return t, nil
+}
+
+func runE12(quick bool) (*table, error) {
+	states := pick(quick, 2_000_000, 8_000_000)
+	t := &table{Headers: []string{"lock", "n", "product states", "verdict"}}
+	cases := []struct {
+		spec tradingfences.LockSpec
+		n    int
+	}{
+		{tradingfences.LockSpec{Kind: tradingfences.Bakery}, 2},
+		{tradingfences.LockSpec{Kind: tradingfences.Peterson}, 2},
+		{tradingfences.LockSpec{Kind: tradingfences.GT, F: 2}, 3},
+	}
+	for _, c := range cases {
+		v, err := tradingfences.CheckFCFS(c.spec, c.n, tradingfences.PSO, states)
+		if err != nil {
+			return nil, err
+		}
+		verdict := "FCFS proved"
+		if v.Violated {
+			verdict = fmt.Sprintf("violated (p%d overtook p%d)", v.Violator, v.Overtaken)
+		}
+		t.add(c.spec.String(), c.n, v.States, verdict)
+	}
+	return t, nil
+}

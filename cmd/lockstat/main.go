@@ -1,0 +1,153 @@
+// Command lockstat prints the per-passage fence and RMR counts of the
+// correct lock family across process counts — the Section 3 complexity
+// claims: Bakery is O(1) fences / Θ(n) RMRs, the binary tournament tree is
+// Θ(log n) / Θ(log n), and GT_f interpolates.
+//
+// Usage:
+//
+//	lockstat [-max 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tradingfences"
+)
+
+func main() {
+	max := flag.Int("max", 512, "largest process count (swept in powers of two from 2)")
+	rmr := flag.String("rmr", "combined", "RMR accounting: combined (the paper's), dsm, or cc")
+	dump := flag.String("dump", "", "print the program listing of a lock (bakery, tournament, peterson, gtF) instead of measuring")
+	explain := flag.String("explain", "", "attribute a lock's RMR bill to its register arrays instead of measuring")
+	dumpN := flag.Int("n", 4, "process count for -dump / -explain")
+	flag.Parse()
+	if *dump != "" {
+		if err := runDump(*dump, *dumpN); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *explain != "" {
+		if err := runExplain(*explain, *dumpN); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	acct, err := parseAcct(*rmr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(1)
+	}
+	if err := run(*max, acct); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(1)
+	}
+}
+
+func parseLock(name string) (tradingfences.LockSpec, error) {
+	kinds := map[string]tradingfences.LockKind{
+		"bakery":           tradingfences.Bakery,
+		"bakery-tso":       tradingfences.BakeryTSO,
+		"bakery-literal":   tradingfences.BakeryLiteral,
+		"peterson":         tradingfences.Peterson,
+		"peterson-tso":     tradingfences.PetersonTSO,
+		"peterson-nofence": tradingfences.PetersonNoFence,
+		"tournament":       tradingfences.Tournament,
+		"filter":           tradingfences.Filter,
+	}
+	spec := tradingfences.LockSpec{}
+	if k, ok := kinds[name]; ok {
+		spec.Kind = k
+	} else if f, ok := strings.CutPrefix(name, "gt"); ok {
+		h, err := strconv.Atoi(f)
+		if err != nil || h < 1 {
+			return spec, fmt.Errorf("bad GT height in %q", name)
+		}
+		spec.Kind, spec.F = tradingfences.GT, h
+	} else {
+		return spec, fmt.Errorf("unknown lock %q", name)
+	}
+	return spec, nil
+}
+
+func runExplain(name string, n int) error {
+	spec, err := parseLock(name)
+	if err != nil {
+		return err
+	}
+	br, err := tradingfences.ExplainRMRs(spec, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RMR attribution: %v, n = %d, sequential passages, PSO, combined accounting\n\n", spec, n)
+	fmt.Print(br.Table)
+	return nil
+}
+
+func runDump(name string, n int) error {
+	spec, err := parseLock(name)
+	if err != nil {
+		return err
+	}
+	sys, err := tradingfences.NewSystem(spec, tradingfences.Count, n)
+	if err != nil {
+		return err
+	}
+	a := sys.Analyze()
+	fmt.Printf("// %v, n = %d: %d static reads, %d writes, %d fences, %d locals, loop depth %d\n",
+		spec, n, a.Reads, a.Writes, a.Fences, a.Locals, a.MaxLoopDepth)
+	fmt.Print(sys.Listing())
+	fmt.Println("\n// register map:")
+	fmt.Print(sys.DescribeRegisters())
+	return nil
+}
+
+func parseAcct(s string) (tradingfences.RMRModel, error) {
+	switch s {
+	case "combined":
+		return tradingfences.CombinedModel, nil
+	case "dsm":
+		return tradingfences.DSMModel, nil
+	case "cc":
+		return tradingfences.CCModel, nil
+	default:
+		return 0, fmt.Errorf("unknown RMR accounting %q (want combined, dsm or cc)", s)
+	}
+}
+
+func run(max int, acct tradingfences.RMRModel) error {
+	specs := []tradingfences.LockSpec{
+		{Kind: tradingfences.Bakery},
+		{Kind: tradingfences.GT, F: 2},
+		{Kind: tradingfences.GT, F: 4},
+		{Kind: tradingfences.Tournament},
+	}
+	fmt.Printf("Per-passage cost (uncontended, PSO machine, %v RMR accounting); cells are fences/RMRs\n", acct)
+	fmt.Printf("%-8s", "n")
+	for _, s := range specs {
+		fmt.Printf(" %-14s", s)
+	}
+	fmt.Println()
+	for n := 2; n <= max; n *= 2 {
+		fmt.Printf("%-8d", n)
+		for _, s := range specs {
+			pt, err := tradingfences.MeasureLockIn(s, n, acct)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %-14s", fmt.Sprintf("%d/%d", pt.Fences, pt.RMRs))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Reading: Bakery's fence column is flat while its RMR column grows")
+	fmt.Println("linearly; the tournament tree grows logarithmically in both; GT_f")
+	fmt.Println("interpolates with O(f) fences and O(f·n^(1/f)) RMRs.")
+	return nil
+}

@@ -1,0 +1,97 @@
+package tradingfences
+
+import (
+	"fmt"
+
+	"tradingfences/internal/analysis"
+	"tradingfences/internal/machine"
+)
+
+// RMRBreakdown attributes a sequential run's RMR bill to the lock's
+// register arrays.
+type RMRBreakdown struct {
+	Lock LockSpec
+	N    int
+	// Rows is sorted by descending RMRs.
+	Rows []RMRRow
+	// TotalRMRs is ρ(E) for the run.
+	TotalRMRs int64
+	// Table is the pre-rendered, aligned text table.
+	Table string
+}
+
+// RMRRow is one array's share of the bill.
+type RMRRow struct {
+	Array         string
+	Reads         int64
+	RemoteReads   int64
+	Commits       int64
+	RemoteCommits int64
+}
+
+// RMRs returns the row's total remote steps.
+func (r RMRRow) RMRs() int64 { return r.RemoteReads + r.RemoteCommits }
+
+// ExplainRMRs runs the Count object over the lock sequentially under PSO
+// (combined accounting) with tracing enabled and attributes every remote
+// step to the register array it touched — answering "which data structure
+// costs the RMRs". For Bakery the C/T scan dominates; for the tournament
+// tree the node flags do.
+func ExplainRMRs(spec LockSpec, n int) (*RMRBreakdown, error) {
+	sys, err := NewSystem(spec, Count, n)
+	if err != nil {
+		return nil, err
+	}
+	c, err := sys.newConfig(PSO)
+	if err != nil {
+		return nil, err
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+		return nil, fmt.Errorf("explain %v n=%d: %w", spec, n, err)
+	}
+	att := analysis.Attribute(tr, sys.lay)
+	out := &RMRBreakdown{
+		Lock:      spec,
+		N:         n,
+		TotalRMRs: att.TotalRMRs,
+		Table:     att.Format(),
+	}
+	for _, a := range att.Arrays {
+		out.Rows = append(out.Rows, RMRRow{
+			Array:         a.Array,
+			Reads:         a.Reads,
+			RemoteReads:   a.RemoteReads,
+			Commits:       a.Commits,
+			RemoteCommits: a.RemoteCommits,
+		})
+	}
+	return out, nil
+}
+
+// TraceTimeline runs the Count object over the lock under a fair
+// round-robin schedule with tracing and renders a per-process lane view of
+// the first maxRows steps (0 = all) with symbolic register names — the
+// quickest way to see buffering, commits and fences interleave.
+func TraceTimeline(spec LockSpec, n int, model MemoryModel, maxRows int) (string, error) {
+	sys, err := NewSystem(spec, Count, n)
+	if err != nil {
+		return "", err
+	}
+	c, err := sys.newConfig(model)
+	if err != nil {
+		return "", err
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	limit := 4000*n*n + 4_000_000
+	if err := machine.RunRoundRobin(c, limit); err != nil {
+		return "", err
+	}
+	return analysis.Timeline(tr, sys.lay, n, maxRows), nil
+}

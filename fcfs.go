@@ -1,0 +1,57 @@
+package tradingfences
+
+import (
+	"fmt"
+
+	"tradingfences/internal/check"
+)
+
+// FCFSVerdict reports a first-come-first-served check: Lamport's fairness
+// notion — if p completes its wait-free doorway before q enters its
+// doorway, q does not enter the critical section before p.
+type FCFSVerdict struct {
+	Lock  LockSpec
+	Model MemoryModel
+	// Violated is true if an overtake was found; Violator entered the
+	// critical section before Overtaken despite arriving later.
+	Violated            bool
+	Violator, Overtaken int
+	// Proved is true if the product state space (machine × precedence
+	// monitor) was exhausted without a violation.
+	Proved bool
+	// States is the number of distinct product states explored.
+	States int
+}
+
+// CheckFCFS exhaustively checks first-come-first-served fairness of the
+// lock for n processes (one passage each) under the given memory model.
+// The lock must declare a wait-free doorway (Bakery variants, Peterson,
+// GT_f); the tournament tree does not, and FCFS is undefined for it.
+//
+// The headline result: Bakery is FCFS (its fence-heavy doorway buys
+// fairness), while GT_f for f >= 2 is not — a process alone in its subtree
+// overtakes earlier arrivals from contended subtrees. Trading fences for
+// RMRs costs first-come-first-served fairness.
+func CheckFCFS(spec LockSpec, n int, model MemoryModel, maxStates int) (*FCFSVerdict, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	subject, err := check.NewFCFSSubject(spec.String(), ctor, n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := subject.Exhaustive(model.internal(), maxStates)
+	if err != nil {
+		return nil, fmt.Errorf("fcfs %v: %w", spec, err)
+	}
+	return &FCFSVerdict{
+		Lock:      spec,
+		Model:     model,
+		Violated:  res.Violation,
+		Violator:  res.Violator,
+		Overtaken: res.Overtaken,
+		Proved:    res.Complete && !res.Violation,
+		States:    res.States,
+	}, nil
+}

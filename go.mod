@@ -1,0 +1,3 @@
+module tradingfences
+
+go 1.22

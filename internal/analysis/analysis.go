@@ -1,0 +1,216 @@
+// Package analysis post-processes execution traces: it attributes RMRs to
+// register arrays (which data structure of an algorithm costs the remote
+// traffic), summarizes steps per process and kind, and renders timelines
+// and symbolized listings. The experiment commands use it to explain
+// measurements, and tests use it to audit the machine's step
+// classification.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tradingfences/internal/machine"
+)
+
+// ArrayCost attributes a trace's memory traffic to one register array.
+type ArrayCost struct {
+	Array string
+	// Reads and Commits count all shared-memory accesses of the array's
+	// registers (buffer-served reads excluded).
+	Reads   int64
+	Commits int64
+	// RemoteReads and RemoteCommits count the remote subset; their sum is
+	// the array's RMR bill.
+	RemoteReads   int64
+	RemoteCommits int64
+}
+
+// RMRs returns the array's total remote steps.
+func (c ArrayCost) RMRs() int64 { return c.RemoteReads + c.RemoteCommits }
+
+// Attribution is a per-array breakdown of a trace's cost.
+type Attribution struct {
+	// Arrays is sorted by descending RMR count, ties by name.
+	Arrays []ArrayCost
+	// TotalRMRs is the sum over all arrays.
+	TotalRMRs int64
+}
+
+// Attribute computes the per-array cost breakdown of a trace. Registers
+// not covered by any array of the layout are grouped under "(unmapped)".
+func Attribute(tr *machine.Trace, lay *machine.Layout) Attribution {
+	byArray := make(map[string]*ArrayCost)
+	get := func(r machine.Reg) *ArrayCost {
+		name := arrayName(lay, r)
+		c, ok := byArray[name]
+		if !ok {
+			c = &ArrayCost{Array: name}
+			byArray[name] = c
+		}
+		return c
+	}
+	for _, s := range tr.Steps {
+		switch s.Kind {
+		case machine.StepRead:
+			if !s.FromMemory {
+				continue
+			}
+			c := get(s.Reg)
+			c.Reads++
+			if s.Remote {
+				c.RemoteReads++
+			}
+		case machine.StepCommit:
+			c := get(s.Reg)
+			c.Commits++
+			if s.Remote {
+				c.RemoteCommits++
+			}
+		case machine.StepWrite:
+			// Under SC the write itself carries the commit
+			// classification; buffered writes cost nothing here.
+			if s.Remote {
+				c := get(s.Reg)
+				c.Commits++
+				c.RemoteCommits++
+			}
+		}
+	}
+	att := Attribution{}
+	for _, c := range byArray {
+		att.Arrays = append(att.Arrays, *c)
+		att.TotalRMRs += c.RMRs()
+	}
+	sort.Slice(att.Arrays, func(i, j int) bool {
+		if att.Arrays[i].RMRs() != att.Arrays[j].RMRs() {
+			return att.Arrays[i].RMRs() > att.Arrays[j].RMRs()
+		}
+		return att.Arrays[i].Array < att.Arrays[j].Array
+	})
+	return att
+}
+
+// arrayName maps a register to its array's name via the layout's Describe
+// (which renders "name[i]" or "name"); the index suffix is stripped.
+func arrayName(lay *machine.Layout, r machine.Reg) string {
+	if lay == nil {
+		return "(unmapped)"
+	}
+	d := lay.Describe(r)
+	if i := strings.IndexByte(d, '['); i >= 0 {
+		return d[:i]
+	}
+	if strings.HasPrefix(d, "R") {
+		return "(unmapped)"
+	}
+	return d
+}
+
+// Format renders the attribution as an aligned table.
+func (a Attribution) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8s\n", "array", "reads", "rd-RMR", "commits", "cm-RMR", "RMRs")
+	for _, c := range a.Arrays {
+		fmt.Fprintf(&b, "%-16s %8d %8d %8d %8d %8d\n",
+			c.Array, c.Reads, c.RemoteReads, c.Commits, c.RemoteCommits, c.RMRs())
+	}
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s %8d\n", "total", "", "", "", "", a.TotalRMRs)
+	return b.String()
+}
+
+// KindCount summarizes a trace's steps by kind.
+type KindCount struct {
+	Reads, Writes, Commits, Fences, Returns int
+	HiddenServedReads                       int // reads served from the write buffer
+	RemoteSteps                             int
+}
+
+// CountKinds tallies a trace.
+func CountKinds(tr *machine.Trace) KindCount {
+	var k KindCount
+	for _, s := range tr.Steps {
+		switch s.Kind {
+		case machine.StepRead:
+			k.Reads++
+			if !s.FromMemory {
+				k.HiddenServedReads++
+			}
+		case machine.StepWrite:
+			k.Writes++
+		case machine.StepCommit:
+			k.Commits++
+		case machine.StepFence:
+			k.Fences++
+		case machine.StepReturn:
+			k.Returns++
+		}
+		if s.Remote {
+			k.RemoteSteps++
+		}
+	}
+	return k
+}
+
+// Timeline renders a per-process lane view of the trace: one column per
+// process, one row per step, with the acting process's cell filled. Rows
+// are capped at maxRows (0 = no cap); register names are symbolized via
+// lay when non-nil.
+func Timeline(tr *machine.Trace, lay *machine.Layout, n, maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s", "step")
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, " | %-22s", fmt.Sprintf("p%d", p))
+	}
+	b.WriteString("\n")
+	rows := len(tr.Steps)
+	capped := false
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+		capped = true
+	}
+	for i := 0; i < rows; i++ {
+		s := tr.Steps[i]
+		fmt.Fprintf(&b, "%5d", i)
+		for p := 0; p < n; p++ {
+			cell := ""
+			if p == s.P {
+				cell = cellText(s, lay)
+			}
+			fmt.Fprintf(&b, " | %-22s", cell)
+		}
+		b.WriteString("\n")
+	}
+	if capped {
+		fmt.Fprintf(&b, "  ... %d more steps\n", len(tr.Steps)-rows)
+	}
+	return b.String()
+}
+
+func cellText(s machine.StepRecord, lay *machine.Layout) string {
+	reg := func() string {
+		if lay != nil {
+			return lay.Describe(s.Reg)
+		}
+		return fmt.Sprintf("R%d", s.Reg)
+	}
+	mark := ""
+	if s.Remote {
+		mark = "*" // remote step
+	}
+	switch s.Kind {
+	case machine.StepRead:
+		return fmt.Sprintf("rd %s=%d%s", reg(), s.Val, mark)
+	case machine.StepWrite:
+		return fmt.Sprintf("wr %s:=%d%s", reg(), s.Val, mark)
+	case machine.StepCommit:
+		return fmt.Sprintf("cm %s:=%d%s", reg(), s.Val, mark)
+	case machine.StepFence:
+		return "fence"
+	case machine.StepReturn:
+		return fmt.Sprintf("ret %d", s.Val)
+	default:
+		return s.Kind.String()
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+)
+
+// tracedBakeryRun runs Count-over-Bakery sequentially with tracing.
+func tracedBakeryRun(t *testing.T, n int) (*machine.Trace, *machine.Layout, *machine.Config) {
+	t.Helper()
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+		t.Fatal(err)
+	}
+	return tr, lay, c
+}
+
+func TestAttributeMatchesStats(t *testing.T) {
+	tr, lay, c := tracedBakeryRun(t, 6)
+	att := Attribute(tr, lay)
+	if att.TotalRMRs != c.Stats().TotalRMRs() {
+		t.Fatalf("attribution total %d != stats total %d", att.TotalRMRs, c.Stats().TotalRMRs())
+	}
+	// In Bakery the RMR bill is dominated by the per-process scan of the
+	// other processes' C and T arrays.
+	byName := make(map[string]ArrayCost)
+	for _, a := range att.Arrays {
+		byName[a.Array] = a
+	}
+	ct := byName["lk.C"].RMRs() + byName["lk.T"].RMRs()
+	if ct < att.TotalRMRs/2 {
+		t.Fatalf("C+T arrays should dominate Bakery's RMRs: %d of %d", ct, att.TotalRMRs)
+	}
+}
+
+func TestAttributeSortedByRMRs(t *testing.T) {
+	tr, lay, _ := tracedBakeryRun(t, 5)
+	att := Attribute(tr, lay)
+	for i := 1; i < len(att.Arrays); i++ {
+		if att.Arrays[i-1].RMRs() < att.Arrays[i].RMRs() {
+			t.Fatalf("attribution not sorted: %v", att.Arrays)
+		}
+	}
+}
+
+func TestAttributeFormat(t *testing.T) {
+	tr, lay, _ := tracedBakeryRun(t, 4)
+	out := Attribute(tr, lay).Format()
+	for _, want := range []string{"array", "lk.C", "lk.T", "count.C", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountKinds(t *testing.T) {
+	tr, _, c := tracedBakeryRun(t, 4)
+	k := CountKinds(tr)
+	st := c.Stats()
+	if int64(k.Fences) != st.TotalFences() {
+		t.Errorf("fences %d != %d", k.Fences, st.TotalFences())
+	}
+	if int64(k.RemoteSteps) != st.TotalRMRs() {
+		t.Errorf("remote %d != %d", k.RemoteSteps, st.TotalRMRs())
+	}
+	if k.Returns != 4 {
+		t.Errorf("returns %d, want 4", k.Returns)
+	}
+	if k.Reads == 0 || k.Writes == 0 || k.Commits == 0 {
+		t.Errorf("degenerate kind counts: %+v", k)
+	}
+	// Under PSO every write is buffered then committed: counts match.
+	if k.Writes != k.Commits {
+		t.Errorf("writes %d != commits %d under PSO single-passage", k.Writes, k.Commits)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	// A tiny two-process handshake for a readable timeline.
+	lay := machine.NewLayout()
+	arr := lay.MustAlloc("flag", 2, machine.OwnedBy)
+	prog := lang.NewProgram("hs",
+		lang.Write(lang.Add(lang.I(arr.Base), lang.PID()), lang.I(1)),
+		lang.Fence(),
+		lang.Read("v", lang.Add(lang.I(arr.Base), lang.Sub(lang.I(1), lang.PID()))),
+		lang.Return(lang.L("v")),
+	)
+	c, err := machine.NewConfig(machine.PSO, lay, []*lang.Program{prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	if err := machine.RunRoundRobin(c, 1000); err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(tr, lay, 2, 0)
+	for _, want := range []string{"p0", "p1", "wr flag[0]:=1", "fence", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Capped rendering reports the overflow.
+	capped := Timeline(tr, lay, 2, 3)
+	if !strings.Contains(capped, "more steps") {
+		t.Errorf("capped timeline missing overflow marker:\n%s", capped)
+	}
+}
+
+func TestAttributeUnmappedRegisters(t *testing.T) {
+	tr := &machine.Trace{Steps: []machine.StepRecord{
+		{P: 0, Kind: machine.StepRead, Reg: 999, FromMemory: true, Remote: true},
+	}}
+	att := Attribute(tr, machine.NewLayout())
+	if len(att.Arrays) != 1 || att.Arrays[0].Array != "(unmapped)" {
+		t.Fatalf("unmapped attribution: %+v", att.Arrays)
+	}
+	if att.TotalRMRs != 1 {
+		t.Fatalf("total %d, want 1", att.TotalRMRs)
+	}
+}

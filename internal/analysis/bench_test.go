@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+)
+
+func benchTrace(b *testing.B, n int) (*machine.Trace, *machine.Layout) {
+	b.Helper()
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+		b.Fatal(err)
+	}
+	return tr, lay
+}
+
+// BenchmarkAttribute measures per-array RMR attribution over a full
+// sequential Bakery run.
+func BenchmarkAttribute(b *testing.B) {
+	tr, lay := benchTrace(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		att := Attribute(tr, lay)
+		if att.TotalRMRs == 0 {
+			b.Fatal("no RMRs attributed")
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "trace-steps")
+}
+
+// BenchmarkTimeline measures lane-view rendering.
+func BenchmarkTimeline(b *testing.B) {
+	tr, lay := benchTrace(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := Timeline(tr, lay, 8, 200); len(out) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+// BenchmarkAuditTrace measures the shadow-buffer audit.
+func BenchmarkAuditTrace(b *testing.B) {
+	tr, _ := benchTrace(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := machine.AuditTrace(tr, machine.PSO, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

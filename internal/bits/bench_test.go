@@ -1,0 +1,57 @@
+package bits
+
+import "testing"
+
+// BenchmarkGammaWrite measures Elias-gamma encoding throughput across the
+// parameter-value range the stack codec sees.
+func BenchmarkGammaWrite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		for v := uint64(1); v <= 256; v++ {
+			if err := w.WriteGamma(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGammaRead measures decoding throughput.
+func BenchmarkGammaRead(b *testing.B) {
+	var w Writer
+	for v := uint64(1); v <= 256; v++ {
+		if err := w.WriteGamma(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf, n := w.Bytes(), w.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf, n)
+		for v := uint64(1); v <= 256; v++ {
+			got, err := r.ReadGamma()
+			if err != nil || got != v {
+				b.Fatalf("got %d, %v", got, err)
+			}
+		}
+	}
+}
+
+// BenchmarkDeltaRoundTrip measures the delta code on large values.
+func BenchmarkDeltaRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		for k := 0; k < 32; k++ {
+			if err := w.WriteDelta(1 << uint(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for k := 0; k < 32; k++ {
+			if _, err := r.ReadDelta(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

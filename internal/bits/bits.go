@@ -1,0 +1,181 @@
+// Package bits provides the bit-exact integer codes used to price the
+// lower-bound execution encodings of Section 5: Elias gamma and delta codes
+// for command parameters, and a Writer/Reader pair so the encoded stacks can
+// be serialized to a concrete bit string whose length is compared against
+// log2(n!).
+package bits
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrOutOfRange is returned when a value cannot be represented by the
+// requested code (Elias codes encode positive integers only).
+var ErrOutOfRange = errors.New("bits: value out of range for code")
+
+// ErrCorrupt is returned by Reader methods when the bit stream ends inside
+// a codeword or encodes an impossible value.
+var ErrCorrupt = errors.New("bits: corrupt or truncated bit stream")
+
+// GammaLen returns the length in bits of the Elias gamma code of v (v >= 1):
+// 2*floor(log2 v) + 1.
+func GammaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return 2*(bits.Len64(v)-1) + 1
+}
+
+// DeltaLen returns the length in bits of the Elias delta code of v (v >= 1):
+// floor(log2 v) + 2*floor(log2(floor(log2 v)+1)) + 1.
+func DeltaLen(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	n := bits.Len64(v) // floor(log2 v) + 1
+	return (n - 1) + GammaLen(uint64(n))
+}
+
+// Writer accumulates bits most-significant-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated bytes; the final byte is zero-padded.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (any nonzero b writes a 1).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the n low-order bits of v, most significant first.
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteGamma appends the Elias gamma code of v (v >= 1).
+func (w *Writer) WriteGamma(v uint64) error {
+	if v == 0 {
+		return ErrOutOfRange
+	}
+	n := bits.Len64(v) // number of significant bits
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(v, n)
+	return nil
+}
+
+// WriteDelta appends the Elias delta code of v (v >= 1).
+func (w *Writer) WriteDelta(v uint64) error {
+	if v == 0 {
+		return ErrOutOfRange
+	}
+	n := bits.Len64(v)
+	if err := w.WriteGamma(uint64(n)); err != nil {
+		return err
+	}
+	// v's leading 1 bit is implied by n; write the remaining n-1 bits.
+	w.WriteBits(v&^(1<<uint(n-1)), n-1)
+	return nil
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next bit index
+	nbit int // total readable bits
+}
+
+// NewReader returns a Reader over the first nbits bits of buf.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits > len(buf)*8 {
+		nbits = len(buf) * 8
+	}
+	return &Reader{buf: buf, nbit: nbits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrCorrupt
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits consumes n bits and returns them as the low-order bits of the
+// result, most significant first.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n > 64 {
+		return 0, ErrOutOfRange
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadGamma consumes one Elias gamma codeword and returns its value.
+func (r *Reader) ReadGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, ErrCorrupt
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// ReadDelta consumes one Elias delta codeword and returns its value.
+func (r *Reader) ReadDelta() (uint64, error) {
+	n, err := r.ReadGamma()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > 64 {
+		return 0, ErrCorrupt
+	}
+	rest, err := r.ReadBits(int(n - 1))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<(n-1) | rest, nil
+}

@@ -1,0 +1,229 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaLenSmall(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{1, 1}, {2, 3}, {3, 3}, {4, 5}, {7, 5}, {8, 7}, {15, 7}, {16, 9},
+		{1 << 20, 41},
+	}
+	for _, c := range cases {
+		if got := GammaLen(c.v); got != c.want {
+			t.Errorf("GammaLen(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if GammaLen(0) != 0 {
+		t.Error("GammaLen(0) should be 0 (unencodable)")
+	}
+}
+
+func TestDeltaLenSmall(t *testing.T) {
+	// delta(1) = gamma(1) = "1": 1 bit.
+	if got := DeltaLen(1); got != 1 {
+		t.Errorf("DeltaLen(1) = %d, want 1", got)
+	}
+	// delta(v) <= gamma(v) for v >= 32 or so; check asymptotic advantage.
+	if DeltaLen(1<<30) >= GammaLen(1<<30) {
+		t.Error("delta should beat gamma for large values")
+	}
+}
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(1)
+	w.WriteBits(0xDEAD, 16)
+	r := NewReader(w.Bytes(), w.Len())
+	if v, err := r.ReadBits(4); err != nil || v != 0b1011 {
+		t.Fatalf("ReadBits(4) = %d, %v", v, err)
+	}
+	if b, err := r.ReadBit(); err != nil || b != 1 {
+		t.Fatalf("ReadBit = %d, %v", b, err)
+	}
+	if v, err := r.ReadBits(16); err != nil || v != 0xDEAD {
+		t.Fatalf("ReadBits(16) = %#x, %v", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past end should error")
+	}
+}
+
+func TestGammaRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{1, 2, 3, 4, 5, 100, 1023, 1024, 1 << 40, 1<<63 - 1}
+	for _, v := range vals {
+		if err := w.WriteGamma(v); err != nil {
+			t.Fatalf("WriteGamma(%d): %v", v, err)
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadGamma()
+		if err != nil {
+			t.Fatalf("ReadGamma for %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("gamma round trip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{1, 2, 3, 16, 17, 255, 256, 1 << 50}
+	for _, v := range vals {
+		if err := w.WriteDelta(v); err != nil {
+			t.Fatalf("WriteDelta(%d): %v", v, err)
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadDelta()
+		if err != nil {
+			t.Fatalf("ReadDelta for %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("delta round trip: got %d, want %d", got, v)
+		}
+	}
+}
+
+func TestGammaLenMatchesWriter(t *testing.T) {
+	for v := uint64(1); v < 5000; v++ {
+		var w Writer
+		if err := w.WriteGamma(v); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != GammaLen(v) {
+			t.Fatalf("GammaLen(%d) = %d but writer produced %d bits", v, GammaLen(v), w.Len())
+		}
+	}
+}
+
+func TestDeltaLenMatchesWriter(t *testing.T) {
+	for v := uint64(1); v < 5000; v++ {
+		var w Writer
+		if err := w.WriteDelta(v); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != DeltaLen(v) {
+			t.Fatalf("DeltaLen(%d) = %d but writer produced %d bits", v, DeltaLen(v), w.Len())
+		}
+	}
+}
+
+func TestZeroRejected(t *testing.T) {
+	var w Writer
+	if err := w.WriteGamma(0); err == nil {
+		t.Error("WriteGamma(0) should error")
+	}
+	if err := w.WriteDelta(0); err == nil {
+		t.Error("WriteDelta(0) should error")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var w Writer
+	if err := w.WriteGamma(1000); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes(), w.Len()-3)
+	if _, err := r.ReadGamma(); err == nil {
+		t.Error("truncated gamma should error")
+	}
+}
+
+func TestQuickGammaRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		var w Writer
+		if err := w.WriteGamma(v); err != nil {
+			return false
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadGamma()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		var w Writer
+		if err := w.WriteDelta(v); err != nil {
+			return false
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadDelta()
+		return err == nil && got == v && r.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedStream(t *testing.T) {
+	f := func(vals []uint64, kinds []bool) bool {
+		var w Writer
+		n := len(vals)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if v == 0 {
+				v = 1
+			}
+			var err error
+			if kinds[i] {
+				err = w.WriteGamma(v)
+			} else {
+				err = w.WriteDelta(v)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if v == 0 {
+				v = 1
+			}
+			var got uint64
+			var err error
+			if kinds[i] {
+				got, err = r.ReadGamma()
+			} else {
+				got, err = r.ReadDelta()
+			}
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package bits
+
+import "testing"
+
+// FuzzGammaRoundTrip: any positive value survives gamma encode/decode.
+func FuzzGammaRoundTrip(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(2))
+	f.Add(uint64(255))
+	f.Add(uint64(1) << 62)
+	f.Fuzz(func(t *testing.T, v uint64) {
+		if v == 0 {
+			v = 1
+		}
+		var w Writer
+		if err := w.WriteGamma(v); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		got, err := r.ReadGamma()
+		if err != nil || got != v {
+			t.Fatalf("round trip %d -> %d (%v)", v, got, err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("leftover bits: %d", r.Remaining())
+		}
+	})
+}
+
+// FuzzReaderNeverPanics: arbitrary byte soup must yield values or errors,
+// never panics or infinite loops.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{0x00}, 8)
+	f.Add([]byte{0xFF, 0x00, 0xAA}, 24)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 {
+			nbits = 0
+		}
+		r := NewReader(data, nbits)
+		for i := 0; i < 64; i++ {
+			if _, err := r.ReadGamma(); err != nil {
+				break
+			}
+		}
+		r2 := NewReader(data, nbits)
+		for i := 0; i < 64; i++ {
+			if _, err := r2.ReadDelta(); err != nil {
+				break
+			}
+		}
+	})
+}

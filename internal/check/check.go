@@ -1,0 +1,260 @@
+// Package check provides the model-checking substrate for the memory-model
+// separation experiments: exhaustive exploration of all schedules (with
+// visited-state pruning) and randomized schedule search, both hunting for
+// mutual-exclusion violations of lock algorithms under SC, TSO and PSO.
+//
+// Critical sections are instrumented with two designated probe registers:
+// a process is "in the critical section" exactly between the completion of
+// its read of the entry probe and the completion of its read of the exit
+// probe. Because both probes are shared-memory reads, occupancy is a
+// function of the configuration alone (the process is poised at the exit-
+// probe read), which makes violation detection exact.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// Subject is a checkable system: a factory for fresh initial configurations
+// plus the exit-probe register that marks critical-section occupancy.
+type Subject struct {
+	// Name identifies the subject in reports.
+	Name string
+	// Build returns a fresh initial configuration.
+	Build func(model machine.Model) (*machine.Config, error)
+	// CSExit is the exit-probe register: a process poised at read(CSExit)
+	// is inside the critical section.
+	CSExit machine.Reg
+	// Layout is the register layout of the instrumented system (nil when
+	// the subject was hand-built); used to symbolize witness traces.
+	Layout *machine.Layout
+}
+
+// NewMutexSubject instruments the lock built by ctor for n processes with
+// a minimal critical section (entry-probe read, exit-probe read) followed
+// by release, a fence and return. Each process performs `passages`
+// consecutive passages through the lock.
+func NewMutexSubject(name string, ctor locks.Constructor, n, passages int) (*Subject, error) {
+	if passages < 1 {
+		return nil, fmt.Errorf("check: passages must be >= 1, got %d", passages)
+	}
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	probes, err := lay.Alloc("cs.probe", 2, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	csIn, csOut := probes.At(0), probes.At(1)
+
+	passage := make([]lang.Stmt, 0, 16)
+	passage = append(passage, lk.Acquire()...)
+	passage = append(passage,
+		lang.Read("_csin", lang.I(csIn)),
+		lang.Read("_csout", lang.I(csOut)),
+	)
+	passage = append(passage, lk.Release()...)
+
+	body := lang.For("_pass", lang.I(0), lang.I(int64(passages)), passage...)
+	body = append(body, lang.Fence(), lang.Return(lang.I(0)))
+	prog := lang.NewProgram(name, body...)
+
+	progs := make([]*lang.Program, n)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return &Subject{
+		Name: name,
+		Build: func(model machine.Model) (*machine.Config, error) {
+			return machine.NewConfig(model, lay, progs)
+		},
+		CSExit: csOut,
+		Layout: lay,
+	}, nil
+}
+
+// InCS reports whether process p is inside the instrumented critical
+// section: it is poised at the exit-probe read.
+func (s *Subject) InCS(c *machine.Config, p int) (bool, error) {
+	op, ok, err := c.NextOp(p)
+	if err != nil {
+		return false, err
+	}
+	return ok && op.Kind == lang.OpRead && op.Reg == s.CSExit, nil
+}
+
+// occupancy returns the processes currently inside the critical section.
+func (s *Subject) occupancy(c *machine.Config) ([]int, error) {
+	var in []int
+	for p := 0; p < c.N(); p++ {
+		ok, err := s.InCS(c, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			in = append(in, p)
+		}
+	}
+	return in, nil
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Violation is true if a reachable configuration has two or more
+	// processes inside the critical section.
+	Violation bool
+	// Witness is the schedule leading to the violation (empty otherwise).
+	Witness machine.Schedule
+	// InCS lists the processes co-resident in the critical section at the
+	// violation.
+	InCS []int
+	// States is the number of distinct states visited (exhaustive mode)
+	// or steps taken (random mode).
+	States int
+	// Complete is true if the exhaustive search exhausted the reachable
+	// state space within its bounds; a Complete result without Violation
+	// is a proof of mutual exclusion for the subject's bounded workload.
+	Complete bool
+}
+
+// Exhaustive explores every schedule of the subject under the given model,
+// pruning revisited states, up to maxStates distinct states. It returns a
+// violation witness if mutual exclusion fails, and Complete=true if the
+// full reachable state space was covered.
+func (s *Subject) Exhaustive(model machine.Model, maxStates int) (Result, error) {
+	root, err := s.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	visited := make(map[string]struct{}, 1024)
+	res := Result{Complete: true}
+
+	var dfs func(c *machine.Config, path machine.Schedule) (bool, error)
+	dfs = func(c *machine.Config, path machine.Schedule) (bool, error) {
+		fp, err := c.Fingerprint() // settles all processes
+		if err != nil {
+			return false, err
+		}
+		if _, seen := visited[fp]; seen {
+			return false, nil
+		}
+		if len(visited) >= maxStates {
+			res.Complete = false
+			return false, nil
+		}
+		visited[fp] = struct{}{}
+
+		in, err := s.occupancy(c)
+		if err != nil {
+			return false, err
+		}
+		if len(in) >= 2 {
+			res.Violation = true
+			res.Witness = append(machine.Schedule(nil), path...)
+			res.InCS = in
+			return true, nil
+		}
+
+		for p := 0; p < c.N(); p++ {
+			if c.Halted(p) {
+				continue
+			}
+			elems := []machine.Elem{machine.PBottom(p)}
+			for _, r := range c.BufferRegs(p) {
+				if c.CanCommit(p, r) {
+					elems = append(elems, machine.PReg(p, r))
+				}
+			}
+			for _, e := range elems {
+				next := c.Clone()
+				if _, took, err := next.Step(e); err != nil {
+					return false, err
+				} else if !took {
+					continue
+				}
+				found, err := dfs(next, append(path, e))
+				if err != nil || found {
+					return found, err
+				}
+			}
+		}
+		return false, nil
+	}
+
+	if _, err := dfs(root, nil); err != nil {
+		return Result{}, err
+	}
+	res.States = len(visited)
+	if res.Violation {
+		res.Complete = false
+	}
+	return res, nil
+}
+
+// Random drives the subject with `runs` random schedules of up to maxSteps
+// elements each, drawn from rng, checking occupancy after every step. It
+// can only find violations, never prove their absence.
+func (s *Subject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64) (Result, error) {
+	var res Result
+	for run := 0; run < runs; run++ {
+		c, err := s.Build(model)
+		if err != nil {
+			return Result{}, err
+		}
+		var path machine.Schedule
+		for step := 0; step < maxSteps && !c.AllHalted(); step++ {
+			var live []int
+			for p := 0; p < c.N(); p++ {
+				if !c.Halted(p) {
+					live = append(live, p)
+				}
+			}
+			p := live[rng.Intn(len(live))]
+			e := machine.PBottom(p)
+			if regs := c.BufferRegs(p); len(regs) > 0 && rng.Float64() < commitProb {
+				r := regs[rng.Intn(len(regs))]
+				if c.CanCommit(p, r) {
+					e = machine.PReg(p, r)
+				}
+			}
+			if _, _, err := c.Step(e); err != nil {
+				return Result{}, err
+			}
+			path = append(path, e)
+			res.States++
+			in, err := s.occupancy(c)
+			if err != nil {
+				return Result{}, err
+			}
+			if len(in) >= 2 {
+				res.Violation = true
+				res.Witness = path
+				res.InCS = in
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// Replay re-executes a witness schedule on a fresh configuration and
+// returns the recorded trace, for counterexample printing.
+func (s *Subject) Replay(model machine.Model, witness machine.Schedule) (*machine.Trace, *machine.Config, error) {
+	c, err := s.Build(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := machine.NewTrace()
+	c.SetTrace(tr)
+	if _, err := c.Exec(witness); err != nil {
+		return nil, nil, err
+	}
+	return tr, c, nil
+}

@@ -1,0 +1,221 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+const maxStates = 3_000_000
+
+func exhaustive(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) Result {
+	t.Helper()
+	s, err := NewMutexSubject(name, ctor, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(model, maxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func requireSafe(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) {
+	t.Helper()
+	res := exhaustive(t, name, ctor, n, model)
+	if res.Violation {
+		t.Fatalf("%s under %v: unexpected mutual-exclusion violation (witness %d elems, in CS %v)",
+			name, model, len(res.Witness), res.InCS)
+	}
+	if !res.Complete {
+		t.Fatalf("%s under %v: state space not exhausted (%d states); raise maxStates", name, model, res.States)
+	}
+}
+
+func requireViolation(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) Result {
+	t.Helper()
+	res := exhaustive(t, name, ctor, n, model)
+	if !res.Violation {
+		t.Fatalf("%s under %v: expected a mutual-exclusion violation, searched %d states (complete=%v)",
+			name, model, res.States, res.Complete)
+	}
+	if len(res.InCS) < 2 {
+		t.Fatalf("violation with %v in CS", res.InCS)
+	}
+	return res
+}
+
+// --- The separation hierarchy -------------------------------------------
+
+// Peterson with its store-load fence is correct under every model.
+func TestPetersonFencedSafeEverywhere(t *testing.T) {
+	for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+		requireSafe(t, "peterson", locks.NewPeterson, 2, m)
+	}
+}
+
+// Peterson with the single classic store-load fence: safe under SC and
+// TSO, broken under PSO — while the process is blocked at its fence the
+// adversary commits victim before flag and runs the rival in between. A
+// second TSO/PSO separation witness, alongside bakery-tso.
+func TestPetersonTSOSeparatesTSOFromPSO(t *testing.T) {
+	requireSafe(t, "peterson-tso", locks.NewPetersonTSO, 2, machine.SC)
+	requireSafe(t, "peterson-tso", locks.NewPetersonTSO, 2, machine.TSO)
+	requireViolation(t, "peterson-tso", locks.NewPetersonTSO, 2, machine.PSO)
+}
+
+// Peterson without the fence: safe under SC, broken as soon as reads may
+// bypass buffered writes (TSO and PSO). This separates SC from TSO.
+func TestPetersonNoFenceSCvsTSO(t *testing.T) {
+	requireSafe(t, "peterson-nofence", locks.NewPetersonNoFence, 2, machine.SC)
+	requireViolation(t, "peterson-nofence", locks.NewPetersonNoFence, 2, machine.TSO)
+	requireViolation(t, "peterson-nofence", locks.NewPetersonNoFence, 2, machine.PSO)
+}
+
+// Classic Bakery (three acquire fences) is correct under every model.
+func TestBakerySafeEverywhere(t *testing.T) {
+	for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+		requireSafe(t, "bakery", locks.NewBakery, 2, m)
+	}
+}
+
+// Bakery with the fence between the ticket write and the choosing-flag
+// write removed: TSO's FIFO buffer provides the ordering for free, PSO
+// does not. This separates TSO from PSO — the paper's headline separation,
+// realized behaviourally.
+func TestBakeryTSOSeparatesTSOFromPSO(t *testing.T) {
+	requireSafe(t, "bakery-tso", locks.NewBakeryTSO, 2, machine.SC)
+	requireSafe(t, "bakery-tso", locks.NewBakeryTSO, 2, machine.TSO)
+	requireViolation(t, "bakery-tso", locks.NewBakeryTSO, 2, machine.PSO)
+}
+
+// The paper's printed line order (Algorithm 1 lines 6-7: choosing flag
+// lowered before the ticket is published) is unsafe even under sequential
+// consistency — an erratum our exhaustive checker demonstrates.
+func TestBakeryLiteralUnsafeEvenUnderSC(t *testing.T) {
+	requireViolation(t, "bakery-literal", locks.NewBakeryLiteral, 2, machine.SC)
+}
+
+// The tournament tree is correct under every model for small n.
+func TestTournamentSafe(t *testing.T) {
+	for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+		requireSafe(t, "tournament", locks.NewTournament, 2, m)
+	}
+}
+
+// The filter lock (per-write fences) is correct under every model.
+func TestFilterSafeEverywhere(t *testing.T) {
+	for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+		requireSafe(t, "filter", locks.NewFilter, 2, m)
+	}
+}
+
+// GT_2 with three processes exercises multi-level Bakery composition.
+func TestGT2SafePSO(t *testing.T) {
+	ctor := func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+		return locks.NewGT(l, nm, n, 2)
+	}
+	requireSafe(t, "gt2", ctor, 3, machine.PSO)
+}
+
+// Three-process Bakery under PSO, exhaustively.
+func TestBakeryThreeProcsPSO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	requireSafe(t, "bakery3", locks.NewBakery, 3, machine.PSO)
+}
+
+// Two consecutive passages per process: checks release/re-acquire
+// interactions (stale tickets, flag reuse).
+func TestBakeryTwoPassages(t *testing.T) {
+	s, err := NewMutexSubject("bakery-2pass", locks.NewBakery, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(machine.PSO, maxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Fatalf("violation across passages (witness %d elems)", len(res.Witness))
+	}
+	if !res.Complete {
+		t.Fatalf("state space not exhausted: %d states", res.States)
+	}
+}
+
+// --- Witness replay ------------------------------------------------------
+
+func TestWitnessReplays(t *testing.T) {
+	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(machine.PSO, maxStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("expected violation")
+	}
+	tr, c, err := s.Replay(machine.PSO, res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("replay produced no steps")
+	}
+	// After replaying the witness, the violation must be visible again.
+	in, err := s.occupancy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) < 2 {
+		t.Fatalf("replayed witness shows %v in CS, want >= 2", in)
+	}
+}
+
+// --- Randomized checking -------------------------------------------------
+
+func TestRandomFindsBakeryTSOViolation(t *testing.T) {
+	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	res, err := s.Random(machine.PSO, rng, 20_000, 400, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("randomized search did not find the PSO violation of bakery-tso")
+	}
+}
+
+func TestRandomCleanOnCorrectLock(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := s.Random(machine.PSO, rng, 300, 3000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Fatalf("false positive on correct bakery (witness %d elems)", len(res.Witness))
+	}
+}
+
+func TestSubjectErrors(t *testing.T) {
+	if _, err := NewMutexSubject("x", locks.NewBakery, 2, 0); err == nil {
+		t.Error("passages=0 should error")
+	}
+	if _, err := NewMutexSubject("x", locks.NewPeterson, 3, 1); err == nil {
+		t.Error("constructor error should propagate")
+	}
+}

@@ -1,0 +1,281 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// FCFSSubject instruments a lock that declares a wait-free doorway for
+// first-come-first-served checking (Lamport's fairness notion: if p
+// completes its doorway before q enters its doorway, then q does not enter
+// the critical section before p).
+//
+// Three probe reads delimit the phases:
+//
+//	read(DS)   — doorway start
+//	<doorway>
+//	read(DE)   — doorway end
+//	<waiting>
+//	read(CS)   — critical-section entry
+//	<release>
+//
+// FCFS is a *path* property, so the exhaustive search explores the product
+// of the machine's state space with a finite precedence monitor (which
+// doorway-precedence pairs hold, and who has entered the critical
+// section); the monitor state is folded into the visited-set fingerprint,
+// keeping the pruning sound.
+type FCFSSubject struct {
+	Name   string
+	Build  func(model machine.Model) (*machine.Config, error)
+	DS, DE machine.Reg
+	CS     machine.Reg
+	n      int
+}
+
+// NewFCFSSubject builds the instrumented workload (one passage per
+// process). The lock must declare a doorway.
+func NewFCFSSubject(name string, ctor locks.Constructor, n int) (*FCFSSubject, error) {
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	if !lk.HasDoorway() {
+		return nil, fmt.Errorf("check: lock %s declares no doorway; FCFS is undefined for it", lk.Name())
+	}
+	probes, err := lay.Alloc("fcfs.probe", 3, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	ds, de, cs := probes.At(0), probes.At(1), probes.At(2)
+
+	stmts := []lang.Stmt{lang.Read("_ds", lang.I(ds))}
+	stmts = append(stmts, lk.Doorway()...)
+	stmts = append(stmts, lang.Read("_de", lang.I(de)))
+	stmts = append(stmts, lk.Waiting()...)
+	stmts = append(stmts, lang.Read("_cs", lang.I(cs)))
+	stmts = append(stmts, lk.Release()...)
+	stmts = append(stmts, lang.Fence(), lang.Return(lang.I(0)))
+	prog := lang.NewProgram(name, stmts...)
+
+	progs := make([]*lang.Program, n)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return &FCFSSubject{
+		Name: name,
+		Build: func(model machine.Model) (*machine.Config, error) {
+			return machine.NewConfig(model, lay, progs)
+		},
+		DS: ds, DE: de, CS: cs,
+		n: n,
+	}, nil
+}
+
+// fcfsMonitor is the finite precedence automaton run alongside the
+// machine: per process the phase (0 = before doorway, 1 = in doorway,
+// 2 = waiting, 3 = in/past CS) and the doorway-precedence relation.
+type fcfsMonitor struct {
+	phase []uint8
+	// precede[p*n+q] is set when p completed its doorway before q started
+	// its doorway.
+	precede []bool
+	n       int
+}
+
+func newFCFSMonitor(n int) *fcfsMonitor {
+	return &fcfsMonitor{phase: make([]uint8, n), precede: make([]bool, n*n), n: n}
+}
+
+func (m *fcfsMonitor) clone() *fcfsMonitor {
+	c := newFCFSMonitor(m.n)
+	copy(c.phase, m.phase)
+	copy(c.precede, m.precede)
+	return c
+}
+
+func (m *fcfsMonitor) encode(b *strings.Builder) {
+	for _, ph := range m.phase {
+		b.WriteByte('0' + ph)
+	}
+	b.WriteByte('|')
+	for _, p := range m.precede {
+		if p {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+}
+
+// observe advances the monitor on a probe read; it returns the overtaken
+// process q (with violation=true) if the step is a CS entry by p while
+// some q with doorway-precedence over p has not yet entered.
+func (m *fcfsMonitor) observe(s *FCFSSubject, rec machine.StepRecord) (violator, overtaken int, violation bool) {
+	if rec.Kind != machine.StepRead {
+		return 0, 0, false
+	}
+	p := rec.P
+	switch rec.Reg {
+	case s.DS:
+		m.phase[p] = 1
+		// Everyone who already finished their doorway precedes p.
+		for q := 0; q < m.n; q++ {
+			if q != p && m.phase[q] >= 2 {
+				m.precede[q*m.n+p] = true
+			}
+		}
+	case s.DE:
+		m.phase[p] = 2
+	case s.CS:
+		m.phase[p] = 3
+		for q := 0; q < m.n; q++ {
+			if q != p && m.precede[q*m.n+p] && m.phase[q] < 3 {
+				return p, q, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// FCFSResult reports the outcome of an FCFS check.
+type FCFSResult struct {
+	// Violation is true if an execution was found in which a process
+	// enters the critical section before another process that completed
+	// its doorway first.
+	Violation bool
+	// Violator overtook Overtaken.
+	Violator, Overtaken int
+	// Witness is the violating schedule.
+	Witness machine.Schedule
+	// States is the number of distinct (machine × monitor) states.
+	States int
+	// Complete is true if the product state space was exhausted; together
+	// with !Violation it proves FCFS for the bounded workload.
+	Complete bool
+}
+
+// Exhaustive explores all schedules over the product of machine state and
+// precedence monitor.
+func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult, error) {
+	root, err := s.Build(model)
+	if err != nil {
+		return FCFSResult{}, err
+	}
+	res := FCFSResult{Complete: true}
+	visited := make(map[string]struct{}, 1024)
+
+	var dfs func(c *machine.Config, m *fcfsMonitor, path machine.Schedule) (bool, error)
+	dfs = func(c *machine.Config, m *fcfsMonitor, path machine.Schedule) (bool, error) {
+		fp, err := c.Fingerprint()
+		if err != nil {
+			return false, err
+		}
+		var b strings.Builder
+		b.WriteString(fp)
+		b.WriteByte('#')
+		m.encode(&b)
+		key := b.String()
+		if _, seen := visited[key]; seen {
+			return false, nil
+		}
+		if len(visited) >= maxStates {
+			res.Complete = false
+			return false, nil
+		}
+		visited[key] = struct{}{}
+
+		for p := 0; p < c.N(); p++ {
+			if c.Halted(p) {
+				continue
+			}
+			elems := []machine.Elem{machine.PBottom(p)}
+			for _, r := range c.BufferRegs(p) {
+				if c.CanCommit(p, r) {
+					elems = append(elems, machine.PReg(p, r))
+				}
+			}
+			for _, e := range elems {
+				next := c.Clone()
+				rec, took, err := next.Step(e)
+				if err != nil {
+					return false, err
+				}
+				if !took {
+					continue
+				}
+				nm := m.clone()
+				if violator, overtaken, bad := nm.observe(s, rec); bad {
+					res.Violation = true
+					res.Violator, res.Overtaken = violator, overtaken
+					res.Witness = append(append(machine.Schedule(nil), path...), e)
+					return true, nil
+				}
+				found, err := dfs(next, nm, append(path, e))
+				if err != nil || found {
+					return found, err
+				}
+			}
+		}
+		return false, nil
+	}
+
+	if _, err := dfs(root, newFCFSMonitor(s.n), nil); err != nil {
+		return FCFSResult{}, err
+	}
+	res.States = len(visited)
+	if res.Violation {
+		res.Complete = false
+	}
+	return res, nil
+}
+
+// Random hunts for FCFS violations with random schedules.
+func (s *FCFSSubject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64) (FCFSResult, error) {
+	var res FCFSResult
+	for run := 0; run < runs; run++ {
+		c, err := s.Build(model)
+		if err != nil {
+			return FCFSResult{}, err
+		}
+		m := newFCFSMonitor(s.n)
+		var path machine.Schedule
+		for step := 0; step < maxSteps && !c.AllHalted(); step++ {
+			var live []int
+			for p := 0; p < c.N(); p++ {
+				if !c.Halted(p) {
+					live = append(live, p)
+				}
+			}
+			p := live[rng.Intn(len(live))]
+			e := machine.PBottom(p)
+			if regs := c.BufferRegs(p); len(regs) > 0 && rng.Float64() < commitProb {
+				r := regs[rng.Intn(len(regs))]
+				if c.CanCommit(p, r) {
+					e = machine.PReg(p, r)
+				}
+			}
+			rec, took, err := c.Step(e)
+			if err != nil {
+				return FCFSResult{}, err
+			}
+			if !took {
+				continue
+			}
+			path = append(path, e)
+			res.States++
+			if violator, overtaken, bad := m.observe(s, rec); bad {
+				res.Violation = true
+				res.Violator, res.Overtaken = violator, overtaken
+				res.Witness = path
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

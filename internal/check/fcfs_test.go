@@ -1,0 +1,120 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+func gt2ctor(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+	return locks.NewGT(l, nm, n, 2)
+}
+
+// Bakery is first-come-first-served: exhaustive over the machine × monitor
+// product for two processes.
+func TestFCFSBakeryHolds(t *testing.T) {
+	s, err := NewFCFSSubject("bakery", locks.NewBakery, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []machine.Model{machine.SC, machine.PSO} {
+		res, err := s.Exhaustive(m, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation {
+			t.Fatalf("%v: bakery FCFS violated (p%d overtook p%d, witness %d elems)",
+				m, res.Violator, res.Overtaken, len(res.Witness))
+		}
+		if !res.Complete {
+			t.Fatalf("%v: product space not exhausted (%d states)", m, res.States)
+		}
+	}
+}
+
+// Peterson (two processes) is FCFS with respect to its announce doorway.
+func TestFCFSPetersonHolds(t *testing.T) {
+	s, err := NewFCFSSubject("peterson", locks.NewPeterson, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(machine.PSO, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Fatalf("peterson FCFS violated (witness %d elems)", len(res.Witness))
+	}
+	if !res.Complete {
+		t.Fatalf("product space not exhausted (%d states)", res.States)
+	}
+}
+
+// GT_2 with three processes is NOT first-come-first-served: a process
+// alone in its subtree can zoom through its first level and win the root
+// before an earlier arrival from the contended subtree gets there. This is
+// the fairness cost of trading fences for RMRs.
+func TestFCFSGT2Violated(t *testing.T) {
+	s, err := NewFCFSSubject("gt2", gt2ctor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(machine.PSO, 8_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatalf("expected a GT_2 FCFS violation; searched %d states (complete=%v)",
+			res.States, res.Complete)
+	}
+	// Replay the witness and confirm the overtake really happens.
+	c, err := s.Build(machine.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newFCFSMonitor(3)
+	confirmed := false
+	for _, e := range res.Witness {
+		rec, took, err := c.Step(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !took {
+			continue
+		}
+		if v, o, bad := m.observe(s, rec); bad {
+			if v != res.Violator || o != res.Overtaken {
+				t.Fatalf("replay found different violation: p%d over p%d", v, o)
+			}
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Fatal("witness did not reproduce the violation")
+	}
+}
+
+// Randomized search also finds the GT_2 unfairness.
+func TestFCFSRandomFindsGT2Violation(t *testing.T) {
+	s, err := NewFCFSSubject("gt2", gt2ctor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	res, err := s.Random(machine.PSO, rng, 50_000, 600, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("random search did not find the GT_2 FCFS violation")
+	}
+}
+
+// Locks without a declared doorway are rejected.
+func TestFCFSRequiresDoorway(t *testing.T) {
+	if _, err := NewFCFSSubject("tournament", locks.NewTournament, 2); err == nil {
+		t.Fatal("tournament declares no doorway; subject should be rejected")
+	}
+}

@@ -1,0 +1,75 @@
+package check
+
+import (
+	"tradingfences/internal/machine"
+)
+
+// violatesAt replays the schedule on a fresh configuration and reports
+// whether a mutual-exclusion violation (two processes in the critical
+// section) occurs at any point.
+func (s *Subject) violatesAt(model machine.Model, sched machine.Schedule) (bool, error) {
+	c, err := s.Build(model)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range sched {
+		if _, _, err := c.Step(e); err != nil {
+			// A schedule fragment can become ill-formed after deletions
+			// (e.g. naming a register no longer buffered); such steps
+			// fall through to other rules inside the machine, so real
+			// errors here only mean invalid process ids — treat the
+			// candidate as non-violating.
+			return false, nil
+		}
+		in, err := s.occupancy(c)
+		if err != nil {
+			return false, err
+		}
+		if len(in) >= 2 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// MinimizeWitness shrinks a violating schedule with a ddmin-style pass:
+// repeatedly try to delete chunks (halving the chunk size down to single
+// elements) while the violation persists. The result is 1-minimal: no
+// single element can be removed without losing the violation. Minimized
+// witnesses make the counterexample traces in the experiment reports
+// readable.
+func (s *Subject) MinimizeWitness(model machine.Model, witness machine.Schedule) (machine.Schedule, error) {
+	cur := append(machine.Schedule(nil), witness...)
+	if ok, err := s.violatesAt(model, cur); err != nil {
+		return nil, err
+	} else if !ok {
+		// Not a violation to begin with; return as-is.
+		return cur, nil
+	}
+	for chunk := max(len(cur)/2, 1); ; {
+		removedAny := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make(machine.Schedule, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			ok, err := s.violatesAt(model, cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = cand
+				removedAny = true
+				// Do not advance: the next chunk slid into this start.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			if !removedAny {
+				return cur, nil // 1-minimal
+			}
+			continue // another single-element pass
+		}
+		chunk /= 2
+	}
+}

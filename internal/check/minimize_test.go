@@ -1,0 +1,98 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// TestMinimizeWitnessShrinks: a randomized (long, noisy) violating
+// schedule for bakery-tso under PSO shrinks to a short, still-violating
+// one.
+func TestMinimizeWitnessShrinks(t *testing.T) {
+	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	res, err := s.Random(machine.PSO, rng, 20_000, 400, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("no violation found to minimize")
+	}
+	minimized, err := s.MinimizeWitness(machine.PSO, res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimized) > len(res.Witness) {
+		t.Fatalf("minimization grew the witness: %d -> %d", len(res.Witness), len(minimized))
+	}
+	// The minimized schedule still violates.
+	ok, err := s.violatesAt(machine.PSO, minimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("minimized witness no longer violates")
+	}
+	// 1-minimality: removing any single element loses the violation.
+	for i := range minimized {
+		cand := append(append(machine.Schedule(nil), minimized[:i]...), minimized[i+1:]...)
+		ok, err := s.violatesAt(machine.PSO, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("witness not 1-minimal: element %d removable", i)
+		}
+	}
+	t.Logf("witness: %d -> %d elements", len(res.Witness), len(minimized))
+}
+
+// TestMinimizeExhaustiveWitness: DFS witnesses are already short; the
+// minimizer must at least not break them.
+func TestMinimizeExhaustiveWitness(t *testing.T) {
+	s, err := NewMutexSubject("peterson-tso", locks.NewPetersonTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(machine.PSO, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("expected violation")
+	}
+	minimized, err := s.MinimizeWitness(machine.PSO, res.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.violatesAt(machine.PSO, minimized)
+	if err != nil || !ok {
+		t.Fatalf("minimized exhaustive witness invalid: ok=%v err=%v", ok, err)
+	}
+	if len(minimized) > len(res.Witness) {
+		t.Fatal("witness grew")
+	}
+}
+
+// TestMinimizeNonViolatingInputReturned: a schedule with no violation
+// comes back unchanged in length semantics (no error).
+func TestMinimizeNonViolatingInput(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := machine.Schedule{machine.PBottom(0), machine.PBottom(1)}
+	out, err := s.MinimizeWitness(machine.PSO, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(sched) {
+		t.Fatalf("non-violating input altered: %d -> %d", len(sched), len(out))
+	}
+}

@@ -1,0 +1,93 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tradingfences/internal/machine"
+	"tradingfences/internal/perm"
+)
+
+// OrderingSubject wraps an ordering algorithm (Definition 4.1) for
+// property checking: in clean executions the k-th process through the
+// object must return k.
+type OrderingSubject struct {
+	// Name identifies the subject in error messages.
+	Name string
+	// Build returns a fresh initial configuration.
+	Build func(model machine.Model) (*machine.Config, error)
+}
+
+// CheckSequentialOrder runs the processes of one order sequentially (each
+// solo to completion) and verifies that the i-th process returns rank i —
+// the sequential consequence of Definition 4.1 the paper derives by
+// induction.
+func (s *OrderingSubject) CheckSequentialOrder(model machine.Model, order []int) error {
+	c, err := s.Build(model)
+	if err != nil {
+		return err
+	}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(c.N())); err != nil {
+		return fmt.Errorf("%s order %v: %w", s.Name, order, err)
+	}
+	for i, p := range order {
+		if got := c.ReturnValue(p); got != int64(i) {
+			return fmt.Errorf("%s order %v: process %d returned %d, want rank %d",
+				s.Name, order, p, got, i)
+		}
+	}
+	return nil
+}
+
+// CheckAllSequentialOrders verifies the sequential ordering property for
+// every permutation of the processes (use only for small n: n! orders) and
+// for every prefix length — each prefix execution is itself a clean
+// execution in which later processes do not participate.
+func (s *OrderingSubject) CheckAllSequentialOrders(model machine.Model) error {
+	c, err := s.Build(model)
+	if err != nil {
+		return err
+	}
+	n := c.N()
+	var failure error
+	perm.Enumerate(n, func(pi perm.Perm) bool {
+		for k := 1; k <= n; k++ {
+			if err := s.CheckSequentialOrder(model, pi[:k]); err != nil {
+				failure = err
+				return false
+			}
+		}
+		return true
+	})
+	return failure
+}
+
+// CheckConcurrentRanks drives all processes with `runs` random schedules
+// and verifies the necessary condition of the ordering property under
+// contention: the return values always form a permutation of the ranks
+// {0, ..., n-1}.
+func (s *OrderingSubject) CheckConcurrentRanks(model machine.Model, rng *rand.Rand, runs int, commitProb float64) error {
+	for run := 0; run < runs; run++ {
+		c, err := s.Build(model)
+		if err != nil {
+			return err
+		}
+		limit := 8000*c.N()*c.N() + 4_000_000
+		if err := machine.RunRandom(c, rng, commitProb, limit); err != nil {
+			return fmt.Errorf("%s run %d: %w", s.Name, run, err)
+		}
+		vals, ok := machine.Returns(c)
+		if !ok {
+			return fmt.Errorf("%s run %d: not all processes finished", s.Name, run)
+		}
+		seen := make([]bool, len(vals))
+		for p, v := range vals {
+			if v < 0 || v >= int64(len(vals)) || seen[v] {
+				return fmt.Errorf("%s run %d: returns %v are not a rank permutation (process %d)",
+					s.Name, run, vals, p)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package check
+
+import (
+	"fmt"
+
+	"tradingfences/internal/machine"
+)
+
+// ProgressResult reports the liveness analysis of a subject.
+type ProgressResult struct {
+	// States is the number of distinct reachable states.
+	States int
+	// Complete is true if the reachable state space was fully explored
+	// within the bounds.
+	Complete bool
+	// DeadlockFree is true if from every reachable state some schedule
+	// completes all processes (no reachable dead or livelocked component).
+	DeadlockFree bool
+	// StuckStates counts reachable states from which no completion is
+	// reachable; StuckWitness is a schedule into one of them (empty if
+	// none).
+	StuckStates  int
+	StuckWitness machine.Schedule
+	// WeakObstructionFree is true if in every reachable configuration in
+	// which all processes but one are in their initial or final states,
+	// the remaining process terminates when run alone (the paper's
+	// Section 2 progress condition).
+	WeakObstructionFree bool
+	// WOFWitness leads to a configuration refuting weak obstruction-
+	// freedom (empty if none).
+	WOFWitness machine.Schedule
+}
+
+// CheckProgress builds the full reachable state graph of the subject under
+// the given model (bounded by maxStates) and verifies two liveness
+// properties:
+//
+//   - deadlock freedom: every reachable state can still reach a state in
+//     which all processes have returned (checked by reverse reachability
+//     from the terminal states);
+//   - weak obstruction-freedom: wherever all processes but one are initial
+//     or final, the remaining process finishes solo.
+//
+// Spin-lock subjects have cyclic state graphs, so simple "no successor"
+// deadlock detection would be vacuous; reverse reachability from the
+// terminal states is the right notion (a livelocked component fails it).
+func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressResult, error) {
+	type node struct {
+		cfg    *machine.Config
+		parent int // node the exploration reached this state from (-1 root)
+		via    machine.Elem
+		succs  []int
+		term   bool // all processes halted
+	}
+
+	root, err := s.Build(model)
+	if err != nil {
+		return nil, err
+	}
+	res := &ProgressResult{Complete: true}
+
+	index := make(map[string]int, 1024)
+	var nodes []*node
+
+	intern := func(c *machine.Config, parent int, via machine.Elem) (int, bool, error) {
+		fp, err := c.Fingerprint()
+		if err != nil {
+			return 0, false, err
+		}
+		if id, ok := index[fp]; ok {
+			return id, false, nil
+		}
+		id := len(nodes)
+		index[fp] = id
+		nodes = append(nodes, &node{cfg: c, parent: parent, via: via})
+		return id, true, nil
+	}
+
+	// pathTo reconstructs the schedule from the root to node id.
+	pathTo := func(id int) machine.Schedule {
+		var rev machine.Schedule
+		for id >= 0 && nodes[id].parent != id {
+			if nodes[id].parent < 0 {
+				break
+			}
+			rev = append(rev, nodes[id].via)
+			id = nodes[id].parent
+		}
+		sched := make(machine.Schedule, len(rev))
+		for i := range rev {
+			sched[len(rev)-1-i] = rev[i]
+		}
+		return sched
+	}
+
+	rootID, _, err := intern(root, -1, machine.Elem{})
+	if err != nil {
+		return nil, err
+	}
+	work := []int{rootID}
+
+	for len(work) > 0 {
+		if len(nodes) > maxStates {
+			res.Complete = false
+			break
+		}
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		nd := nodes[id]
+		c := nd.cfg
+
+		nd.term = c.AllHalted()
+
+		// Weak obstruction-freedom precondition: all but (at most) one
+		// process initial or final.
+		if err := s.checkWOFAt(c, res, func() machine.Schedule { return pathTo(id) }); err != nil {
+			return nil, err
+		}
+
+		for p := 0; p < c.N(); p++ {
+			if c.Halted(p) {
+				continue
+			}
+			elems := []machine.Elem{machine.PBottom(p)}
+			for _, r := range c.BufferRegs(p) {
+				if c.CanCommit(p, r) {
+					elems = append(elems, machine.PReg(p, r))
+				}
+			}
+			for _, e := range elems {
+				next := c.Clone()
+				if _, took, err := next.Step(e); err != nil {
+					return nil, err
+				} else if !took {
+					continue
+				}
+				sid, fresh, err := intern(next, id, e)
+				if err != nil {
+					return nil, err
+				}
+				nd.succs = append(nd.succs, sid)
+				if fresh {
+					work = append(work, sid)
+				}
+			}
+		}
+	}
+	res.States = len(nodes)
+
+	stuckPath := func(id int) machine.Schedule { return pathTo(id) }
+
+	// Reverse reachability from terminal states.
+	pred := make([][]int, len(nodes))
+	for id, nd := range nodes {
+		for _, sid := range nd.succs {
+			pred[sid] = append(pred[sid], id)
+		}
+	}
+	canFinish := make([]bool, len(nodes))
+	var queue []int
+	for id, nd := range nodes {
+		if nd.term {
+			canFinish[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, pid := range pred[id] {
+			if !canFinish[pid] {
+				canFinish[pid] = true
+				queue = append(queue, pid)
+			}
+		}
+	}
+	res.DeadlockFree = true
+	for id := range nodes {
+		if !canFinish[id] {
+			res.DeadlockFree = false
+			res.StuckStates++
+			if res.StuckWitness == nil {
+				res.StuckWitness = stuckPath(id)
+				if res.StuckWitness == nil {
+					res.StuckWitness = machine.Schedule{}
+				}
+			}
+		}
+	}
+	if !res.Complete {
+		// With a truncated graph, absence of stuck states proves nothing.
+		res.DeadlockFree = false
+	}
+	res.WeakObstructionFree = res.WOFWitness == nil
+	return res, nil
+}
+
+// checkWOFAt tests the weak obstruction-freedom condition at one state;
+// path lazily reconstructs the schedule for the witness.
+func (s *Subject) checkWOFAt(c *machine.Config, res *ProgressResult, path func() machine.Schedule) error {
+	if res.WOFWitness != nil {
+		return nil
+	}
+	// The paper's condition quantifies over every process p such that all
+	// *other* processes are initial or final. With at most one
+	// mid-execution process, that process must solo-terminate; if all
+	// processes are initial or final, every non-final process must.
+	active := -1
+	for p := 0; p < c.N(); p++ {
+		initial := c.Stats().Steps[p] == 0
+		if c.Halted(p) || initial {
+			continue
+		}
+		if active >= 0 {
+			return nil // two mid-execution processes: precondition fails
+		}
+		active = p
+	}
+	var candidates []int
+	if active >= 0 {
+		candidates = []int{active}
+	} else {
+		for p := 0; p < c.N(); p++ {
+			if !c.Halted(p) {
+				candidates = append(candidates, p)
+			}
+		}
+	}
+	for _, p := range candidates {
+		clone := c.Clone()
+		halted, err := clone.RunSolo(p, machine.DefaultSoloLimit(c.N()))
+		if err != nil {
+			return err
+		}
+		if !halted {
+			res.WOFWitness = path()
+			if res.WOFWitness == nil {
+				res.WOFWitness = machine.Schedule{}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// String renders a one-line summary.
+func (r *ProgressResult) String() string {
+	return fmt.Sprintf("states=%d complete=%v deadlockFree=%v weakObstructionFree=%v stuck=%d",
+		r.States, r.Complete, r.DeadlockFree, r.WeakObstructionFree, r.StuckStates)
+}

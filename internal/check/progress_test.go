@@ -1,0 +1,153 @@
+package check
+
+import (
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+func progressOf(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) *ProgressResult {
+	t.Helper()
+	s, err := NewMutexSubject(name, ctor, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckProgress(model, 3_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The correct locks satisfy both liveness properties under every model.
+func TestProgressCorrectLocks(t *testing.T) {
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"bakery", locks.NewBakery},
+		{"peterson", locks.NewPeterson},
+		{"tournament", locks.NewTournament},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+				res := progressOf(t, tc.name, tc.ctor, 2, m)
+				if !res.Complete {
+					t.Fatalf("%v: state space not exhausted (%d states)", m, res.States)
+				}
+				if !res.DeadlockFree {
+					t.Errorf("%v: deadlock/livelock found (witness %d elems): %v", m, len(res.StuckWitness), res)
+				}
+				if !res.WeakObstructionFree {
+					t.Errorf("%v: weak obstruction-freedom refuted (witness %d elems)", m, len(res.WOFWitness))
+				}
+			}
+		})
+	}
+}
+
+// A deliberately deadlocking "lock": both processes raise their flag and
+// wait for the other's flag to drop — a classic deadly embrace. The
+// progress checker must find the stuck component (the mutual-wait state
+// cannot reach completion).
+func TestProgressDetectsDeadlock(t *testing.T) {
+	deadlock := func(lay *machine.Layout, name string, n int) (*locks.Algorithm, error) {
+		return locks.NewDeadlockDemo(lay, name, n)
+	}
+	s, err := NewMutexSubject("deadlock", deadlock, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckProgress(machine.PSO, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("state space not exhausted: %d states", res.States)
+	}
+	if res.DeadlockFree {
+		t.Fatal("deadly-embrace lock reported deadlock-free")
+	}
+	if res.StuckStates == 0 || res.StuckWitness == nil {
+		t.Fatalf("no stuck witness: %v", res)
+	}
+	// Weak obstruction-freedom still holds for the deadly embrace (a
+	// process running alone never sees the other's flag raised): deadlock
+	// freedom implies WOF, not conversely — this asymmetry is exactly the
+	// paper's remark in Section 2.
+	if !res.WeakObstructionFree {
+		t.Fatalf("deadly-embrace is WOF (solo runs never block); witness %d elems", len(res.WOFWitness))
+	}
+	// Replaying the stuck witness must produce a state where indeed
+	// nobody can finish: drive it round-robin afterwards and observe no
+	// completion.
+	c, err := s.Build(machine.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(res.StuckWitness); err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.RunRoundRobin(c, 10_000); err != machine.ErrStepLimit {
+		t.Fatalf("expected the stuck state to spin forever, got %v", err)
+	}
+}
+
+// The rendezvous pseudo-lock (wait until the OTHER flag rises) violates
+// weak obstruction-freedom outright: a process running alone spins forever.
+func TestProgressDetectsWOFViolation(t *testing.T) {
+	rendezvous := func(lay *machine.Layout, name string, n int) (*locks.Algorithm, error) {
+		return locks.NewRendezvousDemo(lay, name, n)
+	}
+	s, err := NewMutexSubject("rendezvous", rendezvous, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckProgress(machine.PSO, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeakObstructionFree {
+		t.Fatal("rendezvous lock reported weakly obstruction-free")
+	}
+	// Deadlock freedom fails too (WOF is implied by it), since a solo
+	// prefix that parks one process spinning is reachable... in fact the
+	// pair CAN rendezvous, so completion is reachable from every state
+	// where both still run; but the all-finished state is unreachable
+	// from states where one process already returned and the other has
+	// not passed the rendezvous. Either way the checker must not report
+	// full liveness.
+	if res.DeadlockFree && res.Complete {
+		// A complete graph claiming deadlock freedom would contradict
+		// the WOF violation only if some stuck state existed; accept
+		// either verdict but require the WOF refutation above.
+		t.Log("note: rendezvous pair completes under fair schedules; WOF refutation is the essential result")
+	}
+}
+
+// An incomplete exploration must not claim deadlock freedom.
+func TestProgressTruncatedIsInconclusive(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckProgress(machine.PSO, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("10-state budget cannot exhaust the bakery state space")
+	}
+	if res.DeadlockFree {
+		t.Fatal("truncated exploration must not claim deadlock freedom")
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	res := &ProgressResult{States: 5, Complete: true, DeadlockFree: true, WeakObstructionFree: true}
+	if s := res.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+	"tradingfences/internal/perm"
+)
+
+func benchEncoder(b *testing.B, n int) (*Encoder, func() (*machine.Config, error)) {
+	b.Helper()
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() (*machine.Config, error) {
+		return machine.NewConfig(machine.PSO, lay, obj.Programs())
+	}
+	return &Encoder{Build: build}, build
+}
+
+// BenchmarkEncode measures the full Section 5.2 construction.
+func BenchmarkEncode(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		b.Run(permSize(n), func(b *testing.B) {
+			enc, _ := benchEncoder(b, n)
+			pi := perm.Reverse(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(pi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecode measures a single decode of final stacks (the inner loop
+// of the encoder and the whole of permutation recovery).
+func BenchmarkDecode(b *testing.B) {
+	enc, build := benchEncoder(b, 16)
+	res, err := enc.Encode(perm.Reverse(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		work := make([]*Stack, len(res.Stacks))
+		for j, s := range res.Stacks {
+			work[j] = s.Clone()
+		}
+		if _, err := Decode(cfg, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoloTerminates measures one solo-termination check with cycle
+// detection, the decoder's hot auxiliary.
+func BenchmarkSoloTerminates(b *testing.B) {
+	_, build := benchEncoder(b, 16)
+	cfg, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := soloTerminates(cfg, 0, machine.DefaultSoloLimit(16))
+		if err != nil || !ok {
+			b.Fatalf("solo: %v %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkSerializeStacks measures the bit-exact codec.
+func BenchmarkSerializeStacks(b *testing.B) {
+	enc, _ := benchEncoder(b, 16)
+	res, err := enc.Encode(perm.Identity(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SerializeStacks(res.Stacks)
+	}
+}
+
+func permSize(n int) string {
+	if n == 8 {
+		return "n=8"
+	}
+	return "n=16"
+}

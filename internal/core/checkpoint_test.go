@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+	"tradingfences/internal/perm"
+)
+
+// TestCheckpointEquivalence: the checkpoint-resumed construction must
+// produce bit-identical encodings to the full re-decode construction, for
+// every lock family and a spread of permutations.
+func TestCheckpointEquivalence(t *testing.T) {
+	subjects := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"bakery", locks.NewBakery, 7},
+		{"tournament", locks.NewTournament, 6},
+		{"gt2", gtCtor(2), 7},
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, sub := range subjects {
+		t.Run(sub.name, func(t *testing.T) {
+			pis := []perm.Perm{
+				perm.Identity(sub.n),
+				perm.Reverse(sub.n),
+				perm.Random(sub.n, rng),
+				perm.Random(sub.n, rng),
+			}
+			for _, pi := range pis {
+				encode := func(disable bool) (string, Measurement) {
+					enc, _ := encoderFor(t, sub.ctor, sub.n)
+					enc.DisableCheckpoint = disable
+					res, err := enc.Encode(pi)
+					if err != nil {
+						t.Fatalf("π=%v disable=%v: %v", pi, disable, err)
+					}
+					w := SerializeStacks(res.Stacks)
+					return fmt.Sprintf("%x:%d", w.Bytes(), w.Len()), Measure(res)
+				}
+				fastCode, fastM := encode(false)
+				slowCode, slowM := encode(true)
+				if fastCode != slowCode {
+					t.Fatalf("π=%v: checkpointed code differs from full-decode code", pi)
+				}
+				if fastM.Fences != slowM.Fences || fastM.RMRs != slowM.RMRs || fastM.Steps != slowM.Steps {
+					t.Fatalf("π=%v: measurements diverge: %+v vs %+v", pi, fastM, slowM)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointEquivalenceWithHiddenCommits exercises the resume path
+// through the wait-hidden-commit machinery.
+func TestCheckpointEquivalenceWithHiddenCommits(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewTournament(lay, "lk", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewScratchCount(lay, "scount", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*machine.Config, error) {
+		return machine.NewConfig(machine.PSO, lay, obj.Programs())
+	}
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 5; trial++ {
+		pi := perm.Random(5, rng)
+		encode := func(disable bool) string {
+			enc := &Encoder{Build: build, DisableCheckpoint: disable, Verify: true}
+			res, err := enc.Encode(pi)
+			if err != nil {
+				t.Fatalf("π=%v disable=%v: %v", pi, disable, err)
+			}
+			w := SerializeStacks(res.Stacks)
+			return fmt.Sprintf("%x:%d", w.Bytes(), w.Len())
+		}
+		if encode(false) != encode(true) {
+			t.Fatalf("π=%v: divergence", pi)
+		}
+	}
+}
+
+// TestResumeDecodeReusable: a checkpoint can be resumed more than once
+// (the encoder relies on the snapshot not being consumed).
+func TestResumeDecodeReusable(t *testing.T) {
+	enc, build := encoderFor(t, locks.NewBakery, 3)
+	res, err := enc.Encode(perm.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Build a checkpointed decode by hand: empty stacks except p0 with a
+	// proceed; checkpoint for p0 triggers when its proceed pops.
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := []*Stack{{}, {}, {}}
+	stacks[0].PushTop(&Command{Kind: CmdProceed})
+	dec, cp, err := DecodeCheckpointed(cfg, stacks, DecodeOpts{CheckpointProc: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Steps) == 0 {
+		t.Fatal("no steps decoded")
+	}
+	if !cp.valid() {
+		t.Fatal("checkpoint not captured")
+	}
+	r1, _, err := ResumeDecode(cp, 0, &Command{Kind: CmdCommit}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := ResumeDecode(cp, 0, &Command{Kind: CmdCommit}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Steps) != len(r2.Steps) {
+		t.Fatalf("re-resume diverged: %d vs %d steps", len(r1.Steps), len(r2.Steps))
+	}
+}
+
+// TestResumeDecodeErrors covers the misuse paths.
+func TestResumeDecodeErrors(t *testing.T) {
+	if _, _, err := ResumeDecode(&Checkpoint{}, 0, &Command{Kind: CmdProceed}, -1); err == nil {
+		t.Error("invalid checkpoint accepted")
+	}
+	_, build := encoderFor(t, locks.NewBakery, 2)
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := []*Stack{{}, {}}
+	stacks[0].PushTop(&Command{Kind: CmdProceed})
+	stacks[0].AddBottom(&Command{Kind: CmdProceed}) // two commands: never empties after first pop? it does eventually
+	_, cp, err := DecodeCheckpointed(cfg, stacks, DecodeOpts{CheckpointProc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 1's stack was empty from the start: no pop ever occurs, so
+	// no checkpoint is captured.
+	if cp.valid() {
+		t.Error("checkpoint captured for a stack that never popped")
+	}
+}

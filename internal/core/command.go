@@ -1,0 +1,189 @@
+// Package core implements the paper's primary contribution: the
+// information-theoretic machinery of Section 5 that proves the fence/RMR
+// tradeoff. For every permutation π of the processes it constructs a unique
+// execution E_π of an ordering algorithm (Section 5.2's encoding) in which
+// process p_i returns i, represented as per-process command stacks over the
+// five commands of Table 1; a decoder (Section 5.1's rules D1-D3) expands
+// the stacks back into the execution. The code length of the stacks —
+// O(commands) entries whose parameters sum to O(RMRs) — realizes the bound
+//
+//	β(E)·(log(ρ(E)/β(E)) + 1) ∈ Ω(n log n),
+//
+// which the experiment harness checks against the measured β and ρ.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmdKind enumerates the five commands of the paper's Table 1.
+type CmdKind int
+
+// Command kinds.
+const (
+	// CmdProceed lets the process take steps until it is poised at a
+	// fence with a non-empty write buffer (or at its return).
+	CmdProceed CmdKind = iota + 1
+	// CmdCommit lets the process commit all writes in its buffer.
+	CmdCommit
+	// CmdWaitHiddenCommit(k) holds the process until k of its buffered
+	// write steps have been committed "hidden" — immediately overwritten
+	// by commits of earlier processes before anyone reads them.
+	CmdWaitHiddenCommit
+	// CmdWaitReadFinish(k, S) holds the process until k earlier processes
+	// that read registers in its write buffer have finished.
+	CmdWaitReadFinish
+	// CmdWaitLocalFinish(k, S) holds the process until k earlier processes
+	// that accessed its memory segment have finished.
+	CmdWaitLocalFinish
+)
+
+func (k CmdKind) String() string {
+	switch k {
+	case CmdProceed:
+		return "proceed"
+	case CmdCommit:
+		return "commit"
+	case CmdWaitHiddenCommit:
+		return "wait-hidden-commit"
+	case CmdWaitReadFinish:
+		return "wait-read-finish"
+	case CmdWaitLocalFinish:
+		return "wait-local-finish"
+	default:
+		return fmt.Sprintf("CmdKind(%d)", int(k))
+	}
+}
+
+// Command is one stack entry. K is the integer parameter of the three
+// wait-commands (always ≥ 1 when pushed by the encoder); S is the process
+// set the decoder accumulates at run time (always empty in encoder output,
+// exactly as in the paper's construction).
+type Command struct {
+	Kind CmdKind
+	K    int
+	S    map[int]struct{}
+}
+
+// Value returns the command's contribution to the code-length accounting of
+// Section 5.3: 1 for proceed and commit, K for the parameterized commands.
+func (c *Command) Value() int64 {
+	switch c.Kind {
+	case CmdProceed, CmdCommit:
+		return 1
+	default:
+		return int64(c.K)
+	}
+}
+
+// HasParam reports whether the command carries an integer parameter.
+func (c *Command) HasParam() bool {
+	return c.Kind == CmdWaitHiddenCommit || c.Kind == CmdWaitReadFinish || c.Kind == CmdWaitLocalFinish
+}
+
+func (c *Command) addS(p int) {
+	if c.S == nil {
+		c.S = make(map[int]struct{}, 4)
+	}
+	c.S[p] = struct{}{}
+}
+
+func (c *Command) inS(p int) bool {
+	_, ok := c.S[p]
+	return ok
+}
+
+func (c *Command) String() string {
+	switch c.Kind {
+	case CmdProceed, CmdCommit:
+		return c.Kind.String()
+	case CmdWaitHiddenCommit:
+		return fmt.Sprintf("wait-hidden-commit(%d)", c.K)
+	default:
+		if len(c.S) == 0 {
+			return fmt.Sprintf("%s(%d)", c.Kind, c.K)
+		}
+		return fmt.Sprintf("%s(%d,|S|=%d)", c.Kind, c.K, len(c.S))
+	}
+}
+
+// Stack is one process's command stack. The slice's last element is the
+// top (the next command to be consumed); the encoder appends new commands
+// at the bottom (index 0), which the decoder reaches last.
+type Stack struct {
+	cmds []*Command
+}
+
+// Len returns the number of commands on the stack.
+func (s *Stack) Len() int { return len(s.cmds) }
+
+// Empty reports whether the stack has no commands.
+func (s *Stack) Empty() bool { return len(s.cmds) == 0 }
+
+// Top returns the top command, or nil if the stack is empty.
+func (s *Stack) Top() *Command {
+	if len(s.cmds) == 0 {
+		return nil
+	}
+	return s.cmds[len(s.cmds)-1]
+}
+
+// Pop removes and returns the top command. It panics on an empty stack;
+// decoder rules only pop commands they just inspected.
+func (s *Stack) Pop() *Command {
+	c := s.cmds[len(s.cmds)-1]
+	s.cmds = s.cmds[:len(s.cmds)-1]
+	return c
+}
+
+// PushTop pushes a command on top of the stack (used by decoder rules that
+// replace the top command with an updated one).
+func (s *Stack) PushTop(c *Command) { s.cmds = append(s.cmds, c) }
+
+// AddBottom inserts a command at the bottom of the stack — the encoder's
+// only mutation: later-constructed commands are consumed later.
+func (s *Stack) AddBottom(c *Command) {
+	s.cmds = append([]*Command{c}, s.cmds...)
+}
+
+// At returns the command at depth i from the bottom (0 = bottom). Intended
+// for invariant checks and reporting.
+func (s *Stack) At(i int) *Command { return s.cmds[i] }
+
+// Clone returns a deep copy (commands and their S sets).
+func (s *Stack) Clone() *Stack {
+	c := &Stack{cmds: make([]*Command, len(s.cmds))}
+	for i, cmd := range s.cmds {
+		cp := &Command{Kind: cmd.Kind, K: cmd.K}
+		if len(cmd.S) > 0 {
+			cp.S = make(map[int]struct{}, len(cmd.S))
+			for p := range cmd.S {
+				cp.S[p] = struct{}{}
+			}
+		}
+		c.cmds[i] = cp
+	}
+	return c
+}
+
+// Value returns the sum of command values on the stack.
+func (s *Stack) Value() int64 {
+	var v int64
+	for _, c := range s.cmds {
+		v += c.Value()
+	}
+	return v
+}
+
+func (s *Stack) String() string {
+	if len(s.cmds) == 0 {
+		return "[]"
+	}
+	parts := make([]string, 0, len(s.cmds))
+	// Print top to bottom (consumption order).
+	for i := len(s.cmds) - 1; i >= 0; i-- {
+		parts = append(parts, s.cmds[i].String())
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

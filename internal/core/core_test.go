@@ -1,0 +1,570 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/bits"
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+	"tradingfences/internal/perm"
+)
+
+// encoderFor builds an Encoder over Count composed with the given lock, and
+// returns the Build function separately for recovery tests.
+func encoderFor(t *testing.T, ctor locks.Constructor, n int) (*Encoder, func() (*machine.Config, error)) {
+	t.Helper()
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*machine.Config, error) {
+		return machine.NewConfig(machine.PSO, lay, obj.Programs())
+	}
+	return &Encoder{Build: build}, build
+}
+
+func gtCtor(f int) locks.Constructor {
+	return func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+		return locks.NewGT(l, nm, n, f)
+	}
+}
+
+// TestEncodeAllPermutationsN4 runs the full construction for every
+// permutation of [4] over Count/Bakery and checks that the executions are
+// distinguishable: each permutation is reproduced exactly by the decoding.
+func TestEncodeAllPermutationsN4(t *testing.T) {
+	enc, build := encoderFor(t, locks.NewBakery, 4)
+	codes := make(map[string]string)
+	perm.Enumerate(4, func(pi perm.Perm) bool {
+		p := pi.Clone()
+		res, err := enc.Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		// Decode the stacks on a fresh configuration and recover π.
+		cfg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverPermutation(cfg, res.Stacks)
+		if err != nil {
+			t.Fatalf("Recover(%v): %v", p, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip: encoded %v, recovered %v", p, got)
+		}
+		// Record the serialized code; all 24 must be distinct.
+		w := SerializeStacks(res.Stacks)
+		codes[fmt.Sprintf("%x:%d", w.Bytes(), w.Len())] = p.String()
+		return true
+	})
+	if len(codes) != 24 {
+		t.Fatalf("only %d distinct codes for 24 permutations", len(codes))
+	}
+}
+
+// TestEncodeRandomPermutations round-trips random permutations across the
+// lock family at moderate n.
+func TestEncodeRandomPermutations(t *testing.T) {
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"bakery8", locks.NewBakery, 8},
+		{"gt2-9", gtCtor(2), 9},
+		{"gt3-8", gtCtor(3), 8},
+		{"tournament8", locks.NewTournament, 8},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			enc, build := encoderFor(t, c.ctor, c.n)
+			for trial := 0; trial < 3; trial++ {
+				pi := perm.Random(c.n, rng)
+				res, err := enc.Encode(pi)
+				if err != nil {
+					t.Fatalf("Encode(%v): %v", pi, err)
+				}
+				cfg, err := build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RecoverPermutation(cfg, res.Stacks)
+				if err != nil {
+					t.Fatalf("Recover(%v): %v", pi, err)
+				}
+				if !got.Equal(pi) {
+					t.Fatalf("round trip: %v -> %v", pi, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSerializationRoundTrip checks the bit-exact stack codec against the
+// measured BitLen.
+func TestSerializationRoundTrip(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 6)
+	pi := perm.Perm{3, 0, 5, 1, 4, 2}
+	res, err := enc.Encode(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(res)
+	w := SerializeStacks(res.Stacks)
+	if w.Len() != m.BitLen {
+		t.Fatalf("serialized %d bits, Measure reported %d", w.Len(), m.BitLen)
+	}
+	back, err := DeserializeStacks(bits.NewReader(w.Bytes(), w.Len()), len(pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range back {
+		if back[p].Len() != res.Stacks[p].Len() {
+			t.Fatalf("stack %d: %d commands after round trip, want %d", p, back[p].Len(), res.Stacks[p].Len())
+		}
+		for i := 0; i < back[p].Len(); i++ {
+			a, b := back[p].At(i), res.Stacks[p].At(i)
+			if a.Kind != b.Kind || a.K != b.K {
+				t.Fatalf("stack %d cmd %d: %v != %v", p, i, a, b)
+			}
+		}
+	}
+}
+
+// TestDeserializedStacksDecode feeds the deserialized (bit-level) stacks to
+// the decoder and recovers the permutation — the complete code path of the
+// counting argument: π → stacks → bits → stacks → execution → π.
+func TestDeserializedStacksDecode(t *testing.T) {
+	enc, build := encoderFor(t, gtCtor(2), 6)
+	pi := perm.Perm{5, 2, 0, 4, 1, 3}
+	res, err := enc.Encode(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := SerializeStacks(res.Stacks)
+	back, err := DeserializeStacks(bits.NewReader(w.Bytes(), w.Len()), len(pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecoverPermutation(cfg, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(pi) {
+		t.Fatalf("bit-level round trip: %v -> %v", pi, got)
+	}
+}
+
+// TestTable1OnlyFiveCommands asserts the encoder emits exactly the command
+// vocabulary of the paper's Table 1, with parameters only where Table 1
+// has them.
+func TestTable1OnlyFiveCommands(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewTournament, 6)
+	res, err := enc.Encode(perm.Perm{2, 4, 0, 5, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range res.Stacks {
+		for i := 0; i < s.Len(); i++ {
+			cmd := s.At(i)
+			switch cmd.Kind {
+			case CmdProceed, CmdCommit:
+				if cmd.K != 0 {
+					t.Errorf("stack %d: %v carries a parameter", p, cmd)
+				}
+			case CmdWaitHiddenCommit, CmdWaitReadFinish, CmdWaitLocalFinish:
+				if cmd.K < 1 {
+					t.Errorf("stack %d: %v has parameter < 1", p, cmd)
+				}
+				if len(cmd.S) != 0 {
+					t.Errorf("stack %d: encoder emitted non-empty S in %v", p, cmd)
+				}
+			default:
+				t.Errorf("stack %d: unknown command kind %v", p, cmd.Kind)
+			}
+		}
+	}
+}
+
+// TestHiddenCommitsExercised: the scratch-count object writes a shared
+// register that earlier processes overwrite and nobody reads; the
+// construction must hide those writes via wait-hidden-commit commands, and
+// the decode must contain actual hidden commit steps.
+func TestHiddenCommitsExercised(t *testing.T) {
+	// The tournament lock is the right substrate: unlike Bakery, whose
+	// wait-local-finish makes every later process wait for all earlier
+	// ones (every process scans C[p]/T[p]), only the sibling accesses a
+	// tournament process's segment, so a later process can race ahead and
+	// buffer its scratch write while earlier processes still run.
+	lay := machine.NewLayout()
+	lk, err := locks.NewTournament(lay, "lk", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewScratchCount(lay, "scount", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() (*machine.Config, error) {
+		return machine.NewConfig(machine.PSO, lay, obj.Programs())
+	}
+	enc := &Encoder{Build: build}
+	sawWHC := false
+	perm.Enumerate(4, func(pi perm.Perm) bool {
+		p := pi.Clone()
+		res, err := enc.Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		// Round trip must hold with hidden commits in play.
+		cfg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverPermutation(cfg, res.Stacks)
+		if err != nil {
+			t.Fatalf("Recover(%v): %v", p, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip with hidden commits: %v -> %v", p, got)
+		}
+		m := Measure(res)
+		if m.PerKind[CmdWaitHiddenCommit] > 0 {
+			if m.HiddenCommits == 0 {
+				t.Fatalf("%v: WHC commands but no hidden commits in the decode", p)
+			}
+			sawWHC = true
+		}
+		return true
+	})
+	if !sawWHC {
+		t.Fatal("no permutation of the scratch-count object used wait-hidden-commit")
+	}
+}
+
+// TestWaitLocalFinishExercised: with Bakery, earlier processes read C[p]
+// and T[p] — registers in p's segment — before p starts, so E1 must fire.
+// Wait-read-finish fires for the tournament object, whose later processes
+// race ahead to unowned node registers that earlier processes then read.
+func TestWaitLocalFinishExercised(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 4)
+	res, err := enc.Encode(perm.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(res)
+	if m.PerKind[CmdWaitLocalFinish] == 0 {
+		t.Fatal("Bakery encoding used no wait-local-finish commands")
+	}
+}
+
+func TestWaitReadFinishExercised(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewTournament, 4)
+	sawWRF := false
+	perm.Enumerate(4, func(pi perm.Perm) bool {
+		res, err := enc.Encode(pi.Clone())
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", pi, err)
+		}
+		if Measure(res).PerKind[CmdWaitReadFinish] > 0 {
+			sawWRF = true
+			return false
+		}
+		return true
+	})
+	if !sawWRF {
+		t.Fatal("no permutation of the tournament object used wait-read-finish")
+	}
+}
+
+// TestStackStructureInvariants checks Lemma 5.1 (I4) and (I10) on final
+// stacks: at most one wait-local-finish per stack, only at the top; below
+// a wait-read-finish only commit; below a wait-hidden-commit only
+// wait-read-finish, proceed or commit; below a commit only proceed.
+func TestStackStructureInvariants(t *testing.T) {
+	subjects := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"bakery", locks.NewBakery, 6},
+		{"tournament", locks.NewTournament, 6},
+		{"gt2", gtCtor(2), 6},
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, sub := range subjects {
+		t.Run(sub.name, func(t *testing.T) {
+			enc, _ := encoderFor(t, sub.ctor, sub.n)
+			for trial := 0; trial < 3; trial++ {
+				pi := perm.Random(sub.n, rng)
+				res, err := enc.Encode(pi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for p, s := range res.Stacks {
+					if err := CheckStackInvariants(s); err != nil {
+						t.Errorf("π=%v stack %d: %v\n%s", pi, p, err, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMeasurementConsistency cross-checks Measure against direct stack
+// inspection.
+func TestMeasurementConsistency(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 5)
+	res, err := enc.Encode(perm.Perm{4, 2, 0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(res)
+	if m.Commands != res.Iterations {
+		t.Errorf("commands %d != iterations %d (one command per iteration)", m.Commands, res.Iterations)
+	}
+	var v int64
+	var cnt int
+	for _, s := range res.Stacks {
+		v += s.Value()
+		cnt += s.Len()
+	}
+	if v != m.ParamSum || cnt != m.Commands {
+		t.Errorf("Measure: v=%d m=%d, direct: v=%d m=%d", m.ParamSum, m.Commands, v, cnt)
+	}
+	if m.Fences <= 0 || m.RMRs <= 0 || m.Steps <= 0 {
+		t.Errorf("non-positive costs: %+v", m)
+	}
+	if m.Bound <= 0 || m.TheoremLHS <= 0 {
+		t.Errorf("non-positive bound values: %+v", m)
+	}
+}
+
+// TestCommandCountTracksFences: (I4)+(I10) imply the number of commands is
+// O(fences + n); check the concrete ratio stays bounded across sizes.
+func TestCommandCountTracksFences(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		enc, _ := encoderFor(t, locks.NewBakery, n)
+		res, err := enc.Encode(perm.Identity(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Measure(res)
+		limit := 4*m.Fences + 8*int64(n)
+		if int64(m.Commands) > limit {
+			t.Errorf("n=%d: %d commands for %d fences (limit %d)", n, m.Commands, m.Fences, limit)
+		}
+	}
+}
+
+// TestParamSumTracksRMRs: the sum of command parameters is O(RMRs + n).
+func TestParamSumTracksRMRs(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		enc, _ := encoderFor(t, locks.NewBakery, n)
+		res, err := enc.Encode(perm.Reverse(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Measure(res)
+		limit := 6*m.RMRs + 8*int64(n)
+		if m.ParamSum > limit {
+			t.Errorf("n=%d: param sum %d for %d RMRs (limit %d)", n, m.ParamSum, m.RMRs, limit)
+		}
+	}
+}
+
+// TestCodeLengthRespectsEntropy: the bit-exact code must be at least
+// log2(n!) bits for SOME permutation (pigeonhole); since our code is
+// deterministic per permutation, check that the maximum over a sample
+// exceeds the entropy bound's leading term — and that the paper's bound
+// expression dominates the measured code length up to a constant.
+func TestCodeLengthRespectsEntropy(t *testing.T) {
+	n := 8
+	enc, _ := encoderFor(t, locks.NewBakery, n)
+	rng := rand.New(rand.NewSource(17))
+	var maxBits int
+	for trial := 0; trial < 6; trial++ {
+		pi := perm.Random(n, rng)
+		res, err := enc.Encode(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Measure(res)
+		if m.BitLen > maxBits {
+			maxBits = m.BitLen
+		}
+		// Equation 7: the code length is O(m·(log(v/m)+1) + n). Allow a
+		// generous constant.
+		limit := 16*m.Bound + 16*float64(n)
+		if float64(m.BitLen) > limit {
+			t.Errorf("π=%v: %d bits exceeds bound %f", pi, m.BitLen, limit)
+		}
+	}
+	if float64(maxBits) < perm.Log2Factorial(n) {
+		t.Errorf("max code length %d bits below entropy %f — codes cannot be injective",
+			maxBits, perm.Log2Factorial(n))
+	}
+}
+
+// TestEncoderRejectsWrongInputs covers the error paths.
+func TestEncoderRejectsWrongInputs(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 4)
+	if _, err := enc.Encode(perm.Perm{0, 0, 1, 2}); err == nil {
+		t.Error("invalid permutation accepted")
+	}
+	if _, err := enc.Encode(perm.Identity(3)); err == nil {
+		t.Error("wrong-size permutation accepted")
+	}
+	// Non-PSO configurations are rejected.
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encTSO := &Encoder{Build: func() (*machine.Config, error) {
+		return machine.NewConfig(machine.TSO, lay, obj.Programs())
+	}}
+	if _, err := encTSO.Encode(perm.Identity(3)); err == nil {
+		t.Error("TSO configuration accepted by encoder")
+	}
+}
+
+// TestNonOrderingAlgorithmDetected: an algorithm whose processes return a
+// constant cannot be ordering; the construction must fail loudly rather
+// than mis-encode.
+func TestNonOrderingAlgorithmDetected(t *testing.T) {
+	prog := lang.NewProgram("const",
+		lang.Write(lang.I(0), lang.Add(lang.PID(), lang.I(1))),
+		lang.Fence(),
+		lang.Return(lang.I(0)), // everyone returns 0
+	)
+	lay := machine.NewLayout()
+	lay.MustAlloc("r", 4, machine.Unowned)
+	progs := []*lang.Program{prog, prog, prog}
+	enc := &Encoder{Build: func() (*machine.Config, error) {
+		return machine.NewConfig(machine.PSO, lay, progs)
+	}}
+	_, err := enc.Encode(perm.Identity(3))
+	if err == nil {
+		t.Fatal("non-ordering algorithm encoded without error")
+	}
+	if !errors.Is(err, ErrNotOrdering) && !errors.Is(err, ErrNotConverged) && !errors.Is(err, ErrDecodeStuck) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+}
+
+// TestOrderingObjectsEncode runs the construction over the other Section 4
+// objects (fetch-and-increment, queue) — the paper's claim that the
+// tradeoff extends to them.
+func TestOrderingObjectsEncode(t *testing.T) {
+	n := 5
+	type objCtor func(lay *machine.Layout, name string, lk *locks.Algorithm) (*objects.Object, error)
+	cases := map[string]objCtor{
+		"fai":   objects.NewFetchAndIncrement,
+		"queue": objects.NewQueueEnqueue,
+	}
+	for name, octor := range cases {
+		t.Run(name, func(t *testing.T) {
+			lay := machine.NewLayout()
+			lk, err := locks.NewBakery(lay, "lk", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, err := octor(lay, name, lk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := &Encoder{Build: func() (*machine.Config, error) {
+				return machine.NewConfig(machine.PSO, lay, obj.Programs())
+			}}
+			pi := perm.Perm{2, 4, 1, 0, 3}
+			res, err := enc.Encode(pi)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			cfg, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RecoverPermutation(cfg, res.Stacks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(pi) {
+				t.Fatalf("round trip: %v -> %v", pi, got)
+			}
+		})
+	}
+}
+
+// TestDecodeEmptyStacks: with all-empty stacks no process may take a step;
+// the decode is the empty execution (rule D3 immediately).
+func TestDecodeEmptyStacks(t *testing.T) {
+	_, build := encoderFor(t, locks.NewBakery, 3)
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := []*Stack{{}, {}, {}}
+	dec, err := Decode(cfg, stacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Steps) != 0 {
+		t.Fatalf("empty stacks produced %d steps", len(dec.Steps))
+	}
+	for p := 0; p < 3; p++ {
+		if dec.EmptyAt[p] != 0 {
+			t.Errorf("EmptyAt[%d] = %d, want 0", p, dec.EmptyAt[p])
+		}
+	}
+}
+
+// TestDecodeStackCountMismatch covers the arity check.
+func TestDecodeStackCountMismatch(t *testing.T) {
+	_, build := encoderFor(t, locks.NewBakery, 3)
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(cfg, []*Stack{{}, {}}); err == nil {
+		t.Fatal("stack/process count mismatch accepted")
+	}
+}
+
+// TestTradeoffLHS covers the bound helper's edge cases.
+func TestTradeoffLHS(t *testing.T) {
+	if got := TradeoffLHS(0, 100); got != 0 {
+		t.Errorf("TradeoffLHS(0,100) = %f", got)
+	}
+	if got := TradeoffLHS(4, 4); got != 4 {
+		t.Errorf("TradeoffLHS(4,4) = %f, want 4 (log term clamps to 0)", got)
+	}
+	if got := TradeoffLHS(2, 8); got != 2*(2+1) {
+		t.Errorf("TradeoffLHS(2,8) = %f, want 6", got)
+	}
+	// r < f clamps rather than going negative.
+	if got := TradeoffLHS(8, 2); got != 8 {
+		t.Errorf("TradeoffLHS(8,2) = %f, want 8", got)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/perm"
+)
+
+// TestEncodeDeterministic: encoding the same permutation twice yields
+// bit-identical codes — the construction has no hidden nondeterminism
+// (map iteration, scheduling ties, etc.).
+func TestEncodeDeterministic(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"bakery", locks.NewBakery},
+		{"tournament", locks.NewTournament},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			pi := perm.Perm{4, 1, 5, 0, 3, 2}
+			runOnce := func() (string, int) {
+				enc, _ := encoderFor(t, mk.ctor, 6)
+				res, err := enc.Encode(pi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := SerializeStacks(res.Stacks)
+				return fmt.Sprintf("%x", w.Bytes()), w.Len()
+			}
+			c1, l1 := runOnce()
+			c2, l2 := runOnce()
+			if c1 != c2 || l1 != l2 {
+				t.Fatalf("encoding nondeterministic: %s/%d vs %s/%d", c1, l1, c2, l2)
+			}
+		})
+	}
+}
+
+// TestMeasurementScaling: for Count over Bakery, the construction's totals
+// scale as the theory predicts — β linear in n, ρ quadratic in n (each of
+// the n processes scans Θ(n) registers).
+func TestMeasurementScaling(t *testing.T) {
+	measure := func(n int) Measurement {
+		enc, _ := encoderFor(t, locks.NewBakery, n)
+		res, err := enc.Encode(perm.Identity(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Measure(res)
+	}
+	m8, m16, m32 := measure(8), measure(16), measure(32)
+
+	// β doubles with n.
+	if r := float64(m16.Fences) / float64(m8.Fences); r < 1.8 || r > 2.2 {
+		t.Errorf("β(16)/β(8) = %f, want ~2", r)
+	}
+	if r := float64(m32.Fences) / float64(m16.Fences); r < 1.8 || r > 2.2 {
+		t.Errorf("β(32)/β(16) = %f, want ~2", r)
+	}
+	// ρ quadruples with n (quadratic).
+	if r := float64(m32.RMRs) / float64(m16.RMRs); r < 3.5 || r > 4.5 {
+		t.Errorf("ρ(32)/ρ(16) = %f, want ~4", r)
+	}
+	// Bit length grows superlinearly but subquadratically (Θ(n log n)
+	// territory once normalized).
+	if m32.BitLen <= 2*m16.BitLen {
+		t.Errorf("bitlen(32)=%d vs bitlen(16)=%d: should more than double", m32.BitLen, m16.BitLen)
+	}
+	if m32.BitLen >= 4*m16.BitLen {
+		t.Errorf("bitlen(32)=%d vs bitlen(16)=%d: should less than quadruple", m32.BitLen, m16.BitLen)
+	}
+}
+
+// TestAllPermsGT2N5: the complete construction round trip for all 120
+// permutations of [5] over GT_2 — the multi-level lock with the richest
+// command mix. Gated behind -short.
+func TestAllPermsGT2N5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120 constructions")
+	}
+	enc, build := encoderFor(t, gtCtor(2), 5)
+	codes := make(map[string]struct{})
+	perm.Enumerate(5, func(pi perm.Perm) bool {
+		p := pi.Clone()
+		res, err := enc.Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		cfg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverPermutation(cfg, res.Stacks)
+		if err != nil {
+			t.Fatalf("Recover(%v): %v", p, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+		w := SerializeStacks(res.Stacks)
+		codes[fmt.Sprintf("%x:%d", w.Bytes(), w.Len())] = struct{}{}
+		return true
+	})
+	if len(codes) != 120 {
+		t.Fatalf("%d distinct codes for 120 permutations", len(codes))
+	}
+}
+
+// TestEncodeWithVerifyLargerN: the invariant-checked construction at a
+// size where all command types are in play. Gated behind -short.
+func TestEncodeWithVerifyLargerN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	enc, _ := encoderFor(t, locks.NewBakery, 24)
+	enc.Verify = true
+	if _, err := enc.Encode(perm.Reverse(24)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/perm"
+)
+
+// ErrNotConverged is returned when the iterative construction fails to
+// complete within its iteration budget.
+var ErrNotConverged = errors.New("core: encoder did not converge")
+
+// ErrNotOrdering is returned when the constructed execution does not return
+// rank i to the i-th process of the permutation — i.e. the algorithm under
+// encoding violates Definition 4.1.
+var ErrNotOrdering = errors.New("core: algorithm is not ordering (ranks not reproduced)")
+
+// Encoder runs the paper's Section 5.2 construction: given a factory for
+// initial configurations of an ordering algorithm, it builds, for a
+// permutation π, the command-stack sequence that uniquely encodes the
+// execution E_π.
+type Encoder struct {
+	// Build returns a fresh initial configuration C_init of the ordering
+	// algorithm for n processes. The encoder requires the PSO model — the
+	// paper's machine.
+	Build func() (*machine.Config, error)
+	// MaxIterations bounds the construction (0 = automatic).
+	MaxIterations int
+	// Verify enables per-iteration validation of the structural
+	// invariants of Lemma 5.1 ((I1), (I2), (I4), (I6), (I10)) and
+	// Claim 5.2 against the decoded execution. Used by the test suite;
+	// costs one extra pass over stacks and processes per iteration.
+	Verify bool
+	// DisableCheckpoint forces a full re-decode from C_init at every
+	// iteration instead of resuming from the previous iteration's
+	// checkpoint (the point where p_τ's stack emptied). Exists for the
+	// equivalence tests and the ablation benchmark.
+	DisableCheckpoint bool
+}
+
+// EncodeResult is the outcome of the construction for one permutation.
+type EncodeResult struct {
+	// Perm is the permutation π that was encoded.
+	Perm perm.Perm
+	// Stacks are the final command stacks, indexed by process ID.
+	Stacks []*Stack
+	// Final is the decode of the final stack sequence: the execution E_π.
+	Final *DecodeResult
+	// Iterations is the number of construction iterations (= total number
+	// of commands, since each iteration adds exactly one).
+	Iterations int
+}
+
+// Encode constructs and encodes E_π for the permutation pi.
+func (e *Encoder) Encode(pi perm.Perm) (*EncodeResult, error) {
+	if !pi.Valid() {
+		return nil, fmt.Errorf("core: %v is not a permutation", pi)
+	}
+	probe, err := e.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := probe.N()
+	if len(pi) != n {
+		return nil, fmt.Errorf("core: permutation over [%d] for %d processes", len(pi), n)
+	}
+	if probe.Model() != machine.PSO {
+		return nil, fmt.Errorf("core: encoder requires the PSO machine, got %v", probe.Model())
+	}
+
+	maxIter := e.MaxIterations
+	if maxIter == 0 {
+		// Each passage contributes O(fences) commands; Bakery-family
+		// algorithms perform O(1)..O(log n) fences per passage plus one
+		// command per process, so this is a generous budget.
+		maxIter = 200*n + 10000
+	}
+
+	// Master stacks: grown monotonically, one command per iteration,
+	// always appended at the bottom of one stack (Section 5.2).
+	master := make([]*Stack, n)
+	for i := range master {
+		master[i] = &Stack{}
+	}
+
+	var dec *DecodeResult
+	var cp *Checkpoint
+	cpOwner := -1 // process the checkpoint was captured for
+	iterations := 0
+	for ; iterations < maxIter; iterations++ {
+		// masterTau: the process that will most likely receive the next
+		// command — the checkpoint target for this decode.
+		masterTau := -1
+		for k := n - 1; k >= 0; k-- {
+			if !master[pi[k]].Empty() {
+				masterTau = pi[k]
+				break
+			}
+		}
+
+		if !e.DisableCheckpoint && cp.valid() && cpOwner == masterTau && cpOwner >= 0 {
+			// Resume from the shared prefix: the command just added sits
+			// at the bottom of cpOwner's stack, which was empty at the
+			// checkpoint.
+			newCmd := master[cpOwner].At(0)
+			var err error
+			dec, cp, err = ResumeDecode(cp, cpOwner, newCmd, cpOwner)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			cfg, err := e.Build()
+			if err != nil {
+				return nil, err
+			}
+			work := make([]*Stack, n)
+			for i := range master {
+				work[i] = master[i].Clone()
+			}
+			dec, cp, err = DecodeCheckpointed(cfg, work, DecodeOpts{CheckpointProc: masterTau})
+			if err != nil {
+				return nil, err
+			}
+			cpOwner = masterTau
+		}
+
+		// τ_i: the largest permutation index whose process has a
+		// non-empty master stack.
+		tau := -1
+		for k := n - 1; k >= 0; k-- {
+			if !master[pi[k]].Empty() {
+				tau = k
+				break
+			}
+		}
+		var ell int
+		if tau == -1 || dec.Config.Halted(pi[tau]) {
+			ell = tau + 1
+		} else {
+			ell = tau
+		}
+
+		if e.Verify {
+			if err := verifyInvariants(pi, master, dec, tau, ell); err != nil {
+				return nil, fmt.Errorf("core: invariant violated at iteration %d: %w", iterations, err)
+			}
+		}
+
+		last := pi[n-1]
+		if dec.Config.Halted(last) {
+			break // construction complete
+		}
+		if ell >= n {
+			return nil, fmt.Errorf("%w: p_{n-1} not final but no process needs commands", ErrDecodeStuck)
+		}
+		pl := pi[ell]
+
+		cmd, err := e.nextCommand(dec, master[pl], pl)
+		if err != nil {
+			return nil, fmt.Errorf("%w (π-position %d, process %d, iteration %d)", err, ell, pl, iterations)
+		}
+		master[pl].AddBottom(cmd)
+	}
+	if iterations >= maxIter {
+		return nil, fmt.Errorf("%w after %d iterations", ErrNotConverged, iterations)
+	}
+
+	// Verify the ordering property (I2): in E_π, process p_k returns k.
+	// This both validates the construction and certifies that π can be
+	// reconstructed from the execution — the heart of the counting
+	// argument.
+	for k := 0; k < n; k++ {
+		p := pi[k]
+		if !dec.Config.Halted(p) {
+			return nil, fmt.Errorf("%w: process %d (π-position %d) never finished", ErrNotOrdering, p, k)
+		}
+		if got := dec.Config.ReturnValue(p); got != int64(k) {
+			return nil, fmt.Errorf("%w: process %d returned %d, want rank %d", ErrNotOrdering, p, got, k)
+		}
+	}
+
+	return &EncodeResult{
+		Perm:       pi.Clone(),
+		Stacks:     master,
+		Final:      dec,
+		Iterations: iterations,
+	}, nil
+}
+
+// nextCommand determines cmd_{i+1} for process pl per cases E1/E2a/E2b.
+func (e *Encoder) nextCommand(dec *DecodeResult, masterStack *Stack, pl int) (*Command, error) {
+	cfg := dec.Config
+
+	// Case E1: pl has no commands yet and λ > 0 earlier processes
+	// accessed registers in pl's memory segment during E_i.
+	if masterStack.Empty() {
+		accessors := make(map[int]struct{})
+		for _, s := range dec.Steps {
+			if s.P == pl || s.SegOwner != pl {
+				continue
+			}
+			if (s.Kind == machine.StepRead && s.FromMemory) || s.Kind == machine.StepCommit {
+				accessors[s.P] = struct{}{}
+			}
+		}
+		if len(accessors) > 0 {
+			return &Command{Kind: CmdWaitLocalFinish, K: len(accessors)}, nil
+		}
+	}
+
+	if cfg.Halted(pl) {
+		return nil, fmt.Errorf("nextCommand for finished process %d", pl)
+	}
+	op, ok, err := cfg.NextOp(pl)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("nextCommand: process %d has no pending operation", pl)
+	}
+
+	// Case E2a: pl is not blocked at a fence with a non-empty buffer.
+	if op.Kind != lang.OpFence || cfg.BufferLen(pl) == 0 {
+		return &Command{Kind: CmdProceed}, nil
+	}
+
+	// Case E2b: pl is poised at a fence with buffered writes. Analyze the
+	// postfix E** of the decoded execution after pl's stack first became
+	// empty.
+	emptyAt := dec.EmptyAt[pl]
+	if emptyAt < 0 {
+		return nil, fmt.Errorf("process %d blocked at fence but its stack never emptied", pl)
+	}
+	wb := make(map[machine.Reg]struct{})
+	for _, r := range cfg.BufferRegs(pl) {
+		wb[r] = struct{}{}
+	}
+	hiddenRegs := make(map[machine.Reg]struct{})
+	readers := make(map[int]struct{})
+	for _, s := range dec.Steps[emptyAt:] {
+		if s.P == pl {
+			continue
+		}
+		if _, inWB := wb[s.Reg]; !inWB {
+			continue
+		}
+		switch {
+		case s.Kind == machine.StepCommit:
+			hiddenRegs[s.Reg] = struct{}{}
+		case s.Kind == machine.StepRead && s.FromMemory:
+			readers[s.P] = struct{}{}
+		}
+	}
+	switch {
+	case len(hiddenRegs) > 0:
+		return &Command{Kind: CmdWaitHiddenCommit, K: len(hiddenRegs)}, nil
+	case len(readers) > 0:
+		return &Command{Kind: CmdWaitReadFinish, K: len(readers)}, nil
+	default:
+		return &Command{Kind: CmdCommit}, nil
+	}
+}

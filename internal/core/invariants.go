@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"tradingfences/internal/perm"
+)
+
+// CheckStackInvariants verifies the structural properties of Lemma 5.1 on a
+// single final command stack:
+//
+//	(I4)  at most one wait-local-finish command, and only at the top;
+//	(I10) below a wait-read-finish there can only be a commit command;
+//	      below a wait-hidden-commit only a wait-read-finish, proceed or
+//	      commit; and below a commit only a proceed.
+//
+// These invariants are what bounds the number of commands by the number of
+// fences (Lemma 5.11): excluding the single wait-local-finish, at least
+// every fourth command is a proceed, and proceeds are consumed only at
+// fence or return boundaries.
+// verifyInvariants validates the decoded execution of the master stacks
+// against the structural properties of Lemma 5.1 and Claim 5.2 at one
+// encoder iteration: tau is the largest π-index with a non-empty master
+// stack (-1 if none) and ell the index selected by Equation 3.
+func verifyInvariants(pi perm.Perm, master []*Stack, dec *DecodeResult, tau, ell int) error {
+	n := len(pi)
+	cfg := dec.Config
+	steps := cfg.Stats().Steps
+
+	// (I1): stack of p_k is empty iff k > tau.
+	for k := 0; k < n; k++ {
+		if empty := master[pi[k]].Empty(); empty != (k > tau) {
+			return fmt.Errorf("(I1): stack of π-position %d empty=%v with τ=%d", k, empty, tau)
+		}
+	}
+
+	// (I2): p_k final with value k for k < τ; initial (no steps) for
+	// k > τ; and any final process has value = its π-position.
+	for k := 0; k < n; k++ {
+		p := pi[k]
+		switch {
+		case k < tau:
+			if !cfg.Halted(p) {
+				return fmt.Errorf("(I2): π-position %d (process %d) not final with τ=%d", k, p, tau)
+			}
+		case k > tau:
+			if steps[p] != 0 {
+				return fmt.Errorf("(I2): π-position %d (process %d) took %d steps with τ=%d", k, p, steps[p], tau)
+			}
+		}
+		if cfg.Halted(p) && cfg.ReturnValue(p) != int64(k) {
+			return fmt.Errorf("(I2): final process %d returned %d, want π-position %d", p, cfg.ReturnValue(p), k)
+		}
+	}
+
+	// (I6): the decode consumed p_τ's stack completely.
+	if tau >= 0 && dec.EmptyAt[pi[tau]] < 0 {
+		return fmt.Errorf("(I6): p_τ's stack (process %d) never emptied during the decode", pi[tau])
+	}
+
+	// Claim 5.2: all write buffers except possibly p_ℓ's are empty.
+	for p := 0; p < n; p++ {
+		if ell < n && p == pi[ell] {
+			continue
+		}
+		if cfg.BufferLen(p) != 0 {
+			return fmt.Errorf("claim 5.2: process %d has %d buffered writes (ℓ=%d)", p, cfg.BufferLen(p), ell)
+		}
+	}
+
+	// (I4)/(I10): structural stack invariants.
+	for p, s := range master {
+		if err := CheckStackInvariants(s); err != nil {
+			return fmt.Errorf("stack of process %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+func CheckStackInvariants(s *Stack) error {
+	wlf := 0
+	for i := 0; i < s.Len(); i++ { // i = 0 is the bottom
+		cmd := s.At(i)
+		if cmd.Kind == CmdWaitLocalFinish {
+			wlf++
+			if wlf > 1 {
+				return fmt.Errorf("more than one wait-local-finish (I4)")
+			}
+			if i != s.Len()-1 {
+				return fmt.Errorf("wait-local-finish not at the top (I4)")
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		below := s.At(i - 1) // the command below cmd
+		switch cmd.Kind {
+		case CmdWaitReadFinish:
+			if below.Kind != CmdCommit {
+				return fmt.Errorf("%v below wait-read-finish, want commit (I10)", below.Kind)
+			}
+		case CmdWaitHiddenCommit:
+			switch below.Kind {
+			case CmdWaitReadFinish, CmdProceed, CmdCommit:
+			default:
+				return fmt.Errorf("%v below wait-hidden-commit (I10)", below.Kind)
+			}
+		case CmdCommit:
+			if below.Kind != CmdProceed {
+				return fmt.Errorf("%v below commit, want proceed (I10)", below.Kind)
+			}
+		}
+	}
+	return nil
+}

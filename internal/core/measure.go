@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tradingfences/internal/bits"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/perm"
+)
+
+// CommandTagBits is the fixed cost of a command tag in the bit-exact
+// encoding: five command kinds fit in 3 bits.
+const CommandTagBits = 3
+
+// Measurement aggregates, for one encoded execution E_π, everything
+// Theorem 4.2 relates: the fence count β(E), the remote-step count ρ(E),
+// the command count m, the parameter-value sum v, and the bit-exact length
+// of the stack encoding.
+type Measurement struct {
+	N int
+	// Fences is β(E_π): total fence steps in the constructed execution.
+	Fences int64
+	// RMRs is ρ(E_π): total remote steps.
+	RMRs int64
+	// Steps is the total step count of E_π.
+	Steps int64
+	// HiddenCommits counts commits executed by waiting processes.
+	HiddenCommits int64
+	// Commands is m: the total number of commands across all stacks.
+	Commands int
+	// ParamSum is v: the sum of command values (1 for proceed/commit, k
+	// for the parameterized commands).
+	ParamSum int64
+	// PerKind counts commands by kind (the Table 1 census).
+	PerKind map[CmdKind]int
+	// BitLen is the bit-exact code length: per command a 3-bit tag plus
+	// the Elias-gamma code of its parameter, plus a 3-bit end marker per
+	// process stack (so stack boundaries are self-delimiting).
+	BitLen int
+	// Bound is m·(log2(v/m) + 1), the paper's upper bound on the code
+	// length up to constants (Section 5.3.4, Equation 7).
+	Bound float64
+	// TheoremLHS is β·(log2(ρ/β) + 1), the left side of Theorem 4.2.
+	TheoremLHS float64
+	// InfoContent is log2(n!), the information-theoretic requirement.
+	InfoContent float64
+}
+
+// Measure computes the measurement for an encoding result.
+func Measure(res *EncodeResult) Measurement {
+	n := len(res.Perm)
+	st := res.Final.Config.Stats()
+	m := Measurement{
+		N:           n,
+		Fences:      st.TotalFences(),
+		RMRs:        st.TotalRMRs(),
+		Steps:       st.TotalSteps(),
+		PerKind:     make(map[CmdKind]int),
+		InfoContent: perm.Log2Factorial(n),
+	}
+	for _, h := range res.Final.Hidden {
+		if h {
+			m.HiddenCommits++
+		}
+	}
+	for _, stack := range res.Stacks {
+		m.BitLen += CommandTagBits // end-of-stack marker
+		for i := 0; i < stack.Len(); i++ {
+			cmd := stack.At(i)
+			m.Commands++
+			m.ParamSum += cmd.Value()
+			m.PerKind[cmd.Kind]++
+			m.BitLen += CommandTagBits
+			if cmd.HasParam() {
+				m.BitLen += bits.GammaLen(uint64(cmd.K))
+			}
+		}
+	}
+	m.Bound = boundFn(float64(m.Commands), float64(m.ParamSum))
+	m.TheoremLHS = boundFn(float64(m.Fences), float64(m.RMRs))
+	return m
+}
+
+// boundFn computes a·(log2(b/a) + 1), the functional form of both the code
+// length bound and the theorem's left side, with the degenerate cases
+// handled (a = 0 yields 0; b < a clamps the log at 0).
+func boundFn(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	l := 0.0
+	if b > a {
+		l = math.Log2(b / a)
+	}
+	return a * (l + 1)
+}
+
+// TradeoffLHS computes f·(log2(r/f)+1) for per-passage counts — the
+// per-process form of Equation 1 used by the sweep experiments.
+func TradeoffLHS(fences, rmrs float64) float64 { return boundFn(fences, rmrs) }
+
+// SerializeStacks emits the bit-exact encoding of the stacks: for each
+// process in ID order, its commands from bottom to top, each as a 3-bit
+// tag plus (for parameterized commands) the Elias-gamma code of k, then an
+// end-of-stack marker. DeserializeStacks inverts it; together they certify
+// that BitLen is achievable, not just an estimate.
+func SerializeStacks(stacks []*Stack) *bits.Writer {
+	var w bits.Writer
+	for _, s := range stacks {
+		for i := 0; i < s.Len(); i++ {
+			cmd := s.At(i)
+			w.WriteBits(uint64(cmd.Kind), CommandTagBits)
+			if cmd.HasParam() {
+				// K >= 1 always; the encoder never emits k = 0.
+				_ = w.WriteGamma(uint64(cmd.K))
+			}
+		}
+		w.WriteBits(0, CommandTagBits) // end marker
+	}
+	return &w
+}
+
+// DeserializeStacks parses the output of SerializeStacks back into n
+// command stacks.
+func DeserializeStacks(r *bits.Reader, n int) ([]*Stack, error) {
+	stacks := make([]*Stack, n)
+	for p := 0; p < n; p++ {
+		s := &Stack{}
+		for {
+			tag, err := r.ReadBits(CommandTagBits)
+			if err != nil {
+				return nil, fmt.Errorf("core: stack %d: %w", p, err)
+			}
+			if tag == 0 {
+				break
+			}
+			kind := CmdKind(tag)
+			cmd := &Command{Kind: kind}
+			switch kind {
+			case CmdProceed, CmdCommit:
+			case CmdWaitHiddenCommit, CmdWaitReadFinish, CmdWaitLocalFinish:
+				k, err := r.ReadGamma()
+				if err != nil {
+					return nil, fmt.Errorf("core: stack %d param: %w", p, err)
+				}
+				cmd.K = int(k)
+			default:
+				return nil, fmt.Errorf("core: stack %d: invalid command tag %d", p, tag)
+			}
+			// Commands were serialized bottom-to-top; re-adding each at
+			// the bottom reverses twice, so push on top instead to keep
+			// bottom-to-top order.
+			s.PushTop(cmd)
+		}
+		stacks[p] = s
+	}
+	return stacks, nil
+}
+
+// RecoverPermutation decodes the execution determined by stacks from a
+// fresh configuration and reads the permutation off the return values:
+// the process returning rank k is p_k. This is the decoding direction of
+// the counting argument — stacks → execution → permutation.
+func RecoverPermutation(cfg *machine.Config, stacks []*Stack) (perm.Perm, error) {
+	work := make([]*Stack, len(stacks))
+	for i, s := range stacks {
+		work[i] = s.Clone()
+	}
+	dec, err := Decode(cfg, work)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.N()
+	pi := make(perm.Perm, n)
+	seen := make([]bool, n)
+	for p := 0; p < n; p++ {
+		if !dec.Config.Halted(p) {
+			return nil, fmt.Errorf("core: process %d did not finish during recovery", p)
+		}
+		k := dec.Config.ReturnValue(p)
+		if k < 0 || k >= int64(n) || seen[k] {
+			return nil, fmt.Errorf("core: return values do not form a permutation (process %d returned %d)", p, k)
+		}
+		seen[k] = true
+		pi[k] = p
+	}
+	return pi, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/bits"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/perm"
+)
+
+// TestDecodeGarbageStacksTerminates feeds randomly generated stacks to the
+// decoder: every decode must terminate (rule D3 fires once all processes
+// are waiting) without error or hang, and RecoverPermutation must reject
+// the incomplete executions rather than fabricate a permutation.
+func TestDecodeGarbageStacksTerminates(t *testing.T) {
+	_, build := encoderFor(t, locks.NewBakery, 4)
+	rng := rand.New(rand.NewSource(6))
+	kinds := []CmdKind{CmdProceed, CmdCommit, CmdWaitHiddenCommit, CmdWaitReadFinish, CmdWaitLocalFinish}
+	for trial := 0; trial < 25; trial++ {
+		stacks := make([]*Stack, 4)
+		for p := range stacks {
+			stacks[p] = &Stack{}
+			for k := 0; k < rng.Intn(6); k++ {
+				kind := kinds[rng.Intn(len(kinds))]
+				cmd := &Command{Kind: kind}
+				if cmd.HasParam() {
+					cmd.K = 1 + rng.Intn(4)
+				}
+				stacks[p].AddBottom(cmd)
+			}
+		}
+		cfg, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(cfg, stacks)
+		if err != nil {
+			t.Fatalf("trial %d: decode errored on garbage stacks: %v", trial, err)
+		}
+		// Bookkeeping stays consistent even for partial executions.
+		if got := int64(len(dec.Steps)); got != dec.Config.Stats().TotalSteps() {
+			t.Fatalf("trial %d: %d recorded steps vs %d counted", trial, got, dec.Config.Stats().TotalSteps())
+		}
+	}
+}
+
+// TestRecoverRejectsGarbageStacks: permutation recovery from stacks that
+// do not complete the execution must error.
+func TestRecoverRejectsGarbageStacks(t *testing.T) {
+	_, build := encoderFor(t, locks.NewBakery, 3)
+	// One lonely proceed for process 0: it stalls at its first fence and
+	// nobody else ever moves.
+	stacks := []*Stack{{}, {}, {}}
+	stacks[0].AddBottom(&Command{Kind: CmdProceed})
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverPermutation(cfg, stacks); err == nil {
+		t.Fatal("recovery succeeded on incomplete stacks")
+	}
+}
+
+// TestRecoverRejectsTruncatedCode: bit-level corruption surfaces as a
+// decode error, not a wrong permutation.
+func TestRecoverRejectsTruncatedCode(t *testing.T) {
+	enc, build := encoderFor(t, locks.NewBakery, 4)
+	res, err := enc.Encode(perm.Reverse(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := SerializeStacks(res.Stacks)
+	// Truncate the stream: deserialization must fail.
+	if _, err := DeserializeStacks(bits.NewReader(w.Bytes(), w.Len()/2), 4); err == nil {
+		// Truncation can land on a stack boundary; then fewer commands
+		// decode but the stream must at least run out for 4 stacks.
+		t.Fatal("truncated code accepted")
+	}
+	_ = build
+}
+
+// TestDeserializeRejectsBadTag: invalid command tags are rejected.
+func TestDeserializeRejectsBadTag(t *testing.T) {
+	var w bits.Writer
+	w.WriteBits(7, CommandTagBits) // 7 is not a command kind
+	w.WriteBits(0, CommandTagBits)
+	if _, err := DeserializeStacks(bits.NewReader(w.Bytes(), w.Len()), 1); err == nil {
+		t.Fatal("invalid tag accepted")
+	}
+}
+
+// TestDecodeWithLeftoverCommandsKeepsStats: a decode that ends with
+// unconsumed commands still reports consistent bookkeeping.
+func TestDecodeWithLeftoverCommandsKeepsStats(t *testing.T) {
+	_, build := encoderFor(t, locks.NewBakery, 3)
+	stacks := []*Stack{{}, {}, {}}
+	// wait-local-finish that can never be satisfied (no accessors exist).
+	stacks[1].AddBottom(&Command{Kind: CmdWaitLocalFinish, K: 2})
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(cfg, stacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Steps) != 0 {
+		t.Fatalf("unsatisfiable wait produced %d steps", len(dec.Steps))
+	}
+	if dec.EmptyAt[1] != -1 {
+		t.Fatalf("EmptyAt[1] = %d for a never-consumed stack", dec.EmptyAt[1])
+	}
+}

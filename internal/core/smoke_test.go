@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+	"tradingfences/internal/perm"
+)
+
+// buildCountEncoder returns an Encoder over Count-on-lock for n processes.
+func buildCountEncoder(t *testing.T, ctor locks.Constructor, n int) *Encoder {
+	t.Helper()
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Encoder{
+		Build: func() (*machine.Config, error) {
+			return machine.NewConfig(machine.PSO, lay, obj.Programs())
+		},
+	}
+}
+
+func TestEncodeSmokeIdentity(t *testing.T) {
+	enc := buildCountEncoder(t, locks.NewBakery, 4)
+	res, err := enc.Encode(perm.Identity(4))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m := Measure(res)
+	t.Logf("n=4 identity: iterations=%d commands=%d paramSum=%d fences=%d rmrs=%d bits=%d steps=%d",
+		res.Iterations, m.Commands, m.ParamSum, m.Fences, m.RMRs, m.BitLen, m.Steps)
+	if m.Commands == 0 || m.Fences == 0 {
+		t.Fatal("degenerate measurement")
+	}
+}
+
+func TestEncodeSmokeReverse(t *testing.T) {
+	enc := buildCountEncoder(t, locks.NewBakery, 4)
+	res, err := enc.Encode(perm.Reverse(4))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m := Measure(res)
+	t.Logf("n=4 reverse: iterations=%d commands=%d paramSum=%d fences=%d rmrs=%d hidden=%d",
+		res.Iterations, m.Commands, m.ParamSum, m.Fences, m.RMRs, m.HiddenCommits)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+	"tradingfences/internal/perm"
+)
+
+// TestEncoderVerifyMode runs the construction with per-iteration
+// validation of Lemma 5.1 ((I1), (I2), (I4), (I6), (I10)) and Claim 5.2.
+// A failure here means the implementation of the decoding or encoding
+// rules diverged from the paper's.
+func TestEncoderVerifyMode(t *testing.T) {
+	subjects := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"bakery", locks.NewBakery, 6},
+		{"tournament", locks.NewTournament, 5},
+		{"gt2", gtCtor(2), 6},
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, sub := range subjects {
+		t.Run(sub.name, func(t *testing.T) {
+			enc, _ := encoderFor(t, sub.ctor, sub.n)
+			enc.Verify = true
+			pis := []perm.Perm{
+				perm.Identity(sub.n),
+				perm.Reverse(sub.n),
+				perm.Random(sub.n, rng),
+			}
+			for _, pi := range pis {
+				if _, err := enc.Encode(pi); err != nil {
+					t.Fatalf("π=%v: %v", pi, err)
+				}
+			}
+		})
+	}
+}
+
+// TestConstructedExecutionsPassAudit: the executions E_π built by the
+// Section 5.2 construction must obey the machine's write-buffer discipline
+// (independent shadow-buffer audit).
+func TestConstructedExecutionsPassAudit(t *testing.T) {
+	subjects := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"bakery", locks.NewBakery, 6},
+		{"tournament", locks.NewTournament, 5},
+		{"gt2", gtCtor(2), 6},
+	}
+	rng := rand.New(rand.NewSource(51))
+	for _, sub := range subjects {
+		t.Run(sub.name, func(t *testing.T) {
+			enc, _ := encoderFor(t, sub.ctor, sub.n)
+			for trial := 0; trial < 3; trial++ {
+				pi := perm.Random(sub.n, rng)
+				res, err := enc.Encode(pi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := &machine.Trace{Steps: res.Final.Steps}
+				if err := machine.AuditTrace(tr, machine.PSO, sub.n); err != nil {
+					t.Fatalf("π=%v: %v", pi, err)
+				}
+			}
+		})
+	}
+}
+
+// TestEncoderVerifyWithHiddenCommits runs verification on the stressor
+// that exercises the hidden-commit decoding path.
+func TestEncoderVerifyWithHiddenCommits(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewTournament(lay, "lk", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewScratchCount(lay, "scount", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &Encoder{
+		Build: func() (*machine.Config, error) {
+			return machine.NewConfig(machine.PSO, lay, obj.Programs())
+		},
+		Verify: true,
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		pi := perm.Random(5, rng)
+		if _, err := enc.Encode(pi); err != nil {
+			t.Fatalf("π=%v: %v", pi, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchProgram is a loop-heavy program: n iterations of read-modify-write
+// over locals plus one shared read per iteration.
+func benchProgram(iters int64) *Program {
+	return NewProgram("bench",
+		Assign("i", I(0)),
+		Assign("acc", I(0)),
+		While(Lt(L("i"), I(iters)),
+			Read("v", Add(I(100), Mod(L("i"), I(8)))),
+			Assign("acc", Add(L("acc"), L("v"))),
+			Assign("i", Add(L("i"), I(1))),
+		),
+		Return(L("acc")),
+	)
+}
+
+// drive runs a ProcState to completion against a trivial memory.
+func drive(b *testing.B, s *ProcState) Value {
+	for {
+		op, ok, err := s.NextOp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return s.ReturnValue()
+		}
+		switch op.Kind {
+		case OpRead:
+			if err := s.CompleteRead(op.Reg); err != nil {
+				b.Fatal(err)
+			}
+		case OpWrite:
+			if err := s.CompleteWrite(); err != nil {
+				b.Fatal(err)
+			}
+		case OpFence:
+			if err := s.CompleteFence(); err != nil {
+				b.Fatal(err)
+			}
+		case OpReturn:
+			if err := s.CompleteReturn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInterpLoop measures interpreter throughput on local computation
+// plus shared-read settling.
+func BenchmarkInterpLoop(b *testing.B) {
+	prog := benchProgram(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewProcState(prog, 0, 1)
+		drive(b, s)
+	}
+}
+
+// BenchmarkProcStateClone measures the cost of snapshotting a mid-loop
+// process state — the primitive the model checker and encoder lean on.
+func BenchmarkProcStateClone(b *testing.B) {
+	prog := benchProgram(1000)
+	s := NewProcState(prog, 0, 1)
+	// Advance into the loop so the state is representative.
+	for k := 0; k < 10; k++ {
+		op, ok, err := s.NextOp()
+		if err != nil || !ok || op.Kind != OpRead {
+			b.Fatalf("setup: %v %v %v", op, ok, err)
+		}
+		if err := s.CompleteRead(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+// BenchmarkFingerprint measures the canonical-state encoding used for
+// visited-set pruning.
+func BenchmarkFingerprint(b *testing.B) {
+	prog := benchProgram(1000)
+	s := NewProcState(prog, 0, 1)
+	for k := 0; k < 10; k++ {
+		if err := s.CompleteRead(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		s.AppendFingerprint(&sb)
+	}
+}

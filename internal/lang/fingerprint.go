@@ -1,0 +1,43 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AppendFingerprint writes a canonical encoding of the process's control
+// state — program position, loop nesting, locals, and final value — into b.
+// Two states with equal fingerprints behave identically under identical
+// future schedules, which is what the model checker's visited-state pruning
+// relies on. Callers must settle the state first (call NextOp) so that
+// pending local computation does not make semantically equal states look
+// different.
+func (s *ProcState) AppendFingerprint(b *strings.Builder) {
+	if s.halted {
+		fmt.Fprintf(b, "H%d", s.retValue)
+		return
+	}
+	for _, f := range s.frames {
+		// The statement slice's identity (its backing array) uniquely
+		// identifies the program point, since ASTs are immutable and
+		// shared.
+		if len(f.stmts) > 0 {
+			fmt.Fprintf(b, "|%p:%d", &f.stmts[0], f.idx)
+		} else {
+			fmt.Fprintf(b, "|e:%d", f.idx)
+		}
+		if f.loop != nil {
+			fmt.Fprintf(b, "L%p", f.loop)
+		}
+	}
+	b.WriteByte(';')
+	names := make([]string, 0, len(s.env.Locals))
+	for k := range s.env.Locals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(b, "%s=%d,", k, s.env.Locals[k])
+	}
+}

@@ -1,0 +1,109 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders the program as an indented listing, one statement per
+// line — the form used by the CLI tools' -dump flags and by test failure
+// output. The rendering is stable: formatting the same program twice
+// yields identical text.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s {\n", p.Name)
+	formatBlock(&b, p.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatBlock(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if %s {\n", s.Cond)
+		formatBlock(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("} else {\n")
+			formatBlock(b, s.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while %s {\n", s.Cond)
+		formatBlock(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	default:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s\n", s)
+	}
+}
+
+// Analysis summarizes a program's static structure.
+type Analysis struct {
+	// Reads, Writes, Fences and Returns count statement occurrences
+	// (static, not dynamic: a read inside a loop counts once).
+	Reads, Writes, Fences, Returns int
+	// Assigns counts local-computation statements.
+	Assigns int
+	// Locals lists the local variables assigned or read into, sorted.
+	Locals []string
+	// MaxLoopDepth is the deepest loop nesting.
+	MaxLoopDepth int
+}
+
+// Analyze computes the static summary of a program.
+func Analyze(p *Program) Analysis {
+	a := Analysis{}
+	locals := make(map[string]struct{})
+	var walk func(stmts []Stmt, loopDepth int)
+	walk = func(stmts []Stmt, loopDepth int) {
+		if loopDepth > a.MaxLoopDepth {
+			a.MaxLoopDepth = loopDepth
+		}
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *AssignStmt:
+				a.Assigns++
+				locals[s.Dst] = struct{}{}
+			case *ReadStmt:
+				a.Reads++
+				locals[s.Dst] = struct{}{}
+			case *WriteStmt:
+				a.Writes++
+			case *FenceStmt:
+				a.Fences++
+			case *ReturnStmt:
+				a.Returns++
+			case *IfStmt:
+				walk(s.Then, loopDepth)
+				walk(s.Else, loopDepth)
+			case *WhileStmt:
+				walk(s.Body, loopDepth+1)
+			}
+		}
+	}
+	walk(p.Body, 0)
+	a.Locals = make([]string, 0, len(locals))
+	for l := range locals {
+		a.Locals = append(a.Locals, l)
+	}
+	sort.Strings(a.Locals)
+	return a
+}

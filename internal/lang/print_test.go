@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePrintProgram() *Program {
+	return NewProgram("sample",
+		Assign("i", I(0)),
+		While(Lt(L("i"), N()),
+			Read("v", Add(I(10), L("i"))),
+			IfElse(Eq(L("v"), I(0)),
+				[]Stmt{Write(Add(I(10), L("i")), PID())},
+				[]Stmt{Assign("seen", Add(L("seen"), I(1)))}),
+			Assign("i", Add(L("i"), I(1))),
+		),
+		Fence(),
+		Return(L("seen")),
+	)
+}
+
+func TestFormatContainsAllStatements(t *testing.T) {
+	out := Format(samplePrintProgram())
+	for _, want := range []string{
+		"program sample {",
+		"i := 0",
+		"while (i < nprocs) {",
+		"v := read((10 + i))",
+		"if (v == 0) {",
+		"} else {",
+		"write((10 + i), pid)",
+		"seen := (seen + 1)",
+		"fence()",
+		"return seen",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatIsStable(t *testing.T) {
+	p := samplePrintProgram()
+	if Format(p) != Format(p) {
+		t.Fatal("Format is not deterministic")
+	}
+}
+
+func TestFormatIndentation(t *testing.T) {
+	out := Format(samplePrintProgram())
+	// The write inside if inside while must be at depth 3.
+	if !strings.Contains(out, "\n            write(") {
+		t.Errorf("nested write not indented 3 levels:\n%s", out)
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	a := Analyze(samplePrintProgram())
+	if a.Reads != 1 || a.Writes != 1 || a.Fences != 1 || a.Returns != 1 {
+		t.Errorf("counts: %+v", a)
+	}
+	if a.Assigns != 3 {
+		t.Errorf("assigns = %d, want 3", a.Assigns)
+	}
+	if a.MaxLoopDepth != 1 {
+		t.Errorf("loop depth = %d, want 1", a.MaxLoopDepth)
+	}
+	wantLocals := []string{"i", "seen", "v"}
+	if len(a.Locals) != len(wantLocals) {
+		t.Fatalf("locals %v, want %v", a.Locals, wantLocals)
+	}
+	for i := range wantLocals {
+		if a.Locals[i] != wantLocals[i] {
+			t.Fatalf("locals %v, want %v", a.Locals, wantLocals)
+		}
+	}
+}
+
+func TestAnalyzeNestedLoops(t *testing.T) {
+	p := NewProgram("nested",
+		While(I(1),
+			While(I(1),
+				While(I(0), Fence()),
+			),
+		),
+		Return(I(0)),
+	)
+	if a := Analyze(p); a.MaxLoopDepth != 3 {
+		t.Errorf("loop depth = %d, want 3", a.MaxLoopDepth)
+	}
+}
+
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	a := Analyze(NewProgram("empty"))
+	if a.Reads+a.Writes+a.Fences+a.Returns+a.Assigns != 0 || len(a.Locals) != 0 {
+		t.Errorf("empty program analysis: %+v", a)
+	}
+}

@@ -1,0 +1,76 @@
+package locks
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+)
+
+// NewDeadlockDemo returns a deliberately broken two-process "lock" that
+// satisfies mutual exclusion but not deadlock freedom: each process raises
+// its flag and then waits for the other's flag to drop, so the schedule in
+// which both raise their flags before either checks is a deadly embrace.
+// It exists as a negative control for the liveness checker
+// (check.CheckProgress), which must find the stuck component and refute
+// weak obstruction-freedom.
+func NewDeadlockDemo(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("locks: deadlock demo is a two-process lock, got n=%d", n)
+	}
+	flags, err := lay.Alloc(name+".flag", 2, machine.OwnedBy)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	me := name + "_me"
+	fo := name + "_fo"
+	flagAt := func(idx lang.Expr) lang.Expr { return lang.Add(lang.I(flags.Base), idx) }
+	acquire := []lang.Stmt{
+		lang.Assign(me, lang.PID()),
+		lang.Write(flagAt(lang.L(me)), lang.I(1)),
+		lang.Fence(),
+		lang.Read(fo, flagAt(lang.Sub(lang.I(1), lang.L(me)))),
+		lang.While(lang.Ne(lang.L(fo), lang.I(0)),
+			lang.Read(fo, flagAt(lang.Sub(lang.I(1), lang.L(me)))),
+		),
+	}
+	release := []lang.Stmt{
+		lang.Assign(me, lang.PID()),
+		lang.Write(flagAt(lang.L(me)), lang.I(0)),
+		lang.Fence(),
+	}
+	return &Algorithm{name: name, n: 2, acquire: acquire, release: release}, nil
+}
+
+// NewRendezvousDemo returns a two-process pseudo-lock whose acquire is a
+// rendezvous: each process raises its flag and then waits until the
+// *other* flag is raised too. Running alone, a process spins forever — a
+// direct violation of weak obstruction-freedom (and hence of deadlock
+// freedom, which implies it). Negative control for check.CheckProgress.
+func NewRendezvousDemo(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("locks: rendezvous demo is a two-process lock, got n=%d", n)
+	}
+	flags, err := lay.Alloc(name+".flag", 2, machine.OwnedBy)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	me := name + "_me"
+	fo := name + "_fo"
+	flagAt := func(idx lang.Expr) lang.Expr { return lang.Add(lang.I(flags.Base), idx) }
+	acquire := []lang.Stmt{
+		lang.Assign(me, lang.PID()),
+		lang.Write(flagAt(lang.L(me)), lang.I(1)),
+		lang.Fence(),
+		lang.Read(fo, flagAt(lang.Sub(lang.I(1), lang.L(me)))),
+		lang.While(lang.Eq(lang.L(fo), lang.I(0)),
+			lang.Read(fo, flagAt(lang.Sub(lang.I(1), lang.L(me)))),
+		),
+	}
+	release := []lang.Stmt{
+		lang.Assign(me, lang.PID()),
+		lang.Write(flagAt(lang.L(me)), lang.I(0)),
+		lang.Fence(),
+	}
+	return &Algorithm{name: name, n: 2, acquire: acquire, release: release}, nil
+}

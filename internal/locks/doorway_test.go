@@ -1,0 +1,167 @@
+package locks_test
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+func TestDoorwayDeclarations(t *testing.T) {
+	lay := machine.NewLayout()
+	bak, err := locks.NewBakery(lay, "b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pet, err := locks.NewPeterson(lay, "p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := locks.NewGT(lay, "g", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := locks.NewTournament(lay, "t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lk := range []*locks.Algorithm{bak, pet, gt} {
+		if !lk.HasDoorway() {
+			t.Errorf("%s should declare a doorway", lk.Name())
+		}
+		// Doorway ++ Waiting must reconstitute Acquire exactly.
+		dw, wt, acq := lk.Doorway(), lk.Waiting(), lk.Acquire()
+		if len(dw)+len(wt) != len(acq) {
+			t.Errorf("%s: doorway(%d) + waiting(%d) != acquire(%d)", lk.Name(), len(dw), len(wt), len(acq))
+		}
+		for i := range dw {
+			if dw[i] != acq[i] {
+				t.Errorf("%s: doorway statement %d differs from acquire", lk.Name(), i)
+			}
+		}
+		for i := range wt {
+			if wt[i] != acq[len(dw)+i] {
+				t.Errorf("%s: waiting statement %d differs from acquire", lk.Name(), i)
+			}
+		}
+	}
+	if tour.HasDoorway() {
+		t.Error("tournament should not declare a doorway")
+	}
+	if tour.Doorway() != nil {
+		t.Error("tournament Doorway() should be nil")
+	}
+	if len(tour.Waiting()) != len(tour.Acquire()) {
+		t.Error("tournament Waiting() should be the full acquire")
+	}
+}
+
+// TestDoorwayIsWaitFree: the doorway must complete in a bounded number of
+// solo steps even while another process holds the lock — that is what
+// makes it a doorway. Run p1's doorway to completion while p0 sits inside
+// the critical section.
+func TestDoorwayIsWaitFree(t *testing.T) {
+	ctors := map[string]locks.Constructor{
+		"bakery": locks.NewBakery,
+		"gt2": func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+			return locks.NewGT(l, nm, n, 2)
+		},
+	}
+	for name, ctor := range ctors {
+		t.Run(name, func(t *testing.T) {
+			lay := machine.NewLayout()
+			lk, err := ctor(lay, "lk", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe, err := lay.Alloc("probe", 1, machine.Unowned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// p0: acquire, then park inside the CS (spin on the probe).
+			holder := make([]lang.Stmt, 0)
+			holder = append(holder, lk.Acquire()...)
+			holder = append(holder,
+				lang.Read("v", lang.I(probe.At(0))),
+				lang.While(lang.Eq(lang.L("v"), lang.I(0)),
+					lang.Read("v", lang.I(probe.At(0))),
+				),
+				lang.Return(lang.I(1)),
+			)
+			// p1: doorway only, then return — must terminate solo.
+			entrant := make([]lang.Stmt, 0)
+			entrant = append(entrant, lk.Doorway()...)
+			entrant = append(entrant, lang.Fence(), lang.Return(lang.I(2)))
+
+			progs := []*lang.Program{
+				lang.NewProgram("holder", holder...),
+				lang.NewProgram("entrant", entrant...),
+				lang.NewProgram("idle", lang.Return(lang.I(0))),
+				lang.NewProgram("idle2", lang.Return(lang.I(0))),
+			}
+			c, err := machine.NewConfig(machine.PSO, lay, progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// p0 runs until it parks in the CS (step cap, no completion).
+			if _, err := c.RunSolo(0, 3000); err != nil {
+				t.Fatal(err)
+			}
+			if c.Halted(0) {
+				t.Fatal("holder should be parked in the CS, not finished")
+			}
+			// p1's doorway completes solo despite the held lock.
+			halted, err := c.RunSolo(1, machine.DefaultSoloLimit(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !halted {
+				t.Fatal("doorway did not complete while the lock was held — not wait-free")
+			}
+			if c.ReturnValue(1) != 2 {
+				t.Fatalf("entrant returned %d", c.ReturnValue(1))
+			}
+		})
+	}
+}
+
+// TestFullAcquireBlocksWhileHeld is the contrast to the doorway test: the
+// complete acquire must NOT finish while the lock is held.
+func TestFullAcquireBlocksWhileHeld(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := lay.Alloc("probe", 1, machine.Unowned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder := append(append([]lang.Stmt{}, lk.Acquire()...),
+		lang.Read("v", lang.I(probe.At(0))),
+		lang.While(lang.Eq(lang.L("v"), lang.I(0)),
+			lang.Read("v", lang.I(probe.At(0))),
+		),
+		lang.Return(lang.I(1)),
+	)
+	entrant := append(append([]lang.Stmt{}, lk.Acquire()...), lang.Return(lang.I(2)))
+	progs := []*lang.Program{
+		lang.NewProgram("holder", holder...),
+		lang.NewProgram("entrant", entrant...),
+	}
+	c, err := machine.NewConfig(machine.PSO, lay, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunSolo(0, 2000); err != nil {
+		t.Fatal(err)
+	}
+	halted, err := c.RunSolo(1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted {
+		t.Fatal("entrant acquired a held lock")
+	}
+}

@@ -1,0 +1,76 @@
+package locks
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+)
+
+// NewFilter returns Peterson's n-process filter lock: n-1 levels, each
+// with a victim register; a process ascends one level at a time, waiting
+// at level L until it is not the level's victim or no other process is at
+// level L or higher.
+//
+// With a fence after each of the two announce writes per level the lock is
+// correct under PSO, at a cost of 2(n-1) fences per passage — a
+// deliberately *suboptimal* point of the fence/RMR tradeoff: its
+// per-passage product f·(log(r/f)+1) is Θ(n), far above the Ω(log n) floor
+// that the GT family matches. It serves as the "what not to do" baseline
+// in the tradeoff experiments.
+func NewFilter(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: filter needs n >= 1, got %d", n)
+	}
+	level, err := lay.Alloc(name+".level", n, machine.OwnedBy)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	// victim[L] for L = 1..n-1 (index 0 unused so the listing matches the
+	// textbook numbering).
+	victim, err := lay.Alloc(name+".victim", n, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+
+	v := func(s string) string { return name + "_" + s }
+	lv, k, vk, lk, ok := v("L"), v("k"), v("vk"), v("lk"), v("ok")
+	levelAt := func(idx lang.Expr) lang.Expr { return lang.Add(lang.I(level.Base), idx) }
+	victimAt := func(idx lang.Expr) lang.Expr { return lang.Add(lang.I(victim.Base), idx) }
+
+	// One evaluation of the wait condition: ok := (victim[L] != me+1) or
+	// (level[k] < L for all k != me).
+	evalCond := []lang.Stmt{
+		lang.Read(vk, victimAt(lang.L(lv))),
+		lang.IfElse(lang.Ne(lang.L(vk), lang.Add(lang.PID(), lang.I(1))),
+			[]lang.Stmt{lang.Assign(ok, lang.I(1))},
+			append([]lang.Stmt{lang.Assign(ok, lang.I(1))},
+				lang.For(k, lang.I(0), lang.N(),
+					lang.If(lang.Ne(lang.L(k), lang.PID()),
+						lang.Read(lk, levelAt(lang.L(k))),
+						lang.If(lang.Ge(lang.L(lk), lang.L(lv)),
+							lang.Assign(ok, lang.I(0))),
+					),
+				)...),
+		),
+	}
+
+	perLevel := []lang.Stmt{
+		lang.Write(levelAt(lang.PID()), lang.L(lv)),
+		lang.Fence(),
+		lang.Write(victimAt(lang.L(lv)), lang.Add(lang.PID(), lang.I(1))),
+		lang.Fence(),
+	}
+	perLevel = append(perLevel, evalCond...)
+	perLevel = append(perLevel,
+		lang.While(lang.Eq(lang.L(ok), lang.I(0)), evalCond...),
+	)
+
+	acquire := lang.For(lv, lang.I(1), lang.N(), perLevel...)
+	release := []lang.Stmt{
+		lang.Write(levelAt(lang.PID()), lang.I(0)),
+		lang.Fence(),
+	}
+
+	return &Algorithm{name: name, n: n, acquire: acquire, release: release}, nil
+}

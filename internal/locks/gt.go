@@ -1,0 +1,152 @@
+package locks
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+)
+
+// Branching returns the branching factor used by GT_f for n processes: the
+// smallest integer b >= 2 with b^f >= n.
+func Branching(n, f int) int {
+	if n <= 1 {
+		return 2
+	}
+	for b := 2; ; b++ {
+		// Does b^f >= n? Multiply with early exit to avoid overflow.
+		prod := 1
+		for i := 0; i < f; i++ {
+			prod *= b
+			if prod >= n {
+				return b
+			}
+		}
+	}
+}
+
+// gtLevel describes one level of the generalized tournament tree.
+type gtLevel struct {
+	h       int           // height, 1..f
+	nodes   int           // number of Bakery nodes at this height
+	b       int           // group size (branching factor)
+	divNode int64         // node(p)  = p / divNode  (= b^h)
+	divSlot int64         // slot(p)  = (p / divSlot) % b  (= b^(h-1))
+	c, t    machine.Array // registers: node m's arrays start at m*b
+}
+
+// NewGT returns the paper's generalized tournament lock GT_f (Section 3):
+// a tree of height f with branching factor b = ⌈n^(1/f)⌉, a Bakery[b] lock
+// at every internal node, and the n leaves statically assigned to the
+// processes. To acquire, a process wins the Bakery locks on the f nodes
+// from its leaf to the root; a passage therefore costs O(f) fences and
+// O(f·n^(1/f)) RMRs, matching the lower bound (Equation 2). GT_1 is the
+// Bakery lock; GT_⌈log n⌉ is a (Bakery-noded) binary tournament tree.
+//
+// The Bakery nodes use the classic fence placement, so GT_f is correct
+// under any write ordering, including PSO.
+func NewGT(lay *machine.Layout, name string, n, f int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: GT needs n >= 1, got %d", n)
+	}
+	if f < 1 {
+		return nil, fmt.Errorf("locks: GT needs f >= 1, got %d", f)
+	}
+	b := Branching(n, f)
+
+	levels := make([]gtLevel, 0, f)
+	divSlot := int64(1) // b^(h-1)
+	for h := 1; h <= f; h++ {
+		divNode := divSlot * int64(b) // b^h
+		nodes := (n + int(divNode) - 1) / int(divNode)
+		if nodes < 1 {
+			nodes = 1
+		}
+		lv := gtLevel{h: h, nodes: nodes, b: b, divNode: divNode, divSlot: divSlot}
+		// At height 1 each slot belongs to exactly one process (slot s of
+		// node m is process m*b+s), so those registers live in that
+		// process's segment — making GT_1 register-for-register the
+		// Bakery layout. Higher levels are contended by whole subtrees
+		// and are unowned.
+		owner := machine.Unowned
+		if h == 1 {
+			owner = func(i int) int {
+				if i < n {
+					return i
+				}
+				return machine.NoOwner
+			}
+		}
+		var err error
+		lv.c, err = lay.Alloc(fmt.Sprintf("%s.C%d", name, h), nodes*b, owner)
+		if err != nil {
+			return nil, fmt.Errorf("locks: %w", err)
+		}
+		lv.t, err = lay.Alloc(fmt.Sprintf("%s.T%d", name, h), nodes*b, owner)
+		if err != nil {
+			return nil, fmt.Errorf("locks: %w", err)
+		}
+		levels = append(levels, lv)
+		divSlot = divNode
+	}
+
+	specFor := func(lv gtLevel, pfx string) bakerySpec {
+		nodeExpr := lang.Div(lang.PID(), lang.I(lv.divNode))
+		slotExpr := lang.Mod(lang.Div(lang.PID(), lang.I(lv.divSlot)), lang.I(int64(lv.b)))
+		off := lang.Mul(nodeExpr, lang.I(int64(lv.b)))
+		return bakerySpec{
+			pfx:    pfx,
+			cBase:  lang.Add(lang.I(lv.c.Base), off),
+			tBase:  lang.Add(lang.I(lv.t.Base), off),
+			me:     slotExpr,
+			g:      lang.I(int64(lv.b)),
+			fences: bakeryClassic,
+		}
+	}
+
+	var acquire, release []lang.Stmt
+	doorwaySplit := 0
+	for i, lv := range levels {
+		frag, dw := bakeryAcquire(specFor(lv, fmt.Sprintf("%s_h%d_", name, lv.h)))
+		if i == 0 {
+			// GT's natural doorway is the first level's: this is the
+			// boundary against which the FCFS experiments show that GT_f
+			// (f >= 2) is NOT first-come-first-served — processes from
+			// lightly-loaded subtrees overtake at higher levels.
+			doorwaySplit = dw
+		}
+		acquire = append(acquire, frag...)
+	}
+	// Release in reverse acquisition order (root's node last acquired is
+	// released first).
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		release = append(release, bakeryRelease(specFor(lv, fmt.Sprintf("%s_h%d_", name, lv.h)))...)
+	}
+
+	return &Algorithm{name: name, n: n, acquire: acquire, release: release, doorwaySplit: doorwaySplit}, nil
+}
+
+// GTShape describes the static structure of a GT_f instance, used by the
+// Figure 1 reproduction.
+type GTShape struct {
+	N, F, Branching int
+	NodesPerLevel   []int // index 0 = height 1 (leaf-adjacent), last = root
+}
+
+// ShapeGT computes the tree shape GT_f would build for n processes without
+// allocating registers.
+func ShapeGT(n, f int) GTShape {
+	b := Branching(n, f)
+	sh := GTShape{N: n, F: f, Branching: b}
+	div := 1
+	for h := 1; h <= f; h++ {
+		div *= b
+		nodes := (n + div - 1) / div
+		if nodes < 1 {
+			nodes = 1
+		}
+		sh.NodesPerLevel = append(sh.NodesPerLevel, nodes)
+	}
+	return sh
+}

@@ -1,0 +1,507 @@
+package locks_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+)
+
+// buildCount instantiates Count over a fresh lock built by ctor.
+func buildCount(t *testing.T, ctor locks.Constructor, n int) (*machine.Layout, *objects.Object) {
+	t.Helper()
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		t.Fatalf("lock constructor: %v", err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatalf("NewCount: %v", err)
+	}
+	return lay, obj
+}
+
+// checkRanks verifies that the return values are exactly {0, ..., n-1}.
+func checkRanks(t *testing.T, c *machine.Config) {
+	t.Helper()
+	vals, ok := machine.Returns(c)
+	if !ok {
+		t.Fatal("not all processes halted")
+	}
+	seen := make([]bool, len(vals))
+	for p, v := range vals {
+		if v < 0 || v >= int64(len(vals)) || seen[v] {
+			t.Fatalf("return values %v are not a permutation of ranks", vals)
+		}
+		seen[v] = true
+		_ = p
+	}
+}
+
+var correctLocks = []struct {
+	name string
+	ctor locks.Constructor
+	ns   []int
+}{
+	{"bakery", locks.NewBakery, []int{1, 2, 3, 5, 8}},
+	{"tournament", locks.NewTournament, []int{1, 2, 3, 5, 8}},
+	{"gt1", func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+		return locks.NewGT(l, nm, n, 1)
+	}, []int{1, 2, 3, 5, 8}},
+	{"gt2", func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+		return locks.NewGT(l, nm, n, 2)
+	}, []int{2, 3, 5, 8, 9}},
+	{"gt3", func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+		return locks.NewGT(l, nm, n, 3)
+	}, []int{3, 8, 27}},
+	{"filter", locks.NewFilter, []int{1, 2, 3, 5}},
+}
+
+func TestLocksSequentialPSO(t *testing.T) {
+	for _, lc := range correctLocks {
+		for _, n := range lc.ns {
+			t.Run(fmt.Sprintf("%s/n=%d", lc.name, n), func(t *testing.T) {
+				lay, obj := buildCount(t, lc.ctor, n)
+				c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+				if err != nil {
+					t.Fatal(err)
+				}
+				order := make([]int, n)
+				for i := range order {
+					order[i] = i
+				}
+				if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+					t.Fatal(err)
+				}
+				// Sequential order: process i returns rank i.
+				for p := 0; p < n; p++ {
+					if got := c.ReturnValue(p); got != int64(p) {
+						t.Fatalf("process %d returned %d, want %d", p, got, p)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestLocksSequentialArbitraryOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, lc := range correctLocks {
+		n := lc.ns[len(lc.ns)-1]
+		t.Run(lc.name, func(t *testing.T) {
+			lay, obj := buildCount(t, lc.ctor, n)
+			c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := rng.Perm(n)
+			if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+				t.Fatal(err)
+			}
+			// The i-th process in the order must return rank i.
+			for i, p := range order {
+				if got := c.ReturnValue(p); got != int64(i) {
+					t.Fatalf("order %v: process %d returned %d, want %d", order, p, got, i)
+				}
+			}
+		})
+	}
+}
+
+func TestLocksRoundRobinContention(t *testing.T) {
+	for _, lc := range correctLocks {
+		for _, n := range lc.ns {
+			t.Run(fmt.Sprintf("%s/n=%d", lc.name, n), func(t *testing.T) {
+				lay, obj := buildCount(t, lc.ctor, n)
+				for _, model := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+					c, err := machine.NewConfig(model, lay, obj.Programs())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := machine.RunRoundRobin(c, 4_000_000); err != nil {
+						t.Fatalf("%v: %v", model, err)
+					}
+					checkRanks(t, c)
+				}
+			})
+		}
+	}
+}
+
+func TestLocksRandomSchedules(t *testing.T) {
+	const seeds = 25
+	for _, lc := range correctLocks {
+		n := 4
+		if lc.name == "gt3" {
+			n = 8
+		}
+		t.Run(lc.name, func(t *testing.T) {
+			lay, obj := buildCount(t, lc.ctor, n)
+			for seed := int64(0); seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := machine.RunRandom(c, rng, 0.3, 6_000_000); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				checkRanks(t, c)
+			}
+		})
+	}
+}
+
+func TestPetersonPairPSO(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewPeterson(lay, "pt", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewCount(lay, "count", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := machine.RunRandom(c, rng, 0.4, 200_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkRanks(t, c)
+	}
+}
+
+func TestPetersonRequiresTwoProcesses(t *testing.T) {
+	lay := machine.NewLayout()
+	if _, err := locks.NewPeterson(lay, "pt", 3); err == nil {
+		t.Fatal("NewPeterson with n=3 should error")
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	lay := machine.NewLayout()
+	if _, err := locks.NewBakery(lay, "b", 0); err == nil {
+		t.Error("bakery n=0 should error")
+	}
+	if _, err := locks.NewTournament(lay, "t", 0); err == nil {
+		t.Error("tournament n=0 should error")
+	}
+	if _, err := locks.NewGT(lay, "g", 0, 1); err == nil {
+		t.Error("GT n=0 should error")
+	}
+	if _, err := locks.NewGT(lay, "g", 4, 0); err == nil {
+		t.Error("GT f=0 should error")
+	}
+	// Duplicate instance names collide in the layout.
+	if _, err := locks.NewBakery(lay, "dup", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := locks.NewBakery(lay, "dup", 2); err == nil {
+		t.Error("duplicate lock name should error")
+	}
+}
+
+func TestBranching(t *testing.T) {
+	cases := []struct {
+		n, f, want int
+	}{
+		{16, 1, 16},
+		{16, 2, 4},
+		{16, 4, 2},
+		{17, 2, 5}, // 4^2=16 < 17, 5^2=25 >= 17
+		{27, 3, 3},
+		{28, 3, 4},
+		{1, 3, 2},
+		{1000, 2, 32}, // 31^2=961 < 1000, 32^2=1024
+	}
+	for _, c := range cases {
+		if got := locks.Branching(c.n, c.f); got != c.want {
+			t.Errorf("Branching(%d,%d) = %d, want %d", c.n, c.f, got, c.want)
+		}
+	}
+}
+
+func TestShapeGT(t *testing.T) {
+	sh := locks.ShapeGT(16, 2)
+	if sh.Branching != 4 {
+		t.Fatalf("branching %d, want 4", sh.Branching)
+	}
+	want := []int{4, 1}
+	if len(sh.NodesPerLevel) != len(want) {
+		t.Fatalf("levels %v, want %v", sh.NodesPerLevel, want)
+	}
+	for i := range want {
+		if sh.NodesPerLevel[i] != want[i] {
+			t.Fatalf("levels %v, want %v", sh.NodesPerLevel, want)
+		}
+	}
+	// GT_1 degenerates to a single Bakery node.
+	sh1 := locks.ShapeGT(9, 1)
+	if sh1.Branching != 9 || len(sh1.NodesPerLevel) != 1 || sh1.NodesPerLevel[0] != 1 {
+		t.Fatalf("GT_1 shape wrong: %+v", sh1)
+	}
+}
+
+// TestBakeryFenceCount pins the per-passage fence counts: the classic
+// Bakery passage performs 3 acquire fences + 1 release fence, independent
+// of n; the Count wrapper adds its CS fence and the final pre-return fence.
+func TestBakeryFenceCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		lay, obj := buildCount(t, locks.NewBakery, n)
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < n; p++ {
+			if got := c.Stats().Fences[p]; got != 6 {
+				t.Fatalf("n=%d: process %d executed %d fences, want 6 (4 lock + 2 wrapper)", n, p, got)
+			}
+		}
+	}
+}
+
+// TestBakeryRMRsLinear pins the Θ(n) RMR behaviour of the Bakery lock in
+// uncontended sequential passages.
+func TestBakeryRMRsLinear(t *testing.T) {
+	rmrsAt := func(n int) int64 {
+		lay, obj := buildCount(t, locks.NewBakery, n)
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().MaxRMRs()
+	}
+	r8, r64 := rmrsAt(8), rmrsAt(64)
+	// Linear growth: 8x the processes should give roughly 8x the RMRs per
+	// passage (allow generous slack for additive constants).
+	if r64 < 4*r8 {
+		t.Fatalf("Bakery RMRs not linear: r(8)=%d r(64)=%d", r8, r64)
+	}
+	if r64 > 16*r8 {
+		t.Fatalf("Bakery RMRs grew superlinearly: r(8)=%d r(64)=%d", r8, r64)
+	}
+}
+
+// TestTournamentRMRsLogarithmic pins the Θ(log n) fence and RMR behaviour
+// of the binary tournament tree in uncontended sequential passages.
+func TestTournamentRMRsLogarithmic(t *testing.T) {
+	at := func(n int) (fences, rmrs int64) {
+		lay, obj := buildCount(t, locks.NewTournament, n)
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().MaxFences(), c.Stats().MaxRMRs()
+	}
+	f8, r8 := at(8)
+	f64, r64 := at(64)
+	// log2(64)/log2(8) = 2: doubling, not 8x.
+	if f64 > 3*f8 {
+		t.Fatalf("tournament fences not logarithmic: f(8)=%d f(64)=%d", f8, f64)
+	}
+	if r64 > 4*r8 {
+		t.Fatalf("tournament RMRs not logarithmic: r(8)=%d r(64)=%d", r8, r64)
+	}
+}
+
+// TestGTFenceScaling verifies O(f) fences per GT_f passage: fences grow
+// linearly in f for fixed n.
+func TestGTFenceScaling(t *testing.T) {
+	n := 64
+	fencesAt := func(f int) int64 {
+		lay := machine.NewLayout()
+		lk, err := locks.NewGT(lay, "gt", n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := objects.NewCount(lay, "count", lk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().MaxFences()
+	}
+	f1 := fencesAt(1)
+	f2 := fencesAt(2)
+	f3 := fencesAt(3)
+	// Each extra level adds exactly 4 fences (3 acquire + 1 release).
+	if f2-f1 != 4 || f3-f2 != 4 {
+		t.Fatalf("GT fence scaling: f1=%d f2=%d f3=%d (want +4 per level)", f1, f2, f3)
+	}
+}
+
+// TestGTRMRDecreasesWithF verifies the tradeoff direction: for fixed n,
+// more fences (higher f) means fewer RMRs per passage.
+func TestGTRMRDecreasesWithF(t *testing.T) {
+	n := 256
+	rmrsAt := func(f int) int64 {
+		lay := machine.NewLayout()
+		lk, err := locks.NewGT(lay, "gt", n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := objects.NewCount(lay, "count", lk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().MaxRMRs()
+	}
+	r1 := rmrsAt(1) // ~n
+	r2 := rmrsAt(2) // ~2*sqrt(n)
+	r4 := rmrsAt(4) // ~4*n^(1/4)
+	if !(r1 > r2 && r2 > r4) {
+		t.Fatalf("GT RMRs should decrease with f: r1=%d r2=%d r4=%d", r1, r2, r4)
+	}
+	// The f=1 extreme should be drastically (not marginally) costlier.
+	if r1 < 3*r2 {
+		t.Fatalf("expected steep drop from f=1 to f=2: r1=%d r2=%d", r1, r2)
+	}
+}
+
+// TestFilterFenceCount pins the filter lock's deliberately heavy fence
+// bill: 2 fences per level × (n-1) levels + 1 release fence.
+func TestFilterFenceCount(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		lay, obj := buildCount(t, locks.NewFilter, n)
+		c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(2*(n-1) + 1 + 2) // acquire + release + Count wrapper
+		for p := 0; p < n; p++ {
+			if got := c.Stats().Fences[p]; got != want {
+				t.Fatalf("n=%d: process %d executed %d fences, want %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestObjectsOverLocksOrdering runs the other ordering objects over a lock
+// and checks the ordering property on sequential executions.
+func TestObjectsOverLocksOrdering(t *testing.T) {
+	n := 5
+	type objCtor func(lay *machine.Layout, name string, lk *locks.Algorithm) (*objects.Object, error)
+	ctors := map[string]objCtor{
+		"fai":   objects.NewFetchAndIncrement,
+		"queue": objects.NewQueueEnqueue,
+	}
+	for oname, octor := range ctors {
+		t.Run(oname, func(t *testing.T) {
+			lay := machine.NewLayout()
+			lk, err := locks.NewBakery(lay, "lk", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, err := octor(lay, oname, lk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := []int{3, 1, 4, 0, 2}
+			if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range order {
+				if got := c.ReturnValue(p); got != int64(i) {
+					t.Fatalf("process %d returned %d, want rank %d", p, got, i)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueItemsRecorded checks the queue's side effects, not just its
+// return values: items[k] must hold the (pid+1) of the k-th enqueuer.
+func TestQueueItemsRecorded(t *testing.T) {
+	n := 4
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewQueueEnqueue(lay, "q", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{2, 0, 3, 1}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(n)); err != nil {
+		t.Fatal(err)
+	}
+	items, ok := lay.Array("q.items")
+	if !ok {
+		t.Fatal("items array missing")
+	}
+	for k, p := range order {
+		if got := c.Register(items.At(k)); got != int64(p+1) {
+			t.Fatalf("items[%d] = %d, want %d", k, got, p+1)
+		}
+	}
+	tail, _ := lay.Array("q.tail")
+	if got := c.Register(tail.At(0)); got != int64(n) {
+		t.Fatalf("tail = %d, want %d", got, n)
+	}
+}

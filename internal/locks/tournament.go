@@ -1,0 +1,112 @@
+package locks
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+)
+
+// ceilPow2 returns the smallest power of two >= n along with its exponent.
+func ceilPow2(n int) (pow, levels int) {
+	pow, levels = 1, 0
+	for pow < n {
+		pow *= 2
+		levels++
+	}
+	return pow, levels
+}
+
+// NewTournament returns the binary tournament-tree lock [Peterson–Fischer
+// 1977; Yang–Anderson 1995]: a complete binary tree over the (power-of-two
+// rounded) process range with a fenced two-slot Peterson lock at every
+// internal node. A passage costs Θ(log n) fences and Θ(log n) RMRs — the
+// f = log n extreme of the paper's tradeoff.
+//
+// Internal nodes are heap-numbered 1..P-1 where P = 2^⌈log2 n⌉; process p
+// enters at leaf P+p and climbs to the root, competing at each node on the
+// side given by the corresponding address bit.
+func NewTournament(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: tournament needs n >= 1, got %d", n)
+	}
+	pow, levels := ceilPow2(n)
+	if levels == 0 {
+		// Single process: the lock is trivial.
+		return &Algorithm{name: name, n: n}, nil
+	}
+
+	// flag[m*2+s] is the flag of side s at node m; victim[m] is node m's
+	// victim register. Node 0 is unused (heap numbering starts at 1).
+	// The flags of leaf-adjacent nodes are written by exactly one process
+	// and live in its segment; everything higher is contended and unowned.
+	flags, err := lay.Alloc(name+".flag", 2*pow, func(i int) int {
+		m, s := i/2, i%2
+		if m >= pow/2 { // node adjacent to the leaves
+			if p := m*2 + s - pow; p < n {
+				return p
+			}
+		}
+		return machine.NoOwner
+	})
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	victim, err := lay.Alloc(name+".victim", pow, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+
+	pfx := name + "_"
+	v := func(suffix string) string { return pfx + suffix }
+	node, side, cur, pw, leaf := v("node"), v("side"), v("cur"), v("pw"), v("leaf")
+
+	spec := petersonSpec{
+		pfx:      pfx,
+		flagBase: lang.Add(lang.I(flags.Base), lang.Mul(lang.L(node), lang.I(2))),
+		victim:   lang.Add(lang.I(victim.Base), lang.L(node)),
+		me:       lang.L(side),
+		fences:   petersonPSO,
+	}
+
+	// Acquire: climb from the leaf to the root, winning each node. (The
+	// tournament has no flat wait-free doorway — the loop interleaves
+	// announcing and waiting per level — so no doorway split is declared.)
+	nodeAcquire, _ := petersonAcquire(spec)
+	acquire := []lang.Stmt{
+		lang.Assign(cur, lang.Add(lang.I(int64(pow)), lang.PID())),
+		lang.While(lang.Gt(lang.L(cur), lang.I(1)),
+			append([]lang.Stmt{
+				lang.Assign(node, lang.Div(lang.L(cur), lang.I(2))),
+				lang.Assign(side, lang.Mod(lang.L(cur), lang.I(2))),
+			}, append(nodeAcquire,
+				lang.Assign(cur, lang.L(node)),
+			)...)...,
+		),
+	}
+
+	// Release: clear the flag at every node on the path, root first, with
+	// a fence after EACH clear. The per-clear fence is essential under
+	// PSO: with a single trailing fence the adversary can commit the
+	// leaf-node clear first, let the sibling advance and write its own
+	// announce flag at a higher node, and only then commit this process's
+	// stale clear of that node — erasing the successor's announce and
+	// breaking mutual exclusion. (The exhaustive checker finds exactly
+	// this with three processes; see TestDeepTournamentThreeProcs.)
+	// Clearing root-first ensures every clear of a node is committed
+	// before any successor can pass the gate below it.
+	clear := []lang.Stmt{
+		lang.Assign(node, lang.Div(lang.L(leaf), lang.L(pw))),
+		lang.Assign(side, lang.Mod(lang.Div(lang.L(leaf), lang.Div(lang.L(pw), lang.I(2))), lang.I(2))),
+		lang.Write(lang.Add(spec.flagBase, lang.L(side)), lang.I(0)),
+		lang.Fence(),
+		lang.Assign(pw, lang.Div(lang.L(pw), lang.I(2))),
+	}
+	release := []lang.Stmt{
+		lang.Assign(leaf, lang.Add(lang.I(int64(pow)), lang.PID())),
+		lang.Assign(pw, lang.I(int64(pow))),
+		lang.While(lang.Ge(lang.L(pw), lang.I(2)), clear...),
+	}
+
+	return &Algorithm{name: name, n: n, acquire: acquire, release: release}, nil
+}

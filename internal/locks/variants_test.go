@@ -1,0 +1,83 @@
+package locks_test
+
+import (
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+func TestDemoLockConstructorErrors(t *testing.T) {
+	lay := machine.NewLayout()
+	if _, err := locks.NewDeadlockDemo(lay, "d", 3); err == nil {
+		t.Error("deadlock demo with n=3 should error")
+	}
+	if _, err := locks.NewRendezvousDemo(lay, "r", 1); err == nil {
+		t.Error("rendezvous demo with n=1 should error")
+	}
+	if _, err := locks.NewPetersonTSO(lay, "p", 4); err == nil {
+		t.Error("peterson-tso with n=4 should error")
+	}
+	if _, err := locks.NewFilter(lay, "f", 0); err == nil {
+		t.Error("filter with n=0 should error")
+	}
+}
+
+func TestVariantMetadata(t *testing.T) {
+	lay := machine.NewLayout()
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+		n    int
+	}{
+		{"b1", locks.NewBakery, 3},
+		{"b2", locks.NewBakeryTSO, 3},
+		{"b3", locks.NewBakeryLiteral, 3},
+		{"p1", locks.NewPeterson, 2},
+		{"p2", locks.NewPetersonTSO, 2},
+		{"p3", locks.NewPetersonNoFence, 2},
+		{"t1", locks.NewTournament, 3},
+		{"f1", locks.NewFilter, 3},
+		{"d1", locks.NewDeadlockDemo, 2},
+		{"r1", locks.NewRendezvousDemo, 2},
+	}
+	for _, c := range cases {
+		lk, err := c.ctor(lay, c.name, c.n)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if lk.Name() != c.name {
+			t.Errorf("%s: Name = %q", c.name, lk.Name())
+		}
+		if lk.N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.name, lk.N(), c.n)
+		}
+		if len(lk.Acquire()) == 0 || len(lk.Release()) == 0 {
+			t.Errorf("%s: empty fragments", c.name)
+		}
+	}
+}
+
+// TestSingleProcessLocks: every n-capable lock must be trivially correct
+// for a single process (the uncontended fast path).
+func TestSingleProcessLocks(t *testing.T) {
+	ctors := map[string]locks.Constructor{
+		"bakery": locks.NewBakery,
+		"filter": locks.NewFilter,
+		"gt1": func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+			return locks.NewGT(l, nm, n, 1)
+		},
+		"tournament": locks.NewTournament,
+	}
+	for name, ctor := range ctors {
+		t.Run(name, func(t *testing.T) {
+			lay := machine.NewLayout()
+			lk, err := ctor(lay, "lk", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = lk // construction itself is the point; passage correctness
+			// for n=1 is covered by the sequential lock suites.
+		})
+	}
+}

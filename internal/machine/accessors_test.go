@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+func TestConfigAccessors(t *testing.T) {
+	prog := lang.NewProgram("a",
+		lang.Write(lang.I(100), lang.I(5)),
+		lang.Fence(),
+		lang.Return(lang.I(3)),
+	)
+	idle := lang.NewProgram("idle", lang.Return(lang.I(0)))
+	c, lay := mkConfig(t, PSO, prog, idle)
+
+	if c.Model() != PSO {
+		t.Errorf("Model = %v", c.Model())
+	}
+	if c.Layout() != lay {
+		t.Error("Layout accessor broken")
+	}
+	tr := NewTrace()
+	c.SetTrace(tr)
+	if c.Trace() != tr {
+		t.Error("Trace accessor broken")
+	}
+	if c.Proc(0) == nil || c.Proc(0).PID() != 0 {
+		t.Error("Proc accessor broken")
+	}
+	if c.NbFinal() != 0 {
+		t.Errorf("NbFinal = %d before any return", c.NbFinal())
+	}
+
+	c.SetRegister(100, 42)
+	if c.Register(100) != 42 {
+		t.Error("SetRegister broken")
+	}
+
+	// Take the write step: buffer holds (100, 5).
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.BufferLookup(0, 100); !ok || v != 5 {
+		t.Errorf("BufferLookup = %d, %v", v, ok)
+	}
+	if !c.CanCommit(0, 100) {
+		t.Error("CanCommit(100) = false")
+	}
+	if c.CanCommit(0, 101) {
+		t.Error("CanCommit(101) = true for unbuffered register")
+	}
+	op, ok, err := c.NextOp(0)
+	if err != nil || !ok || op.Kind != lang.OpFence {
+		t.Errorf("NextOp = %v, %v, %v", op, ok, err)
+	}
+	if !c.PoisedAtFence(0) {
+		t.Error("PoisedAtFence = false at a fence")
+	}
+	if c.PoisedAtFence(1) {
+		t.Error("idle process poised at fence?")
+	}
+
+	// Run process 0 to completion.
+	if halted, err := c.RunSolo(0, 100); err != nil || !halted {
+		t.Fatalf("%v %v", halted, err)
+	}
+	if c.NbFinal() != 1 {
+		t.Errorf("NbFinal = %d, want 1", c.NbFinal())
+	}
+	if c.AllHalted() {
+		t.Error("AllHalted with idle process pending")
+	}
+	if c.ReturnValue(0) != 3 {
+		t.Errorf("ReturnValue = %d", c.ReturnValue(0))
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := NewStats(3)
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	s.Fences[0], s.Fences[1] = 2, 5
+	s.RMRs[2] = 7
+	s.Steps[0], s.Steps[1], s.Steps[2] = 1, 2, 3
+	if s.TotalFences() != 7 || s.MaxFences() != 5 {
+		t.Errorf("fences: total %d max %d", s.TotalFences(), s.MaxFences())
+	}
+	if s.TotalRMRs() != 7 || s.MaxRMRs() != 7 {
+		t.Errorf("rmrs: total %d max %d", s.TotalRMRs(), s.MaxRMRs())
+	}
+	if s.TotalSteps() != 6 {
+		t.Errorf("steps: %d", s.TotalSteps())
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.TotalFences() != 0 || s.TotalRMRs() != 0 || s.TotalSteps() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if c.TotalFences() != 7 {
+		t.Error("Clone aliased the original")
+	}
+}
+
+func TestLayoutArrayLookup(t *testing.T) {
+	lay := NewLayout()
+	a := lay.MustAlloc("xs", 3, Unowned)
+	got, ok := lay.Array("xs")
+	if !ok || got.Base != a.Base || got.Len != 3 {
+		t.Errorf("Array lookup: %+v, %v", got, ok)
+	}
+	if _, ok := lay.Array("missing"); ok {
+		t.Error("missing array reported present")
+	}
+	if lay.Size() != 3 {
+		t.Errorf("Size = %d", lay.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Array.At out of range should panic")
+		}
+	}()
+	_ = a.At(3)
+}
+
+func TestDefaultSoloLimitScales(t *testing.T) {
+	if DefaultSoloLimit(1) <= 0 {
+		t.Error("non-positive solo limit")
+	}
+	if DefaultSoloLimit(100) <= DefaultSoloLimit(1) {
+		t.Error("solo limit must grow with n")
+	}
+}
+
+func TestMustAllocPanicsOnDuplicate(t *testing.T) {
+	lay := NewLayout()
+	lay.MustAlloc("a", 1, Unowned)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc duplicate should panic")
+		}
+	}()
+	lay.MustAlloc("a", 1, Unowned)
+}
+
+func TestModelStrings(t *testing.T) {
+	if SC.String() != "SC" || TSO.String() != "TSO" || PSO.String() != "PSO" {
+		t.Error("model strings")
+	}
+	if Model(42).String() == "" {
+		t.Error("unknown model string empty")
+	}
+	if StepKind(42).String() == "" {
+		t.Error("unknown step kind string empty")
+	}
+}
+
+func TestTraceProject(t *testing.T) {
+	tr := &Trace{Steps: []StepRecord{
+		{P: 0, Kind: StepFence},
+		{P: 1, Kind: StepFence},
+		{P: 0, Kind: StepReturn},
+	}}
+	p0 := tr.Project(func(p int) bool { return p == 0 })
+	if p0.Len() != 2 {
+		t.Errorf("projection kept %d steps, want 2", p0.Len())
+	}
+	var nilTrace *Trace
+	if nilTrace.Len() != 0 {
+		t.Error("nil trace Len")
+	}
+	if nilTrace.Format(nil) == "" {
+		t.Error("nil trace Format should describe absence")
+	}
+}

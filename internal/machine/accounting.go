@@ -1,0 +1,83 @@
+package machine
+
+import "fmt"
+
+// Accounting selects how remote steps are classified. The paper proves its
+// lower bound in the Combined model — the *weakest* counting, under which
+// a step is remote only if it would be remote in both classical models —
+// so the bound transfers to DSM and CC; the upper bounds (algorithm
+// measurements) can be taken under any of the three.
+type Accounting int
+
+// Accounting modes.
+const (
+	// Combined is the paper's model (Section 2): processes have both a
+	// local memory segment and a cache. A read from shared memory is
+	// remote only if it is out-of-segment AND misses the cache; a commit
+	// is remote only if it is out-of-segment AND the process was not the
+	// last committer.
+	Combined Accounting = iota + 1
+	// DSM is the distributed-shared-memory model: every access to a
+	// register outside the process's own segment is remote; caches do not
+	// exist.
+	DSM
+	// CC is the cache-coherent model: every cache miss is remote;
+	// segments do not exist (all memory is equidistant).
+	CC
+)
+
+func (a Accounting) String() string {
+	switch a {
+	case Combined:
+		return "combined"
+	case DSM:
+		return "DSM"
+	case CC:
+		return "CC"
+	default:
+		return fmt.Sprintf("Accounting(%d)", int(a))
+	}
+}
+
+// SetAccounting selects the RMR classification for subsequent steps. The
+// default is Combined (the paper's model). Changing the accounting does
+// not affect execution behaviour — only how steps are priced — so it may
+// be set at any time, though setting it once before running is the normal
+// use.
+func (c *Config) SetAccounting(a Accounting) { c.accounting = a }
+
+// Accounting returns the active RMR classification mode.
+func (c *Config) Accounting() Accounting {
+	if c.accounting == 0 {
+		return Combined
+	}
+	return c.accounting
+}
+
+// classifyRead decides whether a read served from shared memory is remote.
+// inSegment is whether the register lies in the reader's own segment;
+// cacheHit is whether the reader's knowledge cache holds the value read.
+func (c *Config) classifyRead(inSegment, cacheHit bool) bool {
+	switch c.Accounting() {
+	case DSM:
+		return !inSegment
+	case CC:
+		return !cacheHit
+	default:
+		return !inSegment && !cacheHit
+	}
+}
+
+// classifyCommit decides whether a commit is remote. inSegment is whether
+// the register lies in the committer's own segment; wasLast is whether the
+// committer was the last process to commit to the register.
+func (c *Config) classifyCommit(inSegment, wasLast bool) bool {
+	switch c.Accounting() {
+	case DSM:
+		return !inSegment
+	case CC:
+		return !wasLast
+	default:
+		return !inSegment && !wasLast
+	}
+}

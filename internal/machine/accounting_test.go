@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+// runAcct executes prog for one process under the given accounting and
+// returns its RMR count. Register 3 is owned by process 0, register 13 by
+// process 1, 100+ by nobody (see mkConfig).
+func runAcct(t *testing.T, acct Accounting, progs ...*lang.Program) *Stats {
+	t.Helper()
+	c, _ := mkConfig(t, PSO, progs...)
+	c.SetAccounting(acct)
+	for p := range progs {
+		if halted, err := c.RunSolo(p, 10_000); err != nil || !halted {
+			t.Fatalf("p%d: halted=%v err=%v", p, halted, err)
+		}
+	}
+	return c.Stats()
+}
+
+func TestAccountingDefaultIsCombined(t *testing.T) {
+	c, _ := mkConfig(t, PSO, lang.NewProgram("x", lang.Return(lang.I(0))))
+	if c.Accounting() != Combined {
+		t.Fatalf("default accounting %v, want Combined", c.Accounting())
+	}
+}
+
+// Repeated reads of an unchanged out-of-segment register: one miss, then
+// cache hits. DSM charges every read; CC and Combined charge only the miss.
+func TestAccountingRepeatedRemoteReads(t *testing.T) {
+	mk := func() *lang.Program {
+		return lang.NewProgram("r",
+			lang.Read("a", lang.I(13)),
+			lang.Read("b", lang.I(13)),
+			lang.Read("c", lang.I(13)),
+			lang.Return(lang.I(0)),
+		)
+	}
+	idle := lang.NewProgram("idle", lang.Return(lang.I(0)))
+	if got := runAcct(t, Combined, mk(), idle).RMRs[0]; got != 1 {
+		t.Errorf("combined: %d RMRs, want 1", got)
+	}
+	if got := runAcct(t, DSM, mk(), idle).RMRs[0]; got != 3 {
+		t.Errorf("DSM: %d RMRs, want 3", got)
+	}
+	if got := runAcct(t, CC, mk(), idle).RMRs[0]; got != 1 {
+		t.Errorf("CC: %d RMRs, want 1", got)
+	}
+}
+
+// Reads of the process's own segment: free under DSM and Combined; under
+// CC the first read is still a cache miss.
+func TestAccountingOwnSegmentReads(t *testing.T) {
+	mk := func() *lang.Program {
+		return lang.NewProgram("r",
+			lang.Read("a", lang.I(3)),
+			lang.Read("b", lang.I(3)),
+			lang.Return(lang.I(0)),
+		)
+	}
+	if got := runAcct(t, Combined, mk()).RMRs[0]; got != 0 {
+		t.Errorf("combined: %d RMRs, want 0", got)
+	}
+	if got := runAcct(t, DSM, mk()).RMRs[0]; got != 0 {
+		t.Errorf("DSM: %d RMRs, want 0", got)
+	}
+	if got := runAcct(t, CC, mk()).RMRs[0]; got != 1 {
+		t.Errorf("CC: %d RMRs, want 1 (first read misses)", got)
+	}
+}
+
+// Commits to the own segment: free under DSM/Combined; first commit is a
+// coherence transfer under CC.
+func TestAccountingOwnSegmentCommits(t *testing.T) {
+	mk := func() *lang.Program {
+		return lang.NewProgram("w",
+			lang.Write(lang.I(3), lang.I(1)),
+			lang.Fence(),
+			lang.Write(lang.I(3), lang.I(2)),
+			lang.Fence(),
+			lang.Return(lang.I(0)),
+		)
+	}
+	if got := runAcct(t, Combined, mk()).RMRs[0]; got != 0 {
+		t.Errorf("combined: %d RMRs, want 0", got)
+	}
+	if got := runAcct(t, DSM, mk()).RMRs[0]; got != 0 {
+		t.Errorf("DSM: %d RMRs, want 0", got)
+	}
+	// CC: first commit remote (no prior ownership), second local.
+	if got := runAcct(t, CC, mk()).RMRs[0]; got != 1 {
+		t.Errorf("CC: %d RMRs, want 1", got)
+	}
+}
+
+// CombinedIsWeakest: on any fixed execution, the combined count is at most
+// the DSM count and at most the CC count — the property that lets the
+// paper's lower bound transfer to both classical models.
+func TestAccountingCombinedIsWeakest(t *testing.T) {
+	mk := func() *lang.Program {
+		return lang.NewProgram("mix",
+			lang.Read("a", lang.I(3)),  // own segment
+			lang.Read("b", lang.I(13)), // other's segment
+			lang.Read("c", lang.I(13)), // cache hit
+			lang.Write(lang.I(100), lang.I(1)),
+			lang.Fence(),
+			lang.Write(lang.I(3), lang.I(2)),
+			lang.Fence(),
+			lang.Write(lang.I(13), lang.I(5)),
+			lang.Fence(),
+			lang.Return(lang.I(0)),
+		)
+	}
+	idle := lang.NewProgram("idle", lang.Return(lang.I(0)))
+	combined := runAcct(t, Combined, mk(), idle).RMRs[0]
+	dsm := runAcct(t, DSM, mk(), idle).RMRs[0]
+	cc := runAcct(t, CC, mk(), idle).RMRs[0]
+	if combined > dsm {
+		t.Errorf("combined (%d) > DSM (%d)", combined, dsm)
+	}
+	if combined > cc {
+		t.Errorf("combined (%d) > CC (%d)", combined, cc)
+	}
+}
+
+func TestAccountingSurvivesClone(t *testing.T) {
+	c, _ := mkConfig(t, PSO, lang.NewProgram("x", lang.Return(lang.I(0))))
+	c.SetAccounting(DSM)
+	if got := c.Clone().Accounting(); got != DSM {
+		t.Fatalf("clone accounting %v, want DSM", got)
+	}
+}
+
+func TestAccountingStrings(t *testing.T) {
+	if Combined.String() != "combined" || DSM.String() != "DSM" || CC.String() != "CC" {
+		t.Error("accounting strings wrong")
+	}
+	if Accounting(99).String() == "" {
+		t.Error("unknown accounting string empty")
+	}
+}

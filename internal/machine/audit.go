@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAudit is wrapped by all trace-audit failures.
+var ErrAudit = errors.New("machine: trace audit failed")
+
+// AuditTrace replays a recorded trace against the write-buffer discipline
+// of the given model and verifies that the execution obeys the machine's
+// own rules:
+//
+//   - every commit matches a write that is actually buffered, and carries
+//     the buffered value;
+//   - under TSO, commits drain in FIFO order per process;
+//   - under SC, no commit steps appear at all (writes apply immediately);
+//   - a fence step only executes when the process's buffer is empty;
+//   - a read served from the buffer returns the newest buffered value,
+//     and a read served from memory is only recorded when the register is
+//     not buffered;
+//   - no process takes steps after its return step.
+//
+// The auditor is an independent re-implementation of the buffer discipline
+// (it maintains its own shadow buffers from the trace alone), so it guards
+// the machine against bugs in its own bookkeeping. Tests run it over
+// randomized executions of every model.
+func AuditTrace(tr *Trace, model Model, n int) error {
+	type entry struct {
+		reg Reg
+		val Value
+	}
+	buffers := make([][]entry, n) // insertion-ordered shadow buffers
+	returned := make([]bool, n)
+
+	find := func(p int, r Reg) int {
+		for i, e := range buffers[p] {
+			if e.reg == r {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for i, s := range tr.Steps {
+		if s.P < 0 || s.P >= n {
+			return fmt.Errorf("%w: step %d by unknown process %d", ErrAudit, i, s.P)
+		}
+		if returned[s.P] {
+			return fmt.Errorf("%w: step %d by process %d after its return", ErrAudit, i, s.P)
+		}
+		switch s.Kind {
+		case StepWrite:
+			if model == SC {
+				continue // applied immediately; no buffer involvement
+			}
+			if j := find(s.P, s.Reg); j >= 0 {
+				buffers[s.P][j].val = s.Val // per-register replacement
+			} else {
+				buffers[s.P] = append(buffers[s.P], entry{s.Reg, s.Val})
+			}
+		case StepCommit:
+			if model == SC {
+				return fmt.Errorf("%w: step %d: commit under SC", ErrAudit, i)
+			}
+			j := find(s.P, s.Reg)
+			if j < 0 {
+				return fmt.Errorf("%w: step %d: commit of unbuffered R%d by p%d", ErrAudit, i, s.Reg, s.P)
+			}
+			if buffers[s.P][j].val != s.Val {
+				return fmt.Errorf("%w: step %d: commit value %d != buffered %d", ErrAudit, i, s.Val, buffers[s.P][j].val)
+			}
+			if model == TSO && j != 0 {
+				return fmt.Errorf("%w: step %d: TSO commit of R%d out of FIFO order", ErrAudit, i, s.Reg)
+			}
+			buffers[s.P] = append(buffers[s.P][:j], buffers[s.P][j+1:]...)
+		case StepFence:
+			if len(buffers[s.P]) != 0 {
+				return fmt.Errorf("%w: step %d: fence by p%d with %d buffered writes", ErrAudit, i, s.P, len(buffers[s.P]))
+			}
+		case StepRead:
+			j := find(s.P, s.Reg)
+			if s.FromMemory {
+				if j >= 0 {
+					return fmt.Errorf("%w: step %d: memory read of buffered R%d", ErrAudit, i, s.Reg)
+				}
+			} else {
+				if j < 0 {
+					return fmt.Errorf("%w: step %d: buffer read of unbuffered R%d", ErrAudit, i, s.Reg)
+				}
+				if buffers[s.P][j].val != s.Val {
+					return fmt.Errorf("%w: step %d: buffer read %d != buffered %d", ErrAudit, i, s.Val, buffers[s.P][j].val)
+				}
+			}
+		case StepReturn:
+			if len(buffers[s.P]) != 0 {
+				// Not a machine rule per se, but all programs in this
+				// repository fence before returning (the paper's w.l.o.g.
+				// convention), so leftover writes indicate a bug.
+				return fmt.Errorf("%w: step %d: p%d returned with %d buffered writes", ErrAudit, i, s.P, len(buffers[s.P]))
+			}
+			returned[s.P] = true
+		default:
+			return fmt.Errorf("%w: step %d: unknown kind %v", ErrAudit, i, s.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+// tracedRandomRun executes a random schedule over two incrementer
+// processes under the model and returns the trace.
+func tracedRandomRun(t *testing.T, model Model, seed int64) *Trace {
+	t.Helper()
+	c, _ := mkConfig(t, model, incProgram(), incProgram())
+	tr := NewTrace()
+	c.SetTrace(tr)
+	rng := rand.New(rand.NewSource(seed))
+	if err := RunRandom(c, rng, 0.35, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestAuditRandomExecutions: the machine's own executions must pass the
+// independent audit under every model.
+func TestAuditRandomExecutions(t *testing.T) {
+	for _, model := range []Model{SC, TSO, PSO} {
+		for seed := int64(0); seed < 25; seed++ {
+			tr := tracedRandomRun(t, model, seed)
+			if err := AuditTrace(tr, model, 2); err != nil {
+				t.Fatalf("%v seed %d: %v\n%s", model, seed, err, tr.Format(nil))
+			}
+		}
+	}
+}
+
+// TestAuditLockExecution audits a contended lock run (the richest step
+// mix: spins, hidden buffer reads, drains).
+func TestAuditLockExecution(t *testing.T) {
+	// Reuse the spin/writer pair from the machine tests.
+	spin := lang.NewProgram("spin",
+		lang.Read("v", lang.I(13)),
+		lang.While(lang.Eq(lang.L("v"), lang.I(0)),
+			lang.Read("v", lang.I(13)),
+		),
+		lang.Fence(),
+		lang.Return(lang.L("v")),
+	)
+	writer := lang.NewProgram("writer",
+		lang.Write(lang.I(13), lang.I(7)),
+		lang.Write(lang.I(100), lang.I(8)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, spin, writer)
+	tr := NewTrace()
+	c.SetTrace(tr)
+	if err := RunRoundRobin(c, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditTrace(tr, PSO, 2); err != nil {
+		t.Fatalf("%v\n%s", err, tr.Format(nil))
+	}
+}
+
+// TestAuditCatchesViolations: hand-corrupted traces must be rejected for
+// the right reasons.
+func TestAuditCatchesViolations(t *testing.T) {
+	w := StepRecord{P: 0, Kind: StepWrite, Reg: 5, Val: 9}
+	commit := StepRecord{P: 0, Kind: StepCommit, Reg: 5, Val: 9}
+	cases := []struct {
+		name  string
+		model Model
+		steps []StepRecord
+	}{
+		{"commit-without-write", PSO, []StepRecord{commit}},
+		{"commit-wrong-value", PSO, []StepRecord{w, {P: 0, Kind: StepCommit, Reg: 5, Val: 1}}},
+		{"commit-under-sc", SC, []StepRecord{commit}},
+		{"fence-with-buffered", PSO, []StepRecord{w, {P: 0, Kind: StepFence}}},
+		{"tso-out-of-order", TSO, []StepRecord{
+			w, {P: 0, Kind: StepWrite, Reg: 6, Val: 1}, {P: 0, Kind: StepCommit, Reg: 6, Val: 1},
+		}},
+		{"memory-read-of-buffered", PSO, []StepRecord{w, {P: 0, Kind: StepRead, Reg: 5, Val: 0, FromMemory: true}}},
+		{"buffer-read-of-unbuffered", PSO, []StepRecord{{P: 0, Kind: StepRead, Reg: 5, Val: 0}}},
+		{"buffer-read-wrong-value", PSO, []StepRecord{w, {P: 0, Kind: StepRead, Reg: 5, Val: 1}}},
+		{"return-with-buffered", PSO, []StepRecord{w, {P: 0, Kind: StepReturn}}},
+		{"step-after-return", PSO, []StepRecord{{P: 0, Kind: StepReturn}, {P: 0, Kind: StepFence}}},
+		{"unknown-process", PSO, []StepRecord{{P: 7, Kind: StepFence}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := AuditTrace(&Trace{Steps: c.steps}, c.model, 2)
+			if err == nil {
+				t.Fatal("corrupted trace passed the audit")
+			}
+			if !errors.Is(err, ErrAudit) {
+				t.Fatalf("error not wrapped: %v", err)
+			}
+		})
+	}
+}
+
+// TestAuditAcceptsValidHandTrace: a well-formed hand-written trace passes.
+func TestAuditAcceptsValidHandTrace(t *testing.T) {
+	steps := []StepRecord{
+		{P: 0, Kind: StepWrite, Reg: 5, Val: 1},
+		{P: 0, Kind: StepWrite, Reg: 5, Val: 2}, // replacement
+		{P: 0, Kind: StepRead, Reg: 5, Val: 2},  // served from buffer
+		{P: 1, Kind: StepRead, Reg: 5, Val: 0, FromMemory: true},
+		{P: 0, Kind: StepCommit, Reg: 5, Val: 2},
+		{P: 0, Kind: StepFence},
+		{P: 0, Kind: StepReturn},
+		{P: 1, Kind: StepFence},
+		{P: 1, Kind: StepReturn},
+	}
+	if err := AuditTrace(&Trace{Steps: steps}, PSO, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+func benchConfig(b *testing.B, model Model, nprocs int) *Config {
+	b.Helper()
+	lay := NewLayout()
+	lay.MustAlloc("seg", 16*nprocs, func(i int) int { return i / 16 })
+	lay.MustAlloc("shared", 64, Unowned)
+	prog := lang.NewProgram("bench",
+		lang.Assign("i", lang.I(0)),
+		lang.While(lang.Lt(lang.L("i"), lang.I(64)),
+			lang.Read("v", lang.Add(lang.I(int64(16*nprocs)), lang.Mod(lang.L("i"), lang.I(64)))),
+			lang.Write(lang.Add(lang.I(int64(16*nprocs)), lang.Mod(lang.L("i"), lang.I(64))), lang.L("i")),
+			lang.Fence(),
+			lang.Assign("i", lang.Add(lang.L("i"), lang.I(1))),
+		),
+		lang.Return(lang.I(0)),
+	)
+	progs := make([]*lang.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	c, err := NewConfig(model, lay, progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkStepPSO measures raw machine step throughput under PSO
+// (read/write/commit/fence mix).
+func BenchmarkStepPSO(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := benchConfig(b, PSO, 2)
+		if err := RunRoundRobin(c, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepTSO is the same workload under FIFO buffers.
+func BenchmarkStepTSO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchConfig(b, TSO, 2)
+		if err := RunRoundRobin(c, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepSC is the degenerate immediate-commit machine.
+func BenchmarkStepSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchConfig(b, SC, 2)
+		if err := RunRoundRobin(c, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfigClone measures configuration snapshot cost at a
+// representative mid-execution state, per process count.
+func BenchmarkConfigClone(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			c := benchConfig(b, PSO, n)
+			for p := 0; p < n; p++ {
+				for k := 0; k < 10; k++ {
+					if _, _, err := c.Step(PBottom(p)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkConfigFingerprint measures the visited-set key computation.
+func BenchmarkConfigFingerprint(b *testing.B) {
+	c := benchConfig(b, PSO, 4)
+	for p := 0; p < 4; p++ {
+		for k := 0; k < 10; k++ {
+			if _, _, err := c.Step(PBottom(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fingerprint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSOBufferOps measures the register-keyed set operations.
+func BenchmarkPSOBufferOps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := newPSOBuffer()
+		for r := Reg(0); r < 16; r++ {
+			buf.put(Write{Reg: r, Val: Value(r)})
+		}
+		for buf.len() > 0 {
+			buf.commit(buf.drainNext())
+		}
+	}
+}
+
+// BenchmarkTSOBufferOps measures the FIFO queue operations.
+func BenchmarkTSOBufferOps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := newTSOBuffer()
+		for r := Reg(0); r < 16; r++ {
+			buf.put(Write{Reg: r, Val: Value(r)})
+		}
+		for buf.len() > 0 {
+			buf.commit(buf.drainNext())
+		}
+	}
+}
+
+func sizeLabel(n int) string {
+	switch n {
+	case 2:
+		return "n=2"
+	case 8:
+		return "n=8"
+	default:
+		return "n=32"
+	}
+}

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tradingfences/internal/lang"
+)
+
+// randomSchedule builds a schedule of length steps over n processes with
+// occasional (p, R) elements naming plausible registers.
+func randomSchedule(rng *rand.Rand, n, steps int, maxReg Reg) Schedule {
+	sched := make(Schedule, steps)
+	for i := range sched {
+		p := rng.Intn(n)
+		if rng.Float64() < 0.3 {
+			sched[i] = PReg(p, Reg(rng.Int63n(int64(maxReg))))
+		} else {
+			sched[i] = PBottom(p)
+		}
+	}
+	return sched
+}
+
+func incProgram() *lang.Program {
+	return lang.NewProgram("inc",
+		lang.Read("x", lang.I(100)),
+		lang.Write(lang.I(100), lang.Add(lang.L("x"), lang.I(1))),
+		lang.Write(lang.I(101), lang.PID()),
+		lang.Fence(),
+		lang.Read("y", lang.I(101)),
+		lang.Return(lang.Add(lang.L("x"), lang.L("y"))),
+	)
+}
+
+// TestQuickDeterministicReplay: the machine is a deterministic transition
+// system — executing the same schedule twice from fresh configurations
+// yields identical traces, stats, memory and final states.
+func TestQuickDeterministicReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sched := randomSchedule(rng, 3, 200, 120)
+		run := func() (*Config, *Trace) {
+			c, _ := mkConfig(t, PSO, incProgram(), incProgram(), incProgram())
+			tr := NewTrace()
+			c.SetTrace(tr)
+			if _, err := c.Exec(sched); err != nil {
+				t.Fatal(err)
+			}
+			return c, tr
+		}
+		c1, t1 := run()
+		c2, t2 := run()
+		if len(t1.Steps) != len(t2.Steps) {
+			return false
+		}
+		for i := range t1.Steps {
+			if t1.Steps[i] != t2.Steps[i] {
+				return false
+			}
+		}
+		f1, err := c1.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := c2.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f1 == f2 && c1.Stats().TotalRMRs() == c2.Stats().TotalRMRs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneTransparency: running a schedule on a clone gives exactly
+// the behaviour of running it on the original.
+func TestQuickCloneTransparency(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sched := randomSchedule(rng, 2, 150, 120)
+		k := int(split) % len(sched)
+
+		// Path A: run the whole schedule on one configuration.
+		a, _ := mkConfig(t, PSO, incProgram(), incProgram())
+		if _, err := a.Exec(sched); err != nil {
+			t.Fatal(err)
+		}
+		// Path B: run a prefix, clone, and finish on the clone.
+		b, _ := mkConfig(t, PSO, incProgram(), incProgram())
+		if _, err := b.Exec(sched[:k]); err != nil {
+			t.Fatal(err)
+		}
+		b2 := b.Clone()
+		if _, err := b2.Exec(sched[k:]); err != nil {
+			t.Fatal(err)
+		}
+		fa, err := a.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := b2.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fa == fb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBufferInvariants: the PSO buffer is a register-keyed set — no
+// duplicate registers, lookup returns the latest value, regs() sorted.
+func TestQuickPSOBufferInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := newPSOBuffer()
+		model := make(map[Reg]Value)
+		for i, op := range ops {
+			r := Reg(op % 8)
+			switch {
+			case i%3 != 0 || len(model) == 0:
+				v := Value(i)
+				b.put(Write{Reg: r, Val: v})
+				model[r] = v
+			default:
+				if b.canCommit(r) {
+					w := b.commit(r)
+					if w.Val != model[r] {
+						return false
+					}
+					delete(model, r)
+				} else if _, in := model[r]; in {
+					return false
+				}
+			}
+			if b.len() != len(model) {
+				return false
+			}
+			regs := b.regs()
+			for j := 1; j < len(regs); j++ {
+				if regs[j-1] >= regs[j] {
+					return false
+				}
+			}
+			for r, v := range model {
+				got, ok := b.lookup(r)
+				if !ok || got != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTSOBufferFIFO: the TSO buffer commits in insertion order, with
+// coalescing updates in place.
+func TestQuickTSOBufferFIFO(t *testing.T) {
+	f := func(rs []uint8) bool {
+		b := newTSOBuffer()
+		var order []Reg // first-insertion order
+		latest := make(map[Reg]Value)
+		for i, x := range rs {
+			r := Reg(x % 6)
+			v := Value(i + 1)
+			if _, seen := latest[r]; !seen {
+				order = append(order, r)
+			}
+			latest[r] = v
+			b.put(Write{Reg: r, Val: v})
+		}
+		if b.len() != len(order) {
+			return false
+		}
+		for _, r := range order {
+			if !b.canCommit(r) {
+				return false
+			}
+			// Only the head is committable.
+			for r2 := range latest {
+				if r2 != r && b.canCommit(r2) {
+					return false
+				}
+			}
+			w := b.commit(r)
+			if w.Reg != r || w.Val != latest[r] {
+				return false
+			}
+			delete(latest, r)
+		}
+		return b.len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical encoding of the configuration's
+// *behavioural* state: memory contents, every process's control state, and
+// every write buffer (in semantic order). Cost-accounting state (knowledge
+// caches, last-committer table, statistics) is deliberately excluded — it
+// never influences control flow, so two configurations with equal
+// fingerprints generate identical execution trees. The model checker uses
+// fingerprints for visited-state pruning.
+//
+// All processes are settled (pending local computation executed) first, so
+// that fingerprints are insensitive to the interpreter's lazy evaluation.
+func (c *Config) Fingerprint() (string, error) {
+	var b strings.Builder
+	b.Grow(256)
+	for p := 0; p < c.n; p++ {
+		if !c.procs[p].Halted() {
+			if _, _, err := c.procs[p].NextOp(); err != nil {
+				return "", err
+			}
+		}
+	}
+	// Memory: only non-zero registers, in register order (registers are
+	// allocated contiguously from 0).
+	size := Reg(c.lay.Size())
+	for r := Reg(0); r < size; r++ {
+		if v, ok := c.mem[r]; ok && v != 0 {
+			fmt.Fprintf(&b, "m%d=%d,", r, v)
+		}
+	}
+	for p := 0; p < c.n; p++ {
+		fmt.Fprintf(&b, "#p%d:", p)
+		c.procs[p].AppendFingerprint(&b)
+		for _, w := range c.wbs[p].entries() {
+			fmt.Fprintf(&b, "w%d=%d,", w.Reg, w.Val)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+// FuzzParseSchedule: arbitrary text must parse or error cleanly, and
+// parsed schedules must survive a print/parse round trip.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("p0 p1:R5 p2")
+	f.Add("")
+	f.Add("p0:R0")
+	f.Add("px garbage")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		back, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("element %d: %v != %v", i, back[i], s[i])
+			}
+		}
+	})
+}
+
+// FuzzScheduleExecution: any schedule over valid process IDs executes
+// without panics and deterministically.
+func FuzzScheduleExecution(f *testing.F) {
+	f.Add("p0 p1 p0:R100 p1:R101 p0 p0 p1")
+	f.Add("p0:R0 p0:R1 p0:R2")
+	f.Fuzz(func(t *testing.T, text string) {
+		sched, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		for _, e := range sched {
+			if e.P < 0 || e.P > 1 {
+				return
+			}
+		}
+		// The same Program values must be shared across runs: state
+		// fingerprints identify program positions by AST identity, as in
+		// all real usage (one immutable Program, many configurations).
+		lay := NewLayout()
+		lay.MustAlloc("regs", 128, Unowned)
+		progs := []*lang.Program{incProgram(), incProgram()}
+		run := func() string {
+			c, err := NewConfig(PSO, lay, progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Exec(sched); err != nil {
+				t.Fatal(err)
+			}
+			fp, err := c.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fp
+		}
+		if run() != run() {
+			t.Fatal("nondeterministic execution")
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoOwner marks a register that lies in no process's memory segment; every
+// shared-memory access to it is out-of-segment. The paper partitions all of
+// R into n process segments; placing auxiliary registers (e.g. interior
+// tournament-tree nodes, which no single process naturally owns) in an extra
+// segment owned by nobody only adds remote steps, so lower bounds transfer
+// and the measured upper bounds are conservative.
+const NoOwner = -1
+
+// Layout allocates the register namespace for an algorithm instance and
+// records segment ownership. Registers are handed out as contiguous arrays;
+// each register belongs to exactly one process segment (or to NoOwner).
+//
+// A Layout is built once per algorithm instance and then shared, immutably,
+// by every configuration running that instance.
+type Layout struct {
+	next   Reg
+	owner  map[Reg]int
+	arrays map[string]Array
+	order  []string
+}
+
+// Array is a contiguous block of registers allocated from a Layout.
+type Array struct {
+	Name string
+	Base Reg
+	Len  int
+}
+
+// At returns the register id of element i. It panics on out-of-range i —
+// array indices in this repository are computed by the algorithms
+// themselves, so a violation is a programming error, not an input error.
+func (a Array) At(i int) Reg {
+	if i < 0 || i >= a.Len {
+		panic(fmt.Sprintf("machine: index %d out of range for array %s[%d]", i, a.Name, a.Len))
+	}
+	return a.Base + Reg(i)
+}
+
+// NewLayout returns an empty register layout.
+func NewLayout() *Layout {
+	return &Layout{owner: make(map[Reg]int), arrays: make(map[string]Array)}
+}
+
+// Alloc allocates an array of length size named name. ownerOf(i) gives the
+// segment owner for element i (use NoOwner for unowned). Names must be
+// unique within a layout.
+func (l *Layout) Alloc(name string, size int, ownerOf func(i int) int) (Array, error) {
+	if size < 0 {
+		return Array{}, fmt.Errorf("machine: negative array size %d for %q", size, name)
+	}
+	if _, dup := l.arrays[name]; dup {
+		return Array{}, fmt.Errorf("machine: duplicate array name %q", name)
+	}
+	a := Array{Name: name, Base: l.next, Len: size}
+	for i := 0; i < size; i++ {
+		l.owner[a.Base+Reg(i)] = ownerOf(i)
+	}
+	l.next += Reg(size)
+	l.arrays[name] = a
+	l.order = append(l.order, name)
+	return a, nil
+}
+
+// MustAlloc is Alloc for static layouts built by the algorithm constructors,
+// where a failure is a programming error.
+func (l *Layout) MustAlloc(name string, size int, ownerOf func(i int) int) Array {
+	a, err := l.Alloc(name, size, ownerOf)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// OwnedBy is a convenience ownership function: element i is owned by
+// process i.
+func OwnedBy(i int) int { return i }
+
+// Unowned is a convenience ownership function placing every element in the
+// extra, unowned segment.
+func Unowned(int) int { return NoOwner }
+
+// OwnedByConst returns an ownership function assigning every element to p.
+func OwnedByConst(p int) func(int) int { return func(int) int { return p } }
+
+// Owner returns the segment owner of register r (NoOwner if r was never
+// allocated or is unowned).
+func (l *Layout) Owner(r Reg) int {
+	o, ok := l.owner[r]
+	if !ok {
+		return NoOwner
+	}
+	return o
+}
+
+// Size returns the total number of allocated registers.
+func (l *Layout) Size() int { return int(l.next) }
+
+// Array returns the array allocated under name.
+func (l *Layout) Array(name string) (Array, bool) {
+	a, ok := l.arrays[name]
+	return a, ok
+}
+
+// Describe returns a human-readable description of register r, e.g.
+// "T[3]", for traces and counterexample printing.
+func (l *Layout) Describe(r Reg) string {
+	names := l.order
+	if len(names) == 0 {
+		return fmt.Sprintf("R%d", r)
+	}
+	// Arrays are allocated contiguously; find the one containing r.
+	idx := sort.Search(len(names), func(i int) bool {
+		a := l.arrays[names[i]]
+		return a.Base+Reg(a.Len) > r
+	})
+	if idx < len(names) {
+		a := l.arrays[names[idx]]
+		if r >= a.Base && r < a.Base+Reg(a.Len) {
+			if a.Len == 1 {
+				return a.Name
+			}
+			return fmt.Sprintf("%s[%d]", a.Name, r-a.Base)
+		}
+	}
+	return fmt.Sprintf("R%d", r)
+}

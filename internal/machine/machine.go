@@ -1,0 +1,414 @@
+// Package machine implements the shared-memory machine of the paper's
+// Section 2: n asynchronous processes communicating through totally-ordered
+// registers, each process equipped with a write buffer whose commits are
+// controlled by the system (the adversary/scheduler), and the combined
+// DSM+CC accounting of remote memory references.
+//
+// An execution is driven by a schedule of (process, register-or-⊥) pairs,
+// exactly as in the paper's definition of Exec_A(C; σ):
+//
+//  1. if the process is in a final state, the element produces no step;
+//  2. if the element names a register with a committable buffered write,
+//     the step commits that write;
+//  3. otherwise, if the process is poised at a fence with a non-empty
+//     buffer, the step commits the buffered write drained first under the
+//     model's discipline (smallest register under PSO, FIFO head under TSO);
+//  4. otherwise the step performs the process's pending read, write, fence
+//     or return operation.
+//
+// Under TSO, rule 2 additionally requires the named register to be the FIFO
+// head — the defining restriction of total store order. Under SC a write
+// step commits within the same step.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"tradingfences/internal/lang"
+)
+
+// Value is the register value domain (see lang.Value).
+type Value = lang.Value
+
+// Bottom is the ⊥ register marker in schedule elements. Schedule elements
+// are (p, ⊥) or (p, R); Elem.HasReg distinguishes them.
+type Elem struct {
+	P      int
+	Reg    Reg
+	HasReg bool
+}
+
+// PBottom returns the schedule element (p, ⊥).
+func PBottom(p int) Elem { return Elem{P: p} }
+
+// PReg returns the schedule element (p, r).
+func PReg(p int, r Reg) Elem { return Elem{P: p, Reg: r, HasReg: true} }
+
+// Schedule is a finite sequence of schedule elements.
+type Schedule []Elem
+
+// ErrBadPID is returned when a schedule element names a process outside
+// [0, n).
+var ErrBadPID = errors.New("machine: schedule element names an unknown process")
+
+// Config is a system configuration: the state of each process, each
+// register, and each write buffer — plus the bookkeeping needed for RMR
+// classification (per-process knowledge caches and the last-committer
+// table) and the running cost counters.
+type Config struct {
+	model Model
+	n     int
+	lay   *Layout
+
+	mem   map[Reg]Value
+	procs []*lang.ProcState
+	wbs   []writeBuffer
+
+	// cache[p][r] is the last value process p read from or wrote to r;
+	// a read returning that same value is served by p's cache and is
+	// therefore local (the paper's CC half of the combined model).
+	cache []map[Reg]Value
+	// lastCommitter[r] is the last process to commit a write to r; a
+	// commit by the same process again is local (no other process took
+	// the cache line / memory ownership away in between).
+	lastCommitter map[Reg]int
+
+	accounting Accounting
+
+	stats *Stats
+	trace *Trace
+}
+
+// NewConfig returns the initial configuration C_init for n processes
+// executing progs (progs[p] is process p's program) under the given memory
+// model and register layout. All registers hold 0 (the paper's ⊥) and all
+// write buffers are empty.
+func NewConfig(model Model, lay *Layout, progs []*lang.Program) (*Config, error) {
+	n := len(progs)
+	if n == 0 {
+		return nil, errors.New("machine: no processes")
+	}
+	if lay == nil {
+		lay = NewLayout()
+	}
+	c := &Config{
+		model:         model,
+		n:             n,
+		lay:           lay,
+		mem:           make(map[Reg]Value),
+		procs:         make([]*lang.ProcState, n),
+		wbs:           make([]writeBuffer, n),
+		cache:         make([]map[Reg]Value, n),
+		lastCommitter: make(map[Reg]int),
+		stats:         NewStats(n),
+	}
+	for p := 0; p < n; p++ {
+		if progs[p] == nil {
+			return nil, fmt.Errorf("machine: nil program for process %d", p)
+		}
+		c.procs[p] = lang.NewProcState(progs[p], p, n)
+		c.wbs[p] = newBuffer(model)
+		c.cache[p] = make(map[Reg]Value)
+	}
+	return c, nil
+}
+
+// Clone returns an independent deep copy of the configuration (statistics
+// included, trace not: the clone starts with recording disabled).
+func (c *Config) Clone() *Config {
+	d := &Config{
+		model:         c.model,
+		n:             c.n,
+		lay:           c.lay,
+		accounting:    c.accounting,
+		mem:           make(map[Reg]Value, len(c.mem)),
+		procs:         make([]*lang.ProcState, c.n),
+		wbs:           make([]writeBuffer, c.n),
+		cache:         make([]map[Reg]Value, c.n),
+		lastCommitter: make(map[Reg]int, len(c.lastCommitter)),
+		stats:         c.stats.Clone(),
+	}
+	for r, v := range c.mem {
+		d.mem[r] = v
+	}
+	for r, p := range c.lastCommitter {
+		d.lastCommitter[r] = p
+	}
+	for p := 0; p < c.n; p++ {
+		d.procs[p] = c.procs[p].Clone()
+		d.wbs[p] = c.wbs[p].clone()
+		d.cache[p] = make(map[Reg]Value, len(c.cache[p]))
+		for r, v := range c.cache[p] {
+			d.cache[p][r] = v
+		}
+	}
+	return d
+}
+
+// N returns the number of processes.
+func (c *Config) N() int { return c.n }
+
+// Model returns the memory model the configuration runs under.
+func (c *Config) Model() Model { return c.model }
+
+// Layout returns the register layout.
+func (c *Config) Layout() *Layout { return c.lay }
+
+// Stats returns the configuration's cost counters.
+func (c *Config) Stats() *Stats { return c.stats }
+
+// SetTrace installs (or, with nil, removes) a step recorder.
+func (c *Config) SetTrace(t *Trace) { c.trace = t }
+
+// Trace returns the installed step recorder, if any.
+func (c *Config) Trace() *Trace { return c.trace }
+
+// Register returns the current shared-memory value of r (0 if never
+// committed).
+func (c *Config) Register(r Reg) Value { return c.mem[r] }
+
+// SetRegister initializes register r to v. Intended for test setup before
+// any steps are taken.
+func (c *Config) SetRegister(r Reg, v Value) { c.mem[r] = v }
+
+// Proc returns process p's interpreter state.
+func (c *Config) Proc(p int) *lang.ProcState { return c.procs[p] }
+
+// Halted reports whether process p is in a final state.
+func (c *Config) Halted(p int) bool { return c.procs[p].Halted() }
+
+// AllHalted reports whether every process is in a final state.
+func (c *Config) AllHalted() bool {
+	for _, ps := range c.procs {
+		if !ps.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// ReturnValue returns process p's final value (only meaningful once p has
+// halted).
+func (c *Config) ReturnValue(p int) Value { return c.procs[p].ReturnValue() }
+
+// NbFinal returns the number of processes in a final state (the paper's
+// NbFinal(C)).
+func (c *Config) NbFinal() int {
+	k := 0
+	for _, ps := range c.procs {
+		if ps.Halted() {
+			k++
+		}
+	}
+	return k
+}
+
+// BufferLen returns the number of buffered writes of process p.
+func (c *Config) BufferLen(p int) int { return c.wbs[p].len() }
+
+// BufferRegs returns the registers buffered by process p, ascending.
+func (c *Config) BufferRegs(p int) []Reg { return c.wbs[p].regs() }
+
+// BufferLookup returns the buffered value process p holds for r, if any.
+func (c *Config) BufferLookup(p int, r Reg) (Value, bool) { return c.wbs[p].lookup(r) }
+
+// CanCommit reports whether process p currently has a committable buffered
+// write to r (under TSO this additionally requires r to be the FIFO head).
+func (c *Config) CanCommit(p int, r Reg) bool { return c.wbs[p].canCommit(r) }
+
+// NextOp returns the operation process p is poised to execute — the paper's
+// next_p(C) — with ok=false when p is in a final state.
+func (c *Config) NextOp(p int) (lang.Op, bool, error) { return c.procs[p].NextOp() }
+
+// PoisedAtFence reports whether process p's next operation is fence().
+func (c *Config) PoisedAtFence(p int) bool {
+	op, ok, err := c.procs[p].NextOp()
+	return err == nil && ok && op.Kind == lang.OpFence
+}
+
+// Step executes the schedule element e and returns the resulting step
+// record. took=false means the element produced the empty execution (the
+// process was already in a final state).
+func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
+	p := e.P
+	if p < 0 || p >= c.n {
+		return StepRecord{}, false, fmt.Errorf("%w: %d", ErrBadPID, p)
+	}
+	ps := c.procs[p]
+	if ps.Halted() {
+		return StepRecord{}, false, nil
+	}
+
+	// Rule 2: the element names a register with a committable write.
+	if e.HasReg && c.wbs[p].canCommit(e.Reg) {
+		return c.commitStep(p, e.Reg), true, nil
+	}
+
+	op, ok, err := ps.NextOp()
+	if err != nil {
+		return StepRecord{}, false, err
+	}
+	if !ok {
+		return StepRecord{}, false, nil
+	}
+
+	// Rule 3: blocked at a fence with a non-empty buffer — drain.
+	if op.Kind == lang.OpFence && c.wbs[p].len() > 0 {
+		return c.commitStep(p, c.wbs[p].drainNext()), true, nil
+	}
+
+	// Rule 4: perform the pending program operation.
+	switch op.Kind {
+	case lang.OpRead:
+		return c.readStep(p, op)
+	case lang.OpWrite:
+		return c.writeStep(p, op)
+	case lang.OpFence:
+		if err := ps.CompleteFence(); err != nil {
+			return StepRecord{}, false, err
+		}
+		c.stats.Fences[p]++
+		c.stats.Steps[p]++
+		rec = StepRecord{P: p, Kind: StepFence, SegOwner: NoOwner}
+		c.trace.append(rec)
+		return rec, true, nil
+	case lang.OpReturn:
+		if err := ps.CompleteReturn(); err != nil {
+			return StepRecord{}, false, err
+		}
+		c.stats.Steps[p]++
+		rec = StepRecord{P: p, Kind: StepReturn, Val: op.Val, SegOwner: NoOwner}
+		c.trace.append(rec)
+		return rec, true, nil
+	default:
+		return StepRecord{}, false, fmt.Errorf("machine: process %d poised at unknown op %v", p, op)
+	}
+}
+
+// commitStep commits process p's buffered write to r and classifies it.
+func (c *Config) commitStep(p int, r Reg) StepRecord {
+	w := c.wbs[p].commit(r)
+	c.mem[w.Reg] = w.Val
+
+	owner := c.lay.Owner(w.Reg)
+	last, seen := c.lastCommitter[w.Reg]
+	remote := c.classifyCommit(owner == p, seen && last == p)
+	c.lastCommitter[w.Reg] = p
+
+	c.stats.Commits[p]++
+	c.stats.Steps[p]++
+	if remote {
+		c.stats.RemoteCommits[p]++
+		c.stats.RMRs[p]++
+	}
+	rec := StepRecord{P: p, Kind: StepCommit, Reg: w.Reg, Val: w.Val, Remote: remote, SegOwner: owner}
+	c.trace.append(rec)
+	return rec
+}
+
+// readStep serves process p's pending read and classifies it.
+func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
+	r := op.Reg
+	owner := c.lay.Owner(r)
+
+	var (
+		val        Value
+		fromMemory bool
+		remote     bool
+	)
+	if v, buffered := c.wbs[p].lookup(r); buffered {
+		// Served from the process's own write buffer: local, does not
+		// touch shared memory.
+		val, fromMemory, remote = v, false, false
+	} else {
+		val = c.mem[r]
+		fromMemory = true
+		cached, known := c.cache[p][r]
+		remote = c.classifyRead(owner == p, known && cached == val)
+	}
+	c.cache[p][r] = val
+
+	if err := c.procs[p].CompleteRead(val); err != nil {
+		return StepRecord{}, false, err
+	}
+	c.stats.Reads[p]++
+	c.stats.Steps[p]++
+	if remote {
+		c.stats.RemoteReads[p]++
+		c.stats.RMRs[p]++
+	}
+	rec := StepRecord{P: p, Kind: StepRead, Reg: r, Val: val, FromMemory: fromMemory, Remote: remote, SegOwner: owner}
+	c.trace.append(rec)
+	return rec, true, nil
+}
+
+// writeStep buffers process p's pending write (and, under SC, commits it
+// within the same step).
+func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
+	r, v := op.Reg, op.Val
+	owner := c.lay.Owner(r)
+
+	if err := c.procs[p].CompleteWrite(); err != nil {
+		return StepRecord{}, false, err
+	}
+	c.cache[p][r] = v
+	c.stats.Writes[p]++
+	c.stats.Steps[p]++
+
+	if c.model == SC {
+		// Atomic write: the write reaches memory immediately. The step is
+		// classified by the commit rule (out-of-segment and not the last
+		// committer ⇒ remote), so SC cost accounting matches the usual
+		// DSM/CC conventions.
+		c.mem[r] = v
+		last, seen := c.lastCommitter[r]
+		remote := c.classifyCommit(owner == p, seen && last == p)
+		c.lastCommitter[r] = p
+		c.stats.Commits[p]++
+		if remote {
+			c.stats.RemoteCommits[p]++
+			c.stats.RMRs[p]++
+		}
+		rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, Remote: remote, SegOwner: owner}
+		c.trace.append(rec)
+		return rec, true, nil
+	}
+
+	c.wbs[p].put(Write{Reg: r, Val: v})
+	rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, SegOwner: owner}
+	c.trace.append(rec)
+	return rec, true, nil
+}
+
+// Exec runs the schedule σ from the current configuration, stopping early
+// on interpreter errors. It returns the number of elements that produced a
+// step.
+func (c *Config) Exec(sched Schedule) (steps int, err error) {
+	for _, e := range sched {
+		_, took, err := c.Step(e)
+		if err != nil {
+			return steps, err
+		}
+		if took {
+			steps++
+		}
+	}
+	return steps, nil
+}
+
+// RunSolo repeatedly schedules (p, ⊥) until process p halts or maxSteps
+// elements have been consumed. It reports whether p reached a final state.
+// This realizes the paper's "p-only schedule" used by weak obstruction-
+// freedom and by the encoder's enabledness checks.
+func (c *Config) RunSolo(p int, maxSteps int) (halted bool, err error) {
+	for i := 0; i < maxSteps; i++ {
+		if c.procs[p].Halted() {
+			return true, nil
+		}
+		if _, _, err := c.Step(PBottom(p)); err != nil {
+			return false, err
+		}
+	}
+	return c.procs[p].Halted(), nil
+}

@@ -1,0 +1,543 @@
+package machine
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+// mkConfig builds a configuration with the given programs over a layout in
+// which registers 0..9 are owned by process 0, 10..19 by process 1, and
+// 100..119 by nobody.
+func mkConfig(t *testing.T, model Model, progs ...*lang.Program) (*Config, *Layout) {
+	t.Helper()
+	lay := NewLayout()
+	lay.MustAlloc("seg0", 10, OwnedByConst(0))
+	lay.MustAlloc("seg1", 10, OwnedByConst(1))
+	lay.MustAlloc("pad", 80, Unowned)
+	lay.MustAlloc("shared", 20, Unowned)
+	c, err := NewConfig(model, lay, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lay
+}
+
+func TestWriteBuffersUntilFence(t *testing.T) {
+	prog := lang.NewProgram("w",
+		lang.Write(lang.I(5), lang.I(42)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	// Write step: buffered, memory unchanged.
+	if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+		t.Fatalf("write step: took=%v err=%v", took, err)
+	}
+	if c.Register(5) != 0 {
+		t.Fatal("write reached memory before commit")
+	}
+	if c.BufferLen(0) != 1 {
+		t.Fatalf("buffer len %d, want 1", c.BufferLen(0))
+	}
+	// Next (0,⊥): poised at fence with non-empty buffer → commit.
+	rec, _, err := c.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepCommit || rec.Reg != 5 || rec.Val != 42 {
+		t.Fatalf("expected commit(5,42), got %v", rec)
+	}
+	if c.Register(5) != 42 {
+		t.Fatal("commit did not reach memory")
+	}
+	// Now the fence itself.
+	rec, _, err = c.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepFence {
+		t.Fatalf("expected fence, got %v", rec)
+	}
+	if c.Stats().Fences[0] != 1 {
+		t.Fatalf("fence count %d, want 1", c.Stats().Fences[0])
+	}
+}
+
+func TestReadServedFromOwnBuffer(t *testing.T) {
+	prog := lang.NewProgram("rb",
+		lang.Write(lang.I(100), lang.I(7)),
+		lang.Read("x", lang.I(100)),
+		lang.Return(lang.L("x")),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	if _, _, err := c.Step(PBottom(0)); err != nil { // write
+		t.Fatal(err)
+	}
+	rec, _, err := c.Step(PBottom(0)) // read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepRead || rec.FromMemory || rec.Remote {
+		t.Fatalf("read from own buffer should be local non-memory: %v", rec)
+	}
+	if rec.Val != 7 {
+		t.Fatalf("read %d, want 7 (buffered value)", rec.Val)
+	}
+}
+
+func TestScheduledCommit(t *testing.T) {
+	prog := lang.NewProgram("sc",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(101), lang.I(2)),
+		lang.Read("x", lang.I(0)), // unrelated read keeps the process off its fence
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary commits register 101 first, out of program order (PSO).
+	rec, took, err := c.Step(PReg(0, 101))
+	if err != nil || !took {
+		t.Fatalf("scheduled commit: %v %v", took, err)
+	}
+	if rec.Kind != StepCommit || rec.Reg != 101 {
+		t.Fatalf("expected commit of 101, got %v", rec)
+	}
+	if c.Register(101) != 2 || c.Register(100) != 0 {
+		t.Fatal("out-of-order commit applied incorrectly")
+	}
+}
+
+func TestTSOCommitsInOrder(t *testing.T) {
+	prog := lang.NewProgram("tso",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(101), lang.I(2)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, TSO, prog)
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Naming the younger write must NOT commit it under TSO: the element
+	// falls through to the fence-drain rule, which drains the FIFO head
+	// (register 100).
+	rec, _, err := c.Step(PReg(0, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepCommit || rec.Reg != 100 {
+		t.Fatalf("TSO must commit FIFO head 100 first, got %v", rec)
+	}
+	rec, _, err = c.Step(PReg(0, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepCommit || rec.Reg != 101 {
+		t.Fatalf("second commit should be 101, got %v", rec)
+	}
+}
+
+func TestTSOCoalescesSameRegister(t *testing.T) {
+	prog := lang.NewProgram("tso2",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(100), lang.I(9)),
+		lang.Read("x", lang.I(100)),
+		lang.Fence(),
+		lang.Return(lang.L("x")),
+	)
+	c, _ := mkConfig(t, TSO, prog)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Step(PBottom(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.BufferLen(0) != 1 {
+		t.Fatalf("buffer len %d, want 1 (coalesced)", c.BufferLen(0))
+	}
+	rec, _, err := c.Step(PBottom(0)) // read sees newest buffered value
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Val != 9 {
+		t.Fatalf("read %d, want 9", rec.Val)
+	}
+}
+
+func TestSCWritesImmediately(t *testing.T) {
+	prog := lang.NewProgram("sc1",
+		lang.Write(lang.I(100), lang.I(5)),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, SC, prog)
+	rec, _, err := c.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepWrite {
+		t.Fatalf("got %v", rec)
+	}
+	if c.Register(100) != 5 {
+		t.Fatal("SC write did not reach memory immediately")
+	}
+	if !rec.Remote {
+		t.Fatal("first SC write to unowned register should be remote")
+	}
+	if c.BufferLen(0) != 0 {
+		t.Fatal("SC buffer must stay empty")
+	}
+}
+
+func TestPSOWriteBufferReplacement(t *testing.T) {
+	prog := lang.NewProgram("repl",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(100), lang.I(2)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Step(PBottom(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.BufferLen(0) != 1 {
+		t.Fatalf("buffer len %d, want 1 (per-register replacement)", c.BufferLen(0))
+	}
+	rec, _, err := c.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StepCommit || rec.Val != 2 {
+		t.Fatalf("commit should carry replaced value 2: %v", rec)
+	}
+}
+
+func TestFenceDrainsSmallestRegisterFirst(t *testing.T) {
+	prog := lang.NewProgram("drain",
+		lang.Write(lang.I(105), lang.I(1)),
+		lang.Write(lang.I(101), lang.I(2)),
+		lang.Write(lang.I(103), lang.I(3)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Step(PBottom(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []Reg{101, 103, 105}
+	for _, r := range want {
+		rec, _, err := c.Step(PBottom(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind != StepCommit || rec.Reg != r {
+			t.Fatalf("drain order: got %v, want commit of %d", rec, r)
+		}
+	}
+}
+
+func TestRMRSegmentLocality(t *testing.T) {
+	// Process 0 reads its own segment (register 3): local. Reads process
+	// 1's segment (register 13): remote first time, local second time
+	// (cache hit on unchanged value).
+	prog := lang.NewProgram("seg",
+		lang.Read("a", lang.I(3)),
+		lang.Read("b", lang.I(13)),
+		lang.Read("c", lang.I(13)),
+		lang.Return(lang.I(0)),
+	)
+	idle := lang.NewProgram("idle", lang.Return(lang.I(0)))
+	c, _ := mkConfig(t, PSO, prog, idle)
+	recs := make([]StepRecord, 0, 3)
+	for i := 0; i < 3; i++ {
+		rec, _, err := c.Step(PBottom(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if recs[0].Remote {
+		t.Error("read of own segment should be local")
+	}
+	if !recs[1].Remote {
+		t.Error("first read of other segment should be remote")
+	}
+	if recs[2].Remote {
+		t.Error("repeated read of unchanged value should be a cache hit")
+	}
+	if got := c.Stats().RMRs[0]; got != 1 {
+		t.Errorf("RMRs = %d, want 1", got)
+	}
+}
+
+func TestCacheInvalidatedByValueChange(t *testing.T) {
+	// p0 spins on register 13 (owned by p1); p1 writes it and fences.
+	// p0's re-reads are local while the value is unchanged, and exactly
+	// one remote read happens when the value changes.
+	spin := lang.NewProgram("spin",
+		lang.Read("v", lang.I(13)),
+		lang.While(lang.Eq(lang.L("v"), lang.I(0)),
+			lang.Read("v", lang.I(13)),
+		),
+		lang.Return(lang.L("v")),
+	)
+	writer := lang.NewProgram("writer",
+		lang.Write(lang.I(13), lang.I(77)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, spin, writer)
+	// p0 reads 5 times (1 remote miss + 4 local hits on 0).
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Step(PBottom(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().RMRs[0]; got != 1 {
+		t.Fatalf("RMRs after spinning on unchanged value = %d, want 1", got)
+	}
+	// p1 writes, commits, fences.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Step(PBottom(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Register(13) != 77 {
+		t.Fatal("p1's write did not commit")
+	}
+	// p0's next read returns 77: a second RMR; then it returns.
+	halted, err := c.RunSolo(0, 100)
+	if err != nil || !halted {
+		t.Fatalf("p0 solo: halted=%v err=%v", halted, err)
+	}
+	if got := c.Stats().RMRs[0]; got != 2 {
+		t.Fatalf("RMRs after value change = %d, want 2", got)
+	}
+	if c.ReturnValue(0) != 77 {
+		t.Fatalf("p0 returned %d, want 77", c.ReturnValue(0))
+	}
+}
+
+func TestCommitLocalityLastCommitter(t *testing.T) {
+	// Two processes alternately commit to the same unowned register: each
+	// handover is remote, repeated commits by the same process are local.
+	wr := func() *lang.Program {
+		return lang.NewProgram("w2",
+			lang.Write(lang.I(100), lang.Add(lang.Mul(lang.PID(), lang.I(10)), lang.I(1))),
+			lang.Fence(),
+			lang.Write(lang.I(100), lang.Add(lang.Mul(lang.PID(), lang.I(10)), lang.I(2))),
+			lang.Fence(),
+			lang.Return(lang.I(0)),
+		)
+	}
+	c, _ := mkConfig(t, PSO, wr(), wr())
+	// p0: write, commit (remote: first ever), fence, write, commit
+	// (local: p0 was last committer), fence.
+	if halted, err := c.RunSolo(0, 100); err != nil || !halted {
+		t.Fatalf("p0: %v %v", halted, err)
+	}
+	if got := c.Stats().RemoteCommits[0]; got != 1 {
+		t.Fatalf("p0 remote commits = %d, want 1", got)
+	}
+	// p1: both of its commits: first remote (p0 was last), second local.
+	if halted, err := c.RunSolo(1, 100); err != nil || !halted {
+		t.Fatalf("p1: %v %v", halted, err)
+	}
+	if got := c.Stats().RemoteCommits[1]; got != 1 {
+		t.Fatalf("p1 remote commits = %d, want 1", got)
+	}
+}
+
+func TestCommitToOwnSegmentLocal(t *testing.T) {
+	prog := lang.NewProgram("own",
+		lang.Write(lang.I(3), lang.I(1)), // register 3 ∈ seg0
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	if halted, err := c.RunSolo(0, 100); err != nil || !halted {
+		t.Fatalf("%v %v", halted, err)
+	}
+	if got := c.Stats().RMRs[0]; got != 0 {
+		t.Fatalf("commit to own segment should be local; RMRs = %d", got)
+	}
+}
+
+func TestHaltedProcessProducesEmptyExecution(t *testing.T) {
+	prog := lang.NewProgram("h", lang.Return(lang.I(4)))
+	c, _ := mkConfig(t, PSO, prog)
+	if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+		t.Fatalf("return step: %v %v", took, err)
+	}
+	rec, took, err := c.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took {
+		t.Fatalf("halted process took a step: %v", rec)
+	}
+	if c.ReturnValue(0) != 4 {
+		t.Fatalf("return value %d, want 4", c.ReturnValue(0))
+	}
+}
+
+func TestBadPID(t *testing.T) {
+	prog := lang.NewProgram("h", lang.Return(lang.I(0)))
+	c, _ := mkConfig(t, PSO, prog)
+	if _, _, err := c.Step(PBottom(7)); err == nil {
+		t.Fatal("out-of-range pid should error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := lang.NewProgram("c",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(101), lang.I(2)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	if _, _, err := c.Step(PBottom(0)); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Clone()
+	// Drive the clone to completion; the original must be untouched.
+	if halted, err := d.RunSolo(0, 100); err != nil || !halted {
+		t.Fatalf("clone solo: %v %v", halted, err)
+	}
+	if c.Halted(0) {
+		t.Fatal("original halted after stepping clone")
+	}
+	if c.Register(100) != 0 {
+		t.Fatal("original memory mutated by clone")
+	}
+	if c.BufferLen(0) != 1 {
+		t.Fatalf("original buffer len %d, want 1", c.BufferLen(0))
+	}
+	if d.Register(100) != 1 || d.Register(101) != 2 {
+		t.Fatal("clone did not complete writes")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	prog := lang.NewProgram("t",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	tr := NewTrace()
+	c.SetTrace(tr)
+	if halted, err := c.RunSolo(0, 100); err != nil || !halted {
+		t.Fatalf("%v %v", halted, err)
+	}
+	kinds := make([]StepKind, 0, 4)
+	for _, s := range tr.Steps {
+		kinds = append(kinds, s.Kind)
+	}
+	want := []StepKind{StepWrite, StepCommit, StepFence, StepReturn}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace %v, want kinds %v", tr.Steps, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("step %d kind %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestReturnsHelper(t *testing.T) {
+	p0 := lang.NewProgram("r0", lang.Return(lang.I(10)))
+	p1 := lang.NewProgram("r1", lang.Return(lang.I(20)))
+	c, _ := mkConfig(t, PSO, p0, p1)
+	if _, ok := Returns(c); ok {
+		t.Fatal("Returns should report not-ok before halting")
+	}
+	if err := RunRoundRobin(c, 100); err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := Returns(c)
+	if !ok || vals[0] != 10 || vals[1] != 20 {
+		t.Fatalf("Returns = %v, %v", vals, ok)
+	}
+}
+
+func TestRunSequential(t *testing.T) {
+	mk := func() *lang.Program {
+		return lang.NewProgram("s",
+			lang.Read("x", lang.I(100)),
+			lang.Write(lang.I(100), lang.Add(lang.L("x"), lang.I(1))),
+			lang.Fence(),
+			lang.Return(lang.L("x")),
+		)
+	}
+	c, _ := mkConfig(t, PSO, mk(), mk(), mk())
+	if err := RunSequential(c, []int{2, 0, 1}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential increments: p2 sees 0, p0 sees 1, p1 sees 2.
+	if c.ReturnValue(2) != 0 || c.ReturnValue(0) != 1 || c.ReturnValue(1) != 2 {
+		t.Fatalf("returns: p2=%d p0=%d p1=%d", c.ReturnValue(2), c.ReturnValue(0), c.ReturnValue(1))
+	}
+}
+
+func TestStepLimitSurfaced(t *testing.T) {
+	spin := lang.NewProgram("forever",
+		lang.Read("v", lang.I(100)),
+		lang.While(lang.Eq(lang.L("v"), lang.I(0)),
+			lang.Read("v", lang.I(100)),
+		),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, spin)
+	if err := RunRoundRobin(c, 50); err != ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestLayoutDescribe(t *testing.T) {
+	lay := NewLayout()
+	a := lay.MustAlloc("C", 4, OwnedBy)
+	b := lay.MustAlloc("T", 4, OwnedBy)
+	single := lay.MustAlloc("X", 1, Unowned)
+	if got := lay.Describe(a.At(2)); got != "C[2]" {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := lay.Describe(b.At(0)); got != "T[0]" {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := lay.Describe(single.At(0)); got != "X" {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := lay.Describe(999); got != "R999" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	lay := NewLayout()
+	if _, err := lay.Alloc("a", -1, Unowned); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := lay.Alloc("a", 2, Unowned); err != nil {
+		t.Error(err)
+	}
+	if _, err := lay.Alloc("a", 2, Unowned); err == nil {
+		t.Error("duplicate name should error")
+	}
+	if lay.Owner(0) != NoOwner {
+		t.Error("unowned register should report NoOwner")
+	}
+}

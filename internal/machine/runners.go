@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrStepLimit is returned by runners when the step budget is exhausted
+// before every process reached a final state (typically a deadlock or an
+// unbounded spin under an unfair schedule).
+var ErrStepLimit = errors.New("machine: step limit exhausted before all processes halted")
+
+// DefaultSoloLimit is a generous per-process step budget for solo runs of
+// the algorithms in this repository (the largest, Bakery-based programs,
+// take O(n) shared steps per passage).
+func DefaultSoloLimit(n int) int { return 2000*n + 200000 }
+
+// RunSequential runs the processes listed in order, each solo to
+// completion, mirroring the paper's sequential executions (process p_{i-1}
+// returns before p_i starts). It is the workload used for per-passage
+// fence/RMR measurements. maxSteps bounds each process's solo run.
+func RunSequential(c *Config, order []int, maxSteps int) error {
+	for _, p := range order {
+		halted, err := c.RunSolo(p, maxSteps)
+		if err != nil {
+			return err
+		}
+		if !halted {
+			return fmt.Errorf("%w (process %d in sequential run)", ErrStepLimit, p)
+		}
+	}
+	return nil
+}
+
+// RunRoundRobin schedules (0,⊥), (1,⊥), ..., (n-1,⊥) cyclically until all
+// processes halt or maxSteps elements have been consumed. Round-robin is a
+// fair schedule, so deadlock-free algorithms terminate under it.
+func RunRoundRobin(c *Config, maxSteps int) error {
+	n := c.N()
+	for i := 0; i < maxSteps; i++ {
+		if c.AllHalted() {
+			return nil
+		}
+		if _, _, err := c.Step(PBottom(i % n)); err != nil {
+			return err
+		}
+	}
+	if c.AllHalted() {
+		return nil
+	}
+	return ErrStepLimit
+}
+
+// RunRandom drives the configuration with a random schedule drawn from rng:
+// each element picks a uniformly random non-halted process, and with
+// probability commitProb (when the process has buffered writes) names a
+// uniformly random buffered register — exercising the adversary's freedom
+// to commit writes out of order under PSO. It stops when all processes have
+// halted or maxSteps elements have been consumed.
+func RunRandom(c *Config, rng *rand.Rand, commitProb float64, maxSteps int) error {
+	n := c.N()
+	live := make([]int, 0, n)
+	for i := 0; i < maxSteps; i++ {
+		live = live[:0]
+		for p := 0; p < n; p++ {
+			if !c.Halted(p) {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		p := live[rng.Intn(len(live))]
+		e := PBottom(p)
+		if regs := c.BufferRegs(p); len(regs) > 0 && rng.Float64() < commitProb {
+			e = PReg(p, regs[rng.Intn(len(regs))])
+		}
+		if _, _, err := c.Step(e); err != nil {
+			return err
+		}
+	}
+	if c.AllHalted() {
+		return nil
+	}
+	return ErrStepLimit
+}
+
+// Returns collects the processes' final values; processes that have not
+// halted report ok=false.
+func Returns(c *Config) (vals []Value, ok bool) {
+	vals = make([]Value, c.N())
+	ok = true
+	for p := 0; p < c.N(); p++ {
+		if !c.Halted(p) {
+			ok = false
+			continue
+		}
+		vals[p] = c.ReturnValue(p)
+	}
+	return vals, ok
+}

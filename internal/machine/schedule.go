@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders a schedule element as "p<ID>" for (p, ⊥) or "p<ID>:R<reg>"
+// for (p, R).
+func (e Elem) String() string {
+	if e.HasReg {
+		return fmt.Sprintf("p%d:R%d", e.P, e.Reg)
+	}
+	return fmt.Sprintf("p%d", e.P)
+}
+
+// String renders the schedule as space-separated elements; ParseSchedule
+// inverts it. Used to persist model-checking witnesses.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseSchedule parses the output of Schedule.String. Empty input yields
+// the empty schedule.
+func ParseSchedule(text string) (Schedule, error) {
+	fields := strings.Fields(text)
+	sched := make(Schedule, 0, len(fields))
+	for _, f := range fields {
+		e, err := parseElem(f)
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, e)
+	}
+	return sched, nil
+}
+
+func parseElem(f string) (Elem, error) {
+	body, ok := strings.CutPrefix(f, "p")
+	if !ok {
+		return Elem{}, fmt.Errorf("machine: schedule element %q does not start with 'p'", f)
+	}
+	pidPart, regPart, hasReg := strings.Cut(body, ":")
+	pid, err := strconv.Atoi(pidPart)
+	if err != nil || pid < 0 {
+		return Elem{}, fmt.Errorf("machine: bad process id in %q", f)
+	}
+	if !hasReg {
+		return PBottom(pid), nil
+	}
+	regBody, ok := strings.CutPrefix(regPart, "R")
+	if !ok {
+		return Elem{}, fmt.Errorf("machine: bad register in %q (want R<id>)", f)
+	}
+	reg, err := strconv.ParseInt(regBody, 10, 64)
+	if err != nil || reg < 0 {
+		return Elem{}, fmt.Errorf("machine: bad register id in %q", f)
+	}
+	return PReg(pid, reg), nil
+}

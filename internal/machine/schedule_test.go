@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElemString(t *testing.T) {
+	if got := PBottom(3).String(); got != "p3" {
+		t.Errorf("PBottom string %q", got)
+	}
+	if got := PReg(0, 17).String(); got != "p0:R17" {
+		t.Errorf("PReg string %q", got)
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	s := Schedule{PBottom(0), PReg(1, 5), PBottom(2), PReg(0, 100)}
+	back, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("element %d: %v != %v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	s, err := ParseSchedule("   ")
+	if err != nil || len(s) != 0 {
+		t.Fatalf("empty parse: %v, %v", s, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{"x3", "p", "pX", "p1:5", "p1:Rx", "p-1", "p1:R-2"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestQuickScheduleRoundTrip(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, 5, int(ln)%64+1, 1000)
+		back, err := ParseSchedule(s.String())
+		if err != nil || len(back) != len(s) {
+			return false
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A parsed witness replays identically: parse(print(w)) drives the machine
+// to the same configuration as w itself.
+func TestScheduleReplayEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sched := randomSchedule(rng, 2, 120, 120)
+	run := func(s Schedule) string {
+		c, _ := mkConfig(t, PSO, incProgram(), incProgram())
+		if _, err := c.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+		fp, err := c.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	parsed, err := ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run(sched) != run(parsed) {
+		t.Fatal("parsed schedule diverged from original")
+	}
+}

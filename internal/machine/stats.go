@@ -1,0 +1,98 @@
+package machine
+
+// Stats accumulates the paper's two cost measures — fence steps (β) and
+// remote steps / RMRs (ρ) — plus auxiliary counters, per process and in
+// total. All counters are step-exact: they are incremented by the machine's
+// Step function according to the local/remote classification of Section 2.
+type Stats struct {
+	n int
+
+	// Per-process counters, indexed by pid.
+	Fences        []int64 // fence steps executed (β per process)
+	RMRs          []int64 // remote steps (ρ per process): remote reads + remote commits
+	Reads         []int64 // read steps (any locality)
+	RemoteReads   []int64 // read steps classified remote
+	Writes        []int64 // write steps (always local)
+	Commits       []int64 // commit steps (any locality)
+	RemoteCommits []int64 // commit steps classified remote
+	Steps         []int64 // all steps, including commits
+}
+
+// NewStats returns zeroed counters for n processes.
+func NewStats(n int) *Stats {
+	return &Stats{
+		n:             n,
+		Fences:        make([]int64, n),
+		RMRs:          make([]int64, n),
+		Reads:         make([]int64, n),
+		RemoteReads:   make([]int64, n),
+		Writes:        make([]int64, n),
+		Commits:       make([]int64, n),
+		RemoteCommits: make([]int64, n),
+		Steps:         make([]int64, n),
+	}
+}
+
+// N returns the process count the stats were sized for.
+func (s *Stats) N() int { return s.n }
+
+// Clone returns an independent copy.
+func (s *Stats) Clone() *Stats {
+	c := NewStats(s.n)
+	copy(c.Fences, s.Fences)
+	copy(c.RMRs, s.RMRs)
+	copy(c.Reads, s.Reads)
+	copy(c.RemoteReads, s.RemoteReads)
+	copy(c.Writes, s.Writes)
+	copy(c.Commits, s.Commits)
+	copy(c.RemoteCommits, s.RemoteCommits)
+	copy(c.Steps, s.Steps)
+	return c
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	for i := 0; i < s.n; i++ {
+		s.Fences[i] = 0
+		s.RMRs[i] = 0
+		s.Reads[i] = 0
+		s.RemoteReads[i] = 0
+		s.Writes[i] = 0
+		s.Commits[i] = 0
+		s.RemoteCommits[i] = 0
+		s.Steps[i] = 0
+	}
+}
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TotalFences returns β(E): the total number of fence steps.
+func (s *Stats) TotalFences() int64 { return sum(s.Fences) }
+
+// TotalRMRs returns ρ(E): the total number of remote steps.
+func (s *Stats) TotalRMRs() int64 { return sum(s.RMRs) }
+
+// TotalSteps returns the total number of steps of all kinds.
+func (s *Stats) TotalSteps() int64 { return sum(s.Steps) }
+
+// MaxFences returns the worst per-process fence count.
+func (s *Stats) MaxFences() int64 { return maxOf(s.Fences) }
+
+// MaxRMRs returns the worst per-process RMR count.
+func (s *Stats) MaxRMRs() int64 { return maxOf(s.RMRs) }

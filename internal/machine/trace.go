@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StepKind classifies an execution step. The first four correspond to the
+// paper's read, write, fence and return steps; StepCommit is a system-
+// controlled commit of a buffered write to shared memory.
+type StepKind int
+
+// Step kinds.
+const (
+	StepRead StepKind = iota + 1
+	StepWrite
+	StepFence
+	StepReturn
+	StepCommit
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepRead:
+		return "read"
+	case StepWrite:
+		return "write"
+	case StepFence:
+		return "fence"
+	case StepReturn:
+		return "return"
+	case StepCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// StepRecord describes one executed step, carrying everything the
+// lower-bound encoder and the experiment analyses need: which process
+// stepped, what it did, to which register, with what value, whether a read
+// was served from shared memory (vs the process's own write buffer), and the
+// local/remote classification.
+type StepRecord struct {
+	// P is the process that took the step.
+	P int
+	// Kind is the step type.
+	Kind StepKind
+	// Reg is the register operand (reads, writes, commits).
+	Reg Reg
+	// Val is the value read, written, committed or returned.
+	Val Value
+	// FromMemory is set on read steps served from shared memory rather
+	// than the process's write buffer.
+	FromMemory bool
+	// Remote is the paper's local/remote classification of the step.
+	Remote bool
+	// SegOwner is the segment owner of Reg (NoOwner if unowned or not a
+	// memory step), recorded so analyses need not consult the layout.
+	SegOwner int
+}
+
+func (r StepRecord) String() string {
+	switch r.Kind {
+	case StepRead:
+		src := "wb"
+		if r.FromMemory {
+			src = "mem"
+		}
+		return fmt.Sprintf("p%d read(R%d)=%d [%s,%s]", r.P, r.Reg, r.Val, src, locality(r.Remote))
+	case StepWrite:
+		return fmt.Sprintf("p%d write(R%d,%d)", r.P, r.Reg, r.Val)
+	case StepFence:
+		return fmt.Sprintf("p%d fence()", r.P)
+	case StepReturn:
+		return fmt.Sprintf("p%d return(%d)", r.P, r.Val)
+	case StepCommit:
+		return fmt.Sprintf("p%d commit(R%d,%d) [%s]", r.P, r.Reg, r.Val, locality(r.Remote))
+	default:
+		return fmt.Sprintf("p%d %v", r.P, r.Kind)
+	}
+}
+
+func locality(remote bool) string {
+	if remote {
+		return "remote"
+	}
+	return "local"
+}
+
+// Trace is a recorded execution: the sequence of steps taken, in order.
+// A nil *Trace disables recording.
+type Trace struct {
+	Steps []StepRecord
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// append records a step; nil-safe.
+func (t *Trace) append(r StepRecord) {
+	if t == nil {
+		return
+	}
+	t.Steps = append(t.Steps, r)
+}
+
+// Len returns the number of recorded steps (0 for a nil trace).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Steps)
+}
+
+// Project returns the subsequence of steps taken by processes for which
+// keep(pid) is true — the paper's E|P operator.
+func (t *Trace) Project(keep func(pid int) bool) *Trace {
+	out := NewTrace()
+	for _, s := range t.Steps {
+		if keep(s.P) {
+			out.Steps = append(out.Steps, s)
+		}
+	}
+	return out
+}
+
+// Format renders the trace, one step per line, using lay (may be nil) to
+// symbolize register names.
+func (t *Trace) Format(lay *Layout) string {
+	if t == nil {
+		return "<no trace>"
+	}
+	var b strings.Builder
+	for i, s := range t.Steps {
+		line := s.String()
+		if lay != nil && (s.Kind == StepRead || s.Kind == StepWrite || s.Kind == StepCommit) {
+			line = strings.Replace(line, fmt.Sprintf("R%d", s.Reg), lay.Describe(s.Reg), 1)
+		}
+		fmt.Fprintf(&b, "%4d  %s\n", i, line)
+	}
+	return b.String()
+}

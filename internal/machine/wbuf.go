@@ -1,0 +1,223 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model selects the memory model the machine simulates, i.e. the commit
+// discipline of the per-process write buffers.
+type Model int
+
+// Supported memory models.
+const (
+	// SC (sequential consistency): writes commit to shared memory
+	// immediately; write buffers are always empty and fences are no-ops.
+	SC Model = iota + 1
+	// TSO (total store ordering): the write buffer is a FIFO queue; writes
+	// commit in program order, but reads may complete while older writes
+	// are still buffered. This is the x86/AMD model of the paper's
+	// introduction.
+	TSO
+	// PSO (partial store ordering): the write buffer is an unordered set
+	// with per-register replacement — the system may commit buffered
+	// writes in any order. This is the paper's formal model (Section 2)
+	// and its abstraction of PSO/RMO/POWER-style write reordering.
+	PSO
+)
+
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Reg is a shared-memory register identifier. The register namespace is
+// totally ordered (the paper relies on this for the "commit the smallest
+// register at a fence" decoding convention).
+type Reg = int64
+
+// Write is a buffered (register, value) pair.
+type Write struct {
+	Reg Reg
+	Val Value
+}
+
+// writeBuffer abstracts the per-process write buffer. Implementations
+// differ only in which buffered writes are committable and which write is
+// the canonical one drained first at a fence.
+type writeBuffer interface {
+	// put inserts a write, replacing any buffered write to the same
+	// register (the paper's WB semantics: WB is a set without duplicate
+	// registers).
+	put(w Write)
+	// lookup returns the buffered value for r, if any.
+	lookup(r Reg) (Value, bool)
+	// canCommit reports whether a buffered write to r may commit now.
+	canCommit(r Reg) bool
+	// commit removes and returns the buffered write to r. It must only be
+	// called when canCommit(r) is true.
+	commit(r Reg) Write
+	// drainNext returns the register whose write is drained next when the
+	// process is blocked at a fence: the smallest register for PSO
+	// (matching the paper's Exec rule), the FIFO head for TSO.
+	drainNext() Reg
+	// len returns the number of buffered writes.
+	len() int
+	// regs returns the buffered registers in ascending order.
+	regs() []Reg
+	// entries returns the buffered writes in semantic order: queue order
+	// for TSO (where order is observable), ascending register order for
+	// PSO (where it is not). Used for state fingerprints.
+	entries() []Write
+	// clone returns an independent deep copy.
+	clone() writeBuffer
+}
+
+// psoBuffer implements the paper's unordered write buffer: a register-keyed
+// set. Any buffered write may commit at any time.
+type psoBuffer struct {
+	m map[Reg]Value
+}
+
+func newPSOBuffer() *psoBuffer { return &psoBuffer{m: make(map[Reg]Value)} }
+
+func (b *psoBuffer) put(w Write) { b.m[w.Reg] = w.Val }
+func (b *psoBuffer) len() int    { return len(b.m) }
+func (b *psoBuffer) lookup(r Reg) (Value, bool) {
+	v, ok := b.m[r]
+	return v, ok
+}
+func (b *psoBuffer) canCommit(r Reg) bool {
+	_, ok := b.m[r]
+	return ok
+}
+func (b *psoBuffer) commit(r Reg) Write {
+	v := b.m[r]
+	delete(b.m, r)
+	return Write{Reg: r, Val: v}
+}
+func (b *psoBuffer) drainNext() Reg {
+	var min Reg
+	first := true
+	for r := range b.m {
+		if first || r < min {
+			min = r
+			first = false
+		}
+	}
+	return min
+}
+func (b *psoBuffer) regs() []Reg {
+	rs := make([]Reg, 0, len(b.m))
+	for r := range b.m {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return rs
+}
+func (b *psoBuffer) entries() []Write {
+	ws := make([]Write, 0, len(b.m))
+	for _, r := range b.regs() {
+		ws = append(ws, Write{Reg: r, Val: b.m[r]})
+	}
+	return ws
+}
+func (b *psoBuffer) clone() writeBuffer {
+	c := newPSOBuffer()
+	for r, v := range b.m {
+		c.m[r] = v
+	}
+	return c
+}
+
+// tsoBuffer implements a FIFO store buffer: only the oldest write may
+// commit, so writes reach memory in program order. A later write to a
+// register already buffered coalesces in place (updating the value but
+// keeping the original queue position), preserving the no-duplicate-register
+// invariant the machine's read rule relies on.
+type tsoBuffer struct {
+	q []Write
+}
+
+func newTSOBuffer() *tsoBuffer { return &tsoBuffer{} }
+
+func (b *tsoBuffer) put(w Write) {
+	for i := range b.q {
+		if b.q[i].Reg == w.Reg {
+			b.q[i].Val = w.Val
+			return
+		}
+	}
+	b.q = append(b.q, w)
+}
+func (b *tsoBuffer) len() int { return len(b.q) }
+func (b *tsoBuffer) lookup(r Reg) (Value, bool) {
+	for i := len(b.q) - 1; i >= 0; i-- {
+		if b.q[i].Reg == r {
+			return b.q[i].Val, true
+		}
+	}
+	return 0, false
+}
+func (b *tsoBuffer) canCommit(r Reg) bool {
+	return len(b.q) > 0 && b.q[0].Reg == r
+}
+func (b *tsoBuffer) commit(r Reg) Write {
+	w := b.q[0]
+	b.q = append([]Write(nil), b.q[1:]...)
+	return w
+}
+func (b *tsoBuffer) drainNext() Reg { return b.q[0].Reg }
+func (b *tsoBuffer) regs() []Reg {
+	rs := make([]Reg, 0, len(b.q))
+	for _, w := range b.q {
+		rs = append(rs, w.Reg)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return rs
+}
+func (b *tsoBuffer) entries() []Write {
+	ws := make([]Write, len(b.q))
+	copy(ws, b.q)
+	return ws
+}
+func (b *tsoBuffer) clone() writeBuffer {
+	c := &tsoBuffer{q: make([]Write, len(b.q))}
+	copy(c.q, b.q)
+	return c
+}
+
+// scBuffer is the degenerate buffer of sequential consistency: the machine
+// commits every write within the same step, so the buffer is always empty
+// between steps. It still implements the interface so the step rules stay
+// uniform.
+type scBuffer struct{}
+
+func (scBuffer) put(Write)                {}
+func (scBuffer) len() int                 { return 0 }
+func (scBuffer) lookup(Reg) (Value, bool) { return 0, false }
+func (scBuffer) canCommit(Reg) bool       { return false }
+func (scBuffer) commit(Reg) Write         { return Write{} }
+func (scBuffer) drainNext() Reg           { return 0 }
+func (scBuffer) regs() []Reg              { return nil }
+func (scBuffer) entries() []Write         { return nil }
+func (scBuffer) clone() writeBuffer       { return scBuffer{} }
+
+func newBuffer(m Model) writeBuffer {
+	switch m {
+	case SC:
+		return scBuffer{}
+	case TSO:
+		return newTSOBuffer()
+	default:
+		return newPSOBuffer()
+	}
+}

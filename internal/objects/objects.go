@@ -1,0 +1,204 @@
+// Package objects builds the ordering algorithms of the paper's Section 4
+// on top of any lock: Count (the canonical ordering algorithm), a
+// fetch-and-increment, and a queue. Each is *ordering* in the sense of
+// Definition 4.1 — in clean executions the i-th process through the object
+// returns i — which is exactly the property the lower-bound encoder
+// exploits to reconstruct permutations from executions.
+package objects
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// Object is an instantiated ordering algorithm: a single program that every
+// process executes (differentiated at run time by its PID), returning the
+// process's rank.
+type Object struct {
+	name string
+	n    int
+	prog *lang.Program
+}
+
+// Name identifies the object instance.
+func (o *Object) Name() string { return o.name }
+
+// N returns the process count the object was instantiated for.
+func (o *Object) N() int { return o.n }
+
+// Program returns the shared process program.
+func (o *Object) Program() *lang.Program { return o.prog }
+
+// Programs returns the per-process program slice expected by
+// machine.NewConfig (every process runs the same program).
+func (o *Object) Programs() []*lang.Program {
+	ps := make([]*lang.Program, o.n)
+	for i := range ps {
+		ps[i] = o.prog
+	}
+	return ps
+}
+
+// compose builds acquire ++ body ++ release ++ fence ++ return(ret).
+// The trailing fence realizes the paper's w.l.o.g. assumption that every
+// process executes a fence just before entering its final state.
+func compose(name string, lk *locks.Algorithm, body []lang.Stmt, ret lang.Expr) *lang.Program {
+	stmts := make([]lang.Stmt, 0, len(lk.Acquire())+len(body)+len(lk.Release())+2)
+	stmts = append(stmts, lk.Acquire()...)
+	stmts = append(stmts, body...)
+	stmts = append(stmts, lk.Release()...)
+	stmts = append(stmts, lang.Fence())
+	stmts = append(stmts, lang.Return(ret))
+	return lang.NewProgram(name, stmts...)
+}
+
+// NewCount builds the paper's Count algorithm over lk: inside the critical
+// section each process reads the shared register C, writes back C+1
+// followed by a fence, and returns the value it read. The k-th process
+// through the lock returns k-1, so the sequence of return values identifies
+// the acquisition order.
+func NewCount(lay *machine.Layout, name string, lk *locks.Algorithm) (*Object, error) {
+	c, err := lay.Alloc(name+".C", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	reg := lang.I(c.Base)
+	body := []lang.Stmt{
+		lang.Read("o_c", reg),
+		lang.Write(reg, lang.Add(lang.L("o_c"), lang.I(1))),
+		lang.Fence(),
+	}
+	return &Object{
+		name: name,
+		n:    lk.N(),
+		prog: compose(name, lk, body, lang.L("o_c")),
+	}, nil
+}
+
+// NewFetchAndIncrement builds a lock-based fetch-and-increment object. It
+// is structurally the Count algorithm — read, add one, write back, fence —
+// exposed under the object interface of the paper's Section 4 (which notes
+// that queue, counter and fetch-and-increment all yield ordering
+// algorithms the same way).
+func NewFetchAndIncrement(lay *machine.Layout, name string, lk *locks.Algorithm) (*Object, error) {
+	v, err := lay.Alloc(name+".V", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	reg := lang.I(v.Base)
+	body := []lang.Stmt{
+		lang.Read("o_v", reg),
+		lang.Write(reg, lang.Add(lang.L("o_v"), lang.I(1))),
+		lang.Fence(),
+	}
+	return &Object{
+		name: name,
+		n:    lk.N(),
+		prog: compose(name, lk, body, lang.L("o_v")),
+	}, nil
+}
+
+// NewQueueEnqueue builds the enqueue side of a lock-based queue: inside the
+// critical section the process appends its own identifier (stored as pid+1
+// so that 0 keeps meaning "empty") and returns the position at which it
+// enqueued. The position sequence orders the processes, so enqueue is an
+// ordering algorithm.
+func NewQueueEnqueue(lay *machine.Layout, name string, lk *locks.Algorithm) (*Object, error) {
+	n := lk.N()
+	tail, err := lay.Alloc(name+".tail", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	items, err := lay.Alloc(name+".items", n, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	tailReg := lang.I(tail.Base)
+	itemAt := func(idx lang.Expr) lang.Expr { return lang.Add(lang.I(items.Base), idx) }
+	body := []lang.Stmt{
+		lang.Read("o_t", tailReg),
+		lang.Write(itemAt(lang.L("o_t")), lang.Add(lang.PID(), lang.I(1))),
+		lang.Write(tailReg, lang.Add(lang.L("o_t"), lang.I(1))),
+		lang.Fence(),
+	}
+	return &Object{
+		name: name,
+		n:    n,
+		prog: compose(name, lk, body, lang.L("o_t")),
+	}, nil
+}
+
+// NewScratchCount builds Count with a prelude write to a shared scratch
+// register that every process writes (its own ID + 1) and no process ever
+// reads. The scratch write sits in the same write-buffer batch as the
+// lock's first announce write, so in the lower-bound construction a later
+// process's buffered scratch write is overwritten by earlier processes'
+// commits — exactly the situation the wait-hidden-commit command of the
+// encoding exists for. It models algorithms with benign racing writes and
+// serves as the encoder's hidden-commit stressor.
+func NewScratchCount(lay *machine.Layout, name string, lk *locks.Algorithm) (*Object, error) {
+	scratch, err := lay.Alloc(name+".scratch", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	c, err := lay.Alloc(name+".C", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("objects: %w", err)
+	}
+	reg := lang.I(c.Base)
+	stmts := []lang.Stmt{
+		// Buffered together with the lock's first announce write; no
+		// fence of its own.
+		lang.Write(lang.I(scratch.Base), lang.Add(lang.PID(), lang.I(1))),
+	}
+	stmts = append(stmts, lk.Acquire()...)
+	stmts = append(stmts,
+		lang.Read("o_c", reg),
+		lang.Write(reg, lang.Add(lang.L("o_c"), lang.I(1))),
+		lang.Fence(),
+	)
+	stmts = append(stmts, lk.Release()...)
+	stmts = append(stmts, lang.Fence(), lang.Return(lang.L("o_c")))
+	return &Object{
+		name: name,
+		n:    lk.N(),
+		prog: lang.NewProgram(name, stmts...),
+	}, nil
+}
+
+// NewPassage builds a bare lock passage — acquire immediately followed by
+// release — returning 0. It is *not* an ordering algorithm; it exists for
+// the per-passage fence/RMR measurements of the Section 3 experiments,
+// where only the lock's own cost is of interest.
+func NewPassage(name string, lk *locks.Algorithm) *Object {
+	return &Object{
+		name: name,
+		n:    lk.N(),
+		prog: compose(name, lk, nil, lang.I(0)),
+	}
+}
+
+// NewRepeatedPassage builds a program in which each process performs
+// `passages` consecutive lock passages and returns the passage count. It
+// is the workload for amortized per-passage measurements: after the first
+// passage the process's knowledge cache is warm, so under cache-coherent
+// accounting later passages of scan-heavy locks (Bakery) cost far fewer
+// RMRs — an effect invisible in single-passage numbers.
+func NewRepeatedPassage(name string, lk *locks.Algorithm, passages int) (*Object, error) {
+	if passages < 1 {
+		return nil, fmt.Errorf("objects: passages must be >= 1, got %d", passages)
+	}
+	passage := make([]lang.Stmt, 0, len(lk.Acquire())+len(lk.Release()))
+	passage = append(passage, lk.Acquire()...)
+	passage = append(passage, lk.Release()...)
+	body := lang.For("o_pass", lang.I(0), lang.I(int64(passages)), passage...)
+	body = append(body, lang.Fence(), lang.Return(lang.L("o_pass")))
+	return &Object{
+		name: name,
+		n:    lk.N(),
+		prog: lang.NewProgram(name, body...),
+	}, nil
+}

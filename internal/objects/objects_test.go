@@ -1,0 +1,148 @@
+package objects_test
+
+import (
+	"testing"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+)
+
+type objCtor func(lay *machine.Layout, name string, lk *locks.Algorithm) (*objects.Object, error)
+
+func build(t *testing.T, octor objCtor, n int) (*machine.Layout, *objects.Object) {
+	t.Helper()
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := octor(lay, "obj", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay, obj
+}
+
+func TestObjectMetadata(t *testing.T) {
+	_, obj := build(t, objects.NewCount, 5)
+	if obj.Name() != "obj" {
+		t.Errorf("Name = %q", obj.Name())
+	}
+	if obj.N() != 5 {
+		t.Errorf("N = %d", obj.N())
+	}
+	progs := obj.Programs()
+	if len(progs) != 5 {
+		t.Fatalf("Programs returned %d entries", len(progs))
+	}
+	for i, p := range progs {
+		if p != obj.Program() {
+			t.Errorf("Programs[%d] is not the shared program", i)
+		}
+	}
+}
+
+func TestEveryObjectEndsWithFenceThenReturn(t *testing.T) {
+	// The paper's w.l.o.g. assumption: a fence immediately before return.
+	ctors := map[string]objCtor{
+		"count":   objects.NewCount,
+		"fai":     objects.NewFetchAndIncrement,
+		"queue":   objects.NewQueueEnqueue,
+		"scratch": objects.NewScratchCount,
+	}
+	for name, octor := range ctors {
+		t.Run(name, func(t *testing.T) {
+			_, obj := build(t, octor, 3)
+			body := obj.Program().Body
+			if len(body) < 2 {
+				t.Fatal("program too short")
+			}
+			if _, ok := body[len(body)-1].(*lang.ReturnStmt); !ok {
+				t.Errorf("last statement %s is not return", body[len(body)-1])
+			}
+			if _, ok := body[len(body)-2].(*lang.FenceStmt); !ok {
+				t.Errorf("penultimate statement %s is not fence", body[len(body)-2])
+			}
+		})
+	}
+}
+
+func TestPassageReturnsZero(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objects.NewPassage("pass", lk)
+	c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := machine.RunSequential(c, []int{0, 1, 2}, machine.DefaultSoloLimit(3)); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if c.ReturnValue(p) != 0 {
+			t.Errorf("passage process %d returned %d", p, c.ReturnValue(p))
+		}
+	}
+}
+
+func TestScratchCountRanks(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewTournament(lay, "lk", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objects.NewScratchCount(lay, "sc", lk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := machine.NewConfig(machine.PSO, lay, obj.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{3, 0, 2, 1}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range order {
+		if got := c.ReturnValue(p); got != int64(i) {
+			t.Errorf("process %d returned %d, want %d", p, got, i)
+		}
+	}
+	// The scratch register ends holding the last writer's pid+1 — some
+	// process's tag, and every process committed to it exactly once.
+	scratch, ok := lay.Array("sc.scratch")
+	if !ok {
+		t.Fatal("scratch array missing")
+	}
+	v := c.Register(scratch.At(0))
+	if v < 1 || v > 4 {
+		t.Errorf("scratch register = %d, want a pid+1 tag", v)
+	}
+}
+
+func TestDuplicateObjectNameRejected(t *testing.T) {
+	lay := machine.NewLayout()
+	lk, err := locks.NewBakery(lay, "lk", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctors := map[string]objCtor{
+		"count":   objects.NewCount,
+		"fai":     objects.NewFetchAndIncrement,
+		"queue":   objects.NewQueueEnqueue,
+		"scratch": objects.NewScratchCount,
+	}
+	for name, octor := range ctors {
+		if _, err := octor(lay, name, lk); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := octor(lay, name, lk); err == nil {
+			t.Errorf("duplicate %s instance name should collide in the layout", name)
+		}
+	}
+}

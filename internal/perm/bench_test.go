@@ -1,0 +1,43 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRankUnrank measures the Lehmer codec.
+func BenchmarkRankUnrank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := Random(16, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := p.Rank()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unrank(16, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerate measures full enumeration of S_8 (40320 perms).
+func BenchmarkEnumerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		Enumerate(8, func(Perm) bool {
+			count++
+			return true
+		})
+		if count != 40320 {
+			b.Fatalf("enumerated %d", count)
+		}
+	}
+}
+
+// BenchmarkLog2Factorial measures the entropy helper at experiment sizes.
+func BenchmarkLog2Factorial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Log2Factorial(1024)
+	}
+}

@@ -1,0 +1,186 @@
+// Package perm provides permutation utilities used by the lower-bound
+// encoder and the experiment harness: construction of standard and random
+// permutations, Lehmer-code ranking (so that permutations can be compared
+// against their information content), and helpers for log2(n!).
+package perm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Perm is a permutation of [n] = {0, ..., n-1}. Perm[i] is the process that
+// occupies position i in the order, matching the paper's notation
+// π = (p_0, ..., p_{n-1}).
+type Perm []int
+
+// Identity returns the identity permutation of [n].
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Reverse returns the reversal permutation (n-1, n-2, ..., 0).
+func Reverse(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation of [n] drawn from rng.
+func Random(n int, rng *rand.Rand) Perm {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Rotation returns the cyclic rotation (k, k+1, ..., n-1, 0, ..., k-1).
+func Rotation(n, k int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = (i + k) % n
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of [len(p)].
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns the inverse permutation q with q[p[i]] = i.
+// It panics if p is not a valid permutation; use Valid first on untrusted
+// input.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	q := make(Perm, len(p))
+	copy(q, p)
+	return q
+}
+
+func (p Perm) String() string {
+	return fmt.Sprint([]int(p))
+}
+
+// Rank returns the Lehmer rank of p in [0, n!). Only defined for n <= 20
+// (beyond which n! overflows uint64); it returns an error for larger n.
+func (p Perm) Rank() (uint64, error) {
+	n := len(p)
+	if n > 20 {
+		return 0, fmt.Errorf("perm: rank of %d-element permutation overflows uint64", n)
+	}
+	if !p.Valid() {
+		return 0, fmt.Errorf("perm: %v is not a permutation", p)
+	}
+	var rank uint64
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		rank = rank*uint64(n-i) + uint64(smaller)
+	}
+	return rank, nil
+}
+
+// Unrank returns the permutation of [n] with Lehmer rank r. It is the
+// inverse of Rank. Only defined for n <= 20.
+func Unrank(n int, r uint64) (Perm, error) {
+	if n > 20 {
+		return nil, fmt.Errorf("perm: unrank for n=%d overflows uint64", n)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("perm: negative size %d", n)
+	}
+	// Decompose r into the factorial number system.
+	digits := make([]uint64, n)
+	for i := n; i >= 1; i-- {
+		digits[i-1] = r % uint64(n-i+1)
+		r /= uint64(n - i + 1)
+	}
+	if r != 0 {
+		return nil, fmt.Errorf("perm: rank out of range for n=%d", n)
+	}
+	avail := Identity(n)
+	p := make(Perm, n)
+	for i := 0; i < n; i++ {
+		d := int(digits[i])
+		p[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return p, nil
+}
+
+// Enumerate calls fn with every permutation of [n] in lexicographic order.
+// The slice passed to fn is reused between calls; clone it if it must be
+// retained. Enumeration stops early if fn returns false.
+func Enumerate(n int, fn func(Perm) bool) {
+	p := Identity(n)
+	for {
+		if !fn(p) {
+			return
+		}
+		// Next lexicographic permutation (classic Narayana algorithm).
+		i := n - 2
+		for i >= 0 && p[i] >= p[i+1] {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		j := n - 1
+		for p[j] <= p[i] {
+			j--
+		}
+		p[i], p[j] = p[j], p[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			p[l], p[r] = p[r], p[l]
+		}
+	}
+}
+
+// Log2Factorial returns log2(n!) computed by summing log2(k); this is the
+// information content, in bits, of a permutation of [n].
+func Log2Factorial(n int) float64 {
+	var s float64
+	for k := 2; k <= n; k++ {
+		s += math.Log2(float64(k))
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package perm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17} {
+		p := Identity(n)
+		if len(p) != n {
+			t.Fatalf("Identity(%d) has length %d", n, len(p))
+		}
+		for i, v := range p {
+			if v != i {
+				t.Errorf("Identity(%d)[%d] = %d", n, i, v)
+			}
+		}
+		if !p.Valid() {
+			t.Errorf("Identity(%d) not valid", n)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := Reverse(5)
+	want := Perm{4, 3, 2, 1, 0}
+	if !p.Equal(want) {
+		t.Fatalf("Reverse(5) = %v, want %v", p, want)
+	}
+	if !p.Valid() {
+		t.Error("Reverse(5) not valid")
+	}
+}
+
+func TestRotation(t *testing.T) {
+	p := Rotation(5, 2)
+	want := Perm{2, 3, 4, 0, 1}
+	if !p.Equal(want) {
+		t.Fatalf("Rotation(5,2) = %v, want %v", p, want)
+	}
+	if !Rotation(7, 0).Equal(Identity(7)) {
+		t.Error("Rotation(n,0) should be identity")
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		p := Random(n, rng)
+		if !p.Valid() {
+			t.Fatalf("Random(%d) produced invalid %v", n, p)
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	cases := []Perm{
+		{0, 0},
+		{1, 2},
+		{-1, 0},
+		{0, 2},
+	}
+	for _, p := range cases {
+		if p.Valid() {
+			t.Errorf("Valid(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		p := Random(n, rng)
+		q := p.Inverse()
+		for i := range p {
+			if q[p[i]] != i {
+				t.Fatalf("inverse broken: p=%v q=%v", p, q)
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Identity(4)
+	q := p.Clone()
+	q[0] = 3
+	if p[0] != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		p := Random(n, rng)
+		r, err := p.Rank()
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", p, err)
+		}
+		q, err := Unrank(n, r)
+		if err != nil {
+			t.Fatalf("Unrank(%d, %d): %v", n, r, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip: %v -> %d -> %v", p, r, q)
+		}
+	}
+}
+
+func TestRankBijective(t *testing.T) {
+	const n = 5
+	seen := make(map[uint64]bool)
+	Enumerate(n, func(p Perm) bool {
+		r, err := p.Rank()
+		if err != nil {
+			t.Fatalf("Rank(%v): %v", p, err)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate rank %d for %v", r, p)
+		}
+		seen[r] = true
+		return true
+	})
+	if len(seen) != 120 {
+		t.Fatalf("enumerated %d permutations of [5], want 120", len(seen))
+	}
+	for r := uint64(0); r < 120; r++ {
+		if !seen[r] {
+			t.Fatalf("rank %d never produced", r)
+		}
+	}
+}
+
+func TestRankIdentityIsZero(t *testing.T) {
+	r, err := Identity(8).Rank()
+	if err != nil || r != 0 {
+		t.Fatalf("Rank(identity) = %d, %v; want 0, nil", r, err)
+	}
+	rr, err := Reverse(8).Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fact uint64 = 1
+	for k := uint64(2); k <= 8; k++ {
+		fact *= k
+	}
+	if rr != fact-1 {
+		t.Fatalf("Rank(reverse) = %d, want %d", rr, fact-1)
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	bad := Perm{0, 0, 1}
+	if _, err := bad.Rank(); err == nil {
+		t.Error("Rank of invalid permutation should error")
+	}
+	if _, err := Identity(21).Rank(); err == nil {
+		t.Error("Rank of 21-element permutation should error")
+	}
+	if _, err := Unrank(21, 0); err == nil {
+		t.Error("Unrank for n=21 should error")
+	}
+	if _, err := Unrank(3, 6); err == nil {
+		t.Error("Unrank out-of-range rank should error")
+	}
+}
+
+func TestEnumerateLexOrder(t *testing.T) {
+	var prev uint64
+	first := true
+	count := 0
+	Enumerate(4, func(p Perm) bool {
+		r, err := p.Rank()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first && r != prev+1 {
+			t.Fatalf("enumeration out of order: rank %d after %d", r, prev)
+		}
+		prev, first = r, false
+		count++
+		return true
+	})
+	if count != 24 {
+		t.Fatalf("enumerated %d, want 24", count)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	Enumerate(5, func(Perm) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop after %d calls, want 7", count)
+	}
+}
+
+func TestLog2Factorial(t *testing.T) {
+	v := Log2Factorial(1)
+	if v != 0 {
+		t.Errorf("Log2Factorial(1) = %v, want 0", v)
+	}
+	// log2(5!) = log2(120)
+	want := math.Log2(120)
+	if got := Log2Factorial(5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Log2Factorial(5) = %v, want %v", got, want)
+	}
+	// Stirling sanity: log2(n!) ~ n log2 n - n log2 e.
+	n := 1000
+	approx := float64(n)*math.Log2(float64(n)) - float64(n)*math.Log2(math.E)
+	if got := Log2Factorial(n); math.Abs(got-approx) > 10 {
+		t.Errorf("Log2Factorial(1000) = %v, Stirling approx %v too far", got, approx)
+	}
+}
+
+func TestQuickInversionInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%32) + 1
+		r := rand.New(rand.NewSource(seed))
+		p := Random(n, r)
+		return p.Inverse().Inverse().Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

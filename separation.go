@@ -1,0 +1,220 @@
+package tradingfences
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/machine"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// MutexVerdict is the outcome of checking one lock under one memory model.
+type MutexVerdict struct {
+	Lock  LockSpec
+	Model MemoryModel
+	// Violated is true if a reachable configuration with two processes in
+	// the critical section was found.
+	Violated bool
+	// Proved is true if the state space was explored exhaustively without
+	// finding a violation — a proof of mutual exclusion for the bounded
+	// workload.
+	Proved bool
+	// States is the number of distinct states explored.
+	States int
+	// Witness is a human-readable counterexample trace (empty when no
+	// violation was found).
+	Witness string
+	// WitnessSchedule is the violating schedule in the textual format of
+	// ReplaySchedule (empty when no violation was found).
+	WitnessSchedule string
+}
+
+// ReplaySchedule re-executes a textual witness schedule (as found in
+// MutexVerdict.WitnessSchedule) against a fresh instance of the lock's
+// instrumented workload and returns the step-by-step trace.
+func ReplaySchedule(spec LockSpec, n, passages int, model MemoryModel, schedule string) (string, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return "", err
+	}
+	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
+	if err != nil {
+		return "", err
+	}
+	sched, err := machine.ParseSchedule(schedule)
+	if err != nil {
+		return "", err
+	}
+	tr, _, err := subject.Replay(model.internal(), sched)
+	if err != nil {
+		return "", err
+	}
+	return tr.Format(subject.Layout), nil
+}
+
+// CheckMutex model-checks mutual exclusion of the lock for n processes
+// performing `passages` passages each under the given memory model,
+// exploring up to maxStates distinct states exhaustively.
+func CheckMutex(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*MutexVerdict, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
+	if err != nil {
+		return nil, err
+	}
+	res, err := subject.Exhaustive(model.internal(), maxStates)
+	if err != nil {
+		return nil, err
+	}
+	v := &MutexVerdict{
+		Lock:     spec,
+		Model:    model,
+		Violated: res.Violation,
+		Proved:   res.Complete && !res.Violation,
+		States:   res.States,
+	}
+	if res.Violation {
+		// Shrink the witness to a 1-minimal schedule before rendering.
+		minimized, err := subject.MinimizeWitness(model.internal(), res.Witness)
+		if err != nil {
+			return nil, fmt.Errorf("minimize witness: %w", err)
+		}
+		tr, _, err := subject.Replay(model.internal(), minimized)
+		if err != nil {
+			return nil, fmt.Errorf("replay witness: %w", err)
+		}
+		v.Witness = tr.Format(subject.Layout)
+		v.WitnessSchedule = minimized.String()
+	}
+	return v, nil
+}
+
+// CheckMutexRandom hunts for mutual-exclusion violations with seeded random
+// schedules (runs × maxSteps elements). It can only find violations, never
+// prove correctness.
+func CheckMutexRandom(spec LockSpec, n, passages int, model MemoryModel, seed int64, runs, maxSteps int) (*MutexVerdict, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
+	if err != nil {
+		return nil, err
+	}
+	res, err := subject.Random(model.internal(), newRand(seed), runs, maxSteps, 0.35)
+	if err != nil {
+		return nil, err
+	}
+	return &MutexVerdict{
+		Lock:     spec,
+		Model:    model,
+		Violated: res.Violation,
+		States:   res.States,
+	}, nil
+}
+
+// LivenessVerdict reports the liveness analysis of a lock: deadlock
+// freedom (requirement 2 of the paper's lock definition) and weak
+// obstruction-freedom (the paper's Section 2 progress condition, implied
+// by deadlock freedom).
+type LivenessVerdict struct {
+	Lock  LockSpec
+	Model MemoryModel
+	// States is the number of distinct reachable states explored.
+	States int
+	// Complete is true if the reachable state space was exhausted;
+	// without it the two properties below are only refutable, not
+	// provable.
+	Complete bool
+	// DeadlockFree: from every reachable state some schedule completes
+	// all processes.
+	DeadlockFree bool
+	// WeakObstructionFree: wherever all processes but one are initial or
+	// final, the remaining process terminates running alone.
+	WeakObstructionFree bool
+	// StuckStates counts states from which completion is unreachable.
+	StuckStates int
+}
+
+// CheckLiveness explores the full state graph of the lock (n processes,
+// `passages` passages each) under the given memory model and verifies
+// deadlock freedom and weak obstruction-freedom.
+func CheckLiveness(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*LivenessVerdict, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
+	if err != nil {
+		return nil, err
+	}
+	res, err := subject.CheckProgress(model.internal(), maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return &LivenessVerdict{
+		Lock:                spec,
+		Model:               model,
+		States:              res.States,
+		Complete:            res.Complete,
+		DeadlockFree:        res.DeadlockFree,
+		WeakObstructionFree: res.WeakObstructionFree,
+		StuckStates:         res.StuckStates,
+	}, nil
+}
+
+// SeparationRow is one row of the separation matrix: a lock's verdicts
+// under SC, TSO and PSO.
+type SeparationRow struct {
+	Lock     LockSpec
+	Fences   int // fences per acquire (static property of the variant)
+	Verdicts map[MemoryModel]*MutexVerdict
+}
+
+// SeparationMatrix exhaustively checks the witness locks that realize the
+// SC ⊋ TSO ⊋ PSO hierarchy (two processes, one passage each):
+//
+//	peterson-nofence: safe under SC only       (0 fences)
+//	peterson-tso:     safe under SC, TSO       (1 fence)
+//	peterson:         safe everywhere          (2 fences)
+//	bakery-tso:       safe under SC, TSO       (2 acquire fences)
+//	bakery:           safe everywhere          (3 acquire fences)
+//	bakery-literal:   broken even under SC     (erratum of Algorithm 1's
+//	                                            printed line order)
+//
+// This is the behavioural half of the paper's separation result: the
+// number of fences needed grows strictly as write ordering weakens.
+func SeparationMatrix(maxStates int) ([]SeparationRow, error) {
+	entries := []struct {
+		spec   LockSpec
+		fences int
+	}{
+		{LockSpec{Kind: PetersonNoFence}, 0},
+		{LockSpec{Kind: PetersonTSO}, 1},
+		{LockSpec{Kind: Peterson}, 2},
+		{LockSpec{Kind: BakeryTSO}, 2},
+		{LockSpec{Kind: Bakery}, 3},
+		{LockSpec{Kind: BakeryLiteral}, 3},
+	}
+	rows := make([]SeparationRow, 0, len(entries))
+	for _, e := range entries {
+		row := SeparationRow{
+			Lock:     e.spec,
+			Fences:   e.fences,
+			Verdicts: make(map[MemoryModel]*MutexVerdict, 3),
+		}
+		for _, m := range Models() {
+			v, err := CheckMutex(e.spec, 2, 1, m, maxStates)
+			if err != nil {
+				return nil, fmt.Errorf("separation %v under %v: %w", e.spec, m, err)
+			}
+			row.Verdicts[m] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

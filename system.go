@@ -1,0 +1,217 @@
+package tradingfences
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/objects"
+)
+
+// System is an instantiated ordering object over a lock for n processes,
+// ready to be run under any memory model. A System is immutable and safe
+// for concurrent use; each Run* call builds a fresh configuration.
+type System struct {
+	spec LockSpec
+	obj  ObjectKind
+	n    int
+	lay  *machine.Layout
+	o    *objects.Object
+}
+
+// NewSystem builds the ordering object over the lock selected by spec for
+// n processes.
+func NewSystem(spec LockSpec, obj ObjectKind, n int) (*System, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		return nil, err
+	}
+	var o *objects.Object
+	switch obj {
+	case Count:
+		o, err = objects.NewCount(lay, "obj", lk)
+	case FetchAndIncrement:
+		o, err = objects.NewFetchAndIncrement(lay, "obj", lk)
+	case QueueEnqueue:
+		o, err = objects.NewQueueEnqueue(lay, "obj", lk)
+	default:
+		return nil, fmt.Errorf("tradingfences: unknown object kind %v", obj)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &System{spec: spec, obj: obj, n: n, lay: lay, o: o}, nil
+}
+
+// N returns the process count.
+func (s *System) N() int { return s.n }
+
+// Lock returns the lock spec the system was built with.
+func (s *System) Lock() LockSpec { return s.spec }
+
+// Object returns the ordering-object kind.
+func (s *System) Object() ObjectKind { return s.obj }
+
+// newConfig builds a fresh initial configuration.
+func (s *System) newConfig(model MemoryModel) (*machine.Config, error) {
+	return machine.NewConfig(model.internal(), s.lay, s.o.Programs())
+}
+
+// Listing returns the full program text each process executes — the lock's
+// acquire and release fragments around the object's critical section — as
+// an indented listing. Register operands are raw register numbers; use
+// DescribeRegisters for the symbol table.
+func (s *System) Listing() string {
+	return lang.Format(s.o.Program())
+}
+
+// StaticAnalysis summarizes the program's static structure (statement
+// counts, locals, loop nesting).
+type StaticAnalysis struct {
+	Reads, Writes, Fences, Returns int
+	Locals                         int
+	MaxLoopDepth                   int
+}
+
+// Analyze returns the static summary of the per-process program.
+func (s *System) Analyze() StaticAnalysis {
+	a := lang.Analyze(s.o.Program())
+	return StaticAnalysis{
+		Reads:        a.Reads,
+		Writes:       a.Writes,
+		Fences:       a.Fences,
+		Returns:      a.Returns,
+		Locals:       len(a.Locals),
+		MaxLoopDepth: a.MaxLoopDepth,
+	}
+}
+
+// DescribeRegisters maps the register numbers appearing in Listing to
+// their symbolic names (e.g. "lk.T[3]"), one per line, ascending.
+func (s *System) DescribeRegisters() string {
+	var b strings.Builder
+	for r := int64(0); r < int64(s.lay.Size()); r++ {
+		fmt.Fprintf(&b, "R%-6d %s (segment: %s)\n", r, s.lay.Describe(r), ownerLabel(s.lay.Owner(r)))
+	}
+	return b.String()
+}
+
+func ownerLabel(owner int) string {
+	if owner == machine.NoOwner {
+		return "none"
+	}
+	return fmt.Sprintf("process %d", owner)
+}
+
+// ProcStats reports one process's cost in a run.
+type ProcStats struct {
+	Fences int64
+	RMRs   int64
+	Reads  int64
+	Writes int64
+	Steps  int64
+}
+
+// RunReport is the outcome of a System run.
+type RunReport struct {
+	// Returns[p] is process p's final value (its rank for ordering
+	// objects).
+	Returns []int64
+	// PerProc[p] is process p's cost.
+	PerProc []ProcStats
+	// MaxFences and MaxRMRs are the worst per-process (per-passage)
+	// counts — the paper's f and r.
+	MaxFences int64
+	MaxRMRs   int64
+	// TotalFences and TotalRMRs are β(E) and ρ(E).
+	TotalFences int64
+	TotalRMRs   int64
+}
+
+func report(c *machine.Config) (*RunReport, error) {
+	vals, ok := machine.Returns(c)
+	if !ok {
+		return nil, fmt.Errorf("tradingfences: not all processes finished")
+	}
+	st := c.Stats()
+	r := &RunReport{
+		Returns:     vals,
+		PerProc:     make([]ProcStats, c.N()),
+		MaxFences:   st.MaxFences(),
+		MaxRMRs:     st.MaxRMRs(),
+		TotalFences: st.TotalFences(),
+		TotalRMRs:   st.TotalRMRs(),
+	}
+	for p := 0; p < c.N(); p++ {
+		r.PerProc[p] = ProcStats{
+			Fences: st.Fences[p],
+			RMRs:   st.RMRs[p],
+			Reads:  st.Reads[p],
+			Writes: st.Writes[p],
+			Steps:  st.Steps[p],
+		}
+	}
+	return r, nil
+}
+
+// RunSequential runs the processes one after another in the given order
+// (nil = 0..n-1), each to completion — the uncontended passages used for
+// the per-passage complexity measurements. For ordering objects the i-th
+// process of the order returns i.
+func (s *System) RunSequential(model MemoryModel, order []int) (*RunReport, error) {
+	return s.runSequentialAcct(model, order, CombinedModel)
+}
+
+func (s *System) runSequentialAcct(model MemoryModel, order []int, acct RMRModel) (*RunReport, error) {
+	c, err := s.newConfig(model)
+	if err != nil {
+		return nil, err
+	}
+	c.SetAccounting(acct.internal())
+	if order == nil {
+		order = make([]int, s.n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if err := machine.RunSequential(c, order, machine.DefaultSoloLimit(s.n)); err != nil {
+		return nil, err
+	}
+	return report(c)
+}
+
+// RunConcurrent runs all processes under a fair round-robin schedule until
+// completion — the contended workload.
+func (s *System) RunConcurrent(model MemoryModel) (*RunReport, error) {
+	c, err := s.newConfig(model)
+	if err != nil {
+		return nil, err
+	}
+	limit := 4000*s.n*s.n + 4_000_000
+	if err := machine.RunRoundRobin(c, limit); err != nil {
+		return nil, err
+	}
+	return report(c)
+}
+
+// RunRandom runs all processes under a seeded random schedule in which the
+// adversary commits buffered writes out of order with probability
+// commitProb per step.
+func (s *System) RunRandom(model MemoryModel, seed int64, commitProb float64) (*RunReport, error) {
+	c, err := s.newConfig(model)
+	if err != nil {
+		return nil, err
+	}
+	limit := 8000*s.n*s.n + 8_000_000
+	if err := machine.RunRandom(c, rand.New(rand.NewSource(seed)), commitProb, limit); err != nil {
+		return nil, err
+	}
+	return report(c)
+}

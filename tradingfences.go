@@ -1,0 +1,245 @@
+// Package tradingfences reproduces, in simulation, the results of
+// Attiya, Hendler and Woelfel, "Trading Fences with RMRs and Separating
+// Memory Models" (PODC 2015): the tight tradeoff
+//
+//	f · (log(r/f) + 1) ∈ Ω(log n)
+//
+// between the number of memory fences f and the number of remote memory
+// references (RMRs) r per passage through read/write implementations of
+// ordering objects (locks, counters, queues) on machines that may reorder
+// writes, together with the matching generalized-tournament algorithms
+// GT_f and the complexity separation between TSO (no write reordering) and
+// PSO/RMO (write reordering allowed).
+//
+// Everything runs on an exact executable model of the paper's machine
+// (Section 2): per-process write buffers whose commits the scheduler
+// controls, schedules of (process, register) pairs, and the combined
+// DSM+CC classification of remote steps. Three memory models are provided:
+// SC (immediate writes), TSO (FIFO buffers) and PSO (unordered buffers,
+// the paper's model).
+//
+// The package exposes four experiment surfaces:
+//
+//   - MeasureLock / TradeoffSweep: per-passage fence and RMR counts for the
+//     lock family (Bakery, Peterson, tournament tree, GT_f), reproducing
+//     the Section 3 complexity claims and Equation 2.
+//   - EncodePermutation: the Section 5 lower-bound construction — builds
+//     and encodes the execution E_π for a permutation π, returning the
+//     bit-exact code length to compare against log2(n!).
+//   - CheckMutex: exhaustive and randomized model checking of mutual
+//     exclusion under SC/TSO/PSO, realizing the memory-model separation
+//     behaviourally.
+//   - RecoverPermutationFromCode: the decoding direction — bits back to π.
+package tradingfences
+
+import (
+	"fmt"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// MemoryModel selects the simulated memory model.
+type MemoryModel int
+
+// Memory models, in strength order.
+const (
+	// SC is sequential consistency: writes take effect immediately.
+	SC MemoryModel = iota + 1
+	// TSO is total store ordering: writes drain FIFO from a store buffer;
+	// reads may bypass buffered writes (x86/AMD).
+	TSO
+	// PSO is partial store ordering: buffered writes commit in any order
+	// (SPARC PSO; the paper's model for RMO/POWER-style reordering).
+	PSO
+)
+
+func (m MemoryModel) String() string { return m.internal().String() }
+
+func (m MemoryModel) internal() machine.Model {
+	switch m {
+	case SC:
+		return machine.SC
+	case TSO:
+		return machine.TSO
+	case PSO:
+		return machine.PSO
+	default:
+		return machine.PSO
+	}
+}
+
+// Models lists all supported memory models, strongest first.
+func Models() []MemoryModel { return []MemoryModel{SC, TSO, PSO} }
+
+// LockKind enumerates the lock algorithms of the repository.
+type LockKind int
+
+// Lock kinds. The first group is correct under every memory model; the
+// second group consists of deliberately weaker-fenced variants that are
+// correct only under the stated models and serve as separation witnesses.
+const (
+	// Bakery is Lamport's Bakery lock (Algorithm 1 of the paper, classic
+	// write order): O(1) fences, Θ(n) RMRs per passage. Correct under
+	// SC, TSO and PSO.
+	Bakery LockKind = iota + 1
+	// Tournament is the binary tournament tree with PSO-safe Peterson
+	// nodes: Θ(log n) fences and Θ(log n) RMRs per passage.
+	Tournament
+	// GT is the paper's generalized tournament GT_f (requires F in
+	// LockSpec): O(f) fences and O(f·n^(1/f)) RMRs per passage.
+	GT
+	// Peterson is the PSO-safe two-process Peterson lock (two fences).
+	Peterson
+	// Filter is Peterson's n-process filter lock with per-write fences:
+	// correct under PSO but deliberately suboptimal — 2(n-1) fences per
+	// passage put its tradeoff product at Θ(n), far above the Ω(log n)
+	// floor. The "what not to do" baseline of the sweep experiments.
+	Filter
+
+	// PetersonTSO keeps only the classic store-load fence: correct under
+	// SC and TSO, broken under PSO.
+	PetersonTSO
+	// PetersonNoFence has no fences: correct only under SC.
+	PetersonNoFence
+	// BakeryTSO omits the fence between the ticket and choosing-flag
+	// writes, relying on FIFO commit order: correct under SC and TSO,
+	// broken under PSO.
+	BakeryTSO
+	// BakeryLiteral uses the paper's printed line order (choosing flag
+	// lowered before the ticket write): broken under every model,
+	// including SC — a documented erratum of the paper's listing.
+	BakeryLiteral
+
+	// DeadlockDemo is a deliberately broken two-process "lock" (deadly
+	// embrace: raise own flag, wait for the other's to drop). Mutually
+	// exclusive and weakly obstruction-free but not deadlock-free; a
+	// negative control for CheckLiveness.
+	DeadlockDemo
+	// RendezvousDemo is a two-process pseudo-lock whose acquire waits for
+	// the OTHER process's flag to rise: a direct violation of weak
+	// obstruction-freedom. Negative control for CheckLiveness.
+	RendezvousDemo
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case Bakery:
+		return "bakery"
+	case Tournament:
+		return "tournament"
+	case GT:
+		return "gt"
+	case Peterson:
+		return "peterson"
+	case Filter:
+		return "filter"
+	case PetersonTSO:
+		return "peterson-tso"
+	case PetersonNoFence:
+		return "peterson-nofence"
+	case BakeryTSO:
+		return "bakery-tso"
+	case BakeryLiteral:
+		return "bakery-literal"
+	case DeadlockDemo:
+		return "deadlock-demo"
+	case RendezvousDemo:
+		return "rendezvous-demo"
+	default:
+		return fmt.Sprintf("LockKind(%d)", int(k))
+	}
+}
+
+// LockSpec selects a lock algorithm instance. F is only meaningful for GT
+// (tree height, 1 ≤ F ≤ log2 n).
+type LockSpec struct {
+	Kind LockKind
+	F    int
+}
+
+func (s LockSpec) String() string {
+	if s.Kind == GT {
+		return fmt.Sprintf("gt%d", s.F)
+	}
+	return s.Kind.String()
+}
+
+// constructor maps the spec to the internal lock constructor.
+func (s LockSpec) constructor() (locks.Constructor, error) {
+	switch s.Kind {
+	case Bakery:
+		return locks.NewBakery, nil
+	case BakeryTSO:
+		return locks.NewBakeryTSO, nil
+	case BakeryLiteral:
+		return locks.NewBakeryLiteral, nil
+	case Peterson:
+		return locks.NewPeterson, nil
+	case Filter:
+		return locks.NewFilter, nil
+	case PetersonTSO:
+		return locks.NewPetersonTSO, nil
+	case PetersonNoFence:
+		return locks.NewPetersonNoFence, nil
+	case DeadlockDemo:
+		return locks.NewDeadlockDemo, nil
+	case RendezvousDemo:
+		return locks.NewRendezvousDemo, nil
+	case Tournament:
+		return locks.NewTournament, nil
+	case GT:
+		f := s.F
+		if f < 1 {
+			return nil, fmt.Errorf("tradingfences: GT requires F >= 1, got %d", f)
+		}
+		return func(l *machine.Layout, nm string, n int) (*locks.Algorithm, error) {
+			return locks.NewGT(l, nm, n, f)
+		}, nil
+	default:
+		return nil, fmt.Errorf("tradingfences: unknown lock kind %v", s.Kind)
+	}
+}
+
+// CorrectUnder reports the strongest set of models the lock kind is correct
+// under, as documented (and verified by the model-checking experiments).
+func (s LockSpec) CorrectUnder() []MemoryModel {
+	switch s.Kind {
+	case PetersonNoFence:
+		return []MemoryModel{SC}
+	case PetersonTSO, BakeryTSO:
+		return []MemoryModel{SC, TSO}
+	case BakeryLiteral, DeadlockDemo, RendezvousDemo:
+		return nil
+	default:
+		return []MemoryModel{SC, TSO, PSO}
+	}
+}
+
+// ObjectKind selects the ordering object built over the lock.
+type ObjectKind int
+
+// Ordering objects (Section 4 of the paper).
+const (
+	// Count is the paper's canonical ordering algorithm: read the shared
+	// counter, write back +1, return the value read.
+	Count ObjectKind = iota + 1
+	// FetchAndIncrement is the lock-based fetch-and-increment object.
+	FetchAndIncrement
+	// QueueEnqueue is the enqueue side of a lock-based queue; the return
+	// value is the enqueue position.
+	QueueEnqueue
+)
+
+func (o ObjectKind) String() string {
+	switch o {
+	case Count:
+		return "count"
+	case FetchAndIncrement:
+		return "fetch-and-increment"
+	case QueueEnqueue:
+		return "queue-enqueue"
+	default:
+		return fmt.Sprintf("ObjectKind(%d)", int(o))
+	}
+}
