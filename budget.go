@@ -1,0 +1,72 @@
+package tradingfences
+
+import (
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+	"tradingfences/internal/witness"
+)
+
+// Budget bounds the resources a check or encode run may consume. The zero
+// value of each field means "unlimited".
+type Budget = run.Budget
+
+// BudgetError reports which resource of a Budget was exhausted; every
+// BudgetError matches ErrBudgetExceeded via errors.Is.
+type BudgetError = run.BudgetError
+
+// ErrBudgetExceeded is the sentinel matched by every budget violation.
+var ErrBudgetExceeded = run.ErrBudgetExceeded
+
+// IsLimit reports whether err is a resource-limit condition — a budget
+// trip or a context cancellation/deadline — as opposed to a genuine
+// failure of the work itself.
+func IsLimit(err error) bool { return run.IsLimit(err) }
+
+// FaultPlan describes faults injected into an execution: deterministic
+// crash points, commit-stall windows, and an adversarial crash budget for
+// exploratory checking. A nil plan injects nothing.
+type FaultPlan = machine.FaultPlan
+
+// CrashPoint schedules a deterministic crash of a process before a given
+// schedule index.
+type CrashPoint = machine.CrashPoint
+
+// StallWindow suspends commits of a process's buffered writes while the
+// global step count lies inside the window.
+type StallWindow = machine.StallWindow
+
+// Witness is the replayable failure artifact: a versioned JSON document
+// bundling a violating schedule with the subject identity, fault plan and
+// the fingerprints that certify a bit-for-bit replay.
+type Witness = witness.Witness
+
+// CheckOptions parameterizes the context-aware checking entry points.
+type CheckOptions struct {
+	// Budget bounds the run (zero fields = unlimited).
+	Budget Budget
+	// Faults is the fault plan to inject (nil = none). Exhaustive checking
+	// accepts only the MaxCrashes budget; stall windows and fixed crash
+	// points are for randomized search and replay.
+	Faults *FaultPlan
+	// Seed seeds the randomized fallback used when the state budget trips.
+	Seed int64
+	// FallbackRuns and FallbackMaxSteps size the randomized fallback
+	// (0 = defaults: 2000 runs of up to 400 steps).
+	FallbackRuns, FallbackMaxSteps int
+}
+
+const (
+	defaultFallbackRuns     = 2000
+	defaultFallbackMaxSteps = 400
+)
+
+func (o CheckOptions) fallback() (runs, maxSteps int) {
+	runs, maxSteps = o.FallbackRuns, o.FallbackMaxSteps
+	if runs <= 0 {
+		runs = defaultFallbackRuns
+	}
+	if maxSteps <= 0 {
+		maxSteps = defaultFallbackMaxSteps
+	}
+	return runs, maxSteps
+}

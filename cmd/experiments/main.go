@@ -10,10 +10,11 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-json] [-only E3,E4]
+//	experiments [-quick] [-json] [-only E3,E4] [-timeout 5m]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,14 +62,22 @@ func (t *table) markdown() string {
 type experiment struct {
 	id   string
 	name string
-	run  func(quick bool) (*table, error)
+	run  func(ctx context.Context, quick bool) (*table, error)
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of markdown")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -99,7 +108,7 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		tbl, err := e.run(*quick)
+		tbl, err := e.run(ctx, *quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
 			os.Exit(1)
@@ -127,14 +136,14 @@ func pick(quick bool, small, full int) int {
 	return full
 }
 
-func runT1(quick bool) (*table, error) {
+func runT1(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 8, 16)
 	t := &table{
 		Note:    fmt.Sprintf("Count objects, n = %d, random π", n),
 		Headers: []string{"object", "proceed", "commit", "wait-hidden-commit", "wait-read-finish", "wait-local-finish"},
 	}
 	for _, spec := range []tradingfences.LockSpec{{Kind: tradingfences.Bakery}, {Kind: tradingfences.Tournament}} {
-		rep, err := tradingfences.EncodePermutation(spec, tradingfences.Count, tradingfences.RandomPerm(n, 1))
+		rep, err := tradingfences.EncodePermutationCtx(ctx, spec, tradingfences.Count, tradingfences.RandomPerm(n, 1), tradingfences.Budget{})
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +153,7 @@ func runT1(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runF1(quick bool) (*table, error) {
+func runF1(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 16, 64)
 	t := &table{
 		Note:    fmt.Sprintf("n = %d", n),
@@ -176,17 +185,17 @@ func complexityNs(quick bool) []int {
 	return []int{4, 16, 64, 256}
 }
 
-func runE1(quick bool) (*table, error) {
+func runE1(ctx context.Context, quick bool) (*table, error) {
 	return sweepRows(tradingfences.LockSpec{Kind: tradingfences.Bakery}, complexityNs(quick))
 }
 
-func runE2(quick bool) (*table, error) {
+func runE2(ctx context.Context, quick bool) (*table, error) {
 	return sweepRows(tradingfences.LockSpec{Kind: tradingfences.Tournament}, complexityNs(quick))
 }
 
-func runE3(quick bool) (*table, error) {
+func runE3(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 64, 256)
-	pts, err := tradingfences.TradeoffSweep(n)
+	pts, err := tradingfences.TradeoffSweepCtx(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +209,7 @@ func runE3(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE4(quick bool) (*table, error) {
+func runE4(ctx context.Context, quick bool) (*table, error) {
 	type cfg struct {
 		spec tradingfences.LockSpec
 		n    int
@@ -215,7 +224,7 @@ func runE4(quick bool) (*table, error) {
 	}
 	t := &table{Headers: []string{"lock", "n", "β", "ρ", "bits/lg(n!)", "β(lg(ρ/β)+1)/lg(n!)"}}
 	for _, c := range cfgs {
-		rep, err := tradingfences.EncodePermutation(c.spec, tradingfences.Count, tradingfences.RandomPerm(c.n, 7))
+		rep, err := tradingfences.EncodePermutationCtx(ctx, c.spec, tradingfences.Count, tradingfences.RandomPerm(c.n, 7), tradingfences.Budget{})
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +234,7 @@ func runE4(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE5(quick bool) (*table, error) {
+func runE5(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 64, 256)
 	t := &table{
 		Note:    fmt.Sprintf("n = %d", n),
@@ -247,9 +256,9 @@ func runE5(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE6(quick bool) (*table, error) {
+func runE6(ctx context.Context, quick bool) (*table, error) {
 	states := pick(quick, 1_000_000, 3_000_000)
-	rows, err := tradingfences.SeparationMatrix(states)
+	rows, err := tradingfences.SeparationMatrixCtx(ctx, states)
 	if err != nil {
 		return nil, err
 	}
@@ -273,13 +282,13 @@ func runE6(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE7(quick bool) (*table, error) {
+func runE7(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 8, 12)
 	t := &table{Headers: []string{"object", "fences/proc", "RMRs/proc", "round trip"}}
 	for _, obj := range []tradingfences.ObjectKind{tradingfences.Count, tradingfences.FetchAndIncrement, tradingfences.QueueEnqueue} {
 		pi := tradingfences.RandomPerm(n, 3)
 		spec := tradingfences.LockSpec{Kind: tradingfences.Bakery}
-		rep, err := tradingfences.EncodePermutation(spec, obj, pi)
+		rep, err := tradingfences.EncodePermutationCtx(ctx, spec, obj, pi, tradingfences.Budget{})
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +307,7 @@ func runE7(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE8(quick bool) (*table, error) {
+func runE8(ctx context.Context, quick bool) (*table, error) {
 	states := pick(quick, 1_000_000, 3_000_000)
 	t := &table{Headers: []string{"lock", "states", "deadlock-free", "weakly obstruction-free"}}
 	for _, spec := range []tradingfences.LockSpec{
@@ -308,7 +317,8 @@ func runE8(quick bool) (*table, error) {
 		{Kind: tradingfences.DeadlockDemo},
 		{Kind: tradingfences.RendezvousDemo},
 	} {
-		v, err := tradingfences.CheckLiveness(spec, 2, 1, tradingfences.PSO, states)
+		v, err := tradingfences.CheckLivenessCtx(ctx, spec, 2, 1, tradingfences.PSO,
+			tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: states}})
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +327,7 @@ func runE8(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE9(quick bool) (*table, error) {
+func runE9(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 16, 64)
 	t := &table{
 		Note:    fmt.Sprintf("n = %d, RMRs per passage", n),
@@ -337,7 +347,7 @@ func runE9(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE10(quick bool) (*table, error) {
+func runE10(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 16, 64)
 	t := &table{
 		Note:    fmt.Sprintf("n = %d, 8 passages per process", n),
@@ -353,7 +363,7 @@ func runE10(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE11(quick bool) (*table, error) {
+func runE11(ctx context.Context, quick bool) (*table, error) {
 	n := pick(quick, 8, 16)
 	t := &table{
 		Note:    fmt.Sprintf("n = %d, fair round-robin", n),
@@ -373,7 +383,7 @@ func runE11(quick bool) (*table, error) {
 	return t, nil
 }
 
-func runE12(quick bool) (*table, error) {
+func runE12(ctx context.Context, quick bool) (*table, error) {
 	states := pick(quick, 2_000_000, 8_000_000)
 	t := &table{Headers: []string{"lock", "n", "product states", "verdict"}}
 	cases := []struct {
@@ -385,7 +395,8 @@ func runE12(quick bool) (*table, error) {
 		{tradingfences.LockSpec{Kind: tradingfences.GT, F: 2}, 3},
 	}
 	for _, c := range cases {
-		v, err := tradingfences.CheckFCFS(c.spec, c.n, tradingfences.PSO, states)
+		v, err := tradingfences.CheckFCFSCtx(ctx, c.spec, c.n, tradingfences.PSO,
+			tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: states}})
 		if err != nil {
 			return nil, err
 		}

@@ -6,14 +6,19 @@
 // weakens, strictly more fences are needed for correctness.
 //
 // With -witness it additionally prints the violating schedule for the
-// named lock/model pair.
+// named lock/model pair; -witness-out saves the replayable artifact,
+// -crashes grants the checker an adversarial crash budget, and -replay
+// re-executes a previously saved artifact (bit-for-bit certified).
 //
 // Usage:
 //
-//	separation [-states 3000000] [-witness bakery-tso:PSO]
+//	separation [-states 3000000] [-timeout 2m] [-witness bakery-tso:PSO]
+//	           [-witness-out w.json] [-crashes 1]
+//	separation -replay w.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,30 +29,68 @@ import (
 
 func main() {
 	maxStates := flag.Int("states", 3_000_000, "state budget for exhaustive exploration")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	witness := flag.String("witness", "", "print the counterexample for lock:model (e.g. bakery-tso:PSO)")
+	witnessOut := flag.String("witness-out", "", "write the -witness counterexample as a replayable artifact to this file")
+	crashes := flag.Int("crashes", 0, "adversarial crash budget for the -witness check (0 = crash-free)")
+	replay := flag.String("replay", "", "replay a witness artifact file and exit")
 	liveness := flag.Bool("liveness", false, "also verify deadlock freedom and weak obstruction-freedom of the correct locks")
 	fcfs := flag.Bool("fcfs", false, "also check first-come-first-served fairness (Bakery vs GT_2)")
 	flag.Parse()
 
-	if err := run(*maxStates, *witness); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *replay != "" {
+		if err := runReplay(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, "separation:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(ctx, *maxStates, *witness, *witnessOut, *crashes); err != nil {
 		fmt.Fprintln(os.Stderr, "separation:", err)
 		os.Exit(1)
 	}
 	if *liveness {
-		if err := runLiveness(*maxStates); err != nil {
+		if err := runLiveness(ctx, *maxStates); err != nil {
 			fmt.Fprintln(os.Stderr, "separation:", err)
 			os.Exit(1)
 		}
 	}
 	if *fcfs {
-		if err := runFCFS(); err != nil {
+		if err := runFCFS(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "separation:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runFCFS() error {
+func runReplay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	w, err := tradingfences.DecodeWitness(data)
+	if err != nil {
+		return err
+	}
+	trace, err := tradingfences.ReplayWitness(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("witness %s: %s under %s, n=%d, %d passage(s)\n", path, w.Lock, w.Model, w.N, w.Passages)
+	fmt.Printf("replay certified (config %s, trace %s); processes in CS: %v\n\n", w.ConfigFP, w.TraceFP, w.InCS)
+	fmt.Print(trace)
+	return nil
+}
+
+func runFCFS(ctx context.Context) error {
 	fmt.Println()
 	fmt.Println("First-come-first-served fairness (exhaustive, machine × monitor):")
 	fmt.Printf("%-10s %-4s %-8s %-30s\n", "lock", "n", "states", "verdict")
@@ -60,7 +103,8 @@ func runFCFS() error {
 		{tradingfences.LockSpec{Kind: tradingfences.GT, F: 2}, 3},
 	}
 	for _, c := range cases {
-		v, err := tradingfences.CheckFCFS(c.spec, c.n, tradingfences.PSO, 8_000_000)
+		v, err := tradingfences.CheckFCFSCtx(ctx, c.spec, c.n, tradingfences.PSO,
+			tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: 8_000_000}})
 		if err != nil {
 			return err
 		}
@@ -76,13 +120,14 @@ func runFCFS() error {
 	return nil
 }
 
-func runLiveness(maxStates int) error {
+func runLiveness(ctx context.Context, maxStates int) error {
 	fmt.Println()
 	fmt.Println("Liveness (2 processes, 1 passage, full state graph):")
 	fmt.Printf("%-14s %-6s %-8s %-14s %-22s\n", "lock", "model", "states", "deadlock-free", "weakly obstruction-free")
 	for _, k := range []tradingfences.LockKind{tradingfences.Peterson, tradingfences.Bakery, tradingfences.Tournament} {
 		for _, m := range tradingfences.Models() {
-			v, err := tradingfences.CheckLiveness(tradingfences.LockSpec{Kind: k}, 2, 1, m, maxStates)
+			v, err := tradingfences.CheckLivenessCtx(ctx, tradingfences.LockSpec{Kind: k}, 2, 1, m,
+				tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: maxStates}})
 			if err != nil {
 				return err
 			}
@@ -98,13 +143,15 @@ func verdictCell(v *tradingfences.MutexVerdict) string {
 		return fmt.Sprintf("VIOLATED(%d st)", v.States)
 	case v.Proved:
 		return fmt.Sprintf("proved(%d st)", v.States)
+	case v.Mode == tradingfences.ModeDegraded:
+		return "no viol. (degraded)"
 	default:
 		return "inconclusive"
 	}
 }
 
-func run(maxStates int, witness string) error {
-	rows, err := tradingfences.SeparationMatrix(maxStates)
+func run(ctx context.Context, maxStates int, witness, witnessOut string, crashes int) error {
+	rows, err := tradingfences.SeparationMatrixCtx(ctx, maxStates)
 	if err != nil {
 		return err
 	}
@@ -129,53 +176,37 @@ func run(maxStates int, witness string) error {
 		if len(parts) != 2 {
 			return fmt.Errorf("bad -witness %q, want lock:model", witness)
 		}
-		spec, err := lockByName(parts[0])
+		spec, err := tradingfences.ParseLockSpec(parts[0])
 		if err != nil {
 			return err
 		}
-		model, err := modelByName(parts[1])
+		model, err := tradingfences.ParseMemoryModel(parts[1])
 		if err != nil {
 			return err
 		}
-		v, err := tradingfences.CheckMutex(spec, 2, 1, model, maxStates)
+		opts := tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: maxStates}}
+		if crashes > 0 {
+			opts.Faults = &tradingfences.FaultPlan{MaxCrashes: crashes}
+		}
+		v, err := tradingfences.CheckMutexCtx(ctx, spec, 2, 1, model, opts)
 		if err != nil {
 			return err
 		}
 		if !v.Violated {
-			fmt.Printf("\nno violation of %v under %v\n", spec, model)
+			fmt.Printf("\nno violation of %v under %v (mode %s)\n", spec, model, v.Mode)
 			return nil
 		}
 		fmt.Printf("\ncounterexample for %v under %v:\n%s", spec, model, v.Witness)
+		if witnessOut != "" && v.Artifact != nil {
+			data, err := tradingfences.EncodeWitness(v.Artifact)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(witnessOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("\nwitness artifact written to %s (replay with -replay %s)\n", witnessOut, witnessOut)
+		}
 	}
 	return nil
-}
-
-func lockByName(s string) (tradingfences.LockSpec, error) {
-	kinds := map[string]tradingfences.LockKind{
-		"bakery":           tradingfences.Bakery,
-		"bakery-tso":       tradingfences.BakeryTSO,
-		"bakery-literal":   tradingfences.BakeryLiteral,
-		"peterson":         tradingfences.Peterson,
-		"peterson-tso":     tradingfences.PetersonTSO,
-		"peterson-nofence": tradingfences.PetersonNoFence,
-		"tournament":       tradingfences.Tournament,
-	}
-	k, ok := kinds[s]
-	if !ok {
-		return tradingfences.LockSpec{}, fmt.Errorf("unknown lock %q", s)
-	}
-	return tradingfences.LockSpec{Kind: k}, nil
-}
-
-func modelByName(s string) (tradingfences.MemoryModel, error) {
-	switch strings.ToUpper(s) {
-	case "SC":
-		return tradingfences.SC, nil
-	case "TSO":
-		return tradingfences.TSO, nil
-	case "PSO":
-		return tradingfences.PSO, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q", s)
-	}
 }

@@ -1,12 +1,14 @@
 package tradingfences
 
 import (
+	"context"
 	"fmt"
 
 	"tradingfences/internal/bits"
 	"tradingfences/internal/core"
 	"tradingfences/internal/machine"
 	"tradingfences/internal/perm"
+	"tradingfences/internal/run"
 )
 
 // Permutation is a permutation of the process IDs [0, n): Permutation[i]
@@ -76,14 +78,27 @@ type EncodingReport struct {
 // i.e. if some process does not return its π-rank in the constructed
 // execution.
 func EncodePermutation(spec LockSpec, obj ObjectKind, pi Permutation) (*EncodingReport, error) {
+	return EncodePermutationCtx(context.Background(), spec, obj, pi, Budget{})
+}
+
+// EncodePermutationCtx is EncodePermutation bounded by a budget (MaxWall
+// applies to the whole construction, MaxSteps to each decode pass) and
+// cancellable via ctx: cancellation mid-construction returns promptly with
+// an error matching context.Canceled.
+func EncodePermutationCtx(ctx context.Context, spec LockSpec, obj ObjectKind, pi Permutation, budget Budget) (rep *EncodingReport, err error) {
+	defer run.Recover("encode permutation", &err)
 	n := len(pi)
 	sys, err := NewSystem(spec, obj, n)
 	if err != nil {
 		return nil, err
 	}
-	enc := &core.Encoder{Build: func() (*machine.Config, error) {
-		return sys.newConfig(PSO)
-	}}
+	enc := &core.Encoder{
+		Build: func() (*machine.Config, error) {
+			return sys.newConfig(PSO)
+		},
+		Ctx:    ctx,
+		Budget: budget,
+	}
 	res, err := enc.Encode(perm.Perm(pi))
 	if err != nil {
 		return nil, fmt.Errorf("encode %v over %v: %w", pi, spec, err)

@@ -1,9 +1,11 @@
 package tradingfences
 
 import (
+	"context"
 	"fmt"
 
 	"tradingfences/internal/check"
+	"tradingfences/internal/run"
 )
 
 // FCFSVerdict reports a first-come-first-served check: Lamport's fairness
@@ -23,16 +25,13 @@ type FCFSVerdict struct {
 	States int
 }
 
-// CheckFCFS exhaustively checks first-come-first-served fairness of the
-// lock for n processes (one passage each) under the given memory model.
-// The lock must declare a wait-free doorway (Bakery variants, Peterson,
-// GT_f); the tournament tree does not, and FCFS is undefined for it.
-//
-// The headline result: Bakery is FCFS (its fence-heavy doorway buys
-// fairness), while GT_f for f >= 2 is not — a process alone in its subtree
-// overtakes earlier arrivals from contended subtrees. Trading fences for
-// RMRs costs first-come-first-served fairness.
-func CheckFCFS(spec LockSpec, n int, model MemoryModel, maxStates int) (*FCFSVerdict, error) {
+// CheckFCFSCtx exhaustively checks first-come-first-served fairness of the
+// lock for n processes (one passage each) under the given memory model,
+// bounded by opts.Budget and cancelled by ctx. Budget trips return the
+// partial (unproved) verdict alongside the structured error. Fault plans
+// are rejected: the precedence monitor is not crash-aware.
+func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, opts CheckOptions) (v *FCFSVerdict, err error) {
+	defer run.Recover("check fcfs", &err)
 	ctor, err := spec.constructor()
 	if err != nil {
 		return nil, err
@@ -41,9 +40,9 @@ func CheckFCFS(spec LockSpec, n int, model MemoryModel, maxStates int) (*FCFSVer
 	if err != nil {
 		return nil, err
 	}
-	res, err := subject.Exhaustive(model.internal(), maxStates)
-	if err != nil {
-		return nil, fmt.Errorf("fcfs %v: %w", spec, err)
+	res, cerr := subject.Exhaustive(ctx, model.internal(), check.Opts{Budget: opts.Budget, Faults: opts.Faults})
+	if cerr != nil && !run.IsLimit(cerr) {
+		return nil, fmt.Errorf("fcfs %v: %w", spec, cerr)
 	}
 	return &FCFSVerdict{
 		Lock:      spec,
@@ -53,5 +52,24 @@ func CheckFCFS(spec LockSpec, n int, model MemoryModel, maxStates int) (*FCFSVer
 		Overtaken: res.Overtaken,
 		Proved:    res.Complete && !res.Violation,
 		States:    res.States,
-	}, nil
+	}, cerr
+}
+
+// CheckFCFS exhaustively checks first-come-first-served fairness of the
+// lock for n processes (one passage each) under the given memory model.
+// The lock must declare a wait-free doorway (Bakery variants, Peterson,
+// GT_f); the tournament tree does not, and FCFS is undefined for it.
+// A tripped state budget yields an unproved verdict without error.
+//
+// The headline result: Bakery is FCFS (its fence-heavy doorway buys
+// fairness), while GT_f for f >= 2 is not — a process alone in its subtree
+// overtakes earlier arrivals from contended subtrees. Trading fences for
+// RMRs costs first-come-first-served fairness.
+func CheckFCFS(spec LockSpec, n int, model MemoryModel, maxStates int) (*FCFSVerdict, error) {
+	v, err := CheckFCFSCtx(context.Background(), spec, n, model,
+		CheckOptions{Budget: Budget{MaxStates: maxStates}})
+	if err != nil && v != nil && run.IsLimit(err) {
+		return v, nil
+	}
+	return v, err
 }

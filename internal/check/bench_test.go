@@ -17,7 +17,7 @@ func BenchmarkExhaustive(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := s.Exhaustive(machine.PSO, 3_000_000)
+		res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(3_000_000))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -35,7 +35,7 @@ func BenchmarkProgress(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := s.CheckProgress(machine.PSO, 3_000_000)
+		res, err := s.CheckProgress(bg(), machine.PSO, statesOpt(3_000_000))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func BenchmarkViolationSearch(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := s.Exhaustive(machine.PSO, 3_000_000)
+		res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(3_000_000))
 		if err != nil {
 			b.Fatal(err)
 		}

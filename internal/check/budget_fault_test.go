@@ -1,0 +1,275 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// TestExhaustiveStateBudgetSurfacesError is the regression test for the
+// old silent-truncation behavior: tripping the state budget must return a
+// structured, degradable *run.BudgetError along with the partial result —
+// never a quietly incomplete "no violation".
+func TestExhaustiveStateBudgetSurfacesError(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(25))
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states BudgetError, got %v", err)
+	}
+	if !be.Degradable() {
+		t.Error("states trip must be degradable (randomized fallback exists)")
+	}
+	if res.Complete {
+		t.Error("partial result claims completeness")
+	}
+	if res.States == 0 {
+		t.Error("partial result lost its state count")
+	}
+}
+
+func TestExhaustiveContextCancellation(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the search must notice almost immediately
+	res, err := s.Exhaustive(ctx, machine.PSO, Opts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Complete {
+		t.Error("cancelled run claims completeness")
+	}
+}
+
+func TestRandomContextCancellation(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = s.Random(ctx, machine.PSO, newTestRng(1), 100, 400, 0.3, Opts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestExhaustiveRejectsStallWindows(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Exhaustive(bg(), machine.PSO, Opts{
+		Faults: &machine.FaultPlan{Stalls: []machine.StallWindow{{P: 0, Reg: -1, From: 0, To: 10}}},
+	})
+	if err == nil {
+		t.Fatal("stall windows must be rejected in exhaustive mode (unsound with pruning)")
+	}
+	_, err = s.Exhaustive(bg(), machine.PSO, Opts{
+		Faults: &machine.FaultPlan{Crashes: []machine.CrashPoint{{P: 0, At: 3}}},
+	})
+	if err == nil {
+		t.Fatal("fixed crash points must be rejected in exhaustive mode (use MaxCrashes)")
+	}
+}
+
+// crashRevealedSubject builds a subject that is mutual-exclusion-safe in
+// every crash-free execution but violable with a single crash: a process
+// enters the critical section only if it read flag=1, and the very first
+// flag read of any crash-free execution necessarily returns 0 — while a
+// crashed process restarts and re-reads the flag it already set.
+func crashRevealedSubject(t *testing.T) *Subject {
+	t.Helper()
+	lay := machine.NewLayout()
+	flag := lay.MustAlloc("flag", 1, machine.Unowned)
+	probes := lay.MustAlloc("cs.probe", 2, machine.Unowned)
+	csIn, csOut := probes.At(0), probes.At(1)
+	prog := lang.NewProgram("crash-revealed",
+		lang.Read("t", lang.I(flag.At(0))),
+		lang.Write(lang.I(flag.At(0)), lang.I(1)),
+		lang.Fence(),
+		lang.If(lang.Eq(lang.L("t"), lang.I(1)),
+			lang.Read("_csin", lang.I(csIn)),
+			lang.Read("_csout", lang.I(csOut)),
+		),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	progs := []*lang.Program{prog, prog}
+	return &Subject{
+		Name: "crash-revealed",
+		Build: func(model machine.Model) (*machine.Config, error) {
+			return machine.NewConfig(model, lay, progs)
+		},
+		CSExit: csOut,
+		Layout: lay,
+	}
+}
+
+// TestExhaustiveCrashBudgetFindsCrashOnlyViolation checks the adversarial
+// crash exploration end to end: no violation without crashes, a violation
+// with a one-crash budget, a crash element inside the witness, and a
+// replay of the witness (crash included) reproducing the violation.
+func TestExhaustiveCrashBudgetFindsCrashOnlyViolation(t *testing.T) {
+	s := crashRevealedSubject(t)
+
+	clean, err := s.Exhaustive(bg(), machine.SC, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violation {
+		t.Fatal("subject must be safe without crashes")
+	}
+	if !clean.Complete {
+		t.Fatal("crash-free space should be exhausted")
+	}
+
+	crashed, err := s.Exhaustive(bg(), machine.SC, Opts{
+		Faults: &machine.FaultPlan{MaxCrashes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crashed.Violation {
+		t.Fatal("one crash must reveal the violation")
+	}
+	hasCrash := false
+	for _, e := range crashed.Witness {
+		if e.Crash {
+			hasCrash = true
+		}
+	}
+	if !hasCrash {
+		t.Fatalf("witness %v carries no crash element", crashed.Witness)
+	}
+
+	// The witness replays: same violation, crash and all.
+	tr, c, err := s.Replay(machine.SC, crashed.Witness, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := s.occupancy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) < 2 {
+		t.Fatalf("replayed crash witness shows %v in CS", in)
+	}
+	if tr.Fingerprint() == (&machine.Trace{}).Fingerprint() {
+		t.Error("replay recorded no steps")
+	}
+
+	// And it minimizes without losing the violation or the crash.
+	minimized, err := s.MinimizeWitness(bg(), machine.SC, crashed.Witness, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimized) > len(crashed.Witness) {
+		t.Error("minimization grew the witness")
+	}
+	ok, err := s.violatesAt(machine.SC, minimized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("minimized witness lost the violation")
+	}
+	hasCrash = false
+	for _, e := range minimized {
+		if e.Crash {
+			hasCrash = true
+		}
+	}
+	if !hasCrash {
+		t.Error("minimized witness lost its crash element (violation needs one)")
+	}
+}
+
+// TestRandomCrashBudget drives the randomized searcher with a crash budget
+// against the crash-revealed subject.
+func TestRandomCrashBudget(t *testing.T) {
+	s := crashRevealedSubject(t)
+	res, err := s.Random(bg(), machine.SC, newTestRng(7), 5_000, 60, 0.3, Opts{
+		Faults:    &machine.FaultPlan{MaxCrashes: 1},
+		CrashProb: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("randomized crash search missed the crash-revealed violation")
+	}
+	crashes := 0
+	for _, e := range res.Witness {
+		if e.Crash {
+			crashes++
+		}
+	}
+	if crashes != 1 {
+		t.Fatalf("witness spent %d crashes, budget was 1", crashes)
+	}
+}
+
+func TestFCFSBudgetAndFaultRejection(t *testing.T) {
+	s, err := NewFCFSSubject("bakery", locks.NewBakery, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(25))
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states BudgetError, got %v", err)
+	}
+	if res.Complete {
+		t.Error("partial FCFS result claims completeness")
+	}
+	if _, err := s.Exhaustive(bg(), machine.PSO, Opts{
+		Faults: &machine.FaultPlan{MaxCrashes: 1},
+	}); err == nil {
+		t.Error("FCFS checking must reject fault plans")
+	}
+	if _, err := s.Random(bg(), machine.PSO, newTestRng(1), 10, 100, 0.3, Opts{
+		Faults: &machine.FaultPlan{MaxCrashes: 1},
+	}); err == nil {
+		t.Error("FCFS random checking must reject fault plans")
+	}
+}
+
+func TestProgressRejectsFaults(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CheckProgress(bg(), machine.PSO, Opts{
+		Faults: &machine.FaultPlan{MaxCrashes: 1},
+	}); err == nil {
+		t.Error("liveness analysis must reject fault plans")
+	}
+}
+
+func TestMinimizeCancellation(t *testing.T) {
+	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exhaustive(bg(), machine.PSO, Opts{})
+	if err != nil || !res.Violation {
+		t.Fatalf("setup: %v violation=%v", err, res.Violation)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MinimizeWitness(ctx, machine.PSO, res.Witness, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

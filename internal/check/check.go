@@ -12,12 +12,15 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"tradingfences/internal/lang"
 	"tradingfences/internal/locks"
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
 
 // Subject is a checkable system: a factory for fresh initial configurations
@@ -124,32 +127,56 @@ type Result struct {
 	Complete bool
 }
 
+// stateKeyOverhead is the rough per-visited-state bookkeeping cost (map
+// entry plus string header) added to the key length for memory budgeting.
+const stateKeyOverhead = 48
+
 // Exhaustive explores every schedule of the subject under the given model,
-// pruning revisited states, up to maxStates distinct states. It returns a
-// violation witness if mutual exclusion fails, and Complete=true if the
-// full reachable state space was covered.
-func (s *Subject) Exhaustive(model machine.Model, maxStates int) (Result, error) {
+// pruning revisited states. It returns a violation witness if mutual
+// exclusion fails, and Complete=true if the full reachable state space was
+// covered.
+//
+// The exploration is bounded by opts.Budget and cancelled by ctx: when the
+// budget trips or ctx is done, Exhaustive returns its partial result
+// together with a structured error (*run.BudgetError, or the wrapped
+// context error) — never a silent truncation. With a fault plan carrying a
+// MaxCrashes budget, the search additionally injects up to MaxCrashes
+// adversarial crash steps; crash elements appear in the witness like any
+// other schedule element, so witnesses of crashed executions replay and
+// minimize unchanged.
+func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
+	maxCrashes, err := opts.exhaustiveCrashBudget()
+	if err != nil {
+		return Result{}, err
+	}
 	root, err := s.Build(model)
 	if err != nil {
 		return Result{}, err
 	}
+	meter := run.NewMeter(ctx, opts.Budget)
 	visited := make(map[string]struct{}, 1024)
 	res := Result{Complete: true}
 
-	var dfs func(c *machine.Config, path machine.Schedule) (bool, error)
-	dfs = func(c *machine.Config, path machine.Schedule) (bool, error) {
+	var dfs func(c *machine.Config, path machine.Schedule, crashes int) (bool, error)
+	dfs = func(c *machine.Config, path machine.Schedule, crashes int) (bool, error) {
 		fp, err := c.Fingerprint() // settles all processes
 		if err != nil {
 			return false, err
 		}
-		if _, seen := visited[fp]; seen {
+		key := fp
+		if maxCrashes > 0 {
+			// Identical machine states with different remaining crash
+			// budgets have different futures; fold the spent count into
+			// the key to keep pruning sound.
+			key = fp + "#" + strconv.Itoa(crashes)
+		}
+		if _, seen := visited[key]; seen {
 			return false, nil
 		}
-		if len(visited) >= maxStates {
-			res.Complete = false
-			return false, nil
+		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+			return false, err
 		}
-		visited[fp] = struct{}{}
+		visited[key] = struct{}{}
 
 		in, err := s.occupancy(c)
 		if err != nil {
@@ -172,14 +199,24 @@ func (s *Subject) Exhaustive(model machine.Model, maxStates int) (Result, error)
 					elems = append(elems, machine.PReg(p, r))
 				}
 			}
+			if crashes < maxCrashes {
+				elems = append(elems, machine.PCrash(p))
+			}
 			for _, e := range elems {
+				if err := meter.AddStep(); err != nil {
+					return false, err
+				}
 				next := c.Clone()
 				if _, took, err := next.Step(e); err != nil {
 					return false, err
 				} else if !took {
 					continue
 				}
-				found, err := dfs(next, append(path, e))
+				nc := crashes
+				if e.Crash {
+					nc++
+				}
+				found, err := dfs(next, append(path, e), nc)
 				if err != nil || found {
 					return found, err
 				}
@@ -188,8 +225,10 @@ func (s *Subject) Exhaustive(model machine.Model, maxStates int) (Result, error)
 		return false, nil
 	}
 
-	if _, err := dfs(root, nil); err != nil {
-		return Result{}, err
+	if _, err := dfs(root, nil, 0); err != nil {
+		res.States = len(visited)
+		res.Complete = false
+		return res, err
 	}
 	res.States = len(visited)
 	if res.Violation {
@@ -200,16 +239,26 @@ func (s *Subject) Exhaustive(model machine.Model, maxStates int) (Result, error)
 
 // Random drives the subject with `runs` random schedules of up to maxSteps
 // elements each, drawn from rng, checking occupancy after every step. It
-// can only find violations, never prove their absence.
-func (s *Subject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64) (Result, error) {
+// can only find violations, never prove their absence. The run is bounded
+// by opts.Budget and ctx (partial results are returned with the structured
+// error); opts.Faults contributes stall windows and a randomized crash
+// budget (see Opts.CrashProb).
+func (s *Subject) Random(ctx context.Context, model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64, opts Opts) (Result, error) {
+	meter := run.NewMeter(ctx, opts.Budget)
+	maxCrashes, crashProb := opts.randomCrash()
 	var res Result
-	for run := 0; run < runs; run++ {
+	for r := 0; r < runs; r++ {
 		c, err := s.Build(model)
 		if err != nil {
 			return Result{}, err
 		}
+		c.SetFaultPlan(opts.Faults)
+		crashes := 0
 		var path machine.Schedule
 		for step := 0; step < maxSteps && !c.AllHalted(); step++ {
+			if err := meter.AddStep(); err != nil {
+				return res, err
+			}
 			var live []int
 			for p := 0; p < c.N(); p++ {
 				if !c.Halted(p) {
@@ -218,14 +267,20 @@ func (s *Subject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int
 			}
 			p := live[rng.Intn(len(live))]
 			e := machine.PBottom(p)
-			if regs := c.BufferRegs(p); len(regs) > 0 && rng.Float64() < commitProb {
+			if crashes < maxCrashes && rng.Float64() < crashProb {
+				e = machine.PCrash(p)
+			} else if regs := c.BufferRegs(p); len(regs) > 0 && rng.Float64() < commitProb {
 				r := regs[rng.Intn(len(regs))]
 				if c.CanCommit(p, r) {
 					e = machine.PReg(p, r)
 				}
 			}
-			if _, _, err := c.Step(e); err != nil {
+			_, took, err := c.Step(e)
+			if err != nil {
 				return Result{}, err
+			}
+			if e.Crash && took {
+				crashes++
 			}
 			path = append(path, e)
 			res.States++
@@ -244,13 +299,17 @@ func (s *Subject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int
 	return res, nil
 }
 
-// Replay re-executes a witness schedule on a fresh configuration and
-// returns the recorded trace, for counterexample printing.
-func (s *Subject) Replay(model machine.Model, witness machine.Schedule) (*machine.Trace, *machine.Config, error) {
+// Replay re-executes a witness schedule on a fresh configuration — with
+// faults (stall windows) installed when non-nil — and returns the recorded
+// trace, for counterexample printing and witness verification. Crash
+// elements inside the witness replay by themselves; the plan is only needed
+// for stall windows.
+func (s *Subject) Replay(model machine.Model, witness machine.Schedule, faults *machine.FaultPlan) (*machine.Trace, *machine.Config, error) {
 	c, err := s.Build(model)
 	if err != nil {
 		return nil, nil, err
 	}
+	c.SetFaultPlan(faults)
 	tr := machine.NewTrace()
 	c.SetTrace(tr)
 	if _, err := c.Exec(witness); err != nil {

@@ -16,7 +16,7 @@ func exhaustive(t *testing.T, name string, ctor locks.Constructor, n int, model 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(model, maxStates)
+	res, err := s.Exhaustive(bg(), model, statesOpt(maxStates))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestBakeryTwoPassages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, maxStates)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(maxStates))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,14 +155,14 @@ func TestWitnessReplays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, maxStates)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(maxStates))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Violation {
 		t.Fatal("expected violation")
 	}
-	tr, c, err := s.Replay(machine.PSO, res.Witness)
+	tr, c, err := s.Replay(machine.PSO, res.Witness, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestRandomFindsBakeryTSOViolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	res, err := s.Random(machine.PSO, rng, 20_000, 400, 0.4)
+	res, err := s.Random(bg(), machine.PSO, rng, 20_000, 400, 0.4, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRandomCleanOnCorrectLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	res, err := s.Random(machine.PSO, rng, 300, 3000, 0.3)
+	res, err := s.Random(bg(), machine.PSO, rng, 300, 3000, 0.3, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ func TestDeepPetersonTwoPassagesAllModels(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
-		res, err := s.Exhaustive(m, 10_000_000)
+		res, err := s.Exhaustive(bg(), m, statesOpt(10_000_000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func TestDeepPetersonTSOSecondPassageStillBroken(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, 10_000_000)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(10_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestDeepTournamentThreeProcs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := s.Exhaustive(machine.PSO, 20_000_000)
+		r, err := s.Exhaustive(bg(), machine.PSO, statesOpt(20_000_000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestDeepGT2FourProcsRandomized(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(31))
-	res, err := s.Random(machine.PSO, rng, 400, 20_000, 0.3)
+	res, err := s.Random(bg(), machine.PSO, rng, 400, 20_000, 0.3, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestDeepFilterLiveness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CheckProgress(machine.PSO, 10_000_000)
+	res, err := s.CheckProgress(bg(), machine.PSO, statesOpt(10_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"tradingfences/internal/lang"
 	"tradingfences/internal/locks"
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
 
 // FCFSSubject instruments a lock that declares a wait-free doorway for
@@ -161,12 +163,20 @@ type FCFSResult struct {
 }
 
 // Exhaustive explores all schedules over the product of machine state and
-// precedence monitor.
-func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult, error) {
+// precedence monitor, bounded by opts.Budget and cancelled by ctx (budget
+// trips return the partial result with a structured error). Fault plans
+// are rejected: the precedence monitor is not crash-aware — a crashed
+// process would keep its doorway-precedence obligations, which is not the
+// notion Lamport's condition defines.
+func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (FCFSResult, error) {
+	if err := opts.noFaults("FCFS checking"); err != nil {
+		return FCFSResult{}, err
+	}
 	root, err := s.Build(model)
 	if err != nil {
 		return FCFSResult{}, err
 	}
+	meter := run.NewMeter(ctx, opts.Budget)
 	res := FCFSResult{Complete: true}
 	visited := make(map[string]struct{}, 1024)
 
@@ -184,9 +194,8 @@ func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult
 		if _, seen := visited[key]; seen {
 			return false, nil
 		}
-		if len(visited) >= maxStates {
-			res.Complete = false
-			return false, nil
+		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+			return false, err
 		}
 		visited[key] = struct{}{}
 
@@ -201,6 +210,9 @@ func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult
 				}
 			}
 			for _, e := range elems {
+				if err := meter.AddStep(); err != nil {
+					return false, err
+				}
 				next := c.Clone()
 				rec, took, err := next.Step(e)
 				if err != nil {
@@ -226,7 +238,9 @@ func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult
 	}
 
 	if _, err := dfs(root, newFCFSMonitor(s.n), nil); err != nil {
-		return FCFSResult{}, err
+		res.States = len(visited)
+		res.Complete = false
+		return res, err
 	}
 	res.States = len(visited)
 	if res.Violation {
@@ -235,10 +249,16 @@ func (s *FCFSSubject) Exhaustive(model machine.Model, maxStates int) (FCFSResult
 	return res, nil
 }
 
-// Random hunts for FCFS violations with random schedules.
-func (s *FCFSSubject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64) (FCFSResult, error) {
+// Random hunts for FCFS violations with random schedules, bounded by
+// opts.Budget and cancelled by ctx. Fault plans are rejected (see
+// Exhaustive).
+func (s *FCFSSubject) Random(ctx context.Context, model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64, opts Opts) (FCFSResult, error) {
+	if err := opts.noFaults("FCFS checking"); err != nil {
+		return FCFSResult{}, err
+	}
+	meter := run.NewMeter(ctx, opts.Budget)
 	var res FCFSResult
-	for run := 0; run < runs; run++ {
+	for r := 0; r < runs; r++ {
 		c, err := s.Build(model)
 		if err != nil {
 			return FCFSResult{}, err
@@ -246,6 +266,9 @@ func (s *FCFSSubject) Random(model machine.Model, rng *rand.Rand, runs, maxSteps
 		m := newFCFSMonitor(s.n)
 		var path machine.Schedule
 		for step := 0; step < maxSteps && !c.AllHalted(); step++ {
+			if err := meter.AddStep(); err != nil {
+				return res, err
+			}
 			var live []int
 			for p := 0; p < c.N(); p++ {
 				if !c.Halted(p) {

@@ -20,7 +20,7 @@ func TestFCFSBakeryHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []machine.Model{machine.SC, machine.PSO} {
-		res, err := s.Exhaustive(m, 5_000_000)
+		res, err := s.Exhaustive(bg(), m, statesOpt(5_000_000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func TestFCFSPetersonHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, 5_000_000)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(5_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestFCFSGT2Violated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, 8_000_000)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(8_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFCFSRandomFindsGT2Violation(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
-	res, err := s.Random(machine.PSO, rng, 50_000, 600, 0.3)
+	res, err := s.Random(bg(), machine.PSO, rng, 50_000, 600, 0.3, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}

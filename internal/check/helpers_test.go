@@ -1,0 +1,20 @@
+package check
+
+import (
+	"context"
+	"math/rand"
+
+	"tradingfences/internal/run"
+)
+
+// newTestRng returns a deterministic source for randomized-search tests.
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// bg is the ambient context for tests that exercise no cancellation.
+func bg() context.Context { return context.Background() }
+
+// statesOpt bounds a check by distinct states only, mirroring the old
+// maxStates parameter.
+func statesOpt(maxStates int) Opts {
+	return Opts{Budget: run.Budget{MaxStates: maxStates}}
+}

@@ -1,17 +1,21 @@
 package check
 
 import (
+	"context"
+
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
 
-// violatesAt replays the schedule on a fresh configuration and reports
-// whether a mutual-exclusion violation (two processes in the critical
-// section) occurs at any point.
-func (s *Subject) violatesAt(model machine.Model, sched machine.Schedule) (bool, error) {
+// violatesAt replays the schedule on a fresh configuration (with faults
+// installed, if any) and reports whether a mutual-exclusion violation (two
+// processes in the critical section) occurs at any point.
+func (s *Subject) violatesAt(model machine.Model, sched machine.Schedule, faults *machine.FaultPlan) (bool, error) {
 	c, err := s.Build(model)
 	if err != nil {
 		return false, err
 	}
+	c.SetFaultPlan(faults)
 	for _, e := range sched {
 		if _, _, err := c.Step(e); err != nil {
 			// A schedule fragment can become ill-formed after deletions
@@ -38,9 +42,15 @@ func (s *Subject) violatesAt(model machine.Model, sched machine.Schedule) (bool,
 // single element can be removed without losing the violation. Minimized
 // witnesses make the counterexample traces in the experiment reports
 // readable.
-func (s *Subject) MinimizeWitness(model machine.Model, witness machine.Schedule) (machine.Schedule, error) {
+//
+// Faulty witnesses minimize like any other: crash elements are ordinary
+// schedule elements (deletable like the rest), and the fault plan's stall
+// windows are re-enforced on every candidate replay. Cancellation of ctx
+// aborts the pass with the wrapped context error.
+func (s *Subject) MinimizeWitness(ctx context.Context, model machine.Model, witness machine.Schedule, faults *machine.FaultPlan) (machine.Schedule, error) {
+	meter := run.NewMeter(ctx, run.Budget{})
 	cur := append(machine.Schedule(nil), witness...)
-	if ok, err := s.violatesAt(model, cur); err != nil {
+	if ok, err := s.violatesAt(model, cur, faults); err != nil {
 		return nil, err
 	} else if !ok {
 		// Not a violation to begin with; return as-is.
@@ -49,10 +59,13 @@ func (s *Subject) MinimizeWitness(model machine.Model, witness machine.Schedule)
 	for chunk := max(len(cur)/2, 1); ; {
 		removedAny := false
 		for start := 0; start+chunk <= len(cur); {
+			if err := meter.Check(); err != nil {
+				return nil, err
+			}
 			cand := make(machine.Schedule, 0, len(cur)-chunk)
 			cand = append(cand, cur[:start]...)
 			cand = append(cand, cur[start+chunk:]...)
-			ok, err := s.violatesAt(model, cand)
+			ok, err := s.violatesAt(model, cand, faults)
 			if err != nil {
 				return nil, err
 			}

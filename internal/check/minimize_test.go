@@ -17,14 +17,14 @@ func TestMinimizeWitnessShrinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	res, err := s.Random(machine.PSO, rng, 20_000, 400, 0.4)
+	res, err := s.Random(bg(), machine.PSO, rng, 20_000, 400, 0.4, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Violation {
 		t.Fatal("no violation found to minimize")
 	}
-	minimized, err := s.MinimizeWitness(machine.PSO, res.Witness)
+	minimized, err := s.MinimizeWitness(bg(), machine.PSO, res.Witness, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestMinimizeWitnessShrinks(t *testing.T) {
 		t.Fatalf("minimization grew the witness: %d -> %d", len(res.Witness), len(minimized))
 	}
 	// The minimized schedule still violates.
-	ok, err := s.violatesAt(machine.PSO, minimized)
+	ok, err := s.violatesAt(machine.PSO, minimized, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestMinimizeWitnessShrinks(t *testing.T) {
 	// 1-minimality: removing any single element loses the violation.
 	for i := range minimized {
 		cand := append(append(machine.Schedule(nil), minimized[:i]...), minimized[i+1:]...)
-		ok, err := s.violatesAt(machine.PSO, cand)
+		ok, err := s.violatesAt(machine.PSO, cand, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,18 +60,18 @@ func TestMinimizeExhaustiveWitness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Exhaustive(machine.PSO, 3_000_000)
+	res, err := s.Exhaustive(bg(), machine.PSO, statesOpt(3_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Violation {
 		t.Fatal("expected violation")
 	}
-	minimized, err := s.MinimizeWitness(machine.PSO, res.Witness)
+	minimized, err := s.MinimizeWitness(bg(), machine.PSO, res.Witness, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := s.violatesAt(machine.PSO, minimized)
+	ok, err := s.violatesAt(machine.PSO, minimized, nil)
 	if err != nil || !ok {
 		t.Fatalf("minimized exhaustive witness invalid: ok=%v err=%v", ok, err)
 	}
@@ -88,7 +88,7 @@ func TestMinimizeNonViolatingInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := machine.Schedule{machine.PBottom(0), machine.PBottom(1)}
-	out, err := s.MinimizeWitness(machine.PSO, sched)
+	out, err := s.MinimizeWitness(bg(), machine.PSO, sched, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

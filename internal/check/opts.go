@@ -1,0 +1,74 @@
+package check
+
+import (
+	"errors"
+
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// Opts bundles the cross-cutting execution controls threaded through every
+// checker entry point: a resource budget and a fault plan. The zero value
+// is an unlimited, fault-free check — exactly the pre-fault behavior.
+type Opts struct {
+	// Budget bounds the exploration. A zero budget is unlimited. When the
+	// state budget trips, exhaustive entry points return their partial
+	// result together with a *run.BudgetError (matched by
+	// run.ErrBudgetExceeded) instead of silently truncating.
+	Budget run.Budget
+
+	// Faults enables fault injection. Exhaustive exploration uses only the
+	// plan's MaxCrashes budget — it chooses crash points adversarially and
+	// folds the crashes-spent count into the visited-state key, which keeps
+	// pruning sound. Stall windows are rejected in exhaustive mode: they
+	// are clocked by the global step count, which the state fingerprint
+	// deliberately excludes. Random search honors both MaxCrashes (see
+	// CrashProb) and stall windows.
+	Faults *machine.FaultPlan
+
+	// CrashProb is the per-step probability that random search spends one
+	// crash from Faults.MaxCrashes. Zero selects a small default when a
+	// crash budget is present.
+	CrashProb float64
+}
+
+// defaultCrashProb is the per-step crash probability used by random search
+// when a crash budget is set but no explicit probability was given.
+const defaultCrashProb = 0.05
+
+// exhaustiveCrashBudget validates the fault plan for exhaustive exploration
+// and returns the adversarial crash budget.
+func (o Opts) exhaustiveCrashBudget() (int, error) {
+	if o.Faults == nil {
+		return 0, nil
+	}
+	if len(o.Faults.Stalls) > 0 {
+		return 0, errors.New("check: exhaustive exploration cannot honor stall windows (they are clocked by the global step count, which visited-state pruning does not track); use random search or replay")
+	}
+	if len(o.Faults.Crashes) > 0 {
+		return 0, errors.New("check: exhaustive exploration chooses crash points adversarially; set FaultPlan.MaxCrashes instead of fixed crash points")
+	}
+	return o.Faults.MaxCrashes, nil
+}
+
+// noFaults rejects any fault plan, for analyses whose semantics are defined
+// only for crash-free executions.
+func (o Opts) noFaults(what string) error {
+	if o.Faults.Empty() {
+		return nil
+	}
+	return errors.New("check: " + what + " is defined for fault-free executions only")
+}
+
+// randomCrash returns the crash budget and per-step probability for random
+// search.
+func (o Opts) randomCrash() (maxCrashes int, prob float64) {
+	if o.Faults == nil || o.Faults.MaxCrashes <= 0 {
+		return 0, 0
+	}
+	prob = o.CrashProb
+	if prob <= 0 {
+		prob = defaultCrashProb
+	}
+	return o.Faults.MaxCrashes, prob
+}

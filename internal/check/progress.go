@@ -1,10 +1,16 @@
 package check
 
 import (
+	"context"
 	"fmt"
 
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
+
+// nodeMemEstimate is the rough per-node retained cost of the progress
+// graph beyond the fingerprint: the cloned configuration plus adjacency.
+const nodeMemEstimate = 1024
 
 // ProgressResult reports the liveness analysis of a subject.
 type ProgressResult struct {
@@ -44,7 +50,18 @@ type ProgressResult struct {
 // Spin-lock subjects have cyclic state graphs, so simple "no successor"
 // deadlock detection would be vacuous; reverse reachability from the
 // terminal states is the right notion (a livelocked component fails it).
-func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressResult, error) {
+//
+// The exploration is bounded by opts.Budget and cancelled by ctx. When the
+// state budget trips, the analysis finishes on the truncated graph
+// (Complete=false, DeadlockFree=false — proving nothing) and the partial
+// result is returned together with the *run.BudgetError. Fault plans are
+// rejected: the liveness notions above are defined for crash-free
+// executions.
+func (s *Subject) CheckProgress(ctx context.Context, model machine.Model, opts Opts) (*ProgressResult, error) {
+	if err := opts.noFaults("liveness analysis"); err != nil {
+		return nil, err
+	}
+	meter := run.NewMeter(ctx, opts.Budget)
 	type node struct {
 		cfg    *machine.Config
 		parent int // node the exploration reached this state from (-1 root)
@@ -69,6 +86,11 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 		}
 		if id, ok := index[fp]; ok {
 			return id, false, nil
+		}
+		// The graph retains a cloned configuration per node, so the memory
+		// estimate is dominated by the config, not the fingerprint.
+		if err := meter.AddState(int64(len(fp)) + nodeMemEstimate); err != nil {
+			return 0, false, err
 		}
 		id := len(nodes)
 		index[fp] = id
@@ -99,11 +121,9 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 	}
 	work := []int{rootID}
 
+	var limitErr error
+explore:
 	for len(work) > 0 {
-		if len(nodes) > maxStates {
-			res.Complete = false
-			break
-		}
 		id := work[len(work)-1]
 		work = work[:len(work)-1]
 		nd := nodes[id]
@@ -128,6 +148,10 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 				}
 			}
 			for _, e := range elems {
+				if err := meter.AddStep(); err != nil {
+					limitErr = err
+					break explore
+				}
 				next := c.Clone()
 				if _, took, err := next.Step(e); err != nil {
 					return nil, err
@@ -136,7 +160,11 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 				}
 				sid, fresh, err := intern(next, id, e)
 				if err != nil {
-					return nil, err
+					if !run.IsLimit(err) {
+						return nil, err
+					}
+					limitErr = err
+					break explore
 				}
 				nd.succs = append(nd.succs, sid)
 				if fresh {
@@ -144,6 +172,9 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 				}
 			}
 		}
+	}
+	if limitErr != nil {
+		res.Complete = false
 	}
 	res.States = len(nodes)
 
@@ -192,7 +223,7 @@ func (s *Subject) CheckProgress(model machine.Model, maxStates int) (*ProgressRe
 		res.DeadlockFree = false
 	}
 	res.WeakObstructionFree = res.WOFWitness == nil
-	return res, nil
+	return res, limitErr
 }
 
 // checkWOFAt tests the weak obstruction-freedom condition at one state;

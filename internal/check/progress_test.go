@@ -1,10 +1,12 @@
 package check
 
 import (
+	"errors"
 	"testing"
 
 	"tradingfences/internal/locks"
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
 
 func progressOf(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) *ProgressResult {
@@ -13,7 +15,7 @@ func progressOf(t *testing.T, name string, ctor locks.Constructor, n int, model 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CheckProgress(model, 3_000_000)
+	res, err := s.CheckProgress(bg(), model, statesOpt(3_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func TestProgressDetectsDeadlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CheckProgress(machine.PSO, 1_000_000)
+	res, err := s.CheckProgress(bg(), machine.PSO, statesOpt(1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestProgressDetectsWOFViolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CheckProgress(machine.PSO, 1_000_000)
+	res, err := s.CheckProgress(bg(), machine.PSO, statesOpt(1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,15 +129,23 @@ func TestProgressDetectsWOFViolation(t *testing.T) {
 	}
 }
 
-// An incomplete exploration must not claim deadlock freedom.
+// An incomplete exploration must not claim deadlock freedom, and the
+// truncation must surface as a structured budget error, not silently.
 func TestProgressTruncatedIsInconclusive(t *testing.T) {
 	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CheckProgress(machine.PSO, 10)
-	if err != nil {
-		t.Fatal(err)
+	res, err := s.CheckProgress(bg(), machine.PSO, statesOpt(10))
+	if !errors.Is(err, run.ErrBudgetExceeded) {
+		t.Fatalf("10-state budget should trip: err = %v", err)
+	}
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states BudgetError, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("budget trip should still return the partial result")
 	}
 	if res.Complete {
 		t.Fatal("10-state budget cannot exhaust the bakery state space")

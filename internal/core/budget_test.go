@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/perm"
+	"tradingfences/internal/run"
+)
+
+// TestDecodeDefaultStepCap pins the decoder's default step budget to the
+// legacy hard-coded cap: a zero Budget must behave exactly as before.
+func TestDecodeDefaultStepCap(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		want := int64(1000*n*n + 1_000_000)
+		if got := DefaultDecodeSteps(n); got != want {
+			t.Errorf("DefaultDecodeSteps(%d) = %d, want legacy cap %d", n, got, want)
+		}
+	}
+}
+
+// TestDecodeStepBudgetTrips drives a real decode into a tiny explicit step
+// budget and requires the structured *run.BudgetError (no silent result,
+// no unstructured string error).
+func TestDecodeStepBudgetTrips(t *testing.T) {
+	enc, build := encoderFor(t, locks.NewBakery, 3)
+	res, err := enc.Encode(perm.Perm{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([]*Stack, len(res.Stacks))
+	for i, s := range res.Stacks {
+		work[i] = s.Clone()
+	}
+	_, err = DecodeWith(cfg, work, DecodeOpts{Budget: run.Budget{MaxSteps: 2}})
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("want steps BudgetError, got %v", err)
+	}
+	if !errors.Is(err, run.ErrBudgetExceeded) {
+		t.Fatalf("budget error does not match ErrBudgetExceeded: %v", err)
+	}
+}
+
+// TestDecodeContextCancellation cancels a decode before it starts; the
+// decoder must notice on its first meter charge.
+func TestDecodeContextCancellation(t *testing.T) {
+	enc, build := encoderFor(t, locks.NewBakery, 3)
+	res, err := enc.Encode(perm.Perm{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([]*Stack, len(res.Stacks))
+	for i, s := range res.Stacks {
+		work[i] = s.Clone()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = DecodeWith(cfg, work, DecodeOpts{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEncodeContextCancellation cancels the construction outright; Encode
+// must return promptly with an error matching context.Canceled.
+func TestEncodeContextCancellation(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	enc.Ctx = ctx
+	_, err := enc.Encode(perm.Perm{3, 1, 0, 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEncodeWallBudget gives the whole construction a vanishing wall
+// budget; the encoder-level meter must trip with a structured error.
+func TestEncodeWallBudget(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 4)
+	enc.Budget = run.Budget{MaxWall: time.Nanosecond}
+	_, err := enc.Encode(perm.Perm{3, 1, 0, 2})
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "wall" {
+		t.Fatalf("want wall BudgetError, got %v", err)
+	}
+}
+
+// TestEncodeWithBudgetSucceeds threads a generous budget through a full
+// construction: budgets must be invisible when not exceeded, including
+// across checkpoint resumes.
+func TestEncodeWithBudgetSucceeds(t *testing.T) {
+	enc, _ := encoderFor(t, locks.NewBakery, 3)
+	enc.Ctx = context.Background()
+	enc.Budget = run.Budget{MaxSteps: DefaultDecodeSteps(3), MaxWall: time.Minute}
+	res, err := enc.Encode(perm.Perm{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("construction reported zero iterations")
+	}
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"tradingfences/internal/lang"
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
 )
 
 // ErrDecodeStuck is returned when the decoder's execution never reaches the
@@ -66,6 +68,11 @@ type decoder struct {
 	cpProc       int
 	cp           *decoder
 	wantSnapshot bool
+
+	// meter charges decode steps against the run's budget and observes
+	// its context. Not part of snapshots: every (re)start of a decode
+	// gets a fresh meter.
+	meter *run.Meter
 }
 
 // DecodeOpts tunes the decoder. The zero value is the production
@@ -83,7 +90,20 @@ type DecodeOpts struct {
 	// bottom of that process's stack leaves the decode unchanged up to
 	// exactly that point). Use -1 to disable.
 	CheckpointProc int
+	// Ctx cancels the decode (nil = context.Background()).
+	Ctx context.Context
+	// Budget bounds the decode. A zero MaxSteps installs
+	// DefaultDecodeSteps(n) — the decode is finite for encoder-produced
+	// stacks, so the cap only guards against malformed input; tripping it
+	// now surfaces as a structured *run.BudgetError instead of a bare
+	// formatted string.
+	Budget run.Budget
 }
+
+// DefaultDecodeSteps is the decoder's default step cap for n processes:
+// generous for every encoder-produced stack sequence, finite for malformed
+// input.
+func DefaultDecodeSteps(n int) int64 { return int64(1000*n*n + 1_000_000) }
 
 // Checkpoint is a resumable decoder snapshot (see DecodeOpts.CheckpointProc).
 type Checkpoint struct {
@@ -129,10 +149,8 @@ func Decode(cfg *machine.Config, stacks []*Stack) (*DecodeResult, error) {
 // and, when opts.CheckpointProc named a process whose stack emptied during
 // the decode, a resumable checkpoint usable with ResumeDecode.
 func DecodeWith(cfg *machine.Config, stacks []*Stack, opts DecodeOpts) (*DecodeResult, error) {
-	res, _, err := DecodeCheckpointed(cfg, stacks, DecodeOpts{
-		DisableSoloCache: opts.DisableSoloCache,
-		CheckpointProc:   -1,
-	})
+	opts.CheckpointProc = -1
+	res, _, err := DecodeCheckpointed(cfg, stacks, opts)
 	return res, err
 }
 
@@ -154,6 +172,7 @@ func DecodeCheckpointed(cfg *machine.Config, stacks []*Stack, opts DecodeOpts) (
 		soloMaxStep: machine.DefaultSoloLimit(n),
 		noSoloCache: opts.DisableSoloCache,
 		cpProc:      opts.CheckpointProc,
+		meter:       newDecodeMeter(opts, n),
 	}
 	for p := 0; p < n; p++ {
 		if stacks[p].Empty() {
@@ -185,6 +204,12 @@ func (d *decoder) result() *DecodeResult {
 // returned checkpoint (if requested via cpProc >= 0) reflects the new
 // decode.
 func ResumeDecode(cp *Checkpoint, proc int, cmd *Command, cpProc int) (*DecodeResult, *Checkpoint, error) {
+	return ResumeDecodeWith(cp, proc, cmd, DecodeOpts{CheckpointProc: cpProc})
+}
+
+// ResumeDecodeWith is ResumeDecode with explicit options (context and
+// budget for the resumed portion of the decode).
+func ResumeDecodeWith(cp *Checkpoint, proc int, cmd *Command, opts DecodeOpts) (*DecodeResult, *Checkpoint, error) {
 	if !cp.valid() {
 		return nil, nil, fmt.Errorf("core: invalid checkpoint")
 	}
@@ -194,19 +219,38 @@ func ResumeDecode(cp *Checkpoint, proc int, cmd *Command, cpProc int) (*DecodeRe
 	}
 	d.stacks[proc].PushTop(&Command{Kind: cmd.Kind, K: cmd.K})
 	d.emptyAt[proc] = -1
-	d.cpProc = cpProc
+	d.cpProc = opts.CheckpointProc
 	d.cp = nil
+	d.meter = newDecodeMeter(opts, d.n)
 	if err := d.run(); err != nil {
 		return nil, nil, err
 	}
 	return d.result(), &Checkpoint{d: d.cp}, nil
 }
 
+// newDecodeMeter builds the meter for one decode pass, installing the
+// legacy default step cap when the caller set none.
+func newDecodeMeter(opts DecodeOpts, n int) *run.Meter {
+	b := opts.Budget
+	if b.MaxSteps == 0 {
+		b.MaxSteps = DefaultDecodeSteps(n)
+	}
+	return run.NewMeter(opts.Ctx, b)
+}
+
 func (d *decoder) run() error {
-	// The decode is finite for encoder-produced stacks; the bound guards
-	// against malformed input.
-	maxSteps := 1000*d.n*d.n + 1_000_000
-	for i := 0; i < maxSteps; i++ {
+	// The decode is finite for encoder-produced stacks; the step budget
+	// (DefaultDecodeSteps unless overridden) guards against malformed
+	// input, and the meter's context makes every decode cancellable.
+	// The up-front Check catches already-expired contexts even when the
+	// decode would finish inside one periodic-check window.
+	if err := d.meter.Check(); err != nil {
+		return fmt.Errorf("core: decode aborted: %w", err)
+	}
+	for {
+		if err := d.meter.AddStep(); err != nil {
+			return fmt.Errorf("core: decode aborted: %w", err)
+		}
 		progressed, err := d.step()
 		if err != nil {
 			return err
@@ -221,7 +265,6 @@ func (d *decoder) run() error {
 			return nil // D3: all processes waiting or finished.
 		}
 	}
-	return fmt.Errorf("core: decode exceeded %d steps", maxSteps)
 }
 
 // step performs one decoding step (D1 or D2); it returns false when rule D3

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"tradingfences/internal/lang"
 	"tradingfences/internal/machine"
 	"tradingfences/internal/perm"
+	"tradingfences/internal/run"
 )
 
 // ErrNotConverged is returned when the iterative construction fails to
@@ -39,6 +41,12 @@ type Encoder struct {
 	// checkpoint (the point where p_τ's stack emptied). Exists for the
 	// equivalence tests and the ablation benchmark.
 	DisableCheckpoint bool
+	// Ctx cancels the construction between and during decode passes
+	// (nil = context.Background()).
+	Ctx context.Context
+	// Budget bounds the construction: MaxWall applies to the whole
+	// encode, MaxSteps to each decode pass (0 = the decoder's default).
+	Budget run.Budget
 }
 
 // EncodeResult is the outcome of the construction for one permutation.
@@ -86,11 +94,20 @@ func (e *Encoder) Encode(pi perm.Perm) (*EncodeResult, error) {
 		master[i] = &Stack{}
 	}
 
+	// The encoder-level meter owns the wall budget and the context; each
+	// decode pass gets its own step budget (MaxSteps, or the decoder's
+	// default when zero) plus the same context.
+	meter := run.NewMeter(e.Ctx, run.Budget{MaxWall: e.Budget.MaxWall})
+	passOpts := DecodeOpts{Ctx: e.Ctx, Budget: run.Budget{MaxSteps: e.Budget.MaxSteps}}
+
 	var dec *DecodeResult
 	var cp *Checkpoint
 	cpOwner := -1 // process the checkpoint was captured for
 	iterations := 0
 	for ; iterations < maxIter; iterations++ {
+		if err := meter.Check(); err != nil {
+			return nil, fmt.Errorf("core: encode aborted at iteration %d: %w", iterations, err)
+		}
 		// masterTau: the process that will most likely receive the next
 		// command — the checkpoint target for this decode.
 		masterTau := -1
@@ -106,8 +123,10 @@ func (e *Encoder) Encode(pi perm.Perm) (*EncodeResult, error) {
 			// at the bottom of cpOwner's stack, which was empty at the
 			// checkpoint.
 			newCmd := master[cpOwner].At(0)
+			opts := passOpts
+			opts.CheckpointProc = cpOwner
 			var err error
-			dec, cp, err = ResumeDecode(cp, cpOwner, newCmd, cpOwner)
+			dec, cp, err = ResumeDecodeWith(cp, cpOwner, newCmd, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -120,7 +139,9 @@ func (e *Encoder) Encode(pi perm.Perm) (*EncodeResult, error) {
 			for i := range master {
 				work[i] = master[i].Clone()
 			}
-			dec, cp, err = DecodeCheckpointed(cfg, work, DecodeOpts{CheckpointProc: masterTau})
+			opts := passOpts
+			opts.CheckpointProc = masterTau
+			dec, cp, err = DecodeCheckpointed(cfg, work, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -125,6 +125,13 @@ func (s *ProcState) Clone() *ProcState {
 // PID returns the process identifier this state was instantiated with.
 func (s *ProcState) PID() int { return s.env.PID }
 
+// Restart returns a fresh initial state for the same program and process
+// identity: the volatile-state loss of a crash fault. Locals, control
+// stack, pending operation and any recorded error are discarded.
+func (s *ProcState) Restart() *ProcState {
+	return NewProcState(s.prog, s.env.PID, s.env.N)
+}
+
 // Program returns the program this state executes.
 func (s *ProcState) Program() *Program { return s.prog }
 

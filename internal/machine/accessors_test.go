@@ -117,12 +117,15 @@ func TestLayoutArrayLookup(t *testing.T) {
 	if lay.Size() != 3 {
 		t.Errorf("Size = %d", lay.Size())
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Array.At out of range should panic")
-		}
-	}()
-	_ = a.At(3)
+	if r := a.At(3); r != InvalidReg {
+		t.Errorf("Array.At(3) out of range = %d, want InvalidReg", r)
+	}
+	if r := a.At(-1); r != InvalidReg {
+		t.Errorf("Array.At(-1) = %d, want InvalidReg", r)
+	}
+	if r := a.At(2); r != a.Base+2 {
+		t.Errorf("Array.At(2) = %d, want %d", r, a.Base+2)
+	}
 }
 
 func TestDefaultSoloLimitScales(t *testing.T) {

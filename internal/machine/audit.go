@@ -20,7 +20,11 @@ var ErrAudit = errors.New("machine: trace audit failed")
 //   - a read served from the buffer returns the newest buffered value,
 //     and a read served from memory is only recorded when the register is
 //     not buffered;
-//   - no process takes steps after its return step.
+//   - a crash step wipes the process's buffered writes (the shadow buffer
+//     is cleared; nothing it held may be committed later);
+//   - no process takes steps after its return step (a crash targets live
+//     processes only, so a crash record after return is likewise a
+//     violation).
 //
 // The auditor is an independent re-implementation of the buffer discipline
 // (it maintains its own shadow buffers from the trace alone), so it guards
@@ -101,6 +105,8 @@ func AuditTrace(tr *Trace, model Model, n int) error {
 				return fmt.Errorf("%w: step %d: p%d returned with %d buffered writes", ErrAudit, i, s.P, len(buffers[s.P]))
 			}
 			returned[s.P] = true
+		case StepCrash:
+			buffers[s.P] = nil // volatile state lost; memory keeps only committed writes
 		default:
 			return fmt.Errorf("%w: step %d: unknown kind %v", ErrAudit, i, s.Kind)
 		}

@@ -1,0 +1,390 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tradingfences/internal/lang"
+)
+
+// TestCrashDropsBufferAndRestarts checks the core crash semantics: buffered
+// writes are lost, the interpreter restarts from the top, and shared memory
+// keeps only what was committed before the crash.
+func TestCrashDropsBufferAndRestarts(t *testing.T) {
+	prog := lang.NewProgram("w",
+		lang.Write(lang.I(100), lang.I(7)),
+		lang.Write(lang.I(101), lang.I(8)),
+		lang.Return(lang.I(1)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+
+	// Buffer both writes, commit only the first.
+	for i := 0; i < 2; i++ {
+		if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+			t.Fatalf("write step %d: %v %v", i, took, err)
+		}
+	}
+	if _, took, err := c.Step(PReg(0, 100)); err != nil || !took {
+		t.Fatalf("commit: %v %v", took, err)
+	}
+	if c.BufferLen(0) != 1 {
+		t.Fatalf("BufferLen = %d, want 1", c.BufferLen(0))
+	}
+
+	rec, took, err := c.Step(PCrash(0))
+	if err != nil || !took {
+		t.Fatalf("crash step: %v %v", took, err)
+	}
+	if rec.Kind != StepCrash || rec.P != 0 {
+		t.Errorf("crash record = %+v", rec)
+	}
+	if c.BufferLen(0) != 0 {
+		t.Errorf("buffer survived the crash: %d entries", c.BufferLen(0))
+	}
+	if c.Register(100) != 7 {
+		t.Errorf("committed write lost: R100 = %d", c.Register(100))
+	}
+	if c.Register(101) != 0 {
+		t.Errorf("uncommitted write reached memory: R101 = %d", c.Register(101))
+	}
+	if c.Halted(0) {
+		t.Error("crashed process reported halted")
+	}
+	if c.Crashed(0) != 1 {
+		t.Errorf("Crashed(0) = %d, want 1", c.Crashed(0))
+	}
+
+	// The restarted process re-executes from the top: its next op must be
+	// the first write again.
+	op, ok, err := c.NextOp(0)
+	if err != nil || !ok || op.Kind != lang.OpWrite || op.Reg != 100 {
+		t.Errorf("post-crash NextOp = %v %v %v, want write(100, ...)", op, ok, err)
+	}
+}
+
+// TestCrashClearsKnowledgeCache checks the RMR accounting across a crash: a
+// register the process had cached becomes remote again after restart (the
+// cache is volatile state).
+func TestCrashClearsKnowledgeCache(t *testing.T) {
+	// p0 reads an unowned register twice with a crash in between; both reads
+	// must be remote. Without the crash the second read is a cache hit.
+	prog := lang.NewProgram("r",
+		lang.Read("x", lang.I(100)),
+		lang.Read("y", lang.I(100)),
+		lang.Return(lang.I(0)),
+	)
+
+	run := func(sched Schedule) int64 {
+		c, _ := mkConfig(t, PSO, prog)
+		if _, err := c.Exec(sched); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().RMRs[0]
+	}
+
+	base := run(Schedule{PBottom(0), PBottom(0)})
+	if base != 1 {
+		t.Fatalf("crash-free RMRs = %d, want 1 (second read is a cache hit)", base)
+	}
+	crashed := run(Schedule{PBottom(0), PCrash(0), PBottom(0)})
+	if crashed != 2 {
+		t.Errorf("post-crash RMRs = %d, want 2 (restart re-reads, cache cold)", crashed)
+	}
+}
+
+func TestCrashOfHaltedProcessIsNoop(t *testing.T) {
+	prog := lang.NewProgram("done", lang.Return(lang.I(0)))
+	c, _ := mkConfig(t, SC, prog)
+	if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+		t.Fatalf("return step: %v %v", took, err)
+	}
+	_, took, err := c.Step(PCrash(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took {
+		t.Error("crash of a halted process produced a step")
+	}
+	if c.Crashed(0) != 0 {
+		t.Errorf("Crashed = %d for a no-op crash", c.Crashed(0))
+	}
+}
+
+func TestCrashTraceAuditsAndFingerprints(t *testing.T) {
+	prog := lang.NewProgram("w",
+		lang.Write(lang.I(100), lang.I(7)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, prog)
+	tr := NewTrace()
+	c.SetTrace(tr)
+	sched := Schedule{PBottom(0), PCrash(0), PBottom(0), PBottom(0), PBottom(0), PBottom(0)}
+	if _, err := c.Exec(sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditTrace(tr, PSO, 1); err != nil {
+		t.Errorf("crashed trace failed audit: %v", err)
+	}
+	if !strings.Contains(tr.Format(nil), "crash!") {
+		t.Errorf("crash step missing from trace:\n%s", tr.Format(nil))
+	}
+
+	// A commit of a write buffered before the crash must fail the audit.
+	bad := &Trace{Steps: []StepRecord{
+		{P: 0, Kind: StepWrite, Reg: 100, Val: 7},
+		{P: 0, Kind: StepCrash},
+		{P: 0, Kind: StepCommit, Reg: 100, Val: 7},
+	}}
+	if err := AuditTrace(bad, PSO, 1); !errors.Is(err, ErrAudit) {
+		t.Errorf("commit of a crash-lost write passed audit: %v", err)
+	}
+
+	// Determinism: replaying the same schedule reproduces the fingerprint.
+	c2, _ := mkConfig(t, PSO, prog)
+	tr2 := NewTrace()
+	c2.SetTrace(tr2)
+	if _, err := c2.Exec(sched); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fingerprint() != tr2.Fingerprint() {
+		t.Error("identical executions produced different fingerprints")
+	}
+	if tr.Fingerprint() == (&Trace{}).Fingerprint() {
+		t.Error("non-empty trace fingerprints as empty")
+	}
+}
+
+func TestScheduleTextRoundTripWithCrash(t *testing.T) {
+	sched := Schedule{PBottom(0), PCrash(1), PReg(2, 17), PCrash(0)}
+	text := sched.String()
+	if text != "p0 p1! p2:R17 p0!" {
+		t.Errorf("rendered %q", text)
+	}
+	back, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sched) {
+		t.Fatalf("round trip length %d != %d", len(back), len(sched))
+	}
+	for i := range sched {
+		if back[i] != sched[i] {
+			t.Errorf("element %d: %+v != %+v", i, back[i], sched[i])
+		}
+	}
+	if _, err := ParseSchedule("p0!:R3"); err == nil {
+		t.Error("crash element with register parsed")
+	}
+	if _, err := ParseSchedule("p!"); err == nil {
+		t.Error("crash element without pid parsed")
+	}
+}
+
+func TestFaultPlanInstrument(t *testing.T) {
+	fp := &FaultPlan{Crashes: []CrashPoint{{P: 1, At: 2}, {P: 0, At: 0}, {P: 1, At: 99}}}
+	sched := Schedule{PBottom(0), PBottom(1), PBottom(0)}
+	out := fp.Instrument(sched)
+	want := "p0! p0 p1 p1! p0 p1!"
+	if out.String() != want {
+		t.Errorf("instrumented = %q, want %q", out.String(), want)
+	}
+	// Input untouched.
+	if sched.String() != "p0 p1 p0" {
+		t.Error("Instrument mutated its input")
+	}
+	// Nil plan copies.
+	var nilPlan *FaultPlan
+	if got := nilPlan.Instrument(sched); got.String() != sched.String() {
+		t.Error("nil plan Instrument broken")
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		fp *FaultPlan
+		ok bool
+	}{
+		{nil, true},
+		{&FaultPlan{}, true},
+		{&FaultPlan{Crashes: []CrashPoint{{P: 1, At: 0}}}, true},
+		{&FaultPlan{Crashes: []CrashPoint{{P: 2, At: 0}}}, false},
+		{&FaultPlan{Crashes: []CrashPoint{{P: 0, At: -1}}}, false},
+		{&FaultPlan{Stalls: []StallWindow{{P: 0, Reg: -1, From: 0, To: 5}}}, true},
+		{&FaultPlan{Stalls: []StallWindow{{P: 0, From: 5, To: 2}}}, false},
+		{&FaultPlan{Stalls: []StallWindow{{P: -1, From: 0, To: 5}}}, false},
+		{&FaultPlan{MaxCrashes: -1}, false},
+	}
+	for i, tc := range cases {
+		err := tc.fp.Validate(2)
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+	if !(&FaultPlan{}).Empty() || (&FaultPlan{MaxCrashes: 1}).Empty() {
+		t.Error("Empty misclassifies")
+	}
+	orig := &FaultPlan{Crashes: []CrashPoint{{P: 0, At: 1}}, MaxCrashes: 2}
+	cl := orig.Clone()
+	cl.Crashes[0].P = 1
+	if orig.Crashes[0].P != 0 {
+		t.Error("Clone aliased Crashes")
+	}
+}
+
+// TestStallWindowSuspendsCommit checks rule-2 enforcement: while a stall
+// window covers (p, r), a schedule element naming r cannot commit; once the
+// global step clock leaves the window, the same element commits.
+func TestStallWindowSuspendsCommit(t *testing.T) {
+	p0 := lang.NewProgram("w",
+		lang.Write(lang.I(100), lang.I(7)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+	// p1 only exists to advance the global step clock past the window.
+	p1 := lang.NewProgram("clock",
+		lang.Read("a", lang.I(110)),
+		lang.Read("b", lang.I(110)),
+		lang.Read("c", lang.I(110)),
+		lang.Return(lang.I(0)),
+	)
+	c, _ := mkConfig(t, PSO, p0, p1)
+	c.SetFaultPlan(&FaultPlan{Stalls: []StallWindow{{P: 0, Reg: 100, From: 0, To: 4}}})
+
+	if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+		t.Fatalf("write: %v %v", took, err)
+	}
+	// Clock is 1, inside [0,4): the named commit is suspended, and the
+	// fall-through fence cannot drain the only (stalled) register either,
+	// so the element produces no step at all.
+	_, took, err := c.Step(PReg(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took {
+		t.Fatal("stalled commit executed")
+	}
+	if c.Register(100) != 0 {
+		t.Fatal("stalled write reached memory")
+	}
+	// Advance the clock with p1's three reads: clock 1 -> 4.
+	for i := 0; i < 3; i++ {
+		if _, took, err := c.Step(PBottom(1)); err != nil || !took {
+			t.Fatalf("clock step %d: %v %v", i, took, err)
+		}
+	}
+	// Window [0,4) over: the same element now commits.
+	rec, took, err := c.Step(PReg(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !took || rec.Kind != StepCommit || c.Register(100) != 7 {
+		t.Errorf("post-window commit: took=%v rec=%+v R100=%d", took, rec, c.Register(100))
+	}
+}
+
+// TestStallWindowBlocksFenceDrain checks rule-3 enforcement: a fence cannot
+// drain a stalled register; under PSO it drains another register instead,
+// and if every candidate is stalled the element produces no step.
+func TestStallWindowBlocksFenceDrain(t *testing.T) {
+	prog := lang.NewProgram("w",
+		lang.Write(lang.I(100), lang.I(1)),
+		lang.Write(lang.I(101), lang.I(2)),
+		lang.Fence(),
+		lang.Return(lang.I(0)),
+	)
+
+	// PSO: stall R100 forever; the fence drains R101 first, then blocks.
+	c, _ := mkConfig(t, PSO, prog)
+	c.SetFaultPlan(&FaultPlan{Stalls: []StallWindow{{P: 0, Reg: 100, From: 0, To: 1 << 30}}})
+	for i := 0; i < 2; i++ {
+		if _, took, err := c.Step(PBottom(0)); err != nil || !took {
+			t.Fatalf("write %d: %v %v", i, took, err)
+		}
+	}
+	rec, took, err := c.Step(PBottom(0)) // fence blocked: drains R101 (R100 stalled)
+	if err != nil || !took || rec.Kind != StepCommit || rec.Reg != 101 {
+		t.Fatalf("fence drain = %+v %v %v, want commit R101", rec, took, err)
+	}
+	_, took, err = c.Step(PBottom(0)) // only R100 left, stalled: no step
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took {
+		t.Error("fence drained a stalled register")
+	}
+
+	// TSO: the FIFO head is R100; stalling it blocks the fence entirely
+	// even though R101 is unstalled (FIFO order is preserved under stalls).
+	c2, _ := mkConfig(t, TSO, prog)
+	c2.SetFaultPlan(&FaultPlan{Stalls: []StallWindow{{P: 0, Reg: 100, From: 0, To: 1 << 30}}})
+	for i := 0; i < 2; i++ {
+		if _, took, err := c2.Step(PBottom(0)); err != nil || !took {
+			t.Fatalf("write %d: %v %v", i, took, err)
+		}
+	}
+	_, took, err = c2.Step(PBottom(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took {
+		t.Error("TSO fence bypassed the stalled FIFO head")
+	}
+	// Whole-buffer stall (Reg: -1) suspends rule 2 too.
+	if c2.FaultPlan().stalled(0, 101, 0) {
+		t.Error("single-register stall leaked to another register")
+	}
+}
+
+// TestBadRegisterSurfacesAsError is the regression test for the layout
+// panic fix: a malformed lang program that computes an out-of-range array
+// index yields ErrBadReg through the interpreter, not a process crash.
+func TestBadRegisterSurfacesAsError(t *testing.T) {
+	lay := NewLayout()
+	a := lay.MustAlloc("xs", 2, Unowned)
+	// Simulate algorithm code that computed a bad index: Array.At returns
+	// InvalidReg, which flows into the program as a register operand.
+	bad := lang.NewProgram("bad",
+		lang.Read("x", lang.I(lang.Value(a.At(5)))),
+		lang.Return(lang.I(0)),
+	)
+	c, err := NewConfig(PSO, lay, []*lang.Program{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Step(PBottom(0))
+	if !errors.Is(err, ErrBadReg) {
+		t.Errorf("read of InvalidReg: err = %v, want ErrBadReg", err)
+	}
+
+	badW := lang.NewProgram("badw",
+		lang.Write(lang.I(-3), lang.I(1)),
+		lang.Return(lang.I(0)),
+	)
+	c2, err := NewConfig(TSO, lay, []*lang.Program{badW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c2.Step(PBottom(0))
+	if !errors.Is(err, ErrBadReg) {
+		t.Errorf("write to negative register: err = %v, want ErrBadReg", err)
+	}
+}
+
+func TestCrashStatsCounted(t *testing.T) {
+	s := NewStats(2)
+	s.Crashes[0] = 2
+	s.Crashes[1] = 1
+	if s.TotalCrashes() != 3 {
+		t.Errorf("TotalCrashes = %d", s.TotalCrashes())
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.TotalCrashes() != 0 {
+		t.Error("Reset missed Crashes")
+	}
+	if c.TotalCrashes() != 3 {
+		t.Error("Clone aliased Crashes")
+	}
+}

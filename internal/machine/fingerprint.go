@@ -2,7 +2,11 @@ package machine
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
+
+	"tradingfences/internal/lang"
 )
 
 // Fingerprint returns a canonical encoding of the configuration's
@@ -41,4 +45,20 @@ func (c *Config) Fingerprint() (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// IdentityFingerprint returns a stable hash of the configuration's static
+// definition: memory model, process count, layout size and every process's
+// program listing. Unlike Fingerprint — which keys dynamic state for
+// visited-set pruning and is canonical only within one OS process — the
+// identity fingerprint is reproducible across runs and builds, so witness
+// artifacts use it to detect subject drift before replaying a schedule.
+func (c *Config) IdentityFingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v|%d|%d|", c.model, c.n, c.lay.Size())
+	for p := 0; p < c.n; p++ {
+		io.WriteString(h, lang.Format(c.procs[p].Program()))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -33,12 +33,20 @@ type Array struct {
 	Len  int
 }
 
-// At returns the register id of element i. It panics on out-of-range i —
-// array indices in this repository are computed by the algorithms
-// themselves, so a violation is a programming error, not an input error.
+// InvalidReg is the sentinel returned by Array.At for out-of-range indices.
+// It is never a valid register id; the machine rejects any read or write of
+// a negative register with ErrBadReg, so a bad index surfaces as a
+// structured interpreter error instead of a panic.
+const InvalidReg Reg = -1
+
+// At returns the register id of element i, or InvalidReg if i is out of
+// range. Array indices in this repository are computed by the algorithms
+// themselves, so an out-of-range index is a programming error — but one
+// that must surface as an error through the interpreter (the checker and
+// the CLIs run untrusted lang programs), not as a process-killing panic.
 func (a Array) At(i int) Reg {
 	if i < 0 || i >= a.Len {
-		panic(fmt.Sprintf("machine: index %d out of range for array %s[%d]", i, a.Name, a.Len))
+		return InvalidReg
 	}
 	return a.Base + Reg(i)
 }

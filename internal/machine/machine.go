@@ -32,11 +32,16 @@ import (
 type Value = lang.Value
 
 // Bottom is the ⊥ register marker in schedule elements. Schedule elements
-// are (p, ⊥) or (p, R); Elem.HasReg distinguishes them.
+// are (p, ⊥), (p, R) or — with fault injection enabled — the crash element
+// (p, !); Elem.HasReg and Elem.Crash distinguish them.
 type Elem struct {
 	P      int
 	Reg    Reg
 	HasReg bool
+	// Crash marks the fault-injection element Crash(p): process p loses
+	// its write buffer, interpreter state and knowledge cache (see
+	// Config.crashStep).
+	Crash bool
 }
 
 // PBottom returns the schedule element (p, ⊥).
@@ -45,12 +50,21 @@ func PBottom(p int) Elem { return Elem{P: p} }
 // PReg returns the schedule element (p, r).
 func PReg(p int, r Reg) Elem { return Elem{P: p, Reg: r, HasReg: true} }
 
+// PCrash returns the crash element (p, !).
+func PCrash(p int) Elem { return Elem{P: p, Crash: true} }
+
 // Schedule is a finite sequence of schedule elements.
 type Schedule []Elem
 
 // ErrBadPID is returned when a schedule element names a process outside
 // [0, n).
 var ErrBadPID = errors.New("machine: schedule element names an unknown process")
+
+// ErrBadReg is returned when a program's evaluated register operand is
+// invalid (negative — including Layout.InvalidReg from an out-of-range
+// array index). Malformed programs surface here as structured errors
+// instead of corrupting the register namespace.
+var ErrBadReg = errors.New("machine: operation on an invalid register")
 
 // Config is a system configuration: the state of each process, each
 // register, and each write buffer — plus the bookkeeping needed for RMR
@@ -75,6 +89,12 @@ type Config struct {
 	lastCommitter map[Reg]int
 
 	accounting Accounting
+
+	// faults is the installed fault plan (stall-window enforcement); nil
+	// means fault-free. steps is the global step clock the plan's windows
+	// are expressed against.
+	faults *FaultPlan
+	steps  int64
 
 	stats *Stats
 	trace *Trace
@@ -122,6 +142,8 @@ func (c *Config) Clone() *Config {
 		n:             c.n,
 		lay:           c.lay,
 		accounting:    c.accounting,
+		faults:        c.faults, // plans are immutable once installed
+		steps:         c.steps,
 		mem:           make(map[Reg]Value, len(c.mem)),
 		procs:         make([]*lang.ProcState, c.n),
 		wbs:           make([]writeBuffer, c.n),
@@ -235,13 +257,17 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 	if p < 0 || p >= c.n {
 		return StepRecord{}, false, fmt.Errorf("%w: %d", ErrBadPID, p)
 	}
+	if e.Crash {
+		return c.crashStep(p)
+	}
 	ps := c.procs[p]
 	if ps.Halted() {
 		return StepRecord{}, false, nil
 	}
 
-	// Rule 2: the element names a register with a committable write.
-	if e.HasReg && c.wbs[p].canCommit(e.Reg) {
+	// Rule 2: the element names a register with a committable write (and
+	// no stall window suspends it).
+	if e.HasReg && c.wbs[p].canCommit(e.Reg) && !c.faults.stalled(p, e.Reg, c.steps) {
 		return c.commitStep(p, e.Reg), true, nil
 	}
 
@@ -253,9 +279,15 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 		return StepRecord{}, false, nil
 	}
 
-	// Rule 3: blocked at a fence with a non-empty buffer — drain.
+	// Rule 3: blocked at a fence with a non-empty buffer — drain, unless
+	// every drain candidate is suspended by a stall window (then the
+	// element produces no step: the store queue is stalled).
 	if op.Kind == lang.OpFence && c.wbs[p].len() > 0 {
-		return c.commitStep(p, c.wbs[p].drainNext()), true, nil
+		r, can := c.drainCandidate(p)
+		if !can {
+			return StepRecord{}, false, nil
+		}
+		return c.commitStep(p, r), true, nil
 	}
 
 	// Rule 4: perform the pending program operation.
@@ -270,6 +302,7 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 		}
 		c.stats.Fences[p]++
 		c.stats.Steps[p]++
+		c.steps++
 		rec = StepRecord{P: p, Kind: StepFence, SegOwner: NoOwner}
 		c.trace.append(rec)
 		return rec, true, nil
@@ -278,12 +311,34 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 			return StepRecord{}, false, err
 		}
 		c.stats.Steps[p]++
+		c.steps++
 		rec = StepRecord{P: p, Kind: StepReturn, Val: op.Val, SegOwner: NoOwner}
 		c.trace.append(rec)
 		return rec, true, nil
 	default:
 		return StepRecord{}, false, fmt.Errorf("machine: process %d poised at unknown op %v", p, op)
 	}
+}
+
+// drainCandidate picks the register drained when process p is blocked at a
+// fence: the model's canonical choice (smallest register under PSO, FIFO
+// head under TSO), skipping stalled registers where the discipline allows
+// it. can=false means every candidate is suspended by a stall window.
+func (c *Config) drainCandidate(p int) (r Reg, can bool) {
+	if c.faults == nil || len(c.faults.Stalls) == 0 {
+		return c.wbs[p].drainNext(), true
+	}
+	if c.model == TSO {
+		// FIFO: only the head may commit.
+		r = c.wbs[p].drainNext()
+		return r, !c.faults.stalled(p, r, c.steps)
+	}
+	for _, cand := range c.wbs[p].regs() {
+		if !c.faults.stalled(p, cand, c.steps) {
+			return cand, true
+		}
+	}
+	return 0, false
 }
 
 // commitStep commits process p's buffered write to r and classifies it.
@@ -298,6 +353,7 @@ func (c *Config) commitStep(p int, r Reg) StepRecord {
 
 	c.stats.Commits[p]++
 	c.stats.Steps[p]++
+	c.steps++
 	if remote {
 		c.stats.RemoteCommits[p]++
 		c.stats.RMRs[p]++
@@ -310,6 +366,9 @@ func (c *Config) commitStep(p int, r Reg) StepRecord {
 // readStep serves process p's pending read and classifies it.
 func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
 	r := op.Reg
+	if r < 0 {
+		return StepRecord{}, false, fmt.Errorf("%w: p%d read(R%d)", ErrBadReg, p, r)
+	}
 	owner := c.lay.Owner(r)
 
 	var (
@@ -334,6 +393,7 @@ func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
 	}
 	c.stats.Reads[p]++
 	c.stats.Steps[p]++
+	c.steps++
 	if remote {
 		c.stats.RemoteReads[p]++
 		c.stats.RMRs[p]++
@@ -347,6 +407,9 @@ func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
 // within the same step).
 func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
 	r, v := op.Reg, op.Val
+	if r < 0 {
+		return StepRecord{}, false, fmt.Errorf("%w: p%d write(R%d)", ErrBadReg, p, r)
+	}
 	owner := c.lay.Owner(r)
 
 	if err := c.procs[p].CompleteWrite(); err != nil {
@@ -355,6 +418,7 @@ func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
 	c.cache[p][r] = v
 	c.stats.Writes[p]++
 	c.stats.Steps[p]++
+	c.steps++
 
 	if c.model == SC {
 		// Atomic write: the write reaches memory immediately. The step is

@@ -6,9 +6,12 @@ import (
 	"strings"
 )
 
-// String renders a schedule element as "p<ID>" for (p, ⊥) or "p<ID>:R<reg>"
-// for (p, R).
+// String renders a schedule element as "p<ID>" for (p, ⊥), "p<ID>:R<reg>"
+// for (p, R), or "p<ID>!" for a crash element.
 func (e Elem) String() string {
+	if e.Crash {
+		return fmt.Sprintf("p%d!", e.P)
+	}
 	if e.HasReg {
 		return fmt.Sprintf("p%d:R%d", e.P, e.Reg)
 	}
@@ -46,9 +49,19 @@ func parseElem(f string) (Elem, error) {
 		return Elem{}, fmt.Errorf("machine: schedule element %q does not start with 'p'", f)
 	}
 	pidPart, regPart, hasReg := strings.Cut(body, ":")
+	crashPart, crash := strings.CutSuffix(pidPart, "!")
+	if crash {
+		if hasReg {
+			return Elem{}, fmt.Errorf("machine: crash element %q cannot carry a register", f)
+		}
+		pidPart = crashPart
+	}
 	pid, err := strconv.Atoi(pidPart)
 	if err != nil || pid < 0 {
 		return Elem{}, fmt.Errorf("machine: bad process id in %q", f)
+	}
+	if crash {
+		return PCrash(pid), nil
 	}
 	if !hasReg {
 		return PBottom(pid), nil

@@ -15,7 +15,8 @@ type Stats struct {
 	Writes        []int64 // write steps (always local)
 	Commits       []int64 // commit steps (any locality)
 	RemoteCommits []int64 // commit steps classified remote
-	Steps         []int64 // all steps, including commits
+	Steps         []int64 // all steps, including commits and crashes
+	Crashes       []int64 // injected crash steps (fault model; not a paper cost)
 }
 
 // NewStats returns zeroed counters for n processes.
@@ -30,6 +31,7 @@ func NewStats(n int) *Stats {
 		Commits:       make([]int64, n),
 		RemoteCommits: make([]int64, n),
 		Steps:         make([]int64, n),
+		Crashes:       make([]int64, n),
 	}
 }
 
@@ -47,6 +49,7 @@ func (s *Stats) Clone() *Stats {
 	copy(c.Commits, s.Commits)
 	copy(c.RemoteCommits, s.RemoteCommits)
 	copy(c.Steps, s.Steps)
+	copy(c.Crashes, s.Crashes)
 	return c
 }
 
@@ -61,6 +64,7 @@ func (s *Stats) Reset() {
 		s.Commits[i] = 0
 		s.RemoteCommits[i] = 0
 		s.Steps[i] = 0
+		s.Crashes[i] = 0
 	}
 }
 
@@ -96,3 +100,6 @@ func (s *Stats) MaxFences() int64 { return maxOf(s.Fences) }
 
 // MaxRMRs returns the worst per-process RMR count.
 func (s *Stats) MaxRMRs() int64 { return maxOf(s.RMRs) }
+
+// TotalCrashes returns the total number of injected crash steps.
+func (s *Stats) TotalCrashes() int64 { return sum(s.Crashes) }

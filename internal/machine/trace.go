@@ -1,13 +1,16 @@
 package machine
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"strings"
 )
 
 // StepKind classifies an execution step. The first four correspond to the
 // paper's read, write, fence and return steps; StepCommit is a system-
-// controlled commit of a buffered write to shared memory.
+// controlled commit of a buffered write to shared memory; StepCrash is a
+// fault-injection crash (buffered writes lost, process restarted).
 type StepKind int
 
 // Step kinds.
@@ -17,6 +20,7 @@ const (
 	StepFence
 	StepReturn
 	StepCommit
+	StepCrash
 )
 
 func (k StepKind) String() string {
@@ -31,6 +35,8 @@ func (k StepKind) String() string {
 		return "return"
 	case StepCommit:
 		return "commit"
+	case StepCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("StepKind(%d)", int(k))
 	}
@@ -76,6 +82,8 @@ func (r StepRecord) String() string {
 		return fmt.Sprintf("p%d return(%d)", r.P, r.Val)
 	case StepCommit:
 		return fmt.Sprintf("p%d commit(R%d,%d) [%s]", r.P, r.Reg, r.Val, locality(r.Remote))
+	case StepCrash:
+		return fmt.Sprintf("p%d crash!", r.P)
 	default:
 		return fmt.Sprintf("p%d %v", r.P, r.Kind)
 	}
@@ -123,6 +131,36 @@ func (t *Trace) Project(keep func(pid int) bool) *Trace {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a stable 64-bit hash (hex-encoded) over every field
+// of every step, in order. Two traces have equal fingerprints exactly when
+// they are bit-for-bit identical step sequences; the witness pipeline uses
+// this to certify that a replayed counterexample reproduces the original
+// execution. Nil traces fingerprint as the empty trace.
+func (t *Trace) Fingerprint() string {
+	h := fnv.New64a()
+	if t != nil {
+		var buf [8 * 7]byte
+		for _, s := range t.Steps {
+			fields := [7]uint64{
+				uint64(s.P), uint64(s.Kind), uint64(s.Reg), uint64(s.Val),
+				b2u(s.FromMemory), b2u(s.Remote), uint64(int64(s.SegOwner)),
+			}
+			for i, f := range fields {
+				binary.LittleEndian.PutUint64(buf[8*i:], f)
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Format renders the trace, one step per line, using lay (may be nil) to

@@ -1,0 +1,145 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBudgetZero(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Error("zero Budget should be IsZero")
+	}
+	if (Budget{MaxSteps: 1}).IsZero() {
+		t.Error("MaxSteps=1 should not be IsZero")
+	}
+}
+
+func TestMeterStepBudget(t *testing.T) {
+	m := NewMeter(context.Background(), Budget{MaxSteps: 10})
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = m.AddStep()
+	}
+	if err != nil {
+		t.Fatalf("10 steps within a 10-step budget errored: %v", err)
+	}
+	err = m.AddStep()
+	if err == nil {
+		t.Fatal("11th step should exceed the budget")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "steps" {
+		t.Fatalf("want *BudgetError{steps}, got %v", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("BudgetError should match ErrBudgetExceeded")
+	}
+	if be.Degradable() {
+		t.Error("a steps trip should not be degradable")
+	}
+}
+
+func TestMeterStateAndMemoryBudget(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxStates: 2})
+	if err := m.AddState(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddState(100); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AddState(100)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states BudgetError, got %v", err)
+	}
+	if !be.Degradable() {
+		t.Error("a states trip should be degradable")
+	}
+
+	m = NewMeter(nil, Budget{MaxMemEstimate: 150})
+	if err := m.AddState(100); err != nil {
+		t.Fatal(err)
+	}
+	err = m.AddState(100)
+	if !errors.As(err, &be) || be.Resource != "memory" {
+		t.Fatalf("want memory BudgetError, got %v", err)
+	}
+	if !be.Degradable() {
+		t.Error("a memory trip should be degradable")
+	}
+}
+
+func TestMeterContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{})
+	if err := m.Check(); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	cancel()
+	err := m.Check()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled wrap, got %v", err)
+	}
+	// The periodic check must observe it within checkEvery charges.
+	m2 := NewMeter(ctx, Budget{})
+	var got error
+	for i := 0; i < 2*checkEvery && got == nil; i++ {
+		got = m2.AddStep()
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("periodic step check missed cancellation: %v", got)
+	}
+}
+
+func TestMeterWallBudget(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxWall: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := m.Check()
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "wall" {
+		t.Fatalf("want wall BudgetError, got %v", err)
+	}
+	if be.Degradable() {
+		t.Error("a wall trip should not be degradable")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	boom := func() (err error) {
+		defer Recover("boom op", &err)
+		panic("kaboom")
+	}
+	err := boom()
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	var re *RecoveredError
+	if !errors.As(err, &re) || re.Op != "boom op" {
+		t.Fatalf("want *RecoveredError{boom op}, got %v", err)
+	}
+	if !errors.Is(err, ErrRecovered) {
+		t.Error("RecoveredError should match ErrRecovered")
+	}
+	if len(re.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+
+	sentinel := errors.New("inner")
+	boomErr := func() (err error) {
+		defer Recover("boom op", &err)
+		panic(sentinel)
+	}
+	if err := boomErr(); !errors.Is(err, sentinel) {
+		t.Errorf("panic(err) should unwrap to the inner error, got %v", err)
+	}
+
+	fine := func() (err error) {
+		defer Recover("fine op", &err)
+		return nil
+	}
+	if err := fine(); err != nil {
+		t.Errorf("normal return perturbed: %v", err)
+	}
+}

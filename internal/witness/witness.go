@@ -1,0 +1,137 @@
+// Package witness defines the replayable failure-witness artifact: a
+// versioned JSON document bundling a violating schedule with everything
+// needed to reproduce it deterministically — the subject's identity and
+// size, the memory model, the fault plan in force, and two fingerprints
+// (initial configuration and step trace) that certify a replay is
+// bit-for-bit identical to the run that produced the witness.
+//
+// The artifact is deliberately self-contained and text-based so it can be
+// committed as a regression test, attached to a bug report, or piped back
+// into the checker's replay and minimization entry points.
+package witness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tradingfences/internal/machine"
+)
+
+// Version is the current artifact schema version. Readers reject files
+// with a different major version rather than misinterpreting them.
+const Version = 1
+
+// Kinds of witnessed violations.
+const (
+	// KindMutex marks a mutual-exclusion violation (two or more processes
+	// co-resident in the critical section).
+	KindMutex = "mutex"
+	// KindFCFS marks a first-come-first-served fairness violation.
+	KindFCFS = "fcfs"
+)
+
+// Witness is the replayable failure artifact.
+type Witness struct {
+	// Version is the schema version (see Version).
+	Version int `json:"version"`
+	// Kind is the violated property (see the Kind constants).
+	Kind string `json:"kind"`
+	// Lock names the lock spec (e.g. "bakery-tso", "gt2") and, with N and
+	// Passages, reconstructs the instrumented subject.
+	Lock     string `json:"lock"`
+	N        int    `json:"n"`
+	Passages int    `json:"passages"`
+	// Model names the memory model ("SC", "TSO", "PSO").
+	Model string `json:"model"`
+	// Schedule is the violating schedule in the machine's textual format,
+	// crash elements ("p0!") included.
+	Schedule string `json:"schedule"`
+	// Faults is the fault plan in force during the violating run (stall
+	// windows matter for replay; crashes are already in the schedule).
+	Faults *machine.FaultPlan `json:"faults,omitempty"`
+	// ConfigFP is the fingerprint of the freshly built initial
+	// configuration: a replay on a different build of the subject is
+	// detected before a single step runs.
+	ConfigFP string `json:"config_fp"`
+	// TraceFP is the fingerprint of the full step trace of the violating
+	// run (machine.Trace.Fingerprint). A replay must reproduce it
+	// bit-for-bit to certify the witness.
+	TraceFP string `json:"trace_fp"`
+	// InCS lists the processes co-resident in the critical section at the
+	// violation (mutex witnesses).
+	InCS []int `json:"in_cs,omitempty"`
+}
+
+// Validate checks structural well-formedness: version, kind, subject
+// identity, and a parseable schedule.
+func (w *Witness) Validate() error {
+	if w == nil {
+		return fmt.Errorf("witness: nil artifact")
+	}
+	if w.Version != Version {
+		return fmt.Errorf("witness: unsupported version %d (have %d)", w.Version, Version)
+	}
+	switch w.Kind {
+	case KindMutex, KindFCFS:
+	default:
+		return fmt.Errorf("witness: unknown kind %q", w.Kind)
+	}
+	if w.Lock == "" {
+		return fmt.Errorf("witness: empty lock name")
+	}
+	if w.N < 1 {
+		return fmt.Errorf("witness: n = %d", w.N)
+	}
+	if w.Passages < 1 {
+		return fmt.Errorf("witness: passages = %d", w.Passages)
+	}
+	switch w.Model {
+	case "SC", "TSO", "PSO":
+	default:
+		return fmt.Errorf("witness: unknown model %q", w.Model)
+	}
+	sched, err := machine.ParseSchedule(w.Schedule)
+	if err != nil {
+		return fmt.Errorf("witness: bad schedule: %w", err)
+	}
+	if len(sched) == 0 {
+		return fmt.Errorf("witness: empty schedule")
+	}
+	if err := w.Faults.Validate(w.N); err != nil {
+		return fmt.Errorf("witness: %w", err)
+	}
+	if w.TraceFP == "" {
+		return fmt.Errorf("witness: missing trace fingerprint")
+	}
+	return nil
+}
+
+// ParsedSchedule returns the witness schedule as machine elements.
+func (w *Witness) ParsedSchedule() (machine.Schedule, error) {
+	return machine.ParseSchedule(w.Schedule)
+}
+
+// Encode serializes the witness as indented JSON (trailing newline
+// included, so files are diff- and editor-friendly).
+func Encode(w *Witness) ([]byte, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("witness: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates a serialized witness.
+func Decode(data []byte) (*Witness, error) {
+	var w Witness
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("witness: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}

@@ -1,14 +1,41 @@
 package tradingfences
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"tradingfences/internal/check"
 	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+	"tradingfences/internal/witness"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Verdict modes: how a checking verdict was reached.
+const (
+	// ModeExhaustive: the verdict comes from exhaustive exploration
+	// (complete, or stopped by a non-degradable limit).
+	ModeExhaustive = "exhaustive"
+	// ModeDegraded: the state/memory budget tripped and a seeded
+	// randomized search continued the hunt. The verdict can refute but
+	// not prove.
+	ModeDegraded = "degraded"
+	// ModeRandom: the verdict comes from randomized search only.
+	ModeRandom = "random"
+)
+
+// Coverage quantifies how much exploration backs a verdict.
+type Coverage struct {
+	// ExhaustiveStates is the number of distinct states the exhaustive
+	// phase interned before finishing or hitting its budget.
+	ExhaustiveStates int
+	// RandomSteps is the number of schedule steps executed by the
+	// randomized phase (degraded or random mode).
+	RandomSteps int
+}
 
 // MutexVerdict is the outcome of checking one lock under one memory model.
 type MutexVerdict struct {
@@ -19,27 +46,42 @@ type MutexVerdict struct {
 	Violated bool
 	// Proved is true if the state space was explored exhaustively without
 	// finding a violation — a proof of mutual exclusion for the bounded
-	// workload.
+	// workload. Never true in degraded or random mode.
 	Proved bool
 	// States is the number of distinct states explored.
 	States int
+	// Mode records how the verdict was reached (see the Mode constants).
+	Mode string
+	// Coverage quantifies the exploration behind the verdict.
+	Coverage Coverage
 	// Witness is a human-readable counterexample trace (empty when no
 	// violation was found).
 	Witness string
 	// WitnessSchedule is the violating schedule in the textual format of
 	// ReplaySchedule (empty when no violation was found).
 	WitnessSchedule string
+	// Artifact is the replayable witness artifact for the violation (nil
+	// when no violation was found). Serialize with EncodeWitness, replay
+	// with ReplayWitness.
+	Artifact *Witness
+}
+
+// newMutexSubject builds the instrumented workload for a lock spec.
+func newMutexSubject(spec LockSpec, n, passages int) (*check.Subject, error) {
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	return check.NewMutexSubject(spec.String(), ctor, n, passages)
 }
 
 // ReplaySchedule re-executes a textual witness schedule (as found in
 // MutexVerdict.WitnessSchedule) against a fresh instance of the lock's
-// instrumented workload and returns the step-by-step trace.
+// instrumented workload and returns the step-by-step trace. Crash elements
+// ("p0!") replay like any other element; stall windows require the full
+// witness artifact (see ReplayWitness).
 func ReplaySchedule(spec LockSpec, n, passages int, model MemoryModel, schedule string) (string, error) {
-	ctor, err := spec.constructor()
-	if err != nil {
-		return "", err
-	}
-	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
+	subject, err := newMutexSubject(spec, n, passages)
 	if err != nil {
 		return "", err
 	}
@@ -47,65 +89,153 @@ func ReplaySchedule(spec LockSpec, n, passages int, model MemoryModel, schedule 
 	if err != nil {
 		return "", err
 	}
-	tr, _, err := subject.Replay(model.internal(), sched)
+	tr, _, err := subject.Replay(model.internal(), sched, nil)
 	if err != nil {
 		return "", err
 	}
 	return tr.Format(subject.Layout), nil
 }
 
-// CheckMutex model-checks mutual exclusion of the lock for n processes
-// performing `passages` passages each under the given memory model,
-// exploring up to maxStates distinct states exhaustively.
-func CheckMutex(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*MutexVerdict, error) {
-	ctor, err := spec.constructor()
+// mutexArtifact assembles the replayable witness artifact for a violating
+// schedule: it replays the schedule on a fresh configuration and records
+// the initial-configuration and trace fingerprints alongside the schedule,
+// fault plan and subject identity. The formatted trace is returned too,
+// for human-readable verdicts.
+func mutexArtifact(subject *check.Subject, spec LockSpec, n, passages int, model MemoryModel, sched machine.Schedule, faults *FaultPlan) (*Witness, string, error) {
+	fresh, err := subject.Build(model.internal())
+	if err != nil {
+		return nil, "", err
+	}
+	configFP := fresh.IdentityFingerprint()
+	tr, c, err := subject.Replay(model.internal(), sched, faults)
+	if err != nil {
+		return nil, "", fmt.Errorf("replay witness: %w", err)
+	}
+	var inCS []int
+	for p := 0; p < c.N(); p++ {
+		in, err := subject.InCS(c, p)
+		if err != nil {
+			return nil, "", err
+		}
+		if in {
+			inCS = append(inCS, p)
+		}
+	}
+	w := &Witness{
+		Version:  witness.Version,
+		Kind:     witness.KindMutex,
+		Lock:     spec.String(),
+		N:        n,
+		Passages: passages,
+		Model:    model.String(),
+		Schedule: sched.String(),
+		Faults:   faults.Clone(),
+		ConfigFP: configFP,
+		TraceFP:  tr.Fingerprint(),
+		InCS:     inCS,
+	}
+	return w, tr.Format(subject.Layout), nil
+}
+
+// CheckMutexCtx model-checks mutual exclusion of the lock for n processes
+// performing `passages` passages each under the given memory model.
+//
+// The exhaustive search is bounded by opts.Budget and cancelled by ctx.
+// When the state or memory budget trips, the checker degrades gracefully:
+// a seeded randomized search (opts.Seed, opts.FallbackRuns × FallbackMaxSteps)
+// continues the hunt and the verdict reports Mode == ModeDegraded with its
+// Coverage — never a silent truncation. Non-degradable limits (steps, wall,
+// context) return the partial verdict together with the structured error.
+//
+// A fault plan with a MaxCrashes budget makes the exhaustive search inject
+// up to that many adversarial crash steps; a violation found this way has
+// crash elements in its witness schedule and artifact.
+//
+// On violation the witness schedule is ddmin-minimized and packaged as a
+// replayable artifact (MutexVerdict.Artifact).
+func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model MemoryModel, opts CheckOptions) (v *MutexVerdict, err error) {
+	defer run.Recover("check mutex", &err)
+	subject, err := newMutexSubject(spec, n, passages)
 	if err != nil {
 		return nil, err
 	}
-	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
-	if err != nil {
-		return nil, err
-	}
-	res, err := subject.Exhaustive(model.internal(), maxStates)
-	if err != nil {
-		return nil, err
-	}
-	v := &MutexVerdict{
+	chkOpts := check.Opts{Budget: opts.Budget, Faults: opts.Faults}
+	res, xerr := subject.Exhaustive(ctx, model.internal(), chkOpts)
+	v = &MutexVerdict{
 		Lock:     spec,
 		Model:    model,
+		Mode:     ModeExhaustive,
 		Violated: res.Violation,
 		Proved:   res.Complete && !res.Violation,
 		States:   res.States,
+		Coverage: Coverage{ExhaustiveStates: res.States},
 	}
-	if res.Violation {
-		// Shrink the witness to a 1-minimal schedule before rendering.
-		minimized, err := subject.MinimizeWitness(model.internal(), res.Witness)
-		if err != nil {
-			return nil, fmt.Errorf("minimize witness: %w", err)
+	wsched := res.Witness
+	if xerr != nil {
+		var be *run.BudgetError
+		switch {
+		case errors.As(xerr, &be) && be.Degradable():
+			// Graceful degradation: the visited set outgrew its budget, so
+			// continue with randomized search (which holds no visited set).
+			runs, maxSteps := opts.fallback()
+			rres, rerr := subject.Random(ctx, model.internal(), newRand(opts.Seed), runs, maxSteps, 0.35, chkOpts)
+			v.Mode = ModeDegraded
+			v.Proved = false
+			v.Coverage.RandomSteps = rres.States
+			if rres.Violation {
+				v.Violated = true
+				wsched = rres.Witness
+			}
+			if rerr != nil && !run.IsLimit(rerr) {
+				return v, rerr
+			}
+		case run.IsLimit(xerr):
+			v.Proved = false
+			return v, xerr
+		default:
+			return nil, xerr
 		}
-		tr, _, err := subject.Replay(model.internal(), minimized)
-		if err != nil {
-			return nil, fmt.Errorf("replay witness: %w", err)
+	}
+	if v.Violated && wsched != nil {
+		// Shrink the witness to a 1-minimal schedule before packaging.
+		minimized, merr := subject.MinimizeWitness(ctx, model.internal(), wsched, opts.Faults)
+		if merr != nil {
+			if !run.IsLimit(merr) {
+				return v, fmt.Errorf("minimize witness: %w", merr)
+			}
+			minimized = wsched // keep the unminimized witness when cut short
 		}
-		v.Witness = tr.Format(subject.Layout)
+		w, formatted, aerr := mutexArtifact(subject, spec, n, passages, model, minimized, opts.Faults)
+		if aerr != nil {
+			return v, aerr
+		}
+		v.Witness = formatted
 		v.WitnessSchedule = minimized.String()
+		v.Artifact = w
 	}
 	return v, nil
+}
+
+// CheckMutex model-checks mutual exclusion of the lock for n processes
+// performing `passages` passages each under the given memory model,
+// exploring up to maxStates distinct states exhaustively. If the state
+// budget trips, the check degrades to a seeded randomized search and the
+// verdict reports Mode == ModeDegraded (see CheckMutexCtx for full
+// control).
+func CheckMutex(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*MutexVerdict, error) {
+	return CheckMutexCtx(context.Background(), spec, n, passages, model,
+		CheckOptions{Budget: Budget{MaxStates: maxStates}})
 }
 
 // CheckMutexRandom hunts for mutual-exclusion violations with seeded random
 // schedules (runs × maxSteps elements). It can only find violations, never
 // prove correctness.
 func CheckMutexRandom(spec LockSpec, n, passages int, model MemoryModel, seed int64, runs, maxSteps int) (*MutexVerdict, error) {
-	ctor, err := spec.constructor()
+	subject, err := newMutexSubject(spec, n, passages)
 	if err != nil {
 		return nil, err
 	}
-	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
-	if err != nil {
-		return nil, err
-	}
-	res, err := subject.Random(model.internal(), newRand(seed), runs, maxSteps, 0.35)
+	res, err := subject.Random(context.Background(), model.internal(), newRand(seed), runs, maxSteps, 0.35, check.Opts{})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +244,8 @@ func CheckMutexRandom(spec LockSpec, n, passages int, model MemoryModel, seed in
 		Model:    model,
 		Violated: res.Violation,
 		States:   res.States,
+		Mode:     ModeRandom,
+		Coverage: Coverage{RandomSteps: res.States},
 	}, nil
 }
 
@@ -140,21 +272,21 @@ type LivenessVerdict struct {
 	StuckStates int
 }
 
-// CheckLiveness explores the full state graph of the lock (n processes,
+// CheckLivenessCtx explores the full state graph of the lock (n processes,
 // `passages` passages each) under the given memory model and verifies
-// deadlock freedom and weak obstruction-freedom.
-func CheckLiveness(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*LivenessVerdict, error) {
-	ctor, err := spec.constructor()
+// deadlock freedom and weak obstruction-freedom, bounded by opts.Budget and
+// cancelled by ctx. Budget trips return the partial (inconclusive) verdict
+// together with the structured error. Fault plans are rejected: the
+// liveness analysis is defined for crash-free executions.
+func CheckLivenessCtx(ctx context.Context, spec LockSpec, n, passages int, model MemoryModel, opts CheckOptions) (v *LivenessVerdict, err error) {
+	defer run.Recover("check liveness", &err)
+	subject, err := newMutexSubject(spec, n, passages)
 	if err != nil {
 		return nil, err
 	}
-	subject, err := check.NewMutexSubject(spec.String(), ctor, n, passages)
-	if err != nil {
-		return nil, err
-	}
-	res, err := subject.CheckProgress(model.internal(), maxStates)
-	if err != nil {
-		return nil, err
+	res, cerr := subject.CheckProgress(ctx, model.internal(), check.Opts{Budget: opts.Budget, Faults: opts.Faults})
+	if cerr != nil && (res == nil || !run.IsLimit(cerr)) {
+		return nil, cerr
 	}
 	return &LivenessVerdict{
 		Lock:                spec,
@@ -164,7 +296,19 @@ func CheckLiveness(spec LockSpec, n, passages int, model MemoryModel, maxStates 
 		DeadlockFree:        res.DeadlockFree,
 		WeakObstructionFree: res.WeakObstructionFree,
 		StuckStates:         res.StuckStates,
-	}, nil
+	}, cerr
+}
+
+// CheckLiveness is CheckLivenessCtx with a background context and a plain
+// state budget; a tripped budget yields an inconclusive (Complete=false)
+// verdict without error.
+func CheckLiveness(spec LockSpec, n, passages int, model MemoryModel, maxStates int) (*LivenessVerdict, error) {
+	v, err := CheckLivenessCtx(context.Background(), spec, n, passages, model,
+		CheckOptions{Budget: Budget{MaxStates: maxStates}})
+	if err != nil && v != nil && run.IsLimit(err) {
+		return v, nil
+	}
+	return v, err
 }
 
 // SeparationRow is one row of the separation matrix: a lock's verdicts
@@ -189,6 +333,11 @@ type SeparationRow struct {
 // This is the behavioural half of the paper's separation result: the
 // number of fences needed grows strictly as write ordering weakens.
 func SeparationMatrix(maxStates int) ([]SeparationRow, error) {
+	return SeparationMatrixCtx(context.Background(), maxStates)
+}
+
+// SeparationMatrixCtx is SeparationMatrix bounded by a context.
+func SeparationMatrixCtx(ctx context.Context, maxStates int) ([]SeparationRow, error) {
 	entries := []struct {
 		spec   LockSpec
 		fences int
@@ -208,7 +357,7 @@ func SeparationMatrix(maxStates int) ([]SeparationRow, error) {
 			Verdicts: make(map[MemoryModel]*MutexVerdict, 3),
 		}
 		for _, m := range Models() {
-			v, err := CheckMutex(e.spec, 2, 1, m, maxStates)
+			v, err := CheckMutexCtx(ctx, e.spec, 2, 1, m, CheckOptions{Budget: Budget{MaxStates: maxStates}})
 			if err != nil {
 				return nil, fmt.Errorf("separation %v under %v: %w", e.spec, m, err)
 			}

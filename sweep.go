@@ -1,6 +1,7 @@
 package tradingfences
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -216,12 +217,21 @@ func MeasureLockContended(spec LockSpec, n int) (ContentionPoint, error) {
 // given n — the empirical reproduction of Equation 2 (and, at its
 // endpoints, of the Section 3 Bakery and tournament-tree claims).
 func TradeoffSweep(n int) ([]SweepPoint, error) {
+	return TradeoffSweepCtx(context.Background(), n)
+}
+
+// TradeoffSweepCtx is TradeoffSweep cancellable between measurement
+// points; a cancelled context returns an error matching context.Canceled.
+func TradeoffSweepCtx(ctx context.Context, n int) ([]SweepPoint, error) {
 	maxF := 1
 	for p := 1; p < n; p *= 2 {
 		maxF++
 	}
 	pts := make([]SweepPoint, 0, maxF)
 	for f := 1; f < maxF; f++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tradeoff sweep cancelled at f=%d: %w", f, err)
+		}
 		pt, err := MeasureLock(LockSpec{Kind: GT, F: f}, n)
 		if err != nil {
 			return nil, err

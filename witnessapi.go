@@ -1,0 +1,160 @@
+package tradingfences
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tradingfences/internal/run"
+	"tradingfences/internal/witness"
+)
+
+// EncodeWitness serializes a witness artifact as versioned JSON.
+func EncodeWitness(w *Witness) ([]byte, error) { return witness.Encode(w) }
+
+// DecodeWitness parses and validates a serialized witness artifact.
+func DecodeWitness(data []byte) (*Witness, error) { return witness.Decode(data) }
+
+// ParseLockSpec parses a lock name as used in witness artifacts and CLI
+// flags: "bakery", "peterson-tso", "gt2" (GT with tree height 2), ...
+func ParseLockSpec(s string) (LockSpec, error) {
+	if f, ok := strings.CutPrefix(s, "gt"); ok && f != "" {
+		height, err := strconv.Atoi(f)
+		if err != nil || height < 1 {
+			return LockSpec{}, fmt.Errorf("tradingfences: bad GT height in %q", s)
+		}
+		return LockSpec{Kind: GT, F: height}, nil
+	}
+	kinds := map[string]LockKind{
+		"bakery":           Bakery,
+		"bakery-tso":       BakeryTSO,
+		"bakery-literal":   BakeryLiteral,
+		"peterson":         Peterson,
+		"peterson-tso":     PetersonTSO,
+		"peterson-nofence": PetersonNoFence,
+		"tournament":       Tournament,
+		"filter":           Filter,
+		"deadlock-demo":    DeadlockDemo,
+		"rendezvous-demo":  RendezvousDemo,
+	}
+	k, ok := kinds[s]
+	if !ok {
+		return LockSpec{}, fmt.Errorf("tradingfences: unknown lock %q", s)
+	}
+	return LockSpec{Kind: k}, nil
+}
+
+// ParseMemoryModel parses a memory-model name ("SC", "TSO", "PSO";
+// case-insensitive).
+func ParseMemoryModel(s string) (MemoryModel, error) {
+	switch strings.ToUpper(s) {
+	case "SC":
+		return SC, nil
+	case "TSO":
+		return TSO, nil
+	case "PSO":
+		return PSO, nil
+	default:
+		return 0, fmt.Errorf("tradingfences: unknown model %q", s)
+	}
+}
+
+// witnessSubject reconstructs the checked subject and model a witness was
+// produced against.
+func witnessSubject(w *Witness) (LockSpec, MemoryModel, error) {
+	if err := w.Validate(); err != nil {
+		return LockSpec{}, 0, err
+	}
+	if w.Kind != witness.KindMutex {
+		return LockSpec{}, 0, fmt.Errorf("tradingfences: cannot replay witness of kind %q", w.Kind)
+	}
+	spec, err := ParseLockSpec(w.Lock)
+	if err != nil {
+		return LockSpec{}, 0, err
+	}
+	model, err := ParseMemoryModel(w.Model)
+	if err != nil {
+		return LockSpec{}, 0, err
+	}
+	return spec, model, nil
+}
+
+// ReplayWitness re-executes a witness artifact deterministically and
+// certifies it: the freshly built subject must match the recorded
+// configuration fingerprint, the replayed trace must match the recorded
+// trace fingerprint bit for bit, and (for mutex witnesses) the final
+// configuration must exhibit the recorded critical-section violation. It
+// returns the human-readable step-by-step trace.
+func ReplayWitness(w *Witness) (trace string, err error) {
+	defer run.Recover("replay witness", &err)
+	spec, model, err := witnessSubject(w)
+	if err != nil {
+		return "", err
+	}
+	subject, err := newMutexSubject(spec, w.N, w.Passages)
+	if err != nil {
+		return "", err
+	}
+	fresh, err := subject.Build(model.internal())
+	if err != nil {
+		return "", err
+	}
+	if fp := fresh.IdentityFingerprint(); w.ConfigFP != "" && fp != w.ConfigFP {
+		return "", fmt.Errorf("tradingfences: subject drift: initial configuration fingerprint %s, witness recorded %s", fp, w.ConfigFP)
+	}
+	sched, err := w.ParsedSchedule()
+	if err != nil {
+		return "", err
+	}
+	tr, c, err := subject.Replay(model.internal(), sched, w.Faults)
+	if err != nil {
+		return "", fmt.Errorf("tradingfences: witness replay failed: %w", err)
+	}
+	if fp := tr.Fingerprint(); fp != w.TraceFP {
+		return "", fmt.Errorf("tradingfences: replay diverged: trace fingerprint %s, witness recorded %s", fp, w.TraceFP)
+	}
+	var inCS []int
+	for p := 0; p < c.N(); p++ {
+		in, err := subject.InCS(c, p)
+		if err != nil {
+			return "", err
+		}
+		if in {
+			inCS = append(inCS, p)
+		}
+	}
+	if len(inCS) < 2 {
+		return "", fmt.Errorf("tradingfences: witness replay shows no violation (processes in CS: %v)", inCS)
+	}
+	return tr.Format(subject.Layout), nil
+}
+
+// MinimizeWitness ddmin-shrinks a witness artifact's schedule while
+// preserving the violation, and returns a fresh artifact (with
+// re-certified fingerprints) for the minimized schedule. Cancelling ctx
+// mid-minimization returns the structured context error.
+func MinimizeWitness(ctx context.Context, w *Witness) (out *Witness, err error) {
+	defer run.Recover("minimize witness", &err)
+	spec, model, err := witnessSubject(w)
+	if err != nil {
+		return nil, err
+	}
+	subject, err := newMutexSubject(spec, w.N, w.Passages)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := w.ParsedSchedule()
+	if err != nil {
+		return nil, err
+	}
+	minimized, err := subject.MinimizeWitness(ctx, model.internal(), sched, w.Faults)
+	if err != nil {
+		return nil, err
+	}
+	mw, _, err := mutexArtifact(subject, spec, w.N, w.Passages, model, minimized, w.Faults)
+	if err != nil {
+		return nil, err
+	}
+	return mw, nil
+}
