@@ -53,7 +53,25 @@ type CheckOptions struct {
 	// FallbackRuns and FallbackMaxSteps size the randomized fallback
 	// (0 = defaults: 2000 runs of up to 400 steps).
 	FallbackRuns, FallbackMaxSteps int
+	// Workers > 0 selects the parallel level-synchronous explorer with
+	// that many expansion goroutines. Verdicts, violation schedules and
+	// visited-state counts are bit-identical for every worker count; 0
+	// keeps the sequential depth-first explorer.
+	Workers int
+	// CheckpointPath, when non-empty, makes the exploration write periodic
+	// atomic snapshots there (and implies the parallel explorer with one
+	// worker if Workers is 0). A later ResumeMutexCheckCtx continues from
+	// the snapshot.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in BFS levels (0 = every
+	// level).
+	CheckpointEvery int
 }
+
+// parallel reports whether the options select the level-synchronous
+// explorer (explicitly via Workers, or implicitly by asking for
+// checkpoints, which only that explorer writes).
+func (o CheckOptions) parallel() bool { return o.Workers > 0 || o.CheckpointPath != "" }
 
 const (
 	defaultFallbackRuns     = 2000

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-json] [-only E3,E4] [-timeout 5m]
+//	experiments [-quick] [-json] [-only E3,E4] [-timeout 5m] [-workers 4]
 package main
 
 import (
@@ -65,11 +65,16 @@ type experiment struct {
 	run  func(ctx context.Context, quick bool) (*table, error)
 }
 
+// workers is the -workers flag: exhaustive checks (E6's matrix) fan their
+// frontier over this many goroutines when > 0.
+var workers int
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of markdown")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	flag.IntVar(&workers, "workers", 0, "worker goroutines for exhaustive model checking (0 = sequential; verdicts are identical either way)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -258,7 +263,10 @@ func runE5(ctx context.Context, quick bool) (*table, error) {
 
 func runE6(ctx context.Context, quick bool) (*table, error) {
 	states := pick(quick, 1_000_000, 3_000_000)
-	rows, err := tradingfences.SeparationMatrixCtx(ctx, states)
+	rows, err := tradingfences.SeparationMatrixWithOptions(ctx, tradingfences.CheckOptions{
+		Budget:  tradingfences.Budget{MaxStates: states},
+		Workers: workers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -10,10 +10,18 @@
 // -crashes grants the checker an adversarial crash budget, and -replay
 // re-executes a previously saved artifact (bit-for-bit certified).
 //
+// -workers runs the -witness check on the parallel explorer (verdicts are
+// bit-identical to the sequential one for every worker count). -checkpoint
+// additionally snapshots the exploration to a file and runs it under the
+// retrying supervisor; a killed run is continued with
+// -resume-check <file>, which re-certifies the snapshot against the
+// rebuilt subject before trusting it.
+//
 // Usage:
 //
 //	separation [-states 3000000] [-timeout 2m] [-witness bakery-tso:PSO]
-//	           [-witness-out w.json] [-crashes 1]
+//	           [-witness-out w.json] [-crashes 1] [-workers 4] [-checkpoint ck.json]
+//	separation -resume-check ck.json [-workers 4]
 //	separation -replay w.json
 package main
 
@@ -36,6 +44,9 @@ func main() {
 	replay := flag.String("replay", "", "replay a witness artifact file and exit")
 	liveness := flag.Bool("liveness", false, "also verify deadlock freedom and weak obstruction-freedom of the correct locks")
 	fcfs := flag.Bool("fcfs", false, "also check first-come-first-served fairness (Bakery vs GT_2)")
+	workers := flag.Int("workers", 0, "worker goroutines for the -witness check (0 = sequential explorer)")
+	checkpoint := flag.String("checkpoint", "", "snapshot the -witness check to this file and run it under the retrying supervisor")
+	resumeCheck := flag.String("resume-check", "", "resume a checkpointed check from this snapshot file and exit")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -52,8 +63,15 @@ func main() {
 		}
 		return
 	}
+	if *resumeCheck != "" {
+		if err := runResume(ctx, *resumeCheck, *maxStates, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "separation:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	if err := run(ctx, *maxStates, *witness, *witnessOut, *crashes); err != nil {
+	if err := run(ctx, *maxStates, *witness, *witnessOut, *crashes, *workers, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "separation:", err)
 		os.Exit(1)
 	}
@@ -68,6 +86,33 @@ func main() {
 			fmt.Fprintln(os.Stderr, "separation:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+func runResume(ctx context.Context, path string, maxStates, workers int) error {
+	v, err := tradingfences.ResumeMutexCheckCtx(ctx, path, tradingfences.CheckOptions{
+		Budget:  tradingfences.Budget{MaxStates: maxStates},
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resumed %s: %v under %v\n", path, v.Lock, v.Model)
+	printMutexVerdict(v)
+	return nil
+}
+
+func printMutexVerdict(v *tradingfences.MutexVerdict) {
+	switch {
+	case v.Violated:
+		fmt.Printf("VIOLATED (%d states, mode %s)\n", v.States, v.Mode)
+		if v.Witness != "" {
+			fmt.Printf("\ncounterexample:\n%s", v.Witness)
+		}
+	case v.Proved:
+		fmt.Printf("proved (%d states)\n", v.States)
+	default:
+		fmt.Printf("inconclusive (%d states, mode %s)\n", v.States, v.Mode)
 	}
 }
 
@@ -150,7 +195,7 @@ func verdictCell(v *tradingfences.MutexVerdict) string {
 	}
 }
 
-func run(ctx context.Context, maxStates int, witness, witnessOut string, crashes int) error {
+func run(ctx context.Context, maxStates int, witness, witnessOut string, crashes, workers int, checkpoint string) error {
 	rows, err := tradingfences.SeparationMatrixCtx(ctx, maxStates)
 	if err != nil {
 		return err
@@ -184,11 +229,32 @@ func run(ctx context.Context, maxStates int, witness, witnessOut string, crashes
 		if err != nil {
 			return err
 		}
-		opts := tradingfences.CheckOptions{Budget: tradingfences.Budget{MaxStates: maxStates}}
+		opts := tradingfences.CheckOptions{
+			Budget:         tradingfences.Budget{MaxStates: maxStates},
+			Workers:        workers,
+			CheckpointPath: checkpoint,
+		}
 		if crashes > 0 {
 			opts.Faults = &tradingfences.FaultPlan{MaxCrashes: crashes}
 		}
-		v, err := tradingfences.CheckMutexCtx(ctx, spec, 2, 1, model, opts)
+		var v *tradingfences.MutexVerdict
+		if checkpoint != "" {
+			// A checkpointed check runs under the supervisor: budget trips
+			// and worker failures retry from the snapshot instead of
+			// restarting from zero.
+			var attempts []tradingfences.SupervisedAttempt
+			v, attempts, err = tradingfences.CheckMutexSupervisedCtx(ctx, spec, 2, 1, model,
+				tradingfences.SuperviseOptions{CheckOptions: opts})
+			if err == nil && len(attempts) > 1 {
+				fmt.Printf("\nsupervisor: %d attempts", len(attempts))
+				for _, a := range attempts {
+					fmt.Printf("; #%d workers=%d resumed-level=%d err=%q", a.Index, a.Workers, a.ResumedLevel, a.Err)
+				}
+				fmt.Println()
+			}
+		} else {
+			v, err = tradingfences.CheckMutexCtx(ctx, spec, 2, 1, model, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -198,11 +264,7 @@ func run(ctx context.Context, maxStates int, witness, witnessOut string, crashes
 		}
 		fmt.Printf("\ncounterexample for %v under %v:\n%s", spec, model, v.Witness)
 		if witnessOut != "" && v.Artifact != nil {
-			data, err := tradingfences.EncodeWitness(v.Artifact)
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(witnessOut, data, 0o644); err != nil {
+			if err := tradingfences.WriteWitnessFile(witnessOut, v.Artifact); err != nil {
 				return err
 			}
 			fmt.Printf("\nwitness artifact written to %s (replay with -replay %s)\n", witnessOut, witnessOut)

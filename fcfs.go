@@ -2,6 +2,7 @@ package tradingfences
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"tradingfences/internal/check"
@@ -19,17 +20,28 @@ type FCFSVerdict struct {
 	Violated            bool
 	Violator, Overtaken int
 	// Proved is true if the product state space (machine × precedence
-	// monitor) was exhausted without a violation.
+	// monitor) was exhausted without a violation. Never true in degraded
+	// mode.
 	Proved bool
 	// States is the number of distinct product states explored.
 	States int
+	// Mode records how the verdict was reached (same constants as
+	// MutexVerdict: ModeExhaustive or ModeDegraded).
+	Mode string
+	// Coverage quantifies the exploration behind the verdict.
+	Coverage Coverage
 }
 
 // CheckFCFSCtx exhaustively checks first-come-first-served fairness of the
 // lock for n processes (one passage each) under the given memory model,
-// bounded by opts.Budget and cancelled by ctx. Budget trips return the
-// partial (unproved) verdict alongside the structured error. Fault plans
-// are rejected: the precedence monitor is not crash-aware.
+// bounded by opts.Budget and cancelled by ctx. Fault plans are rejected:
+// the precedence monitor is not crash-aware.
+//
+// Budget handling mirrors CheckMutexCtx: a degradable trip (states,
+// memory) continues with a seeded randomized search and the verdict
+// reports Mode == ModeDegraded with its Coverage; non-degradable limits
+// (steps, wall, context) return the partial (unproved) verdict alongside
+// the structured error.
 func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, opts CheckOptions) (v *FCFSVerdict, err error) {
 	defer run.Recover("check fcfs", &err)
 	ctor, err := spec.constructor()
@@ -40,11 +52,9 @@ func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, 
 	if err != nil {
 		return nil, err
 	}
-	res, cerr := subject.Exhaustive(ctx, model.internal(), check.Opts{Budget: opts.Budget, Faults: opts.Faults})
-	if cerr != nil && !run.IsLimit(cerr) {
-		return nil, fmt.Errorf("fcfs %v: %w", spec, cerr)
-	}
-	return &FCFSVerdict{
+	chkOpts := check.Opts{Budget: opts.Budget, Faults: opts.Faults}
+	res, cerr := subject.Exhaustive(ctx, model.internal(), chkOpts)
+	v = &FCFSVerdict{
 		Lock:      spec,
 		Model:     model,
 		Violated:  res.Violation,
@@ -52,7 +62,37 @@ func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, 
 		Overtaken: res.Overtaken,
 		Proved:    res.Complete && !res.Violation,
 		States:    res.States,
-	}, cerr
+		Mode:      ModeExhaustive,
+		Coverage:  Coverage{ExhaustiveStates: res.States},
+	}
+	if cerr == nil {
+		return v, nil
+	}
+	var be *run.BudgetError
+	switch {
+	case errors.As(cerr, &be) && be.Degradable():
+		// Graceful degradation, uniform with the mutex checker: the
+		// product state space outgrew its budget, so continue with a
+		// randomized hunt (which holds no visited set).
+		runs, maxSteps := opts.fallback()
+		rres, rerr := subject.Random(ctx, model.internal(), newRand(opts.Seed), runs, maxSteps, 0.35, check.Opts{Faults: opts.Faults})
+		v.Mode = ModeDegraded
+		v.Proved = false
+		v.Coverage.RandomSteps = rres.States
+		if rres.Violation {
+			v.Violated = true
+			v.Violator, v.Overtaken = rres.Violator, rres.Overtaken
+		}
+		if rerr != nil && !run.IsLimit(rerr) {
+			return v, rerr
+		}
+		return v, nil
+	case run.IsLimit(cerr):
+		v.Proved = false
+		return v, cerr
+	default:
+		return nil, fmt.Errorf("fcfs %v: %w", spec, cerr)
+	}
 }
 
 // CheckFCFS exhaustively checks first-come-first-served fairness of the

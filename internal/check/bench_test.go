@@ -1,6 +1,8 @@
 package check
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"tradingfences/internal/locks"
@@ -24,6 +26,38 @@ func BenchmarkExhaustive(b *testing.B) {
 		if res.Violation || !res.Complete {
 			b.Fatalf("unexpected result: %+v", res)
 		}
+	}
+}
+
+// BenchmarkExhaustiveParallel measures the level-synchronous parallel
+// explorer on the same subject at increasing worker counts (1, 2,
+// NumCPU), for comparison against the sequential BenchmarkExhaustive.
+// Results for every worker count are bit-identical; only wall time may
+// differ. Recorded in BENCH_check.json at the repo root.
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, runtime.NumCPU()}
+	if counts[2] <= 2 {
+		counts = counts[:2]
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := statesOpt(3_000_000)
+				opts.Workers = workers
+				res, err := s.ExhaustiveParallel(bg(), machine.PSO, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation || !res.Complete {
+					b.Fatalf("unexpected result: %+v", res)
+				}
+			}
+		})
 	}
 }
 

@@ -125,6 +125,15 @@ type Result struct {
 	// state space within its bounds; a Complete result without Violation
 	// is a proof of mutual exclusion for the subject's bounded workload.
 	Complete bool
+	// ResumedLevel is the BFS depth a resumed parallel exploration
+	// continued from (0 for a fresh run; see ResumeExhaustiveParallel).
+	ResumedLevel int
+	// VisitedReused reports whether a resumed exploration could reuse the
+	// checkpoint's visited-state set. Visited fingerprints are canonical
+	// only within one OS process, so a cross-process resume drops them and
+	// re-derives coverage from the frontier — sound, but it may revisit
+	// states behind the frontier (States then overcounts the clean run).
+	VisitedReused bool
 }
 
 // stateKeyOverhead is the rough per-visited-state bookkeeping cost (map

@@ -1,0 +1,311 @@
+package check
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// CheckpointVersion is the snapshot schema version. Decoders reject files
+// with a different version rather than misinterpreting them.
+const CheckpointVersion = 1
+
+// checkpointShards is the number of visited-set shards: the visited
+// fingerprints are partitioned by key hash both in memory (so expansion
+// workers and the merge touch disjoint maps) and in the serialized
+// snapshot (so shards stream independently). The count is fixed —
+// independent of Opts.Workers — which keeps snapshots and state counts
+// identical across worker-pool sizes.
+const checkpointShards = 16
+
+// ErrCheckpointDrift is the sentinel matched by resume failures caused by
+// a snapshot that does not certify against the subject being resumed: the
+// lock program, process count, layout or memory model changed since the
+// snapshot was taken.
+var ErrCheckpointDrift = errors.New("check: checkpoint does not match subject")
+
+// CheckpointMeta identifies the checked subject well enough for a fresh
+// process to rebuild it (mirroring the witness artifact's identity
+// fields). The engine copies it into snapshots verbatim; the facade sets
+// and consumes it.
+type CheckpointMeta struct {
+	// Kind is the checked property ("mutex").
+	Kind string `json:"kind"`
+	// Lock names the lock spec; with N and Passages it reconstructs the
+	// instrumented subject.
+	Lock     string `json:"lock"`
+	N        int    `json:"n"`
+	Passages int    `json:"passages"`
+}
+
+// CheckpointPolicy configures periodic snapshots of a parallel
+// exploration.
+type CheckpointPolicy struct {
+	// Path is the snapshot file. Each save atomically replaces the
+	// previous snapshot (tmp+rename), so the file always holds one
+	// complete, certified snapshot.
+	Path string
+	// EveryLevels is the number of BFS levels between snapshots
+	// (default 1: snapshot at every level boundary).
+	EveryLevels int
+	// Meta is copied into every snapshot for subject reconstruction.
+	Meta CheckpointMeta
+}
+
+func (p *CheckpointPolicy) everyLevels() int {
+	if p.EveryLevels <= 0 {
+		return 1
+	}
+	return p.EveryLevels
+}
+
+// CheckpointNode is one frontier configuration, stored as the schedule
+// that reaches it from the initial configuration (configurations are
+// reconstructed by replay, never serialized).
+type CheckpointNode struct {
+	Schedule string `json:"schedule"`
+	Crashes  int    `json:"crashes,omitempty"`
+}
+
+// Checkpoint is a versioned snapshot of a level-synchronous exhaustive
+// exploration: the BFS frontier (as root schedules), the visited-set
+// shards, and the meter usage charged so far. A CRC over the canonical
+// encoding detects corrupted snapshots; the subject identity hash (the
+// same machine.IdentityFingerprint witness artifacts use) detects drift
+// of the subject between save and resume.
+type Checkpoint struct {
+	Version int            `json:"version"`
+	Meta    CheckpointMeta `json:"meta"`
+	// Model names the memory model ("SC", "TSO", "PSO").
+	Model string `json:"model"`
+	// Identity is the build-stable identity hash of the subject's fresh
+	// initial configuration; Resume rejects the snapshot if a freshly
+	// built subject hashes differently.
+	Identity string `json:"identity"`
+	// RootFP is the dynamic fingerprint of the fresh initial
+	// configuration in the process that took the snapshot. Dynamic
+	// fingerprints embed AST identity and are canonical only within one
+	// OS process; Resume reuses the visited shards only when a fresh
+	// root reproduces RootFP (same process, same subject instance) and
+	// otherwise drops them, which is sound but may revisit states.
+	RootFP string `json:"root_fp"`
+	// Level is the BFS depth of the frontier.
+	Level    int              `json:"level"`
+	Frontier []CheckpointNode `json:"frontier"`
+	// Shards holds the visited fingerprints partitioned by key hash.
+	Shards [][]string `json:"shards"`
+	// Steps, States and Mem are the meter charges at snapshot time;
+	// Resume preloads them so budgets span the whole logical run.
+	Steps  int64 `json:"steps"`
+	States int64 `json:"states"`
+	Mem    int64 `json:"mem"`
+	// Checksum is the CRC-32 (IEEE) of the canonical encoding with this
+	// field empty.
+	Checksum string `json:"crc32"`
+}
+
+// validate checks structural well-formedness (everything except the
+// checksum, which Decode verifies against the raw bytes).
+func (ck *Checkpoint) validate() error {
+	if ck == nil {
+		return errors.New("checkpoint: nil snapshot")
+	}
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("checkpoint: unsupported version %d (have %d)", ck.Version, CheckpointVersion)
+	}
+	switch ck.Model {
+	case "SC", "TSO", "PSO":
+	default:
+		return fmt.Errorf("checkpoint: unknown model %q", ck.Model)
+	}
+	if ck.Identity == "" {
+		return errors.New("checkpoint: missing subject identity hash")
+	}
+	if ck.Level < 0 {
+		return fmt.Errorf("checkpoint: negative level %d", ck.Level)
+	}
+	if len(ck.Frontier) == 0 {
+		return errors.New("checkpoint: empty frontier (completed runs are not snapshotted)")
+	}
+	for i, nd := range ck.Frontier {
+		if _, err := machine.ParseSchedule(nd.Schedule); err != nil {
+			return fmt.Errorf("checkpoint: frontier[%d]: %w", i, err)
+		}
+		if nd.Crashes < 0 {
+			return fmt.Errorf("checkpoint: frontier[%d]: negative crash count", i)
+		}
+	}
+	if ck.Steps < 0 || ck.States < 0 || ck.Mem < 0 {
+		return errors.New("checkpoint: negative meter usage")
+	}
+	return nil
+}
+
+// checksum computes the CRC over the canonical encoding with the Checksum
+// field cleared.
+func (ck *Checkpoint) checksum() (string, error) {
+	tmp := *ck
+	tmp.Checksum = ""
+	payload, err := json.Marshal(&tmp)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)), nil
+}
+
+// EncodeCheckpoint validates and serializes a snapshot, stamping its CRC.
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	sum, err := ck.checksum()
+	if err != nil {
+		return nil, err
+	}
+	out := *ck
+	out.Checksum = sum
+	b, err := json.Marshal(&out)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCheckpoint parses a serialized snapshot, verifying the CRC and the
+// structural invariants. Truncated, corrupted or re-versioned files are
+// rejected — a resume never starts from a snapshot it cannot certify.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if ck.Checksum == "" {
+		return nil, errors.New("checkpoint: missing checksum")
+	}
+	sum, err := ck.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if sum != ck.Checksum {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (%s stored, %s computed): corrupted snapshot", ck.Checksum, sum)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	return &ck, nil
+}
+
+// ReadCheckpoint loads and decodes a snapshot file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(data)
+}
+
+// buildCheckpoint assembles a snapshot of the exploration at a level
+// boundary.
+func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootFP string,
+	level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
+	nodes := make([]CheckpointNode, len(frontier))
+	for i, nd := range frontier {
+		nodes[i] = CheckpointNode{Schedule: nd.path.String(), Crashes: nd.crashes}
+	}
+	return &Checkpoint{
+		Version:  CheckpointVersion,
+		Meta:     policy.Meta,
+		Model:    model.String(),
+		Identity: identity,
+		RootFP:   rootFP,
+		Level:    level,
+		Frontier: nodes,
+		Shards:   visited.dump(),
+		Steps:    meter.Steps(),
+		States:   meter.States(),
+		Mem:      meter.Mem(),
+	}
+}
+
+// saveCheckpoint encodes and atomically writes a snapshot. A snapshot that
+// cannot be persisted is a hard error: continuing silently would void the
+// recoverability the caller asked for.
+func saveCheckpoint(ck *Checkpoint, path string) error {
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	return run.WriteFileAtomic(path, data, 0o644)
+}
+
+// resumeState is a decoded snapshot rehydrated against a live subject.
+type resumeState struct {
+	level    int
+	frontier []*bfsNode
+	visited  *shardedVisited
+	reused   bool // visited shards certified compatible and reloaded
+	steps    int64
+	states   int64
+	mem      int64
+}
+
+// loadCheckpoint certifies a snapshot against the subject and rebuilds the
+// exploration state: the frontier configurations are reconstructed by
+// replaying their schedules from a fresh root, and the visited shards are
+// reused only when the fresh root's dynamic fingerprint matches the
+// snapshot's (see Checkpoint.RootFP). Identity or model drift is rejected
+// with ErrCheckpointDrift.
+func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint) (*resumeState, error) {
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	if got := model.String(); got != ck.Model {
+		return nil, fmt.Errorf("%w: snapshot is for model %s, resuming under %s", ErrCheckpointDrift, ck.Model, got)
+	}
+	root, err := s.Build(model)
+	if err != nil {
+		return nil, err
+	}
+	if id := root.IdentityFingerprint(); id != ck.Identity {
+		return nil, fmt.Errorf("%w: identity %s, snapshot has %s", ErrCheckpointDrift, id, ck.Identity)
+	}
+	rootFP, err := root.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	rs := &resumeState{
+		level:   ck.Level,
+		visited: newShardedVisited(checkpointShards),
+		reused:  rootFP == ck.RootFP,
+		steps:   ck.Steps,
+		states:  ck.States,
+		mem:     ck.Mem,
+	}
+	if rs.reused {
+		for _, shard := range ck.Shards {
+			for _, key := range shard {
+				rs.visited.add(key)
+			}
+		}
+	}
+	for i, nd := range ck.Frontier {
+		sched, err := machine.ParseSchedule(nd.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: frontier[%d]: %w", i, err)
+		}
+		cfg, err := s.Build(model)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cfg.Exec(sched); err != nil {
+			return nil, fmt.Errorf("%w: frontier[%d] schedule does not replay: %v", ErrCheckpointDrift, i, err)
+		}
+		rs.frontier = append(rs.frontier, &bfsNode{cfg: cfg, path: sched, crashes: nd.Crashes})
+	}
+	return rs, nil
+}

@@ -1,0 +1,81 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode mirrors the witness codec's fuzz test for the
+// checkpoint codec: Decode must never panic, must reject corrupted or
+// truncated snapshots, and must round-trip anything it accepts.
+func FuzzCheckpointDecode(f *testing.F) {
+	if seed, err := EncodeCheckpoint(sampleCheckpoint()); err == nil {
+		f.Add(seed)
+		// Seed a truncation and a flip so the corpus starts near the
+		// interesting boundary.
+		f.Add(seed[:len(seed)/2])
+		flipped := bytes.Replace(seed, []byte(`"level":4`), []byte(`"level":5`), 1)
+		f.Add(flipped)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Anything accepted must re-encode and decode to the same
+		// snapshot — the CRC pins the canonical encoding.
+		out, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		ck2, err := DecodeCheckpoint(out)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if ck2.Level != ck.Level || ck2.States != ck.States ||
+			ck2.Identity != ck.Identity || len(ck2.Frontier) != len(ck.Frontier) {
+			t.Fatalf("round trip drifted: %+v vs %+v", ck2, ck)
+		}
+	})
+}
+
+// FuzzCheckpointCorruption flips every single byte of a valid snapshot and
+// asserts the decoder either rejects the mutant or (for flips inside
+// ignored whitespace or semantically identical values) accepts something
+// consistent — it must never accept a snapshot whose checksum does not
+// match its canonical encoding.
+func FuzzCheckpointCorruption(f *testing.F) {
+	valid, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0, byte(0xff))
+	f.Add(10, byte('0'))
+	f.Fuzz(func(t *testing.T, pos int, b byte) {
+		if pos < 0 || pos >= len(valid) {
+			return
+		}
+		mutant := append([]byte(nil), valid...)
+		if mutant[pos] == b {
+			return // not a mutation
+		}
+		mutant[pos] = b
+		ck, err := DecodeCheckpoint(mutant)
+		if err != nil {
+			return // rejected, as corruption should be
+		}
+		// The decoder accepted a mutant: that is only sound if the mutant
+		// still certifies — its checksum must match its own canonical
+		// encoding (DecodeCheckpoint verified that), and its content must
+		// round-trip.
+		out, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("accepted mutant does not re-encode: %v", err)
+		}
+		if _, err := DecodeCheckpoint(out); err != nil {
+			t.Fatalf("accepted mutant does not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package check
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:  CheckpointVersion,
+		Meta:     CheckpointMeta{Kind: "mutex", Lock: "bakery-tso", N: 2, Passages: 1},
+		Model:    "PSO",
+		Identity: "deadbeefdeadbeef",
+		RootFP:   "root-token",
+		Level:    4,
+		Frontier: []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
+		Shards:   [][]string{{"a", "b"}, {"c"}},
+		Steps:    123,
+		States:   45,
+		Mem:      6789,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != ck.Level || got.States != ck.States || got.Model != ck.Model ||
+		got.Identity != ck.Identity || len(got.Frontier) != len(ck.Frontier) {
+		t.Fatalf("round trip drifted: %+v vs %+v", got, ck)
+	}
+	if got.Checksum == "" {
+		t.Fatal("decoded snapshot lost its checksum")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	data, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation.
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 2} {
+		if _, err := DecodeCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+	// A value flip that keeps the JSON well-formed must trip the CRC.
+	tampered := strings.Replace(string(data), `"states":45`, `"states":46`, 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: tamper target not found")
+	}
+	if _, err := DecodeCheckpoint([]byte(tampered)); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered snapshot rejected for the wrong reason: %v", err)
+	}
+	// Version drift.
+	bad := sampleCheckpoint()
+	bad.Version = CheckpointVersion + 1
+	if _, err := EncodeCheckpoint(bad); err == nil {
+		t.Fatal("future version encoded")
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	mut := func(f func(*Checkpoint)) *Checkpoint {
+		ck := sampleCheckpoint()
+		f(ck)
+		return ck
+	}
+	cases := map[string]*Checkpoint{
+		"nil frontier":   mut(func(c *Checkpoint) { c.Frontier = nil }),
+		"bad model":      mut(func(c *Checkpoint) { c.Model = "RMO" }),
+		"bad schedule":   mut(func(c *Checkpoint) { c.Frontier[0].Schedule = "q9" }),
+		"no identity":    mut(func(c *Checkpoint) { c.Identity = "" }),
+		"negative level": mut(func(c *Checkpoint) { c.Level = -1 }),
+		"negative meter": mut(func(c *Checkpoint) { c.Steps = -5 }),
+	}
+	for name, ck := range cases {
+		if _, err := EncodeCheckpoint(ck); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResumeRejectsDrift(t *testing.T) {
+	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	kill := func(level, worker int) error {
+		if level == 5 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	_, err = s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: path},
+	})
+	if err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong model.
+	if _, err := s.ResumeExhaustiveParallel(bg(), machine.TSO, ck, Opts{}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("model drift not rejected: %v", err)
+	}
+	// Different lock program: identity hash must mismatch.
+	other, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("subject drift not rejected: %v", err)
+	}
+}
+
+// Checkpoint files are written atomically: at any moment the file on disk
+// is a complete, decodable snapshot (never a truncated intermediate).
+func TestCheckpointFileAlwaysDecodable(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	seen := 0
+	hook := func(level, worker int) error {
+		if worker != 0 {
+			return nil
+		}
+		if data, err := os.ReadFile(path); err == nil {
+			if _, derr := DecodeCheckpoint(data); derr != nil {
+				t.Errorf("level %d: snapshot on disk undecodable: %v", level, derr)
+			}
+			seen++
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2, WorkerFault: hook,
+		Checkpoint: &CheckpointPolicy{Path: path, EveryLevels: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("hook never observed a snapshot on disk")
+	}
+}

@@ -30,6 +30,34 @@ type Opts struct {
 	// crash from Faults.MaxCrashes. Zero selects a small default when a
 	// crash budget is present.
 	CrashProb float64
+
+	// Workers sizes the worker pool of the level-synchronous parallel
+	// explorer (ExhaustiveParallel). Values <= 1 run the same engine on a
+	// single goroutine; any value produces bit-identical verdicts, witness
+	// schedules and visited-state counts. The recursive Exhaustive ignores
+	// this field.
+	Workers int
+
+	// Checkpoint enables periodic snapshots of the parallel explorer's
+	// frontier, visited set and meter usage (nil = none). Snapshots are
+	// written atomically (tmp+rename) at level boundaries; see
+	// CheckpointPolicy.
+	Checkpoint *CheckpointPolicy
+
+	// WorkerFault is a chaos-testing hook called once per (level, worker)
+	// at the start of each expansion level. Returning a non-nil error kills
+	// that worker: the level fails with a *WorkerError and the partial
+	// result, leaving any checkpoint at the previous boundary intact. The
+	// hook may also sleep to simulate a stalled worker. Nil in production.
+	WorkerFault func(level, worker int) error
+}
+
+// workerCount resolves Opts.Workers to a positive pool size.
+func (o Opts) workerCount() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // defaultCrashProb is the per-step crash probability used by random search

@@ -1,0 +1,424 @@
+// Parallel exhaustive exploration: a level-synchronous BFS over the
+// subject's state space whose frontier expansion is partitioned across a
+// worker pool. Two properties make the pool safe and reproducible:
+//
+//   - during a level, the visited set is frozen — workers only read it to
+//     pre-filter known states — and every worker expands disjoint frontier
+//     nodes into private candidate lists, so there is no write sharing;
+//   - interning, budget charging, violation detection and the next
+//     frontier are produced by a single deterministic merge that walks the
+//     candidates in (frontier index, successor index) order.
+//
+// The schedule order a worker observes therefore never influences the
+// result: Workers=N is bit-identical to Workers=1 in verdict, witness
+// schedule and visited-state count — the property the determinism tests
+// pin and the checkpoint/resume machinery relies on.
+package check
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// WorkerError reports the death of one expansion worker (a panic, an
+// injected chaos fault, or a machine error inside an expansion). It is
+// retryable from the last checkpoint: the failed level was never merged,
+// so the snapshot on disk is consistent.
+type WorkerError struct {
+	Level, Worker int
+	Err           error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("check: worker %d failed at level %d: %v", e.Worker, e.Level, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// bfsNode is one unexpanded frontier configuration.
+type bfsNode struct {
+	cfg     *machine.Config
+	path    machine.Schedule
+	crashes int
+}
+
+// candidate is a successor produced by a worker, pending the merge.
+type candidate struct {
+	elem    machine.Elem
+	cfg     *machine.Config
+	key     string
+	crashes int
+	inCS    []int
+}
+
+// expansion is the result of expanding one frontier node.
+type expansion struct {
+	attempts int64 // schedule elements tried, including not-taken ones
+	cands    []candidate
+	err      error
+}
+
+// shardedVisited partitions the visited-fingerprint set by key hash into a
+// fixed number of shards (checkpointShards, independent of the worker
+// count). Reads may run concurrently with each other; writes happen only
+// in the single-goroutine merge.
+type shardedVisited struct {
+	shards []map[string]struct{}
+	count  int
+}
+
+func newShardedVisited(n int) *shardedVisited {
+	v := &shardedVisited{shards: make([]map[string]struct{}, n)}
+	for i := range v.shards {
+		v.shards[i] = make(map[string]struct{}, 256)
+	}
+	return v
+}
+
+func (v *shardedVisited) shardOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(v.shards)))
+}
+
+func (v *shardedVisited) has(key string) bool {
+	_, ok := v.shards[v.shardOf(key)][key]
+	return ok
+}
+
+func (v *shardedVisited) add(key string) {
+	sh := v.shards[v.shardOf(key)]
+	if _, ok := sh[key]; !ok {
+		sh[key] = struct{}{}
+		v.count++
+	}
+}
+
+func (v *shardedVisited) size() int { return v.count }
+
+// dump returns the shard contents in deterministic order (shard-major,
+// insertion order is irrelevant because consumers treat shards as sets,
+// but serialization must be stable for the checkpoint CRC — sort).
+func (v *shardedVisited) dump() [][]string {
+	out := make([][]string, len(v.shards))
+	for i, sh := range v.shards {
+		keys := make([]string, 0, len(sh))
+		for k := range sh {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out[i] = keys
+	}
+	return out
+}
+
+// nodeKey folds the spent crash count into the visited key when a crash
+// budget is in force, mirroring the recursive explorer's convention.
+func nodeKey(fp string, crashes, maxCrashes int) string {
+	if maxCrashes > 0 {
+		return fp + "#" + strconv.Itoa(crashes)
+	}
+	return fp
+}
+
+// ExhaustiveParallel explores every schedule of the subject under the
+// given model with a level-synchronous BFS, pruning revisited states. It
+// returns the same verdicts as Exhaustive and additionally:
+//
+//   - partitions each level's expansion across opts.Workers goroutines,
+//     with results invariant under the worker count (bit-identical
+//     verdict, witness schedule, visited-state count);
+//   - with opts.Checkpoint, snapshots the frontier, visited shards and
+//     meter usage at level boundaries (atomic tmp+rename), so a killed or
+//     budget-tripped run resumes via ResumeExhaustiveParallel instead of
+//     restarting from zero.
+//
+// Budgets and cancellation behave like Exhaustive: partial results return
+// together with a structured error. Because BFS discovers shallowest
+// states first, a violation witness is a shortest-depth counterexample
+// (it may differ from the recursive explorer's DFS witness; both replay
+// and minimize identically).
+func (s *Subject) ExhaustiveParallel(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
+	return s.runParallel(ctx, model, opts, nil)
+}
+
+// ResumeExhaustiveParallel continues an exploration from a decoded
+// checkpoint. The snapshot is re-certified first: the memory model and the
+// subject's identity hash must match (ErrCheckpointDrift otherwise), and
+// every frontier schedule must replay on a fresh build. Meter usage is
+// preloaded so opts.Budget spans the whole logical run; the wall clock
+// restarts (see run.Meter.Preload).
+func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Model, ck *Checkpoint, opts Opts) (Result, error) {
+	rs, err := s.loadCheckpoint(model, ck)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.runParallel(ctx, model, opts, rs)
+}
+
+func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opts, rs *resumeState) (Result, error) {
+	maxCrashes, err := opts.exhaustiveCrashBudget()
+	if err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.workerCount()
+	meter := run.NewMeter(ctx, opts.Budget)
+	res := Result{Complete: true}
+
+	var (
+		visited  *shardedVisited
+		frontier []*bfsNode
+		level    int
+		identity string
+		rootFP   string
+	)
+	if opts.Checkpoint != nil || rs != nil {
+		fresh, err := s.Build(model)
+		if err != nil {
+			return Result{}, err
+		}
+		identity = fresh.IdentityFingerprint()
+		if rootFP, err = fresh.Fingerprint(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if rs != nil {
+		visited, frontier, level = rs.visited, rs.frontier, rs.level
+		meter.Preload(rs.steps, rs.states, rs.mem)
+		res.ResumedLevel = rs.level
+		res.VisitedReused = rs.reused
+		if !rs.reused {
+			// The snapshot's visited fingerprints were minted by another
+			// process and cannot prune here, but the frontier's own states
+			// are known visited: re-intern them under this process's
+			// fingerprints so sibling duplicates and self-loops dedup.
+			for _, nd := range frontier {
+				fp, err := nd.cfg.Fingerprint()
+				if err != nil {
+					return Result{}, err
+				}
+				visited.add(nodeKey(fp, nd.crashes, maxCrashes))
+			}
+		}
+	} else {
+		root, err := s.Build(model)
+		if err != nil {
+			return Result{}, err
+		}
+		fp, err := root.Fingerprint()
+		if err != nil {
+			return Result{}, err
+		}
+		key := nodeKey(fp, 0, maxCrashes)
+		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+			res.Complete = false
+			return res, err
+		}
+		visited = newShardedVisited(checkpointShards)
+		visited.add(key)
+		in, err := s.occupancy(root)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(in) >= 2 {
+			res.Violation = true
+			res.InCS = in
+			res.Witness = machine.Schedule{}
+			res.Complete = false
+			res.States = visited.size()
+			return res, nil
+		}
+		frontier = []*bfsNode{{cfg: root}}
+	}
+
+	lastSaved := -1
+	for len(frontier) > 0 {
+		if p := opts.Checkpoint; p != nil && level != lastSaved &&
+			level%p.everyLevels() == 0 && (rs == nil || level > rs.level) {
+			ck := buildCheckpoint(p, model, identity, rootFP, level, frontier, visited, meter)
+			if err := saveCheckpoint(ck, p.Path); err != nil {
+				res.Complete = false
+				res.States = visited.size()
+				return res, err
+			}
+			lastSaved = level
+		}
+
+		// Re-check wall budget and context once per level: charge-count
+		// triggered checks alone can miss a wall trip on small state
+		// spaces. The checkpoint above is already on disk, so a trip here
+		// resumes from this very level.
+		if err := meter.Check(); err != nil {
+			res.Complete = false
+			res.States = visited.size()
+			return res, err
+		}
+
+		exps := s.expandLevel(ctx, frontier, workers, level, maxCrashes, opts, visited)
+
+		next := make([]*bfsNode, 0, len(frontier))
+		for i, exp := range exps {
+			if exp.err != nil {
+				res.Complete = false
+				res.States = visited.size()
+				return res, exp.err
+			}
+			if err := meter.AddSteps(exp.attempts); err != nil {
+				res.Complete = false
+				res.States = visited.size()
+				return res, err
+			}
+			for _, cand := range exp.cands {
+				if visited.has(cand.key) {
+					continue
+				}
+				if err := meter.AddState(int64(len(cand.key)) + stateKeyOverhead); err != nil {
+					res.Complete = false
+					res.States = visited.size()
+					return res, err
+				}
+				visited.add(cand.key)
+				if len(cand.inCS) >= 2 {
+					w := make(machine.Schedule, len(frontier[i].path)+1)
+					copy(w, frontier[i].path)
+					w[len(w)-1] = cand.elem
+					res.Violation = true
+					res.Witness = w
+					res.InCS = cand.inCS
+					res.Complete = false
+					res.States = visited.size()
+					return res, nil
+				}
+				path := make(machine.Schedule, len(frontier[i].path)+1)
+				copy(path, frontier[i].path)
+				path[len(path)-1] = cand.elem
+				next = append(next, &bfsNode{cfg: cand.cfg, path: path, crashes: cand.crashes})
+			}
+		}
+		frontier = next
+		level++
+	}
+	res.States = visited.size()
+	return res, nil
+}
+
+// expandLevel fans the frontier out over the worker pool. Workers claim
+// nodes through an atomic cursor and write each node's expansion into its
+// own slot, so the output is positionally deterministic regardless of how
+// the pool was scheduled. A worker that panics, hits a machine error, or
+// is killed by the chaos hook dooms the level: its error is surfaced in
+// deterministic order and the level is never merged.
+func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers, level, maxCrashes int, opts Opts, visited *shardedVisited) []expansion {
+	exps := make([]expansion, len(frontier))
+	if workers > len(frontier) && len(frontier) > 0 {
+		workers = len(frontier)
+	}
+	var cursor atomic.Int64
+	workerErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					workerErrs[worker] = &WorkerError{Level: level, Worker: worker,
+						Err: fmt.Errorf("panic: %v", r)}
+				}
+			}()
+			if opts.WorkerFault != nil {
+				if err := opts.WorkerFault(level, worker); err != nil {
+					workerErrs[worker] = &WorkerError{Level: level, Worker: worker, Err: err}
+					return
+				}
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					exps[i].err = fmt.Errorf("check: expansion cancelled at level %d: %w", level, err)
+					continue
+				}
+				exps[i] = s.expandNode(frontier[i], maxCrashes, visited)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			// Attribute the worker death to the first node so the merge
+			// fails before consuming any of this level.
+			if exps[0].err == nil {
+				exps[0].err = err
+			}
+			break
+		}
+	}
+	return exps
+}
+
+// expandNode enumerates one node's successors in the canonical order the
+// recursive explorer uses (per process: ⊥, then committable registers
+// ascending, then crash), pre-filtered against the frozen visited set.
+func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited) expansion {
+	var exp expansion
+	c := nd.cfg
+	for p := 0; p < c.N(); p++ {
+		if c.Halted(p) {
+			continue
+		}
+		elems := []machine.Elem{machine.PBottom(p)}
+		for _, r := range c.BufferRegs(p) {
+			if c.CanCommit(p, r) {
+				elems = append(elems, machine.PReg(p, r))
+			}
+		}
+		if nd.crashes < maxCrashes {
+			elems = append(elems, machine.PCrash(p))
+		}
+		for _, e := range elems {
+			exp.attempts++
+			next := c.Clone()
+			if _, took, err := next.Step(e); err != nil {
+				exp.err = err
+				return exp
+			} else if !took {
+				continue
+			}
+			nc := nd.crashes
+			if e.Crash {
+				nc++
+			}
+			fp, err := next.Fingerprint()
+			if err != nil {
+				exp.err = err
+				return exp
+			}
+			key := nodeKey(fp, nc, maxCrashes)
+			if visited.has(key) {
+				continue
+			}
+			in, err := s.occupancy(next)
+			if err != nil {
+				exp.err = err
+				return exp
+			}
+			exp.cands = append(exp.cands, candidate{elem: e, cfg: next, key: key, crashes: nc, inCS: in})
+		}
+	}
+	return exp
+}

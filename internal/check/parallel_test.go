@@ -1,0 +1,312 @@
+package check
+
+import (
+	"errors"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// seedPairs are the witness lock/model pairs of the separation matrix: the
+// acceptance surface for worker-count invariance.
+var seedPairs = []struct {
+	name string
+	ctor locks.Constructor
+	n    int
+}{
+	{"peterson-nofence", locks.NewPetersonNoFence, 2},
+	{"peterson-tso", locks.NewPetersonTSO, 2},
+	{"peterson", locks.NewPeterson, 2},
+	{"bakery-tso", locks.NewBakeryTSO, 2},
+	{"bakery", locks.NewBakery, 2},
+	{"bakery-literal", locks.NewBakeryLiteral, 2},
+}
+
+var allModels = []machine.Model{machine.SC, machine.TSO, machine.PSO}
+
+func mustSubject(t *testing.T, name string, ctor locks.Constructor, n int) *Subject {
+	t.Helper()
+	s, err := NewMutexSubject(name, ctor, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func requireSameResult(t *testing.T, what string, a, b Result) {
+	t.Helper()
+	if a.Violation != b.Violation || a.Complete != b.Complete {
+		t.Fatalf("%s: verdict mismatch: (viol=%v complete=%v) vs (viol=%v complete=%v)",
+			what, a.Violation, a.Complete, b.Violation, b.Complete)
+	}
+	if a.States != b.States {
+		t.Fatalf("%s: visited-state mismatch: %d vs %d", what, a.States, b.States)
+	}
+	if a.Witness.String() != b.Witness.String() {
+		t.Fatalf("%s: witness mismatch:\n  %s\nvs\n  %s", what, a.Witness, b.Witness)
+	}
+}
+
+// Workers ∈ {2, NumCPU} must return bit-identical verdicts, violation
+// schedules and visited-state counts as Workers=1, for every seed witness
+// lock/model pair (the PR's acceptance criterion).
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	for _, tc := range seedPairs {
+		for _, m := range allModels {
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			base, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%v workers=1: %v", tc.name, m, err)
+			}
+			for _, w := range []int{2, runtime.NumCPU()} {
+				got, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: w})
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", tc.name, m, w, err)
+				}
+				requireSameResult(t, tc.name+"/"+m.String(), base, got)
+			}
+		}
+	}
+}
+
+// The parallel explorer must agree with the recursive DFS explorer on
+// every verdict (the witness schedules may differ: BFS finds a shortest
+// counterexample, DFS a depth-first one — both must replay to a
+// violation).
+func TestParallelAgreesWithRecursive(t *testing.T) {
+	for _, tc := range seedPairs {
+		for _, m := range allModels {
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			dfs, err := s.Exhaustive(bg(), m, Opts{})
+			if err != nil {
+				t.Fatalf("%s/%v dfs: %v", tc.name, m, err)
+			}
+			bfs, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s/%v bfs: %v", tc.name, m, err)
+			}
+			if dfs.Violation != bfs.Violation || dfs.Complete != bfs.Complete {
+				t.Fatalf("%s/%v: dfs (viol=%v complete=%v) vs bfs (viol=%v complete=%v)",
+					tc.name, m, dfs.Violation, dfs.Complete, bfs.Violation, bfs.Complete)
+			}
+			if dfs.Complete && dfs.States != bfs.States {
+				// On proofs both engines cover the full reachable space;
+				// on violations each stops at its first counterexample,
+				// so the partial counts legitimately differ.
+				t.Fatalf("%s/%v: dfs visited %d states, bfs %d", tc.name, m, dfs.States, bfs.States)
+			}
+			if bfs.Violation {
+				if len(bfs.Witness) > len(dfs.Witness) {
+					t.Fatalf("%s/%v: BFS witness (%d elems) longer than DFS witness (%d elems)",
+						tc.name, m, len(bfs.Witness), len(dfs.Witness))
+				}
+				_, c, err := s.Replay(m, bfs.Witness, nil)
+				if err != nil {
+					t.Fatalf("%s/%v: BFS witness does not replay: %v", tc.name, m, err)
+				}
+				in, err := s.occupancy(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(in) < 2 {
+					t.Fatalf("%s/%v: replayed BFS witness shows %v in CS", tc.name, m, in)
+				}
+			}
+		}
+	}
+}
+
+// Parallel exploration with an adversarial crash budget stays
+// worker-count invariant (crash counts are folded into the visited keys).
+func TestParallelCrashBudgetInvariance(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	opts := func(w int) Opts {
+		return Opts{Workers: w, Faults: &machine.FaultPlan{MaxCrashes: 1}}
+	}
+	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "peterson/PSO crashes=1", base, got)
+
+	dfs, err := s.Exhaustive(bg(), machine.PSO, Opts{Faults: &machine.FaultPlan{MaxCrashes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.States != base.States || dfs.Violation != base.Violation {
+		t.Fatalf("crash-budget BFS disagrees with DFS: %d/%v vs %d/%v",
+			base.States, base.Violation, dfs.States, dfs.Violation)
+	}
+}
+
+// A checkpointed run that is killed mid-flight and resumed in-process
+// reaches the same certified verdict, witness and state count as an
+// uninterrupted run.
+func TestCheckpointKillResumeSameVerdict(t *testing.T) {
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+		m    machine.Model
+	}{
+		{"bakery", locks.NewBakery, machine.PSO},        // proof
+		{"bakery-tso", locks.NewBakeryTSO, machine.PSO}, // violation
+	}
+	for _, tc := range cases {
+		s := mustSubject(t, tc.name, tc.ctor, 2)
+		clean, err := s.ExhaustiveParallel(bg(), tc.m, Opts{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		path := filepath.Join(t.TempDir(), "ck.json")
+		policy := &CheckpointPolicy{Path: path, EveryLevels: 2,
+			Meta: CheckpointMeta{Kind: "mutex", Lock: tc.name, N: 2, Passages: 1}}
+		kill := func(level, worker int) error {
+			if level == 7 && worker == 0 {
+				return errors.New("chaos: worker killed")
+			}
+			return nil
+		}
+		_, err = s.ExhaustiveParallel(bg(), tc.m, Opts{Workers: 2, Checkpoint: policy, WorkerFault: kill})
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("%s: want *WorkerError from killed run, got %v", tc.name, err)
+		}
+
+		ck, err := ReadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("%s: read checkpoint: %v", tc.name, err)
+		}
+		if ck.Level == 0 || ck.Level > 7 {
+			t.Fatalf("%s: checkpoint at level %d, want within (0, 7]", tc.name, ck.Level)
+		}
+		resumed, err := s.ResumeExhaustiveParallel(bg(), tc.m, ck, Opts{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: resume: %v", tc.name, err)
+		}
+		if !resumed.VisitedReused {
+			t.Fatalf("%s: in-process resume should reuse the visited set", tc.name)
+		}
+		if resumed.ResumedLevel != ck.Level {
+			t.Fatalf("%s: resumed from level %d, checkpoint says %d", tc.name, resumed.ResumedLevel, ck.Level)
+		}
+		requireSameResult(t, tc.name+" resumed", clean, resumed)
+	}
+}
+
+// A resume in a process that cannot certify the snapshot's visited
+// fingerprints (simulated by rebuilding the subject, which reallocates the
+// AST) drops the visited set but still reaches the same verdict.
+func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
+	s := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	policy := &CheckpointPolicy{Path: path, EveryLevels: 3}
+	kill := func(level, worker int) error {
+		if level == 6 && worker == 1 {
+			return errors.New("chaos: worker killed")
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Workers: 2, Checkpoint: policy, WorkerFault: kill}); err == nil {
+		t.Fatal("expected the chaos kill to fail the run")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Subject instance has the same identity hash but different
+	// AST pointers — exactly what a new OS process would see.
+	s2 := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	resumed, err := s2.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.VisitedReused {
+		t.Fatal("cross-subject resume must not trust foreign visited fingerprints")
+	}
+	if resumed.Violation != clean.Violation || resumed.Complete != clean.Complete {
+		t.Fatalf("verdict drifted across process boundary: (viol=%v complete=%v) vs (viol=%v complete=%v)",
+			resumed.Violation, resumed.Complete, clean.Violation, clean.Complete)
+	}
+	if resumed.Violation {
+		_, c, err := s2.Replay(machine.PSO, resumed.Witness, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := s2.occupancy(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(in) < 2 {
+			t.Fatalf("resumed witness shows %v in CS", in)
+		}
+	}
+}
+
+// Budget trips surface the same structured errors as the recursive
+// explorer, with the partial result attached, at a worker-count-invariant
+// point.
+func TestParallelBudgetTripDeterministic(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	opts := func(w int) Opts {
+		return Opts{Workers: w, Budget: run.Budget{MaxStates: 500}}
+	}
+	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
+	var be *run.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" {
+		t.Fatalf("want states BudgetError, got %v", err)
+	}
+	if base.Complete {
+		t.Fatal("tripped run must not report completeness")
+	}
+	for _, w := range []int{2, runtime.NumCPU()} {
+		got, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(w))
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: want BudgetError, got %v", w, err)
+		}
+		if got.States != base.States {
+			t.Fatalf("workers=%d: tripped at %d states, workers=1 at %d", w, got.States, base.States)
+		}
+	}
+}
+
+// A killed level is never merged: the checkpoint on disk stays consistent
+// and a stalled worker (hook sleeping past the wall budget) surfaces the
+// wall trip rather than hanging.
+func TestParallelWorkerFaultFailsClosed(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	res, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2,
+		WorkerFault: func(level, worker int) error {
+			if level == 0 {
+				return errors.New("chaos: dead on arrival")
+			}
+			return nil
+		},
+	})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("want WorkerError, got %v", err)
+	}
+	if we.Level != 0 {
+		t.Fatalf("fault at level %d, want 0", we.Level)
+	}
+	if res.Complete {
+		t.Fatal("failed run must not claim completeness")
+	}
+	if res.States != 1 {
+		t.Fatalf("level 0 failed before merging, want only the root interned, got %d", res.States)
+	}
+}

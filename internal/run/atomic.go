@@ -1,0 +1,43 @@
+package run
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path with crash-safe atomicity: the bytes
+// go to a temporary file in the same directory first, are synced, and the
+// file is then renamed over path. A reader (or a process resuming after a
+// crash) therefore observes either the previous complete content or the new
+// complete content — never a truncated artifact. Used for witness artifacts
+// and checker checkpoints, whose consumers certify fingerprints and must be
+// able to trust that a file that parses was written whole.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("run: atomic write %s: %w", path, err)
+	}
+	return nil
+}

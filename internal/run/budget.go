@@ -117,6 +117,20 @@ func (m *Meter) Steps() int64 { return m.steps }
 // States returns the number of states charged so far.
 func (m *Meter) States() int64 { return m.states }
 
+// Mem returns the estimated bytes charged so far.
+func (m *Meter) Mem() int64 { return m.mem }
+
+// Preload charges usage carried over from a resumed run (a checkpointed
+// exploration continuing in a fresh meter) without tripping mid-call: the
+// next Add* call observes the combined totals against the budget. The wall
+// clock deliberately restarts — a resumed attempt gets a fresh wall budget,
+// otherwise retrying a wall trip from a checkpoint could never progress.
+func (m *Meter) Preload(steps, states, mem int64) {
+	m.steps += steps
+	m.states += states
+	m.mem += mem
+}
+
 // Elapsed returns the wall-clock time since the meter started.
 func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
 

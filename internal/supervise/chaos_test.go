@@ -1,0 +1,222 @@
+package supervise
+
+// Chaos self-tests: inject worker kills, checkpoint corruption, and
+// worker stalls into supervised runs and prove the supervisor either
+// recovers to the same certified verdict a clean run produces, or fails
+// closed — it never reports a verdict from state it could not certify.
+// CI runs these under -race (the soak job greps for "Chaos").
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+func noSleep(time.Duration) {}
+
+// Killing a worker mid-exploration must cost one attempt, not the
+// verdict: the retry resumes from the last checkpoint (reusing the
+// visited shards in-process) and reproduces the clean run bit for bit,
+// for both a proof and a violation.
+func TestChaosWorkerKillResumes(t *testing.T) {
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"bakery", locks.NewBakery},
+		{"bakery-tso", locks.NewBakeryTSO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSubject(t, tc.name, tc.ctor, 2)
+			clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := CheckMutex(bg(), s, machine.PSO, Options{
+				Workers:        2,
+				CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
+				BackoffBase:    time.Microsecond,
+				Sleep:          noSleep,
+				WorkerFault: func(attempt, level, worker int) error {
+					if attempt == 0 && level == 7 && worker == 0 {
+						return errors.New("chaos: worker shot")
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Mode != ModeExhaustive {
+				t.Fatalf("mode = %q, want exhaustive", out.Mode)
+			}
+			if len(out.Attempts) != 2 {
+				t.Fatalf("attempts = %d, want 2 (kill + resume)", len(out.Attempts))
+			}
+			if out.Attempts[0].Err == "" {
+				t.Fatal("killed attempt reported no error")
+			}
+			if out.Attempts[1].ResumedLevel == 0 || !out.Attempts[1].VisitedReused {
+				t.Fatalf("retry did not resume from checkpoint: %+v", out.Attempts[1])
+			}
+			requireSameResult(t, tc.name, out.Result, clean)
+		})
+	}
+}
+
+// Corrupting the checkpoint file between attempts must not poison the
+// retry: the snapshot fails its checksum, the rejection is recorded, and
+// the attempt restarts fresh — recovering the correct verdict from zero
+// rather than trusting corrupt state.
+func TestChaosCorruptedCheckpointFailsClosed(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		BackoffBase:    time.Microsecond,
+		Sleep:          noSleep,
+		WorkerFault: func(attempt, level, worker int) error {
+			if attempt == 0 && level == 6 && worker == 0 {
+				// Scribble over the snapshot, then die: the retry finds
+				// garbage where its resume point should be.
+				if werr := os.WriteFile(path, []byte(`{"version":1,"level":`), 0o644); werr != nil {
+					t.Errorf("corrupting checkpoint: %v", werr)
+				}
+				return errors.New("chaos: worker shot")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(out.Attempts))
+	}
+	if out.Attempts[1].CheckpointRejected == "" {
+		t.Fatal("corrupted checkpoint was not rejected")
+	}
+	if out.Attempts[1].ResumedLevel != 0 || out.Attempts[1].VisitedReused {
+		t.Fatalf("retry resumed from corrupt state: %+v", out.Attempts[1])
+	}
+	requireSameResult(t, "after corruption", out.Result, clean)
+}
+
+// Truncating the file to zero bytes (a crash between create and write,
+// with a non-atomic writer) is also rejected, not treated as "no
+// checkpoint yet" silently succeeding with a wrong resume.
+func TestChaosTruncatedCheckpointFailsClosed(t *testing.T) {
+	s := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		BackoffBase:    time.Microsecond,
+		Sleep:          noSleep,
+		WorkerFault: func(attempt, level, worker int) error {
+			if attempt == 0 && level == 5 && worker == 0 {
+				if werr := os.Truncate(path, 0); werr != nil {
+					t.Errorf("truncating checkpoint: %v", werr)
+				}
+				return errors.New("chaos: worker shot")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attempts[1].CheckpointRejected == "" {
+		t.Fatal("truncated checkpoint was not rejected")
+	}
+	requireSameResult(t, "after truncation", out.Result, clean)
+}
+
+// A stalled worker that drags the attempt past its wall budget is
+// retried from the checkpoint with a fresh (and grown) wall clock; the
+// healthy retry completes with the clean verdict.
+func TestChaosStallRetriesWallTrip(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.SC, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CheckMutex(bg(), s, machine.SC, Options{
+		Workers:        2,
+		Budget:         run.Budget{MaxWall: 300 * time.Millisecond},
+		CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
+		MaxAttempts:    4,
+		BackoffBase:    time.Microsecond,
+		Sleep:          noSleep,
+		WorkerFault: func(attempt, level, worker int) error {
+			if attempt == 0 && level == 2 && worker == 0 {
+				time.Sleep(600 * time.Millisecond) // stall past MaxWall
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != ModeExhaustive {
+		t.Fatalf("mode = %q, want exhaustive (attempts: %+v)", out.Mode, out.Attempts)
+	}
+	if len(out.Attempts) < 2 {
+		t.Fatalf("stall did not cost an attempt: %+v", out.Attempts)
+	}
+	if out.Attempts[0].Err == "" {
+		t.Fatal("stalled attempt reported no error")
+	}
+	requireSameResult(t, "after stall", out.Result, clean)
+}
+
+// Repeated kills across every attempt exhaust the ladder; the supervisor
+// must end degraded rather than loop forever or report an uncertified
+// exhaustive verdict.
+func TestChaosPersistentKillerDegrades(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
+		MaxAttempts:    3,
+		BackoffBase:    time.Microsecond,
+		Sleep:          noSleep,
+		Seed:           3,
+		WorkerFault: func(attempt, level, worker int) error {
+			if level == 4+attempt && worker == 0 {
+				return errors.New("chaos: worker shot")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != ModeDegraded {
+		t.Fatalf("mode = %q, want degraded", out.Mode)
+	}
+	if out.Fallback.Violation {
+		t.Fatal("degraded fallback refuted a correct lock")
+	}
+	// Later attempts still made forward progress from checkpoints.
+	if out.Attempts[1].ResumedLevel == 0 || out.Attempts[2].ResumedLevel <= out.Attempts[1].ResumedLevel {
+		t.Fatalf("attempts did not advance through checkpoints: %+v", out.Attempts)
+	}
+}

@@ -1,0 +1,288 @@
+// Package supervise runs long exhaustive model-checking searches to
+// completion in the presence of budget trips and worker failures. It wraps
+// the parallel explorer of internal/check in a retry loop that resumes
+// from the last on-disk checkpoint instead of restarting from zero, and
+// escalates along a ladder when retries keep failing:
+//
+//	attempt 0   configured budget, configured workers
+//	attempt 1+  grow the tripped budgets (×BudgetGrowth per retry)
+//	later       halve the worker pool (less frontier in flight)
+//	finally     degrade to a seeded randomized search (refute-only)
+//
+// Every attempt resumes from the newest checkpoint it can certify;
+// snapshots that fail certification — corrupted bytes, truncated files,
+// subject identity drift — are rejected and recorded, and the attempt
+// falls back to a fresh start: the supervisor recovers when it can and
+// fails closed when it cannot, but never trusts a snapshot it cannot
+// certify. Exponential backoff between attempts keeps crash loops cheap.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// Modes of a supervised outcome.
+const (
+	// ModeExhaustive: the verdict comes from a completed (or violating)
+	// exhaustive exploration, possibly after checkpointed retries.
+	ModeExhaustive = "exhaustive"
+	// ModeDegraded: every exhaustive attempt failed and the ladder ended
+	// in a seeded randomized search; the verdict can refute but not prove.
+	ModeDegraded = "degraded"
+)
+
+// Options configures a supervised check.
+type Options struct {
+	// Workers sizes the parallel explorer's pool (values <= 1: one
+	// worker). The descent rung of the ladder halves it, never below 1.
+	Workers int
+	// Budget bounds each attempt; the growth rung multiplies the bounded
+	// resources by BudgetGrowth.
+	Budget run.Budget
+	// Faults is forwarded to the explorer (adversarial crash budget).
+	Faults *machine.FaultPlan
+
+	// MaxAttempts caps the exhaustive attempts before the randomized
+	// fallback (default 3; the first run counts as attempt 0).
+	MaxAttempts int
+	// BackoffBase is the sleep before retry k (BackoffBase << k,
+	// default 50ms). Sleep is injectable for tests.
+	BackoffBase time.Duration
+	Sleep       func(time.Duration)
+	// BudgetGrowth multiplies the tripped budget's bounded resources on
+	// each escalation (default 2.0).
+	BudgetGrowth float64
+
+	// CheckpointPath enables checkpoint/resume: attempts snapshot there
+	// and retries resume from the newest certified snapshot. Empty
+	// disables checkpointing (retries restart from zero).
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in BFS levels (default 1).
+	CheckpointEvery int
+	// Meta is stamped into snapshots for cross-process reconstruction.
+	Meta check.CheckpointMeta
+
+	// Seed, FallbackRuns and FallbackMaxSteps size the degraded
+	// randomized fallback (defaults: 2000 runs × 400 steps).
+	Seed                           int64
+	FallbackRuns, FallbackMaxSteps int
+
+	// WorkerFault is the chaos hook threaded to the explorer, extended
+	// with the attempt index. Nil in production.
+	WorkerFault func(attempt, level, worker int) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.BudgetGrowth <= 1 {
+		o.BudgetGrowth = 2
+	}
+	if o.FallbackRuns <= 0 {
+		o.FallbackRuns = 2000
+	}
+	if o.FallbackMaxSteps <= 0 {
+		o.FallbackMaxSteps = 400
+	}
+	return o
+}
+
+// Attempt reports one rung of the supervised run.
+type Attempt struct {
+	// Index is the attempt number (0 = first).
+	Index int
+	// Workers and Budget are the escalated parameters in force.
+	Workers int
+	Budget  run.Budget
+	// ResumedLevel is the checkpoint level the attempt continued from
+	// (0 = fresh start); VisitedReused whether its visited set certified.
+	ResumedLevel  int
+	VisitedReused bool
+	// CheckpointRejected records why a snapshot was discarded before this
+	// attempt ("" = none rejected): corrupted bytes, identity drift, etc.
+	CheckpointRejected string
+	// States is the visited-state count the attempt reached; Err why it
+	// stopped ("" = success); Backoff the sleep that preceded it.
+	States  int
+	Err     string
+	Backoff time.Duration
+}
+
+// Outcome is the result of a supervised check.
+type Outcome struct {
+	// Result is the exhaustive result of the final (or last partial)
+	// attempt.
+	Result check.Result
+	// Mode is ModeExhaustive or ModeDegraded.
+	Mode string
+	// Fallback is the randomized-search result when Mode is ModeDegraded.
+	Fallback check.Result
+	// Attempts reports every exhaustive attempt in order.
+	Attempts []Attempt
+}
+
+// retryable classifies an attempt error: worker deaths and degradable or
+// wall budget trips are retried (a resumed attempt restarts the wall
+// clock, so wall retries make progress when checkpointing is on);
+// cancellation and genuine failures are not.
+func retryable(err error, checkpointing bool) bool {
+	var we *check.WorkerError
+	if errors.As(err, &we) {
+		// A worker killed by cancellation is not a chaos casualty.
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	var be *run.BudgetError
+	if errors.As(err, &be) {
+		if be.Degradable() {
+			return true
+		}
+		return be.Resource == "wall" && checkpointing
+	}
+	return false
+}
+
+// growBudget multiplies every bounded resource by g (unlimited resources
+// stay unlimited).
+func growBudget(b run.Budget, g float64) run.Budget {
+	if b.MaxSteps > 0 {
+		b.MaxSteps = int64(float64(b.MaxSteps) * g)
+	}
+	if b.MaxStates > 0 {
+		b.MaxStates = int(float64(b.MaxStates) * g)
+	}
+	if b.MaxWall > 0 {
+		b.MaxWall = time.Duration(float64(b.MaxWall) * g)
+	}
+	if b.MaxMemEstimate > 0 {
+		b.MaxMemEstimate = int64(float64(b.MaxMemEstimate) * g)
+	}
+	return b
+}
+
+// CheckMutex supervises an exhaustive mutual-exclusion check of the
+// subject under the given model: it retries failed attempts from the last
+// certified checkpoint with exponential backoff, escalating budget then
+// worker count, and degrades to a seeded randomized search only after the
+// ladder is exhausted — replacing the old restart-from-zero degradation.
+//
+// The returned error is non-nil only for non-recoverable failures
+// (cancellation, machine errors, a failing randomized fallback); budget
+// exhaustion that ends in degradation is reported through Outcome.Mode.
+func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model, o Options) (*Outcome, error) {
+	o = o.withDefaults()
+	out := &Outcome{Mode: ModeExhaustive}
+	budget := o.Budget
+	workers := o.Workers
+	var backoff time.Duration
+
+	for attempt := 0; attempt < o.MaxAttempts; attempt++ {
+		rep := Attempt{Index: attempt, Workers: workers, Budget: budget, Backoff: backoff}
+		if backoff > 0 {
+			o.Sleep(backoff)
+		}
+
+		chk := check.Opts{Budget: budget, Faults: o.Faults, Workers: workers}
+		if o.CheckpointPath != "" {
+			chk.Checkpoint = &check.CheckpointPolicy{
+				Path: o.CheckpointPath, EveryLevels: o.CheckpointEvery, Meta: o.Meta,
+			}
+		}
+		if o.WorkerFault != nil {
+			a := attempt
+			chk.WorkerFault = func(level, worker int) error { return o.WorkerFault(a, level, worker) }
+		}
+
+		var res check.Result
+		var err error
+		ck := loadCertified(o.CheckpointPath, &rep)
+		if ck != nil {
+			res, err = subject.ResumeExhaustiveParallel(ctx, model, ck, chk)
+			if err != nil && errors.Is(err, check.ErrCheckpointDrift) {
+				// The snapshot decoded but does not certify against this
+				// subject: fail closed, restart fresh.
+				rep.CheckpointRejected = err.Error()
+				res, err = subject.ExhaustiveParallel(ctx, model, chk)
+			} else {
+				rep.ResumedLevel = res.ResumedLevel
+				rep.VisitedReused = res.VisitedReused
+			}
+		} else {
+			res, err = subject.ExhaustiveParallel(ctx, model, chk)
+		}
+		rep.States = res.States
+		if err != nil {
+			rep.Err = err.Error()
+		}
+		out.Attempts = append(out.Attempts, rep)
+		out.Result = res
+
+		if err == nil {
+			return out, nil // proof or violation
+		}
+		if !retryable(err, o.CheckpointPath != "") {
+			return out, err
+		}
+
+		// Escalation ladder: grow the budget first; once past the
+		// midpoint of the ladder, also shrink the worker pool.
+		budget = growBudget(budget, o.BudgetGrowth)
+		if attempt+1 >= (o.MaxAttempts+1)/2 && workers > 1 {
+			workers = workers / 2
+			if workers < 1 {
+				workers = 1
+			}
+		}
+		backoff = o.BackoffBase << attempt
+	}
+
+	// Ladder exhausted: degrade to randomized search (holds no visited
+	// set, so it runs in constant memory where the exhaustive attempts
+	// tripped).
+	out.Mode = ModeDegraded
+	rng := rand.New(rand.NewSource(o.Seed))
+	fb, err := subject.Random(ctx, model, rng, o.FallbackRuns, o.FallbackMaxSteps, 0.35,
+		check.Opts{Faults: o.Faults})
+	out.Fallback = fb
+	if err != nil && !run.IsLimit(err) {
+		return out, fmt.Errorf("supervise: degraded fallback: %w", err)
+	}
+	return out, nil
+}
+
+// loadCertified reads and decodes the checkpoint file, recording (and
+// swallowing) rejection of corrupted or unreadable snapshots. A missing
+// file is a plain fresh start.
+func loadCertified(path string, rep *Attempt) *check.Checkpoint {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			rep.CheckpointRejected = err.Error()
+		}
+		return nil
+	}
+	ck, err := check.DecodeCheckpoint(data)
+	if err != nil {
+		rep.CheckpointRejected = err.Error()
+		return nil
+	}
+	return ck
+}

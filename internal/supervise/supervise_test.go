@@ -1,0 +1,248 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+func bg() context.Context { return context.Background() }
+
+func mustSubject(t *testing.T, name string, ctor locks.Constructor, n int) *check.Subject {
+	t.Helper()
+	s, err := check.NewMutexSubject(name, ctor, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func requireSameResult(t *testing.T, what string, a, b check.Result) {
+	t.Helper()
+	if a.Violation != b.Violation || a.Complete != b.Complete {
+		t.Fatalf("%s: verdict mismatch: (viol=%v complete=%v) vs (viol=%v complete=%v)",
+			what, a.Violation, a.Complete, b.Violation, b.Complete)
+	}
+	if a.States != b.States {
+		t.Fatalf("%s: states mismatch: %d vs %d", what, a.States, b.States)
+	}
+	if a.Witness.String() != b.Witness.String() {
+		t.Fatalf("%s: witness mismatch: %q vs %q", what, a.Witness, b.Witness)
+	}
+}
+
+// A clean supervised run is exactly one attempt and reproduces the direct
+// parallel explorer bit for bit, for both a proof and a violation.
+func TestSupervisedCleanMatchesDirect(t *testing.T) {
+	cases := []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"bakery", locks.NewBakery},
+		{"bakery-tso", locks.NewBakeryTSO},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSubject(t, tc.name, tc.ctor, 2)
+			direct, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := CheckMutex(bg(), s, machine.PSO, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Mode != ModeExhaustive {
+				t.Fatalf("mode = %q, want exhaustive", out.Mode)
+			}
+			if len(out.Attempts) != 1 {
+				t.Fatalf("attempts = %d, want 1", len(out.Attempts))
+			}
+			if out.Attempts[0].Err != "" || out.Attempts[0].CheckpointRejected != "" {
+				t.Fatalf("clean attempt reported trouble: %+v", out.Attempts[0])
+			}
+			requireSameResult(t, tc.name, out.Result, direct)
+		})
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name          string
+		err           error
+		checkpointing bool
+		want          bool
+	}{
+		{"worker kill", &check.WorkerError{Level: 3, Worker: 1, Err: errors.New("chaos")}, false, true},
+		{"worker cancelled", &check.WorkerError{Err: context.Canceled}, true, false},
+		{"states trip", &run.BudgetError{Resource: "states", Limit: 10, Used: 11}, false, true},
+		{"memory trip", &run.BudgetError{Resource: "memory", Limit: 10, Used: 11}, false, true},
+		{"wall trip, checkpointing", &run.BudgetError{Resource: "wall"}, true, true},
+		{"wall trip, no checkpoint", &run.BudgetError{Resource: "wall"}, false, false},
+		{"steps trip", &run.BudgetError{Resource: "steps", Limit: 10, Used: 11}, false, false},
+		{"plain error", errors.New("machine: stuck"), true, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err, tc.checkpointing); got != tc.want {
+			t.Errorf("%s: retryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGrowBudget(t *testing.T) {
+	b := run.Budget{MaxSteps: 100, MaxStates: 50, MaxWall: time.Second}
+	g := growBudget(b, 2)
+	if g.MaxSteps != 200 || g.MaxStates != 100 || g.MaxWall != 2*time.Second {
+		t.Fatalf("grown budget = %+v", g)
+	}
+	if g.MaxMemEstimate != 0 {
+		t.Fatal("unlimited resource became bounded")
+	}
+}
+
+// Exhausting the ladder on a proof subject must end in a degraded
+// randomized verdict that (correctly) finds nothing, with the attempt
+// reports showing the escalation: budgets growing, workers descending,
+// exponential backoff between attempts.
+func TestLadderExhaustionDegrades(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	var sleeps []time.Duration
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:     4,
+		Budget:      run.Budget{MaxStates: 40},
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != ModeDegraded {
+		t.Fatalf("mode = %q, want degraded", out.Mode)
+	}
+	if len(out.Attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(out.Attempts))
+	}
+	for i, a := range out.Attempts {
+		if a.Err == "" {
+			t.Fatalf("attempt %d did not trip: %+v", i, a)
+		}
+	}
+	// Budget grows every rung; workers shrink past the midpoint.
+	if out.Attempts[1].Budget.MaxStates <= out.Attempts[0].Budget.MaxStates ||
+		out.Attempts[2].Budget.MaxStates <= out.Attempts[1].Budget.MaxStates {
+		t.Fatalf("budget did not escalate: %+v", out.Attempts)
+	}
+	if out.Attempts[2].Workers >= out.Attempts[0].Workers {
+		t.Fatalf("workers did not descend: %+v", out.Attempts)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("backoffs = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("backoffs = %v, want %v", sleeps, want)
+		}
+	}
+	if out.Fallback.Violation {
+		t.Fatal("degraded fallback refuted a correct lock")
+	}
+}
+
+// The degraded fallback still catches real violations: a fenceless
+// Peterson under TSO is refuted by the randomized search even though every
+// exhaustive attempt tripped its (tiny) budget first.
+func TestDegradedFallbackRefutes(t *testing.T) {
+	s := mustSubject(t, "peterson-nofence", locks.NewPetersonNoFence, 2)
+	out, err := CheckMutex(bg(), s, machine.TSO, Options{
+		Workers:     2,
+		Budget:      run.Budget{MaxStates: 3},
+		MaxAttempts: 2,
+		BackoffBase: time.Microsecond,
+		Sleep:       func(time.Duration) {},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != ModeDegraded {
+		t.Fatalf("mode = %q, want degraded", out.Mode)
+	}
+	if !out.Fallback.Violation {
+		t.Fatal("randomized fallback missed the TSO violation")
+	}
+	if _, _, err := s.Replay(machine.TSO, out.Fallback.Witness, nil); err != nil {
+		t.Fatalf("fallback witness does not replay: %v", err)
+	}
+}
+
+// Cancellation is never retried: the supervisor returns the context error
+// after a single attempt instead of burning the ladder.
+func TestCancellationNotRetried(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	out, err := CheckMutex(ctx, s, machine.PSO, Options{Workers: 2, MaxAttempts: 5})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("cancelled run retried: %d attempts", len(out.Attempts))
+	}
+}
+
+// A checkpoint left behind by an unrelated subject is rejected at resume
+// (identity drift) and the supervisor restarts fresh on the same attempt,
+// still reaching the right verdict.
+func TestForeignCheckpointRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	// Produce a valid checkpoint for bakery-tso by killing a run mid-way.
+	donor := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	kill := func(level, worker int) error {
+		if level == 5 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	if _, err := donor.ExhaustiveParallel(bg(), machine.PSO, check.Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &check.CheckpointPolicy{Path: path},
+	}); err == nil {
+		t.Fatal("donor run was supposed to be killed")
+	}
+
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej := out.Attempts[0].CheckpointRejected; rej == "" {
+		t.Fatal("foreign checkpoint was not rejected")
+	} else if !strings.Contains(rej, check.ErrCheckpointDrift.Error()) {
+		t.Fatalf("rejected for %q, want identity drift", rej)
+	}
+	if out.Attempts[0].ResumedLevel != 0 || out.Attempts[0].VisitedReused {
+		t.Fatalf("rejected checkpoint still resumed: %+v", out.Attempts[0])
+	}
+	requireSameResult(t, "after drift rejection", out.Result, clean)
+}

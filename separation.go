@@ -137,6 +137,47 @@ func mutexArtifact(subject *check.Subject, spec LockSpec, n, passages int, model
 	return w, tr.Format(subject.Layout), nil
 }
 
+// attachWitness minimizes a violating schedule (best-effort: a limit mid
+// ddmin keeps the unminimized witness) and packages it as the verdict's
+// replayable artifact and human-readable trace.
+func attachWitness(ctx context.Context, subject *check.Subject, spec LockSpec, n, passages int, model MemoryModel, v *MutexVerdict, wsched machine.Schedule, faults *FaultPlan) error {
+	if !v.Violated || wsched == nil {
+		return nil
+	}
+	minimized, merr := subject.MinimizeWitness(ctx, model.internal(), wsched, faults)
+	if merr != nil {
+		if !run.IsLimit(merr) {
+			return fmt.Errorf("minimize witness: %w", merr)
+		}
+		minimized = wsched // keep the unminimized witness when cut short
+	}
+	w, formatted, aerr := mutexArtifact(subject, spec, n, passages, model, minimized, faults)
+	if aerr != nil {
+		return aerr
+	}
+	v.Witness = formatted
+	v.WitnessSchedule = minimized.String()
+	v.Artifact = w
+	return nil
+}
+
+// checkOpts lowers the facade options to the internal checker's, wiring
+// the checkpoint policy (and its subject metadata) when a path is set.
+func (o CheckOptions) checkOpts(spec LockSpec, n, passages int) check.Opts {
+	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Workers: o.Workers}
+	if o.CheckpointPath != "" {
+		if chk.Workers <= 0 {
+			chk.Workers = 1
+		}
+		chk.Checkpoint = &check.CheckpointPolicy{
+			Path:        o.CheckpointPath,
+			EveryLevels: o.CheckpointEvery,
+			Meta:        check.CheckpointMeta{Kind: "mutex", Lock: spec.String(), N: n, Passages: passages},
+		}
+	}
+	return chk
+}
+
 // CheckMutexCtx model-checks mutual exclusion of the lock for n processes
 // performing `passages` passages each under the given memory model.
 //
@@ -159,8 +200,14 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 	if err != nil {
 		return nil, err
 	}
-	chkOpts := check.Opts{Budget: opts.Budget, Faults: opts.Faults}
-	res, xerr := subject.Exhaustive(ctx, model.internal(), chkOpts)
+	chkOpts := opts.checkOpts(spec, n, passages)
+	var res check.Result
+	var xerr error
+	if opts.parallel() {
+		res, xerr = subject.ExhaustiveParallel(ctx, model.internal(), chkOpts)
+	} else {
+		res, xerr = subject.Exhaustive(ctx, model.internal(), chkOpts)
+	}
 	v = &MutexVerdict{
 		Lock:     spec,
 		Model:    model,
@@ -196,22 +243,8 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 			return nil, xerr
 		}
 	}
-	if v.Violated && wsched != nil {
-		// Shrink the witness to a 1-minimal schedule before packaging.
-		minimized, merr := subject.MinimizeWitness(ctx, model.internal(), wsched, opts.Faults)
-		if merr != nil {
-			if !run.IsLimit(merr) {
-				return v, fmt.Errorf("minimize witness: %w", merr)
-			}
-			minimized = wsched // keep the unminimized witness when cut short
-		}
-		w, formatted, aerr := mutexArtifact(subject, spec, n, passages, model, minimized, opts.Faults)
-		if aerr != nil {
-			return v, aerr
-		}
-		v.Witness = formatted
-		v.WitnessSchedule = minimized.String()
-		v.Artifact = w
+	if aerr := attachWitness(ctx, subject, spec, n, passages, model, v, wsched, opts.Faults); aerr != nil {
+		return v, aerr
 	}
 	return v, nil
 }
@@ -338,6 +371,16 @@ func SeparationMatrix(maxStates int) ([]SeparationRow, error) {
 
 // SeparationMatrixCtx is SeparationMatrix bounded by a context.
 func SeparationMatrixCtx(ctx context.Context, maxStates int) ([]SeparationRow, error) {
+	return SeparationMatrixWithOptions(ctx, CheckOptions{Budget: Budget{MaxStates: maxStates}})
+}
+
+// SeparationMatrixWithOptions is SeparationMatrixCtx with full check
+// options: in particular opts.Workers routes every cell through the
+// parallel explorer (cell verdicts are identical for any worker count).
+// Checkpoint options are ignored — a single snapshot file cannot span the
+// matrix's 18 independent checks.
+func SeparationMatrixWithOptions(ctx context.Context, opts CheckOptions) ([]SeparationRow, error) {
+	opts.CheckpointPath = ""
 	entries := []struct {
 		spec   LockSpec
 		fences int
@@ -357,7 +400,7 @@ func SeparationMatrixCtx(ctx context.Context, maxStates int) ([]SeparationRow, e
 			Verdicts: make(map[MemoryModel]*MutexVerdict, 3),
 		}
 		for _, m := range Models() {
-			v, err := CheckMutexCtx(ctx, e.spec, 2, 1, m, CheckOptions{Budget: Budget{MaxStates: maxStates}})
+			v, err := CheckMutexCtx(ctx, e.spec, 2, 1, m, opts)
 			if err != nil {
 				return nil, fmt.Errorf("separation %v under %v: %w", e.spec, m, err)
 			}

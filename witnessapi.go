@@ -16,6 +16,17 @@ func EncodeWitness(w *Witness) ([]byte, error) { return witness.Encode(w) }
 // DecodeWitness parses and validates a serialized witness artifact.
 func DecodeWitness(data []byte) (*Witness, error) { return witness.Decode(data) }
 
+// WriteWitnessFile serializes a witness artifact and writes it atomically
+// (temp file + rename in the target directory): a crash mid-write never
+// leaves a truncated artifact where a replayable one is expected.
+func WriteWitnessFile(path string, w *Witness) error {
+	data, err := witness.Encode(w)
+	if err != nil {
+		return err
+	}
+	return run.WriteFileAtomic(path, data, 0o644)
+}
+
 // ParseLockSpec parses a lock name as used in witness artifacts and CLI
 // flags: "bakery", "peterson-tso", "gt2" (GT with tree height 2), ...
 func ParseLockSpec(s string) (LockSpec, error) {
