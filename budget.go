@@ -56,7 +56,9 @@ type CheckOptions struct {
 	// Workers > 0 selects the parallel level-synchronous explorer with
 	// that many expansion goroutines. Verdicts, violation schedules and
 	// visited-state counts are bit-identical for every worker count; 0
-	// keeps the sequential depth-first explorer.
+	// keeps the sequential depth-first explorer. Workers and the
+	// checkpoint fields apply to mutual-exclusion checking; CheckFCFSCtx
+	// rejects them rather than silently running sequentially.
 	Workers int
 	// CheckpointPath, when non-empty, makes the exploration write periodic
 	// atomic snapshots there (and implies the parallel explorer with one

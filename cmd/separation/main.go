@@ -14,8 +14,11 @@
 // bit-identical to the sequential one for every worker count). -checkpoint
 // additionally snapshots the exploration to a file and runs it under the
 // retrying supervisor; a killed run is continued with
-// -resume-check <file>, which re-certifies the snapshot against the
-// rebuilt subject before trusting it.
+// -resume-check <file>, which re-certifies the snapshot — subject
+// identity, memory model, and the crash budget it was taken under (so
+// -crashes need not and must not be restated) — against the rebuilt
+// subject before trusting it. A supervised run that reaches a terminal
+// verdict deletes its snapshot.
 //
 // Usage:
 //

@@ -35,7 +35,10 @@ type FCFSVerdict struct {
 // CheckFCFSCtx exhaustively checks first-come-first-served fairness of the
 // lock for n processes (one passage each) under the given memory model,
 // bounded by opts.Budget and cancelled by ctx. Fault plans are rejected:
-// the precedence monitor is not crash-aware.
+// the precedence monitor is not crash-aware. Workers, CheckpointPath and
+// CheckpointEvery are rejected too: the parallel checkpointed explorer
+// covers mutual-exclusion checking only, and silently falling back to the
+// sequential non-checkpointed walk would betray what the caller asked for.
 //
 // Budget handling mirrors CheckMutexCtx: a degradable trip (states,
 // memory) continues with a seeded randomized search and the verdict
@@ -44,6 +47,9 @@ type FCFSVerdict struct {
 // the structured error.
 func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, opts CheckOptions) (v *FCFSVerdict, err error) {
 	defer run.Recover("check fcfs", &err)
+	if opts.Workers > 0 || opts.CheckpointPath != "" || opts.CheckpointEvery != 0 {
+		return nil, errors.New("tradingfences: FCFS checking runs the sequential product-space explorer; Workers and checkpointing apply to mutual-exclusion checking only")
+	}
 	ctor, err := spec.constructor()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,8 +13,11 @@ import (
 )
 
 // CheckpointVersion is the snapshot schema version. Decoders reject files
-// with a different version rather than misinterpreting them.
-const CheckpointVersion = 1
+// with a different version rather than misinterpreting them. Version 2
+// added the crash budget (MaxCrashes) to the certified identity: version-1
+// snapshots do not record the budget their visited keys were minted under,
+// so they are rejected instead of resumed with a guessed budget.
+const CheckpointVersion = 2
 
 // checkpointShards is the number of visited-set shards: the visited
 // fingerprints are partitioned by key hash both in memory (so expansion
@@ -94,6 +98,12 @@ type Checkpoint struct {
 	// root reproduces RootFP (same process, same subject instance) and
 	// otherwise drops them, which is sound but may revisit states.
 	RootFP string `json:"root_fp"`
+	// MaxCrashes is the adversarial crash budget the exploration ran
+	// under. It is part of the certified identity: the visited keys fold
+	// the crashes-spent count in if and only if a budget is in force, and
+	// a frontier generated under one budget is not a sound starting point
+	// for another — resume rejects a mismatch with ErrCheckpointDrift.
+	MaxCrashes int `json:"max_crashes"`
 	// Level is the BFS depth of the frontier.
 	Level    int              `json:"level"`
 	Frontier []CheckpointNode `json:"frontier"`
@@ -126,6 +136,9 @@ func (ck *Checkpoint) validate() error {
 	if ck.Identity == "" {
 		return errors.New("checkpoint: missing subject identity hash")
 	}
+	if ck.MaxCrashes < 0 {
+		return fmt.Errorf("checkpoint: negative crash budget %d", ck.MaxCrashes)
+	}
 	if ck.Level < 0 {
 		return fmt.Errorf("checkpoint: negative level %d", ck.Level)
 	}
@@ -138,6 +151,9 @@ func (ck *Checkpoint) validate() error {
 		}
 		if nd.Crashes < 0 {
 			return fmt.Errorf("checkpoint: frontier[%d]: negative crash count", i)
+		}
+		if nd.Crashes > ck.MaxCrashes {
+			return fmt.Errorf("checkpoint: frontier[%d]: %d crashes spent exceeds budget %d", i, nd.Crashes, ck.MaxCrashes)
 		}
 	}
 	if ck.Steps < 0 || ck.States < 0 || ck.Mem < 0 {
@@ -177,8 +193,12 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 }
 
 // DecodeCheckpoint parses a serialized snapshot, verifying the CRC and the
-// structural invariants. Truncated, corrupted or re-versioned files are
-// rejected — a resume never starts from a snapshot it cannot certify.
+// structural invariants. The CRC is checked over the raw bytes with the
+// stored checksum value excised — not over a re-marshaled struct — so a
+// snapshot certifies only when its bytes are exactly the canonical
+// encoding EncodeCheckpoint hashed: unknown or duplicate JSON fields,
+// reformatting, truncation and value flips are all rejected. A resume
+// never starts from a snapshot it cannot certify.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
@@ -187,12 +207,20 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if ck.Checksum == "" {
 		return nil, errors.New("checkpoint: missing checksum")
 	}
-	sum, err := ck.checksum()
-	if err != nil {
-		return nil, err
+	// The checksum field is the last field of the canonical encoding, so
+	// its serialization is the last occurrence of this needle.
+	needle := []byte(`"crc32":"` + ck.Checksum + `"`)
+	i := bytes.LastIndex(data, needle)
+	if i < 0 {
+		return nil, errors.New("checkpoint: checksum field not in canonical form")
 	}
-	if sum != ck.Checksum {
-		return nil, fmt.Errorf("checkpoint: checksum mismatch (%s stored, %s computed): corrupted snapshot", ck.Checksum, sum)
+	payload := make([]byte, 0, len(data))
+	payload = append(payload, data[:i]...)
+	payload = append(payload, `"crc32":""`...)
+	payload = append(payload, data[i+len(needle):]...)
+	payload = bytes.TrimSuffix(payload, []byte("\n"))
+	if sum := fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)); sum != ck.Checksum {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (%s stored, %s computed): corrupted or non-canonical snapshot", ck.Checksum, sum)
 	}
 	if err := ck.validate(); err != nil {
 		return nil, err
@@ -212,23 +240,24 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 // buildCheckpoint assembles a snapshot of the exploration at a level
 // boundary.
 func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootFP string,
-	level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
+	maxCrashes, level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
 	nodes := make([]CheckpointNode, len(frontier))
 	for i, nd := range frontier {
 		nodes[i] = CheckpointNode{Schedule: nd.path.String(), Crashes: nd.crashes}
 	}
 	return &Checkpoint{
-		Version:  CheckpointVersion,
-		Meta:     policy.Meta,
-		Model:    model.String(),
-		Identity: identity,
-		RootFP:   rootFP,
-		Level:    level,
-		Frontier: nodes,
-		Shards:   visited.dump(),
-		Steps:    meter.Steps(),
-		States:   meter.States(),
-		Mem:      meter.Mem(),
+		Version:    CheckpointVersion,
+		Meta:       policy.Meta,
+		Model:      model.String(),
+		Identity:   identity,
+		RootFP:     rootFP,
+		MaxCrashes: maxCrashes,
+		Level:      level,
+		Frontier:   nodes,
+		Shards:     visited.dump(),
+		Steps:      meter.Steps(),
+		States:     meter.States(),
+		Mem:        meter.Mem(),
 	}
 }
 
@@ -258,14 +287,20 @@ type resumeState struct {
 // exploration state: the frontier configurations are reconstructed by
 // replaying their schedules from a fresh root, and the visited shards are
 // reused only when the fresh root's dynamic fingerprint matches the
-// snapshot's (see Checkpoint.RootFP). Identity or model drift is rejected
-// with ErrCheckpointDrift.
-func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint) (*resumeState, error) {
+// snapshot's (see Checkpoint.RootFP). Identity, model or crash-budget
+// drift is rejected with ErrCheckpointDrift: the snapshot's frontier and
+// visited keys are meaningful only under the budget they were minted
+// with, so resuming under a different maxCrashes would either skip
+// crash-reachable states or prune on mismatched keys.
+func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes int) (*resumeState, error) {
 	if err := ck.validate(); err != nil {
 		return nil, err
 	}
 	if got := model.String(); got != ck.Model {
 		return nil, fmt.Errorf("%w: snapshot is for model %s, resuming under %s", ErrCheckpointDrift, ck.Model, got)
+	}
+	if maxCrashes != ck.MaxCrashes {
+		return nil, fmt.Errorf("%w: snapshot was taken under crash budget %d, resuming under %d", ErrCheckpointDrift, ck.MaxCrashes, maxCrashes)
 	}
 	root, err := s.Build(model)
 	if err != nil {

@@ -16,9 +16,10 @@ func sampleCheckpoint() *Checkpoint {
 		Version:  CheckpointVersion,
 		Meta:     CheckpointMeta{Kind: "mutex", Lock: "bakery-tso", N: 2, Passages: 1},
 		Model:    "PSO",
-		Identity: "deadbeefdeadbeef",
-		RootFP:   "root-token",
-		Level:    4,
+		Identity:   "deadbeefdeadbeef",
+		RootFP:     "root-token",
+		MaxCrashes: 1,
+		Level:      4,
 		Frontier: []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
 		Shards:   [][]string{{"a", "b"}, {"c"}},
 		Steps:    123,
@@ -88,6 +89,11 @@ func TestCheckpointValidation(t *testing.T) {
 		"no identity":    mut(func(c *Checkpoint) { c.Identity = "" }),
 		"negative level": mut(func(c *Checkpoint) { c.Level = -1 }),
 		"negative meter": mut(func(c *Checkpoint) { c.Steps = -5 }),
+		"negative crash budget": mut(func(c *Checkpoint) { c.MaxCrashes = -1 }),
+		"crashes over budget":   mut(func(c *Checkpoint) { c.Frontier[1].Crashes = 2 }),
+		"crashes without budget": mut(func(c *Checkpoint) {
+			c.MaxCrashes = 0 // frontier[1] has spent one crash
+		}),
 	}
 	for name, ck := range cases {
 		if _, err := EncodeCheckpoint(ck); err == nil {
@@ -132,6 +138,80 @@ func TestResumeRejectsDrift(t *testing.T) {
 	if _, err := other.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{}); !errors.Is(err, ErrCheckpointDrift) {
 		t.Fatalf("subject drift not rejected: %v", err)
 	}
+}
+
+// The CRC is verified over the raw bytes: a snapshot with extra JSON
+// fields (which json.Unmarshal would silently drop) or a duplicated field
+// is not the canonical encoding and must be rejected, not certified.
+func TestCheckpointRejectsNonCanonicalBytes(t *testing.T) {
+	data, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"unknown field":   strings.Replace(string(data), `{"version":`, `{"smuggled":7,"version":`, 1),
+		"duplicate field": strings.Replace(string(data), `{"version":`, `{"level":9,"version":`, 1),
+		"reformatted":     strings.Replace(string(data), `,"level":`, `, "level":`, 1),
+	}
+	for name, mutant := range cases {
+		if mutant == string(data) {
+			t.Fatalf("%s: test setup: mutation target not found", name)
+		}
+		if _, err := DecodeCheckpoint([]byte(mutant)); err == nil {
+			t.Errorf("%s: non-canonical snapshot certified", name)
+		}
+	}
+}
+
+// A snapshot taken under an adversarial crash budget must not resume
+// under a different one: the frontier was generated (and the visited keys
+// minted) under that budget, so a mismatch is identity drift — resuming
+// crash-generated state with maxCrashes=0 could report Proved while
+// crash-reachable violations below the checkpoint level went unexplored.
+func TestResumeRejectsCrashBudgetDrift(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	faults := &machine.FaultPlan{MaxCrashes: 1}
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Workers: 2, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	kill := func(level, worker int) error {
+		if level == 4 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2, Faults: faults, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: path},
+	}); err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.MaxCrashes != 1 {
+		t.Fatalf("snapshot recorded crash budget %d, want 1", ck.MaxCrashes)
+	}
+
+	// Dropping the budget at resume time is drift, not a fresh default.
+	if _, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("crash-budget drift not rejected: %v", err)
+	}
+	// A different non-zero budget is drift too.
+	if _, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{
+		Workers: 2, Faults: &machine.FaultPlan{MaxCrashes: 2},
+	}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("crash-budget drift not rejected: %v", err)
+	}
+	// The matching budget resumes to the clean verdict bit for bit.
+	resumed, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "crash-budget resume", clean, resumed)
 }
 
 // Checkpoint files are written atomically: at any moment the file on disk

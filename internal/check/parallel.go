@@ -151,13 +151,18 @@ func (s *Subject) ExhaustiveParallel(ctx context.Context, model machine.Model, o
 }
 
 // ResumeExhaustiveParallel continues an exploration from a decoded
-// checkpoint. The snapshot is re-certified first: the memory model and the
-// subject's identity hash must match (ErrCheckpointDrift otherwise), and
-// every frontier schedule must replay on a fresh build. Meter usage is
-// preloaded so opts.Budget spans the whole logical run; the wall clock
-// restarts (see run.Meter.Preload).
+// checkpoint. The snapshot is re-certified first: the memory model, the
+// subject's identity hash and the crash budget (opts.Faults.MaxCrashes
+// versus the budget recorded in the snapshot) must match
+// (ErrCheckpointDrift otherwise), and every frontier schedule must replay
+// on a fresh build. Meter usage is preloaded so opts.Budget spans the
+// whole logical run; the wall clock restarts (see run.Meter.Preload).
 func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Model, ck *Checkpoint, opts Opts) (Result, error) {
-	rs, err := s.loadCheckpoint(model, ck)
+	maxCrashes, err := opts.exhaustiveCrashBudget()
+	if err != nil {
+		return Result{}, err
+	}
+	rs, err := s.loadCheckpoint(model, ck, maxCrashes)
 	if err != nil {
 		return Result{}, err
 	}
@@ -247,7 +252,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 	for len(frontier) > 0 {
 		if p := opts.Checkpoint; p != nil && level != lastSaved &&
 			level%p.everyLevels() == 0 && (rs == nil || level > rs.level) {
-			ck := buildCheckpoint(p, model, identity, rootFP, level, frontier, visited, meter)
+			ck := buildCheckpoint(p, model, identity, rootFP, maxCrashes, level, frontier, visited, meter)
 			if err := saveCheckpoint(ck, p.Path); err != nil {
 				res.Complete = false
 				res.States = visited.size()

@@ -64,8 +64,18 @@ type Options struct {
 
 	// CheckpointPath enables checkpoint/resume: attempts snapshot there
 	// and retries resume from the newest certified snapshot. Empty
-	// disables checkpointing (retries restart from zero).
+	// disables checkpointing (retries restart from zero). The supervised
+	// run owns the path: unless Resume is set, a pre-existing file there
+	// is removed before the first attempt, and a snapshot whose run ends
+	// in a terminal verdict (proof or violation) is removed afterwards —
+	// stale state from an earlier or unrelated run is never silently
+	// continued.
 	CheckpointPath string
+	// Resume makes the first attempt pick up a certified snapshot already
+	// present at CheckpointPath (e.g. from a killed earlier process)
+	// instead of clearing it. The snapshot is still re-certified —
+	// identity, model and crash budget must match — before it is trusted.
+	Resume bool
 	// CheckpointEvery is the snapshot cadence in BFS levels (default 1).
 	CheckpointEvery int
 	// Meta is stamped into snapshots for cross-process reconstruction.
@@ -186,6 +196,16 @@ func growBudget(b run.Budget, g float64) run.Budget {
 // exhaustion that ends in degradation is reported through Outcome.Mode.
 func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model, o Options) (*Outcome, error) {
 	o = o.withDefaults()
+	if o.CheckpointPath != "" && !o.Resume {
+		// This run owns the snapshot path. Whatever predates it — a
+		// finished earlier run, a different configuration — must not be
+		// resumed implicitly: clear it so every later load sees only
+		// snapshots this run wrote. Failing to clear is a hard error;
+		// proceeding could silently continue stale state.
+		if err := os.Remove(o.CheckpointPath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("supervise: clearing pre-existing checkpoint: %w", err)
+		}
+	}
 	out := &Outcome{Mode: ModeExhaustive}
 	budget := o.Budget
 	workers := o.Workers
@@ -233,6 +253,12 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 		out.Result = res
 
 		if err == nil {
+			// Terminal verdict: the snapshot on disk (if any) describes a
+			// frontier below it. Drop it so a later run at the same path
+			// starts fresh instead of resuming superseded state.
+			if o.CheckpointPath != "" {
+				os.Remove(o.CheckpointPath)
+			}
 			return out, nil // proof or violation
 		}
 		if !retryable(err, o.CheckpointPath != "") {

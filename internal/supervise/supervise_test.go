@@ -3,6 +3,7 @@ package supervise
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -204,9 +205,9 @@ func TestCancellationNotRetried(t *testing.T) {
 	}
 }
 
-// A checkpoint left behind by an unrelated subject is rejected at resume
-// (identity drift) and the supervisor restarts fresh on the same attempt,
-// still reaching the right verdict.
+// With Options.Resume, a checkpoint left behind by an unrelated subject is
+// rejected at resume (identity drift) and the supervisor restarts fresh on
+// the same attempt, still reaching the right verdict.
 func TestForeignCheckpointRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.json")
 	// Produce a valid checkpoint for bakery-tso by killing a run mid-way.
@@ -232,6 +233,7 @@ func TestForeignCheckpointRejected(t *testing.T) {
 	out, err := CheckMutex(bg(), s, machine.PSO, Options{
 		Workers:        2,
 		CheckpointPath: path,
+		Resume:         true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -245,4 +247,69 @@ func TestForeignCheckpointRejected(t *testing.T) {
 		t.Fatalf("rejected checkpoint still resumed: %+v", out.Attempts[0])
 	}
 	requireSameResult(t, "after drift rejection", out.Result, clean)
+}
+
+// Without Options.Resume the supervised run owns the checkpoint path: a
+// pre-existing snapshot — even one that would certify — is cleared before
+// the first attempt rather than silently continued, and the snapshot is
+// removed again once the run reaches a terminal verdict.
+func TestStaleCheckpointNotResumedByDefault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	// Leave a certifiable snapshot of this very subject behind.
+	kill := func(level, worker int) error {
+		if level == 5 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &check.CheckpointPolicy{Path: path},
+	}); err == nil {
+		t.Fatal("donor run was supposed to be killed")
+	}
+
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := out.Attempts[0]
+	if a.ResumedLevel != 0 || a.VisitedReused || a.CheckpointRejected != "" {
+		t.Fatalf("stale snapshot leaked into the fresh run: %+v", a)
+	}
+	// The fresh run must not double-count the donor's meter usage.
+	requireSameResult(t, "fresh despite stale snapshot", out.Result, clean)
+	// Terminal verdict: the snapshot is gone, so a later run at the same
+	// path cannot pick it up either.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived a terminal verdict: stat err = %v", err)
+	}
+
+	// With Resume the same pre-existing snapshot is honored.
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &check.CheckpointPolicy{Path: path},
+	}); err == nil {
+		t.Fatal("second donor run was supposed to be killed")
+	}
+	out, err = CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attempts[0].ResumedLevel == 0 || !out.Attempts[0].VisitedReused {
+		t.Fatalf("Resume did not pick up the certified snapshot: %+v", out.Attempts[0])
+	}
+	requireSameResult(t, "explicit resume", out.Result, clean)
 }

@@ -24,6 +24,11 @@ type SuperviseOptions struct {
 	// BudgetGrowth multiplies the tripped budget's bounded resources on
 	// each escalation (0 = default 2.0).
 	BudgetGrowth float64
+	// Resume makes the first attempt pick up a certified snapshot already
+	// present at CheckpointPath. By default the supervised run owns the
+	// path: a pre-existing file is cleared before the first attempt and
+	// the snapshot is removed once a terminal verdict is reached.
+	Resume bool
 }
 
 // SupervisedAttempt reports one rung of a supervised run: the escalated
@@ -86,6 +91,7 @@ func CheckMutexSupervisedCtx(ctx context.Context, spec LockSpec, n, passages int
 		BudgetGrowth:     opts.BudgetGrowth,
 		CheckpointPath:   opts.CheckpointPath,
 		CheckpointEvery:  opts.CheckpointEvery,
+		Resume:           opts.Resume,
 		Meta:             check.CheckpointMeta{Kind: "mutex", Lock: spec.String(), N: n, Passages: passages},
 		Seed:             opts.Seed,
 		FallbackRuns:     runs,
@@ -110,8 +116,12 @@ func CheckMutexSupervisedCtx(ctx context.Context, spec LockSpec, n, passages int
 // build is rejected rather than resumed. The resumed run keeps
 // checkpointing to the same file.
 //
-// The snapshot pins the lock, workload and memory model; opts contributes
-// only the run parameters (budget, workers, cadence).
+// The snapshot pins the lock, workload, memory model and crash budget;
+// opts contributes only the run parameters (budget, workers, cadence). In
+// particular the fault plan is reconstructed from the snapshot — its
+// frontier and visited keys are only meaningful under the crash budget
+// they were generated with — and any opts.Faults is rejected rather than
+// silently overridden.
 func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v *MutexVerdict, err error) {
 	defer run.Recover("resume mutex check", &err)
 	data, err := os.ReadFile(path)
@@ -137,6 +147,12 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 	subject, err := newMutexSubject(spec, n, passages)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Faults != nil {
+		return nil, fmt.Errorf("tradingfences: resume takes its fault plan from the snapshot (crash budget %d); do not set CheckOptions.Faults", ck.MaxCrashes)
+	}
+	if ck.MaxCrashes > 0 {
+		opts.Faults = &FaultPlan{MaxCrashes: ck.MaxCrashes}
 	}
 	opts.CheckpointPath = path
 	res, xerr := subject.ResumeExhaustiveParallel(ctx, model.internal(), ck, opts.checkOpts(spec, n, passages))

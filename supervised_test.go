@@ -90,6 +90,56 @@ func TestResumeRejectsTamperedSnapshot(t *testing.T) {
 	}
 }
 
+// Resume takes its fault plan from the snapshot: a checkpointed run with a
+// crash budget resumes under the same budget without the caller restating
+// it, and a caller-supplied plan is rejected rather than overridden.
+func TestResumeReconstructsCrashBudget(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	v, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{
+		Budget:         Budget{MaxStates: 400},
+		CheckpointPath: path,
+		Faults:         &FaultPlan{MaxCrashes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != ModeDegraded {
+		t.Fatalf("tripped check did not degrade: %+v", v)
+	}
+	if _, err := ResumeMutexCheckCtx(ctx, path, CheckOptions{
+		Faults: &FaultPlan{MaxCrashes: 2},
+	}); err == nil {
+		t.Fatal("caller-supplied fault plan accepted at resume")
+	}
+	direct, err := CheckMutexCtx(ctx, LockSpec{Kind: Bakery}, 2, 1, PSO, CheckOptions{
+		Workers: 2, Faults: &FaultPlan{MaxCrashes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeMutexCheckCtx(ctx, path, CheckOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Proved != direct.Proved || resumed.Violated != direct.Violated {
+		t.Fatalf("resumed verdict (proved=%v viol=%v) drifted from direct (proved=%v viol=%v)",
+			resumed.Proved, resumed.Violated, direct.Proved, direct.Violated)
+	}
+}
+
+// FCFS checking is sequential: the options that select the parallel
+// checkpointed explorer are rejected, not silently ignored.
+func TestCheckFCFSRejectsParallelOptions(t *testing.T) {
+	ctx := context.Background()
+	if _, err := CheckFCFSCtx(ctx, LockSpec{Kind: Bakery}, 2, PSO, CheckOptions{Workers: 2}); err == nil {
+		t.Fatal("FCFS checking accepted Workers")
+	}
+	if _, err := CheckFCFSCtx(ctx, LockSpec{Kind: Bakery}, 2, PSO, CheckOptions{CheckpointPath: "ck.json"}); err == nil {
+		t.Fatal("FCFS checking accepted CheckpointPath")
+	}
+}
+
 // The supervised facade: a clean run is one attempt with the plain
 // exhaustive verdict; the attempt reports expose the ladder.
 func TestCheckMutexSupervisedFacade(t *testing.T) {
