@@ -55,6 +55,7 @@ func parseLock(name string) (tradingfences.LockSpec, error) {
 		"bakery":           tradingfences.Bakery,
 		"bakery-tso":       tradingfences.BakeryTSO,
 		"bakery-literal":   tradingfences.BakeryLiteral,
+		"bakery-nofence":   tradingfences.BakeryNoFence,
 		"peterson":         tradingfences.Peterson,
 		"peterson-tso":     tradingfences.PetersonTSO,
 		"peterson-nofence": tradingfences.PetersonNoFence,

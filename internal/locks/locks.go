@@ -96,6 +96,12 @@ const (
 	// choosing flag before publishing the ticket. Unsafe under every
 	// model, kept as a documented erratum and model-checker test subject.
 	bakeryPaperLiteral
+	// bakeryNone drops every fence (classic write order kept): correct
+	// only under SC, where writes commit in program order anyway. The
+	// Bakery negative control of the SC/TSO separation, and by
+	// construction the fence-stripped form of bakeryClassic — the fence
+	// synthesizer's zero placement (see internal/synth).
+	bakeryNone
 )
 
 // bakerySpec parameterizes one Bakery instance or one Bakery node inside a
@@ -143,10 +149,12 @@ func bakeryAcquire(s bakerySpec) (stmts []lang.Stmt, doorwayLen int) {
 		// Cache the slot so the expression is evaluated once.
 		lang.Assign(me, s.me),
 		lang.Write(cAt(lang.L(me)), lang.I(1)),
-		lang.Fence(),
-		// tmp := 1 + max{T[0..g-1]}
-		lang.Assign(max, lang.I(0)),
 	}
+	if s.fences != bakeryNone {
+		stmts = append(stmts, lang.Fence())
+	}
+	// tmp := 1 + max{T[0..g-1]}
+	stmts = append(stmts, lang.Assign(max, lang.I(0)))
 	stmts = append(stmts, lang.For(j, lang.I(0), s.g,
 		lang.Read(tj, tAt(lang.L(j))),
 		lang.If(lang.Gt(lang.L(tj), lang.L(max)),
@@ -179,6 +187,12 @@ func bakeryAcquire(s bakerySpec) (stmts []lang.Stmt, doorwayLen int) {
 			lang.Write(tAt(lang.L(me)), lang.L(tk)),
 			lang.Fence(),
 		)
+	case bakeryNone:
+		// Classic write order, no fences at all: SC only.
+		stmts = append(stmts,
+			lang.Write(tAt(lang.L(me)), lang.L(tk)),
+			lang.Write(cAt(lang.L(me)), lang.I(0)),
+		)
 	}
 
 	doorwayLen = len(stmts)
@@ -207,14 +221,18 @@ func bakeryAcquire(s bakerySpec) (stmts []lang.Stmt, doorwayLen int) {
 	return stmts, doorwayLen
 }
 
-// bakeryRelease generates the Bakery release: write(T[me], 0); fence().
+// bakeryRelease generates the Bakery release: write(T[me], 0); fence()
+// (the fence is dropped by the fully unfenced bakeryNone variant).
 func bakeryRelease(s bakerySpec) []lang.Stmt {
 	me := s.pfx + "rme"
-	return []lang.Stmt{
+	stmts := []lang.Stmt{
 		lang.Assign(me, s.me),
 		lang.Write(lang.Add(s.tBase, lang.L(me)), lang.I(0)),
-		lang.Fence(),
 	}
+	if s.fences != bakeryNone {
+		stmts = append(stmts, lang.Fence())
+	}
+	return stmts
 }
 
 func newBakeryVariant(lay *machine.Layout, name string, n int, fences bakeryFences) (*Algorithm, error) {
@@ -269,4 +287,35 @@ func NewBakeryTSO(lay *machine.Layout, name string, n int) (*Algorithm, error) {
 // erratum exhibit for the model checker.
 func NewBakeryLiteral(lay *machine.Layout, name string, n int) (*Algorithm, error) {
 	return newBakeryVariant(lay, name, n, bakeryPaperLiteral)
+}
+
+// NewBakeryNoFence returns the Bakery lock with every fence removed
+// (classic write order kept). Correct only under SC; the Bakery half of
+// the SC/TSO separation's negative controls, and by construction identical
+// to stripping NewBakery's fences (the fence synthesizer's zero
+// placement).
+func NewBakeryNoFence(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	return newBakeryVariant(lay, name, n, bakeryNone)
+}
+
+// FromFragments assembles an Algorithm directly from statement fragments
+// over registers the caller already allocated. It is the escape hatch for
+// program transformations — fence stripping and synthesis rebuild an
+// existing lock's fragments through it — while ordinary lock construction
+// goes through the New* constructors. doorwaySplit declares the wait-free
+// doorway prefix of acquire (0 = none).
+func FromFragments(name string, n int, acquire, release []lang.Stmt, doorwaySplit int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: FromFragments needs n >= 1, got %d", n)
+	}
+	if doorwaySplit < 0 || doorwaySplit > len(acquire) {
+		return nil, fmt.Errorf("locks: doorway split %d out of range for %d acquire statements", doorwaySplit, len(acquire))
+	}
+	return &Algorithm{
+		name:         name,
+		n:            n,
+		acquire:      acquire,
+		release:      release,
+		doorwaySplit: doorwaySplit,
+	}, nil
 }

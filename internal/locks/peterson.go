@@ -88,14 +88,19 @@ func petersonAcquire(s petersonSpec) (stmts []lang.Stmt, doorwayLen int) {
 	return stmts, doorwayLen
 }
 
-// petersonRelease generates write(flag[me], 0); fence().
+// petersonRelease generates write(flag[me], 0); fence() (the fence is
+// dropped by the fully unfenced petersonNone variant, which would
+// otherwise not be the fence-stripped form of the lock it claims to be).
 func petersonRelease(s petersonSpec) []lang.Stmt {
 	me := s.pfx + "rme"
-	return []lang.Stmt{
+	stmts := []lang.Stmt{
 		lang.Assign(me, s.me),
 		lang.Write(lang.Add(s.flagBase, lang.L(me)), lang.I(0)),
-		lang.Fence(),
 	}
+	if s.fences != petersonNone {
+		stmts = append(stmts, lang.Fence())
+	}
+	return stmts
 }
 
 func newPetersonVariant(lay *machine.Layout, name string, n int, fences petersonFences) (*Algorithm, error) {

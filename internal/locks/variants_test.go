@@ -33,6 +33,7 @@ func TestVariantMetadata(t *testing.T) {
 		{"b1", locks.NewBakery, 3},
 		{"b2", locks.NewBakeryTSO, 3},
 		{"b3", locks.NewBakeryLiteral, 3},
+		{"b4", locks.NewBakeryNoFence, 3},
 		{"p1", locks.NewPeterson, 2},
 		{"p2", locks.NewPetersonTSO, 2},
 		{"p3", locks.NewPetersonNoFence, 2},

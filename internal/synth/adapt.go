@@ -1,0 +1,130 @@
+package synth
+
+import (
+	"fmt"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/machine"
+)
+
+// Normalize replays a violating schedule of one placement's subject and
+// re-expresses it in placement-independent form: fence steps are dropped
+// (a fence takes no machine transition beyond unblocking the process) and
+// every remaining element is rewritten to pin down what it actually did —
+// commits become explicit (p, reg) elements, crashes stay crash elements,
+// and everything else becomes (p, ⊥). The result replays the same
+// read/write/commit event sequence on any placement whose fences never
+// block it (see Adapt).
+func Normalize(subject *check.Subject, model machine.Model, sched machine.Schedule) (machine.Schedule, error) {
+	c, err := subject.Build(model)
+	if err != nil {
+		return nil, err
+	}
+	norm := make(machine.Schedule, 0, len(sched))
+	for i, e := range sched {
+		rec, took, err := c.Step(e)
+		if err != nil {
+			return nil, fmt.Errorf("synth: normalize step %d: %w", i, err)
+		}
+		if !took {
+			continue
+		}
+		switch rec.Kind {
+		case machine.StepFence:
+			// No shared event; the adapted run has no fence here.
+		case machine.StepCommit:
+			norm = append(norm, machine.PReg(e.P, rec.Reg))
+		case machine.StepCrash:
+			norm = append(norm, machine.PCrash(e.P))
+		default:
+			norm = append(norm, machine.PBottom(e.P))
+		}
+	}
+	return norm, nil
+}
+
+// Adapt replays a normalized witness against another placement's subject,
+// inserting the bottom steps needed to pass that placement's fences —
+// but only when the fenced process's buffer is already empty, so passing
+// the fence provably changes no machine state (nothing to commit, no
+// ordering imposed). If every event of the witness replays under that
+// discipline and still ends with two processes co-resident in the
+// critical section, the placement is refuted: the returned schedule is a
+// genuine violating schedule for it. A false first return with nil error
+// means the witness does not adapt (some fence actually blocks it), which
+// says nothing about the placement's safety.
+func Adapt(subject *check.Subject, model machine.Model, norm machine.Schedule) (machine.Schedule, bool, error) {
+	c, err := subject.Build(model)
+	if err != nil {
+		return nil, false, err
+	}
+	adapted := make(machine.Schedule, 0, len(norm)+8)
+	step := func(e machine.Elem) (bool, error) {
+		_, took, err := c.Step(e)
+		if err != nil {
+			return false, fmt.Errorf("synth: adapt: %w", err)
+		}
+		if took {
+			adapted = append(adapted, e)
+		}
+		return took, nil
+	}
+	// drain passes p over any fences it is poised at, refusing unless the
+	// buffer is empty (an empty-buffer fence pass is a no-op on shared
+	// state, so inserting it preserves the witness's event sequence).
+	drain := func(p int) (bool, error) {
+		for c.PoisedAtFence(p) {
+			if c.BufferLen(p) > 0 {
+				return false, nil
+			}
+			if took, err := step(machine.PBottom(p)); err != nil {
+				return false, err
+			} else if !took {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, e := range norm {
+		// Explicit commits (rule 2) and crashes apply regardless of what
+		// the process is poised at; only program steps need the process
+		// past any inserted fence first.
+		if !e.Crash && !e.HasReg {
+			ok, err := drain(e.P)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+		}
+		took, err := step(e)
+		if err != nil {
+			return nil, false, err
+		}
+		if !took {
+			// The event the witness needs is not available here (e.g. an
+			// explicit commit of a register this placement's buffer has
+			// already drained in a different order). Not adaptable.
+			return nil, false, nil
+		}
+	}
+	// The witness may end with processes poised at trailing fences that
+	// did not exist in the refuted placement; pass any that are free.
+	for p := 0; p < c.N(); p++ {
+		if _, err := drain(p); err != nil {
+			return nil, false, err
+		}
+	}
+	in := 0
+	for p := 0; p < c.N(); p++ {
+		ok, err := subject.InCS(c, p)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			in++
+		}
+	}
+	if in < 2 {
+		return nil, false, nil
+	}
+	return adapted, true, nil
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Placement is a set of candidate fence sites, encoded as a bitmask over
+// site IDs (bit i set = a fence inserted at site i). Placements form a
+// lattice under set inclusion; mutual-exclusion safety is upward-closed in
+// it — removing a fence only enlarges the set of reachable behaviours —
+// which is what makes the synthesis search prunable.
+type Placement uint64
+
+// FromSites builds the placement fencing exactly the given site IDs.
+func FromSites(ids []int) (Placement, error) {
+	var p Placement
+	for _, id := range ids {
+		if id < 0 || id >= 64 {
+			return 0, fmt.Errorf("synth: site ID %d out of range", id)
+		}
+		if p.Contains(id) {
+			return 0, fmt.Errorf("synth: duplicate site ID %d", id)
+		}
+		p = p.With(id)
+	}
+	return p, nil
+}
+
+// Contains reports whether site id is fenced.
+func (p Placement) Contains(id int) bool { return id >= 0 && id < 64 && p&(1<<uint(id)) != 0 }
+
+// With returns the placement with site id added.
+func (p Placement) With(id int) Placement { return p | 1<<uint(id) }
+
+// Count returns the number of fenced sites.
+func (p Placement) Count() int { return bits.OnesCount64(uint64(p)) }
+
+// SubsetOf reports whether every site of p is also fenced by q.
+func (p Placement) SubsetOf(q Placement) bool { return p&^q == 0 }
+
+// Sites returns the fenced site IDs in ascending order.
+func (p Placement) Sites() []int {
+	ids := make([]int, 0, p.Count())
+	for id := 0; id < 64; id++ {
+		if p.Contains(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// String renders the placement as a site set, e.g. "{0,2}" or "{}".
+func (p Placement) String() string {
+	ids := p.Sites()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SiteKey renders the placement for embedding in lock and file names:
+// dash-joined ascending site IDs ("0-2"), or "none" for the empty
+// placement.
+func SiteKey(p Placement) string {
+	if p == 0 {
+		return "none"
+	}
+	ids := p.Sites()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, "-")
+}
+
+// ParseSiteKey parses the SiteKey encoding back into a placement.
+func ParseSiteKey(s string) (Placement, error) {
+	if s == "none" {
+		return 0, nil
+	}
+	var p Placement
+	for _, part := range strings.Split(s, "-") {
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 || id >= 64 {
+			return 0, fmt.Errorf("synth: bad site %q in placement key %q", part, s)
+		}
+		if p.Contains(id) {
+			return 0, fmt.Errorf("synth: duplicate site %d in placement key %q", id, s)
+		}
+		p = p.With(id)
+	}
+	return p, nil
+}
+
+// PlacementName is the subject (and witness) lock name of one placement of
+// a base lock: "<base>:<sitekey>", e.g. "synth:peterson:0-1".
+func PlacementName(base string, p Placement) string { return base + ":" + SiteKey(p) }
+
+// latticeOrder enumerates every placement over m sites, smallest first:
+// ascending fence count, ties by numeric value. Scanning in this order
+// guarantees that when a placement is reached, all of its strict subsets
+// have already been classified — the invariant behind both the minimality
+// certificates and the domination shortcut.
+func latticeOrder(m int) []Placement {
+	order := make([]Placement, 1<<uint(m))
+	for i := range order {
+		order[i] = Placement(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := order[i].Count(), order[j].Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}

@@ -1,0 +1,62 @@
+package synth_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/synth"
+)
+
+// TestPrunedPlacementsGenuinelyUnsafe (satellite: pruning soundness):
+// property-check that every placement the search pruned — by monotonicity
+// or by witness adaptation — is genuinely unsafe when handed directly to
+// the exhaustive checker. The quick generator picks a memory model and a
+// pruned placement; the property is that the direct check finds a
+// violation.
+func TestPrunedPlacementsGenuinelyUnsafe(t *testing.T) {
+	models := []machine.Model{machine.SC, machine.TSO, machine.PSO}
+	cache := map[machine.Model]*synth.Result{}
+	resultFor := func(m machine.Model) *synth.Result {
+		if r, ok := cache[m]; ok {
+			return r
+		}
+		r := mustSynth(t, "peterson", locks.NewPeterson, 2, m)
+		cache[m] = r
+		return r
+	}
+
+	property := func(modelPick, placementPick uint8) bool {
+		model := models[int(modelPick)%len(models)]
+		res := resultFor(model)
+		if len(res.Pruned) == 0 {
+			// Nothing pruned under this model (SC: everything is safe);
+			// vacuously sound.
+			return true
+		}
+		pr := res.Pruned[int(placementPick)%len(res.Pruned)]
+		subject, err := check.NewMutexSubject(
+			synth.PlacementName("peterson", pr.Placement),
+			synth.Constructor(locks.NewPeterson, pr.Placement), 2, 1)
+		if err != nil {
+			t.Errorf("subject for %s: %v", pr.Placement, err)
+			return false
+		}
+		direct, err := subject.Exhaustive(bg(), model, check.Opts{})
+		if err != nil {
+			t.Errorf("direct check of %s under %v: %v", pr.Placement, model, err)
+			return false
+		}
+		if !direct.Violation {
+			t.Errorf("placement %s was pruned (source %s, monotone=%v) under %v but is safe",
+				pr.Placement, pr.Source, pr.ByMonotone, model)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package synth synthesizes fence placements for lock algorithms: it
+// strips a lock's fences, enumerates candidate fence sites (after every
+// shared write, plus wherever the original algorithm fenced), and searches
+// the placement lattice for all minimal placements that restore mutual
+// exclusion under a chosen memory model, using the model checker as the
+// safety oracle.
+//
+// The search exploits two sound prunings:
+//
+//   - Monotonicity. Inserting a fence only removes behaviours, so safety
+//     is upward-closed in the placement lattice and unsafety is
+//     downward-closed: one refutation of placement P kills every subset of
+//     P without an oracle call.
+//
+//   - Counterexample-guided pruning. A violation witness is normalized to
+//     a placement-independent event sequence (fence steps dropped, commits
+//     made explicit) and replayed against other placements, inserting
+//     fence passes only when the fenced process's write buffer is empty —
+//     a provable no-op on shared state. Every placement the witness
+//     adapts to is refuted by an actual violating schedule of its own, not
+//     by an inclusion argument, so each pruned placement carries a
+//     replayable witness.
+//
+// Placements are scanned smallest-first, so every reported minimal safe
+// placement has had all of its strict subsets refuted, and every safe
+// superset of a known minimal placement is skipped as dominated. Budget
+// exhaustion is reported explicitly per placement ("unchecked"), never by
+// silent truncation.
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Passages is the number of lock passages per process in the checked
+	// workload (default 1).
+	Passages int
+	// Oracle decides placements; required.
+	Oracle Oracle
+	// MaxOracleCalls bounds the number of oracle invocations (0 =
+	// unlimited). When the bound trips, remaining placements are reported
+	// as unchecked.
+	MaxOracleCalls int
+	// MaxSites caps the candidate-site count; locks with more sites are
+	// rejected rather than searched (the lattice is 2^sites). Default 12,
+	// hard cap 16.
+	MaxSites int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Passages <= 0 {
+		o.Passages = 1
+	}
+	if o.MaxSites <= 0 {
+		o.MaxSites = 12
+	}
+	if o.MaxSites > 16 {
+		o.MaxSites = 16
+	}
+	return o
+}
+
+// Minimal is one minimal safe placement: safe, with every strict subset
+// refuted.
+type Minimal struct {
+	Placement Placement
+	// States is the oracle's state count for the proving call.
+	States int
+	// Certain is false when the proof came from a degraded oracle verdict
+	// or some strict subset was left unchecked — the placement is safe as
+	// far as the oracle saw, but minimality is not certified.
+	Certain bool
+}
+
+// Refutation is one oracle-found violation, kept as the source for
+// witness-guided pruning.
+type Refutation struct {
+	Placement Placement
+	// Witness is the violating schedule for Placement (minimized when the
+	// checker could afford it).
+	Witness machine.Schedule
+	// Norm is the placement-independent form of Witness (see Normalize).
+	Norm machine.Schedule
+	// Adaptable is the set of single sites whose fences the normalized
+	// witness passes without effect; the witness adapts to every placement
+	// that is a subset of this mask (adaptability is per-site independent
+	// because each pass is a no-op on shared state).
+	Adaptable Placement
+}
+
+// Pruned is one placement refuted without its own oracle call.
+type Pruned struct {
+	Placement Placement
+	// Source is the oracle-refuted placement whose witness transferred.
+	Source Placement
+	// ByMonotone is true when Placement ⊆ Source (the classic
+	// upward-closure argument); false when only the adapted witness
+	// refutes it.
+	ByMonotone bool
+	// Witness is the adapted violating schedule for Placement itself.
+	Witness machine.Schedule
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Name is the base lock name the placements derive from.
+	Name     string
+	N        int
+	Passages int
+	Model    machine.Model
+	// Sites are the candidate fence sites, in ID order.
+	Sites []Site
+	// Candidates is the lattice size (2^len(Sites)).
+	Candidates int
+	// Minimal are the minimal safe placements found, smallest first.
+	Minimal []Minimal
+	// Refuted are the oracle-found violations.
+	Refuted []Refutation
+	// Pruned are the placements refuted by transferred witnesses.
+	Pruned []Pruned
+	// Dominated counts safe-but-non-minimal placements skipped.
+	Dominated int
+	// Unknown are placements the oracle could not decide within its
+	// per-call budget.
+	Unknown []Placement
+	// Unchecked counts placements never submitted to the oracle (global
+	// call bound or cancellation tripped first).
+	Unchecked int
+	// OracleCalls and OracleStates total the oracle effort spent.
+	OracleCalls  int
+	OracleStates int
+	// Complete is true when every placement was classified: the Minimal
+	// set is then exactly the frontier of safety in the lattice.
+	Complete bool
+}
+
+// Synthesize searches the fence-placement lattice of the lock built by
+// ctor for all minimal safe placements under model. On cancellation it
+// returns the partial result together with the context error.
+func Synthesize(ctx context.Context, name string, ctor locks.Constructor, n int, model machine.Model, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Oracle == nil {
+		return nil, fmt.Errorf("synth: no oracle configured")
+	}
+	sites, err := Enumerate(ctor, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(sites) > opts.MaxSites {
+		return nil, fmt.Errorf("synth: %s has %d candidate sites, above the %d-site search cap",
+			name, len(sites), opts.MaxSites)
+	}
+	res := &Result{
+		Name:       name,
+		N:          n,
+		Passages:   opts.Passages,
+		Model:      model,
+		Sites:      sites,
+		Candidates: 1 << uint(len(sites)),
+	}
+	subjectOf := func(p Placement) (*check.Subject, error) {
+		return check.NewMutexSubject(PlacementName(name, p), Constructor(ctor, p), n, opts.Passages)
+	}
+
+	order := latticeOrder(len(sites))
+	for i, p := range order {
+		if ctx.Err() != nil {
+			res.Unchecked = countUndecided(res, order[i:])
+			return res, ctx.Err()
+		}
+		if dominated(res, p) {
+			res.Dominated++
+			continue
+		}
+		if pruned, err := transfer(res, subjectOf, model, p); err != nil {
+			return res, err
+		} else if pruned {
+			continue
+		}
+		if opts.MaxOracleCalls > 0 && res.OracleCalls >= opts.MaxOracleCalls {
+			res.Unchecked = countUndecided(res, order[i:])
+			break
+		}
+		subject, err := subjectOf(p)
+		if err != nil {
+			return res, err
+		}
+		res.OracleCalls++
+		v, err := opts.Oracle(ctx, subject, model)
+		res.OracleStates += v.States
+		if err != nil {
+			res.Unchecked = countUndecided(res, order[i:])
+			return res, err
+		}
+		switch {
+		case v.Violated:
+			if err := recordRefutation(ctx, res, subjectOf, subject, model, p, v.Witness); err != nil {
+				return res, err
+			}
+		case v.Proved:
+			res.Minimal = append(res.Minimal, Minimal{
+				Placement: p,
+				States:    v.States,
+				Certain:   subsetsAllRefuted(res, p),
+			})
+		default:
+			res.Unknown = append(res.Unknown, p)
+		}
+	}
+	res.Complete = res.Unchecked == 0 && len(res.Unknown) == 0
+	return res, nil
+}
+
+// dominated reports whether a known safe placement is a subset of p (p is
+// then safe but not minimal).
+func dominated(res *Result, p Placement) bool {
+	for _, m := range res.Minimal {
+		if m.Placement.SubsetOf(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetsAllRefuted reports whether every strict subset of p has an
+// explicit refutation (oracle or transferred) — the minimality
+// certificate. Undecided subsets (Unknown) break certainty.
+func subsetsAllRefuted(res *Result, p Placement) bool {
+	for _, u := range res.Unknown {
+		if u != p && u.SubsetOf(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer tries to refute p with an already-known witness. Monotone
+// candidates (p ⊆ refuted placement) and witness-guided candidates
+// (p ⊆ the witness's adaptable-site mask) are both certified by actually
+// adapting the witness onto p's own subject, so every pruning ships a
+// replayable violating schedule; if certification unexpectedly fails the
+// placement falls through to the oracle rather than being misclassified.
+func transfer(res *Result, subjectOf func(Placement) (*check.Subject, error), model machine.Model, p Placement) (bool, error) {
+	for _, ref := range res.Refuted {
+		if !p.SubsetOf(ref.Adaptable) {
+			continue
+		}
+		subject, err := subjectOf(p)
+		if err != nil {
+			return false, err
+		}
+		adapted, ok, err := Adapt(subject, model, ref.Norm)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		res.Pruned = append(res.Pruned, Pruned{
+			Placement:  p,
+			Source:     ref.Placement,
+			ByMonotone: p.SubsetOf(ref.Placement),
+			Witness:    adapted,
+		})
+		return true, nil
+	}
+	return false, nil
+}
+
+// recordRefutation minimizes (best effort), normalizes, and profiles a
+// fresh oracle refutation for reuse as a pruning source.
+func recordRefutation(ctx context.Context, res *Result, subjectOf func(Placement) (*check.Subject, error), subject *check.Subject, model machine.Model, p Placement, witness machine.Schedule) error {
+	min, err := subject.MinimizeWitness(ctx, model, witness, nil)
+	if err != nil {
+		if !run.IsLimit(err) {
+			return err
+		}
+		min = witness // budget-starved minimization keeps the raw witness
+	}
+	norm, err := Normalize(subject, model, min)
+	if err != nil {
+		return err
+	}
+	ref := Refutation{Placement: p, Witness: min, Norm: norm}
+	// Probe each single site: the witness adapts to a placement iff it
+	// adapts to each of its sites individually, because an empty-buffer
+	// fence pass changes no machine state and so cannot affect whether
+	// another site's fence is passable.
+	for id := 0; id < len(res.Sites); id++ {
+		single := Placement(0).With(id)
+		sub, err := subjectOf(single)
+		if err != nil {
+			return err
+		}
+		if _, ok, err := Adapt(sub, model, norm); err != nil {
+			return err
+		} else if ok {
+			ref.Adaptable = ref.Adaptable.With(id)
+		}
+	}
+	res.Refuted = append(res.Refuted, ref)
+	return nil
+}
+
+// countUndecided counts the placements in rest that have not already been
+// classified (used when the search stops early; already-classified
+// entries at or after the stop point cannot occur since the scan is
+// strictly ordered, but domination by earlier minimals is re-checked so
+// the unchecked count reflects genuinely open placements).
+func countUndecided(res *Result, rest []Placement) int {
+	open := 0
+	for _, p := range rest {
+		if !dominated(res, p) {
+			open++
+		}
+	}
+	return open
+}

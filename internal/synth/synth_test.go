@@ -1,0 +1,296 @@
+package synth_test
+
+import (
+	"context"
+	"testing"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+	"tradingfences/internal/synth"
+)
+
+func bg() context.Context { return context.Background() }
+
+func testOracle() synth.Oracle {
+	return synth.ExhaustiveOracle(run.Budget{})
+}
+
+func mustSynth(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) *synth.Result {
+	t.Helper()
+	res, err := synth.Synthesize(bg(), name, ctor, n, model, synth.Options{Oracle: testOracle()})
+	if err != nil {
+		t.Fatalf("synthesize %s under %v: %v", name, model, err)
+	}
+	if !res.Complete {
+		t.Fatalf("synthesize %s under %v: incomplete (%d unknown, %d unchecked)",
+			name, model, len(res.Unknown), res.Unchecked)
+	}
+	return res
+}
+
+func placements(t *testing.T, sets ...[]int) []synth.Placement {
+	t.Helper()
+	out := make([]synth.Placement, len(sets))
+	for i, ids := range sets {
+		p, err := synth.FromSites(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func minimalSet(res *synth.Result) []synth.Placement {
+	out := make([]synth.Placement, len(res.Minimal))
+	for i, m := range res.Minimal {
+		out[i] = m.Placement
+	}
+	return out
+}
+
+func samePlacements(a, b []synth.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[synth.Placement]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range b {
+		if !seen[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlacementEncoding: the bitmask arithmetic and the name round trip.
+func TestPlacementEncoding(t *testing.T) {
+	p, err := synth.FromSites([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != 2 || !p.Contains(0) || !p.Contains(2) || p.Contains(1) {
+		t.Fatalf("bad placement %s", p)
+	}
+	if got := p.String(); got != "{0,2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := synth.SiteKey(p); got != "0-2" {
+		t.Errorf("SiteKey = %q", got)
+	}
+	if got := synth.SiteKey(0); got != "none" {
+		t.Errorf("empty SiteKey = %q", got)
+	}
+	back, err := synth.ParseSiteKey("0-2")
+	if err != nil || back != p {
+		t.Errorf("ParseSiteKey round trip = %v, %v", back, err)
+	}
+	if _, err := synth.ParseSiteKey("0-0"); err == nil {
+		t.Error("duplicate site key should fail")
+	}
+	if _, err := synth.FromSites([]int{64}); err == nil {
+		t.Error("site 64 should fail")
+	}
+	sub, _ := synth.FromSites([]int{2})
+	if !sub.SubsetOf(p) || p.SubsetOf(sub) {
+		t.Error("SubsetOf broken")
+	}
+}
+
+// TestEnumerateSites: Peterson exposes exactly its three write sites
+// (after flag announce, after victim announce, after release write) and
+// the numbering is deterministic.
+func TestEnumerateSites(t *testing.T) {
+	sites, err := synth.Enumerate(locks.NewPeterson, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("peterson sites = %d, want 3: %+v", len(sites), sites)
+	}
+	wantFrag := []string{"doorway", "doorway", "release"}
+	for i, s := range sites {
+		if s.ID != i {
+			t.Errorf("site %d has ID %d", i, s.ID)
+		}
+		if s.Frag != wantFrag[i] {
+			t.Errorf("site %d in %q, want %q", i, s.Frag, wantFrag[i])
+		}
+	}
+	// The fully-fenced and the stripped variant expose identical sites:
+	// candidate positions are independent of the starting placement.
+	stripped, err := synth.Enumerate(synth.StripFences(locks.NewPeterson), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripped) != len(sites) {
+		t.Fatalf("stripped sites = %d, want %d", len(stripped), len(sites))
+	}
+}
+
+// format renders an algorithm's fragments as one comparable listing.
+func format(a *locks.Algorithm) string {
+	body := append([]lang.Stmt{}, a.Acquire()...)
+	body = append(body, a.Release()...)
+	return lang.Format(lang.NewProgram(a.Name(), body...))
+}
+
+// TestStripFencesParity: the hand-written negative controls are exactly
+// the stripper's zero placement — no drift between the two definitions
+// (satellite: negative-control parity).
+func TestStripFencesParity(t *testing.T) {
+	cases := []struct {
+		name    string
+		base    locks.Constructor
+		nofence locks.Constructor
+		n       int
+	}{
+		{"peterson", locks.NewPeterson, locks.NewPetersonNoFence, 2},
+		{"peterson-tso", locks.NewPetersonTSO, locks.NewPetersonNoFence, 2},
+		{"bakery", locks.NewBakery, locks.NewBakeryNoFence, 2},
+		{"bakery", locks.NewBakery, locks.NewBakeryNoFence, 3},
+		{"bakery-tso", locks.NewBakeryTSO, locks.NewBakeryNoFence, 3},
+	}
+	for _, c := range cases {
+		layS, layH := machine.NewLayout(), machine.NewLayout()
+		stripped, err := synth.StripFences(c.base)(layS, "lk", c.n)
+		if err != nil {
+			t.Fatalf("%s n=%d: strip: %v", c.name, c.n, err)
+		}
+		hand, err := c.nofence(layH, "lk", c.n)
+		if err != nil {
+			t.Fatalf("%s n=%d: nofence: %v", c.name, c.n, err)
+		}
+		if got, want := format(stripped), format(hand); got != want {
+			t.Errorf("%s n=%d: stripped and hand-written no-fence variants differ\nstripped:\n%s\nhand-written:\n%s",
+				c.name, c.n, got, want)
+		}
+		if sd, hd := len(stripped.Doorway()), len(hand.Doorway()); sd != hd {
+			t.Errorf("%s n=%d: doorway split differs: stripped %d, hand-written %d", c.name, c.n, sd, hd)
+		}
+	}
+}
+
+// TestSynthesizePeterson: the engine recovers the known minimal
+// placements of Peterson's lock at every model level. Sites: 0 = after
+// the flag announce, 1 = after the victim announce, 2 = after the release
+// write.
+func TestSynthesizePeterson(t *testing.T) {
+	cases := []struct {
+		model machine.Model
+		want  [][]int
+	}{
+		{machine.SC, [][]int{{}}},
+		{machine.TSO, [][]int{{1}}},
+		{machine.PSO, [][]int{{0, 1}}},
+	}
+	for _, c := range cases {
+		res := mustSynth(t, "peterson", locks.NewPeterson, 2, c.model)
+		want := placements(t, c.want...)
+		if got := minimalSet(res); !samePlacements(got, want) {
+			t.Errorf("%v minimal = %v, want %v", c.model, got, want)
+		}
+		for _, m := range res.Minimal {
+			if !m.Certain {
+				t.Errorf("%v: minimal %s not certified", c.model, m.Placement)
+			}
+		}
+		if res.Candidates != 8 {
+			t.Errorf("%v: candidates = %d, want 8", c.model, res.Candidates)
+		}
+		// Accounting: every candidate is classified exactly once.
+		classified := len(res.Minimal) + len(res.Refuted) + len(res.Pruned) + res.Dominated
+		if classified != res.Candidates {
+			t.Errorf("%v: classified %d of %d candidates", c.model, classified, res.Candidates)
+		}
+	}
+}
+
+// TestSynthesizePrunesAndWitnesses: under PSO the search must not call
+// the oracle on every placement (the prunings bite), and every pruned
+// placement must carry a replayable violating witness of its own.
+func TestSynthesizePrunesAndWitnesses(t *testing.T) {
+	res := mustSynth(t, "peterson", locks.NewPeterson, 2, machine.PSO)
+	if res.OracleCalls >= res.Candidates {
+		t.Errorf("oracle called %d times for %d candidates: prunings never fired",
+			res.OracleCalls, res.Candidates)
+	}
+	if len(res.Pruned) == 0 {
+		t.Fatal("no placements pruned")
+	}
+	replay := func(p synth.Placement, w machine.Schedule) {
+		t.Helper()
+		subject, err := check.NewMutexSubject(
+			synth.PlacementName("peterson", p),
+			synth.Constructor(locks.NewPeterson, p), 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cfg, err := subject.Replay(machine.PSO, w, nil)
+		if err != nil {
+			t.Fatalf("replay %s: %v", p, err)
+		}
+		in := 0
+		for pr := 0; pr < 2; pr++ {
+			ok, err := subject.InCS(cfg, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				in++
+			}
+		}
+		if in < 2 {
+			t.Errorf("witness for %s replays to %d processes in CS, want >= 2", p, in)
+		}
+	}
+	for _, ref := range res.Refuted {
+		replay(ref.Placement, ref.Witness)
+	}
+	for _, pr := range res.Pruned {
+		replay(pr.Placement, pr.Witness)
+	}
+}
+
+// TestSynthesizeRespectsCancellation: a cancelled context yields a
+// partial result with an explicit unchecked count, not a silent
+// truncation.
+func TestSynthesizeRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	res, err := synth.Synthesize(ctx, "peterson", locks.NewPeterson, 2, machine.PSO,
+		synth.Options{Oracle: testOracle()})
+	if err == nil {
+		t.Fatal("cancelled synthesis returned nil error")
+	}
+	if res == nil || res.Unchecked == 0 {
+		t.Fatalf("cancelled synthesis should report unchecked placements, got %+v", res)
+	}
+	if res.Complete {
+		t.Error("cancelled synthesis claims completeness")
+	}
+}
+
+// TestSynthesizeOracleCap: tripping MaxOracleCalls degrades to an
+// explicit partial frontier.
+func TestSynthesizeOracleCap(t *testing.T) {
+	res, err := synth.Synthesize(bg(), "peterson", locks.NewPeterson, 2, machine.PSO,
+		synth.Options{Oracle: testOracle(), MaxOracleCalls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("capped synthesis claims completeness")
+	}
+	if res.Unchecked == 0 {
+		t.Error("capped synthesis reports no unchecked placements")
+	}
+	if res.OracleCalls != 1 {
+		t.Errorf("oracle calls = %d, want 1", res.OracleCalls)
+	}
+}

@@ -101,7 +101,7 @@ func ReplaySchedule(spec LockSpec, n, passages int, model MemoryModel, schedule 
 // the initial-configuration and trace fingerprints alongside the schedule,
 // fault plan and subject identity. The formatted trace is returned too,
 // for human-readable verdicts.
-func mutexArtifact(subject *check.Subject, spec LockSpec, n, passages int, model MemoryModel, sched machine.Schedule, faults *FaultPlan) (*Witness, string, error) {
+func mutexArtifact(subject *check.Subject, lockName string, n, passages int, model MemoryModel, sched machine.Schedule, faults *FaultPlan) (*Witness, string, error) {
 	fresh, err := subject.Build(model.internal())
 	if err != nil {
 		return nil, "", err
@@ -124,7 +124,7 @@ func mutexArtifact(subject *check.Subject, spec LockSpec, n, passages int, model
 	w := &Witness{
 		Version:  witness.Version,
 		Kind:     witness.KindMutex,
-		Lock:     spec.String(),
+		Lock:     lockName,
 		N:        n,
 		Passages: passages,
 		Model:    model.String(),
@@ -140,7 +140,7 @@ func mutexArtifact(subject *check.Subject, spec LockSpec, n, passages int, model
 // attachWitness minimizes a violating schedule (best-effort: a limit mid
 // ddmin keeps the unminimized witness) and packages it as the verdict's
 // replayable artifact and human-readable trace.
-func attachWitness(ctx context.Context, subject *check.Subject, spec LockSpec, n, passages int, model MemoryModel, v *MutexVerdict, wsched machine.Schedule, faults *FaultPlan) error {
+func attachWitness(ctx context.Context, subject *check.Subject, lockName string, n, passages int, model MemoryModel, v *MutexVerdict, wsched machine.Schedule, faults *FaultPlan) error {
 	if !v.Violated || wsched == nil {
 		return nil
 	}
@@ -151,7 +151,7 @@ func attachWitness(ctx context.Context, subject *check.Subject, spec LockSpec, n
 		}
 		minimized = wsched // keep the unminimized witness when cut short
 	}
-	w, formatted, aerr := mutexArtifact(subject, spec, n, passages, model, minimized, faults)
+	w, formatted, aerr := mutexArtifact(subject, lockName, n, passages, model, minimized, faults)
 	if aerr != nil {
 		return aerr
 	}
@@ -243,7 +243,7 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 			return nil, xerr
 		}
 	}
-	if aerr := attachWitness(ctx, subject, spec, n, passages, model, v, wsched, opts.Faults); aerr != nil {
+	if aerr := attachWitness(ctx, subject, spec.String(), n, passages, model, v, wsched, opts.Faults); aerr != nil {
 		return v, aerr
 	}
 	return v, nil
@@ -358,6 +358,7 @@ type SeparationRow struct {
 //	peterson-nofence: safe under SC only       (0 fences)
 //	peterson-tso:     safe under SC, TSO       (1 fence)
 //	peterson:         safe everywhere          (2 fences)
+//	bakery-nofence:   safe under SC only       (0 fences)
 //	bakery-tso:       safe under SC, TSO       (2 acquire fences)
 //	bakery:           safe everywhere          (3 acquire fences)
 //	bakery-literal:   broken even under SC     (erratum of Algorithm 1's
@@ -388,6 +389,7 @@ func SeparationMatrixWithOptions(ctx context.Context, opts CheckOptions) ([]Sepa
 		{LockSpec{Kind: PetersonNoFence}, 0},
 		{LockSpec{Kind: PetersonTSO}, 1},
 		{LockSpec{Kind: Peterson}, 2},
+		{LockSpec{Kind: BakeryNoFence}, 0},
 		{LockSpec{Kind: BakeryTSO}, 2},
 		{LockSpec{Kind: Bakery}, 3},
 		{LockSpec{Kind: BakeryLiteral}, 3},

@@ -59,7 +59,7 @@ func supervisedVerdict(ctx context.Context, subject *check.Subject, spec LockSpe
 			wsched = out.Fallback.Witness
 		}
 	}
-	if err := attachWitness(ctx, subject, spec, n, passages, model, v, wsched, faults); err != nil {
+	if err := attachWitness(ctx, subject, spec.String(), n, passages, model, v, wsched, faults); err != nil {
 		return v, err
 	}
 	return v, nil
@@ -172,7 +172,7 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 		}
 		return nil, xerr
 	}
-	if aerr := attachWitness(ctx, subject, spec, n, passages, model, v, res.Witness, opts.Faults); aerr != nil {
+	if aerr := attachWitness(ctx, subject, spec.String(), n, passages, model, v, res.Witness, opts.Faults); aerr != nil {
 		return v, aerr
 	}
 	return v, nil

@@ -110,6 +110,10 @@ const (
 	// lowered before the ticket write): broken under every model,
 	// including SC — a documented erratum of the paper's listing.
 	BakeryLiteral
+	// BakeryNoFence drops every fence from the classic Bakery: correct
+	// only under SC. The fence-stripped zero placement of the fence
+	// synthesizer, kept as a hand-written negative control.
+	BakeryNoFence
 
 	// DeadlockDemo is a deliberately broken two-process "lock" (deadly
 	// embrace: raise own flag, wait for the other's to drop). Mutually
@@ -142,6 +146,8 @@ func (k LockKind) String() string {
 		return "bakery-tso"
 	case BakeryLiteral:
 		return "bakery-literal"
+	case BakeryNoFence:
+		return "bakery-nofence"
 	case DeadlockDemo:
 		return "deadlock-demo"
 	case RendezvousDemo:
@@ -174,6 +180,8 @@ func (s LockSpec) constructor() (locks.Constructor, error) {
 		return locks.NewBakeryTSO, nil
 	case BakeryLiteral:
 		return locks.NewBakeryLiteral, nil
+	case BakeryNoFence:
+		return locks.NewBakeryNoFence, nil
 	case Peterson:
 		return locks.NewPeterson, nil
 	case Filter:
@@ -205,7 +213,7 @@ func (s LockSpec) constructor() (locks.Constructor, error) {
 // under, as documented (and verified by the model-checking experiments).
 func (s LockSpec) CorrectUnder() []MemoryModel {
 	switch s.Kind {
-	case PetersonNoFence:
+	case PetersonNoFence, BakeryNoFence:
 		return []MemoryModel{SC}
 	case PetersonTSO, BakeryTSO:
 		return []MemoryModel{SC, TSO}

@@ -210,6 +210,7 @@ func TestSeparationMatrix(t *testing.T) {
 		PetersonNoFence: {SC: false, TSO: true, PSO: true},
 		PetersonTSO:     {SC: false, TSO: false, PSO: true},
 		Peterson:        {SC: false, TSO: false, PSO: false},
+		BakeryNoFence:   {SC: false, TSO: true, PSO: true},
 		BakeryTSO:       {SC: false, TSO: false, PSO: true},
 		Bakery:          {SC: false, TSO: false, PSO: false},
 		BakeryLiteral:   {SC: true, TSO: true, PSO: true},

@@ -234,3 +234,50 @@ func TestGoldenWitnessReplays(t *testing.T) {
 		t.Fatalf("golden trace looks wrong:\n%s", trace)
 	}
 }
+
+// TestGoldenSynthWitnessReplays replays the committed refutation artifact
+// of the zero-fence Peterson placement under PSO, produced by the fence
+// synthesizer — certifying that synth placement names, the site walker's
+// numbering and the witness pipeline stay stable. Regenerate with
+// UPDATE_GOLDEN_WITNESS=1 after an intentional machine or walker change.
+func TestGoldenSynthWitnessReplays(t *testing.T) {
+	path := filepath.Join("testdata", "synth-peterson-none_pso.witness.json")
+	if os.Getenv("UPDATE_GOLDEN_WITNESS") != "" {
+		res, err := SynthesizeFences(context.Background(), LockSpec{Kind: Peterson}, 2, PSO,
+			SynthOptions{Oracle: OracleExhaustive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact *Witness
+		for _, ref := range res.Refuted {
+			if len(ref.Sites) == 0 {
+				artifact = ref.Artifact
+				break
+			}
+		}
+		if artifact == nil {
+			t.Fatal("synthesis did not refute the zero-fence placement")
+		}
+		data, err := EncodeWitness(artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden synth witness missing (regenerate with UPDATE_GOLDEN_WITNESS=1): %v", err)
+	}
+	w, err := DecodeWitness(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Lock != "synth:peterson:none" {
+		t.Fatalf("golden synth witness records lock %q", w.Lock)
+	}
+	if _, err := ReplayWitness(w); err != nil {
+		t.Fatalf("golden synth witness no longer replays bit-for-bit: %v", err)
+	}
+}

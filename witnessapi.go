@@ -6,7 +6,9 @@ import (
 	"strconv"
 	"strings"
 
+	"tradingfences/internal/check"
 	"tradingfences/internal/run"
+	"tradingfences/internal/synth"
 	"tradingfences/internal/witness"
 )
 
@@ -41,6 +43,7 @@ func ParseLockSpec(s string) (LockSpec, error) {
 		"bakery":           Bakery,
 		"bakery-tso":       BakeryTSO,
 		"bakery-literal":   BakeryLiteral,
+		"bakery-nofence":   BakeryNoFence,
 		"peterson":         Peterson,
 		"peterson-tso":     PetersonTSO,
 		"peterson-nofence": PetersonNoFence,
@@ -71,24 +74,56 @@ func ParseMemoryModel(s string) (MemoryModel, error) {
 	}
 }
 
+// subjectForLockName rebuilds the instrumented workload for a lock name as
+// recorded in witness artifacts: either a plain lock-spec name ("bakery",
+// "gt2") or a synthesized placement "synth:<base>:<sites>" produced by
+// SynthesizeFences, where <sites> is a dash-joined site list or "none".
+func subjectForLockName(name string, n, passages int) (*check.Subject, error) {
+	rest, ok := strings.CutPrefix(name, "synth:")
+	if !ok {
+		spec, err := ParseLockSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		return newMutexSubject(spec, n, passages)
+	}
+	i := strings.LastIndex(rest, ":")
+	if i < 0 {
+		return nil, fmt.Errorf("tradingfences: synth lock name %q has no placement suffix", name)
+	}
+	spec, err := ParseLockSpec(rest[:i])
+	if err != nil {
+		return nil, err
+	}
+	mask, err := synth.ParseSiteKey(rest[i+1:])
+	if err != nil {
+		return nil, err
+	}
+	ctor, err := spec.constructor()
+	if err != nil {
+		return nil, err
+	}
+	return check.NewMutexSubject(name, synth.Constructor(ctor, mask), n, passages)
+}
+
 // witnessSubject reconstructs the checked subject and model a witness was
 // produced against.
-func witnessSubject(w *Witness) (LockSpec, MemoryModel, error) {
+func witnessSubject(w *Witness) (*check.Subject, MemoryModel, error) {
 	if err := w.Validate(); err != nil {
-		return LockSpec{}, 0, err
+		return nil, 0, err
 	}
 	if w.Kind != witness.KindMutex {
-		return LockSpec{}, 0, fmt.Errorf("tradingfences: cannot replay witness of kind %q", w.Kind)
-	}
-	spec, err := ParseLockSpec(w.Lock)
-	if err != nil {
-		return LockSpec{}, 0, err
+		return nil, 0, fmt.Errorf("tradingfences: cannot replay witness of kind %q", w.Kind)
 	}
 	model, err := ParseMemoryModel(w.Model)
 	if err != nil {
-		return LockSpec{}, 0, err
+		return nil, 0, err
 	}
-	return spec, model, nil
+	subject, err := subjectForLockName(w.Lock, w.N, w.Passages)
+	if err != nil {
+		return nil, 0, err
+	}
+	return subject, model, nil
 }
 
 // ReplayWitness re-executes a witness artifact deterministically and
@@ -99,11 +134,7 @@ func witnessSubject(w *Witness) (LockSpec, MemoryModel, error) {
 // returns the human-readable step-by-step trace.
 func ReplayWitness(w *Witness) (trace string, err error) {
 	defer run.Recover("replay witness", &err)
-	spec, model, err := witnessSubject(w)
-	if err != nil {
-		return "", err
-	}
-	subject, err := newMutexSubject(spec, w.N, w.Passages)
+	subject, model, err := witnessSubject(w)
 	if err != nil {
 		return "", err
 	}
@@ -147,11 +178,7 @@ func ReplayWitness(w *Witness) (trace string, err error) {
 // mid-minimization returns the structured context error.
 func MinimizeWitness(ctx context.Context, w *Witness) (out *Witness, err error) {
 	defer run.Recover("minimize witness", &err)
-	spec, model, err := witnessSubject(w)
-	if err != nil {
-		return nil, err
-	}
-	subject, err := newMutexSubject(spec, w.N, w.Passages)
+	subject, model, err := witnessSubject(w)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +190,7 @@ func MinimizeWitness(ctx context.Context, w *Witness) (out *Witness, err error) 
 	if err != nil {
 		return nil, err
 	}
-	mw, _, err := mutexArtifact(subject, spec, w.N, w.Passages, model, minimized, w.Faults)
+	mw, _, err := mutexArtifact(subject, w.Lock, w.N, w.Passages, model, minimized, w.Faults)
 	if err != nil {
 		return nil, err
 	}
