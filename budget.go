@@ -8,6 +8,13 @@ import (
 
 // Budget bounds the resources a check or encode run may consume. The zero
 // value of each field means "unlimited".
+//
+// Memory accounting unit: exhaustive checking charges MaxMemEstimate a
+// fixed amount per visited state — the 16-byte binary StateKey plus a
+// constant per-entry map overhead — so the estimate is exact and
+// independent of lock size, process count and memory model. (Analyses
+// that retain whole configurations, like liveness checking, charge a
+// larger per-node constant instead.)
 type Budget = run.Budget
 
 // BudgetError reports which resource of a Budget was exhausted; every
@@ -53,6 +60,16 @@ type CheckOptions struct {
 	// FallbackRuns and FallbackMaxSteps size the randomized fallback
 	// (0 = defaults: 2000 runs of up to 400 steps).
 	FallbackRuns, FallbackMaxSteps int
+	// Symmetry enables process-symmetry reduction in exhaustive mutual-
+	// exclusion checking: the visited set is keyed on the canonical
+	// representative of each state's orbit under process renaming, so
+	// mirror-image states are explored once. Witnesses stay concrete
+	// schedules that replay directly. Only locks that declare a symmetry
+	// specification (Peterson variants) actually reduce; for all others
+	// the flag is an honest no-op with bit-identical verdicts. CheckFCFSCtx
+	// rejects the flag: its precedence monitor distinguishes processes, so
+	// the reduction would be unsound there.
+	Symmetry bool
 	// Workers > 0 selects the parallel level-synchronous explorer with
 	// that many expansion goroutines. Verdicts, violation schedules and
 	// visited-state counts are bit-identical for every worker count; 0

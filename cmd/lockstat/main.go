@@ -6,14 +6,17 @@
 // Usage:
 //
 //	lockstat [-max 512]
+//	lockstat -check peterson -model pso -symmetry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tradingfences"
 )
@@ -23,8 +26,20 @@ func main() {
 	rmr := flag.String("rmr", "combined", "RMR accounting: combined (the paper's), dsm, or cc")
 	dump := flag.String("dump", "", "print the program listing of a lock (bakery, tournament, peterson, gtF) instead of measuring")
 	explain := flag.String("explain", "", "attribute a lock's RMR bill to its register arrays instead of measuring")
-	dumpN := flag.Int("n", 4, "process count for -dump / -explain")
+	dumpN := flag.Int("n", 4, "process count for -dump / -explain / -check")
+	chk := flag.String("check", "", "model-check mutual exclusion of a lock instead of measuring")
+	model := flag.String("model", "pso", "memory model for -check: sc, tso, pso")
+	states := flag.Int("states", 0, "state budget for -check (0 = unlimited)")
+	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer)")
+	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction for -check (no-op for locks without a symmetry declaration)")
 	flag.Parse()
+	if *chk != "" {
+		if err := runCheck(*chk, *dumpN, *model, *states, *workers, *symmetry); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dump != "" {
 		if err := runDump(*dump, *dumpN); err != nil {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
@@ -75,6 +90,48 @@ func parseLock(name string) (tradingfences.LockSpec, error) {
 		return spec, fmt.Errorf("unknown lock %q", name)
 	}
 	return spec, nil
+}
+
+func runCheck(name string, n int, model string, states, workers int, symmetry bool) error {
+	spec, err := parseLock(name)
+	if err != nil {
+		return err
+	}
+	mm, err := tradingfences.ParseMemoryModel(model)
+	if err != nil {
+		return err
+	}
+	opts := tradingfences.CheckOptions{
+		Budget:   tradingfences.Budget{MaxStates: states},
+		Workers:  workers,
+		Symmetry: symmetry,
+	}
+	start := time.Now()
+	v, cerr := tradingfences.CheckMutexCtx(context.Background(), spec, n, 1, mm, opts)
+	wall := time.Since(start)
+	if v == nil {
+		return cerr
+	}
+	verdict := "UNDECIDED"
+	switch {
+	case v.Violated:
+		verdict = "VIOLATED"
+	case v.Proved:
+		verdict = "PROVED"
+	}
+	sym := ""
+	if v.SymmetryApplied {
+		sym = " (symmetry orbits)"
+	}
+	fmt.Printf("mutex %v: %s under %v, n=%d, %d states%s, mode=%s, %.0f ms\n",
+		spec, verdict, mm, n, v.States, sym, v.Mode, float64(wall.Microseconds())/1000)
+	if v.Violated {
+		fmt.Printf("witness: %s\n", v.WitnessSchedule)
+	}
+	if cerr != nil && !tradingfences.IsLimit(cerr) {
+		return cerr
+	}
+	return nil
 }
 
 func runExplain(name string, n int) error {

@@ -39,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool for the supervised oracle")
 	maxOracle := flag.Int("max-oracle", 0, "cap on oracle calls (0 = unlimited); exceeding it leaves the frontier explicitly partial")
 	seed := flag.Int64("seed", 1, "seed for the supervised oracle's randomized fallback")
+	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction in the safety oracle (no-op for locks without a symmetry declaration)")
 	witnessDir := flag.String("witness-dir", "", "directory for refutation witness artifacts (created if missing)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	assertMinimal := flag.String("assert-minimal", "", "comma-separated site list (or 'none') that must appear among the minimal placements; exit 1 otherwise")
@@ -46,14 +47,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*lock, *n, *model, *passages, *states, *memMB, *timeout, *oracle,
-		*workers, *maxOracle, *seed, *witnessDir, *jsonOut, *assertMinimal, *benchOut); err != nil {
+		*workers, *maxOracle, *seed, *symmetry, *witnessDir, *jsonOut, *assertMinimal, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "synth:", err)
 		os.Exit(1)
 	}
 }
 
 func run(lock string, n int, model string, passages, states, memMB int, timeout time.Duration,
-	oracle string, workers, maxOracle int, seed int64, witnessDir string, jsonOut bool,
+	oracle string, workers, maxOracle int, seed int64, symmetry bool, witnessDir string, jsonOut bool,
 	assertMinimal, benchOut string) error {
 	spec, err := tradingfences.ParseLockSpec(lock)
 	if err != nil {
@@ -69,6 +70,7 @@ func run(lock string, n int, model string, passages, states, memMB int, timeout 
 		Workers:        workers,
 		Seed:           seed,
 		MaxOracleCalls: maxOracle,
+		Symmetry:       symmetry,
 		WitnessDir:     witnessDir,
 	}
 	switch oracle {

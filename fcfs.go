@@ -58,7 +58,9 @@ func CheckFCFSCtx(ctx context.Context, spec LockSpec, n int, model MemoryModel, 
 	if err != nil {
 		return nil, err
 	}
-	chkOpts := check.Opts{Budget: opts.Budget, Faults: opts.Faults}
+	// Symmetry is forwarded so the product-space explorer rejects it
+	// loudly (the precedence monitor distinguishes processes).
+	chkOpts := check.Opts{Budget: opts.Budget, Faults: opts.Faults, Symmetry: opts.Symmetry}
 	res, cerr := subject.Exhaustive(ctx, model.internal(), chkOpts)
 	v = &FCFSVerdict{
 		Lock:      spec,

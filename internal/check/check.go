@@ -13,9 +13,9 @@ package check
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"strconv"
 
 	"tradingfences/internal/lang"
 	"tradingfences/internal/locks"
@@ -36,6 +36,10 @@ type Subject struct {
 	// Layout is the register layout of the instrumented system (nil when
 	// the subject was hand-built); used to symbolize witness traces.
 	Layout *machine.Layout
+	// Sym is the lock's process-symmetry declaration (nil when the lock
+	// is not PID-symmetric); Opts.Symmetry keys the visited set on
+	// symmetry-canonical state encodings when it is set.
+	Sym *machine.SymmetrySpec
 }
 
 // NewMutexSubject instruments the lock built by ctor for n processes with
@@ -80,6 +84,7 @@ func NewMutexSubject(name string, ctor locks.Constructor, n, passages int) (*Sub
 		},
 		CSExit: csOut,
 		Layout: lay,
+		Sym:    lk.Symmetry(),
 	}, nil
 }
 
@@ -129,16 +134,80 @@ type Result struct {
 	// continued from (0 for a fresh run; see ResumeExhaustiveParallel).
 	ResumedLevel int
 	// VisitedReused reports whether a resumed exploration could reuse the
-	// checkpoint's visited-state set. Visited fingerprints are canonical
-	// only within one OS process, so a cross-process resume drops them and
-	// re-derives coverage from the frontier — sound, but it may revisit
-	// states behind the frontier (States then overcounts the clean run).
+	// checkpoint's visited-state set. Binary state keys are stable across
+	// OS processes, so a certified resume normally reuses the shards;
+	// when the snapshot's root key does not reproduce (defense in depth),
+	// the shards are dropped and coverage is re-derived from the frontier
+	// — sound, but it may revisit states behind the frontier (States then
+	// overcounts the clean run).
 	VisitedReused bool
+	// SymmetryApplied reports whether a non-trivial process-symmetry
+	// reduction was in force: Opts.Symmetry was set AND the subject's
+	// lock declares a SymmetrySpec. False under Opts.Symmetry for
+	// non-symmetric locks (the flag is then an honest no-op).
+	SymmetryApplied bool
 }
 
-// stateKeyOverhead is the rough per-visited-state bookkeeping cost (map
-// entry plus string header) added to the key length for memory budgeting.
+// stateKeyOverhead is the fixed per-visited-state bookkeeping cost (map
+// entry plus slot) added to the key size for memory budgeting. Each
+// visited state is charged exactly machine.StateKeySize+stateKeyOverhead
+// bytes — state keys are fixed-width, so the accounting is exact, not a
+// string-length heuristic.
 const stateKeyOverhead = 48
+
+// legacyStringKeys is a test-only hook: when set, Exhaustive keys its
+// visited set on the legacy string fingerprint bytes instead of the
+// binary codec, so parity tests can compare verdicts and state counts of
+// the two partitions in-process.
+var legacyStringKeys = false
+
+// keyer computes visited-set keys: a canonical binary state encoding into
+// a reusable scratch buffer, the spent crash budget folded in, hashed to
+// a fixed 128-bit key. One keyer per worker goroutine; a keyer is not
+// safe for concurrent use.
+type keyer struct {
+	buf     []byte
+	enc     machine.KeyEncoder
+	sym     *machine.SymmetrySpec
+	wantSym bool
+	cz      *machine.Canonicalizer
+	legacy  bool
+}
+
+func (s *Subject) newKeyer(opts Opts) *keyer {
+	return &keyer{wantSym: opts.Symmetry && s.Sym != nil, sym: s.Sym, legacy: legacyStringKeys}
+}
+
+// reduces reports whether a non-trivial symmetry reduction is in force.
+func (k *keyer) reduces() bool { return k.wantSym }
+
+func (k *keyer) key(c *machine.Config, crashes, maxCrashes int) (machine.StateKey, error) {
+	k.buf = k.buf[:0]
+	var err error
+	switch {
+	case k.legacy:
+		var fp string
+		fp, err = c.Fingerprint()
+		k.buf = append(k.buf, fp...)
+	case k.wantSym:
+		if k.cz == nil {
+			k.cz = machine.NewCanonicalizer(c.Layout(), c.N(), k.sym)
+		}
+		k.buf, err = k.cz.AppendCanonicalStateBytes(c, k.buf)
+	default:
+		k.buf, err = k.enc.AppendStateBytes(c, k.buf)
+	}
+	if err != nil {
+		return machine.StateKey{}, err
+	}
+	if maxCrashes > 0 {
+		// Identical machine states with different remaining crash budgets
+		// have different futures; fold the spent count into the key to
+		// keep pruning sound.
+		k.buf = binary.AppendUvarint(k.buf, uint64(crashes))
+	}
+	return machine.HashStateKey(k.buf), nil
+}
 
 // Exhaustive explores every schedule of the subject under the given model,
 // pruning revisited states. It returns a violation witness if mutual
@@ -163,26 +232,20 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 		return Result{}, err
 	}
 	meter := run.NewMeter(ctx, opts.Budget)
-	visited := make(map[string]struct{}, 1024)
-	res := Result{Complete: true}
+	visited := make(map[machine.StateKey]struct{}, 1024)
+	kr := s.newKeyer(opts)
+	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
 
 	var dfs func(c *machine.Config, path machine.Schedule, crashes int) (bool, error)
 	dfs = func(c *machine.Config, path machine.Schedule, crashes int) (bool, error) {
-		fp, err := c.Fingerprint() // settles all processes
+		key, err := kr.key(c, crashes, maxCrashes) // settles all processes
 		if err != nil {
 			return false, err
-		}
-		key := fp
-		if maxCrashes > 0 {
-			// Identical machine states with different remaining crash
-			// budgets have different futures; fold the spent count into
-			// the key to keep pruning sound.
-			key = fp + "#" + strconv.Itoa(crashes)
 		}
 		if _, seen := visited[key]; seen {
 			return false, nil
 		}
-		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+		if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
 			return false, err
 		}
 		visited[key] = struct{}{}

@@ -13,11 +13,17 @@ import (
 )
 
 // CheckpointVersion is the snapshot schema version. Decoders reject files
-// with a different version rather than misinterpreting them. Version 2
-// added the crash budget (MaxCrashes) to the certified identity: version-1
-// snapshots do not record the budget their visited keys were minted under,
-// so they are rejected instead of resumed with a guessed budget.
-const CheckpointVersion = 2
+// with a different version rather than misinterpreting them, and the
+// rejection matches ErrCheckpointDrift so callers' retry ladders treat a
+// schema bump like any other certification failure (fail closed, restart
+// from zero). Version 2 added the crash budget (MaxCrashes) to the
+// certified identity. Version 3 switched the visited shards from
+// process-local string fingerprints to fixed-width binary StateKeys and
+// certifies the codec version and symmetry mode the keys were minted
+// under: version-2 snapshots carry keys no current explorer can
+// reproduce, so they are rejected instead of silently dropping the
+// visited set.
+const CheckpointVersion = 3
 
 // checkpointShards is the number of visited-set shards: the visited
 // fingerprints are partitioned by key hash both in memory (so expansion
@@ -91,12 +97,22 @@ type Checkpoint struct {
 	// initial configuration; Resume rejects the snapshot if a freshly
 	// built subject hashes differently.
 	Identity string `json:"identity"`
-	// RootFP is the dynamic fingerprint of the fresh initial
-	// configuration in the process that took the snapshot. Dynamic
-	// fingerprints embed AST identity and are canonical only within one
-	// OS process; Resume reuses the visited shards only when a fresh
-	// root reproduces RootFP (same process, same subject instance) and
-	// otherwise drops them, which is sound but may revisit states.
+	// Codec is the StateKey codec version (machine.StateKeyCodecVersion)
+	// the visited shards were minted under. Keys from a different codec
+	// cannot prune soundly; resume rejects a mismatch with
+	// ErrCheckpointDrift.
+	Codec int `json:"codec"`
+	// Symmetry records whether the visited keys are orbit-canonical
+	// (process-symmetry reduction in force). A symmetric visited set
+	// under-approximates the concrete one and vice versa, so resume
+	// requires the same mode and rejects a mismatch with
+	// ErrCheckpointDrift.
+	Symmetry bool `json:"symmetry,omitempty"`
+	// RootFP is the hex StateKey of the fresh initial configuration.
+	// Binary keys are build-stable, so any process that rebuilds the same
+	// subject reproduces it and reuses the visited shards; a mismatch
+	// (defense in depth — certification should have caught the drift)
+	// drops the shards, which is sound but may revisit states.
 	RootFP string `json:"root_fp"`
 	// MaxCrashes is the adversarial crash budget the exploration ran
 	// under. It is part of the certified identity: the visited keys fold
@@ -126,7 +142,10 @@ func (ck *Checkpoint) validate() error {
 		return errors.New("checkpoint: nil snapshot")
 	}
 	if ck.Version != CheckpointVersion {
-		return fmt.Errorf("checkpoint: unsupported version %d (have %d)", ck.Version, CheckpointVersion)
+		return fmt.Errorf("%w: unsupported snapshot version %d (have %d)", ErrCheckpointDrift, ck.Version, CheckpointVersion)
+	}
+	if ck.Codec != machine.StateKeyCodecVersion {
+		return fmt.Errorf("%w: snapshot keys use codec %d (have %d)", ErrCheckpointDrift, ck.Codec, machine.StateKeyCodecVersion)
 	}
 	switch ck.Model {
 	case "SC", "TSO", "PSO":
@@ -135,6 +154,11 @@ func (ck *Checkpoint) validate() error {
 	}
 	if ck.Identity == "" {
 		return errors.New("checkpoint: missing subject identity hash")
+	}
+	if ck.RootFP != "" {
+		if _, err := machine.ParseStateKey(ck.RootFP); err != nil {
+			return fmt.Errorf("checkpoint: root key: %w", err)
+		}
 	}
 	if ck.MaxCrashes < 0 {
 		return fmt.Errorf("checkpoint: negative crash budget %d", ck.MaxCrashes)
@@ -154,6 +178,13 @@ func (ck *Checkpoint) validate() error {
 		}
 		if nd.Crashes > ck.MaxCrashes {
 			return fmt.Errorf("checkpoint: frontier[%d]: %d crashes spent exceeds budget %d", i, nd.Crashes, ck.MaxCrashes)
+		}
+	}
+	for i, shard := range ck.Shards {
+		for j, key := range shard {
+			if _, err := machine.ParseStateKey(key); err != nil {
+				return fmt.Errorf("checkpoint: shards[%d][%d]: %w", i, j, err)
+			}
 		}
 	}
 	if ck.Steps < 0 || ck.States < 0 || ck.Mem < 0 {
@@ -239,8 +270,8 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 
 // buildCheckpoint assembles a snapshot of the exploration at a level
 // boundary.
-func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootFP string,
-	maxCrashes, level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
+func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootKey string,
+	symmetry bool, maxCrashes, level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
 	nodes := make([]CheckpointNode, len(frontier))
 	for i, nd := range frontier {
 		nodes[i] = CheckpointNode{Schedule: nd.path.String(), Crashes: nd.crashes}
@@ -250,7 +281,9 @@ func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, ro
 		Meta:       policy.Meta,
 		Model:      model.String(),
 		Identity:   identity,
-		RootFP:     rootFP,
+		Codec:      machine.StateKeyCodecVersion,
+		Symmetry:   symmetry,
+		RootFP:     rootKey,
 		MaxCrashes: maxCrashes,
 		Level:      level,
 		Frontier:   nodes,
@@ -286,13 +319,14 @@ type resumeState struct {
 // loadCheckpoint certifies a snapshot against the subject and rebuilds the
 // exploration state: the frontier configurations are reconstructed by
 // replaying their schedules from a fresh root, and the visited shards are
-// reused only when the fresh root's dynamic fingerprint matches the
-// snapshot's (see Checkpoint.RootFP). Identity, model or crash-budget
+// reused when the fresh root's StateKey reproduces the snapshot's (see
+// Checkpoint.RootFP — with stable binary keys this is the norm, including
+// across OS processes). Identity, model, crash-budget, codec or symmetry
 // drift is rejected with ErrCheckpointDrift: the snapshot's frontier and
-// visited keys are meaningful only under the budget they were minted
-// with, so resuming under a different maxCrashes would either skip
-// crash-reachable states or prune on mismatched keys.
-func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes int) (*resumeState, error) {
+// visited keys are meaningful only under the budget, codec and
+// canonicalization they were minted with, so resuming under different
+// ones would either skip reachable states or prune on mismatched keys.
+func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes int, opts Opts) (*resumeState, error) {
 	if err := ck.validate(); err != nil {
 		return nil, err
 	}
@@ -302,6 +336,10 @@ func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes
 	if maxCrashes != ck.MaxCrashes {
 		return nil, fmt.Errorf("%w: snapshot was taken under crash budget %d, resuming under %d", ErrCheckpointDrift, ck.MaxCrashes, maxCrashes)
 	}
+	kr := s.newKeyer(opts)
+	if kr.reduces() != ck.Symmetry {
+		return nil, fmt.Errorf("%w: snapshot keys minted with symmetry=%v, resuming with symmetry=%v", ErrCheckpointDrift, ck.Symmetry, kr.reduces())
+	}
 	root, err := s.Build(model)
 	if err != nil {
 		return nil, err
@@ -309,21 +347,25 @@ func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes
 	if id := root.IdentityFingerprint(); id != ck.Identity {
 		return nil, fmt.Errorf("%w: identity %s, snapshot has %s", ErrCheckpointDrift, id, ck.Identity)
 	}
-	rootFP, err := root.Fingerprint()
+	rootKey, err := kr.key(root, 0, maxCrashes)
 	if err != nil {
 		return nil, err
 	}
 	rs := &resumeState{
 		level:   ck.Level,
 		visited: newShardedVisited(checkpointShards),
-		reused:  rootFP == ck.RootFP,
+		reused:  rootKey.String() == ck.RootFP,
 		steps:   ck.Steps,
 		states:  ck.States,
 		mem:     ck.Mem,
 	}
 	if rs.reused {
 		for _, shard := range ck.Shards {
-			for _, key := range shard {
+			for _, hexKey := range shard {
+				key, err := machine.ParseStateKey(hexKey)
+				if err != nil {
+					return nil, fmt.Errorf("checkpoint: %w", err)
+				}
 				rs.visited.add(key)
 			}
 		}

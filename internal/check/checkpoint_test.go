@@ -1,6 +1,7 @@
 package check
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,20 +12,26 @@ import (
 	"tradingfences/internal/machine"
 )
 
+// hexKey mints a syntactically valid shard key for snapshot fixtures.
+func hexKey(seed string) string {
+	return machine.HashStateKey([]byte(seed)).String()
+}
+
 func sampleCheckpoint() *Checkpoint {
 	return &Checkpoint{
-		Version:  CheckpointVersion,
-		Meta:     CheckpointMeta{Kind: "mutex", Lock: "bakery-tso", N: 2, Passages: 1},
-		Model:    "PSO",
+		Version:    CheckpointVersion,
+		Meta:       CheckpointMeta{Kind: "mutex", Lock: "bakery-tso", N: 2, Passages: 1},
+		Model:      "PSO",
 		Identity:   "deadbeefdeadbeef",
-		RootFP:     "root-token",
+		Codec:      machine.StateKeyCodecVersion,
+		RootFP:     hexKey("root"),
 		MaxCrashes: 1,
 		Level:      4,
-		Frontier: []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
-		Shards:   [][]string{{"a", "b"}, {"c"}},
-		Steps:    123,
-		States:   45,
-		Mem:      6789,
+		Frontier:   []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
+		Shards:     [][]string{{hexKey("a"), hexKey("b")}, {hexKey("c")}},
+		Steps:      123,
+		States:     45,
+		Mem:        6789,
 	}
 }
 
@@ -87,6 +94,12 @@ func TestCheckpointValidation(t *testing.T) {
 		"bad model":      mut(func(c *Checkpoint) { c.Model = "RMO" }),
 		"bad schedule":   mut(func(c *Checkpoint) { c.Frontier[0].Schedule = "q9" }),
 		"no identity":    mut(func(c *Checkpoint) { c.Identity = "" }),
+		"bad codec":      mut(func(c *Checkpoint) { c.Codec = machine.StateKeyCodecVersion + 1 }),
+		"bad root key":   mut(func(c *Checkpoint) { c.RootFP = "root-token" }),
+		"bad shard key":  mut(func(c *Checkpoint) { c.Shards[1][0] = "not-hex" }),
+		"short shard key": mut(func(c *Checkpoint) {
+			c.Shards[0][0] = c.Shards[0][0][:30]
+		}),
 		"negative level": mut(func(c *Checkpoint) { c.Level = -1 }),
 		"negative meter": mut(func(c *Checkpoint) { c.Steps = -5 }),
 		"negative crash budget": mut(func(c *Checkpoint) { c.MaxCrashes = -1 }),
@@ -137,6 +150,36 @@ func TestResumeRejectsDrift(t *testing.T) {
 	}
 	if _, err := other.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{}); !errors.Is(err, ErrCheckpointDrift) {
 		t.Fatalf("subject drift not rejected: %v", err)
+	}
+}
+
+// A snapshot from an older schema or key codec fails closed with
+// ErrCheckpointDrift: version-2 shards hold process-local string
+// fingerprints no current explorer can reproduce, so resuming them would
+// silently drop the visited set at best.
+func TestCheckpointRejectsOldVersionAsDrift(t *testing.T) {
+	encodeUnvalidated := func(ck *Checkpoint) []byte {
+		sum, err := ck.checksum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := *ck
+		out.Checksum = sum
+		b, err := json.Marshal(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	old := sampleCheckpoint()
+	old.Version = 2
+	if _, err := DecodeCheckpoint(encodeUnvalidated(old)); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("version-2 snapshot not rejected as drift: %v", err)
+	}
+	wrongCodec := sampleCheckpoint()
+	wrongCodec.Codec = machine.StateKeyCodecVersion + 1
+	if _, err := DecodeCheckpoint(encodeUnvalidated(wrongCodec)); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("codec drift not rejected as drift: %v", err)
 	}
 }
 

@@ -2,9 +2,9 @@ package check
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"tradingfences/internal/lang"
 	"tradingfences/internal/locks"
@@ -101,18 +101,20 @@ func (m *fcfsMonitor) clone() *fcfsMonitor {
 	return c
 }
 
-func (m *fcfsMonitor) encode(b *strings.Builder) {
-	for _, ph := range m.phase {
-		b.WriteByte('0' + ph)
-	}
-	b.WriteByte('|')
+// appendBytes appends the monitor state to a state-key buffer. The layout
+// is fixed-width for a given n (n phase bytes, n² precedence bits as
+// bytes), so appending it after the machine's self-delimiting state bytes
+// keeps the combined encoding injective.
+func (m *fcfsMonitor) appendBytes(buf []byte) []byte {
+	buf = append(buf, m.phase...)
 	for _, p := range m.precede {
 		if p {
-			b.WriteByte('1')
+			buf = append(buf, 1)
 		} else {
-			b.WriteByte('0')
+			buf = append(buf, 0)
 		}
 	}
+	return buf
 }
 
 // observe advances the monitor on a probe read; it returns the overtaken
@@ -167,9 +169,14 @@ type FCFSResult struct {
 // trips return the partial result with a structured error). Fault plans
 // are rejected: the precedence monitor is not crash-aware — a crashed
 // process would keep its doorway-precedence obligations, which is not the
-// notion Lamport's condition defines.
+// notion Lamport's condition defines. Symmetry reduction is rejected too:
+// the monitor's precedence relation distinguishes processes, so renaming
+// them is not an automorphism of the product system.
 func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (FCFSResult, error) {
 	if err := opts.noFaults("FCFS checking"); err != nil {
+		return FCFSResult{}, err
+	}
+	if err := s.noSymmetry(opts); err != nil {
 		return FCFSResult{}, err
 	}
 	root, err := s.Build(model)
@@ -178,23 +185,23 @@ func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts 
 	}
 	meter := run.NewMeter(ctx, opts.Budget)
 	res := FCFSResult{Complete: true}
-	visited := make(map[string]struct{}, 1024)
+	visited := make(map[machine.StateKey]struct{}, 1024)
+	var enc machine.KeyEncoder
+	var keyBuf []byte
 
 	var dfs func(c *machine.Config, m *fcfsMonitor, path machine.Schedule) (bool, error)
 	dfs = func(c *machine.Config, m *fcfsMonitor, path machine.Schedule) (bool, error) {
-		fp, err := c.Fingerprint()
+		var err error
+		keyBuf, err = enc.AppendStateBytes(c, keyBuf[:0])
 		if err != nil {
 			return false, err
 		}
-		var b strings.Builder
-		b.WriteString(fp)
-		b.WriteByte('#')
-		m.encode(&b)
-		key := b.String()
+		keyBuf = m.appendBytes(keyBuf)
+		key := machine.HashStateKey(keyBuf)
 		if _, seen := visited[key]; seen {
 			return false, nil
 		}
-		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+		if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
 			return false, err
 		}
 		visited[key] = struct{}{}
@@ -249,11 +256,26 @@ func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts 
 	return res, nil
 }
 
+// noSymmetry rejects symmetry reduction for FCFS checking: the precedence
+// monitor's state is indexed by concrete process IDs, so process renaming
+// is not an automorphism of the product system and orbit keys would be
+// unsound. Rejecting (rather than silently ignoring the flag) keeps the
+// "requested but inapplicable" case loud.
+func (s *FCFSSubject) noSymmetry(opts Opts) error {
+	if !opts.Symmetry {
+		return nil
+	}
+	return errors.New("check: FCFS checking distinguishes processes (the precedence monitor is asymmetric); symmetry reduction is unsupported")
+}
+
 // Random hunts for FCFS violations with random schedules, bounded by
-// opts.Budget and cancelled by ctx. Fault plans are rejected (see
-// Exhaustive).
+// opts.Budget and cancelled by ctx. Fault plans and symmetry reduction
+// are rejected (see Exhaustive).
 func (s *FCFSSubject) Random(ctx context.Context, model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64, opts Opts) (FCFSResult, error) {
 	if err := opts.noFaults("FCFS checking"); err != nil {
+		return FCFSResult{}, err
+	}
+	if err := s.noSymmetry(opts); err != nil {
 		return FCFSResult{}, err
 	}
 	meter := run.NewMeter(ctx, opts.Budget)

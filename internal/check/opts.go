@@ -31,6 +31,19 @@ type Opts struct {
 	// crash budget is present.
 	CrashProb float64
 
+	// Symmetry enables process-symmetry reduction: the visited set is
+	// keyed on the canonical representative of each state's orbit under
+	// process renaming, so mirror-image states are explored once. The
+	// exploration itself stays concrete — witnesses are ordinary
+	// schedules that replay directly. The reduction only applies to
+	// subjects whose lock declares a SymmetrySpec (Peterson variants);
+	// for all others the flag is an honest no-op (identity
+	// canonicalization, bit-identical to Symmetry=false). Rejected by
+	// FCFS checking, whose precedence monitor distinguishes processes.
+	// Result.SymmetryApplied reports whether a real reduction was in
+	// force.
+	Symmetry bool
+
 	// Workers sizes the worker pool of the level-synchronous parallel
 	// explorer (ExhaustiveParallel). Values <= 1 run the same engine on a
 	// single goroutine; any value produces bit-identical verdicts, witness

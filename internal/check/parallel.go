@@ -18,9 +18,7 @@ package check
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -54,7 +52,7 @@ type bfsNode struct {
 type candidate struct {
 	elem    machine.Elem
 	cfg     *machine.Config
-	key     string
+	key     machine.StateKey
 	crashes int
 	inCS    []int
 }
@@ -66,35 +64,35 @@ type expansion struct {
 	err      error
 }
 
-// shardedVisited partitions the visited-fingerprint set by key hash into a
-// fixed number of shards (checkpointShards, independent of the worker
-// count). Reads may run concurrently with each other; writes happen only
-// in the single-goroutine merge.
+// shardedVisited partitions the visited-key set into a fixed number of
+// shards (checkpointShards, independent of the worker count). Reads may
+// run concurrently with each other; writes happen only in the
+// single-goroutine merge.
 type shardedVisited struct {
-	shards []map[string]struct{}
+	shards []map[machine.StateKey]struct{}
 	count  int
 }
 
 func newShardedVisited(n int) *shardedVisited {
-	v := &shardedVisited{shards: make([]map[string]struct{}, n)}
+	v := &shardedVisited{shards: make([]map[machine.StateKey]struct{}, n)}
 	for i := range v.shards {
-		v.shards[i] = make(map[string]struct{}, 256)
+		v.shards[i] = make(map[machine.StateKey]struct{}, 256)
 	}
 	return v
 }
 
-func (v *shardedVisited) shardOf(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(v.shards)))
+// shardOf routes a key by its leading hash byte — uniform because StateKey
+// is itself a hash, and cheap enough to vanish from profiles.
+func (v *shardedVisited) shardOf(key machine.StateKey) int {
+	return int(key[0]) % len(v.shards)
 }
 
-func (v *shardedVisited) has(key string) bool {
+func (v *shardedVisited) has(key machine.StateKey) bool {
 	_, ok := v.shards[v.shardOf(key)][key]
 	return ok
 }
 
-func (v *shardedVisited) add(key string) {
+func (v *shardedVisited) add(key machine.StateKey) {
 	sh := v.shards[v.shardOf(key)]
 	if _, ok := sh[key]; !ok {
 		sh[key] = struct{}{}
@@ -104,29 +102,20 @@ func (v *shardedVisited) add(key string) {
 
 func (v *shardedVisited) size() int { return v.count }
 
-// dump returns the shard contents in deterministic order (shard-major,
-// insertion order is irrelevant because consumers treat shards as sets,
-// but serialization must be stable for the checkpoint CRC — sort).
+// dump returns the shard contents as fixed-width hex strings in
+// deterministic order (shard-major, keys sorted within each shard — the
+// serialization must be stable for the checkpoint CRC).
 func (v *shardedVisited) dump() [][]string {
 	out := make([][]string, len(v.shards))
 	for i, sh := range v.shards {
 		keys := make([]string, 0, len(sh))
 		for k := range sh {
-			keys = append(keys, k)
+			keys = append(keys, k.String())
 		}
 		sort.Strings(keys)
 		out[i] = keys
 	}
 	return out
-}
-
-// nodeKey folds the spent crash count into the visited key when a crash
-// budget is in force, mirroring the recursive explorer's convention.
-func nodeKey(fp string, crashes, maxCrashes int) string {
-	if maxCrashes > 0 {
-		return fp + "#" + strconv.Itoa(crashes)
-	}
-	return fp
 }
 
 // ExhaustiveParallel explores every schedule of the subject under the
@@ -162,7 +151,7 @@ func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Mo
 	if err != nil {
 		return Result{}, err
 	}
-	rs, err := s.loadCheckpoint(model, ck, maxCrashes)
+	rs, err := s.loadCheckpoint(model, ck, maxCrashes, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -179,14 +168,15 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 	}
 	workers := opts.workerCount()
 	meter := run.NewMeter(ctx, opts.Budget)
-	res := Result{Complete: true}
+	kr := s.newKeyer(opts)
+	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
 
 	var (
 		visited  *shardedVisited
 		frontier []*bfsNode
 		level    int
 		identity string
-		rootFP   string
+		rootKey  string
 	)
 	if opts.Checkpoint != nil || rs != nil {
 		fresh, err := s.Build(model)
@@ -194,9 +184,11 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 			return Result{}, err
 		}
 		identity = fresh.IdentityFingerprint()
-		if rootFP, err = fresh.Fingerprint(); err != nil {
+		rk, err := kr.key(fresh, 0, maxCrashes)
+		if err != nil {
 			return Result{}, err
 		}
+		rootKey = rk.String()
 	}
 
 	if rs != nil {
@@ -205,16 +197,16 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 		res.ResumedLevel = rs.level
 		res.VisitedReused = rs.reused
 		if !rs.reused {
-			// The snapshot's visited fingerprints were minted by another
-			// process and cannot prune here, but the frontier's own states
-			// are known visited: re-intern them under this process's
-			// fingerprints so sibling duplicates and self-loops dedup.
+			// Defense in depth: binary keys are build-stable, so a shard
+			// whose root key disagrees indicates drift the certification
+			// missed. Drop the shards, but re-intern the frontier's own
+			// states so sibling duplicates and self-loops dedup.
 			for _, nd := range frontier {
-				fp, err := nd.cfg.Fingerprint()
+				key, err := kr.key(nd.cfg, nd.crashes, maxCrashes)
 				if err != nil {
 					return Result{}, err
 				}
-				visited.add(nodeKey(fp, nd.crashes, maxCrashes))
+				visited.add(key)
 			}
 		}
 	} else {
@@ -222,12 +214,11 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 		if err != nil {
 			return Result{}, err
 		}
-		fp, err := root.Fingerprint()
+		key, err := kr.key(root, 0, maxCrashes)
 		if err != nil {
 			return Result{}, err
 		}
-		key := nodeKey(fp, 0, maxCrashes)
-		if err := meter.AddState(int64(len(key)) + stateKeyOverhead); err != nil {
+		if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
 			res.Complete = false
 			return res, err
 		}
@@ -252,7 +243,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 	for len(frontier) > 0 {
 		if p := opts.Checkpoint; p != nil && level != lastSaved &&
 			level%p.everyLevels() == 0 && (rs == nil || level > rs.level) {
-			ck := buildCheckpoint(p, model, identity, rootFP, maxCrashes, level, frontier, visited, meter)
+			ck := buildCheckpoint(p, model, identity, rootKey, kr.reduces(), maxCrashes, level, frontier, visited, meter)
 			if err := saveCheckpoint(ck, p.Path); err != nil {
 				res.Complete = false
 				res.States = visited.size()
@@ -289,7 +280,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 				if visited.has(cand.key) {
 					continue
 				}
-				if err := meter.AddState(int64(len(cand.key)) + stateKeyOverhead); err != nil {
+				if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
 					res.Complete = false
 					res.States = visited.size()
 					return res, err
@@ -349,6 +340,10 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 					return
 				}
 			}
+			// One keyer per worker: its scratch buffers are reused across
+			// every encode this worker performs, so steady-state expansion
+			// does not allocate for keying at all.
+			kr := s.newKeyer(opts)
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(frontier) {
@@ -358,7 +353,7 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 					exps[i].err = fmt.Errorf("check: expansion cancelled at level %d: %w", level, err)
 					continue
 				}
-				exps[i] = s.expandNode(frontier[i], maxCrashes, visited)
+				exps[i] = s.expandNode(frontier[i], maxCrashes, visited, kr)
 			}
 		}(w)
 	}
@@ -379,7 +374,7 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 // expandNode enumerates one node's successors in the canonical order the
 // recursive explorer uses (per process: ⊥, then committable registers
 // ascending, then crash), pre-filtered against the frozen visited set.
-func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited) expansion {
+func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited, kr *keyer) expansion {
 	var exp expansion
 	c := nd.cfg
 	for p := 0; p < c.N(); p++ {
@@ -408,12 +403,11 @@ func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisite
 			if e.Crash {
 				nc++
 			}
-			fp, err := next.Fingerprint()
+			key, err := kr.key(next, nc, maxCrashes)
 			if err != nil {
 				exp.err = err
 				return exp
 			}
-			key := nodeKey(fp, nc, maxCrashes)
 			if visited.has(key) {
 				continue
 			}

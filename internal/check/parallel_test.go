@@ -202,9 +202,11 @@ func TestCheckpointKillResumeSameVerdict(t *testing.T) {
 	}
 }
 
-// A resume in a process that cannot certify the snapshot's visited
-// fingerprints (simulated by rebuilding the subject, which reallocates the
-// AST) drops the visited set but still reaches the same verdict.
+// Binary state keys are build-stable: a resume in a fresh Subject
+// instance (same identity, different AST pointers — exactly what a new OS
+// process would see) certifies the snapshot's visited set, reuses it, and
+// reproduces the clean run bit for bit. Under the legacy string
+// fingerprints this path had to drop the visited set and re-explore.
 func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
 	s := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
 	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Workers: 2})
@@ -226,15 +228,13 @@ func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A fresh Subject instance has the same identity hash but different
-	// AST pointers — exactly what a new OS process would see.
 	s2 := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
 	resumed, err := s2.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2})
 	if err != nil {
 		t.Fatalf("resume: %v", err)
 	}
-	if resumed.VisitedReused {
-		t.Fatal("cross-subject resume must not trust foreign visited fingerprints")
+	if !resumed.VisitedReused {
+		t.Fatal("binary keys are build-stable; a cross-subject resume must certify and reuse the visited set")
 	}
 	if resumed.Violation != clean.Violation || resumed.Complete != clean.Complete {
 		t.Fatalf("verdict drifted across process boundary: (viol=%v complete=%v) vs (viol=%v complete=%v)",

@@ -1,0 +1,275 @@
+package check
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// parityPairs is the lock suite for key-partition parity: every lock
+// family in internal/locks at a process count the sequential explorer
+// exhausts quickly under all three models.
+var parityPairs = []struct {
+	name string
+	ctor locks.Constructor
+	n    int
+	sym  bool // declares a SymmetrySpec (reduction is real, not a no-op)
+}{
+	{"peterson", locks.NewPeterson, 2, true},
+	{"peterson-tso", locks.NewPetersonTSO, 2, true},
+	{"peterson-nofence", locks.NewPetersonNoFence, 2, true},
+	{"bakery", locks.NewBakery, 2, false},
+	{"bakery-tso", locks.NewBakeryTSO, 2, false},
+	{"bakery-literal", locks.NewBakeryLiteral, 2, false},
+	{"bakery-nofence", locks.NewBakeryNoFence, 2, false},
+	{"tournament", locks.NewTournament, 2, false},
+	{"filter", locks.NewFilter, 2, false},
+}
+
+// withLegacyKeys runs f with the explorer keying its visited set on the
+// legacy string fingerprint instead of the binary codec.
+func withLegacyKeys(t *testing.T, f func()) {
+	t.Helper()
+	legacyStringKeys = true
+	defer func() { legacyStringKeys = false }()
+	f()
+}
+
+// requireViolationReplays replays a witness schedule and demands that it
+// lands in a genuine mutual-exclusion violation.
+func requireViolationReplays(t *testing.T, what string, s *Subject, model machine.Model, w machine.Schedule) {
+	t.Helper()
+	_, cfg, err := s.Replay(model, w, nil)
+	if err != nil {
+		t.Fatalf("%s: witness replay: %v", what, err)
+	}
+	in := 0
+	for p := 0; p < cfg.N(); p++ {
+		ok, err := s.InCS(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			in++
+		}
+	}
+	if in < 2 {
+		t.Fatalf("%s: witness replays to %d processes in the critical section, want >= 2", what, in)
+	}
+}
+
+// TestBinaryKeysMatchLegacyPartition: the binary codec partitions states
+// exactly like the legacy string fingerprint, so keying the same DFS on
+// either must produce bit-identical verdicts, witness schedules and
+// visited-state counts across the whole lock suite and all three models.
+func TestBinaryKeysMatchLegacyPartition(t *testing.T) {
+	for _, tc := range parityPairs {
+		for _, m := range allModels {
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			binary, berr := s.Exhaustive(bg(), m, Opts{})
+			var legacy Result
+			var lerr error
+			withLegacyKeys(t, func() {
+				legacy, lerr = s.Exhaustive(bg(), m, Opts{})
+			})
+			if (berr == nil) != (lerr == nil) {
+				t.Fatalf("%s/%v: error mismatch: %v vs %v", tc.name, m, berr, lerr)
+			}
+			requireSameResult(t, tc.name+"/"+m.String(), binary, legacy)
+		}
+	}
+}
+
+// TestBinaryKeysMatchLegacyAtBudgetTrip: equal partitions means equal
+// exploration prefixes, so a MaxStates budget must trip both keyings at
+// exactly the same point with the same partial result.
+func TestBinaryKeysMatchLegacyAtBudgetTrip(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	const cap = 700
+	binary, berr := s.Exhaustive(bg(), machine.PSO, statesOpt(cap))
+	if !run.IsLimit(berr) {
+		t.Fatalf("budget did not trip: %v", berr)
+	}
+	var legacy Result
+	var lerr error
+	withLegacyKeys(t, func() {
+		legacy, lerr = s.Exhaustive(bg(), machine.PSO, statesOpt(cap))
+	})
+	if !run.IsLimit(lerr) {
+		t.Fatalf("legacy budget did not trip: %v", lerr)
+	}
+	if binary.States != cap || legacy.States != cap {
+		t.Fatalf("trip points differ from cap: binary %d, legacy %d, cap %d",
+			binary.States, legacy.States, cap)
+	}
+	requireSameResult(t, "budget trip", binary, legacy)
+}
+
+// TestSymmetryVerdictParity: enabling symmetry must never change a
+// verdict. For locks without a declaration it is a bit-identical no-op;
+// for Peterson variants it is a real reduction — never more states, and
+// any violation witness is a concrete schedule that replays.
+func TestSymmetryVerdictParity(t *testing.T) {
+	for _, tc := range parityPairs {
+		for _, m := range allModels {
+			what := tc.name + "/" + m.String()
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			base, berr := s.Exhaustive(bg(), m, Opts{})
+			sym, serr := s.Exhaustive(bg(), m, Opts{Symmetry: true})
+			if (berr == nil) != (serr == nil) {
+				t.Fatalf("%s: error mismatch: %v vs %v", what, berr, serr)
+			}
+			if sym.SymmetryApplied != tc.sym {
+				t.Fatalf("%s: SymmetryApplied = %v, want %v", what, sym.SymmetryApplied, tc.sym)
+			}
+			if !tc.sym {
+				requireSameResult(t, what+" (no-op symmetry)", base, sym)
+				continue
+			}
+			if base.Violation != sym.Violation || base.Complete != sym.Complete {
+				t.Fatalf("%s: verdict flipped under symmetry: (viol=%v complete=%v) vs (viol=%v complete=%v)",
+					what, base.Violation, base.Complete, sym.Violation, sym.Complete)
+			}
+			if sym.States > base.States {
+				t.Fatalf("%s: symmetry grew the state space: %d > %d", what, sym.States, base.States)
+			}
+			if base.Complete && !base.Violation && sym.States >= base.States {
+				t.Fatalf("%s: proved run shows no reduction: %d orbits vs %d states",
+					what, sym.States, base.States)
+			}
+			if sym.Violation {
+				requireViolationReplays(t, what, s, m, sym.Witness)
+			}
+		}
+	}
+}
+
+// TestSymmetryParallelParity: the parallel explorer applies the same
+// orbit keys — verdict and orbit count match the sequential symmetric
+// run on proved subjects, and violations carry replayable witnesses.
+func TestSymmetryParallelParity(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	seq, err := s.Exhaustive(bg(), machine.PSO, Opts{Symmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Symmetry: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.SymmetryApplied || par.Violation != seq.Violation || par.Complete != seq.Complete || par.States != seq.States {
+		t.Fatalf("parallel symmetric run diverged: %+v vs %+v", par, seq)
+	}
+
+	bad := mustSubject(t, "peterson-nofence", locks.NewPetersonNoFence, 2)
+	res, err := bad.ExhaustiveParallel(bg(), machine.PSO, Opts{Symmetry: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("peterson-nofence not violated under PSO with symmetry")
+	}
+	requireViolationReplays(t, "peterson-nofence/PSO", bad, machine.PSO, res.Witness)
+}
+
+// TestSymmetryCheckpointCertification: snapshots certify the key mode.
+// A symmetric snapshot resumes only symmetrically; flipping the flag in
+// either direction is ErrCheckpointDrift, and the matching resume lands
+// on the clean verdict bit for bit.
+func TestSymmetryCheckpointCertification(t *testing.T) {
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Symmetry: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	kill := func(level, worker int) error {
+		if level == 4 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Symmetry: true, Workers: 2, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: path},
+	}); err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Symmetry {
+		t.Fatal("symmetric snapshot not certified as symmetric")
+	}
+
+	// Dropping the flag at resume time is drift: the visited keys are
+	// orbit representatives a plain explorer cannot reproduce.
+	if _, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("symmetry drop not rejected: %v", err)
+	}
+	resumed, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Symmetry: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "symmetric resume", clean, resumed)
+
+	// The reverse flip: a plain snapshot must not resume symmetrically.
+	plainPath := filepath.Join(t.TempDir(), "plain.json")
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: plainPath},
+	}); err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	plain, err := ReadCheckpoint(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Symmetry {
+		t.Fatal("plain snapshot certified as symmetric")
+	}
+	if _, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, plain, Opts{Symmetry: true, Workers: 2}); !errors.Is(err, ErrCheckpointDrift) {
+		t.Fatalf("symmetry add not rejected: %v", err)
+	}
+
+	// On a lock with no declaration the flag is a no-op, so a snapshot
+	// taken without it resumes under it: both sides key identically.
+	b := mustSubject(t, "bakery", locks.NewBakery, 2)
+	bcleanPath := filepath.Join(t.TempDir(), "bakery.json")
+	if _, err := b.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 2, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: bcleanPath},
+	}); err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	bck, err := ReadCheckpoint(bcleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ResumeExhaustiveParallel(bg(), machine.PSO, bck, Opts{Symmetry: true, Workers: 2}); err != nil {
+		t.Fatalf("no-op symmetry flag rejected a compatible snapshot: %v", err)
+	}
+}
+
+// TestFCFSRejectsSymmetry: the precedence monitor tracks which concrete
+// process arrived first, so process renaming is not an automorphism of
+// the product space — both FCFS explorers must refuse the flag loudly
+// instead of silently ignoring it.
+func TestFCFSRejectsSymmetry(t *testing.T) {
+	s, err := NewFCFSSubject("peterson", locks.NewPeterson, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exhaustive(bg(), machine.PSO, Opts{Symmetry: true}); err == nil || !strings.Contains(err.Error(), "symmetry") {
+		t.Fatalf("exhaustive FCFS accepted symmetry: %v", err)
+	}
+	if _, err := s.Random(bg(), machine.PSO, newTestRng(1), 2, 50, 0.5, Opts{Symmetry: true}); err == nil || !strings.Contains(err.Error(), "symmetry") {
+		t.Fatalf("random FCFS accepted symmetry: %v", err)
+	}
+}

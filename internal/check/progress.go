@@ -76,24 +76,28 @@ func (s *Subject) CheckProgress(ctx context.Context, model machine.Model, opts O
 	}
 	res := &ProgressResult{Complete: true}
 
-	index := make(map[string]int, 1024)
+	index := make(map[machine.StateKey]int, 1024)
 	var nodes []*node
+	var enc machine.KeyEncoder
+	var keyBuf []byte
 
 	intern := func(c *machine.Config, parent int, via machine.Elem) (int, bool, error) {
-		fp, err := c.Fingerprint()
+		var err error
+		keyBuf, err = enc.AppendStateBytes(c, keyBuf[:0])
 		if err != nil {
 			return 0, false, err
 		}
-		if id, ok := index[fp]; ok {
+		key := machine.HashStateKey(keyBuf)
+		if id, ok := index[key]; ok {
 			return id, false, nil
 		}
 		// The graph retains a cloned configuration per node, so the memory
-		// estimate is dominated by the config, not the fingerprint.
-		if err := meter.AddState(int64(len(fp)) + nodeMemEstimate); err != nil {
+		// estimate is dominated by the config, not the key.
+		if err := meter.AddState(machine.StateKeySize + nodeMemEstimate); err != nil {
 			return 0, false, err
 		}
 		id := len(nodes)
-		index[fp] = id
+		index[key] = id
 		nodes = append(nodes, &node{cfg: c, parent: parent, via: via})
 		return id, true, nil
 	}

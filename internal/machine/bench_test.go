@@ -105,6 +105,32 @@ func BenchmarkConfigFingerprint(b *testing.B) {
 	}
 }
 
+// BenchmarkStateKeyEncode measures the binary visited-set key on the
+// same mid-flight configuration as BenchmarkConfigFingerprint; the
+// encoder's scratch reuse makes the steady state allocation-free.
+func BenchmarkStateKeyEncode(b *testing.B) {
+	c := benchConfig(b, PSO, 4)
+	for p := 0; p < 4; p++ {
+		for k := 0; k < 10; k++ {
+			if _, _, err := c.Step(PBottom(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var enc KeyEncoder
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = enc.AppendStateBytes(c, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = HashStateKey(buf)
+	}
+}
+
 // BenchmarkPSOBufferOps measures the register-keyed set operations.
 func BenchmarkPSOBufferOps(b *testing.B) {
 	b.ReportAllocs()

@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+// StateKeyCodecVersion identifies the binary state encoding below. It is
+// certified into checkpoint snapshots: visited-state keys minted by one
+// codec version never prune an exploration running another.
+const StateKeyCodecVersion = 1
+
+// StateKeySize is the fixed byte size of a StateKey. Budget metering
+// charges exactly this many bytes per visited state (plus the fixed
+// bookkeeping overhead), replacing the old string-length heuristic.
+const StateKeySize = 16
+
+// StateKey is the fixed-size 128-bit hash of a configuration's canonical
+// binary state encoding. Unlike the legacy string fingerprint — whose
+// program points were backing-array addresses, canonical only within one
+// OS process — state keys are stable across runs and builds, so
+// checkpointed visited sets transfer between processes.
+type StateKey [StateKeySize]byte
+
+// String returns the key as 32 lowercase hex digits (fixed width, so
+// byte-wise and lexicographic orders agree — checkpoint shards rely on
+// this for stable serialization).
+func (k StateKey) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseStateKey decodes the fixed-width hex form produced by String.
+func ParseStateKey(s string) (StateKey, error) {
+	var k StateKey
+	if len(s) != 2*StateKeySize {
+		return k, fmt.Errorf("machine: state key %q is not %d hex digits", s, 2*StateKeySize)
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return k, fmt.Errorf("machine: bad state key %q: %w", s, err)
+	}
+	return k, nil
+}
+
+// FNV-1a 128-bit parameters (FNV prime 2^88 + 0x13B and offset basis),
+// split into 64-bit halves. The stdlib's fnv.New128a works on exactly
+// these constants but allocates per hash; the explorer keys millions of
+// states, so the multiply is inlined below with bits.Mul64.
+const (
+	fnv128OffsetHi = 0x6c62272e07bb0142
+	fnv128OffsetLo = 0x62b821756295c58d
+	fnv128PrimeHi  = 0x0000000001000000
+	fnv128PrimeLo  = 0x000000000000013B
+)
+
+// HashStateKey hashes a canonical state encoding to its fixed-size key
+// (FNV-1a, 128-bit, allocation-free).
+func HashStateKey(b []byte) StateKey {
+	hi, lo := uint64(fnv128OffsetHi), uint64(fnv128OffsetLo)
+	for _, c := range b {
+		lo ^= uint64(c)
+		// (hi·2^64 + lo) · (pHi·2^64 + pLo) mod 2^128
+		h, l := bits.Mul64(lo, fnv128PrimeLo)
+		h += hi*fnv128PrimeLo + lo*fnv128PrimeHi
+		hi, lo = h, l
+	}
+	var k StateKey
+	binary.BigEndian.PutUint64(k[:8], hi)
+	binary.BigEndian.PutUint64(k[8:], lo)
+	return k
+}
+
+// KeyEncoder encodes configurations into canonical state-key bytes using
+// reusable scratch storage. Use one encoder per worker goroutine; an
+// encoder is not safe for concurrent use.
+type KeyEncoder struct {
+	ws []Write // write-buffer / renamed-memory scratch
+}
+
+// AppendStateBytes appends the canonical binary encoding of the
+// configuration's behavioural state — memory contents, every process's
+// control state and locals, and every write buffer in semantic order —
+// to buf and returns the extended slice. The encoding is injective:
+// two configurations encode equal iff the legacy string fingerprint
+// partition considers them equal. Cost-accounting state (knowledge
+// caches, last-committer table, statistics) is deliberately excluded, and
+// all processes are settled first, exactly as in Config.Fingerprint.
+func (e *KeyEncoder) AppendStateBytes(c *Config, buf []byte) ([]byte, error) {
+	return e.append(c, buf, nil)
+}
+
+func (e *KeyEncoder) append(c *Config, buf []byte, ren *renamer) ([]byte, error) {
+	for p := 0; p < c.n; p++ {
+		if !c.procs[p].Halted() {
+			if _, _, err := c.procs[p].NextOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Memory: non-zero registers as count-prefixed (reg, value) pairs in
+	// ascending renamed-register order.
+	size := Reg(c.lay.Size())
+	if ren == nil {
+		nz := 0
+		for r := Reg(0); r < size; r++ {
+			if v, ok := c.mem[r]; ok && v != 0 {
+				nz++
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(nz))
+		for r := Reg(0); r < size; r++ {
+			if v, ok := c.mem[r]; ok && v != 0 {
+				buf = binary.AppendUvarint(buf, uint64(r))
+				buf = binary.AppendVarint(buf, v)
+			}
+		}
+	} else {
+		e.ws = e.ws[:0]
+		for r := Reg(0); r < size; r++ {
+			if v, ok := c.mem[r]; ok && v != 0 {
+				e.ws = append(e.ws, Write{Reg: ren.reg(r), Val: ren.val(r, v)})
+			}
+		}
+		sortWrites(e.ws)
+		buf = binary.AppendUvarint(buf, uint64(len(e.ws)))
+		for _, w := range e.ws {
+			buf = binary.AppendUvarint(buf, uint64(w.Reg))
+			buf = binary.AppendVarint(buf, w.Val)
+		}
+	}
+	// Processes and their write buffers. Under a renaming π, slot j
+	// carries process π⁻¹(j)'s state with PID-typed data renamed.
+	for j := 0; j < c.n; j++ {
+		p := j
+		var localFn func(string, Value) Value
+		if ren != nil {
+			p = ren.inv[j]
+			localFn = ren.localFn
+		}
+		buf = c.procs[p].AppendStateKey(buf, localFn)
+
+		e.ws = e.ws[:0]
+		e.ws = c.wbs[p].appendEntries(e.ws)
+		if ren != nil {
+			for i := range e.ws {
+				r := e.ws[i].Reg
+				e.ws[i] = Write{Reg: ren.reg(r), Val: ren.val(r, e.ws[i].Val)}
+			}
+			if c.model != TSO {
+				// PSO semantic order is ascending register, which the
+				// renaming may permute; TSO queue order is preserved.
+				sortWrites(e.ws)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.ws)))
+		for _, w := range e.ws {
+			buf = binary.AppendUvarint(buf, uint64(w.Reg))
+			buf = binary.AppendVarint(buf, w.Val)
+		}
+	}
+	return buf, nil
+}
+
+// AppendStateBytes is the convenience form of KeyEncoder.AppendStateBytes
+// for one-shot callers (tests, trace inspection); hot loops should hold a
+// KeyEncoder to reuse its scratch storage.
+func (c *Config) AppendStateBytes(buf []byte) ([]byte, error) {
+	var e KeyEncoder
+	return e.AppendStateBytes(c, buf)
+}
+
+// StateKey returns the configuration's binary state key (no symmetry
+// reduction). Convenience for tests and one-shot callers.
+func (c *Config) StateKey() (StateKey, error) {
+	b, err := c.AppendStateBytes(nil)
+	if err != nil {
+		return StateKey{}, err
+	}
+	return HashStateKey(b), nil
+}
+
+// sortWrites sorts by register, in place, without allocating (the slices
+// are write buffers and memory snapshots: a handful of entries).
+func sortWrites(ws []Write) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].Reg < ws[j-1].Reg; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}

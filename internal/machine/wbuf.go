@@ -77,6 +77,9 @@ type writeBuffer interface {
 	// for TSO (where order is observable), ascending register order for
 	// PSO (where it is not). Used for state fingerprints.
 	entries() []Write
+	// appendEntries appends the entries to dst without allocating a fresh
+	// slice — the state-key encoder's hot path.
+	appendEntries(dst []Write) []Write
 	// clone returns an independent deep copy.
 	clone() writeBuffer
 }
@@ -129,6 +132,14 @@ func (b *psoBuffer) entries() []Write {
 		ws = append(ws, Write{Reg: r, Val: b.m[r]})
 	}
 	return ws
+}
+func (b *psoBuffer) appendEntries(dst []Write) []Write {
+	start := len(dst)
+	for r, v := range b.m {
+		dst = append(dst, Write{Reg: r, Val: v})
+	}
+	sortWrites(dst[start:])
+	return dst
 }
 func (b *psoBuffer) clone() writeBuffer {
 	c := newPSOBuffer()
@@ -189,6 +200,9 @@ func (b *tsoBuffer) entries() []Write {
 	copy(ws, b.q)
 	return ws
 }
+func (b *tsoBuffer) appendEntries(dst []Write) []Write {
+	return append(dst, b.q...)
+}
 func (b *tsoBuffer) clone() writeBuffer {
 	c := &tsoBuffer{q: make([]Write, len(b.q))}
 	copy(c.q, b.q)
@@ -209,7 +223,10 @@ func (scBuffer) commit(Reg) Write         { return Write{} }
 func (scBuffer) drainNext() Reg           { return 0 }
 func (scBuffer) regs() []Reg              { return nil }
 func (scBuffer) entries() []Write         { return nil }
-func (scBuffer) clone() writeBuffer       { return scBuffer{} }
+func (scBuffer) appendEntries(dst []Write) []Write {
+	return dst
+}
+func (scBuffer) clone() writeBuffer { return scBuffer{} }
 
 func newBuffer(m Model) writeBuffer {
 	switch m {

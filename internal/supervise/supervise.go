@@ -50,6 +50,10 @@ type Options struct {
 	Budget run.Budget
 	// Faults is forwarded to the explorer (adversarial crash budget).
 	Faults *machine.FaultPlan
+	// Symmetry is forwarded to the explorer (process-symmetry reduction;
+	// see check.Opts.Symmetry). Checkpoints certify the symmetry mode, so
+	// resumed attempts stay consistent automatically.
+	Symmetry bool
 
 	// MaxAttempts caps the exhaustive attempts before the randomized
 	// fallback (default 3; the first run counts as attempt 0).
@@ -217,7 +221,7 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 			o.Sleep(backoff)
 		}
 
-		chk := check.Opts{Budget: budget, Faults: o.Faults, Workers: workers}
+		chk := check.Opts{Budget: budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: workers}
 		if o.CheckpointPath != "" {
 			chk.Checkpoint = &check.CheckpointPolicy{
 				Path: o.CheckpointPath, EveryLevels: o.CheckpointEvery, Meta: o.Meta,

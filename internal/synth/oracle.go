@@ -35,11 +35,12 @@ type Verdict struct {
 type Oracle func(ctx context.Context, subject *check.Subject, model machine.Model) (Verdict, error)
 
 // ExhaustiveOracle decides placements with the sequential exhaustive
-// checker under the given per-call budget. Complete, deterministic, and
-// the cheapest choice at n=2 where state spaces are tiny.
-func ExhaustiveOracle(budget run.Budget) Oracle {
+// checker under the given per-call options (budget, symmetry reduction).
+// Complete, deterministic, and the cheapest choice at n=2 where state
+// spaces are tiny.
+func ExhaustiveOracle(opts check.Opts) Oracle {
 	return func(ctx context.Context, subject *check.Subject, model machine.Model) (Verdict, error) {
-		res, err := subject.Exhaustive(ctx, model, check.Opts{Budget: budget})
+		res, err := subject.Exhaustive(ctx, model, opts)
 		return verdictFrom(res, res.States, err)
 	}
 }

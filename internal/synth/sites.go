@@ -139,7 +139,13 @@ func (w *walker) rebuildLock(a *locks.Algorithm) (*locks.Algorithm, error) {
 		return nil, fmt.Errorf("synth: placement %s selects sites beyond the %d candidates of %s",
 			w.mask, w.next, a.Name())
 	}
-	return locks.FromFragments(a.Name(), a.N(), acquire, release, split)
+	lk, err := locks.FromFragments(a.Name(), a.N(), acquire, release, split)
+	if err != nil {
+		return nil, err
+	}
+	// Fence insertion is process-uniform and touches no PID-typed data, so
+	// the base lock's symmetry declaration stays sound for every placement.
+	return lk.WithSymmetry(a.Symmetry()), nil
 }
 
 // Enumerate instantiates the lock on a scratch layout and returns its

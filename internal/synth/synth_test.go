@@ -8,14 +8,13 @@ import (
 	"tradingfences/internal/lang"
 	"tradingfences/internal/locks"
 	"tradingfences/internal/machine"
-	"tradingfences/internal/run"
 	"tradingfences/internal/synth"
 )
 
 func bg() context.Context { return context.Background() }
 
 func testOracle() synth.Oracle {
-	return synth.ExhaustiveOracle(run.Budget{})
+	return synth.ExhaustiveOracle(check.Opts{})
 }
 
 func mustSynth(t *testing.T, name string, ctor locks.Constructor, n int, model machine.Model) *synth.Result {

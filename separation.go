@@ -52,6 +52,11 @@ type MutexVerdict struct {
 	States int
 	// Mode records how the verdict was reached (see the Mode constants).
 	Mode string
+	// SymmetryApplied is true when the exhaustive exploration keyed its
+	// visited set on symmetry orbits (CheckOptions.Symmetry on a lock
+	// with a symmetry declaration); States then counts orbits, not raw
+	// states.
+	SymmetryApplied bool
 	// Coverage quantifies the exploration behind the verdict.
 	Coverage Coverage
 	// Witness is a human-readable counterexample trace (empty when no
@@ -164,7 +169,7 @@ func attachWitness(ctx context.Context, subject *check.Subject, lockName string,
 // checkOpts lowers the facade options to the internal checker's, wiring
 // the checkpoint policy (and its subject metadata) when a path is set.
 func (o CheckOptions) checkOpts(spec LockSpec, n, passages int) check.Opts {
-	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Workers: o.Workers}
+	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: o.Workers}
 	if o.CheckpointPath != "" {
 		if chk.Workers <= 0 {
 			chk.Workers = 1
@@ -209,13 +214,14 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 		res, xerr = subject.Exhaustive(ctx, model.internal(), chkOpts)
 	}
 	v = &MutexVerdict{
-		Lock:     spec,
-		Model:    model,
-		Mode:     ModeExhaustive,
-		Violated: res.Violation,
-		Proved:   res.Complete && !res.Violation,
-		States:   res.States,
-		Coverage: Coverage{ExhaustiveStates: res.States},
+		Lock:            spec,
+		Model:           model,
+		Mode:            ModeExhaustive,
+		Violated:        res.Violation,
+		Proved:          res.Complete && !res.Violation,
+		States:          res.States,
+		SymmetryApplied: res.SymmetryApplied,
+		Coverage:        Coverage{ExhaustiveStates: res.States},
 	}
 	wsched := res.Witness
 	if xerr != nil {

@@ -41,13 +41,14 @@ type SupervisedAttempt = supervise.Attempt
 func supervisedVerdict(ctx context.Context, subject *check.Subject, spec LockSpec, n, passages int, model MemoryModel, out *supervise.Outcome, faults *FaultPlan) (*MutexVerdict, error) {
 	res := out.Result
 	v := &MutexVerdict{
-		Lock:     spec,
-		Model:    model,
-		Mode:     ModeExhaustive,
-		Violated: res.Violation,
-		Proved:   res.Complete && !res.Violation,
-		States:   res.States,
-		Coverage: Coverage{ExhaustiveStates: res.States},
+		Lock:            spec,
+		Model:           model,
+		Mode:            ModeExhaustive,
+		Violated:        res.Violation,
+		Proved:          res.Complete && !res.Violation,
+		States:          res.States,
+		SymmetryApplied: res.SymmetryApplied,
+		Coverage:        Coverage{ExhaustiveStates: res.States},
 	}
 	wsched := res.Witness
 	if out.Mode == supervise.ModeDegraded {
@@ -86,6 +87,7 @@ func CheckMutexSupervisedCtx(ctx context.Context, spec LockSpec, n, passages int
 		Workers:          opts.Workers,
 		Budget:           opts.Budget,
 		Faults:           opts.Faults,
+		Symmetry:         opts.Symmetry,
 		MaxAttempts:      opts.MaxAttempts,
 		BackoffBase:      opts.BackoffBase,
 		BudgetGrowth:     opts.BudgetGrowth,
@@ -154,16 +156,21 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 	if ck.MaxCrashes > 0 {
 		opts.Faults = &FaultPlan{MaxCrashes: ck.MaxCrashes}
 	}
+	// Like the fault plan, the symmetry mode is pinned by the snapshot:
+	// its visited keys are only meaningful under the canonicalization they
+	// were minted with (the resume re-certifies this).
+	opts.Symmetry = ck.Symmetry
 	opts.CheckpointPath = path
 	res, xerr := subject.ResumeExhaustiveParallel(ctx, model.internal(), ck, opts.checkOpts(spec, n, passages))
 	v = &MutexVerdict{
-		Lock:     spec,
-		Model:    model,
-		Mode:     ModeExhaustive,
-		Violated: res.Violation,
-		Proved:   res.Complete && !res.Violation,
-		States:   res.States,
-		Coverage: Coverage{ExhaustiveStates: res.States},
+		Lock:            spec,
+		Model:           model,
+		Mode:            ModeExhaustive,
+		Violated:        res.Violation,
+		Proved:          res.Complete && !res.Violation,
+		States:          res.States,
+		SymmetryApplied: res.SymmetryApplied,
+		Coverage:        Coverage{ExhaustiveStates: res.States},
 	}
 	if xerr != nil {
 		v.Proved = false

@@ -1,0 +1,68 @@
+package tradingfences
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSymmetryDeterminism is the CI determinism round: for every lock in
+// the separation matrix, checking with and without Symmetry must agree on
+// the verdict, the flag must report as applied only where a declaration
+// exists, and the reduced run must never count more states. Witnesses of
+// symmetric runs are concrete schedules: they replay like any other.
+func TestSymmetryDeterminism(t *testing.T) {
+	cases := []struct {
+		spec LockSpec
+		sym  bool // carries a symmetry declaration
+	}{
+		{LockSpec{Kind: Peterson}, true},
+		{LockSpec{Kind: PetersonTSO}, true},
+		{LockSpec{Kind: PetersonNoFence}, true},
+		{LockSpec{Kind: Bakery}, false},
+		{LockSpec{Kind: BakeryTSO}, false},
+	}
+	for _, tc := range cases {
+		for _, m := range Models() {
+			what := tc.spec.String() + "/" + m.String()
+			base, berr := CheckMutexCtx(context.Background(), tc.spec, 2, 1, m, CheckOptions{})
+			if berr != nil {
+				t.Fatalf("%s: %v", what, berr)
+			}
+			sym, serr := CheckMutexCtx(context.Background(), tc.spec, 2, 1, m, CheckOptions{Symmetry: true})
+			if serr != nil {
+				t.Fatalf("%s symmetry: %v", what, serr)
+			}
+			if base.Violated != sym.Violated || base.Proved != sym.Proved {
+				t.Fatalf("%s: verdict changed under symmetry: (viol=%v proved=%v) vs (viol=%v proved=%v)",
+					what, base.Violated, base.Proved, sym.Violated, sym.Proved)
+			}
+			if sym.SymmetryApplied != tc.sym {
+				t.Fatalf("%s: SymmetryApplied = %v, want %v", what, sym.SymmetryApplied, tc.sym)
+			}
+			if base.SymmetryApplied {
+				t.Fatalf("%s: plain run claims a symmetry reduction", what)
+			}
+			if sym.States > base.States {
+				t.Fatalf("%s: symmetry grew the state count: %d > %d", what, sym.States, base.States)
+			}
+			if sym.Violated {
+				if sym.Artifact == nil {
+					t.Fatalf("%s: symmetric violation carries no witness artifact", what)
+				}
+				if _, err := ReplayWitness(sym.Artifact); err != nil {
+					t.Fatalf("%s: symmetric witness does not replay: %v", what, err)
+				}
+			}
+		}
+	}
+}
+
+// FCFS checking distinguishes processes by construction; the facade must
+// surface the explorer's rejection instead of silently dropping the flag.
+func TestCheckFCFSRejectsSymmetry(t *testing.T) {
+	_, err := CheckFCFSCtx(context.Background(), LockSpec{Kind: Bakery}, 2, PSO, CheckOptions{Symmetry: true})
+	if err == nil || !strings.Contains(err.Error(), "symmetry") {
+		t.Fatalf("CheckFCFSCtx accepted Symmetry: %v", err)
+	}
+}

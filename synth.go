@@ -53,6 +53,12 @@ type SynthOptions struct {
 	// hitting the bound leaves the remaining placements unchecked and the
 	// frontier explicitly partial.
 	MaxOracleCalls int
+	// Symmetry enables process-symmetry reduction in the safety oracle
+	// (see CheckOptions.Symmetry). Placements inherit the base lock's
+	// symmetry declaration — fence insertion is process-uniform — so for
+	// symmetric locks every oracle call over the lattice shares the
+	// reduction.
+	Symmetry bool
 	// WitnessDir, when set, receives one replayable witness artifact per
 	// oracle-refuted placement (synth-<lock>-<sites>_<model>.witness.json).
 	WitnessDir string
@@ -153,12 +159,13 @@ func SynthLockName(spec LockSpec, sites []int) (string, error) {
 // oracleFor lowers the facade oracle selection to the engine's.
 func (o SynthOptions) oracleFor() synth.Oracle {
 	if o.Oracle == OracleExhaustive {
-		return synth.ExhaustiveOracle(o.Budget)
+		return synth.ExhaustiveOracle(check.Opts{Budget: o.Budget, Symmetry: o.Symmetry})
 	}
 	runs, maxSteps := CheckOptions{}.fallback()
 	return synth.SupervisedOracle(supervise.Options{
 		Workers:          o.Workers,
 		Budget:           o.Budget,
+		Symmetry:         o.Symmetry,
 		Seed:             o.Seed,
 		FallbackRuns:     runs,
 		FallbackMaxSteps: maxSteps,
