@@ -12,9 +12,13 @@ import (
 // Memory accounting unit: exhaustive checking charges MaxMemEstimate a
 // fixed amount per visited state — the 16-byte binary StateKey plus a
 // constant per-entry map overhead — so the estimate is exact and
-// independent of lock size, process count and memory model. (Analyses
-// that retain whole configurations, like liveness checking, charge a
-// larger per-node constant instead.)
+// independent of lock size, process count and memory model. The visited
+// set is the dominant retained memory of an exploration: the sequential
+// explorer walks a single configuration with an undo trail, and the
+// parallel explorer recycles frontier configurations through a pool, so
+// neither accumulates per-state configuration copies. (Analyses that
+// retain whole configurations, like liveness checking, charge a larger
+// per-node constant instead.)
 type Budget = run.Budget
 
 // BudgetError reports which resource of a Budget was exhausted; every

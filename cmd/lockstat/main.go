@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +24,12 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries main's body so the deferred profile writers run before
+// the process exits (os.Exit skips defers).
+func realMain() int {
 	max := flag.Int("max", 512, "largest process count (swept in powers of two from 2)")
 	rmr := flag.String("rmr", "combined", "RMR accounting: combined (the paper's), dsm, or cc")
 	dump := flag.String("dump", "", "print the program listing of a lock (bakery, tournament, peterson, gtF) instead of measuring")
@@ -32,36 +40,60 @@ func main() {
 	states := flag.Int("states", 0, "state budget for -check (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer)")
 	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction for -check (no-op for locks without a symmetry declaration)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	flag.Parse()
-	if *chk != "" {
-		if err := runCheck(*chk, *dumpN, *model, *states, *workers, *symmetry); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
-	}
-	if *dump != "" {
-		if err := runDump(*dump, *dumpN); err != nil {
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer pprof.StopCPUProfile()
 	}
-	if *explain != "" {
-		if err := runExplain(*explain, *dumpN); err != nil {
-			fmt.Fprintln(os.Stderr, "lockstat:", err)
-			os.Exit(1)
+	if *memprofile != "" {
+		defer writeHeapProfile(*memprofile)
+	}
+	err := func() error {
+		switch {
+		case *chk != "":
+			return runCheck(*chk, *dumpN, *model, *states, *workers, *symmetry)
+		case *dump != "":
+			return runDump(*dump, *dumpN)
+		case *explain != "":
+			return runExplain(*explain, *dumpN)
+		default:
+			acct, err := parseAcct(*rmr)
+			if err != nil {
+				return err
+			}
+			return run(*max, acct)
 		}
-		return
-	}
-	acct, err := parseAcct(*rmr)
+	}()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
-		os.Exit(1)
+		return 1
 	}
-	if err := run(*max, acct); err != nil {
+	return 0
+}
+
+// writeHeapProfile snapshots the heap to path after a GC, so the profile
+// reflects retained memory rather than garbage awaiting collection.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
-		os.Exit(1)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
 	}
 }
 

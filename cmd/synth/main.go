@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,12 +46,32 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	assertMinimal := flag.String("assert-minimal", "", "comma-separated site list (or 'none') that must appear among the minimal placements; exit 1 otherwise")
 	benchOut := flag.String("bench-out", "", "write a one-entry benchmark record (wall time, oracle calls/states) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	flag.Parse()
 
-	if err := run(*lock, *n, *model, *passages, *states, *memMB, *timeout, *oracle,
-		*workers, *maxOracle, *seed, *symmetry, *witnessDir, *jsonOut, *assertMinimal, *benchOut); err != nil {
+	err := run(*lock, *n, *model, *passages, *states, *memMB, *timeout, *oracle,
+		*workers, *maxOracle, *seed, *symmetry, *witnessDir, *jsonOut, *assertMinimal, *benchOut)
+	if *memprofile != "" {
+		writeHeapProfile(*memprofile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "synth:", err)
 		os.Exit(1)
+	}
+}
+
+// writeHeapProfile snapshots the heap to path after a GC, so the profile
+// reflects retained memory rather than garbage awaiting collection.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
 	}
 }
 

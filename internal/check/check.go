@@ -100,7 +100,13 @@ func (s *Subject) InCS(c *machine.Config, p int) (bool, error) {
 
 // occupancy returns the processes currently inside the critical section.
 func (s *Subject) occupancy(c *machine.Config) ([]int, error) {
-	var in []int
+	return s.occupancyInto(c, nil)
+}
+
+// occupancyInto appends the processes currently inside the critical
+// section to in — the explorers' per-state hot path passes a reusable
+// scratch slice (in[:0]) to keep occupancy checks allocation-free.
+func (s *Subject) occupancyInto(c *machine.Config, in []int) ([]int, error) {
 	for p := 0; p < c.N(); p++ {
 		ok, err := s.InCS(c, p)
 		if err != nil {
@@ -222,6 +228,15 @@ func (k *keyer) key(c *machine.Config, crashes, maxCrashes int) (machine.StateKe
 // adversarial crash steps; crash elements appear in the witness like any
 // other schedule element, so witnesses of crashed executions replay and
 // minimize unchanged.
+//
+// The search walks a single configuration with an undo trail instead of
+// cloning per candidate edge: each transition is taken in place with
+// machine.Config.StepUndo and rolled back with Undo.Revert on backtrack.
+// Enumeration order (⊥, committable registers ascending, crash) and budget
+// metering are identical to the historical clone-per-edge search, so
+// verdicts, witnesses, state counts and budget-trip points are bit-for-bit
+// unchanged — the clone-vs-undo parity suite in parity_test.go holds the
+// two explorers equal.
 func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
 	maxCrashes, err := opts.exhaustiveCrashBudget()
 	if err != nil {
@@ -236,8 +251,17 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 	kr := s.newKeyer(opts)
 	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
 
-	var dfs func(c *machine.Config, path machine.Schedule, crashes int) (bool, error)
-	dfs = func(c *machine.Config, path machine.Schedule, crashes int) (bool, error) {
+	// Reusable scratch, hoisted out of the per-state loop: one successor
+	// slice per recursion depth (a depth's slice stays live across the
+	// recursive calls issued while iterating it), a single register slice
+	// (consumed before recursing) and a single occupancy slice (consumed
+	// before recursing).
+	var elemScratch [][]machine.Elem
+	regScratch := make([]machine.Reg, 0, 8)
+	inScratch := make([]int, 0, root.N())
+
+	var dfs func(c *machine.Config, path machine.Schedule, crashes, depth int) (bool, error)
+	dfs = func(c *machine.Config, path machine.Schedule, crashes, depth int) (bool, error) {
 		key, err := kr.key(c, crashes, maxCrashes) // settles all processes
 		if err != nil {
 			return false, err
@@ -250,23 +274,28 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 		}
 		visited[key] = struct{}{}
 
-		in, err := s.occupancy(c)
+		in, err := s.occupancyInto(c, inScratch[:0])
 		if err != nil {
 			return false, err
 		}
+		inScratch = in[:0]
 		if len(in) >= 2 {
 			res.Violation = true
 			res.Witness = append(machine.Schedule(nil), path...)
-			res.InCS = in
+			res.InCS = append([]int(nil), in...)
 			return true, nil
 		}
 
+		if depth >= len(elemScratch) {
+			elemScratch = append(elemScratch, make([]machine.Elem, 0, 8))
+		}
 		for p := 0; p < c.N(); p++ {
 			if c.Halted(p) {
 				continue
 			}
-			elems := []machine.Elem{machine.PBottom(p)}
-			for _, r := range c.BufferRegs(p) {
+			elems := append(elemScratch[depth][:0], machine.PBottom(p))
+			regScratch = c.AppendBufferRegs(p, regScratch[:0])
+			for _, r := range regScratch {
 				if c.CanCommit(p, r) {
 					elems = append(elems, machine.PReg(p, r))
 				}
@@ -274,21 +303,24 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 			if crashes < maxCrashes {
 				elems = append(elems, machine.PCrash(p))
 			}
+			elemScratch[depth] = elems
 			for _, e := range elems {
 				if err := meter.AddStep(); err != nil {
 					return false, err
 				}
-				next := c.Clone()
-				if _, took, err := next.Step(e); err != nil {
+				_, took, u, err := c.StepUndo(e)
+				if err != nil {
 					return false, err
-				} else if !took {
+				}
+				if !took {
 					continue
 				}
 				nc := crashes
 				if e.Crash {
 					nc++
 				}
-				found, err := dfs(next, append(path, e), nc)
+				found, err := dfs(c, append(path, e), nc, depth+1)
+				u.Revert()
 				if err != nil || found {
 					return found, err
 				}
@@ -297,7 +329,7 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 		return false, nil
 	}
 
-	if _, err := dfs(root, nil, 0); err != nil {
+	if _, err := dfs(root, nil, 0, 0); err != nil {
 		res.States = len(visited)
 		res.Complete = false
 		return res, err

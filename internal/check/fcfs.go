@@ -220,6 +220,11 @@ func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts 
 				if err := meter.AddStep(); err != nil {
 					return false, err
 				}
+				// Clone only elements that will take; Enabled reports true
+				// on would-be-error states, so errors still surface below.
+				if !c.Enabled(e) {
+					continue
+				}
 				next := c.Clone()
 				rec, took, err := next.Step(e)
 				if err != nil {

@@ -171,6 +171,12 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 	kr := s.newKeyer(opts)
 	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
 
+	// Frontier configurations are recycled through a pool: once a node has
+	// been expanded and merged it is dead weight (checkpoints serialize
+	// frontier *schedules*, never configurations), so its flat storage is
+	// reused for the next level's clones instead of reallocated.
+	pool := machine.NewConfigPool()
+
 	var (
 		visited  *shardedVisited
 		frontier []*bfsNode
@@ -262,7 +268,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 			return res, err
 		}
 
-		exps := s.expandLevel(ctx, frontier, workers, level, maxCrashes, opts, visited)
+		exps := s.expandLevel(ctx, frontier, workers, level, maxCrashes, opts, visited, pool)
 
 		next := make([]*bfsNode, 0, len(frontier))
 		for i, exp := range exps {
@@ -278,6 +284,9 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 			}
 			for _, cand := range exp.cands {
 				if visited.has(cand.key) {
+					// A sibling interned this state earlier in merge order;
+					// the duplicate's configuration is recycled.
+					pool.Put(cand.cfg)
 					continue
 				}
 				if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
@@ -302,6 +311,10 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 				path[len(path)-1] = cand.elem
 				next = append(next, &bfsNode{cfg: cand.cfg, path: path, crashes: cand.crashes})
 			}
+			// Node i is fully merged; recycle its configuration for the
+			// next level's clones.
+			pool.Put(frontier[i].cfg)
+			frontier[i].cfg = nil
 		}
 		frontier = next
 		level++
@@ -316,7 +329,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 // the pool was scheduled. A worker that panics, hits a machine error, or
 // is killed by the chaos hook dooms the level: its error is surfaced in
 // deterministic order and the level is never merged.
-func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers, level, maxCrashes int, opts Opts, visited *shardedVisited) []expansion {
+func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers, level, maxCrashes int, opts Opts, visited *shardedVisited, pool *machine.ConfigPool) []expansion {
 	exps := make([]expansion, len(frontier))
 	if workers > len(frontier) && len(frontier) > 0 {
 		workers = len(frontier)
@@ -340,10 +353,12 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 					return
 				}
 			}
-			// One keyer per worker: its scratch buffers are reused across
-			// every encode this worker performs, so steady-state expansion
-			// does not allocate for keying at all.
+			// One keyer and one scratch set per worker: their buffers are
+			// reused across every node this worker expands, so steady-state
+			// expansion does not allocate for keying, successor enumeration
+			// or occupancy checks at all.
 			kr := s.newKeyer(opts)
+			var sc expandScratch
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(frontier) {
@@ -353,7 +368,7 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 					exps[i].err = fmt.Errorf("check: expansion cancelled at level %d: %w", level, err)
 					continue
 				}
-				exps[i] = s.expandNode(frontier[i], maxCrashes, visited, kr)
+				exps[i] = s.expandNode(frontier[i], maxCrashes, visited, kr, pool, &sc)
 			}
 		}(w)
 	}
@@ -371,18 +386,30 @@ func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers,
 	return exps
 }
 
+// expandScratch is one worker's reusable successor-enumeration storage.
+type expandScratch struct {
+	elems []machine.Elem
+	regs  []machine.Reg
+	in    []int
+}
+
 // expandNode enumerates one node's successors in the canonical order the
 // recursive explorer uses (per process: ⊥, then committable registers
 // ascending, then crash), pre-filtered against the frozen visited set.
-func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited, kr *keyer) expansion {
+// Cloning happens only for elements Config.Enabled says will take — the
+// not-taken majority (halted processes, stalled commits) costs an
+// enabledness probe instead of a deep copy — and the clones themselves
+// come from the pool, reusing flat storage retired by earlier levels.
+func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited, kr *keyer, pool *machine.ConfigPool, sc *expandScratch) expansion {
 	var exp expansion
 	c := nd.cfg
 	for p := 0; p < c.N(); p++ {
 		if c.Halted(p) {
 			continue
 		}
-		elems := []machine.Elem{machine.PBottom(p)}
-		for _, r := range c.BufferRegs(p) {
+		elems := append(sc.elems[:0], machine.PBottom(p))
+		sc.regs = c.AppendBufferRegs(p, sc.regs[:0])
+		for _, r := range sc.regs {
 			if c.CanCommit(p, r) {
 				elems = append(elems, machine.PReg(p, r))
 			}
@@ -390,13 +417,18 @@ func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisite
 		if nd.crashes < maxCrashes {
 			elems = append(elems, machine.PCrash(p))
 		}
+		sc.elems = elems
 		for _, e := range elems {
 			exp.attempts++
-			next := c.Clone()
+			if !c.Enabled(e) {
+				continue
+			}
+			next := pool.Get(c)
 			if _, took, err := next.Step(e); err != nil {
 				exp.err = err
 				return exp
 			} else if !took {
+				pool.Put(next)
 				continue
 			}
 			nc := nd.crashes
@@ -409,14 +441,20 @@ func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisite
 				return exp
 			}
 			if visited.has(key) {
+				pool.Put(next)
 				continue
 			}
-			in, err := s.occupancy(next)
+			in, err := s.occupancyInto(next, sc.in[:0])
 			if err != nil {
 				exp.err = err
 				return exp
 			}
-			exp.cands = append(exp.cands, candidate{elem: e, cfg: next, key: key, crashes: nc, inCS: in})
+			sc.in = in[:0]
+			var inCS []int
+			if len(in) > 0 {
+				inCS = append([]int(nil), in...)
+			}
+			exp.cands = append(exp.cands, candidate{elem: e, cfg: next, key: key, crashes: nc, inCS: inCS})
 		}
 	}
 	return exp

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"strings"
@@ -254,6 +255,199 @@ func TestSymmetryCheckpointCertification(t *testing.T) {
 	}
 	if _, err := b.ResumeExhaustiveParallel(bg(), machine.PSO, bck, Opts{Symmetry: true, Workers: 2}); err != nil {
 		t.Fatalf("no-op symmetry flag rejected a compatible snapshot: %v", err)
+	}
+}
+
+// cloneExhaustive is the historical clone-per-edge exhaustive search,
+// reimplemented as a test reference: identical enumeration order (⊥,
+// committable registers ascending, crash), identical keying and identical
+// budget metering to Subject.Exhaustive — but every candidate edge is taken
+// on a fresh clone instead of in place with StepUndo/Revert. The
+// production explorer must match it bit for bit, including at budget-trip
+// points.
+func cloneExhaustive(ctx context.Context, s *Subject, model machine.Model, opts Opts) (Result, error) {
+	maxCrashes, err := opts.exhaustiveCrashBudget()
+	if err != nil {
+		return Result{}, err
+	}
+	root, err := s.Build(model)
+	if err != nil {
+		return Result{}, err
+	}
+	meter := run.NewMeter(ctx, opts.Budget)
+	visited := make(map[machine.StateKey]struct{}, 1024)
+	kr := s.newKeyer(opts)
+	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
+
+	var dfs func(c *machine.Config, path machine.Schedule, crashes int) (bool, error)
+	dfs = func(c *machine.Config, path machine.Schedule, crashes int) (bool, error) {
+		key, err := kr.key(c, crashes, maxCrashes)
+		if err != nil {
+			return false, err
+		}
+		if _, seen := visited[key]; seen {
+			return false, nil
+		}
+		if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
+			return false, err
+		}
+		visited[key] = struct{}{}
+
+		in, err := s.occupancy(c)
+		if err != nil {
+			return false, err
+		}
+		if len(in) >= 2 {
+			res.Violation = true
+			res.Witness = append(machine.Schedule(nil), path...)
+			res.InCS = in
+			return true, nil
+		}
+
+		for p := 0; p < c.N(); p++ {
+			if c.Halted(p) {
+				continue
+			}
+			elems := []machine.Elem{machine.PBottom(p)}
+			for _, r := range c.BufferRegs(p) {
+				if c.CanCommit(p, r) {
+					elems = append(elems, machine.PReg(p, r))
+				}
+			}
+			if crashes < maxCrashes {
+				elems = append(elems, machine.PCrash(p))
+			}
+			for _, e := range elems {
+				if err := meter.AddStep(); err != nil {
+					return false, err
+				}
+				next := c.Clone()
+				_, took, err := next.Step(e)
+				if err != nil {
+					return false, err
+				}
+				if !took {
+					continue
+				}
+				nc := crashes
+				if e.Crash {
+					nc++
+				}
+				found, err := dfs(next, append(path, e), nc)
+				if err != nil || found {
+					return found, err
+				}
+			}
+		}
+		return false, nil
+	}
+
+	if _, err := dfs(root, nil, 0); err != nil {
+		res.States = len(visited)
+		res.Complete = false
+		return res, err
+	}
+	res.States = len(visited)
+	if res.Violation {
+		res.Complete = false
+	}
+	return res, nil
+}
+
+// requireSameInCS extends requireSameResult with the violation's
+// co-residency set (which requireSameResult does not compare).
+func requireSameInCS(t *testing.T, what string, a, b Result) {
+	t.Helper()
+	if len(a.InCS) != len(b.InCS) {
+		t.Fatalf("%s: InCS mismatch: %v vs %v", what, a.InCS, b.InCS)
+	}
+	for i := range a.InCS {
+		if a.InCS[i] != b.InCS[i] {
+			t.Fatalf("%s: InCS mismatch: %v vs %v", what, a.InCS, b.InCS)
+		}
+	}
+}
+
+// TestUndoExplorerMatchesCloneReference: the in-place step/revert explorer
+// visits the exact state partition of the clone-based search — verdicts,
+// witness schedules, co-residency sets and visited-state counts are
+// bit-identical across the whole lock suite and all three models.
+func TestUndoExplorerMatchesCloneReference(t *testing.T) {
+	for _, tc := range parityPairs {
+		for _, m := range allModels {
+			what := tc.name + "/" + m.String()
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			undo, uerr := s.Exhaustive(bg(), m, Opts{})
+			ref, rerr := cloneExhaustive(bg(), s, m, Opts{})
+			if (uerr == nil) != (rerr == nil) {
+				t.Fatalf("%s: error mismatch: %v vs %v", what, uerr, rerr)
+			}
+			requireSameResult(t, what, undo, ref)
+			requireSameInCS(t, what, undo, ref)
+			if undo.Violation {
+				requireViolationReplays(t, what, s, m, undo.Witness)
+			}
+		}
+	}
+}
+
+// TestUndoExplorerMatchesCloneReferenceWithCrashes: the parity must
+// survive adversarial crash budgets — crash steps swap out a process's
+// buffer, interpreter state and knowledge cache, the most intrusive
+// transitions the undo log has to reverse.
+func TestUndoExplorerMatchesCloneReferenceWithCrashes(t *testing.T) {
+	opts := Opts{Faults: &machine.FaultPlan{MaxCrashes: 1}}
+	for _, tc := range []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"peterson", locks.NewPeterson},
+		{"bakery", locks.NewBakery},
+	} {
+		for _, m := range allModels {
+			what := tc.name + "/" + m.String() + "/crashes=1"
+			s := mustSubject(t, tc.name, tc.ctor, 2)
+			undo, uerr := s.Exhaustive(bg(), m, opts)
+			ref, rerr := cloneExhaustive(bg(), s, m, opts)
+			if (uerr == nil) != (rerr == nil) {
+				t.Fatalf("%s: error mismatch: %v vs %v", what, uerr, rerr)
+			}
+			requireSameResult(t, what, undo, ref)
+			requireSameInCS(t, what, undo, ref)
+		}
+	}
+}
+
+// TestUndoExplorerMatchesCloneReferenceUnderSymmetry: parity also holds
+// when the visited set is keyed on symmetry orbits (the canonicalizer
+// re-reads the configuration the undo trail restores).
+func TestUndoExplorerMatchesCloneReferenceUnderSymmetry(t *testing.T) {
+	for _, m := range allModels {
+		s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+		undo, uerr := s.Exhaustive(bg(), m, Opts{Symmetry: true})
+		ref, rerr := cloneExhaustive(bg(), s, m, Opts{Symmetry: true})
+		if (uerr == nil) != (rerr == nil) {
+			t.Fatalf("peterson/%v: error mismatch: %v vs %v", m, uerr, rerr)
+		}
+		requireSameResult(t, "peterson/"+m.String()+"/symmetry", undo, ref)
+	}
+}
+
+// TestUndoExplorerMatchesCloneReferenceAtBudgetTrip: equal exploration
+// order means a MaxStates budget must trip both explorers at exactly the
+// same state with the same partial result.
+func TestUndoExplorerMatchesCloneReferenceAtBudgetTrip(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	for _, cap := range []int{150, 700} {
+		undo, uerr := s.Exhaustive(bg(), machine.PSO, statesOpt(cap))
+		ref, rerr := cloneExhaustive(bg(), s, machine.PSO, statesOpt(cap))
+		if !run.IsLimit(uerr) || !run.IsLimit(rerr) {
+			t.Fatalf("cap %d: budgets did not trip: %v vs %v", cap, uerr, rerr)
+		}
+		if undo.States != cap || ref.States != cap {
+			t.Fatalf("cap %d: trip points differ from cap: undo %d, clone %d", cap, undo.States, ref.States)
+		}
+		requireSameResult(t, "budget trip", undo, ref)
 	}
 }
 

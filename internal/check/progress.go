@@ -156,6 +156,13 @@ explore:
 					limitErr = err
 					break explore
 				}
+				// Clone only elements that will take (the graph retains a
+				// configuration per node, so dead clones are pure waste);
+				// Enabled reports true on would-be-error states, so errors
+				// still surface below.
+				if !c.Enabled(e) {
+					continue
+				}
 				next := c.Clone()
 				if _, took, err := next.Step(e); err != nil {
 					return nil, err

@@ -175,14 +175,26 @@ func (c *Config) Crashed(p int) int64 { return c.stats.Crashes[p] }
 // Crashing a halted process produces no step — a process that has
 // returned has left the protocol (the checker and the RME substitution
 // both want restarts of live processes only).
-func (c *Config) crashStep(p int) (StepRecord, bool, error) {
+func (c *Config) crashStep(p int, u *Undo) (StepRecord, bool, error) {
 	ps := c.procs[p]
 	if ps.Halted() {
 		return StepRecord{}, false, nil
 	}
+	known := c.cacheKnown[p*c.cacheStride : (p+1)*c.cacheStride]
+	if u != nil {
+		// The crash replaces the buffer and interpreter pointers (the old
+		// values stay intact behind them) and clears the cache row's
+		// presence bits; the row's value cells are untouched.
+		u.crashed = true
+		u.prevBuf = c.wbs[p]
+		u.prevProc = ps
+		u.prevCacheKnown = append([]bool(nil), known...)
+	}
 	c.wbs[p] = newBuffer(c.model)
 	c.procs[p] = ps.Restart()
-	c.cache[p] = make(map[Reg]Value)
+	for i := range known {
+		known[i] = false
+	}
 
 	c.stats.Crashes[p]++
 	c.stats.Steps[p]++

@@ -30,10 +30,10 @@ func (c *Config) Fingerprint() (string, error) {
 		}
 	}
 	// Memory: only non-zero registers, in register order (registers are
-	// allocated contiguously from 0).
+	// allocated contiguously from 0, and mem is dense over the layout).
 	size := Reg(c.lay.Size())
 	for r := Reg(0); r < size; r++ {
-		if v, ok := c.mem[r]; ok && v != 0 {
+		if v := c.memAt(r); v != 0 {
 			fmt.Fprintf(&b, "m%d=%d,", r, v)
 		}
 	}

@@ -14,14 +14,18 @@ import (
 const NoOwner = -1
 
 // Layout allocates the register namespace for an algorithm instance and
-// records segment ownership. Registers are handed out as contiguous arrays;
-// each register belongs to exactly one process segment (or to NoOwner).
+// records segment ownership. Registers are handed out as contiguous arrays
+// numbered densely from 0; each register belongs to exactly one process
+// segment (or to NoOwner). The dense numbering is load-bearing: Config
+// stores memory, knowledge caches and the last-committer table as flat
+// slices indexed by it, and the owner table below is a flat slice for the
+// same reason (Owner runs on every read/commit classification).
 //
 // A Layout is built once per algorithm instance and then shared, immutably,
 // by every configuration running that instance.
 type Layout struct {
 	next   Reg
-	owner  map[Reg]int
+	owners []int // owners[r] is the segment owner of register r
 	arrays map[string]Array
 	order  []string
 }
@@ -53,7 +57,7 @@ func (a Array) At(i int) Reg {
 
 // NewLayout returns an empty register layout.
 func NewLayout() *Layout {
-	return &Layout{owner: make(map[Reg]int), arrays: make(map[string]Array)}
+	return &Layout{arrays: make(map[string]Array)}
 }
 
 // Alloc allocates an array of length size named name. ownerOf(i) gives the
@@ -68,7 +72,7 @@ func (l *Layout) Alloc(name string, size int, ownerOf func(i int) int) (Array, e
 	}
 	a := Array{Name: name, Base: l.next, Len: size}
 	for i := 0; i < size; i++ {
-		l.owner[a.Base+Reg(i)] = ownerOf(i)
+		l.owners = append(l.owners, ownerOf(i))
 	}
 	l.next += Reg(size)
 	l.arrays[name] = a
@@ -100,11 +104,10 @@ func OwnedByConst(p int) func(int) int { return func(int) int { return p } }
 // Owner returns the segment owner of register r (NoOwner if r was never
 // allocated or is unowned).
 func (l *Layout) Owner(r Reg) int {
-	o, ok := l.owner[r]
-	if !ok {
-		return NoOwner
+	if r >= 0 && int(r) < len(l.owners) {
+		return l.owners[r]
 	}
-	return o
+	return NoOwner
 }
 
 // Size returns the total number of allocated registers.

@@ -66,27 +66,44 @@ var ErrBadPID = errors.New("machine: schedule element names an unknown process")
 // instead of corrupting the register namespace.
 var ErrBadReg = errors.New("machine: operation on an invalid register")
 
+// noCommitter marks a register no process has ever committed to in the
+// dense last-committer table (process ids are non-negative).
+const noCommitter = int32(-1)
+
 // Config is a system configuration: the state of each process, each
 // register, and each write buffer — plus the bookkeeping needed for RMR
 // classification (per-process knowledge caches and the last-committer
 // table) and the running cost counters.
+//
+// All machine-level state is held in flat, index-addressed slices keyed by
+// the Layout's contiguous register numbering: reads and writes are array
+// ops, clones are copy calls, and the state-key encoder walks contiguous
+// memory. Registers are allocated from 0, so the slices are dense; the
+// rare write past the layout's size (test setups poking ad-hoc registers)
+// grows them on demand (see ensureReg).
 type Config struct {
 	model Model
 	n     int
 	lay   *Layout
 
-	mem   map[Reg]Value
+	// mem[r] is shared memory (0 = the paper's ⊥, never committed).
+	mem   []Value
 	procs []*lang.ProcState
 	wbs   []writeBuffer
 
-	// cache[p][r] is the last value process p read from or wrote to r;
-	// a read returning that same value is served by p's cache and is
-	// therefore local (the paper's CC half of the combined model).
-	cache []map[Reg]Value
-	// lastCommitter[r] is the last process to commit a write to r; a
-	// commit by the same process again is local (no other process took
-	// the cache line / memory ownership away in between).
-	lastCommitter map[Reg]int
+	// cache[p*cacheStride+r] is the last value process p read from or
+	// wrote to r, valid iff the matching cacheKnown bit is set; a read
+	// returning that same value is served by p's cache and is therefore
+	// local (the paper's CC half of the combined model).
+	cache       []Value
+	cacheKnown  []bool
+	cacheStride int
+
+	// lastCommitter[r] is the last process to commit a write to r
+	// (noCommitter if none); a commit by the same process again is local
+	// (no other process took the cache line / memory ownership away in
+	// between).
+	lastCommitter []int32
 
 	accounting Accounting
 
@@ -112,16 +129,22 @@ func NewConfig(model Model, lay *Layout, progs []*lang.Program) (*Config, error)
 	if lay == nil {
 		lay = NewLayout()
 	}
+	stride := lay.Size()
 	c := &Config{
 		model:         model,
 		n:             n,
 		lay:           lay,
-		mem:           make(map[Reg]Value),
+		mem:           make([]Value, stride),
 		procs:         make([]*lang.ProcState, n),
 		wbs:           make([]writeBuffer, n),
-		cache:         make([]map[Reg]Value, n),
-		lastCommitter: make(map[Reg]int),
+		cache:         make([]Value, n*stride),
+		cacheKnown:    make([]bool, n*stride),
+		cacheStride:   stride,
+		lastCommitter: make([]int32, stride),
 		stats:         NewStats(n),
+	}
+	for i := range c.lastCommitter {
+		c.lastCommitter[i] = noCommitter
 	}
 	for p := 0; p < n; p++ {
 		if progs[p] == nil {
@@ -129,9 +152,72 @@ func NewConfig(model Model, lay *Layout, progs []*lang.Program) (*Config, error)
 		}
 		c.procs[p] = lang.NewProcState(progs[p], p, n)
 		c.wbs[p] = newBuffer(model)
-		c.cache[p] = make(map[Reg]Value)
 	}
 	return c, nil
+}
+
+// ensureReg grows the dense machine-level tables to cover register r. The
+// invariant len(mem) == len(lastCommitter) == cacheStride always holds;
+// growth re-strides the cache rows in place. Registers inside the layout
+// never trigger growth — NewConfig sizes the tables to the layout.
+func (c *Config) ensureReg(r Reg) {
+	if int(r) < c.cacheStride {
+		return
+	}
+	stride := c.cacheStride * 2
+	if stride < int(r)+1 {
+		stride = int(r) + 1
+	}
+	mem := make([]Value, stride)
+	copy(mem, c.mem)
+	lc := make([]int32, stride)
+	copy(lc, c.lastCommitter)
+	for i := len(c.lastCommitter); i < stride; i++ {
+		lc[i] = noCommitter
+	}
+	cache := make([]Value, c.n*stride)
+	known := make([]bool, c.n*stride)
+	for p := 0; p < c.n; p++ {
+		copy(cache[p*stride:], c.cache[p*c.cacheStride:(p+1)*c.cacheStride])
+		copy(known[p*stride:], c.cacheKnown[p*c.cacheStride:(p+1)*c.cacheStride])
+	}
+	c.mem, c.lastCommitter, c.cache, c.cacheKnown, c.cacheStride = mem, lc, cache, known, stride
+}
+
+// memAt reads shared memory (0 for registers never committed, including
+// registers beyond the dense tables).
+func (c *Config) memAt(r Reg) Value {
+	if r >= 0 && int(r) < len(c.mem) {
+		return c.mem[r]
+	}
+	return 0
+}
+
+// cacheAt returns process p's cached value for r and whether one is known.
+func (c *Config) cacheAt(p int, r Reg) (Value, bool) {
+	if r < 0 || int(r) >= c.cacheStride {
+		return 0, false
+	}
+	i := p*c.cacheStride + int(r)
+	return c.cache[i], c.cacheKnown[i]
+}
+
+// setCache records that process p knows value v for register r.
+func (c *Config) setCache(p int, r Reg, v Value) {
+	c.ensureReg(r)
+	i := p*c.cacheStride + int(r)
+	c.cache[i] = v
+	c.cacheKnown[i] = true
+}
+
+// lastCommitterOf returns the last process to commit to r, if any.
+func (c *Config) lastCommitterOf(r Reg) (int, bool) {
+	if r >= 0 && int(r) < len(c.lastCommitter) {
+		if lc := c.lastCommitter[r]; lc != noCommitter {
+			return int(lc), true
+		}
+	}
+	return 0, false
 }
 
 // Clone returns an independent deep copy of the configuration (statistics
@@ -144,28 +230,41 @@ func (c *Config) Clone() *Config {
 		accounting:    c.accounting,
 		faults:        c.faults, // plans are immutable once installed
 		steps:         c.steps,
-		mem:           make(map[Reg]Value, len(c.mem)),
+		mem:           append([]Value(nil), c.mem...),
 		procs:         make([]*lang.ProcState, c.n),
 		wbs:           make([]writeBuffer, c.n),
-		cache:         make([]map[Reg]Value, c.n),
-		lastCommitter: make(map[Reg]int, len(c.lastCommitter)),
+		cache:         append([]Value(nil), c.cache...),
+		cacheKnown:    append([]bool(nil), c.cacheKnown...),
+		cacheStride:   c.cacheStride,
+		lastCommitter: append([]int32(nil), c.lastCommitter...),
 		stats:         c.stats.Clone(),
-	}
-	for r, v := range c.mem {
-		d.mem[r] = v
-	}
-	for r, p := range c.lastCommitter {
-		d.lastCommitter[r] = p
 	}
 	for p := 0; p < c.n; p++ {
 		d.procs[p] = c.procs[p].Clone()
 		d.wbs[p] = c.wbs[p].clone()
-		d.cache[p] = make(map[Reg]Value, len(c.cache[p]))
-		for r, v := range c.cache[p] {
-			d.cache[p][r] = v
-		}
 	}
 	return d
+}
+
+// cloneInto overwrites dst — a recycled configuration of the same shape
+// (layout, model, process count) — with a deep copy of c, reusing dst's
+// slice storage and write buffers. Stats are copied; the trace is cleared.
+// ConfigPool guarantees shape compatibility before calling this.
+func (c *Config) cloneInto(dst *Config) {
+	dst.accounting = c.accounting
+	dst.faults = c.faults
+	dst.steps = c.steps
+	dst.mem = append(dst.mem[:0], c.mem...)
+	dst.cache = append(dst.cache[:0], c.cache...)
+	dst.cacheKnown = append(dst.cacheKnown[:0], c.cacheKnown...)
+	dst.cacheStride = c.cacheStride
+	dst.lastCommitter = append(dst.lastCommitter[:0], c.lastCommitter...)
+	c.stats.CloneInto(dst.stats)
+	dst.trace = nil
+	for p := 0; p < c.n; p++ {
+		dst.procs[p] = c.procs[p].Clone()
+		dst.wbs[p] = c.wbs[p].cloneInto(dst.wbs[p])
+	}
 }
 
 // N returns the number of processes.
@@ -188,11 +287,18 @@ func (c *Config) Trace() *Trace { return c.trace }
 
 // Register returns the current shared-memory value of r (0 if never
 // committed).
-func (c *Config) Register(r Reg) Value { return c.mem[r] }
+func (c *Config) Register(r Reg) Value { return c.memAt(r) }
 
 // SetRegister initializes register r to v. Intended for test setup before
-// any steps are taken.
-func (c *Config) SetRegister(r Reg, v Value) { c.mem[r] = v }
+// any steps are taken. Negative registers are rejected as a no-op (they
+// are not part of the register namespace).
+func (c *Config) SetRegister(r Reg, v Value) {
+	if r < 0 {
+		return
+	}
+	c.ensureReg(r)
+	c.mem[r] = v
+}
 
 // Proc returns process p's interpreter state.
 func (c *Config) Proc(p int) *lang.ProcState { return c.procs[p] }
@@ -232,6 +338,13 @@ func (c *Config) BufferLen(p int) int { return c.wbs[p].len() }
 // BufferRegs returns the registers buffered by process p, ascending.
 func (c *Config) BufferRegs(p int) []Reg { return c.wbs[p].regs() }
 
+// AppendBufferRegs appends the registers buffered by process p (ascending)
+// to dst without allocating a fresh slice — the explorers' successor-
+// enumeration hot path.
+func (c *Config) AppendBufferRegs(p int, dst []Reg) []Reg {
+	return c.wbs[p].appendRegs(dst)
+}
+
 // BufferLookup returns the buffered value process p holds for r, if any.
 func (c *Config) BufferLookup(p int, r Reg) (Value, bool) { return c.wbs[p].lookup(r) }
 
@@ -249,16 +362,63 @@ func (c *Config) PoisedAtFence(p int) bool {
 	return err == nil && ok && op.Kind == lang.OpFence
 }
 
+// Enabled reports whether the schedule element e would produce a step from
+// the current configuration. It is a cheap pre-screen for clone-based
+// explorers: cloning happens only for elements that will take. The
+// contract is one-sided — Enabled returns false only when Step(e) is
+// guaranteed to be a no-op (took=false, err=nil); configurations where
+// Step would surface an error report true, so error states are still
+// discovered by the explorer that clones and steps.
+//
+// Like Step, Enabled may settle process e.P's pending local computation;
+// settling never changes behavioural state (state keys and fingerprints
+// are settle-invariant).
+func (c *Config) Enabled(e Elem) bool {
+	p := e.P
+	if p < 0 || p >= c.n {
+		return true // let Step surface ErrBadPID
+	}
+	ps := c.procs[p]
+	if e.Crash {
+		return !ps.Halted()
+	}
+	if ps.Halted() {
+		return false
+	}
+	if e.HasReg && c.wbs[p].canCommit(e.Reg) && !c.faults.stalled(p, e.Reg, c.steps) {
+		return true
+	}
+	op, ok, err := ps.NextOp()
+	if err != nil {
+		return true // let Step surface the interpreter error
+	}
+	if !ok {
+		return false
+	}
+	if op.Kind == lang.OpFence && c.wbs[p].len() > 0 {
+		_, can := c.drainCandidate(p)
+		return can
+	}
+	return true
+}
+
 // Step executes the schedule element e and returns the resulting step
 // record. took=false means the element produced the empty execution (the
 // process was already in a final state).
 func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
+	return c.step(e, nil)
+}
+
+// step is the shared implementation of Step and StepUndo: when u is
+// non-nil, every mutation is recorded into it so Undo.Revert can restore
+// the exact prior configuration.
+func (c *Config) step(e Elem, u *Undo) (rec StepRecord, took bool, err error) {
 	p := e.P
 	if p < 0 || p >= c.n {
 		return StepRecord{}, false, fmt.Errorf("%w: %d", ErrBadPID, p)
 	}
 	if e.Crash {
-		return c.crashStep(p)
+		return c.crashStep(p, u)
 	}
 	ps := c.procs[p]
 	if ps.Halted() {
@@ -268,7 +428,7 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 	// Rule 2: the element names a register with a committable write (and
 	// no stall window suspends it).
 	if e.HasReg && c.wbs[p].canCommit(e.Reg) && !c.faults.stalled(p, e.Reg, c.steps) {
-		return c.commitStep(p, e.Reg), true, nil
+		return c.commitStep(p, e.Reg, u), true, nil
 	}
 
 	op, ok, err := ps.NextOp()
@@ -287,15 +447,21 @@ func (c *Config) Step(e Elem) (rec StepRecord, took bool, err error) {
 		if !can {
 			return StepRecord{}, false, nil
 		}
-		return c.commitStep(p, r), true, nil
+		return c.commitStep(p, r, u), true, nil
 	}
 
-	// Rule 4: perform the pending program operation.
+	// Rule 4: perform the pending program operation. These arms mutate the
+	// process's interpreter state in place, so the undo log snapshots it
+	// first (commit steps above never touch it — NextOp settled it, and
+	// settling is behaviour-invariant).
+	if u != nil {
+		u.prevProc = ps.Clone()
+	}
 	switch op.Kind {
 	case lang.OpRead:
-		return c.readStep(p, op)
+		return c.readStep(p, op, u)
 	case lang.OpWrite:
-		return c.writeStep(p, op)
+		return c.writeStep(p, op, u)
 	case lang.OpFence:
 		if err := ps.CompleteFence(); err != nil {
 			return StepRecord{}, false, err
@@ -342,14 +508,25 @@ func (c *Config) drainCandidate(p int) (r Reg, can bool) {
 }
 
 // commitStep commits process p's buffered write to r and classifies it.
-func (c *Config) commitStep(p int, r Reg) StepRecord {
+func (c *Config) commitStep(p int, r Reg, u *Undo) StepRecord {
 	w := c.wbs[p].commit(r)
+	c.ensureReg(w.Reg)
+	if u != nil {
+		u.bufOp = bufUncommit
+		u.bufWrite = w
+		u.memTouched = true
+		u.memReg = w.Reg
+		u.memPrev = c.mem[w.Reg]
+		u.lcTouched = true
+		u.lcReg = w.Reg
+		u.lcPrev = c.lastCommitter[w.Reg]
+	}
 	c.mem[w.Reg] = w.Val
 
 	owner := c.lay.Owner(w.Reg)
-	last, seen := c.lastCommitter[w.Reg]
+	last, seen := c.lastCommitterOf(w.Reg)
 	remote := c.classifyCommit(owner == p, seen && last == p)
-	c.lastCommitter[w.Reg] = p
+	c.lastCommitter[w.Reg] = int32(p)
 
 	c.stats.Commits[p]++
 	c.stats.Steps[p]++
@@ -364,7 +541,7 @@ func (c *Config) commitStep(p int, r Reg) StepRecord {
 }
 
 // readStep serves process p's pending read and classifies it.
-func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
+func (c *Config) readStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error) {
 	r := op.Reg
 	if r < 0 {
 		return StepRecord{}, false, fmt.Errorf("%w: p%d read(R%d)", ErrBadReg, p, r)
@@ -381,12 +558,17 @@ func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
 		// touch shared memory.
 		val, fromMemory, remote = v, false, false
 	} else {
-		val = c.mem[r]
+		val = c.memAt(r)
 		fromMemory = true
-		cached, known := c.cache[p][r]
+		cached, known := c.cacheAt(p, r)
 		remote = c.classifyRead(owner == p, known && cached == val)
 	}
-	c.cache[p][r] = val
+	if u != nil {
+		u.cacheTouched = true
+		u.cacheReg = r
+		u.cachePrev, u.cachePrevKnown = c.cacheAt(p, r)
+	}
+	c.setCache(p, r, val)
 
 	if err := c.procs[p].CompleteRead(val); err != nil {
 		return StepRecord{}, false, err
@@ -405,7 +587,7 @@ func (c *Config) readStep(p int, op lang.Op) (StepRecord, bool, error) {
 
 // writeStep buffers process p's pending write (and, under SC, commits it
 // within the same step).
-func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
+func (c *Config) writeStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error) {
 	r, v := op.Reg, op.Val
 	if r < 0 {
 		return StepRecord{}, false, fmt.Errorf("%w: p%d write(R%d)", ErrBadReg, p, r)
@@ -415,7 +597,12 @@ func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
 	if err := c.procs[p].CompleteWrite(); err != nil {
 		return StepRecord{}, false, err
 	}
-	c.cache[p][r] = v
+	if u != nil {
+		u.cacheTouched = true
+		u.cacheReg = r
+		u.cachePrev, u.cachePrevKnown = c.cacheAt(p, r)
+	}
+	c.setCache(p, r, v)
 	c.stats.Writes[p]++
 	c.stats.Steps[p]++
 	c.steps++
@@ -425,10 +612,18 @@ func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
 		// classified by the commit rule (out-of-segment and not the last
 		// committer ⇒ remote), so SC cost accounting matches the usual
 		// DSM/CC conventions.
+		if u != nil {
+			u.memTouched = true
+			u.memReg = r
+			u.memPrev = c.mem[r]
+			u.lcTouched = true
+			u.lcReg = r
+			u.lcPrev = c.lastCommitter[r]
+		}
 		c.mem[r] = v
-		last, seen := c.lastCommitter[r]
+		last, seen := c.lastCommitterOf(r)
 		remote := c.classifyCommit(owner == p, seen && last == p)
-		c.lastCommitter[r] = p
+		c.lastCommitter[r] = int32(p)
 		c.stats.Commits[p]++
 		if remote {
 			c.stats.RemoteCommits[p]++
@@ -439,7 +634,14 @@ func (c *Config) writeStep(p int, op lang.Op) (StepRecord, bool, error) {
 		return rec, true, nil
 	}
 
-	c.wbs[p].put(Write{Reg: r, Val: v})
+	w := Write{Reg: r, Val: v}
+	replaced, old := c.wbs[p].put(w)
+	if u != nil {
+		u.bufOp = bufUnput
+		u.bufWrite = w
+		u.bufReplaced = replaced
+		u.bufOld = old
+	}
 	rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, SegOwner: owner}
 	c.trace.append(rec)
 	return rec, true, nil

@@ -1,0 +1,48 @@
+package machine
+
+import "sync"
+
+// ConfigPool recycles Config allocations for explorers that clone per
+// frontier node (the level-synchronous parallel engine): once a frontier
+// configuration has been expanded and merged, its slices and write buffers
+// go back to the pool and the next clone reuses them instead of
+// reallocating. Pools are keyed implicitly by shape — a recycled
+// configuration is reused only for a source with the same layout, model
+// and process count; anything else falls back to a fresh Clone.
+//
+// A ConfigPool is safe for concurrent use. Configurations handed to Put
+// must no longer be referenced by the caller.
+type ConfigPool struct {
+	pool sync.Pool
+}
+
+// NewConfigPool returns an empty pool.
+func NewConfigPool() *ConfigPool { return &ConfigPool{} }
+
+// compatible reports whether d's storage can be reused for a copy of c.
+func (c *Config) compatible(d *Config) bool {
+	return d != nil && d.lay == c.lay && d.model == c.model && d.n == c.n
+}
+
+// Get returns an independent deep copy of src, reusing pooled storage when
+// a shape-compatible configuration is available.
+func (cp *ConfigPool) Get(src *Config) *Config {
+	v := cp.pool.Get()
+	if v == nil {
+		return src.Clone()
+	}
+	d := v.(*Config)
+	if !src.compatible(d) {
+		return src.Clone()
+	}
+	src.cloneInto(d)
+	return d
+}
+
+// Put recycles c for a later Get. Nil-safe.
+func (cp *ConfigPool) Put(c *Config) {
+	if c == nil {
+		return
+	}
+	cp.pool.Put(c)
+}

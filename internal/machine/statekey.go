@@ -97,18 +97,20 @@ func (e *KeyEncoder) append(c *Config, buf []byte, ren *renamer) ([]byte, error)
 		}
 	}
 	// Memory: non-zero registers as count-prefixed (reg, value) pairs in
-	// ascending renamed-register order.
+	// ascending renamed-register order. mem is dense over the layout, so
+	// this is a contiguous walk; registers allocated after the
+	// configuration was built (memAt covers them) are all zero.
 	size := Reg(c.lay.Size())
 	if ren == nil {
 		nz := 0
 		for r := Reg(0); r < size; r++ {
-			if v, ok := c.mem[r]; ok && v != 0 {
+			if c.memAt(r) != 0 {
 				nz++
 			}
 		}
 		buf = binary.AppendUvarint(buf, uint64(nz))
 		for r := Reg(0); r < size; r++ {
-			if v, ok := c.mem[r]; ok && v != 0 {
+			if v := c.memAt(r); v != 0 {
 				buf = binary.AppendUvarint(buf, uint64(r))
 				buf = binary.AppendVarint(buf, v)
 			}
@@ -116,7 +118,7 @@ func (e *KeyEncoder) append(c *Config, buf []byte, ren *renamer) ([]byte, error)
 	} else {
 		e.ws = e.ws[:0]
 		for r := Reg(0); r < size; r++ {
-			if v, ok := c.mem[r]; ok && v != 0 {
+			if v := c.memAt(r); v != 0 {
 				e.ws = append(e.ws, Write{Reg: ren.reg(r), Val: ren.val(r, v)})
 			}
 		}

@@ -41,16 +41,52 @@ func (s *Stats) N() int { return s.n }
 // Clone returns an independent copy.
 func (s *Stats) Clone() *Stats {
 	c := NewStats(s.n)
-	copy(c.Fences, s.Fences)
-	copy(c.RMRs, s.RMRs)
-	copy(c.Reads, s.Reads)
-	copy(c.RemoteReads, s.RemoteReads)
-	copy(c.Writes, s.Writes)
-	copy(c.Commits, s.Commits)
-	copy(c.RemoteCommits, s.RemoteCommits)
-	copy(c.Steps, s.Steps)
-	copy(c.Crashes, s.Crashes)
+	s.CloneInto(c)
 	return c
+}
+
+// CloneInto copies s's counters into dst, which must be sized for the same
+// process count (pooled configurations recycle their Stats storage).
+func (s *Stats) CloneInto(dst *Stats) {
+	copy(dst.Fences, s.Fences)
+	copy(dst.RMRs, s.RMRs)
+	copy(dst.Reads, s.Reads)
+	copy(dst.RemoteReads, s.RemoteReads)
+	copy(dst.Writes, s.Writes)
+	copy(dst.Commits, s.Commits)
+	copy(dst.RemoteCommits, s.RemoteCommits)
+	copy(dst.Steps, s.Steps)
+	copy(dst.Crashes, s.Crashes)
+}
+
+// statsCounters is the number of per-process counters — the size of one
+// process's row snapshot in an undo log.
+const statsCounters = 9
+
+// snapshotRow copies process p's counters into row.
+func (s *Stats) snapshotRow(p int, row *[statsCounters]int64) {
+	row[0] = s.Fences[p]
+	row[1] = s.RMRs[p]
+	row[2] = s.Reads[p]
+	row[3] = s.RemoteReads[p]
+	row[4] = s.Writes[p]
+	row[5] = s.Commits[p]
+	row[6] = s.RemoteCommits[p]
+	row[7] = s.Steps[p]
+	row[8] = s.Crashes[p]
+}
+
+// restoreRow restores process p's counters from row.
+func (s *Stats) restoreRow(p int, row *[statsCounters]int64) {
+	s.Fences[p] = row[0]
+	s.RMRs[p] = row[1]
+	s.Reads[p] = row[2]
+	s.RemoteReads[p] = row[3]
+	s.Writes[p] = row[4]
+	s.Commits[p] = row[5]
+	s.RemoteCommits[p] = row[6]
+	s.Steps[p] = row[7]
+	s.Crashes[p] = row[8]
 }
 
 // Reset zeroes all counters.

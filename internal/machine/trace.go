@@ -121,6 +121,15 @@ func (t *Trace) Len() int {
 	return len(t.Steps)
 }
 
+// truncate discards every step recorded after high-water mark n; nil-safe.
+// Used by Undo.Revert to roll the recording back with the configuration.
+func (t *Trace) truncate(n int) {
+	if t == nil || n >= len(t.Steps) {
+		return
+	}
+	t.Steps = t.Steps[:n]
+}
+
 // Project returns the subsequence of steps taken by processes for which
 // keep(pid) is true — the paper's E|P operator.
 func (t *Trace) Project(keep func(pid int) bool) *Trace {

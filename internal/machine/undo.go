@@ -1,0 +1,148 @@
+package machine
+
+import "tradingfences/internal/lang"
+
+// Reversible stepping. StepUndo executes a schedule element in place —
+// no configuration clone — and returns an Undo that restores the exact
+// prior configuration, SPIN-style: the depth-first explorers step along an
+// edge, recurse, and revert on backtrack, paying a handful of cell writes
+// per edge instead of a deep copy per candidate.
+//
+// One step touches a bounded set of machine-level state: at most one
+// memory cell, one knowledge-cache cell, one last-committer entry, one
+// write-buffer entry, the stepping process's interpreter state, that
+// process's statistics row and the global step clock. The undo log records
+// the prior value of exactly those cells. A crash step is the one bulk
+// mutation (it wipes the process's buffer and cache row), so its undo
+// keeps the replaced buffer and a copy of the row's presence bits.
+//
+// Like Step, StepUndo may settle the stepping process's pending local
+// computation before deciding which rule fires; Revert does not unsettle
+// it. Settling is behaviour-invariant (state keys, fingerprints and
+// occupancy are identical before and after), so a reverted configuration
+// is bit-identical to the original in every observable: StateKey, Stats,
+// occupancy, write-buffer contents and RMR-classification state.
+
+// bufUndoOp says how Revert restores the stepping process's write buffer.
+type bufUndoOp uint8
+
+const (
+	bufNone     bufUndoOp = iota
+	bufUncommit           // the step committed bufWrite; re-insert it
+	bufUnput              // the step buffered bufWrite; remove or un-coalesce it
+)
+
+// Undo records the mutations of one taken step. The zero value is inert:
+// Revert on it is a no-op, so callers may unconditionally revert the undo
+// returned by StepUndo even when the element produced no step. An Undo is
+// single-shot and must be reverted in LIFO order with any later undos of
+// the same configuration.
+type Undo struct {
+	c *Config
+	p int
+
+	valid bool
+
+	// Interpreter state of the stepping process before a rule-4 program
+	// step (commit steps never touch it). For a crash step this is the
+	// pre-crash state itself: crashStep replaces the pointer, leaving the
+	// old value intact.
+	prevProc *lang.ProcState
+
+	// One shared-memory cell.
+	memTouched bool
+	memReg     Reg
+	memPrev    Value
+
+	// One knowledge-cache cell of process p.
+	cacheTouched   bool
+	cacheReg       Reg
+	cachePrev      Value
+	cachePrevKnown bool
+
+	// One last-committer entry.
+	lcTouched bool
+	lcReg     Reg
+	lcPrev    int32
+
+	// One write-buffer entry of process p.
+	bufOp       bufUndoOp
+	bufWrite    Write
+	bufReplaced bool
+	bufOld      Value
+
+	// Crash-only bulk state: the replaced write buffer (kept, not copied —
+	// crashStep installs a fresh one) and the cache row's presence bits
+	// (a crash clears them; the value cells are untouched).
+	crashed        bool
+	prevBuf        writeBuffer
+	prevCacheKnown []bool
+
+	// Statistics row of process p, the global step clock, and the trace
+	// high-water mark.
+	statsPrev    [statsCounters]int64
+	stepsPrev    int64
+	tracePrevLen int
+}
+
+// StepUndo executes the schedule element e in place, exactly like Step,
+// and additionally returns an Undo whose Revert restores the prior
+// configuration. When the element produces no step (took=false) or an
+// error, the configuration is unchanged (modulo behaviour-invariant
+// settling) and the returned Undo is inert.
+func (c *Config) StepUndo(e Elem) (rec StepRecord, took bool, u Undo, err error) {
+	u.c = c
+	u.p = e.P
+	if e.P >= 0 && e.P < c.n {
+		u.stepsPrev = c.steps
+		u.tracePrevLen = c.trace.Len()
+		c.stats.snapshotRow(e.P, &u.statsPrev)
+	}
+	rec, took, err = c.step(e, &u)
+	u.valid = took && err == nil
+	if !u.valid {
+		u = Undo{}
+	}
+	return rec, took, u, err
+}
+
+// Revert restores the configuration to its state before the step that
+// produced this undo. No-op on an inert (zero or already-reverted) Undo.
+func (u *Undo) Revert() {
+	if !u.valid {
+		return
+	}
+	u.valid = false
+	c, p := u.c, u.p
+
+	if u.crashed {
+		c.wbs[p] = u.prevBuf
+		c.procs[p] = u.prevProc
+		copy(c.cacheKnown[p*c.cacheStride:(p+1)*c.cacheStride], u.prevCacheKnown)
+	} else {
+		if u.prevProc != nil {
+			c.procs[p] = u.prevProc
+		}
+		switch u.bufOp {
+		case bufUncommit:
+			c.wbs[p].uncommit(u.bufWrite)
+		case bufUnput:
+			c.wbs[p].unput(u.bufWrite, u.bufReplaced, u.bufOld)
+		}
+		if u.memTouched {
+			c.mem[u.memReg] = u.memPrev
+		}
+		if u.cacheTouched {
+			i := p*c.cacheStride + int(u.cacheReg)
+			c.cache[i] = u.cachePrev
+			c.cacheKnown[i] = u.cachePrevKnown
+		}
+		if u.lcTouched {
+			c.lastCommitter[u.lcReg] = u.lcPrev
+		}
+	}
+
+	c.stats.restoreRow(p, &u.statsPrev)
+	c.steps = u.stepsPrev
+	c.trace.truncate(u.tracePrevLen)
+}

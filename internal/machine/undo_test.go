@@ -1,0 +1,297 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tradingfences/internal/lang"
+)
+
+// undoModels are the models the revert properties are checked under.
+var undoModels = []Model{SC, TSO, PSO}
+
+// requireConfigsEqual asserts that two configurations are observationally
+// bit-identical: same state key bytes, same fingerprint, same statistics,
+// same step clock, and — beyond what the key covers — the same knowledge
+// caches and last-committer table (the RMR-classification state). The
+// comparison runs over logical register indices so two configs with
+// different physical strides (one grew via ensureReg, one was cloned at
+// final size) still compare equal.
+func requireConfigsEqual(t *testing.T, label string, a, b *Config) {
+	t.Helper()
+	ak, err := a.StateKey()
+	if err != nil {
+		t.Fatalf("%s: key(a): %v", label, err)
+	}
+	bk, err := b.StateKey()
+	if err != nil {
+		t.Fatalf("%s: key(b): %v", label, err)
+	}
+	if ak != bk {
+		t.Fatalf("%s: state keys differ: %v vs %v", label, ak, bk)
+	}
+	af, err := a.Fingerprint()
+	if err != nil {
+		t.Fatalf("%s: fingerprint(a): %v", label, err)
+	}
+	bf, err := b.Fingerprint()
+	if err != nil {
+		t.Fatalf("%s: fingerprint(b): %v", label, err)
+	}
+	if af != bf {
+		t.Fatalf("%s: fingerprints differ:\n  %s\n  %s", label, af, bf)
+	}
+	if a.steps != b.steps {
+		t.Fatalf("%s: step clocks differ: %d vs %d", label, a.steps, b.steps)
+	}
+	as, bs := a.Stats(), b.Stats()
+	var arow, brow [statsCounters]int64
+	for p := 0; p < a.n; p++ {
+		as.snapshotRow(p, &arow)
+		bs.snapshotRow(p, &brow)
+		if arow != brow {
+			t.Fatalf("%s: stats rows for p%d differ: %v vs %v", label, p, arow, brow)
+		}
+	}
+	// RMR-classification state, invisible to keys and fingerprints.
+	size := Reg(a.lay.Size())
+	if s := Reg(a.cacheStride); s > size {
+		size = s
+	}
+	if s := Reg(b.cacheStride); s > size {
+		size = s
+	}
+	for r := Reg(0); r < size; r++ {
+		if av, bv := a.memAt(r), b.memAt(r); av != bv {
+			t.Fatalf("%s: mem[%d] differs: %d vs %d", label, r, av, bv)
+		}
+		ac, aok := a.lastCommitterOf(r)
+		bc, bok := b.lastCommitterOf(r)
+		if aok != bok || (aok && ac != bc) {
+			t.Fatalf("%s: lastCommitter[%d] differs: (%d,%v) vs (%d,%v)", label, r, ac, aok, bc, bok)
+		}
+		for p := 0; p < a.n; p++ {
+			av, aok := a.cacheAt(p, r)
+			bv, bok := b.cacheAt(p, r)
+			if aok != bok || (aok && av != bv) {
+				t.Fatalf("%s: cache[p%d][%d] differs: (%d,%v) vs (%d,%v)", label, p, r, av, aok, bv, bok)
+			}
+		}
+	}
+	// Buffer contents in commit order (regs is deterministic per buffer kind).
+	for p := 0; p < a.n; p++ {
+		ae, be := a.wbs[p].entries(), b.wbs[p].entries()
+		if len(ae) != len(be) {
+			t.Fatalf("%s: buffer p%d length differs: %d vs %d", label, p, len(ae), len(be))
+		}
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("%s: buffer p%d entry %d differs: %v vs %v", label, p, i, ae[i], be[i])
+			}
+		}
+	}
+}
+
+// undoElems builds a random schedule over n processes that also includes
+// crash elements (randomSchedule in determinism_test.go is crash-free).
+func undoElems(rng *rand.Rand, n, steps int, maxReg Reg) Schedule {
+	sched := make(Schedule, steps)
+	for i := range sched {
+		p := rng.Intn(n)
+		switch roll := rng.Float64(); {
+		case roll < 0.08:
+			sched[i] = PCrash(p)
+		case roll < 0.38:
+			sched[i] = PReg(p, Reg(rng.Int63n(int64(maxReg))))
+		default:
+			sched[i] = PBottom(p)
+		}
+	}
+	return sched
+}
+
+// stepUndoWalk drives one configuration down a schedule with StepUndo,
+// checking at every element that (1) the step agrees with Step on an
+// identical clone, (2) Revert restores the configuration bit-for-bit, and
+// (3) re-applying after the revert reproduces the step exactly. The
+// surviving configuration is compared against a reference that only ever
+// used Step, so undo bookkeeping cannot leak into forward execution.
+func stepUndoWalk(t *testing.T, model Model, fp *FaultPlan, sched Schedule, progs []*lang.Program) {
+	t.Helper()
+	lay := NewLayout()
+	lay.MustAlloc("seg0", 10, OwnedByConst(0))
+	lay.MustAlloc("seg1", 10, OwnedByConst(1))
+	lay.MustAlloc("pad", 80, Unowned)
+	lay.MustAlloc("shared", 30, Unowned)
+	c, err := NewConfig(model, lay, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFaultPlan(fp)
+	ref := c.Clone()
+
+	for i, e := range sched {
+		before := c.Clone()
+		rec, took, u, err := c.StepUndo(e)
+		recRef, tookRef, errRef := ref.Step(e)
+		if took != tookRef || rec != recRef || (err == nil) != (errRef == nil) {
+			t.Fatalf("elem %d (%v): StepUndo (%v,%v,%v) disagrees with Step (%v,%v,%v)",
+				i, e, rec, took, err, recRef, tookRef, errRef)
+		}
+		if err != nil {
+			// Interpreter errors abort exploration; nothing more to check.
+			return
+		}
+		if !took {
+			// A no-op step must leave the configuration untouched and
+			// return an inert undo.
+			u.Revert()
+			requireConfigsEqual(t, "no-op step", c, before)
+			continue
+		}
+		u.Revert()
+		requireConfigsEqual(t, "after revert", c, before)
+		rec2, took2, err2 := c.Step(e)
+		if err2 != nil || !took2 || rec2 != rec {
+			t.Fatalf("elem %d (%v): re-apply after revert gave (%v,%v,%v), want (%v,true,nil)",
+				i, e, rec2, took2, err2, rec)
+		}
+		requireConfigsEqual(t, "walk vs reference", c, ref)
+	}
+}
+
+// undoProgs returns the worker programs for the revert walks: reads,
+// buffered writes, fences and arithmetic over both owned and shared
+// segments, so commits, drains, cache hits and remote classification all
+// occur.
+func undoProgs() []*lang.Program {
+	return []*lang.Program{incProgram(), incProgram(), incProgram()}
+}
+
+// TestStepUndoRevertProperty: for random schedules with crashes and
+// commit-stall windows under every model, StepUndo followed by Revert is
+// the identity (state key, fingerprint, stats, caches, last-committer,
+// buffers), and step/revert/step-again tracks a pure-Step reference
+// configuration exactly.
+func TestStepUndoRevertProperty(t *testing.T) {
+	for _, model := range undoModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				sched := undoElems(rng, 3, 120, 121)
+				fp := &FaultPlan{
+					MaxCrashes: 4,
+					Stalls: []StallWindow{
+						{P: rng.Intn(3), Reg: -1, From: int64(rng.Intn(20)), To: int64(20 + rng.Intn(60))},
+						{P: rng.Intn(3), Reg: Reg(100 + rng.Intn(10)), From: 0, To: int64(rng.Intn(80))},
+					},
+				}
+				if err := fp.Validate(3); err != nil {
+					t.Fatal(err)
+				}
+				stepUndoWalk(t, model, fp, sched, undoProgs())
+				return !t.Failed()
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStepUndoZeroValueInert: the zero Undo and the Undo returned for a
+// rejected or no-op step are inert — Revert must not disturb anything.
+func TestStepUndoZeroValueInert(t *testing.T) {
+	var zero Undo
+	zero.Revert() // must not panic
+
+	c, _ := mkConfig(t, PSO, incProgram(), incProgram())
+	if halted, err := c.RunSolo(0, 64); err != nil || !halted {
+		t.Fatalf("solo run: halted=%v err=%v", halted, err)
+	}
+	before := c.Clone()
+	// Bad pid: an error step.
+	if _, took, u, err := c.StepUndo(PBottom(7)); err == nil || took {
+		t.Fatalf("bad pid: took=%v err=%v", took, err)
+	} else {
+		u.Revert()
+	}
+	// Stepping a halted process: a no-op step.
+	if _, took, u, err := c.StepUndo(PBottom(0)); err != nil || took {
+		t.Fatalf("halted step: took=%v err=%v", took, err)
+	} else {
+		u.Revert()
+	}
+	// Crashing a halted process: also a no-op.
+	if _, took, u, err := c.StepUndo(PCrash(0)); err != nil || took {
+		t.Fatalf("halted crash: took=%v err=%v", took, err)
+	} else {
+		u.Revert()
+	}
+	requireConfigsEqual(t, "inert undos", c, before)
+}
+
+// TestStepUndoRevertStack: reverts compose in LIFO order — a depth-first
+// walk that descends k steps and unwinds them one by one lands back on the
+// root exactly, at every unwind depth.
+func TestStepUndoRevertStack(t *testing.T) {
+	for _, model := range undoModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			sched := undoElems(rng, 3, 40, 121)
+			lay := NewLayout()
+			lay.MustAlloc("regs", 128, OwnedBy)
+			c, err := NewConfig(model, lay, undoProgs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetFaultPlan(&FaultPlan{MaxCrashes: 2})
+			snapshots := []*Config{c.Clone()}
+			var undos []Undo
+			for _, e := range sched {
+				_, took, u, err := c.StepUndo(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !took {
+					continue
+				}
+				undos = append(undos, u)
+				snapshots = append(snapshots, c.Clone())
+			}
+			for len(undos) > 0 {
+				undos[len(undos)-1].Revert()
+				undos = undos[:len(undos)-1]
+				snapshots = snapshots[:len(snapshots)-1]
+				requireConfigsEqual(t, "unwind", c, snapshots[len(snapshots)-1])
+			}
+		})
+	}
+}
+
+// FuzzStepUndoRevert: arbitrary schedule text under an arbitrary model
+// must satisfy the revert identity. The corpus seeds cover commits, crash
+// elements and fence drains.
+func FuzzStepUndoRevert(f *testing.F) {
+	f.Add("p0 p1 p0:R100 p1:R101 p0 p0 p1", uint8(2))
+	f.Add("p0 p0 p0 p0! p0 p0", uint8(2))
+	f.Add("p0:R0 p1 p1! p1 p1:R10 p0", uint8(1))
+	f.Add("p0 p1 p2 p0 p1 p2 p0 p1 p2", uint8(0))
+	f.Fuzz(func(t *testing.T, text string, modelByte uint8) {
+		sched, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		for _, e := range sched {
+			if e.P < 0 || e.P > 2 {
+				return
+			}
+		}
+		model := undoModels[int(modelByte)%len(undoModels)]
+		fp := &FaultPlan{MaxCrashes: len(sched), Stalls: []StallWindow{{P: 0, Reg: -1, From: 2, To: 9}}}
+		stepUndoWalk(t, model, fp, sched, undoProgs())
+	})
+}

@@ -52,12 +52,20 @@ type Write struct {
 
 // writeBuffer abstracts the per-process write buffer. Implementations
 // differ only in which buffered writes are committable and which write is
-// the canonical one drained first at a fence.
+// the canonical one drained first at a fence. Both implementations are
+// flat slices — buffers hold a handful of writes, where linear scans and
+// copies beat any pointer structure — which makes clone two copy calls
+// and undo (uncommit/unput) an O(len) splice.
 type writeBuffer interface {
 	// put inserts a write, replacing any buffered write to the same
 	// register (the paper's WB semantics: WB is a set without duplicate
-	// registers).
-	put(w Write)
+	// registers). It reports whether an existing write was replaced and
+	// the value it held — the undo log needs both to reverse the put.
+	put(w Write) (replaced bool, old Value)
+	// unput reverses a put of w: if the put replaced an existing write,
+	// the old value is restored in place; otherwise the inserted entry is
+	// removed.
+	unput(w Write, replaced bool, old Value)
 	// lookup returns the buffered value for r, if any.
 	lookup(r Reg) (Value, bool)
 	// canCommit reports whether a buffered write to r may commit now.
@@ -65,6 +73,10 @@ type writeBuffer interface {
 	// commit removes and returns the buffered write to r. It must only be
 	// called when canCommit(r) is true.
 	commit(r Reg) Write
+	// uncommit reverses a commit: the write is reinserted at the position
+	// it was committed from (the FIFO head for TSO, its register slot for
+	// PSO).
+	uncommit(w Write)
 	// drainNext returns the register whose write is drained next when the
 	// process is blocked at a fence: the smallest register for PSO
 	// (matching the paper's Exec rule), the FIFO head for TSO.
@@ -73,6 +85,10 @@ type writeBuffer interface {
 	len() int
 	// regs returns the buffered registers in ascending order.
 	regs() []Reg
+	// appendRegs appends the buffered registers (ascending) to dst without
+	// allocating a fresh slice — the explorers' successor-enumeration hot
+	// path.
+	appendRegs(dst []Reg) []Reg
 	// entries returns the buffered writes in semantic order: queue order
 	// for TSO (where order is observable), ascending register order for
 	// PSO (where it is not). Used for state fingerprints.
@@ -82,71 +98,125 @@ type writeBuffer interface {
 	appendEntries(dst []Write) []Write
 	// clone returns an independent deep copy.
 	clone() writeBuffer
+	// cloneInto copies this buffer's contents into dst when dst is a
+	// recycled buffer of the same implementation (reusing its storage),
+	// falling back to a fresh clone otherwise. Returns the buffer to use.
+	cloneInto(dst writeBuffer) writeBuffer
 }
 
-// psoBuffer implements the paper's unordered write buffer: a register-keyed
-// set. Any buffered write may commit at any time.
+// psoBuffer implements the paper's unordered write buffer as a flat slice
+// sorted by register: a register-keyed set. Any buffered write may commit
+// at any time. Keeping the slice sorted makes regs/entries allocation-free
+// appends, drainNext a peek at index 0, and clone a single copy.
 type psoBuffer struct {
-	m map[Reg]Value
+	ws []Write // sorted ascending by Reg, no duplicate registers
 }
 
-func newPSOBuffer() *psoBuffer { return &psoBuffer{m: make(map[Reg]Value)} }
+func newPSOBuffer() *psoBuffer { return &psoBuffer{} }
 
-func (b *psoBuffer) put(w Write) { b.m[w.Reg] = w.Val }
-func (b *psoBuffer) len() int    { return len(b.m) }
-func (b *psoBuffer) lookup(r Reg) (Value, bool) {
-	v, ok := b.m[r]
-	return v, ok
-}
-func (b *psoBuffer) canCommit(r Reg) bool {
-	_, ok := b.m[r]
-	return ok
-}
-func (b *psoBuffer) commit(r Reg) Write {
-	v := b.m[r]
-	delete(b.m, r)
-	return Write{Reg: r, Val: v}
-}
-func (b *psoBuffer) drainNext() Reg {
-	var min Reg
-	first := true
-	for r := range b.m {
-		if first || r < min {
-			min = r
-			first = false
+// find returns the index of r in the sorted slice, or the insertion point
+// with ok=false.
+func (b *psoBuffer) find(r Reg) (int, bool) {
+	lo, hi := 0, len(b.ws)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.ws[mid].Reg < r {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return min
+	return lo, lo < len(b.ws) && b.ws[lo].Reg == r
 }
+
+func (b *psoBuffer) put(w Write) (replaced bool, old Value) {
+	i, ok := b.find(w.Reg)
+	if ok {
+		old = b.ws[i].Val
+		b.ws[i].Val = w.Val
+		return true, old
+	}
+	b.ws = append(b.ws, Write{})
+	copy(b.ws[i+1:], b.ws[i:])
+	b.ws[i] = w
+	return false, 0
+}
+
+func (b *psoBuffer) unput(w Write, replaced bool, old Value) {
+	i, ok := b.find(w.Reg)
+	if !ok {
+		return
+	}
+	if replaced {
+		b.ws[i].Val = old
+		return
+	}
+	b.ws = append(b.ws[:i], b.ws[i+1:]...)
+}
+
+func (b *psoBuffer) len() int { return len(b.ws) }
+
+func (b *psoBuffer) lookup(r Reg) (Value, bool) {
+	if i, ok := b.find(r); ok {
+		return b.ws[i].Val, true
+	}
+	return 0, false
+}
+
+func (b *psoBuffer) canCommit(r Reg) bool {
+	_, ok := b.find(r)
+	return ok
+}
+
+func (b *psoBuffer) commit(r Reg) Write {
+	i, _ := b.find(r)
+	w := b.ws[i]
+	b.ws = append(b.ws[:i], b.ws[i+1:]...)
+	return w
+}
+
+func (b *psoBuffer) uncommit(w Write) {
+	i, _ := b.find(w.Reg)
+	b.ws = append(b.ws, Write{})
+	copy(b.ws[i+1:], b.ws[i:])
+	b.ws[i] = w
+}
+
+func (b *psoBuffer) drainNext() Reg { return b.ws[0].Reg }
+
 func (b *psoBuffer) regs() []Reg {
-	rs := make([]Reg, 0, len(b.m))
-	for r := range b.m {
-		rs = append(rs, r)
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
-	return rs
+	return b.appendRegs(make([]Reg, 0, len(b.ws)))
 }
-func (b *psoBuffer) entries() []Write {
-	ws := make([]Write, 0, len(b.m))
-	for _, r := range b.regs() {
-		ws = append(ws, Write{Reg: r, Val: b.m[r]})
+
+func (b *psoBuffer) appendRegs(dst []Reg) []Reg {
+	for _, w := range b.ws {
+		dst = append(dst, w.Reg)
 	}
-	return ws
-}
-func (b *psoBuffer) appendEntries(dst []Write) []Write {
-	start := len(dst)
-	for r, v := range b.m {
-		dst = append(dst, Write{Reg: r, Val: v})
-	}
-	sortWrites(dst[start:])
 	return dst
 }
+
+func (b *psoBuffer) entries() []Write {
+	ws := make([]Write, len(b.ws))
+	copy(ws, b.ws)
+	return ws
+}
+
+func (b *psoBuffer) appendEntries(dst []Write) []Write {
+	return append(dst, b.ws...)
+}
+
 func (b *psoBuffer) clone() writeBuffer {
-	c := newPSOBuffer()
-	for r, v := range b.m {
-		c.m[r] = v
-	}
+	c := &psoBuffer{ws: make([]Write, len(b.ws))}
+	copy(c.ws, b.ws)
 	return c
+}
+
+func (b *psoBuffer) cloneInto(dst writeBuffer) writeBuffer {
+	if d, ok := dst.(*psoBuffer); ok {
+		d.ws = append(d.ws[:0], b.ws...)
+		return d
+	}
+	return b.clone()
 }
 
 // tsoBuffer implements a FIFO store buffer: only the oldest write may
@@ -160,15 +230,34 @@ type tsoBuffer struct {
 
 func newTSOBuffer() *tsoBuffer { return &tsoBuffer{} }
 
-func (b *tsoBuffer) put(w Write) {
+func (b *tsoBuffer) put(w Write) (replaced bool, old Value) {
 	for i := range b.q {
 		if b.q[i].Reg == w.Reg {
+			old = b.q[i].Val
 			b.q[i].Val = w.Val
-			return
+			return true, old
 		}
 	}
 	b.q = append(b.q, w)
+	return false, 0
 }
+
+func (b *tsoBuffer) unput(w Write, replaced bool, old Value) {
+	if replaced {
+		for i := range b.q {
+			if b.q[i].Reg == w.Reg {
+				b.q[i].Val = old
+				return
+			}
+		}
+		return
+	}
+	// A non-coalescing put appended; the entry to drop is the tail.
+	if n := len(b.q); n > 0 && b.q[n-1].Reg == w.Reg {
+		b.q = b.q[:n-1]
+	}
+}
+
 func (b *tsoBuffer) len() int { return len(b.q) }
 func (b *tsoBuffer) lookup(r Reg) (Value, bool) {
 	for i := len(b.q) - 1; i >= 0; i-- {
@@ -183,17 +272,28 @@ func (b *tsoBuffer) canCommit(r Reg) bool {
 }
 func (b *tsoBuffer) commit(r Reg) Write {
 	w := b.q[0]
-	b.q = append([]Write(nil), b.q[1:]...)
+	copy(b.q, b.q[1:])
+	b.q = b.q[:len(b.q)-1]
 	return w
+}
+func (b *tsoBuffer) uncommit(w Write) {
+	b.q = append(b.q, Write{})
+	copy(b.q[1:], b.q)
+	b.q[0] = w
 }
 func (b *tsoBuffer) drainNext() Reg { return b.q[0].Reg }
 func (b *tsoBuffer) regs() []Reg {
-	rs := make([]Reg, 0, len(b.q))
-	for _, w := range b.q {
-		rs = append(rs, w.Reg)
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	rs := b.appendRegs(make([]Reg, 0, len(b.q)))
 	return rs
+}
+func (b *tsoBuffer) appendRegs(dst []Reg) []Reg {
+	start := len(dst)
+	for _, w := range b.q {
+		dst = append(dst, w.Reg)
+	}
+	rs := dst[start:]
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return dst
 }
 func (b *tsoBuffer) entries() []Write {
 	ws := make([]Write, len(b.q))
@@ -208,6 +308,13 @@ func (b *tsoBuffer) clone() writeBuffer {
 	copy(c.q, b.q)
 	return c
 }
+func (b *tsoBuffer) cloneInto(dst writeBuffer) writeBuffer {
+	if d, ok := dst.(*tsoBuffer); ok {
+		d.q = append(d.q[:0], b.q...)
+		return d
+	}
+	return b.clone()
+}
 
 // scBuffer is the degenerate buffer of sequential consistency: the machine
 // commits every write within the same step, so the buffer is always empty
@@ -215,18 +322,22 @@ func (b *tsoBuffer) clone() writeBuffer {
 // uniform.
 type scBuffer struct{}
 
-func (scBuffer) put(Write)                {}
-func (scBuffer) len() int                 { return 0 }
-func (scBuffer) lookup(Reg) (Value, bool) { return 0, false }
-func (scBuffer) canCommit(Reg) bool       { return false }
-func (scBuffer) commit(Reg) Write         { return Write{} }
-func (scBuffer) drainNext() Reg           { return 0 }
-func (scBuffer) regs() []Reg              { return nil }
-func (scBuffer) entries() []Write         { return nil }
+func (scBuffer) put(Write) (bool, Value)    { return false, 0 }
+func (scBuffer) unput(Write, bool, Value)   {}
+func (scBuffer) len() int                   { return 0 }
+func (scBuffer) lookup(Reg) (Value, bool)   { return 0, false }
+func (scBuffer) canCommit(Reg) bool         { return false }
+func (scBuffer) commit(Reg) Write           { return Write{} }
+func (scBuffer) uncommit(Write)             {}
+func (scBuffer) drainNext() Reg             { return 0 }
+func (scBuffer) regs() []Reg                { return nil }
+func (scBuffer) appendRegs(dst []Reg) []Reg { return dst }
+func (scBuffer) entries() []Write           { return nil }
 func (scBuffer) appendEntries(dst []Write) []Write {
 	return dst
 }
-func (scBuffer) clone() writeBuffer { return scBuffer{} }
+func (scBuffer) clone() writeBuffer                    { return scBuffer{} }
+func (scBuffer) cloneInto(dst writeBuffer) writeBuffer { return scBuffer{} }
 
 func newBuffer(m Model) writeBuffer {
 	switch m {

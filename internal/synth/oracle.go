@@ -37,7 +37,9 @@ type Oracle func(ctx context.Context, subject *check.Subject, model machine.Mode
 // ExhaustiveOracle decides placements with the sequential exhaustive
 // checker under the given per-call options (budget, symmetry reduction).
 // Complete, deterministic, and the cheapest choice at n=2 where state
-// spaces are tiny.
+// spaces are tiny. The checker explores with in-place step/revert (an undo
+// trail instead of a clone per edge), so sweeping hundreds of placements
+// through this oracle pays no per-edge configuration copies.
 func ExhaustiveOracle(opts check.Opts) Oracle {
 	return func(ctx context.Context, subject *check.Subject, model machine.Model) (Verdict, error) {
 		res, err := subject.Exhaustive(ctx, model, opts)
