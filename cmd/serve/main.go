@@ -1,0 +1,94 @@
+// Command serve runs the verification daemon: an HTTP/JSON service that
+// accepts check and synthesis jobs, runs them on a bounded worker pool
+// through the supervised checker, and survives crashes, duplicate
+// submissions and overload.
+//
+// Usage:
+//
+//	serve -addr :8080 -data ./serve-data -pool 2 -queue 64
+//
+// Submit a job:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"op":"check","lock":"bakery","n":3,"model":"pso","workers":2}'
+//
+// Identical submissions return the same job ID; completed results are
+// served from the cache. SIGTERM/SIGINT drains: new work is refused,
+// running jobs get -drain to finish or checkpoint, and a restart resumes
+// whatever was in flight from the outbox journal in -data.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tradingfences/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "serve-data", "data directory (outbox journal + job checkpoints)")
+	pool := flag.Int("pool", 2, "concurrent job workers")
+	queue := flag.Int("queue", 64, "queued-job cap; a full queue sheds submissions with 429")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for running jobs on SIGTERM before they are cancelled onto their checkpoints")
+	flag.Parse()
+
+	if err := run(*addr, *data, *pool, *queue, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, pool, queue int, drain time.Duration) error {
+	srv, err := serve.New(serve.Config{
+		DataDir:    data,
+		Pool:       pool,
+		QueueCap:   queue,
+		DrainGrace: drain,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s, data in %s (pool=%d queue=%d)\n",
+		ln.Addr(), data, pool, queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "serve: %v: draining (grace %v)\n", sig, drain)
+		// Refuse new work and park the jobs first (readyz flips to 503
+		// for the whole drain), then close the HTTP side.
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

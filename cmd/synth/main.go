@@ -46,11 +46,33 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	assertMinimal := flag.String("assert-minimal", "", "comma-separated site list (or 'none') that must appear among the minimal placements; exit 1 otherwise")
 	benchOut := flag.String("bench-out", "", "write a one-entry benchmark record (wall time, oracle calls/states) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	flag.Parse()
 
+	// The CPU profile is stopped and closed explicitly (not deferred):
+	// the error path exits with os.Exit, which would skip defers and
+	// truncate the profile.
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synth:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "synth:", err)
+			os.Exit(1)
+		}
+		cpuf = f
+	}
 	err := run(*lock, *n, *model, *passages, *states, *memMB, *timeout, *oracle,
 		*workers, *maxOracle, *seed, *symmetry, *witnessDir, *jsonOut, *assertMinimal, *benchOut)
+	if cpuf != nil {
+		pprof.StopCPUProfile()
+		cpuf.Close()
+	}
 	if *memprofile != "" {
 		writeHeapProfile(*memprofile)
 	}

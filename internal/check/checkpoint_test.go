@@ -90,18 +90,18 @@ func TestCheckpointValidation(t *testing.T) {
 		return ck
 	}
 	cases := map[string]*Checkpoint{
-		"nil frontier":   mut(func(c *Checkpoint) { c.Frontier = nil }),
-		"bad model":      mut(func(c *Checkpoint) { c.Model = "RMO" }),
-		"bad schedule":   mut(func(c *Checkpoint) { c.Frontier[0].Schedule = "q9" }),
-		"no identity":    mut(func(c *Checkpoint) { c.Identity = "" }),
-		"bad codec":      mut(func(c *Checkpoint) { c.Codec = machine.StateKeyCodecVersion + 1 }),
-		"bad root key":   mut(func(c *Checkpoint) { c.RootFP = "root-token" }),
-		"bad shard key":  mut(func(c *Checkpoint) { c.Shards[1][0] = "not-hex" }),
+		"nil frontier":  mut(func(c *Checkpoint) { c.Frontier = nil }),
+		"bad model":     mut(func(c *Checkpoint) { c.Model = "RMO" }),
+		"bad schedule":  mut(func(c *Checkpoint) { c.Frontier[0].Schedule = "q9" }),
+		"no identity":   mut(func(c *Checkpoint) { c.Identity = "" }),
+		"bad codec":     mut(func(c *Checkpoint) { c.Codec = machine.StateKeyCodecVersion + 1 }),
+		"bad root key":  mut(func(c *Checkpoint) { c.RootFP = "root-token" }),
+		"bad shard key": mut(func(c *Checkpoint) { c.Shards[1][0] = "not-hex" }),
 		"short shard key": mut(func(c *Checkpoint) {
 			c.Shards[0][0] = c.Shards[0][0][:30]
 		}),
-		"negative level": mut(func(c *Checkpoint) { c.Level = -1 }),
-		"negative meter": mut(func(c *Checkpoint) { c.Steps = -5 }),
+		"negative level":        mut(func(c *Checkpoint) { c.Level = -1 }),
+		"negative meter":        mut(func(c *Checkpoint) { c.Steps = -5 }),
 		"negative crash budget": mut(func(c *Checkpoint) { c.MaxCrashes = -1 }),
 		"crashes over budget":   mut(func(c *Checkpoint) { c.Frontier[1].Crashes = 2 }),
 		"crashes without budget": mut(func(c *Checkpoint) {

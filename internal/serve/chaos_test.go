@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The chaos test re-executes this test binary as the daemon: TestMain
+// diverts to child mode when the env var is set, so the parent can kill
+// the "daemon" with SIGKILL — a real crash, no graceful path — and
+// restart it over the same data directory.
+const (
+	chaosDataEnv = "TF_SERVE_CHAOS_DATA"
+	chaosAddrEnv = "TF_SERVE_CHAOS_ADDRFILE"
+)
+
+func TestMain(m *testing.M) {
+	if data := os.Getenv(chaosDataEnv); data != "" {
+		runChaosChild(data, os.Getenv(chaosAddrEnv))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runChaosChild is the daemon half: a real Server with the real
+// FacadeRunner, listening on an ephemeral port it publishes through the
+// address file (written atomically so the parent never reads a torn path).
+func runChaosChild(dataDir, addrFile string) {
+	srv, err := New(Config{DataDir: dataDir, Pool: 2, DecisionLog: io.Discard})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos child:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos child:", err)
+		os.Exit(1)
+	}
+	srv.Start()
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos child:", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos child:", err)
+		os.Exit(1)
+	}
+	http.Serve(ln, srv.Handler()) // until SIGKILL
+}
+
+func startChaosChild(t *testing.T, data, addrFile string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), chaosDataEnv+"="+data, chaosAddrEnv+"="+addrFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitChildAddr(t *testing.T, addrFile string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return "http://" + string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("chaos child never published its address")
+	return ""
+}
+
+// Kill -9 mid-job, restart, same answer: the daemon is SIGKILLed while a
+// real bakery-n3 exploration is in flight (its checkpoint is on disk,
+// its journal has no terminal event), then restarted over the same data
+// directory. The restarted daemon must resume the job from the certified
+// checkpoint — observably, not from scratch — and finish with a verdict
+// bit-identical to an uninterrupted run's.
+func TestChaosKillResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test re-executes the test binary")
+	}
+	data := t.TempDir()
+	req := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", Workers: 2})
+	key := req.Key()
+	ckpt := CheckpointPath(CheckpointDir(data), key)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First incarnation: submit and wait for the exploration to snapshot.
+	addrFile1 := filepath.Join(t.TempDir(), "addr1")
+	child1 := startChaosChild(t, data, addrFile1)
+	url1 := waitChildAddr(t, addrFile1)
+	resp, err := http.Post(url1+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.JobID != JobID(key) {
+		t.Fatalf("job ID %q, want the key-derived %q", sr.JobID, JobID(key))
+	}
+	waitFor(t, func() bool {
+		_, err := os.Stat(ckpt)
+		return err == nil
+	})
+
+	// SIGKILL: no drain, no journal flush, no checkpoint removal — the
+	// bluntest crash the OS offers.
+	if err := child1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait()
+
+	// The job must not have finished before the kill, or the test proves
+	// nothing about resume.
+	recs, err := ReadOutbox(OutboxPath(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Key == key && (rec.Event == EventDone || rec.Event == EventFailed) {
+			t.Fatalf("job reached %q before the kill; checkpoint race", rec.Event)
+		}
+	}
+
+	// Second incarnation over the same data dir: the replayed journal
+	// re-enqueues the job and it runs to completion with no new submission.
+	addrFile2 := filepath.Join(t.TempDir(), "addr2")
+	startChaosChild(t, data, addrFile2)
+	url2 := waitChildAddr(t, addrFile2)
+	var after View
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		r, err := http.Get(url2 + "/v1/jobs/" + sr.JobID)
+		if err == nil {
+			err = json.NewDecoder(r.Body).Decode(&after)
+			r.Body.Close()
+		}
+		if err == nil && after.Status == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted job never finished (last: %+v, err %v)", after, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The resume must be real: the job was replayed as a resume and its
+	// first attempt continued from a nonzero checkpoint level with the
+	// certified visited set.
+	if !after.Resumed {
+		t.Fatal("restarted job was not marked as a resume")
+	}
+	if len(after.Attempts) == 0 || after.Attempts[0].ResumedLevel == 0 || !after.Attempts[0].VisitedReused {
+		t.Fatalf("restart recomputed instead of resuming: attempts = %+v", after.Attempts)
+	}
+
+	// Reference: the same request, uninterrupted, in-process. The outcome
+	// structs deliberately carry no wall times, so bit-identical JSON is
+	// the comparison.
+	refCkpt := filepath.Join(t.TempDir(), "ref.ckpt")
+	ref, err := FacadeRunner{}.Run(context.Background(),
+		View{Request: req, checkpointPath: refCkpt}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err1 := json.Marshal(after.Result)
+	want, err2 := json.Marshal(ref)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed verdict diverges from uninterrupted run:\n  resumed:       %s\n  uninterrupted: %s", got, want)
+	}
+	if !after.Result.Authoritative || !after.Result.Check.Proved {
+		t.Fatalf("bakery n=3 should prove: %+v", after.Result)
+	}
+
+	// Terminal verdict: the daemon's checkpoint for the job is gone.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("job checkpoint survived its terminal verdict: stat err = %v", err)
+	}
+}

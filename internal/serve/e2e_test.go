@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// End to end through the real FacadeRunner: a violation check (fenceless
+// Peterson under TSO) refutes with a witness, a synthesis job recovers
+// the known PSO frontier, and both results are authoritative — so
+// duplicates of either are served from the cache without re-exploring.
+func TestEndToEndFacadeRunner(t *testing.T) {
+	cfg := testConfig(t, t.TempDir(), FacadeRunner{})
+	cfg.Pool = 2
+	cfg.DrainGrace = 5 * time.Second
+	srv, hs := startServer(t, cfg)
+
+	const violating = `{"op":"check","lock":"peterson-nofence","n":2,"model":"tso","workers":2}`
+	_, vj, _ := submitJSON(t, hs.URL, violating)
+	violated := waitStatus(t, hs.URL, vj.JobID, StatusDone)
+	if !violated.Result.Authoritative || !violated.Result.Check.Violated {
+		t.Fatalf("fenceless Peterson under TSO not refuted: %+v", violated.Result)
+	}
+	if violated.Result.Check.WitnessSchedule == "" {
+		t.Fatal("violation without a witness schedule")
+	}
+
+	const synth = `{"op":"synth","lock":"peterson","n":2,"model":"pso"}`
+	_, sj, _ := submitJSON(t, hs.URL, synth)
+	synthed := waitStatus(t, hs.URL, sj.JobID, StatusDone)
+	so := synthed.Result.Synth
+	if so == nil || !so.Complete || !synthed.Result.Authoritative {
+		t.Fatalf("synthesis frontier incomplete: %+v", synthed.Result)
+	}
+	if len(so.Minimal) != 1 || len(so.Minimal[0].Sites) != 2 {
+		t.Fatalf("peterson PSO minimal placement: %+v", so.Minimal)
+	}
+
+	// Both verdicts now serve duplicates from the cache: same job IDs, no
+	// second exploration (the states-explored meter stands still).
+	states := srv.Metrics().StatesExplored.Load()
+	for _, body := range []string{violating, synth} {
+		code, sr, _ := submitJSON(t, hs.URL, body)
+		if code != 200 || !sr.Cached || sr.Result == nil {
+			t.Fatalf("duplicate not served from cache: code=%d resp=%+v", code, sr)
+		}
+	}
+	if got := srv.Metrics().StatesExplored.Load(); got != states {
+		t.Fatalf("cache hits explored states: %d -> %d", states, got)
+	}
+	srv.Drain()
+}

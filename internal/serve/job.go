@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tradingfences/internal/supervise"
+)
+
+// Job statuses, in lifecycle order.
+const (
+	// StatusQueued: accepted, waiting for a worker slot.
+	StatusQueued = "queued"
+	// StatusRunning: a worker is exploring.
+	StatusRunning = "running"
+	// StatusDone: finished with a result (authoritative or degraded).
+	StatusDone = "done"
+	// StatusFailed: finished with a hard error and no usable result.
+	StatusFailed = "failed"
+	// StatusInterrupted: the daemon drained while the job ran; its
+	// checkpoint is on disk and a restart resumes it.
+	StatusInterrupted = "interrupted"
+)
+
+// Job is one deduplicated verification job. All fields are guarded by the
+// owning Store's mutex; handlers read through Store.View.
+type Job struct {
+	// ID is derived from Key (JobID); Key is the canonical request hash.
+	ID  string
+	Key string
+	// Request is the first submission's request (duplicates contribute
+	// nothing but a DedupHits tick).
+	Request Request
+	Status  string
+	// Resume marks a job re-enqueued by outbox replay after a restart:
+	// its runner picks up the certified checkpoint instead of recomputing.
+	Resume bool
+	// CheckpointPath is where the job's supervised run snapshots.
+	CheckpointPath string
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	// Attempts streams the supervised escalation ladder as it happens.
+	Attempts []supervise.Attempt
+	// Result and Error are the terminal outcome; ErrKind classifies
+	// Error with the supervisor's vocabulary.
+	Result  *Result
+	Error   string
+	ErrKind string
+
+	// DedupHits counts duplicate submissions collapsed onto this job
+	// while it was queued or running; CacheHits counts submissions served
+	// from its completed result.
+	DedupHits int
+	CacheHits int
+}
+
+// terminal reports whether the job has finished (successfully or not).
+func (j *Job) terminal() bool {
+	return j.Status == StatusDone || j.Status == StatusFailed
+}
+
+// Store is the in-memory job table: the dedup index (by canonical key),
+// the FIFO queue, and the result cache (terminal jobs stay in the table).
+// It is rebuilt from the outbox on startup.
+type Store struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	byKey map[string]*Job
+	queue []*Job // FIFO of *queued* jobs; jobs are never in the queue twice
+	// draining stops Next from handing out work.
+	draining bool
+	running  int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{byKey: make(map[string]*Job)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SubmitOutcome says what happened to a submission.
+type SubmitOutcome int
+
+const (
+	// SubmitNew: a fresh job was created and enqueued.
+	SubmitNew SubmitOutcome = iota
+	// SubmitDedup: an identical job is queued or running; the submission
+	// joined it.
+	SubmitDedup
+	// SubmitCached: an identical job already completed authoritatively;
+	// the submission is served from its result.
+	SubmitCached
+	// SubmitRejected: the queue is saturated.
+	SubmitRejected
+)
+
+// Submit routes a normalized request: dedup against an in-flight job,
+// serve from the cache, or enqueue a fresh job (respecting queueCap; cap
+// <= 0 means unbounded). A completed-but-non-authoritative or failed
+// prior job does not satisfy the submission — the job is reset and
+// re-enqueued fresh, so stale degraded verdicts are never served as
+// answers to new traffic.
+func (s *Store) Submit(req Request, key, checkpointPath string, queueCap int) (*Job, SubmitOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byKey[key]; ok {
+		switch {
+		case !j.terminal():
+			j.DedupHits++
+			return j, SubmitDedup
+		case j.Status == StatusDone && j.Result != nil && j.Result.Authoritative:
+			j.CacheHits++
+			return j, SubmitCached
+		default:
+			// Failed, or done but degraded/partial: re-run fresh.
+			if queueCap > 0 && len(s.queue) >= queueCap {
+				return nil, SubmitRejected
+			}
+			j.Request = req
+			j.Status = StatusQueued
+			j.Resume = false
+			j.Submitted = time.Now()
+			j.Started, j.Finished = time.Time{}, time.Time{}
+			j.Attempts, j.Result, j.Error, j.ErrKind = nil, nil, "", ""
+			s.queue = append(s.queue, j)
+			s.cond.Broadcast()
+			return j, SubmitNew
+		}
+	}
+	if queueCap > 0 && len(s.queue) >= queueCap {
+		return nil, SubmitRejected
+	}
+	j := &Job{
+		ID:             JobID(key),
+		Key:            key,
+		Request:        req,
+		Status:         StatusQueued,
+		CheckpointPath: checkpointPath,
+		Submitted:      time.Now(),
+	}
+	s.byKey[key] = j
+	s.queue = append(s.queue, j)
+	s.cond.Broadcast()
+	return j, SubmitNew
+}
+
+// Restore inserts a job rebuilt from the outbox. Terminal jobs populate
+// the cache; in-flight ones are re-enqueued with Resume set, so a
+// restarted daemon picks their certified checkpoints back up without
+// waiting for new traffic. Replay bypasses the queue cap: work that was
+// already accepted is never shed on restart.
+func (s *Store) Restore(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byKey[j.Key] = j
+	if j.Status == StatusQueued {
+		s.queue = append(s.queue, j)
+		s.cond.Broadcast()
+	}
+}
+
+// Next blocks until a queued job is available (marking it running) or the
+// store is draining (returning nil).
+func (s *Store) Next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 || s.draining {
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	j.Status = StatusRunning
+	j.Started = time.Now()
+	s.running++
+	return j
+}
+
+// Drain flips the store into drain mode: Next stops handing out work and
+// blocked workers wake up. Queued jobs stay queued — their submitted
+// outbox records carry them across the restart.
+func (s *Store) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Draining reports drain mode (readiness checks key off this).
+func (s *Store) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// AppendAttempt streams one supervised attempt into the job.
+func (s *Store) AppendAttempt(j *Job, a supervise.Attempt) {
+	s.mu.Lock()
+	j.Attempts = append(j.Attempts, a)
+	s.mu.Unlock()
+}
+
+// Finish records a job's terminal (or interrupted) outcome and releases
+// its worker slot.
+func (s *Store) Finish(j *Job, status string, res *Result, errMsg, errKind string) {
+	s.mu.Lock()
+	j.Status = status
+	j.Result = res
+	j.Error = errMsg
+	j.ErrKind = errKind
+	j.Finished = time.Now()
+	s.running--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Abort un-accepts a just-enqueued job (its submitted record could not
+// be journaled): pulled from the queue, marked failed. A no-op if a
+// worker already claimed it — the worker's own outcome then stands.
+func (s *Store) Abort(j *Job, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.Status != StatusQueued {
+		return
+	}
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	j.Status = StatusFailed
+	j.Error = msg
+	j.ErrKind = "error"
+	j.Finished = time.Now()
+}
+
+// Idle reports no running jobs (drain waits on this).
+func (s *Store) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running == 0
+}
+
+// WaitIdle blocks until no job is running or the deadline passes,
+// reporting whether the store went idle.
+func (s *Store) WaitIdle(deadline time.Time) bool {
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.running > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Until(deadline)):
+		return false
+	}
+}
+
+// QueueDepth returns the queued-job count.
+func (s *Store) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Running returns the running-job count.
+func (s *Store) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Lookup returns the job with the given ID (IDs are key-derived, so this
+// scans the table; job counts are small — bounded by distinct identities).
+func (s *Store) Lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byKey {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// View is a consistent snapshot of a job for serialization.
+type View struct {
+	ID        string              `json:"job_id"`
+	Key       string              `json:"key"`
+	Status    string              `json:"status"`
+	Request   Request             `json:"request"`
+	Resumed   bool                `json:"resumed,omitempty"`
+	Submitted time.Time           `json:"submitted"`
+	Started   *time.Time          `json:"started,omitempty"`
+	Finished  *time.Time          `json:"finished,omitempty"`
+	Attempts  []supervise.Attempt `json:"attempts,omitempty"`
+	Result    *Result             `json:"result,omitempty"`
+	Error     string              `json:"error,omitempty"`
+	ErrKind   string              `json:"err_kind,omitempty"`
+	DedupHits int                 `json:"dedup_hits,omitempty"`
+	CacheHits int                 `json:"cache_hits,omitempty"`
+
+	// checkpointPath rides along unserialized so runners know where the
+	// job snapshots without holding the store's lock.
+	checkpointPath string
+}
+
+// Snapshot copies the job out under the lock.
+func (s *Store) Snapshot(j *Job) View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:             j.ID,
+		Key:            j.Key,
+		Status:         j.Status,
+		Request:        j.Request,
+		Resumed:        j.Resume,
+		Submitted:      j.Submitted,
+		checkpointPath: j.CheckpointPath,
+		Attempts:       append([]supervise.Attempt(nil), j.Attempts...),
+		Result:         j.Result,
+		Error:          j.Error,
+		ErrKind:        j.ErrKind,
+		DedupHits:      j.DedupHits,
+		CacheHits:      j.CacheHits,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// All snapshots every job, newest submission first.
+func (s *Store) All() []View {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.byKey))
+	for _, j := range s.byKey {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, s.Snapshot(j))
+	}
+	for i := 0; i < len(views); i++ {
+		for k := i + 1; k < len(views); k++ {
+			if views[k].Submitted.After(views[i].Submitted) {
+				views[i], views[k] = views[k], views[i]
+			}
+		}
+	}
+	return views
+}

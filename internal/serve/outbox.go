@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Outbox event kinds.
+const (
+	// EventSubmitted: a fresh job was accepted and enqueued.
+	EventSubmitted = "submitted"
+	// EventStarted: a worker began (or resumed) the job's exploration.
+	EventStarted = "started"
+	// EventDone: the job finished with a result.
+	EventDone = "done"
+	// EventFailed: the job finished with a hard error.
+	EventFailed = "failed"
+)
+
+// Record is one line of the outbox: the append-only JSONL journal that
+// doubles as the audit trail and the persistence of the result cache. A
+// job's lifecycle is submitted → started → done|failed; a job whose
+// journal ends without a terminal event was in flight when the daemon
+// died, and replay re-enqueues it with Resume set so it continues from
+// its certified checkpoint.
+type Record struct {
+	TS    time.Time `json:"ts"`
+	Event string    `json:"event"`
+	Job   string    `json:"job"`
+	Key   string    `json:"key"`
+	// Identity is the request's canonical identity string (version-
+	// prefixed). Replay recertifies it: a record whose identity is not
+	// the one today's binary computes for its request — codec bump,
+	// schema bump, identity-field drift — is discarded rather than
+	// trusted.
+	Identity string `json:"identity,omitempty"`
+	// Request rides on submitted records (replay rebuilds the job from
+	// it); Result on done records; Error/ErrKind on failed ones.
+	Request *Request `json:"request,omitempty"`
+	Resume  bool     `json:"resume,omitempty"`
+	Result  *Result  `json:"result,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	ErrKind string   `json:"err_kind,omitempty"`
+}
+
+// Outbox appends records to a JSONL file, fsyncing each append: after a
+// crash the journal holds every acknowledged event (and at most one
+// torn trailing line, which replay skips).
+type Outbox struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenOutbox opens (creating if needed) the journal at path for append.
+func OpenOutbox(path string) (*Outbox, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: outbox dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: outbox: %w", err)
+	}
+	return &Outbox{f: f}, nil
+}
+
+// Append journals one record. The write is a single buffered line +
+// fsync; an error is returned rather than swallowed — callers decide
+// whether losing the journal is fatal (submissions: yes).
+func (o *Outbox) Append(rec Record) error {
+	if o == nil {
+		return nil
+	}
+	rec.TS = time.Now().UTC()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: outbox: %w", err)
+	}
+	line = append(line, '\n')
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, err := o.f.Write(line); err != nil {
+		return fmt.Errorf("serve: outbox: %w", err)
+	}
+	if err := o.f.Sync(); err != nil {
+		return fmt.Errorf("serve: outbox: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (o *Outbox) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.f.Close()
+}
+
+// ReadOutbox parses the journal at path. A missing file is an empty
+// journal. A torn final line (crash mid-append) is skipped; corruption
+// anywhere else is an error — an audit trail with a hole in the middle
+// should be looked at, not silently truncated.
+func ReadOutbox(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			// Tolerated only if this turns out to be the final line.
+			pendingErr = fmt.Errorf("serve: outbox line %d: %w", line, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: outbox: %w", err)
+	}
+	return recs, nil
+}
+
+// Replay folds the journal into restorable jobs, in first-submission
+// order. Each job's state is the latest event for its key, recertified
+// against the identity today's binary computes:
+//
+//   - submitted (no terminal event): in flight at crash time → restored
+//     queued with Resume set, to continue from its certified checkpoint.
+//   - done: restored terminal; authoritative results serve cache hits.
+//   - failed: restored terminal; a re-submission re-runs it.
+//   - identity mismatch (codec/schema/field drift since the record was
+//     written): the record is dropped entirely — the daemon re-explores
+//     on demand rather than serving or resuming anything it cannot
+//     certify.
+//
+// The returned dropped count is surfaced in logs and metrics.
+func Replay(recs []Record, checkpointDir string) (jobs []*Job, dropped int) {
+	byKey := make(map[string]*Job)
+	for _, rec := range recs {
+		switch rec.Event {
+		case EventSubmitted:
+			if rec.Request == nil || rec.Key == "" {
+				dropped++
+				continue
+			}
+			req := *rec.Request
+			if _, _, err := req.Normalize(); err != nil {
+				dropped++
+				continue
+			}
+			if req.identity() != rec.Identity || req.Key() != rec.Key {
+				// The record was journaled by a binary whose identity
+				// machinery differs from ours: fail closed.
+				dropped++
+				continue
+			}
+			if j, seen := byKey[rec.Key]; seen {
+				// Re-submission after a terminal outcome: reset the same
+				// job in place (its pointer is shared with the jobs list).
+				j.Request = req
+				j.Status = StatusQueued
+				j.Resume = true
+				j.Result, j.Error, j.ErrKind = nil, "", ""
+				j.Submitted, j.Finished = rec.TS, time.Time{}
+				continue
+			}
+			j := &Job{
+				ID:             JobID(rec.Key),
+				Key:            rec.Key,
+				Request:        req,
+				Status:         StatusQueued,
+				Resume:         true,
+				CheckpointPath: CheckpointPath(checkpointDir, rec.Key),
+				Submitted:      rec.TS,
+			}
+			jobs = append(jobs, j)
+			byKey[rec.Key] = j
+		case EventStarted:
+			// Informational: the job is already queued-for-resume.
+		case EventDone:
+			if j, ok := byKey[rec.Key]; ok {
+				j.Status = StatusDone
+				j.Resume = false
+				j.Result = rec.Result
+				j.Finished = rec.TS
+			}
+		case EventFailed:
+			if j, ok := byKey[rec.Key]; ok {
+				j.Status = StatusFailed
+				j.Resume = false
+				j.Error = rec.Error
+				j.ErrKind = rec.ErrKind
+				j.Finished = rec.TS
+			}
+		}
+	}
+	return jobs, dropped
+}
+
+// CheckpointPath is where a job's supervised run snapshots.
+func CheckpointPath(dir, key string) string {
+	return filepath.Join(dir, JobID(key)+".ckpt")
+}

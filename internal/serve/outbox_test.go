@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkReq(t *testing.T, lock string, n int) Request {
+	t.Helper()
+	return normalized(t, Request{Op: OpCheck, Lock: lock, N: n, Model: "pso"})
+}
+
+func appendAll(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	ob, err := OpenOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+	for _, r := range recs {
+		if err := ob.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func submittedRecord(req Request) Record {
+	return Record{
+		Event: EventSubmitted, Job: JobID(req.Key()), Key: req.Key(),
+		Identity: req.identity(), Request: &req,
+	}
+}
+
+// The happy path: a submitted+done journal replays into one terminal job
+// carrying its persisted result — the cache surviving a restart.
+func TestOutboxReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.jsonl")
+	req := checkReq(t, "bakery", 2)
+	res := &Result{Op: OpCheck, States: 99, Authoritative: true,
+		Check: &CheckOutcome{Proved: true, Mode: "exhaustive", States: 99}}
+	appendAll(t, path,
+		submittedRecord(req),
+		Record{Event: EventStarted, Job: JobID(req.Key()), Key: req.Key()},
+		Record{Event: EventDone, Job: JobID(req.Key()), Key: req.Key(), Result: res},
+	)
+
+	recs, err := ReadOutbox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+	jobs, dropped := Replay(recs, "ckpts")
+	if dropped != 0 || len(jobs) != 1 {
+		t.Fatalf("replay: %d jobs, %d dropped", len(jobs), dropped)
+	}
+	j := jobs[0]
+	if j.Status != StatusDone || j.Resume {
+		t.Fatalf("replayed job: status %q resume %v", j.Status, j.Resume)
+	}
+	if j.Result == nil || !j.Result.Authoritative || j.Result.States != 99 {
+		t.Fatalf("replayed result: %+v", j.Result)
+	}
+}
+
+// A journal that ends mid-submission (no terminal event) is a job that
+// was in flight when the daemon died: replay re-enqueues it with Resume
+// set and the checkpoint path it was snapshotting to.
+func TestOutboxReplayInFlightResumes(t *testing.T) {
+	req := checkReq(t, "bakery", 3)
+	jobs, dropped := Replay([]Record{
+		submittedRecord(req),
+		{Event: EventStarted, Job: JobID(req.Key()), Key: req.Key()},
+	}, "ckpts")
+	if dropped != 0 || len(jobs) != 1 {
+		t.Fatalf("replay: %d jobs, %d dropped", len(jobs), dropped)
+	}
+	j := jobs[0]
+	if j.Status != StatusQueued || !j.Resume {
+		t.Fatalf("in-flight job not queued for resume: status %q resume %v", j.Status, j.Resume)
+	}
+	if j.CheckpointPath != CheckpointPath("ckpts", req.Key()) {
+		t.Fatalf("checkpoint path = %q", j.CheckpointPath)
+	}
+}
+
+// A re-submission after a terminal outcome (the degraded-result re-run
+// path) resets the same job in place — replay must not leave a stale
+// pointer serving the old outcome.
+func TestOutboxReplayResubmissionResets(t *testing.T) {
+	req := checkReq(t, "bakery", 2)
+	jobs, dropped := Replay([]Record{
+		submittedRecord(req),
+		{Event: EventFailed, Job: JobID(req.Key()), Key: req.Key(), Error: "boom", ErrKind: "error"},
+		submittedRecord(req),
+	}, "ckpts")
+	if dropped != 0 || len(jobs) != 1 {
+		t.Fatalf("replay: %d jobs, %d dropped", len(jobs), dropped)
+	}
+	j := jobs[0]
+	if j.Status != StatusQueued || !j.Resume || j.Error != "" {
+		t.Fatalf("re-submitted job not reset: %+v", j)
+	}
+}
+
+// Records whose journaled identity is not the identity today's binary
+// computes — a codec bump, a schema bump, a tampered field — fail
+// certification and are dropped wholesale: the daemon re-explores on
+// demand rather than serving or resuming anything it cannot certify.
+func TestOutboxReplayDropsDriftedIdentity(t *testing.T) {
+	req := checkReq(t, "bakery", 2)
+	rec := submittedRecord(req)
+	rec.Identity = strings.Replace(rec.Identity, "codec=", "codec=9", 1)
+	jobs, dropped := Replay([]Record{rec}, "ckpts")
+	if len(jobs) != 0 || dropped != 1 {
+		t.Fatalf("drifted record not dropped: %d jobs, %d dropped", len(jobs), dropped)
+	}
+
+	// Same for a record whose key does not match its own request.
+	rec2 := submittedRecord(req)
+	rec2.Key = strings.Repeat("ab", 16)
+	rec2.Job = JobID(rec2.Key)
+	jobs, dropped = Replay([]Record{rec2}, "ckpts")
+	if len(jobs) != 0 || dropped != 1 {
+		t.Fatalf("mismatched key not dropped: %d jobs, %d dropped", len(jobs), dropped)
+	}
+
+	// And for a submitted record with no request to rebuild from.
+	jobs, dropped = Replay([]Record{{Event: EventSubmitted, Key: req.Key(), Identity: req.identity()}}, "ckpts")
+	if len(jobs) != 0 || dropped != 1 {
+		t.Fatalf("requestless record not dropped: %d jobs, %d dropped", len(jobs), dropped)
+	}
+}
+
+// A crash can tear the final line of the journal mid-append. Replay
+// tolerates exactly that — and only that: garbage in the middle of the
+// audit trail is an error, not something to skip silently.
+func TestOutboxTornFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.jsonl")
+	req := checkReq(t, "bakery", 2)
+	appendAll(t, path, submittedRecord(req))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts":"2026-01-01T00:00:00Z","event":"do`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadOutbox(path)
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Event != EventSubmitted {
+		t.Fatalf("read %d records, want the 1 intact one", len(recs))
+	}
+}
+
+func TestOutboxMidFileCorruptionIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.jsonl")
+	req := checkReq(t, "bakery", 2)
+	appendAll(t, path, submittedRecord(req))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json at all\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	appendAll(t, path, submittedRecord(checkReq(t, "peterson", 2)))
+
+	if _, err := ReadOutbox(path); err == nil {
+		t.Fatal("mid-file corruption read back without error")
+	}
+}
+
+func TestOutboxMissingFileIsEmpty(t *testing.T) {
+	recs, err := ReadOutbox(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing journal: recs=%v err=%v", recs, err)
+	}
+}

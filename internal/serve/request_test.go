@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func normalized(t *testing.T, r Request) Request {
+	t.Helper()
+	if _, _, err := r.Normalize(); err != nil {
+		t.Fatalf("Normalize(%+v): %v", r, err)
+	}
+	return r
+}
+
+// Run parameters shape how an answer is computed, not what it is: two
+// requests asking the same semantic question with different budgets,
+// pools, seeds or deadlines must collapse onto the same key (and thus the
+// same job and cache entry).
+func TestKeyIgnoresRunParameters(t *testing.T) {
+	base := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso"})
+	tuned := normalized(t, Request{
+		Op: OpCheck, Lock: "bakery", N: 3, Model: "pso",
+		Workers: 8, MaxStates: 1 << 20, MaxSteps: 1 << 30, MaxMemMB: 512,
+		TimeoutMS: 60_000, Seed: 42,
+	})
+	if base.Key() != tuned.Key() {
+		t.Fatalf("run parameters leaked into the key:\n  %s\n  %s", base.identity(), tuned.identity())
+	}
+}
+
+// Every identity field must move the key.
+func TestKeyCoversIdentityFields(t *testing.T) {
+	base := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso"})
+	variants := map[string]Request{
+		"op":       {Op: OpSynth, Lock: "bakery", N: 3, Model: "pso"},
+		"lock":     {Op: OpCheck, Lock: "peterson", N: 3, Model: "pso"},
+		"n":        {Op: OpCheck, Lock: "bakery", N: 4, Model: "pso"},
+		"passages": {Op: OpCheck, Lock: "bakery", N: 3, Passages: 2, Model: "pso"},
+		"model":    {Op: OpCheck, Lock: "bakery", N: 3, Model: "tso"},
+		"crashes":  {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", MaxCrashes: 1},
+		"symmetry": {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", Symmetry: true},
+		"oracle":   {Op: OpSynth, Lock: "bakery", N: 3, Model: "pso", Oracle: "supervised"},
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for name, r := range variants {
+		k := normalized(t, r).Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("identity field %q does not move the key (collides with %q)", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// Normalization makes spelling canonical before hashing: model names are
+// case-insensitive on the wire, defaults are made explicit, so equal
+// questions hash equal regardless of how the client spelled them.
+func TestKeyCanonicalSpelling(t *testing.T) {
+	a := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 2, Model: "pso"})
+	b := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 2, Passages: 1, Model: "PSO"})
+	if a.Key() != b.Key() {
+		t.Fatalf("canonical spelling diverged:\n  %s\n  %s", a.identity(), b.identity())
+	}
+	s := normalized(t, Request{Op: OpSynth, Lock: "peterson", N: 2, Model: "pso"})
+	if s.Oracle != "exhaustive" {
+		t.Fatalf("synth oracle default not made explicit: %q", s.Oracle)
+	}
+}
+
+// The identity string is version-prefixed with everything that defines
+// when two explorations are interchangeable — so a codec or schema bump
+// changes every key, which is exactly how stale persisted state gets
+// invalidated.
+func TestIdentityIsVersionPrefixed(t *testing.T) {
+	r := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 2, Model: "pso"})
+	id := r.identity()
+	for _, want := range []string{"tfserve/", "codec=", "ckpt="} {
+		if !strings.Contains(id, want) {
+			t.Fatalf("identity %q lacks %q", id, want)
+		}
+	}
+	if JobID(r.Key()) != JobID(r.Key()) || !strings.HasPrefix(JobID(r.Key()), "j-") {
+		t.Fatalf("JobID not stable: %q", JobID(r.Key()))
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	bad := map[string]Request{
+		"unknown op":      {Op: "fuzz", Lock: "bakery", N: 2, Model: "pso"},
+		"unknown lock":    {Op: OpCheck, Lock: "mcs", N: 2, Model: "pso"},
+		"unknown model":   {Op: OpCheck, Lock: "bakery", N: 2, Model: "rmo"},
+		"n too small":     {Op: OpCheck, Lock: "bakery", N: 1, Model: "pso"},
+		"bad passages":    {Op: OpCheck, Lock: "bakery", N: 2, Passages: -1, Model: "pso"},
+		"neg crashes":     {Op: OpCheck, Lock: "bakery", N: 2, Model: "pso", MaxCrashes: -1},
+		"oracle on check": {Op: OpCheck, Lock: "bakery", N: 2, Model: "pso", Oracle: "exhaustive"},
+		"crashes on synth": {
+			Op: OpSynth, Lock: "peterson", N: 2, Model: "pso", MaxCrashes: 1},
+		"unknown oracle": {Op: OpSynth, Lock: "peterson", N: 2, Model: "pso", Oracle: "magic"},
+	}
+	for name, r := range bad {
+		if _, _, err := r.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, r)
+		}
+	}
+}

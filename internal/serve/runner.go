@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+
+	"tradingfences"
+	"tradingfences/internal/supervise"
+)
+
+// CheckOutcome is the serialized verdict of a check job. It carries
+// exactly the deterministic fields of a MutexVerdict — no wall times —
+// so an interrupted-and-resumed job's outcome can be compared
+// bit-for-bit against an uninterrupted run's.
+type CheckOutcome struct {
+	Violated         bool   `json:"violated"`
+	Proved           bool   `json:"proved"`
+	Mode             string `json:"mode"`
+	States           int    `json:"states"`
+	SymmetryApplied  bool   `json:"symmetry_applied,omitempty"`
+	ExhaustiveStates int    `json:"exhaustive_states"`
+	RandomSteps      int    `json:"random_steps,omitempty"`
+	WitnessSchedule  string `json:"witness_schedule,omitempty"`
+}
+
+// SynthOutcome is the serialized frontier of a synth job.
+type SynthOutcome struct {
+	Verdict      string       `json:"verdict"`
+	Complete     bool         `json:"complete"`
+	Candidates   int          `json:"candidates"`
+	OracleCalls  int          `json:"oracle_calls"`
+	OracleStates int          `json:"oracle_states"`
+	Unknown      int          `json:"unknown,omitempty"`
+	Unchecked    int          `json:"unchecked,omitempty"`
+	Minimal      []SynthPoint `json:"minimal"`
+	Frontier     []SynthPoint `json:"frontier"`
+	Refuted      int          `json:"refuted"`
+}
+
+// SynthPoint is one measured placement of a SynthOutcome.
+type SynthPoint struct {
+	Sites  []int  `json:"sites"`
+	Lock   string `json:"lock"`
+	Fences int64  `json:"fences"`
+	RMRs   int64  `json:"rmrs"`
+}
+
+// Result is a job's terminal outcome as journaled and served.
+type Result struct {
+	Op    string        `json:"op"`
+	Check *CheckOutcome `json:"check,omitempty"`
+	Synth *SynthOutcome `json:"synth,omitempty"`
+	// States is the exploration effort (visited states for checks, total
+	// oracle states for synthesis) — the denominator of the daemon's
+	// throughput metrics and the witness that a cache hit did no work.
+	States int `json:"states"`
+	// Authoritative marks results that answer the identity for good: a
+	// proof or violation for checks, a complete frontier for synthesis.
+	// Non-authoritative results (degraded verdicts, partial frontiers)
+	// are returned to their submitter and journaled, but a later
+	// identical submission re-runs fresh instead of being served one.
+	Authoritative bool `json:"authoritative"`
+}
+
+// Runner executes one job. Implementations must honor ctx and must route
+// supervised attempt reports through onAttempt when the operation
+// supports it.
+type Runner interface {
+	Run(ctx context.Context, job View, onAttempt func(supervise.Attempt)) (*Result, error)
+}
+
+// FacadeRunner runs jobs through the root facade: checks through the
+// supervisor (with the job's checkpoint path, resuming certified
+// snapshots for replayed jobs), synthesis through SynthesizeFences.
+type FacadeRunner struct{}
+
+// Run dispatches on the job's operation.
+func (FacadeRunner) Run(ctx context.Context, job View, onAttempt func(supervise.Attempt)) (*Result, error) {
+	req := job.Request
+	spec, model, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if req.Op == OpSynth {
+		return runSynth(ctx, spec, model, req)
+	}
+	return runCheck(ctx, spec, model, req, job, onAttempt)
+}
+
+func runCheck(ctx context.Context, spec tradingfences.LockSpec, model tradingfences.MemoryModel,
+	req Request, job View, onAttempt func(supervise.Attempt)) (*Result, error) {
+	opts := tradingfences.SuperviseOptions{
+		CheckOptions: tradingfences.CheckOptions{
+			Budget:   req.Budget(),
+			Seed:     req.Seed,
+			Symmetry: req.Symmetry,
+			Workers:  req.Workers,
+			// Every job checkpoints: crash-safety of the daemon is the
+			// point, not an option.
+			CheckpointPath: checkpointPathOf(job),
+		},
+		// A replayed job picks up the certified snapshot its previous
+		// incarnation left; the supervisor re-certifies it and falls back
+		// to a fresh start on any drift.
+		Resume:    job.Resumed,
+		OnAttempt: onAttempt,
+	}
+	if req.MaxCrashes > 0 {
+		opts.Faults = &tradingfences.FaultPlan{MaxCrashes: req.MaxCrashes}
+	}
+	v, _, err := tradingfences.CheckMutexSupervisedCtx(ctx, spec, req.N, req.Passages, model, opts)
+	if err != nil && !tradingfences.IsLimit(err) {
+		return nil, err
+	}
+	if v == nil {
+		return nil, err
+	}
+	out := &CheckOutcome{
+		Violated:         v.Violated,
+		Proved:           v.Proved,
+		Mode:             v.Mode,
+		States:           v.States,
+		SymmetryApplied:  v.SymmetryApplied,
+		ExhaustiveStates: v.Coverage.ExhaustiveStates,
+		RandomSteps:      v.Coverage.RandomSteps,
+		WitnessSchedule:  v.WitnessSchedule,
+	}
+	return &Result{
+		Op:     OpCheck,
+		Check:  out,
+		States: v.States,
+		// A degraded pass that found a violation is still a real
+		// refutation (its witness replays); a degraded pass that found
+		// nothing proves nothing and must not be served to later traffic.
+		Authoritative: v.Proved || v.Violated,
+	}, err
+}
+
+func runSynth(ctx context.Context, spec tradingfences.LockSpec, model tradingfences.MemoryModel,
+	req Request) (*Result, error) {
+	opts := tradingfences.SynthOptions{
+		Passages:       req.Passages,
+		Budget:         req.Budget(),
+		Workers:        req.Workers,
+		Seed:           req.Seed,
+		MaxOracleCalls: req.MaxOracleCalls,
+		Symmetry:       req.Symmetry,
+	}
+	if req.Oracle == "supervised" {
+		opts.Oracle = tradingfences.OracleSupervised
+	} else {
+		opts.Oracle = tradingfences.OracleExhaustive
+	}
+	res, err := tradingfences.SynthesizeFences(ctx, spec, req.N, model, opts)
+	if err != nil && !tradingfences.IsLimit(err) {
+		return nil, err
+	}
+	if res == nil {
+		return nil, err
+	}
+	out := &SynthOutcome{
+		Verdict:      res.Verdict,
+		Complete:     res.Complete,
+		Candidates:   res.Candidates,
+		OracleCalls:  res.OracleCalls,
+		OracleStates: res.OracleStates,
+		Unknown:      res.Unknown,
+		Unchecked:    res.Unchecked,
+		Refuted:      len(res.Refuted),
+		Minimal:      synthPoints(res.Minimal),
+		Frontier:     synthPoints(res.Frontier),
+	}
+	return &Result{
+		Op:            OpSynth,
+		Synth:         out,
+		States:        res.OracleStates,
+		Authoritative: res.Complete,
+	}, err
+}
+
+func synthPoints(pts []tradingfences.SynthPoint) []SynthPoint {
+	out := make([]SynthPoint, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, SynthPoint{Sites: p.Sites, Lock: p.Lock, Fences: p.Fences, RMRs: p.RMRs})
+	}
+	return out
+}
+
+// checkpointPathOf recovers the job's checkpoint path from its view (the
+// store does not expose the raw Job to runners).
+func checkpointPathOf(job View) string { return job.checkpointPath }

@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tradingfences/internal/supervise"
+)
+
+// Config sizes a daemon.
+type Config struct {
+	// DataDir holds the outbox journal and per-job checkpoints. Required.
+	DataDir string
+	// Pool is the number of concurrent job workers (default 1).
+	Pool int
+	// QueueCap bounds the queued-job backlog; a full queue sheds new
+	// submissions with 429 + Retry-After (default 64; <= 0 keeps the
+	// default — an unbounded queue is exactly the failure mode this
+	// daemon exists to rule out).
+	QueueCap int
+	// DrainGrace is how long a drain waits for running jobs to finish
+	// before cancelling them onto their checkpoints (default 10s).
+	DrainGrace time.Duration
+	// Runner executes jobs (default FacadeRunner). Injectable for tests.
+	Runner Runner
+	// DecisionLog receives one JSON line per scheduling decision —
+	// accept/dedup/cache/shed, attempt escalations with their ErrKind,
+	// terminal outcomes (default os.Stderr).
+	DecisionLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = FacadeRunner{}
+	}
+	if c.DecisionLog == nil {
+		c.DecisionLog = os.Stderr
+	}
+	return c
+}
+
+// Server is the verification daemon: a bounded worker pool over the job
+// store, journaling through the outbox, fronted by the HTTP API.
+type Server struct {
+	cfg     Config
+	store   *Store
+	outbox  *Outbox
+	metrics *Metrics
+
+	ctx    context.Context // root context of running jobs; cancelled on hard stop
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	logMu sync.Mutex
+}
+
+// OutboxPath and CheckpointDir locate the daemon's state inside dataDir.
+func OutboxPath(dataDir string) string    { return filepath.Join(dataDir, "outbox.jsonl") }
+func CheckpointDir(dataDir string) string { return filepath.Join(dataDir, "checkpoints") }
+func (s *Server) checkpointDir() string   { return CheckpointDir(s.cfg.DataDir) }
+func (s *Server) checkpointPath(key string) string {
+	return CheckpointPath(s.checkpointDir(), key)
+}
+
+// New builds a daemon over dataDir, replaying the outbox: completed jobs
+// populate the result cache, in-flight ones re-enter the queue marked for
+// checkpoint resume, and records that fail identity certification are
+// dropped (counted, logged, re-run on demand).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(CheckpointDir(cfg.DataDir), 0o755); err != nil {
+		return nil, err
+	}
+	sweepOrphanedSnapshots(CheckpointDir(cfg.DataDir))
+	recs, err := ReadOutbox(OutboxPath(cfg.DataDir))
+	if err != nil {
+		return nil, err
+	}
+	store := NewStore()
+	jobs, dropped := Replay(recs, CheckpointDir(cfg.DataDir))
+	outbox, err := OpenOutbox(OutboxPath(cfg.DataDir))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		outbox:  outbox,
+		metrics: NewMetrics(store),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	s.metrics.ReplayDropped.Add(int64(dropped))
+	for _, j := range jobs {
+		store.Restore(j)
+		if j.Status == StatusQueued {
+			s.metrics.JobsResumed.Add(1)
+			s.decision("replay_resume", map[string]any{"job": j.ID, "key": j.Key})
+		}
+	}
+	if dropped > 0 {
+		s.decision("replay_dropped", map[string]any{"records": dropped})
+	}
+	return s, nil
+}
+
+// sweepOrphanedSnapshots removes snapshot temp files orphaned by a crash
+// mid-atomic-write (SIGKILL between CreateTemp and the rename): they
+// certify nothing, are invisible to resume, and would otherwise
+// accumulate forever. Startup is the one safe moment — the daemon owns
+// the directory and no snapshot write is in flight yet.
+func sweepOrphanedSnapshots(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".ckpt.tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Metrics exposes the instrument panel (tests scrape it directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Store exposes the job table (tests inspect it directly).
+func (s *Server) Store() *Store { return s.store }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Pool; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j := s.store.Next()
+				if j == nil {
+					return // draining
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Drain refuses new work (submissions 503, readyz 503), lets running jobs
+// finish within the grace period, then cancels them — the supervisor's
+// periodic snapshots mean a cancelled job's certified checkpoint is
+// already on disk, and its submitted outbox record (with no terminal
+// event) re-enqueues it on the next start. Queued jobs are parked the
+// same way. Returns once every worker has exited.
+func (s *Server) Drain() {
+	s.decision("drain", map[string]any{"grace_ms": s.cfg.DrainGrace.Milliseconds()})
+	s.store.Drain()
+	if !s.store.WaitIdle(time.Now().Add(s.cfg.DrainGrace)) {
+		s.decision("drain_cancel", map[string]any{"running": s.store.Running()})
+		s.cancel()
+		s.store.WaitIdle(time.Now().Add(s.cfg.DrainGrace))
+	}
+	s.wg.Wait()
+	s.outbox.Close()
+}
+
+// runJob executes one job end to end: journal start, run with the job's
+// deadline, journal and record the outcome.
+func (s *Server) runJob(j *Job) {
+	view := s.store.Snapshot(j)
+	s.outbox.Append(Record{Event: EventStarted, Job: j.ID, Key: j.Key, Resume: view.Resumed})
+	s.decision("start", map[string]any{"job": j.ID, "resume": view.Resumed})
+
+	ctx := s.ctx
+	var cancel context.CancelFunc
+	if t := view.Request.Timeout(); t > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	start := time.Now()
+	onAttempt := func(a supervise.Attempt) {
+		s.store.AppendAttempt(j, a)
+		s.metrics.Attempts.Add(1)
+		if a.Index > 0 {
+			s.metrics.Escalations.Add(1)
+		}
+		s.decision("attempt", map[string]any{
+			"job": j.ID, "index": a.Index, "workers": a.Workers,
+			"states": a.States, "resumed_level": a.ResumedLevel,
+			"err_kind": a.ErrKind, "err": a.Err,
+			"checkpoint_rejected": a.CheckpointRejected,
+		})
+	}
+	res, err := s.cfg.Runner.Run(ctx, view, onAttempt)
+	wall := time.Since(start)
+
+	switch {
+	case err != nil && s.interrupted(err):
+		// Drain cancellation — checked before the result, because a
+		// cancelled supervised run still returns its partial verdict, and
+		// journaling that as terminal would stop the restart from
+		// resuming the job. Park it instead: no terminal outbox event, so
+		// the dangling submitted record re-enqueues it on the next start,
+		// picking up the checkpoint the run left on disk.
+		s.store.Finish(j, StatusInterrupted, nil, err.Error(), supervise.ClassifyErr(err))
+		s.metrics.JobsInterrupted.Add(1)
+		s.decision("interrupted", map[string]any{"job": j.ID, "err_kind": supervise.ClassifyErr(err)})
+	case res != nil:
+		// A result — authoritative, degraded or partial — is a completed
+		// job; the limit error that degraded it (a per-job deadline, a
+		// non-degradable budget trip) is already reflected in the
+		// result's mode/verdict fields.
+		s.store.Finish(j, StatusDone, res, "", "")
+		s.outbox.Append(Record{Event: EventDone, Job: j.ID, Key: j.Key, Result: res})
+		s.metrics.JobsDone.Add(1)
+		s.metrics.StatesExplored.Add(int64(res.States))
+		s.metrics.ObserveThroughput(res.States, wall.Seconds())
+		s.decision("done", map[string]any{
+			"job": j.ID, "states": res.States, "wall_ms": wall.Milliseconds(),
+			"authoritative": res.Authoritative,
+		})
+	default:
+		kind := supervise.ClassifyErr(err)
+		msg := "runner returned neither result nor error"
+		if err != nil {
+			msg = err.Error()
+		}
+		s.store.Finish(j, StatusFailed, nil, msg, kind)
+		s.outbox.Append(Record{Event: EventFailed, Job: j.ID, Key: j.Key, Error: msg, ErrKind: kind})
+		s.metrics.JobsFailed.Add(1)
+		s.decision("failed", map[string]any{"job": j.ID, "err_kind": kind, "err": msg})
+	}
+}
+
+// interrupted reports whether err is the daemon's own drain cancellation
+// (as opposed to the job's per-request deadline, which is a job failure).
+func (s *Server) interrupted(err error) bool {
+	return s.ctx.Err() != nil && supervise.ClassifyErr(err) == "canceled"
+}
+
+// decision writes one structured decision-log line.
+func (s *Server) decision(event string, fields map[string]any) {
+	entry := map[string]any{"ts": time.Now().UTC().Format(time.RFC3339Nano), "event": event}
+	for k, v := range fields {
+		entry[k] = v
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.DecisionLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}
+
+// Handler builds the HTTP API:
+//
+//	POST /v1/jobs     submit (idempotent; 200 cached, 202 accepted/joined,
+//	                  429 saturated, 503 draining)
+//	GET  /v1/jobs     list all jobs
+//	GET  /v1/jobs/:id job status, streamed attempts, result
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     process liveness (always 200 while serving)
+//	GET  /readyz      200 accepting, 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleSubmit(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.store.All())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		j := s.store.Lookup(id)
+		if j == nil {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.store.Snapshot(j))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.store.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	return s.observe(mux)
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+	// Dedup: joined an in-flight identical job. Cached: served from a
+	// completed identical job's result (carried in Result).
+	Dedup  bool    `json:"dedup,omitempty"`
+	Cached bool    `json:"cached,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.store.Draining() {
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, _, err := req.Normalize(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := req.Key()
+	j, outcome := s.store.Submit(req, key, s.checkpointPath(key), s.cfg.QueueCap)
+	switch outcome {
+	case SubmitRejected:
+		s.metrics.JobsRejected.Add(1)
+		s.decision("shed", map[string]any{"key": key, "queue": s.store.QueueDepth()})
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		http.Error(w, "queue saturated", http.StatusTooManyRequests)
+		return
+	case SubmitDedup:
+		s.metrics.DedupHits.Add(1)
+		s.decision("dedup", map[string]any{"job": j.ID})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, Status: s.store.Snapshot(j).Status, Dedup: true})
+		return
+	case SubmitCached:
+		s.metrics.CacheHits.Add(1)
+		s.decision("cache_hit", map[string]any{"job": j.ID})
+		v := s.store.Snapshot(j)
+		writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.ID, Status: v.Status, Cached: true, Result: v.Result})
+		return
+	default:
+		// Journal before acknowledging: an accepted job must survive a
+		// crash. A journal failure un-accepts the job.
+		if err := s.outbox.Append(Record{
+			Event: EventSubmitted, Job: j.ID, Key: key,
+			Identity: req.identity(), Request: &req,
+		}); err != nil {
+			s.store.Abort(j, err.Error())
+			http.Error(w, "journal unavailable", http.StatusInternalServerError)
+			return
+		}
+		s.metrics.JobsSubmitted.Add(1)
+		s.decision("accept", map[string]any{"job": j.ID, "op": req.Op, "lock": req.Lock, "n": req.N, "model": req.Model})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, Status: StatusQueued})
+	}
+}
+
+// retryAfterSeconds estimates how long a shed client should wait: the
+// backlog divided over the pool, floored at one second, capped at a
+// minute.
+func (s *Server) retryAfterSeconds() int {
+	sec := s.store.QueueDepth() / s.cfg.Pool
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// observe wraps the mux with the HTTP status-code counter.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &codeRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.ObserveHTTP(rec.code)
+	})
+}
+
+type codeRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *codeRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tradingfences/internal/supervise"
+)
+
+// stubRunner is an injectable Runner: it records every invocation (and
+// whether it was asked to resume), optionally blocks on a gate until
+// released or cancelled, and returns a configurable result.
+type stubRunner struct {
+	mu      sync.Mutex
+	calls   int
+	resumes []bool
+	gate    chan struct{}
+	result  func(job View) (*Result, error)
+}
+
+func (r *stubRunner) Run(ctx context.Context, job View, onAttempt func(supervise.Attempt)) (*Result, error) {
+	r.mu.Lock()
+	r.calls++
+	r.resumes = append(r.resumes, job.Resumed)
+	gate := r.gate
+	fn := r.result
+	r.mu.Unlock()
+	if onAttempt != nil {
+		onAttempt(supervise.Attempt{Index: 0, Workers: 1, States: 7})
+	}
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("stub interrupted: %w", ctx.Err())
+		}
+	}
+	if fn != nil {
+		return fn(job)
+	}
+	return &Result{
+		Op:            job.Request.Op,
+		States:        7,
+		Authoritative: true,
+		Check:         &CheckOutcome{Proved: true, Mode: "exhaustive", States: 7},
+	}, nil
+}
+
+func (r *stubRunner) Calls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func (r *stubRunner) Resumes() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]bool(nil), r.resumes...)
+}
+
+func testConfig(t *testing.T, dataDir string, r Runner) Config {
+	t.Helper()
+	return Config{
+		DataDir:     dataDir,
+		Pool:        1,
+		QueueCap:    4,
+		DrainGrace:  100 * time.Millisecond,
+		Runner:      r,
+		DecisionLog: io.Discard,
+	}
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func submitJSON(t *testing.T, url, body string) (int, SubmitResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr, resp.Header
+}
+
+func getJob(t *testing.T, url, id string) (int, View) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+func waitStatus(t *testing.T, url, id, want string) View {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, v := getJob(t, url, id); code == http.StatusOK && v.Status == want {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	code, v := getJob(t, url, id)
+	t.Fatalf("job %s never reached %q (last: code=%d status=%q err=%q)", id, want, code, v.Status, v.Error)
+	return View{}
+}
+
+const bakery3 = `{"op":"check","lock":"bakery","n":3,"model":"pso"}`
+
+// The idempotency contract end to end: a duplicate of an in-flight job
+// joins it (same ID, no second exploration); once the job completes
+// authoritatively, further duplicates are served from the cache — still
+// the same ID, still exactly one exploration ever.
+func TestSubmitDedupThenCache(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	srv, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+
+	code, first, _ := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusAccepted || first.Dedup || first.Cached {
+		t.Fatalf("first submission: code=%d resp=%+v", code, first)
+	}
+	// Duplicate while the job is in flight (the worker is gated).
+	code, dup, _ := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusAccepted || !dup.Dedup || dup.JobID != first.JobID {
+		t.Fatalf("in-flight duplicate: code=%d resp=%+v (want dedup of %s)", code, dup, first.JobID)
+	}
+
+	close(stub.gate)
+	done := waitStatus(t, hs.URL, first.JobID, StatusDone)
+	if done.Result == nil || !done.Result.Authoritative || !done.Result.Check.Proved {
+		t.Fatalf("job result: %+v", done.Result)
+	}
+
+	// Duplicate after completion: served from the cache, result attached.
+	code, hit, _ := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusOK || !hit.Cached || hit.JobID != first.JobID || hit.Result == nil {
+		t.Fatalf("cache hit: code=%d resp=%+v", code, hit)
+	}
+	if got := stub.Calls(); got != 1 {
+		t.Fatalf("runner ran %d times, want exactly 1", got)
+	}
+	m := srv.Metrics()
+	if m.DedupHits.Load() != 1 || m.CacheHits.Load() != 1 {
+		t.Fatalf("dedup=%d cache=%d, want 1/1", m.DedupHits.Load(), m.CacheHits.Load())
+	}
+	// Run parameters are not identity: a differently-tuned duplicate still
+	// hits the cache.
+	code, tuned, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":3,"model":"pso","workers":9,"seed":5}`)
+	if code != http.StatusOK || !tuned.Cached || tuned.JobID != first.JobID {
+		t.Fatalf("tuned duplicate missed the cache: code=%d resp=%+v", code, tuned)
+	}
+}
+
+// A degraded (non-authoritative) outcome is returned to its submitter but
+// never cached: the next identical submission re-runs fresh.
+func TestNonAuthoritativeNotServedFromCache(t *testing.T) {
+	stub := &stubRunner{result: func(job View) (*Result, error) {
+		return &Result{Op: OpCheck, States: 3, Authoritative: false,
+			Check: &CheckOutcome{Mode: "degraded", States: 3}}, nil
+	}}
+	_, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+
+	_, first, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, first.JobID, StatusDone)
+
+	code, second, _ := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusAccepted || second.Cached || second.Dedup {
+		t.Fatalf("degraded result was served as an answer: code=%d resp=%+v", code, second)
+	}
+	waitStatus(t, hs.URL, second.JobID, StatusDone)
+	if got := stub.Calls(); got != 2 {
+		t.Fatalf("runner ran %d times, want a fresh re-run (2)", got)
+	}
+}
+
+// Hard failures likewise: the job is visible as failed, and resubmission
+// re-runs it.
+func TestFailedJobRerunsOnResubmit(t *testing.T) {
+	stub := &stubRunner{result: func(job View) (*Result, error) {
+		return nil, fmt.Errorf("exploration exploded")
+	}}
+	srv, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+
+	_, first, _ := submitJSON(t, hs.URL, bakery3)
+	failed := waitStatus(t, hs.URL, first.JobID, StatusFailed)
+	if failed.ErrKind != "error" || failed.Error == "" {
+		t.Fatalf("failed job: kind=%q err=%q", failed.ErrKind, failed.Error)
+	}
+	if srv.Metrics().JobsFailed.Load() != 1 {
+		t.Fatal("failure not counted")
+	}
+	code, second, _ := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusAccepted || second.Cached {
+		t.Fatalf("failed job served from cache: code=%d resp=%+v", code, second)
+	}
+	waitStatus(t, hs.URL, second.JobID, StatusFailed)
+	if stub.Calls() != 2 {
+		t.Fatalf("runner ran %d times, want 2", stub.Calls())
+	}
+}
+
+// Backpressure: with the single worker gated and the queue full, further
+// distinct submissions are shed with 429 and a Retry-After hint. Nothing
+// queued is lost — releasing the gate completes the backlog.
+func TestQueueSaturationSheds(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	cfg := testConfig(t, t.TempDir(), stub)
+	cfg.QueueCap = 2
+	srv, hs := startServer(t, cfg)
+
+	// First job occupies the worker; wait until it is claimed so the
+	// queue-depth math below is deterministic.
+	_, running, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, running.JobID, StatusRunning)
+
+	var queued []string
+	for i := 0; i < cfg.QueueCap; i++ {
+		code, sr, _ := submitJSON(t, hs.URL,
+			fmt.Sprintf(`{"op":"check","lock":"bakery","n":%d,"model":"pso"}`, 4+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("fill %d: code=%d", i, code)
+		}
+		queued = append(queued, sr.JobID)
+	}
+	code, _, hdr := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":9,"model":"pso"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submission: code=%d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if srv.Metrics().JobsRejected.Load() != 1 {
+		t.Fatal("shed not counted")
+	}
+	// A duplicate of a queued job is NOT shed — dedup takes no queue slot.
+	code, dup, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	if code != http.StatusAccepted || !dup.Dedup {
+		t.Fatalf("duplicate shed at saturation: code=%d resp=%+v", code, dup)
+	}
+
+	close(stub.gate)
+	for _, id := range append([]string{running.JobID}, queued...) {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+}
+
+// SIGTERM semantics via Drain: readiness flips to 503, new submissions
+// are refused, a running job that cannot finish within the grace period
+// is cancelled and parked (no terminal journal event) — and a restarted
+// daemon over the same data dir resumes it from its checkpoint, serving
+// the same job ID throughout.
+func TestDrainParksAndRestartResumes(t *testing.T) {
+	data := t.TempDir()
+	stub := &stubRunner{gate: make(chan struct{})} // never released: job must be cancelled
+	srv, hs := startServer(t, testConfig(t, data, stub))
+
+	if code := getCode(t, hs.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+	_, first, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, first.JobID, StatusRunning)
+
+	drained := make(chan struct{})
+	go func() { srv.Drain(); close(drained) }()
+
+	// While draining: not ready, submissions refused with Retry-After.
+	waitFor(t, func() bool { return getCode(t, hs.URL+"/readyz") == http.StatusServiceUnavailable })
+	code, _, hdr := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("submission during drain: code=%d hdr=%v", code, hdr)
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if got := srv.Metrics().JobsInterrupted.Load(); got != 1 {
+		t.Fatalf("interrupted = %d, want 1", got)
+	}
+	if code, v := getJob(t, hs.URL, first.JobID); code != http.StatusOK || v.Status != StatusInterrupted {
+		t.Fatalf("parked job: code=%d status=%q", code, v.Status)
+	}
+	// Liveness stays up through the drain; only readiness flips.
+	if code := getCode(t, hs.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", code)
+	}
+
+	// Restart over the same data dir: the dangling submitted record
+	// re-enqueues the job marked for resume, and it completes without any
+	// new submission.
+	stub2 := &stubRunner{}
+	srv2, hs2 := startServer(t, testConfig(t, data, stub2))
+	if got := srv2.Metrics().JobsResumed.Load(); got != 1 {
+		t.Fatalf("resumed = %d, want 1", got)
+	}
+	done := waitStatus(t, hs2.URL, first.JobID, StatusDone)
+	if done.ID != first.JobID {
+		t.Fatalf("job ID changed across restart: %q vs %q", done.ID, first.JobID)
+	}
+	if resumes := stub2.Resumes(); len(resumes) != 1 || !resumes[0] {
+		t.Fatalf("restarted runner not asked to resume: %v", resumes)
+	}
+	// And the result is now cached for new traffic.
+	code, hit, _ := submitJSON(t, hs2.URL, bakery3)
+	if code != http.StatusOK || !hit.Cached {
+		t.Fatalf("post-restart cache: code=%d resp=%+v", code, hit)
+	}
+	srv2.Drain()
+}
+
+// A job's own deadline is not a drain: the runner's error is terminal
+// (here surfaced as failed since the stub returns no partial result).
+func TestPerJobDeadlineIsTerminal(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})} // block until the deadline fires
+	srv, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+	_, sr, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":3,"model":"pso","timeout_ms":30}`)
+	failed := waitStatus(t, hs.URL, sr.JobID, StatusFailed)
+	if failed.ErrKind != "deadline" {
+		t.Fatalf("ErrKind = %q, want deadline", failed.ErrKind)
+	}
+	if srv.Metrics().JobsInterrupted.Load() != 0 {
+		t.Fatal("a per-job deadline was misclassified as a drain interruption")
+	}
+	// Terminal: journaled as failed, so a restart does NOT resume it.
+	srv.Drain()
+}
+
+// A SIGKILL can land between a snapshot's CreateTemp and its rename,
+// leaving a temp file that certifies nothing. Startup sweeps those —
+// and only those: real checkpoints survive.
+func TestStartupSweepsOrphanedSnapshotTemps(t *testing.T) {
+	data := t.TempDir()
+	dir := CheckpointDir(data)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "j-abc.ckpt.tmp1234567")
+	keep := filepath.Join(dir, "j-abc.ckpt")
+	for _, p := range []string{orphan, keep} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := New(testConfig(t, data, &stubRunner{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived startup: stat err = %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("real checkpoint swept: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, hs := startServer(t, testConfig(t, t.TempDir(), &stubRunner{}))
+	for name, body := range map[string]string{
+		"unknown op":    `{"op":"fuzz","lock":"bakery","n":3,"model":"pso"}`,
+		"unknown field": `{"op":"check","lock":"bakery","n":3,"model":"pso","fences":2}`,
+		"not json":      `op=check`,
+	} {
+		code, _, _ := submitJSON(t, hs.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code=%d, want 400", name, code)
+		}
+	}
+	if code, _ := getJob(t, hs.URL, "j-nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job: code=%d, want 404", code)
+	}
+}
+
+// The instrument panel: exposition carries the gauges and counters the
+// smoke tests scrape, including per-code HTTP counts, and the job list
+// endpoint reflects the store.
+func TestMetricsExposition(t *testing.T) {
+	_, hs := startServer(t, testConfig(t, t.TempDir(), &stubRunner{}))
+	_, sr, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, sr.JobID, StatusDone)
+	submitJSON(t, hs.URL, bakery3) // cache hit → a 200 on the counter
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"tfserve_queue_depth 0",
+		"tfserve_jobs_running 0",
+		"tfserve_draining 0",
+		"tfserve_jobs_submitted_total 1",
+		"tfserve_jobs_done_total 1",
+		"tfserve_cache_hits_total 1",
+		"tfserve_states_explored_total 7",
+		"tfserve_attempts_total 1",
+		`tfserve_http_requests_total{code="200"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+
+	var jobs []View
+	resp2, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != sr.JobID || jobs[0].CacheHits != 1 {
+		t.Fatalf("job list: %+v", jobs)
+	}
+}
+
+// The decision log is structured JSON, one parseable line per event,
+// covering the accept → attempt → done lifecycle.
+func TestDecisionLogStructured(t *testing.T) {
+	var buf syncBuffer
+	cfg := testConfig(t, t.TempDir(), &stubRunner{})
+	cfg.DecisionLog = &buf
+	_, hs := startServer(t, cfg)
+	_, sr, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, sr.JobID, StatusDone)
+	// The terminal log line lands just after the status flip; wait for it.
+	waitFor(t, func() bool { return strings.Contains(buf.String(), `"event":"done"`) })
+
+	events := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("unparseable decision line %q: %v", line, err)
+		}
+		ev, _ := entry["event"].(string)
+		events[ev] = true
+	}
+	for _, want := range []string{"accept", "start", "attempt", "done"} {
+		if !events[want] {
+			t.Errorf("decision log lacks %q event (got %v)", want, events)
+		}
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,179 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+// Cancellation arriving mid-attempt (not before it) must surface as a
+// single classified attempt — ErrKind "canceled", never retried — and must
+// leave the checkpoint directory clean: the latest certified snapshot
+// stays on disk for a later resume, and no orphaned temp files survive
+// the interrupted atomic writes.
+func TestCancelMidAttemptKeepsResumableCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+
+	ctx, cancel := context.WithCancel(bg())
+	defer cancel()
+	out, err := CheckMutex(ctx, s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		MaxAttempts:    5,
+		// Cancel from inside the exploration once a few levels (and thus a
+		// few snapshots) are behind us — a deterministic mid-attempt cut.
+		WorkerFault: func(attempt, level, worker int) error {
+			if level >= 4 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("cancelled run retried: %d attempts", len(out.Attempts))
+	}
+	a := out.Attempts[0]
+	if a.ErrKind != "canceled" {
+		t.Fatalf("ErrKind = %q, want canceled (attempt: %+v)", a.ErrKind, a)
+	}
+	if out.Mode != ModeExhaustive {
+		t.Fatalf("cancellation degraded to %q instead of returning", out.Mode)
+	}
+	// The partial result still reports the effort spent.
+	if out.Result.States == 0 {
+		t.Fatal("cancelled attempt reported zero states")
+	}
+
+	// Directory hygiene: the snapshot survives for resume; nothing else
+	// (no .tmp leftovers from interrupted atomic writes) does.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ck.json" {
+			t.Fatalf("orphaned file after cancellation: %q", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatal("cancelled run left no checkpoint to resume from")
+	}
+
+	// The snapshot certifies and resumes to the exact verdict of an
+	// uninterrupted run, and the terminal verdict cleans it up.
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := resumed.Attempts[0]
+	if ra.ResumedLevel == 0 || !ra.VisitedReused || ra.CheckpointRejected != "" {
+		t.Fatalf("resume after cancellation did not pick up the snapshot: %+v", ra)
+	}
+	requireSameResult(t, "resume after cancellation", resumed.Result, clean)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived the terminal verdict: stat err = %v", err)
+	}
+}
+
+// A deadline expiry behaves like cancellation (single attempt, no retry
+// burn) but is classified as its own kind, so decision logs can tell a
+// client-imposed timeout from a drain.
+func TestDeadlineClassifiedNotRetried(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	ctx, cancel := context.WithDeadline(bg(), time.Now().Add(-time.Second))
+	defer cancel()
+	out, err := CheckMutex(ctx, s, machine.PSO, Options{Workers: 2, MaxAttempts: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("deadline-expired run retried: %d attempts", len(out.Attempts))
+	}
+	if out.Attempts[0].ErrKind != "deadline" {
+		t.Fatalf("ErrKind = %q, want deadline", out.Attempts[0].ErrKind)
+	}
+}
+
+func TestClassifyErr(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"nil", nil, ""},
+		{"canceled", context.Canceled, "canceled"},
+		{"deadline", context.DeadlineExceeded, "deadline"},
+		{"worker wrapping cancel", &check.WorkerError{Err: context.Canceled}, "canceled"},
+		{"worker wrapping deadline", &check.WorkerError{Err: context.DeadlineExceeded}, "deadline"},
+		{"budget states", &run.BudgetError{Resource: "states", Limit: 1, Used: 2}, "budget:states"},
+		{"budget wall", &run.BudgetError{Resource: "wall"}, "budget:wall"},
+		{"worker wrapping budget", &check.WorkerError{Err: &run.BudgetError{Resource: "steps"}}, "budget:steps"},
+		{"drift", check.ErrCheckpointDrift, "drift"},
+		{"panic", run.ErrRecovered, "panic"},
+		{"worker chaos", &check.WorkerError{Level: 2, Worker: 1, Err: errors.New("chaos")}, "worker"},
+		{"plain", errors.New("machine: stuck"), "error"},
+	}
+	for _, tc := range cases {
+		if got := ClassifyErr(tc.err); got != tc.want {
+			t.Errorf("%s: ClassifyErr = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// OnAttempt streams the ladder as it happens: one callback per attempt,
+// in order, carrying the same reports that end up in Outcome.Attempts,
+// each already classified.
+func TestOnAttemptStreamsLadder(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	var streamed []Attempt
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:     4,
+		Budget:      run.Budget{MaxStates: 40},
+		MaxAttempts: 3,
+		BackoffBase: 1,
+		Sleep:       func(time.Duration) {},
+		Seed:        1,
+		OnAttempt:   func(a Attempt) { streamed = append(streamed, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(out.Attempts) {
+		t.Fatalf("streamed %d attempts, outcome has %d", len(streamed), len(out.Attempts))
+	}
+	for i, a := range streamed {
+		if a.Index != i {
+			t.Fatalf("streamed attempt %d has index %d", i, a.Index)
+		}
+		if a.ErrKind != "budget:states" {
+			t.Fatalf("attempt %d ErrKind = %q, want budget:states (err %q)", i, a.ErrKind, a.Err)
+		}
+		if a.Err != out.Attempts[i].Err || a.States != out.Attempts[i].States {
+			t.Fatalf("streamed attempt %d diverges from outcome: %+v vs %+v", i, a, out.Attempts[i])
+		}
+	}
+}

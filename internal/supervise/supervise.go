@@ -93,6 +93,14 @@ type Options struct {
 	// WorkerFault is the chaos hook threaded to the explorer, extended
 	// with the attempt index. Nil in production.
 	WorkerFault func(attempt, level, worker int) error
+
+	// OnAttempt, when non-nil, is invoked with each attempt's completed
+	// report — after the attempt ran, before any backoff sleep — so
+	// long-running supervised jobs can stream their escalation ladder
+	// (the daemon's per-job decision log is built from these). The
+	// callback runs on the supervising goroutine; it must not block for
+	// long and must not call back into the supervisor.
+	OnAttempt func(Attempt)
 }
 
 func (o Options) withDefaults() Options {
@@ -117,25 +125,65 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Attempt reports one rung of the supervised run.
+// Attempt reports one rung of the supervised run. The JSON names are the
+// wire format of the serve daemon's job API and decision logs.
 type Attempt struct {
 	// Index is the attempt number (0 = first).
-	Index int
+	Index int `json:"index"`
 	// Workers and Budget are the escalated parameters in force.
-	Workers int
-	Budget  run.Budget
+	Workers int        `json:"workers"`
+	Budget  run.Budget `json:"budget"`
 	// ResumedLevel is the checkpoint level the attempt continued from
 	// (0 = fresh start); VisitedReused whether its visited set certified.
-	ResumedLevel  int
-	VisitedReused bool
+	ResumedLevel  int  `json:"resumed_level"`
+	VisitedReused bool `json:"visited_reused,omitempty"`
 	// CheckpointRejected records why a snapshot was discarded before this
 	// attempt ("" = none rejected): corrupted bytes, identity drift, etc.
-	CheckpointRejected string
+	CheckpointRejected string `json:"checkpoint_rejected,omitempty"`
 	// States is the visited-state count the attempt reached; Err why it
 	// stopped ("" = success); Backoff the sleep that preceded it.
-	States  int
-	Err     string
-	Backoff time.Duration
+	States  int           `json:"states"`
+	Err     string        `json:"err,omitempty"`
+	Backoff time.Duration `json:"backoff_ns,omitempty"`
+	// ErrKind classifies Err for decision logs — why the escalation
+	// happened, not just its message: "" on success, "budget:steps",
+	// "budget:states", "budget:wall" or "budget:memory" for a budget
+	// trip on that resource, "worker" for a worker death, "drift" for a
+	// checkpoint that failed certification, "panic" for a recovered
+	// internal panic, "canceled" / "deadline" for context termination,
+	// and "error" for anything else.
+	ErrKind string `json:"err_kind,omitempty"`
+}
+
+// ClassifyErr maps an attempt (or job) error to the ErrKind vocabulary
+// above. Classification order matters: a worker killed by cancellation is
+// reported as the cancellation, and a budget trip inside a worker is
+// reported as the budget trip.
+func ClassifyErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	}
+	var be *run.BudgetError
+	if errors.As(err, &be) {
+		return "budget:" + be.Resource
+	}
+	if errors.Is(err, check.ErrCheckpointDrift) {
+		return "drift"
+	}
+	if errors.Is(err, run.ErrRecovered) {
+		return "panic"
+	}
+	var we *check.WorkerError
+	if errors.As(err, &we) {
+		return "worker"
+	}
+	return "error"
 }
 
 // Outcome is the result of a supervised check.
@@ -232,29 +280,38 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 			chk.WorkerFault = func(level, worker int) error { return o.WorkerFault(a, level, worker) }
 		}
 
-		var res check.Result
-		var err error
-		ck := loadCertified(o.CheckpointPath, &rep)
-		if ck != nil {
-			res, err = subject.ResumeExhaustiveParallel(ctx, model, ck, chk)
-			if err != nil && errors.Is(err, check.ErrCheckpointDrift) {
-				// The snapshot decoded but does not certify against this
-				// subject: fail closed, restart fresh.
-				rep.CheckpointRejected = err.Error()
-				res, err = subject.ExhaustiveParallel(ctx, model, chk)
+		// A panic inside the explorer is recovered here, at the attempt
+		// boundary, so the attempt report records it (ErrKind "panic")
+		// instead of unwinding past the supervisor and losing the ladder.
+		res, err := func() (res check.Result, err error) {
+			defer run.Recover("supervised attempt", &err)
+			ck := loadCertified(o.CheckpointPath, &rep)
+			if ck != nil {
+				res, err = subject.ResumeExhaustiveParallel(ctx, model, ck, chk)
+				if err != nil && errors.Is(err, check.ErrCheckpointDrift) {
+					// The snapshot decoded but does not certify against this
+					// subject: fail closed, restart fresh.
+					rep.CheckpointRejected = err.Error()
+					res, err = subject.ExhaustiveParallel(ctx, model, chk)
+				} else {
+					rep.ResumedLevel = res.ResumedLevel
+					rep.VisitedReused = res.VisitedReused
+				}
 			} else {
-				rep.ResumedLevel = res.ResumedLevel
-				rep.VisitedReused = res.VisitedReused
+				res, err = subject.ExhaustiveParallel(ctx, model, chk)
 			}
-		} else {
-			res, err = subject.ExhaustiveParallel(ctx, model, chk)
-		}
+			return res, err
+		}()
 		rep.States = res.States
 		if err != nil {
 			rep.Err = err.Error()
+			rep.ErrKind = ClassifyErr(err)
 		}
 		out.Attempts = append(out.Attempts, rep)
 		out.Result = res
+		if o.OnAttempt != nil {
+			o.OnAttempt(rep)
+		}
 
 		if err == nil {
 			// Terminal verdict: the snapshot on disk (if any) describes a

@@ -29,6 +29,13 @@ type SuperviseOptions struct {
 	// path: a pre-existing file is cleared before the first attempt and
 	// the snapshot is removed once a terminal verdict is reached.
 	Resume bool
+	// OnAttempt, when non-nil, streams each attempt's report as it
+	// completes (before any backoff sleep), so long-running supervised
+	// checks can surface their escalation ladder live — the verification
+	// daemon builds its per-job decision log and progress endpoint from
+	// these. The callback runs on the supervising goroutine and must not
+	// block for long.
+	OnAttempt func(SupervisedAttempt)
 }
 
 // SupervisedAttempt reports one rung of a supervised run: the escalated
@@ -98,6 +105,7 @@ func CheckMutexSupervisedCtx(ctx context.Context, spec LockSpec, n, passages int
 		Seed:             opts.Seed,
 		FallbackRuns:     runs,
 		FallbackMaxSteps: maxSteps,
+		OnAttempt:        opts.OnAttempt,
 	})
 	if out == nil {
 		return nil, nil, serr
