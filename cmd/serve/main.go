@@ -1,21 +1,30 @@
 // Command serve runs the verification daemon: an HTTP/JSON service that
 // accepts check and synthesis jobs, runs them on a bounded worker pool
 // through the supervised checker, and survives crashes, duplicate
-// submissions and overload.
+// submissions, overload and noisy neighbors.
 //
 // Usage:
 //
-//	serve -addr :8080 -data ./serve-data -pool 2 -queue 64
+//	serve -addr :8080 -data ./serve-data -pool 2 -queue 64 \
+//	      -quota-queued 16 -quota-running 0 -compact-bytes 4194304
 //
-// Submit a job:
+// Submit a job (client identity from X-API-Key or X-Client-ID; priority
+// is a run parameter, not part of the job's identity):
 //
-//	curl -s -X POST localhost:8080/v1/jobs \
-//	  -d '{"op":"check","lock":"bakery","n":3,"model":"pso","workers":2}'
+//	curl -s -X POST localhost:8080/v1/jobs -H 'X-API-Key: team-a' \
+//	  -d '{"op":"check","lock":"bakery","n":3,"model":"pso","priority":"high","workers":2}'
+//
+// Abort a queued or running job (idempotent; 409 once it is done/failed):
+//
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //
 // Identical submissions return the same job ID; completed results are
-// served from the cache. SIGTERM/SIGINT drains: new work is refused,
-// running jobs get -drain to finish or checkpoint, and a restart resumes
-// whatever was in flight from the outbox journal in -data.
+// served from the cache. Scheduling is per-client deficit-round-robin
+// under strict priority bands; a higher-priority submission preempts the
+// lowest-priority running job onto its certified checkpoint (disable with
+// -priorities=false). SIGTERM/SIGINT drains: new work is refused, running
+// jobs get -drain to finish or checkpoint, the outbox is compacted, and a
+// restart resumes whatever was in flight from the journal in -data.
 package main
 
 import (
@@ -35,25 +44,40 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "serve-data", "data directory (outbox journal + job checkpoints)")
+	data := flag.String("data", "serve-data", "data directory (outbox journal, compact snapshot, job checkpoints)")
 	pool := flag.Int("pool", 2, "concurrent job workers")
-	queue := flag.Int("queue", 64, "queued-job cap; a full queue sheds submissions with 429")
+	queue := flag.Int("queue", 64, "global queued-job cap; a full queue sheds submissions with 429")
+	quotaQueued := flag.Int("quota-queued", 16, "per-client queued-job cap (0 = unlimited); a client over its cap is shed with a per-client 429")
+	quotaRunning := flag.Int("quota-running", 0, "per-client running-job cap (0 = unlimited); enforced by the scheduler, not by shedding")
+	priorities := flag.Bool("priorities", true, "enable checkpoint preemption: high-priority submissions evict the lowest-priority running job onto its checkpoint")
+	compactBytes := flag.Int64("compact-bytes", 4<<20, "journal size that triggers outbox compaction (-1 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for running jobs on SIGTERM before they are cancelled onto their checkpoints")
 	flag.Parse()
 
-	if err := run(*addr, *data, *pool, *queue, *drain); err != nil {
+	cfg := serve.Config{
+		DataDir:        *data,
+		Pool:           *pool,
+		QueueCap:       *queue,
+		QuotaQueued:    *quotaQueued,
+		QuotaRunning:   *quotaRunning,
+		DisablePreempt: !*priorities,
+		CompactBytes:   *compactBytes,
+		DrainGrace:     *drain,
+	}
+	if *quotaQueued <= 0 {
+		cfg.QuotaQueued = -1 // Config convention: 0 means "default", negative means unlimited
+	}
+	if *compactBytes < 0 {
+		cfg.CompactBytes = -1
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, pool, queue int, drain time.Duration) error {
-	srv, err := serve.New(serve.Config{
-		DataDir:    data,
-		Pool:       pool,
-		QueueCap:   queue,
-		DrainGrace: drain,
-	})
+func run(addr string, cfg serve.Config) error {
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -64,8 +88,8 @@ func run(addr, data string, pool, queue int, drain time.Duration) error {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	srv.Start()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s, data in %s (pool=%d queue=%d)\n",
-		ln.Addr(), data, pool, queue)
+	fmt.Fprintf(os.Stderr, "serve: listening on %s, data in %s (pool=%d queue=%d quota-queued=%d quota-running=%d)\n",
+		ln.Addr(), cfg.DataDir, cfg.Pool, cfg.QueueCap, cfg.QuotaQueued, cfg.QuotaRunning)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -74,7 +98,7 @@ func run(addr, data string, pool, queue int, drain time.Duration) error {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "serve: %v: draining (grace %v)\n", sig, drain)
+		fmt.Fprintf(os.Stderr, "serve: %v: draining (grace %v)\n", sig, cfg.DrainGrace)
 		// Refuse new work and park the jobs first (readyz flips to 503
 		// for the whole drain), then close the HTTP side.
 		srv.Drain()

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func deleteJob(t *testing.T, url, id string) (int, SubmitResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func countAborted(t *testing.T, dataDir, jobID string) int {
+	t.Helper()
+	recs, err := ReadOutbox(OutboxPath(dataDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, rec := range recs {
+		if rec.Event == EventAborted && rec.Job == jobID {
+			n++
+		}
+	}
+	return n
+}
+
+// Aborting a queued job: terminal immediately, journaled before the ack,
+// idempotent on repeat (no second record), 409 once a different terminal
+// state exists, 404 for unknown IDs — and the aborted entry never serves
+// a cache hit: resubmission runs fresh.
+func TestAbortQueuedJob(t *testing.T) {
+	data := t.TempDir()
+	stub := &stubRunner{gate: make(chan struct{})}
+	srv, hs := startServer(t, testConfig(t, data, stub))
+
+	_, running, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, running.JobID, StatusRunning)
+	_, queued, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+
+	code, sr := deleteJob(t, hs.URL, queued.JobID)
+	if code != http.StatusOK || sr.Status != StatusAborted {
+		t.Fatalf("abort queued: code=%d resp=%+v", code, sr)
+	}
+	// Journal-before-ack: the terminal record is on disk by the time the
+	// DELETE returns.
+	if n := countAborted(t, data, queued.JobID); n != 1 {
+		t.Fatalf("aborted records after ack = %d, want 1", n)
+	}
+	if _, v := getJob(t, hs.URL, queued.JobID); v.Status != StatusAborted || v.ErrKind != "aborted" {
+		t.Fatalf("aborted job view: %+v", v)
+	}
+	// Idempotent repeat: 200, nothing journaled again.
+	if code, _ := deleteJob(t, hs.URL, queued.JobID); code != http.StatusOK {
+		t.Fatalf("repeat abort: code=%d, want 200", code)
+	}
+	if n := countAborted(t, data, queued.JobID); n != 1 {
+		t.Fatalf("repeat abort journaled again: %d records", n)
+	}
+	// Unknown job: 404.
+	if code, _ := deleteJob(t, hs.URL, "j-nope"); code != http.StatusNotFound {
+		t.Fatalf("abort unknown: code=%d, want 404", code)
+	}
+
+	// Let the running job complete; aborting it then conflicts.
+	close(stub.gate)
+	waitStatus(t, hs.URL, running.JobID, StatusDone)
+	if code, _ := deleteJob(t, hs.URL, running.JobID); code != http.StatusConflict {
+		t.Fatalf("abort done job: code=%d, want 409", code)
+	}
+
+	// The aborted entry is not an answer: resubmission re-runs fresh.
+	calls := stub.Calls()
+	code2, resub, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	if code2 != http.StatusAccepted || resub.Cached || resub.Dedup {
+		t.Fatalf("resubmission of aborted job: code=%d resp=%+v", code2, resub)
+	}
+	waitStatus(t, hs.URL, resub.JobID, StatusDone)
+	if stub.Calls() != calls+1 {
+		t.Fatal("resubmitted aborted job did not run fresh")
+	}
+	if srv.Metrics().JobsAborted.Load() != 1 {
+		t.Fatalf("aborted metric = %d, want 1", srv.Metrics().JobsAborted.Load())
+	}
+}
+
+// Aborting a running job: the cancellation reaches the runner, the
+// outcome is pinned to aborted (whatever the runner returned), and the
+// job's worker slot frees for the next job.
+func TestAbortRunningJob(t *testing.T) {
+	data := t.TempDir()
+	stub := &stubRunner{gate: make(chan struct{})} // never released: only the abort can end it
+	srv, hs := startServer(t, testConfig(t, data, stub))
+
+	_, running, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, running.JobID, StatusRunning)
+	_, next, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+
+	code, _ := deleteJob(t, hs.URL, running.JobID)
+	if code != http.StatusOK {
+		t.Fatalf("abort running: code=%d", code)
+	}
+	aborted := waitStatus(t, hs.URL, running.JobID, StatusAborted)
+	if aborted.Result != nil {
+		t.Fatalf("aborted job kept a result: %+v", aborted.Result)
+	}
+	if n := countAborted(t, data, running.JobID); n != 1 {
+		t.Fatalf("aborted records = %d, want 1", n)
+	}
+	// The freed slot runs the queued job — but it is gated; release it.
+	close(stub.gate)
+	waitStatus(t, hs.URL, next.JobID, StatusDone)
+	if srv.Metrics().JobsAborted.Load() != 1 {
+		t.Fatalf("aborted metric = %d, want 1", srv.Metrics().JobsAborted.Load())
+	}
+}
+
+// An abort survives a restart: the journaled aborted record replays to a
+// terminal aborted job that is neither resumed nor served from cache.
+func TestAbortSurvivesRestart(t *testing.T) {
+	data := t.TempDir()
+	stub := &stubRunner{gate: make(chan struct{})}
+	srv, hs := startServer(t, testConfig(t, data, stub))
+
+	_, running, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, running.JobID, StatusRunning)
+	_, queued, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	if code, _ := deleteJob(t, hs.URL, queued.JobID); code != http.StatusOK {
+		t.Fatal("abort failed")
+	}
+	close(stub.gate)
+	waitStatus(t, hs.URL, running.JobID, StatusDone)
+	srv.Drain()
+
+	stub2 := &stubRunner{}
+	srv2, hs2 := startServer(t, testConfig(t, data, stub2))
+	if got := srv2.Metrics().JobsResumed.Load(); got != 0 {
+		t.Fatalf("restart resumed %d jobs; the aborted one must stay terminal", got)
+	}
+	if _, v := getJob(t, hs2.URL, queued.JobID); v.Status != StatusAborted {
+		t.Fatalf("aborted job after restart: status %q", v.Status)
+	}
+	// Not a cache entry: resubmission runs fresh on the new daemon.
+	code, resub, _ := submitJSON(t, hs2.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	if code != http.StatusAccepted || resub.Cached {
+		t.Fatalf("aborted husk served as answer after restart: code=%d resp=%+v", code, resub)
+	}
+	waitStatus(t, hs2.URL, resub.JobID, StatusDone)
+	srv2.Drain()
+}
+
+// Aborting a parked (drain-interrupted) job pins it terminal. This state
+// only exists between a drain and process exit, so exercise the store
+// directly: the outcome is AbortParked and the job never resumes.
+func TestAbortParkedJob(t *testing.T) {
+	store := NewStore(Caps{})
+	req := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso"})
+	j, out := store.Submit(req, req.Key(), "", DefaultClient, PriorityNormal)
+	if out != SubmitNew {
+		t.Fatalf("submit outcome %v", out)
+	}
+	store.Commit(j)
+	if got := store.Next(); got != j {
+		t.Fatal("worker did not claim the job")
+	}
+	store.Finish(j, StatusInterrupted, nil, "drain", "canceled")
+	if out := store.Abort(j); out != AbortParked {
+		t.Fatalf("abort outcome %v, want AbortParked", out)
+	}
+	v := store.Snapshot(j)
+	if v.Status != StatusAborted || v.Resumed || v.ErrKind != "aborted" {
+		t.Fatalf("parked-then-aborted view: %+v", v)
+	}
+	if out := store.Abort(j); out != AbortRepeat {
+		t.Fatalf("repeat abort outcome %v, want AbortRepeat", out)
+	}
+}
+
+// DELETE with a trailing path or wrong method on the collection stays
+// well-behaved.
+func TestAbortMethodRouting(t *testing.T) {
+	_, hs := startServer(t, testConfig(t, t.TempDir(), &stubRunner{}))
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs", strings.NewReader(""))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE on collection: code=%d, want 405", resp.StatusCode)
+	}
+}

@@ -22,6 +22,10 @@ import (
 const (
 	chaosDataEnv = "TF_SERVE_CHAOS_DATA"
 	chaosAddrEnv = "TF_SERVE_CHAOS_ADDRFILE"
+	// When set, the child arms compactKillHook: an aggressive compaction
+	// threshold plus a self-SIGKILL fired inside the crash window — after
+	// the snapshot rename, before the journal rewrite.
+	chaosCompactEnv = "TF_SERVE_CHAOS_KILL_COMPACT"
 )
 
 func TestMain(m *testing.M) {
@@ -36,7 +40,16 @@ func TestMain(m *testing.M) {
 // FacadeRunner, listening on an ephemeral port it publishes through the
 // address file (written atomically so the parent never reads a torn path).
 func runChaosChild(dataDir, addrFile string) {
-	srv, err := New(Config{DataDir: dataDir, Pool: 2, DecisionLog: io.Discard})
+	cfg := Config{DataDir: dataDir, Pool: 2, DecisionLog: io.Discard}
+	if os.Getenv(chaosCompactEnv) != "" {
+		cfg.CompactBytes = 1 // every terminal append compacts
+		compactKillHook = func() {
+			p, _ := os.FindProcess(os.Getpid())
+			p.Kill()
+			select {} // never complete the compaction
+		}
+	}
+	srv, err := New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos child:", err)
 		os.Exit(1)
@@ -59,10 +72,11 @@ func runChaosChild(dataDir, addrFile string) {
 	http.Serve(ln, srv.Handler()) // until SIGKILL
 }
 
-func startChaosChild(t *testing.T, data, addrFile string) *exec.Cmd {
+func startChaosChild(t *testing.T, data, addrFile string, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), chaosDataEnv+"="+data, chaosAddrEnv+"="+addrFile)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -122,9 +136,19 @@ func TestChaosKillResumeBitIdentical(t *testing.T) {
 	if sr.JobID != JobID(key) {
 		t.Fatalf("job ID %q, want the key-derived %q", sr.JobID, JobID(key))
 	}
+	// Wait for a snapshot from a nonzero BFS level (the very first save
+	// happens at level 0, before any expansion — killing on it would test
+	// resume-from-nothing, not resume-from-progress). Checkpoint writes
+	// are atomic renames, so each read sees a complete file.
 	waitFor(t, func() bool {
-		_, err := os.Stat(ckpt)
-		return err == nil
+		b, err := os.ReadFile(ckpt)
+		if err != nil {
+			return false
+		}
+		var ck struct {
+			Level int `json:"level"`
+		}
+		return json.Unmarshal(b, &ck) == nil && ck.Level >= 1
 	})
 
 	// SIGKILL: no drain, no journal flush, no checkpoint removal — the
@@ -202,5 +226,207 @@ func TestChaosKillResumeBitIdentical(t *testing.T) {
 	// Terminal verdict: the daemon's checkpoint for the job is gone.
 	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
 		t.Fatalf("job checkpoint survived its terminal verdict: stat err = %v", err)
+	}
+}
+
+// Preempt mid-exploration, same answer: a real bakery-n3 exploration is
+// preempted onto its certified checkpoint by a high-priority arrival,
+// requeued, and resumed — and its final verdict must be bit-identical to
+// an uninterrupted run's. Preemption is a scheduling decision, never an
+// accuracy decision.
+func TestChaosPreemptResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real explorations")
+	}
+	data := t.TempDir()
+	victim := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", Workers: 2})
+	ckpt := CheckpointPath(CheckpointDir(data), victim.Key())
+
+	srv, hs := startServer(t, Config{
+		DataDir: data, Pool: 1, DecisionLog: io.Discard, // Pool 1: preemption is the only way in
+	})
+	body, err := json.Marshal(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vr, _ := submitJSON(t, hs.URL, string(body))
+	// Wait for a certified snapshot with real progress, as the kill test
+	// does: preempting onto a level-0 checkpoint would test restart, not
+	// resume.
+	waitFor(t, func() bool {
+		b, err := os.ReadFile(ckpt)
+		if err != nil {
+			return false
+		}
+		var ck struct {
+			Level int `json:"level"`
+		}
+		return json.Unmarshal(b, &ck) == nil && ck.Level >= 1
+	})
+
+	_, hr, _ := submitJSON(t, hs.URL,
+		`{"op":"check","lock":"peterson","n":2,"model":"tso","priority":"high"}`)
+
+	// Both must complete; the victim after the high job releases the slot.
+	// Real explorations under the race detector need chaos-scale patience,
+	// not the unit suite's 10-second ceiling.
+	waitLong := func(id string) View {
+		t.Helper()
+		deadline := time.Now().Add(4 * time.Minute)
+		for time.Now().Before(deadline) {
+			if code, v := getJob(t, hs.URL, id); code == http.StatusOK && v.Status == StatusDone {
+				return v
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		code, v := getJob(t, hs.URL, id)
+		t.Fatalf("job %s never finished (last: code=%d status=%q err=%q)", id, code, v.Status, v.Error)
+		return View{}
+	}
+	waitLong(hr.JobID)
+	after := waitLong(vr.JobID)
+
+	if after.Preemptions == 0 {
+		t.Fatalf("victim was never preempted (finished first?): %+v — widen the victim workload", after)
+	}
+	if srv.Metrics().Preemptions.Load() == 0 {
+		t.Fatal("preemption metric not incremented")
+	}
+	// The resumed attempt must continue from the certified checkpoint.
+	last := after.Attempts[len(after.Attempts)-1]
+	if last.ResumedLevel == 0 || !last.VisitedReused {
+		t.Fatalf("preempted job recomputed instead of resuming: attempts = %+v", after.Attempts)
+	}
+
+	// Reference: the same request, uninterrupted, in-process.
+	refCkpt := filepath.Join(t.TempDir(), "ref.ckpt")
+	ref, err := FacadeRunner{}.Run(context.Background(),
+		View{Request: victim, checkpointPath: refCkpt}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err1 := json.Marshal(after.Result)
+	want, err2 := json.Marshal(ref)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("preempted verdict diverges from uninterrupted run:\n  preempted:     %s\n  uninterrupted: %s", got, want)
+	}
+	srv.Drain()
+}
+
+// Kill -9 inside compaction's crash window: the child dies after the
+// snapshot rename but before the journal rewrite, leaving the NEW
+// snapshot beside the FULL OLD journal. A restart over that state must
+// lose no records and serve no stale results: terminal jobs still answer
+// from cache, in-flight jobs still run to completion.
+func TestChaosKillDuringCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test re-executes the test binary")
+	}
+	data := t.TempDir()
+	slow := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", Workers: 2})
+	slowCkpt := CheckpointPath(CheckpointDir(data), slow.Key())
+	slowBody, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First incarnation: compaction threshold 1 byte, kill hook armed.
+	addrFile1 := filepath.Join(t.TempDir(), "addr1")
+	child1 := startChaosChild(t, data, addrFile1, chaosCompactEnv+"=1")
+	url1 := waitChildAddr(t, addrFile1)
+
+	// The slow job first: once it has checkpointed progress it straddles
+	// the compaction as an in-flight record.
+	if resp, err := http.Post(url1+"/v1/jobs", "application/json", strings.NewReader(string(slowBody))); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	waitFor(t, func() bool {
+		b, err := os.ReadFile(slowCkpt)
+		if err != nil {
+			return false
+		}
+		var ck struct {
+			Level int `json:"level"`
+		}
+		return json.Unmarshal(b, &ck) == nil && ck.Level >= 1
+	})
+	// The fast job's terminal append crosses the 1-byte threshold, starts
+	// a compaction, and the hook SIGKILLs the child mid-window.
+	if resp, err := http.Post(url1+"/v1/jobs", "application/json",
+		strings.NewReader(`{"op":"check","lock":"peterson","n":2,"model":"tso"}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	child1.Wait() // dies by its own hand inside the crash window
+
+	// The wreckage: a certified snapshot holding the terminal fold, and
+	// the untouched pre-compaction journal beside it.
+	snap, err := ReadSnapshot(SnapshotPath(data))
+	if err != nil {
+		t.Fatalf("snapshot does not certify after crash: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("kill fired before the snapshot rename; hook misplaced")
+	}
+	recs, err := ReadOutbox(OutboxPath(data))
+	if err != nil {
+		t.Fatalf("old journal unreadable after crash: %v", err)
+	}
+	terminal := 0
+	for _, rec := range recs {
+		if rec.Event == EventDone {
+			terminal++
+		}
+	}
+	if terminal == 0 {
+		t.Fatal("old journal lost its terminal record — the rewrite ran before the kill")
+	}
+
+	// Second incarnation, hook disarmed: replay converges, nothing lost.
+	addrFile2 := filepath.Join(t.TempDir(), "addr2")
+	startChaosChild(t, data, addrFile2)
+	url2 := waitChildAddr(t, addrFile2)
+	for _, req := range []Request{slow, normalized(t, Request{Op: OpCheck, Lock: "peterson", N: 2, Model: "tso"})} {
+		id := JobID(req.Key())
+		deadline := time.Now().Add(2 * time.Minute)
+		var v View
+		for {
+			r, err := http.Get(url2 + "/v1/jobs/" + id)
+			if err == nil {
+				err = json.NewDecoder(r.Body).Decode(&v)
+				r.Body.Close()
+			}
+			if err == nil && v.Status == StatusDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s lost across the compaction crash (last: %+v, err %v)", id, v, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// Resubmission answers from cache — the record survived, and what
+		// survived is certified, not stale.
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url2+"/v1/jobs", "application/json", strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !sr.Cached || sr.Result == nil || !sr.Result.Authoritative {
+			t.Fatalf("job %s not served from certified cache after crash: code=%d resp=%+v", id, resp.StatusCode, sr)
+		}
 	}
 }

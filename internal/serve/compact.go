@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Outbox compaction. The JSONL journal grows without bound — every
+// submission, start, preemption and outcome is one fsynced line forever.
+// A compaction cycle folds the journal (and any previous snapshot) into:
+//
+//   - a compact snapshot: for every key whose latest state is terminal,
+//     exactly its submitted record and its terminal record, wrapped in a
+//     CRC-certified envelope;
+//   - a rewritten journal holding only the dangling submitted records of
+//     in-flight keys (plus everything appended after the cycle).
+//
+// Startup loads snapshot-then-journal through the same Replay fold, with
+// the same per-record identity recertification — a snapshot is a denser
+// spelling of the journal, not a second source of truth. Both files are
+// replaced by atomic rename, snapshot first, so a kill -9 at any instant
+// leaves either the old pair, or the new snapshot with the old journal —
+// and replaying the old journal over the new snapshot converges to the
+// same state, because the journal still carries every event the snapshot
+// folded. No crash point loses a record or resurrects a stale one.
+
+// SnapshotVersion versions the snapshot envelope below.
+const SnapshotVersion = 1
+
+// snapshotHeader is the first line of a snapshot file. CRC32 (IEEE) is
+// computed over the body bytes (every line after the header): a snapshot
+// that does not certify is a startup error, never a silent truncation —
+// unlike the journal, a snapshot is written in one atomic rename, so
+// there is no torn-final-line case to tolerate.
+type snapshotHeader struct {
+	Version int    `json:"version"`
+	Records int    `json:"records"`
+	CRC     uint32 `json:"crc32"`
+}
+
+// SnapshotPath locates the compact snapshot inside dataDir.
+func SnapshotPath(dataDir string) string { return filepath.Join(dataDir, "outbox.snap") }
+
+// compactKillHook, when non-nil, runs between the snapshot rename and
+// the journal rewrite — the widest window where the two files disagree.
+// The chaos test points it at SIGKILL to prove that window loses nothing.
+var compactKillHook func()
+
+// CompactStats reports one compaction cycle.
+type CompactStats struct {
+	// Folded is the number of terminal keys folded into the snapshot;
+	// InFlight the dangling submitted records kept in the journal.
+	Folded   int
+	InFlight int
+	// Reclaimed is the byte delta (old snapshot + journal) − (new
+	// snapshot + journal); negative deltas are reported as 0.
+	Reclaimed int64
+}
+
+// foldRecords splits the event stream into the snapshot's terminal pairs
+// and the journal's in-flight submitted records, both in first-seen key
+// order. Records failing the same identity recertification Replay applies
+// are dropped here too — compaction is exactly where dead bytes leave the
+// log. Orphan terminal records (no surviving submitted record) fold to
+// nothing; Replay would have ignored them anyway.
+func foldRecords(recs []Record) (terminal []Record, inflight []Record, dropped int) {
+	type state struct {
+		submitted Record
+		terminal  *Record
+	}
+	byKey := make(map[string]*state)
+	var order []string
+	for _, rec := range recs {
+		switch rec.Event {
+		case EventSubmitted:
+			if rec.Request == nil || rec.Key == "" {
+				dropped++
+				continue
+			}
+			req := *rec.Request
+			if _, _, err := req.Normalize(); err != nil {
+				dropped++
+				continue
+			}
+			if req.identity() != rec.Identity || req.Key() != rec.Key {
+				dropped++
+				continue
+			}
+			st, seen := byKey[rec.Key]
+			if !seen {
+				st = &state{}
+				byKey[rec.Key] = st
+				order = append(order, rec.Key)
+			}
+			st.submitted = rec
+			st.terminal = nil
+		case EventDone, EventFailed, EventAborted:
+			if st, ok := byKey[rec.Key]; ok {
+				r := rec
+				st.terminal = &r
+			}
+		}
+	}
+	for _, key := range order {
+		st := byKey[key]
+		if st.terminal != nil {
+			terminal = append(terminal, st.submitted, *st.terminal)
+		} else {
+			inflight = append(inflight, st.submitted)
+		}
+	}
+	return terminal, inflight, dropped
+}
+
+// encodeSnapshot renders the certified snapshot file: header line, then
+// one record per line.
+func encodeSnapshot(recs []Record) ([]byte, error) {
+	var body bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: snapshot: %w", err)
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	hdr, err := json.Marshal(snapshotHeader{
+		Version: SnapshotVersion,
+		Records: len(recs),
+		CRC:     crc32.ChecksumIEEE(body.Bytes()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot: %w", err)
+	}
+	return append(append(hdr, '\n'), body.Bytes()...), nil
+}
+
+// ReadSnapshot parses and certifies the snapshot at path. A missing file
+// is an empty snapshot. Anything else that fails — unreadable header,
+// version from a different build, CRC mismatch, a record that does not
+// parse — is an error: the snapshot was written by a single atomic
+// rename, so damage means corruption, and corruption fails closed.
+func ReadSnapshot(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("serve: snapshot %s: missing header", path)
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: header: %w", path, err)
+	}
+	if hdr.Version != SnapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot %s: version %d, want %d", path, hdr.Version, SnapshotVersion)
+	}
+	body := data[nl+1:]
+	if got := crc32.ChecksumIEEE(body); got != hdr.CRC {
+		return nil, fmt.Errorf("serve: snapshot %s: crc %08x, want %08x", path, got, hdr.CRC)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	if len(recs) != hdr.Records {
+		return nil, fmt.Errorf("serve: snapshot %s: %d records, header says %d", path, len(recs), hdr.Records)
+	}
+	return recs, nil
+}
+
+// ReadJournal loads the daemon's full persisted event stream: the
+// certified snapshot (older) followed by the journal (newer), ready for
+// Replay's fold.
+func ReadJournal(dataDir string) ([]Record, error) {
+	snap, err := ReadSnapshot(SnapshotPath(dataDir))
+	if err != nil {
+		return nil, err
+	}
+	recs, err := ReadOutbox(OutboxPath(dataDir))
+	if err != nil {
+		return nil, err
+	}
+	return append(snap, recs...), nil
+}
+
+// writeAtomic writes data to path via a same-directory temp file, fsync,
+// and rename. The ".snap.tmp" / ".jsonl.tmp" temp names are swept on
+// startup if a crash strands them.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Compact runs one snapshot+truncate cycle. Appends block for the
+// duration (the cycle is two file writes over a log that was worth
+// compacting — milliseconds against the explorations it journals).
+//
+// Order of operations, each an atomic rename:
+//
+//  1. write the new snapshot (old journal still intact — a crash here
+//     leaves the journal authoritative, snapshot merely denser);
+//  2. rewrite the journal to just the in-flight submitted records and
+//     swap the append handle onto the new file.
+//
+// A crash between (1) and (2) leaves the new snapshot plus the full old
+// journal: replaying the journal over the snapshot re-applies events the
+// snapshot already folded, which is idempotent — the fold is
+// last-event-wins per key and the journal's per-key suffix equals the
+// snapshot's folded state.
+func (o *Outbox) Compact(dataDir string) (CompactStats, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	snapPath := SnapshotPath(dataDir)
+	oldSnapSize := int64(0)
+	if st, err := os.Stat(snapPath); err == nil {
+		oldSnapSize = st.Size()
+	}
+	snapRecs, err := ReadSnapshot(snapPath)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	recs, err := ReadOutbox(o.path)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	terminal, inflight, _ := foldRecords(append(snapRecs, recs...))
+
+	snapData, err := encodeSnapshot(terminal)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	if err := writeAtomic(snapPath, snapData); err != nil {
+		return CompactStats{}, fmt.Errorf("serve: compact snapshot: %w", err)
+	}
+	if compactKillHook != nil {
+		compactKillHook()
+	}
+
+	var journal bytes.Buffer
+	for _, rec := range inflight {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return CompactStats{}, fmt.Errorf("serve: compact journal: %w", err)
+		}
+		journal.Write(line)
+		journal.WriteByte('\n')
+	}
+	if err := writeAtomic(o.path, journal.Bytes()); err != nil {
+		return CompactStats{}, fmt.Errorf("serve: compact journal: %w", err)
+	}
+	// The old append handle points at the unlinked inode; swap it for the
+	// rewritten file before anyone appends again.
+	f, err := os.OpenFile(o.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("serve: compact reopen: %w", err)
+	}
+	o.f.Close()
+	o.f = f
+	oldSize := o.size
+	o.size = int64(journal.Len())
+
+	stats := CompactStats{
+		Folded:    len(terminal) / 2,
+		InFlight:  len(inflight),
+		Reclaimed: oldSnapSize + oldSize - int64(len(snapData)) - o.size,
+	}
+	if stats.Reclaimed < 0 {
+		stats.Reclaimed = 0
+	}
+	return stats, nil
+}

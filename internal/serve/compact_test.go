@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func doneRecord(req Request, states int) Record {
+	return Record{Event: EventDone, Job: JobID(req.Key()), Key: req.Key(),
+		Result: &Result{Op: OpCheck, States: states, Authoritative: true,
+			Check: &CheckOutcome{Proved: true, Mode: "exhaustive", States: states}}}
+}
+
+// The fold: terminal keys collapse to their [submitted, terminal] pair,
+// in-flight keys keep their dangling submitted record, resubmission after
+// a terminal outcome puts the key back in flight, and records failing
+// identity recertification are dropped — same policy as Replay.
+func TestFoldRecords(t *testing.T) {
+	done := checkReq(t, "bakery", 2)
+	inflight := checkReq(t, "bakery", 3)
+	rerun := checkReq(t, "bakery", 4)
+	aborted := checkReq(t, "peterson", 2)
+	bad := submittedRecord(checkReq(t, "bakery", 5))
+	bad.Identity = "v0:forged"
+
+	terminal, dangling, dropped := foldRecords([]Record{
+		submittedRecord(done),
+		{Event: EventStarted, Key: done.Key()},
+		doneRecord(done, 10),
+		submittedRecord(inflight),
+		{Event: EventStarted, Key: inflight.Key()},
+		{Event: EventPreempted, Key: inflight.Key()},
+		submittedRecord(rerun),
+		{Event: EventFailed, Key: rerun.Key(), Error: "boom", ErrKind: "error"},
+		submittedRecord(rerun), // resubmitted after the failure: in flight again
+		submittedRecord(aborted),
+		{Event: EventAborted, Key: aborted.Key(), Error: "aborted by client"},
+		bad,
+	})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (forged identity)", dropped)
+	}
+	if len(terminal) != 4 { // two terminal keys × (submitted + terminal)
+		t.Fatalf("terminal records = %d, want 4: %+v", len(terminal), terminal)
+	}
+	if terminal[0].Key != done.Key() || terminal[1].Event != EventDone ||
+		terminal[2].Key != aborted.Key() || terminal[3].Event != EventAborted {
+		t.Fatalf("terminal pairs out of order: %+v", terminal)
+	}
+	if len(dangling) != 2 || dangling[0].Key != inflight.Key() || dangling[1].Key != rerun.Key() {
+		t.Fatalf("in-flight records: %+v", dangling)
+	}
+}
+
+// Snapshot codec round trip, and fail-closed on every kind of damage:
+// flipped body byte (CRC), corrupted header, wrong version, record-count
+// mismatch. A missing snapshot is just empty.
+func TestSnapshotCertification(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outbox.snap")
+	req := checkReq(t, "bakery", 2)
+	data, err := encodeSnapshot([]Record{submittedRecord(req), doneRecord(req, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSnapshot(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("round trip: %d recs, err %v", len(recs), err)
+	}
+	if recs, err := ReadSnapshot(filepath.Join(dir, "absent.snap")); err != nil || recs != nil {
+		t.Fatalf("missing snapshot: %v, %v", recs, err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshot(p); err == nil {
+			t.Errorf("%s: corruption read back without error", name)
+		}
+	}
+	corrupt("flipped.snap", func(b []byte) []byte { b[len(b)-2] ^= 0x40; return b })
+	corrupt("headerless.snap", func(b []byte) []byte { return b[10:] })
+	corrupt("badversion.snap", func(b []byte) []byte {
+		return append([]byte(`{"version":99,"records":2,"crc32":0}`+"\n"), b...)
+	})
+}
+
+// A server over a corrupt snapshot refuses to start: fail closed, never
+// serve what cannot be certified.
+func TestCorruptSnapshotFailsStartup(t *testing.T) {
+	data := t.TempDir()
+	if err := os.WriteFile(SnapshotPath(data), []byte("not a snapshot\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(testConfig(t, data, &stubRunner{})); err == nil {
+		t.Fatal("New accepted a corrupt snapshot")
+	}
+}
+
+// Threshold-triggered compaction end to end: with a tiny threshold every
+// terminal outcome folds the journal; the snapshot plus rewritten journal
+// still serve cache hits and survive a restart.
+func TestCompactionThresholdAndRestart(t *testing.T) {
+	data := t.TempDir()
+	cfg := testConfig(t, data, &stubRunner{})
+	cfg.CompactBytes = 1 // every terminal append crosses the threshold
+	srv, hs := startServer(t, cfg)
+
+	var ids []string
+	for i := 2; i <= 4; i++ {
+		_, sr, _ := submitJSON(t, hs.URL, fmt.Sprintf(`{"op":"check","lock":"bakery","n":%d,"model":"pso"}`, i))
+		ids = append(ids, sr.JobID)
+	}
+	for _, id := range ids {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+	waitFor(t, func() bool { return srv.Metrics().Compactions.Load() >= 3 })
+	if _, err := os.Stat(SnapshotPath(data)); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	if srv.Metrics().CompactReclaimed.Load() <= 0 {
+		t.Fatal("compaction reclaimed nothing")
+	}
+	// The journal now holds at most in-flight records — nothing terminal.
+	recs, err := ReadOutbox(OutboxPath(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Event == EventDone || rec.Event == EventFailed || rec.Event == EventAborted {
+			t.Fatalf("terminal record left in journal after compaction: %+v", rec)
+		}
+	}
+	// Post-compaction appends must land in the durable chain — snapshot
+	// or rewritten journal — not on the unlinked pre-compaction inode,
+	// where they would vanish. (The append itself may trigger the next
+	// compaction, so look through ReadJournal, not the journal file alone.)
+	_, extra, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+	waitStatus(t, hs.URL, extra.JobID, StatusDone)
+	waitFor(t, func() bool {
+		recs, err := ReadJournal(data)
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			if rec.Event == EventSubmitted && rec.Job == extra.JobID {
+				return true
+			}
+		}
+		return false
+	})
+	srv.Drain()
+
+	// Restart: snapshot + journal replay the full cache.
+	stub2 := &stubRunner{}
+	srv2, hs2 := startServer(t, testConfig(t, data, stub2))
+	for i := 2; i <= 4; i++ {
+		code, sr, _ := submitJSON(t, hs2.URL, fmt.Sprintf(`{"op":"check","lock":"bakery","n":%d,"model":"pso"}`, i))
+		if code != http.StatusOK || !sr.Cached {
+			t.Fatalf("n=%d not served from the compacted cache: code=%d resp=%+v", i, code, sr)
+		}
+	}
+	if stub2.Calls() != 0 {
+		t.Fatal("restart re-ran compacted jobs")
+	}
+	srv2.Drain()
+}
+
+// A clean shutdown compacts: after Drain the journal holds only in-flight
+// records and the terminal state lives in the snapshot.
+func TestShutdownCompaction(t *testing.T) {
+	data := t.TempDir()
+	srv, hs := startServer(t, testConfig(t, data, &stubRunner{}))
+	_, sr, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, sr.JobID, StatusDone)
+	srv.Drain()
+
+	if srv.Metrics().Compactions.Load() != 1 {
+		t.Fatalf("shutdown compactions = %d, want 1", srv.Metrics().Compactions.Load())
+	}
+	recs, err := ReadOutbox(OutboxPath(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("journal not folded on shutdown: %+v", recs)
+	}
+	snap, err := ReadSnapshot(SnapshotPath(data))
+	if err != nil || len(snap) != 2 {
+		t.Fatalf("snapshot after shutdown: %d recs, err %v", len(snap), err)
+	}
+}
+
+// The crash window: a kill between the snapshot rename and the journal
+// rewrite leaves the NEW snapshot beside the FULL OLD journal. Replaying
+// that pair must converge to exactly the same state as the clean result —
+// no lost records, no resurrected stale ones.
+func TestCompactionCrashWindowConverges(t *testing.T) {
+	data := t.TempDir()
+	done := checkReq(t, "bakery", 2)
+	inflight := checkReq(t, "bakery", 3)
+	appendAll(t, OutboxPath(data),
+		submittedRecord(done),
+		Record{Event: EventStarted, Key: done.Key()},
+		doneRecord(done, 42),
+		submittedRecord(inflight),
+		Record{Event: EventStarted, Key: inflight.Key()},
+	)
+	oldJournal, err := os.ReadFile(OutboxPath(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ob, err := OpenOutbox(OutboxPath(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ob.Compact(data); err != nil {
+		t.Fatal(err)
+	}
+	ob.Close()
+	cleanRecs, err := ReadJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJobs, _ := Replay(cleanRecs, "ckpts")
+
+	// Simulate the crash: restore the full pre-compaction journal next to
+	// the new snapshot (what disk looks like if the kill landed between
+	// the two renames).
+	if err := os.WriteFile(OutboxPath(data), oldJournal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crashRecs, err := ReadJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashJobs, dropped := Replay(crashRecs, "ckpts")
+	if dropped != 0 {
+		t.Fatalf("crash replay dropped %d records", dropped)
+	}
+	if len(crashJobs) != len(cleanJobs) {
+		t.Fatalf("crash replay: %d jobs, clean replay: %d", len(crashJobs), len(cleanJobs))
+	}
+	byKey := map[string]*Job{}
+	for _, j := range cleanJobs {
+		byKey[j.Key] = j
+	}
+	for _, cj := range crashJobs {
+		ref := byKey[cj.Key]
+		if ref == nil || cj.Status != ref.Status || cj.Resume != ref.Resume {
+			t.Fatalf("crash replay diverged for %s: %+v vs %+v", cj.Key, cj, ref)
+		}
+		if (cj.Result == nil) != (ref.Result == nil) {
+			t.Fatalf("crash replay result divergence for %s", cj.Key)
+		}
+		if cj.Result != nil && cj.Result.States != ref.Result.States {
+			t.Fatalf("crash replay result drift for %s", cj.Key)
+		}
+	}
+	// And the in-flight job is still resumable, the done one still cached.
+	for _, j := range crashJobs {
+		switch j.Key {
+		case done.Key():
+			if j.Status != StatusDone || j.Result == nil {
+				t.Fatalf("done job lost: %+v", j)
+			}
+		case inflight.Key():
+			if j.Status != StatusQueued || !j.Resume {
+				t.Fatalf("in-flight job lost: %+v", j)
+			}
+		}
+	}
+}
+
+// Disabled compaction (negative threshold) never compacts — not even on
+// shutdown.
+func TestCompactionDisabled(t *testing.T) {
+	data := t.TempDir()
+	cfg := testConfig(t, data, &stubRunner{})
+	cfg.CompactBytes = -1
+	srv, hs := startServer(t, cfg)
+	_, sr, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, sr.JobID, StatusDone)
+	srv.Drain()
+	if srv.Metrics().Compactions.Load() != 0 {
+		t.Fatal("compaction ran while disabled")
+	}
+	if _, err := os.Stat(SnapshotPath(data)); !os.IsNotExist(err) {
+		t.Fatalf("snapshot written while disabled: %v", err)
+	}
+}

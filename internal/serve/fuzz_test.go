@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzOutboxDecode holds the decoder to its contract on arbitrary bytes:
+// either it errors, or it returns exactly the records of every non-empty
+// line in order — with one tolerated exception, an unparseable FINAL line
+// (a torn tail from a crash mid-append). It must never silently skip a
+// record anywhere else: a corrupt middle is fail-closed, not patched over.
+func FuzzOutboxDecode(f *testing.F) {
+	rec := func(r Record) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return string(b)
+	}
+	req := Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso"}
+	if _, _, err := req.Normalize(); err != nil {
+		f.Fatal(err)
+	}
+	sub := rec(submittedRecord(req))
+	done := rec(Record{Event: EventDone, Job: JobID(req.Key()), Key: req.Key(),
+		Result: &Result{Op: OpCheck, States: 7, Authoritative: true}})
+
+	f.Add([]byte(""))
+	f.Add([]byte(sub + "\n" + done + "\n"))
+	f.Add([]byte(sub + "\n" + done[:len(done)/2]))       // torn final line
+	f.Add([]byte(sub[:len(sub)/2] + "\n" + done + "\n")) // torn middle: fatal
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("\n\n" + sub + "\n\n" + done + "\n"))
+	f.Add([]byte("null\n{}\n"))
+	f.Add([]byte(sub + "\ngarbage\n\n")) // bad line followed by an empty one: fatal
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "outbox.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadOutbox(path)
+
+		// Independent model of the contract, from a plain line scan.
+		var want []Record
+		wantErr := false
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		torn := false
+		for sc.Scan() {
+			if torn { // anything after an unparseable line makes it fatal
+				wantErr = true
+				break
+			}
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var r Record
+			if json.Unmarshal(line, &r) != nil {
+				torn = true // tolerated only if nothing follows
+				continue
+			}
+			want = append(want, r)
+		}
+		if sc.Err() != nil {
+			wantErr = true // pathological line length: decoder must refuse too
+		}
+
+		if wantErr {
+			if err == nil {
+				t.Fatalf("decoder accepted input the contract rejects: %d records from %q", len(got), truncate(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decoder rejected conforming input: %v (input %q)", err, truncate(data))
+		}
+		if len(got) != len(want) || !reflect.DeepEqual(got, want) {
+			t.Fatalf("decoder skipped or invented records: got %d, want %d (input %q)", len(got), len(want), truncate(data))
+		}
+	})
+}
+
+func truncate(b []byte) string {
+	if len(b) > 200 {
+		return string(b[:200]) + "..."
+	}
+	return string(b)
+}

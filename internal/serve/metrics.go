@@ -9,18 +9,24 @@ import (
 )
 
 // Metrics is the daemon's Prometheus-style instrument panel. Counters are
-// atomics; the handful of labeled series use a small mutexed map. No
-// client library — the text exposition format is a few lines of fmt.
+// atomics; the handful of labeled series use a small mutexed map or read
+// through the store. No client library — the text exposition format is a
+// few lines of fmt.
 type Metrics struct {
 	JobsSubmitted   atomic.Int64 // fresh jobs accepted
 	JobsDone        atomic.Int64
 	JobsFailed      atomic.Int64
 	JobsInterrupted atomic.Int64
+	JobsAborted     atomic.Int64 // jobs cancelled by clients (DELETE)
 	JobsResumed     atomic.Int64 // jobs re-enqueued by outbox replay
-	JobsRejected    atomic.Int64 // 429s from queue saturation
+	JobsRejected    atomic.Int64 // 429s (per-client quota or global queue)
 	DedupHits       atomic.Int64 // duplicate submissions joined in-flight jobs
 	CacheHits       atomic.Int64 // submissions served from completed results
 	ReplayDropped   atomic.Int64 // outbox records failing identity certification
+
+	Preemptions      atomic.Int64 // running jobs parked onto checkpoints for higher-priority work
+	Compactions      atomic.Int64 // outbox snapshot+truncate cycles
+	CompactReclaimed atomic.Int64 // journal bytes reclaimed by compaction
 
 	StatesExplored atomic.Int64 // total visited states across completed jobs
 	Attempts       atomic.Int64 // supervised attempts across all jobs
@@ -30,9 +36,12 @@ type Metrics struct {
 	// as an int for atomicity).
 	statesPerSecMilli atomic.Int64
 
-	queueDepth func() int
-	running    func() int
-	draining   func() bool
+	queueDepth   func() int
+	running      func() int
+	draining     func() bool
+	clientQueues func() map[string]int
+	clientSheds  func() map[string]int64
+	queueWait    func() (int64, float64, float64)
 
 	mu        sync.Mutex
 	httpCodes map[int]int64
@@ -41,10 +50,13 @@ type Metrics struct {
 // NewMetrics wires the gauges to the store.
 func NewMetrics(store *Store) *Metrics {
 	return &Metrics{
-		queueDepth: store.QueueDepth,
-		running:    store.Running,
-		draining:   store.Draining,
-		httpCodes:  make(map[int]int64),
+		queueDepth:   store.QueueDepth,
+		running:      store.Running,
+		draining:     store.Draining,
+		clientQueues: store.ClientQueues,
+		clientSheds:  store.ClientSheds,
+		queueWait:    store.QueueWait,
+		httpCodes:    make(map[int]int64),
 	}
 }
 
@@ -67,6 +79,20 @@ func writeMetric(w io.Writer, name, help, typ string, value any) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
 }
 
+// writeLabeled emits one labeled series under a shared HELP/TYPE header,
+// keys sorted for a stable exposition.
+func writeLabeled[V int | int64](w io.Writer, name, help, typ, label string, values map[string]V) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %v\n", name, label, k, values[k])
+	}
+}
+
 // WritePrometheus emits the exposition text.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	b := func() int {
@@ -82,8 +108,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeMetric(w, "tfserve_jobs_done_total", "Jobs finished with a result.", "counter", m.JobsDone.Load())
 	writeMetric(w, "tfserve_jobs_failed_total", "Jobs finished with a hard error.", "counter", m.JobsFailed.Load())
 	writeMetric(w, "tfserve_jobs_interrupted_total", "Jobs checkpointed and parked by a drain.", "counter", m.JobsInterrupted.Load())
+	writeMetric(w, "tfserve_jobs_aborted_total", "Jobs cancelled by clients (DELETE /v1/jobs/:id).", "counter", m.JobsAborted.Load())
 	writeMetric(w, "tfserve_jobs_resumed_total", "Jobs re-enqueued from the outbox on startup.", "counter", m.JobsResumed.Load())
-	writeMetric(w, "tfserve_jobs_rejected_total", "Submissions shed with 429 (queue saturated).", "counter", m.JobsRejected.Load())
+	writeMetric(w, "tfserve_jobs_rejected_total", "Submissions shed with 429 (client quota or global queue).", "counter", m.JobsRejected.Load())
+	writeMetric(w, "tfserve_preemptions_total", "Running jobs parked onto checkpoints for higher-priority work.", "counter", m.Preemptions.Load())
+	writeMetric(w, "tfserve_compactions_total", "Outbox snapshot+truncate cycles.", "counter", m.Compactions.Load())
+	writeMetric(w, "tfserve_compact_reclaimed_bytes_total", "Journal bytes reclaimed by compaction.", "counter", m.CompactReclaimed.Load())
 	writeMetric(w, "tfserve_dedup_hits_total", "Duplicate submissions collapsed onto in-flight jobs.", "counter", m.DedupHits.Load())
 	writeMetric(w, "tfserve_cache_hits_total", "Submissions served from completed results.", "counter", m.CacheHits.Load())
 	writeMetric(w, "tfserve_replay_dropped_total", "Outbox records failing identity certification on replay.", "counter", m.ReplayDropped.Load())
@@ -92,6 +122,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeMetric(w, "tfserve_escalations_total", "Retry-ladder rungs (attempts after the first).", "counter", m.Escalations.Load())
 	writeMetric(w, "tfserve_states_per_second", "Last completed job's exploration throughput.", "gauge",
 		fmt.Sprintf("%.3f", float64(m.statesPerSecMilli.Load())/1000))
+
+	count, sum, max := m.queueWait()
+	fmt.Fprintf(w, "# HELP tfserve_queue_wait_seconds Time jobs spent queued before a worker claimed them.\n# TYPE tfserve_queue_wait_seconds summary\n")
+	fmt.Fprintf(w, "tfserve_queue_wait_seconds_sum %.6f\ntfserve_queue_wait_seconds_count %d\n", sum, count)
+	writeMetric(w, "tfserve_queue_wait_seconds_max", "Longest queue wait observed.", "gauge", fmt.Sprintf("%.6f", max))
+
+	writeLabeled(w, "tfserve_client_queue_depth", "Queued jobs per client.", "gauge", "client", m.clientQueues())
+	writeLabeled(w, "tfserve_client_shed_total", "Submissions shed per client (quota or queue saturation).", "counter", "client", m.clientSheds())
 
 	m.mu.Lock()
 	codes := make([]int, 0, len(m.httpCodes))

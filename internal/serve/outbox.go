@@ -20,6 +20,13 @@ const (
 	EventDone = "done"
 	// EventFailed: the job finished with a hard error.
 	EventFailed = "failed"
+	// EventAborted: a client cancelled the job; terminal, never cached.
+	EventAborted = "aborted"
+	// EventPreempted: the scheduler parked the job on its certified
+	// checkpoint to free a worker slot and re-queued it resumable.
+	// Informational, like started: the job's submitted record still
+	// dangles, so a restart resumes it the same way.
+	EventPreempted = "preempted"
 )
 
 // Record is one line of the outbox: the append-only JSONL journal that
@@ -46,14 +53,21 @@ type Record struct {
 	Result  *Result  `json:"result,omitempty"`
 	Error   string   `json:"error,omitempty"`
 	ErrKind string   `json:"err_kind,omitempty"`
+	// Client and Priority ride on submitted records so a restart restores
+	// the job's tenant billing and scheduling class. Neither is identity.
+	Client   string `json:"client,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }
 
 // Outbox appends records to a JSONL file, fsyncing each append: after a
 // crash the journal holds every acknowledged event (and at most one
-// torn trailing line, which replay skips).
+// torn trailing line, which replay skips). Compact folds the terminal
+// prefix of the journal into a CRC-certified snapshot beside it.
 type Outbox struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
 }
 
 // OpenOutbox opens (creating if needed) the journal at path for append.
@@ -65,7 +79,11 @@ func OpenOutbox(path string) (*Outbox, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: outbox: %w", err)
 	}
-	return &Outbox{f: f}, nil
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	return &Outbox{f: f, path: path, size: size}, nil
 }
 
 // Append journals one record. The write is a single buffered line +
@@ -89,7 +107,18 @@ func (o *Outbox) Append(rec Record) error {
 	if err := o.f.Sync(); err != nil {
 		return fmt.Errorf("serve: outbox: %w", err)
 	}
+	o.size += int64(len(line))
 	return nil
+}
+
+// Size returns the journal's current byte size (the compaction trigger).
+func (o *Outbox) Size() int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.size
 }
 
 // Close closes the journal file.
@@ -151,6 +180,7 @@ func ReadOutbox(path string) ([]Record, error) {
 //     queued with Resume set, to continue from its certified checkpoint.
 //   - done: restored terminal; authoritative results serve cache hits.
 //   - failed: restored terminal; a re-submission re-runs it.
+//   - aborted: restored terminal; never serves cache hits, never resumed.
 //   - identity mismatch (codec/schema/field drift since the record was
 //     written): the record is dropped entirely — the daemon re-explores
 //     on demand rather than serving or resuming anything it cannot
@@ -177,12 +207,18 @@ func Replay(recs []Record, checkpointDir string) (jobs []*Job, dropped int) {
 				dropped++
 				continue
 			}
+			prio, err := ParsePriority(rec.Priority)
+			if err != nil {
+				prio = PriorityNormal
+			}
 			if j, seen := byKey[rec.Key]; seen {
 				// Re-submission after a terminal outcome: reset the same
 				// job in place (its pointer is shared with the jobs list).
 				j.Request = req
 				j.Status = StatusQueued
 				j.Resume = true
+				j.Client = rec.Client
+				j.Priority = prio
 				j.Result, j.Error, j.ErrKind = nil, "", ""
 				j.Submitted, j.Finished = rec.TS, time.Time{}
 				continue
@@ -193,12 +229,14 @@ func Replay(recs []Record, checkpointDir string) (jobs []*Job, dropped int) {
 				Request:        req,
 				Status:         StatusQueued,
 				Resume:         true,
+				Client:         rec.Client,
+				Priority:       prio,
 				CheckpointPath: CheckpointPath(checkpointDir, rec.Key),
 				Submitted:      rec.TS,
 			}
 			jobs = append(jobs, j)
 			byKey[rec.Key] = j
-		case EventStarted:
+		case EventStarted, EventPreempted:
 			// Informational: the job is already queued-for-resume.
 		case EventDone:
 			if j, ok := byKey[rec.Key]; ok {
@@ -213,6 +251,14 @@ func Replay(recs []Record, checkpointDir string) (jobs []*Job, dropped int) {
 				j.Resume = false
 				j.Error = rec.Error
 				j.ErrKind = rec.ErrKind
+				j.Finished = rec.TS
+			}
+		case EventAborted:
+			if j, ok := byKey[rec.Key]; ok {
+				j.Status = StatusAborted
+				j.Resume = false
+				j.Error = rec.Error
+				j.ErrKind = "aborted"
 				j.Finished = rec.TS
 			}
 		}

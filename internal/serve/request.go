@@ -25,6 +25,39 @@ const (
 	OpSynth = "synth"
 )
 
+// Priority classes, in scheduling order. Priority is a run parameter, not
+// identity: a high-priority duplicate of a queued low-priority job joins
+// it and upgrades the shared job instead of forking a second exploration.
+const (
+	PriorityLow    = 0
+	PriorityNormal = 1
+	PriorityHigh   = 2
+)
+
+// ParsePriority maps the wire spelling to a class ("" = normal).
+func ParsePriority(s string) (int, error) {
+	switch s {
+	case "low":
+		return PriorityLow, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return 0, fmt.Errorf("serve: unknown priority %q (want low, normal or high)", s)
+}
+
+// PriorityName is the canonical wire spelling of a class.
+func PriorityName(p int) string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	}
+	return "normal"
+}
+
 // Request is one verification job as submitted over the wire. Two groups
 // of fields:
 //
@@ -66,6 +99,11 @@ type Request struct {
 	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
 	Seed           int64 `json:"seed,omitempty"`
 	MaxOracleCalls int   `json:"max_oracle_calls,omitempty"`
+	// Priority is the scheduling class ("low", "normal", "high"; default
+	// "normal"). Not identity: it says how soon the answer is wanted, not
+	// what the answer is — duplicates at different priorities collapse
+	// onto one job at the highest requested class.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Normalize validates the request and rewrites its identity fields to
@@ -98,6 +136,11 @@ func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel
 	if r.MaxCrashes < 0 {
 		return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: negative crash budget %d", r.MaxCrashes)
 	}
+	prio, err := ParsePriority(r.Priority)
+	if err != nil {
+		return tradingfences.LockSpec{}, 0, err
+	}
+	r.Priority = PriorityName(prio)
 	switch r.Op {
 	case OpCheck:
 		if r.Oracle != "" {

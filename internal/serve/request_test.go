@@ -22,7 +22,7 @@ func TestKeyIgnoresRunParameters(t *testing.T) {
 	tuned := normalized(t, Request{
 		Op: OpCheck, Lock: "bakery", N: 3, Model: "pso",
 		Workers: 8, MaxStates: 1 << 20, MaxSteps: 1 << 30, MaxMemMB: 512,
-		TimeoutMS: 60_000, Seed: 42,
+		TimeoutMS: 60_000, Seed: 42, Priority: "high",
 	})
 	if base.Key() != tuned.Key() {
 		t.Fatalf("run parameters leaked into the key:\n  %s\n  %s", base.identity(), tuned.identity())

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submitAs submits a body with a client identity header (and optional
+// extra headers folded into the request).
+func submitAs(t *testing.T, url, client, body string) (int, SubmitResponse, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "" {
+		req.Header.Set("X-Client-ID", client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr, resp.Header
+}
+
+// Client identity: API key preferred, client ID next, default bucket
+// last — sanitized to the Prometheus-label alphabet either way.
+func TestClientIDExtraction(t *testing.T) {
+	mk := func(hdr map[string]string) *http.Request {
+		r, _ := http.NewRequest(http.MethodPost, "/v1/jobs", nil)
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		hdr  map[string]string
+		want string
+	}{
+		{nil, DefaultClient},
+		{map[string]string{"X-API-Key": "team-a"}, "team-a"},
+		{map[string]string{"X-Client-ID": "team-b"}, "team-b"},
+		{map[string]string{"X-API-Key": "keyed", "X-Client-ID": "named"}, "keyed"},
+		{map[string]string{"X-Client-ID": `Team "A"/B!`}, "Team__A__B_"},
+		{map[string]string{"X-API-Key": strings.Repeat("x", 200)}, strings.Repeat("x", 64)},
+	} {
+		if got := ClientID(mk(tc.hdr)); got != tc.want {
+			t.Errorf("ClientID(%v) = %q, want %q", tc.hdr, got, tc.want)
+		}
+	}
+}
+
+// Per-client quotas: a flooding client is shed with a 429 whose
+// Retry-After reflects the flooder's own backlog, while another client's
+// submission is still accepted — the flood never costs the polite tenant
+// a slot. The scheduler's state shows up labeled in /metrics.
+func TestClientQuotaShedsPerClient(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	cfg := testConfig(t, t.TempDir(), stub)
+	cfg.QuotaQueued = 2
+	srv, hs := startServer(t, cfg)
+
+	// f1 occupies the worker; f2, f3 fill flood's queued quota.
+	_, f1, _ := submitAs(t, hs.URL, "flood", bakery3)
+	waitStatus(t, hs.URL, f1.JobID, StatusRunning)
+	ids := []string{f1.JobID}
+	for i := 0; i < 2; i++ {
+		code, sr, _ := submitAs(t, hs.URL, "flood",
+			fmt.Sprintf(`{"op":"check","lock":"bakery","n":%d,"model":"pso"}`, 4+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("flood fill %d: code=%d", i, code)
+		}
+		ids = append(ids, sr.JobID)
+	}
+	// Over quota: shed with the flooder's own backlog as the hint
+	// (2 queued / pool 1 = 2s), even though the global queue has room.
+	code, _, hdr := submitAs(t, hs.URL, "flood", `{"op":"check","lock":"bakery","n":6,"model":"pso"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission: code=%d, want 429", code)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want the flooder's backlog estimate \"2\"", got)
+	}
+	// The polite client is unaffected.
+	code, p1, _ := submitAs(t, hs.URL, "polite", `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("polite client shed by flood's quota: code=%d", code)
+	}
+	ids = append(ids, p1.JobID)
+
+	// Scheduler state in the exposition: per-client depth + sheds.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`tfserve_client_queue_depth{client="flood"} 2`,
+		`tfserve_client_queue_depth{client="polite"} 1`,
+		`tfserve_client_shed_total{client="flood"} 1`,
+		"tfserve_queue_wait_seconds_count",
+		"tfserve_preemptions_total 0",
+		"tfserve_jobs_aborted_total 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if srv.Metrics().JobsRejected.Load() != 1 {
+		t.Fatal("quota shed not counted in jobs_rejected")
+	}
+
+	close(stub.gate)
+	for _, id := range ids {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+	if c, _, _ := srv.Store().QueueWait(); c == 0 {
+		t.Fatal("queue-wait summary never observed a claim")
+	}
+}
+
+// orderRecorder wraps a stubRunner result fn to record service order.
+type orderRecorder struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (o *orderRecorder) note(tag string) {
+	o.mu.Lock()
+	o.order = append(o.order, tag)
+	o.mu.Unlock()
+}
+
+func (o *orderRecorder) Order() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.order...)
+}
+
+// Deficit-round-robin fairness: a flooding client queues six jobs, then a
+// polite client queues one. Under FIFO the polite job would run last;
+// under DRR the flood only drains its deficit's worth per turn, so the
+// polite job is served well before the flood's tail.
+func TestDRRFairnessPoliteJobJumpsFlood(t *testing.T) {
+	rec := &orderRecorder{}
+	stub := &stubRunner{gate: make(chan struct{})}
+	stub.result = func(job View) (*Result, error) {
+		rec.note(job.Client + "/" + job.ID)
+		return &Result{Op: job.Request.Op, States: 1, Authoritative: true,
+			Check: &CheckOutcome{Proved: true, Mode: "exhaustive", States: 1}}, nil
+	}
+	cfg := testConfig(t, t.TempDir(), stub)
+	cfg.QueueCap = 16
+	_, hs := startServer(t, cfg)
+
+	var floodIDs []string
+	for _, body := range []string{
+		`{"op":"check","lock":"bakery","n":3,"model":"pso"}`,
+		`{"op":"check","lock":"bakery","n":4,"model":"pso"}`,
+		`{"op":"check","lock":"bakery","n":3,"model":"tso"}`,
+		`{"op":"check","lock":"bakery","n":4,"model":"tso"}`,
+		`{"op":"check","lock":"bakery","n":5,"model":"pso"}`,
+		`{"op":"check","lock":"bakery","n":5,"model":"tso"}`,
+	} {
+		code, sr, _ := submitAs(t, hs.URL, "flood", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("flood submit: code=%d", code)
+		}
+		floodIDs = append(floodIDs, sr.JobID)
+	}
+	code, polite, _ := submitAs(t, hs.URL, "polite", `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("polite submit: code=%d", code)
+	}
+
+	close(stub.gate)
+	waitStatus(t, hs.URL, polite.JobID, StatusDone)
+	for _, id := range floodIDs {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+
+	order := rec.Order()
+	pos := map[string]int{}
+	for i, tag := range order {
+		pos[tag] = i
+	}
+	politePos := pos["polite/"+polite.JobID]
+	lastFlood := pos["flood/"+floodIDs[5]]
+	prevFlood := pos["flood/"+floodIDs[4]]
+	if politePos > lastFlood || politePos > prevFlood {
+		t.Fatalf("polite job starved behind the flood: order %v", order)
+	}
+}
+
+// Priority bands: with preemption disabled, a high-priority submission
+// still jumps every queued normal-priority job — strict bands above DRR.
+func TestPriorityBandsScheduleFirst(t *testing.T) {
+	rec := &orderRecorder{}
+	stub := &stubRunner{gate: make(chan struct{})}
+	stub.result = func(job View) (*Result, error) {
+		rec.note(job.Priority)
+		return &Result{Op: job.Request.Op, States: 1, Authoritative: true,
+			Check: &CheckOutcome{Proved: true, Mode: "exhaustive", States: 1}}, nil
+	}
+	cfg := testConfig(t, t.TempDir(), stub)
+	cfg.DisablePreempt = true
+	_, hs := startServer(t, cfg)
+
+	_, first, _ := submitJSON(t, hs.URL, bakery3) // occupies the worker
+	waitStatus(t, hs.URL, first.JobID, StatusRunning)
+	_, n1, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	_, n2, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"bakery","n":5,"model":"pso"}`)
+	code, hi, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso","priority":"high"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("high-priority submit: code=%d", code)
+	}
+
+	close(stub.gate)
+	for _, id := range []string{first.JobID, n1.JobID, n2.JobID, hi.JobID} {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+	order := rec.Order()
+	if len(order) != 4 || order[1] != "high" {
+		t.Fatalf("high-priority job did not jump the queue: service order %v", order)
+	}
+}
+
+// Checkpoint preemption: a high-priority submission with every worker
+// slot busy cancels the lowest-priority running job onto its checkpoint;
+// the victim re-queues resumable and finishes after the high job.
+func TestPreemptionParksAndResumes(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	srv, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+
+	_, victim, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, victim.JobID, StatusRunning)
+
+	code, hi, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso","priority":"high"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("high-priority submit: code=%d", code)
+	}
+	// The victim parks back into the queue, marked resumable.
+	waitFor(t, func() bool {
+		_, v := getJob(t, hs.URL, victim.JobID)
+		return v.Status == StatusQueued && v.Resumed && v.Preemptions == 1
+	})
+
+	close(stub.gate)
+	waitStatus(t, hs.URL, hi.JobID, StatusDone)
+	done := waitStatus(t, hs.URL, victim.JobID, StatusDone)
+	if done.Preemptions != 1 {
+		t.Fatalf("victim preemptions = %d, want 1", done.Preemptions)
+	}
+	// Three runs total: victim fresh, high fresh, victim resumed.
+	if resumes := stub.Resumes(); len(resumes) != 3 || resumes[0] || resumes[1] || !resumes[2] {
+		t.Fatalf("runner resume pattern %v, want [false false true]", resumes)
+	}
+	if srv.Metrics().Preemptions.Load() != 1 {
+		t.Fatalf("preemptions metric = %d, want 1", srv.Metrics().Preemptions.Load())
+	}
+	// The preempted event is journaled (informational, non-terminal).
+	recs, err := ReadOutbox(OutboxPath(srv.cfg.DataDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPreempt := false
+	for _, rec := range recs {
+		if rec.Event == EventPreempted && rec.Job == victim.JobID {
+			sawPreempt = true
+		}
+	}
+	if !sawPreempt {
+		t.Fatal("no preempted record journaled")
+	}
+}
+
+// An equal- or lower-priority submission never preempts: preemption
+// requires strictly higher priority.
+func TestNoPreemptionWithoutHigherPriority(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	srv, hs := startServer(t, testConfig(t, t.TempDir(), stub))
+	_, running, _ := submitJSON(t, hs.URL, bakery3)
+	waitStatus(t, hs.URL, running.JobID, StatusRunning)
+	_, peer, _ := submitJSON(t, hs.URL, `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+
+	time.Sleep(30 * time.Millisecond)
+	if _, v := getJob(t, hs.URL, running.JobID); v.Status != StatusRunning {
+		t.Fatalf("equal-priority submission preempted a running job (status %q)", v.Status)
+	}
+	close(stub.gate)
+	waitStatus(t, hs.URL, running.JobID, StatusDone)
+	waitStatus(t, hs.URL, peer.JobID, StatusDone)
+	if srv.Metrics().Preemptions.Load() != 0 {
+		t.Fatal("preemption counted for an equal-priority submission")
+	}
+}
+
+// Per-client running caps: a tenant at its running quota keeps its next
+// job queued even with a free worker, which another tenant's job takes.
+func TestRunningQuotaThrottles(t *testing.T) {
+	stub := &stubRunner{gate: make(chan struct{})}
+	cfg := testConfig(t, t.TempDir(), stub)
+	cfg.Pool = 2
+	cfg.QuotaRunning = 1
+	_, hs := startServer(t, cfg)
+
+	_, x1, _ := submitAs(t, hs.URL, "x", bakery3)
+	waitStatus(t, hs.URL, x1.JobID, StatusRunning)
+	_, x2, _ := submitAs(t, hs.URL, "x", `{"op":"check","lock":"bakery","n":4,"model":"pso"}`)
+	_, y1, _ := submitAs(t, hs.URL, "y", `{"op":"check","lock":"peterson","n":2,"model":"tso"}`)
+	// y's job takes the free slot; x's second job must wait for x's first.
+	waitStatus(t, hs.URL, y1.JobID, StatusRunning)
+	time.Sleep(30 * time.Millisecond)
+	if _, v := getJob(t, hs.URL, x2.JobID); v.Status != StatusQueued {
+		t.Fatalf("tenant over running quota got a second slot (status %q)", v.Status)
+	}
+
+	close(stub.gate)
+	for _, id := range []string{x1.JobID, x2.JobID, y1.JobID} {
+		waitStatus(t, hs.URL, id, StatusDone)
+	}
+}
+
+// The drain-time Retry-After reflects the daemon going away: at least the
+// restart grace period, not a constant.
+func TestDrainRetryAfterReflectsGrace(t *testing.T) {
+	cfg := testConfig(t, t.TempDir(), &stubRunner{})
+	cfg.DrainGrace = 3 * time.Second
+	srv, hs := startServer(t, cfg)
+	srv.Drain()
+	code, _, hdr := submitJSON(t, hs.URL, bakery3)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submission after drain: code=%d, want 503", code)
+	}
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("drain Retry-After = %q, want the grace period \"3\"", got)
+	}
+}

@@ -18,23 +18,42 @@ import (
 
 // Config sizes a daemon.
 type Config struct {
-	// DataDir holds the outbox journal and per-job checkpoints. Required.
+	// DataDir holds the outbox journal, its compact snapshot and per-job
+	// checkpoints. Required.
 	DataDir string
 	// Pool is the number of concurrent job workers (default 1).
 	Pool int
-	// QueueCap bounds the queued-job backlog; a full queue sheds new
-	// submissions with 429 + Retry-After (default 64; <= 0 keeps the
+	// QueueCap bounds the global queued-job backlog; a full queue sheds
+	// new submissions with 429 + Retry-After (default 64; <= 0 keeps the
 	// default — an unbounded queue is exactly the failure mode this
 	// daemon exists to rule out).
 	QueueCap int
+	// QuotaQueued bounds each client's queued jobs (default 16; < 0
+	// unlimited). A client over its own cap is shed with a per-client 429
+	// even when the global queue has room — one tenant's flood never
+	// costs another tenant a slot.
+	QuotaQueued int
+	// QuotaRunning bounds each client's concurrently running jobs
+	// (default 0 = unlimited). Enforced by the scheduler: a client at its
+	// cap keeps its jobs queued while other tenants' work runs.
+	QuotaRunning int
+	// DisablePreempt turns off checkpoint preemption: without it, a
+	// higher-priority submission arriving with every worker slot busy
+	// cancels the lowest-priority running job onto its certified
+	// checkpoint and re-queues it resumable.
+	DisablePreempt bool
+	// CompactBytes is the journal size that triggers an outbox compaction
+	// cycle (default 4 MiB; < 0 disables compaction entirely, including
+	// the clean-shutdown cycle).
+	CompactBytes int64
 	// DrainGrace is how long a drain waits for running jobs to finish
 	// before cancelling them onto their checkpoints (default 10s).
 	DrainGrace time.Duration
 	// Runner executes jobs (default FacadeRunner). Injectable for tests.
 	Runner Runner
 	// DecisionLog receives one JSON line per scheduling decision —
-	// accept/dedup/cache/shed, attempt escalations with their ErrKind,
-	// terminal outcomes (default os.Stderr).
+	// accept/dedup/cache/shed, abort/preempt, attempt escalations with
+	// their ErrKind, terminal outcomes, compactions (default os.Stderr).
 	DecisionLog io.Writer
 }
 
@@ -44,6 +63,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64
+	}
+	if c.QuotaQueued == 0 {
+		c.QuotaQueued = 16
+	}
+	if c.QuotaQueued < 0 {
+		c.QuotaQueued = 0 // store convention: 0 = unlimited
+	}
+	if c.QuotaRunning < 0 {
+		c.QuotaRunning = 0
+	}
+	if c.CompactBytes == 0 {
+		c.CompactBytes = 4 << 20
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
@@ -69,7 +100,8 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	logMu sync.Mutex
+	logMu     sync.Mutex
+	compactMu sync.Mutex // one compaction cycle at a time
 }
 
 // OutboxPath and CheckpointDir locate the daemon's state inside dataDir.
@@ -80,10 +112,10 @@ func (s *Server) checkpointPath(key string) string {
 	return CheckpointPath(s.checkpointDir(), key)
 }
 
-// New builds a daemon over dataDir, replaying the outbox: completed jobs
-// populate the result cache, in-flight ones re-enter the queue marked for
-// checkpoint resume, and records that fail identity certification are
-// dropped (counted, logged, re-run on demand).
+// New builds a daemon over dataDir, replaying the snapshot + outbox:
+// completed jobs populate the result cache, in-flight ones re-enter the
+// queue marked for checkpoint resume, and records that fail identity
+// certification are dropped (counted, logged, re-run on demand).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
@@ -92,12 +124,17 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(CheckpointDir(cfg.DataDir), 0o755); err != nil {
 		return nil, err
 	}
-	sweepOrphanedSnapshots(CheckpointDir(cfg.DataDir))
-	recs, err := ReadOutbox(OutboxPath(cfg.DataDir))
+	sweepOrphanedTemps(cfg.DataDir)
+	recs, err := ReadJournal(cfg.DataDir)
 	if err != nil {
 		return nil, err
 	}
-	store := NewStore()
+	store := NewStore(Caps{
+		QueueCap:      cfg.QueueCap,
+		ClientQueued:  cfg.QuotaQueued,
+		ClientRunning: cfg.QuotaRunning,
+		Pool:          cfg.Pool,
+	})
 	jobs, dropped := Replay(recs, CheckpointDir(cfg.DataDir))
 	outbox, err := OpenOutbox(OutboxPath(cfg.DataDir))
 	if err != nil {
@@ -126,19 +163,25 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// sweepOrphanedSnapshots removes snapshot temp files orphaned by a crash
-// mid-atomic-write (SIGKILL between CreateTemp and the rename): they
-// certify nothing, are invisible to resume, and would otherwise
+// sweepOrphanedTemps removes temp files orphaned by a crash mid-atomic-
+// write (SIGKILL between CreateTemp and the rename): checkpoint snapshot
+// temps, outbox snapshot temps and journal-rewrite temps. They certify
+// nothing, are invisible to every load path, and would otherwise
 // accumulate forever. Startup is the one safe moment — the daemon owns
-// the directory and no snapshot write is in flight yet.
-func sweepOrphanedSnapshots(dir string) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return
-	}
-	for _, e := range ents {
-		if strings.Contains(e.Name(), ".ckpt.tmp") {
-			os.Remove(filepath.Join(dir, e.Name()))
+// the directory and no write is in flight yet.
+func sweepOrphanedTemps(dataDir string) {
+	for dir, marker := range map[string]string{
+		CheckpointDir(dataDir): ".ckpt.tmp",
+		dataDir:                ".tmp",
+	} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.Contains(e.Name(), marker) {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
 		}
 	}
 }
@@ -171,7 +214,8 @@ func (s *Server) Start() {
 // periodic snapshots mean a cancelled job's certified checkpoint is
 // already on disk, and its submitted outbox record (with no terminal
 // event) re-enqueues it on the next start. Queued jobs are parked the
-// same way. Returns once every worker has exited.
+// same way. A final compaction cycle folds the journal before the outbox
+// closes. Returns once every worker has exited.
 func (s *Server) Drain() {
 	s.decision("drain", map[string]any{"grace_ms": s.cfg.DrainGrace.Milliseconds()})
 	s.store.Drain()
@@ -181,17 +225,55 @@ func (s *Server) Drain() {
 		s.store.WaitIdle(time.Now().Add(s.cfg.DrainGrace))
 	}
 	s.wg.Wait()
+	if s.cfg.CompactBytes >= 0 {
+		s.compact("shutdown")
+	}
 	s.outbox.Close()
 }
 
+// maybeCompact runs a compaction cycle if the journal has outgrown the
+// configured threshold. Called after terminal journal appends, on the
+// worker (or handler) goroutine that crossed the threshold — the cycle
+// is two file writes, bounded and rare.
+func (s *Server) maybeCompact() {
+	if s.cfg.CompactBytes <= 0 || s.outbox.Size() < s.cfg.CompactBytes {
+		return
+	}
+	s.compact("threshold")
+}
+
+func (s *Server) compact(reason string) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	stats, err := s.outbox.Compact(s.cfg.DataDir)
+	if err != nil {
+		s.decision("compact_failed", map[string]any{"reason": reason, "err": err.Error()})
+		return
+	}
+	s.metrics.Compactions.Add(1)
+	s.metrics.CompactReclaimed.Add(stats.Reclaimed)
+	s.decision("compact", map[string]any{
+		"reason": reason, "folded": stats.Folded,
+		"in_flight": stats.InFlight, "reclaimed_bytes": stats.Reclaimed,
+	})
+}
+
 // runJob executes one job end to end: journal start, run with the job's
-// deadline, journal and record the outcome.
+// deadline, journal and record the outcome. Cancellation unwinds by
+// cause: aborts are terminal (already journaled by the handler),
+// preemptions park the job on its checkpoint and re-queue it resumable,
+// drains park it for the next incarnation.
 func (s *Server) runJob(j *Job) {
+	jobCtx, run := s.store.BeginRun(j, s.ctx)
+	defer s.store.EndRun(j, run)
 	view := s.store.Snapshot(j)
 	s.outbox.Append(Record{Event: EventStarted, Job: j.ID, Key: j.Key, Resume: view.Resumed})
-	s.decision("start", map[string]any{"job": j.ID, "resume": view.Resumed})
+	s.decision("start", map[string]any{
+		"job": j.ID, "resume": view.Resumed,
+		"client": view.Client, "priority": view.Priority,
+	})
 
-	ctx := s.ctx
+	ctx := jobCtx
 	var cancel context.CancelFunc
 	if t := view.Request.Timeout(); t > 0 {
 		ctx, cancel = context.WithTimeout(ctx, t)
@@ -213,8 +295,32 @@ func (s *Server) runJob(j *Job) {
 	}
 	res, err := s.cfg.Runner.Run(ctx, view, onAttempt)
 	wall := time.Since(start)
+	kind := supervise.ClassifyCancel(jobCtx, err)
 
 	switch {
+	case err != nil && kind == "aborted":
+		// Client abort — the terminal aborted record was journaled by the
+		// DELETE handler before the cancellation fired; Finish pins the
+		// outcome to aborted (discarding any racing result).
+		s.store.Finish(j, StatusAborted, nil, err.Error(), "aborted")
+		s.metrics.JobsAborted.Add(1)
+		s.decision("aborted", map[string]any{"job": j.ID, "where": "running"})
+		s.maybeCompact()
+	case err != nil && kind == "preempted":
+		// Preemption — park on the certified checkpoint, journal the
+		// informational event, and re-queue resumable: the job continues
+		// as the same passage when a slot frees up. No terminal event, so
+		// a crash in between still resumes it on restart. An abort that
+		// raced the preemption wins (its terminal record is journaled);
+		// Requeue then finishes the job as aborted instead.
+		if s.store.Requeue(j) {
+			s.outbox.Append(Record{Event: EventPreempted, Job: j.ID, Key: j.Key})
+			s.metrics.Preemptions.Add(1)
+			s.decision("preempted", map[string]any{"job": j.ID, "states": partialStates(j, s.store)})
+		} else {
+			s.metrics.JobsAborted.Add(1)
+			s.decision("aborted", map[string]any{"job": j.ID, "where": "preempt_race"})
+		}
 	case err != nil && s.interrupted(err):
 		// Drain cancellation — checked before the result, because a
 		// cancelled supervised run still returns its partial verdict, and
@@ -229,27 +335,49 @@ func (s *Server) runJob(j *Job) {
 		// A result — authoritative, degraded or partial — is a completed
 		// job; the limit error that degraded it (a per-job deadline, a
 		// non-degradable budget trip) is already reflected in the
-		// result's mode/verdict fields.
+		// result's mode/verdict fields. An abort that raced completion
+		// wins: Finish pins the aborted outcome the handler journaled.
 		s.store.Finish(j, StatusDone, res, "", "")
-		s.outbox.Append(Record{Event: EventDone, Job: j.ID, Key: j.Key, Result: res})
-		s.metrics.JobsDone.Add(1)
-		s.metrics.StatesExplored.Add(int64(res.States))
-		s.metrics.ObserveThroughput(res.States, wall.Seconds())
-		s.decision("done", map[string]any{
-			"job": j.ID, "states": res.States, "wall_ms": wall.Milliseconds(),
-			"authoritative": res.Authoritative,
-		})
+		if s.store.Snapshot(j).Status == StatusAborted {
+			s.metrics.JobsAborted.Add(1)
+			s.decision("aborted", map[string]any{"job": j.ID, "where": "finish_race"})
+		} else {
+			s.outbox.Append(Record{Event: EventDone, Job: j.ID, Key: j.Key, Result: res})
+			s.metrics.JobsDone.Add(1)
+			s.metrics.StatesExplored.Add(int64(res.States))
+			s.metrics.ObserveThroughput(res.States, wall.Seconds())
+			s.decision("done", map[string]any{
+				"job": j.ID, "states": res.States, "wall_ms": wall.Milliseconds(),
+				"authoritative": res.Authoritative,
+			})
+		}
+		s.maybeCompact()
 	default:
-		kind := supervise.ClassifyErr(err)
 		msg := "runner returned neither result nor error"
 		if err != nil {
 			msg = err.Error()
 		}
 		s.store.Finish(j, StatusFailed, nil, msg, kind)
-		s.outbox.Append(Record{Event: EventFailed, Job: j.ID, Key: j.Key, Error: msg, ErrKind: kind})
-		s.metrics.JobsFailed.Add(1)
-		s.decision("failed", map[string]any{"job": j.ID, "err_kind": kind, "err": msg})
+		if s.store.Snapshot(j).Status == StatusAborted {
+			s.metrics.JobsAborted.Add(1)
+			s.decision("aborted", map[string]any{"job": j.ID, "where": "finish_race"})
+		} else {
+			s.outbox.Append(Record{Event: EventFailed, Job: j.ID, Key: j.Key, Error: msg, ErrKind: kind})
+			s.metrics.JobsFailed.Add(1)
+			s.decision("failed", map[string]any{"job": j.ID, "err_kind": kind, "err": msg})
+		}
+		s.maybeCompact()
 	}
+}
+
+// partialStates reads the job's last attempt's state count (decision-log
+// color for preemptions; 0 when no attempt reported yet).
+func partialStates(j *Job, store *Store) int {
+	v := store.Snapshot(j)
+	if len(v.Attempts) == 0 {
+		return 0
+	}
+	return v.Attempts[len(v.Attempts)-1].States
 }
 
 // interrupted reports whether err is the daemon's own drain cancellation
@@ -275,13 +403,19 @@ func (s *Server) decision(event string, fields map[string]any) {
 
 // Handler builds the HTTP API:
 //
-//	POST /v1/jobs     submit (idempotent; 200 cached, 202 accepted/joined,
-//	                  429 saturated, 503 draining)
-//	GET  /v1/jobs     list all jobs
-//	GET  /v1/jobs/:id job status, streamed attempts, result
-//	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     process liveness (always 200 while serving)
-//	GET  /readyz      200 accepting, 503 draining
+//	POST   /v1/jobs     submit (idempotent; 200 cached, 202 accepted/joined,
+//	                    429 quota/saturation shed, 503 draining)
+//	GET    /v1/jobs     list all jobs
+//	GET    /v1/jobs/:id job status, streamed attempts, result
+//	DELETE /v1/jobs/:id abort a queued or running job (idempotent; 409
+//	                    for jobs already done or failed)
+//	GET    /metrics     Prometheus text exposition
+//	GET    /healthz     process liveness (always 200 while serving)
+//	GET    /readyz      200 accepting, 503 draining
+//
+// Client identity is taken from the X-API-Key header, else X-Client-ID,
+// else the default bucket; quotas, fair scheduling and shed decisions are
+// all per-client.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -295,17 +429,20 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		j := s.store.Lookup(id)
 		if j == nil {
 			http.Error(w, "no such job", http.StatusNotFound)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.store.Snapshot(j))
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.store.Snapshot(j))
+		case http.MethodDelete:
+			s.handleAbort(w, r, j)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -337,9 +474,38 @@ type SubmitResponse struct {
 	Result *Result `json:"result,omitempty"`
 }
 
+// ClientID extracts the tenant identity from a submission: the X-API-Key
+// header, else X-Client-ID, else the default bucket. Sanitized to a
+// label-safe alphabet so tenant names flow into Prometheus labels and
+// decision logs verbatim.
+func ClientID(r *http.Request) string {
+	id := r.Header.Get("X-API-Key")
+	if id == "" {
+		id = r.Header.Get("X-Client-ID")
+	}
+	if id == "" {
+		return DefaultClient
+	}
+	var b strings.Builder
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 64 {
+			break
+		}
+	}
+	return b.String()
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	client := ClientID(r)
 	if s.store.Draining() {
-		w.Header().Set("Retry-After", "10")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterDrain()))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -354,23 +520,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	priority, _ := ParsePriority(req.Priority) // Normalize validated it
 	key := req.Key()
-	j, outcome := s.store.Submit(req, key, s.checkpointPath(key), s.cfg.QueueCap)
+	j, outcome := s.store.Submit(req, key, s.checkpointPath(key), client, priority)
 	switch outcome {
-	case SubmitRejected:
+	case SubmitRejected, SubmitRejectedQuota:
+		// Both sheds answer 429; Retry-After is derived from the
+		// *client's own* backlog — a polite client shed by the global
+		// backstop is told to come back soon, a flooder is told to come
+		// back after its own queue would drain.
+		scope := "queue"
+		if outcome == SubmitRejectedQuota {
+			scope = "quota"
+		}
 		s.metrics.JobsRejected.Add(1)
-		s.decision("shed", map[string]any{"key": key, "queue": s.store.QueueDepth()})
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		http.Error(w, "queue saturated", http.StatusTooManyRequests)
+		s.decision("shed", map[string]any{
+			"key": key, "client": client, "scope": scope,
+			"client_queue": s.store.ClientBacklog(client), "queue": s.store.QueueDepth(),
+		})
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterClient(client)))
+		http.Error(w, scope+" saturated", http.StatusTooManyRequests)
 		return
 	case SubmitDedup:
 		s.metrics.DedupHits.Add(1)
-		s.decision("dedup", map[string]any{"job": j.ID})
+		s.decision("dedup", map[string]any{"job": j.ID, "client": client})
+		if !s.cfg.DisablePreempt {
+			s.preempt(j)
+		}
 		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, Status: s.store.Snapshot(j).Status, Dedup: true})
 		return
 	case SubmitCached:
 		s.metrics.CacheHits.Add(1)
-		s.decision("cache_hit", map[string]any{"job": j.ID})
+		s.decision("cache_hit", map[string]any{"job": j.ID, "client": client})
 		v := s.store.Snapshot(j)
 		writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.ID, Status: v.Status, Cached: true, Result: v.Result})
 		return
@@ -380,22 +561,95 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if err := s.outbox.Append(Record{
 			Event: EventSubmitted, Job: j.ID, Key: key,
 			Identity: req.identity(), Request: &req,
+			Client: client, Priority: PriorityName(priority),
 		}); err != nil {
-			s.store.Abort(j, err.Error())
+			s.store.Unaccept(j, err.Error())
 			http.Error(w, "journal unavailable", http.StatusInternalServerError)
 			return
 		}
+		// Only now does the job become schedulable: a worker must never
+		// journal its start or outcome ahead of its submitted record.
+		s.store.Commit(j)
 		s.metrics.JobsSubmitted.Add(1)
-		s.decision("accept", map[string]any{"job": j.ID, "op": req.Op, "lock": req.Lock, "n": req.N, "model": req.Model})
+		s.decision("accept", map[string]any{
+			"job": j.ID, "op": req.Op, "lock": req.Lock, "n": req.N, "model": req.Model,
+			"client": client, "priority": PriorityName(priority),
+		})
+		if !s.cfg.DisablePreempt {
+			s.preempt(j)
+		}
 		writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, Status: StatusQueued})
 	}
 }
 
-// retryAfterSeconds estimates how long a shed client should wait: the
-// backlog divided over the pool, floored at one second, capped at a
-// minute.
-func (s *Server) retryAfterSeconds() int {
-	sec := s.store.QueueDepth() / s.cfg.Pool
+// preempt asks the store for a victim to make room for j and logs the
+// eviction; the victim's runner unwind does the parking.
+func (s *Server) preempt(j *Job) {
+	victim := s.store.PreemptFor(j)
+	if victim == nil {
+		return
+	}
+	s.decision("preempt", map[string]any{
+		"job": victim.ID, "for": j.ID,
+		"victim_priority": PriorityName(victim.Priority), "priority": PriorityName(j.Priority),
+	})
+}
+
+// handleAbort serves DELETE /v1/jobs/:id. The terminal aborted record is
+// journaled before the acknowledgement for every outcome that changes
+// state; repeats are idempotent 200s, and a job that already reached a
+// different terminal state is a 409.
+func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request, j *Job) {
+	client := ClientID(r)
+	outcome := s.store.Abort(j)
+	switch outcome {
+	case AbortConflict:
+		writeJSON(w, http.StatusConflict, s.store.Snapshot(j))
+		return
+	case AbortRepeat:
+		writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.ID, Status: StatusAborted})
+		return
+	}
+	// AbortQueued, AbortParked, AbortRunning: journal the terminal
+	// outcome before acknowledging. For a running job the cancellation
+	// has already fired; its runner unwind finds Aborting set and pins
+	// the outcome, never journaling a contradicting terminal event.
+	if err := s.outbox.Append(Record{
+		Event: EventAborted, Job: j.ID, Key: j.Key,
+		Error: "aborted by client", Client: client,
+	}); err != nil {
+		http.Error(w, "journal unavailable", http.StatusInternalServerError)
+		return
+	}
+	where := map[AbortOutcome]string{
+		AbortQueued: "queued", AbortParked: "parked", AbortRunning: "running",
+	}[outcome]
+	if outcome != AbortRunning {
+		// Queued/parked jobs never reach a runner unwind; count them here.
+		s.metrics.JobsAborted.Add(1)
+	}
+	s.decision("abort", map[string]any{"job": j.ID, "client": client, "where": where})
+	s.maybeCompact()
+	writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.ID, Status: StatusAborted})
+}
+
+// retryAfterClient estimates how long a shed client should wait: its own
+// backlog divided over its fair share of the pool, floored at one second,
+// capped at a minute. A flooder's hint reflects the flooder's queue, not
+// the queue it inflicted on everyone else.
+func (s *Server) retryAfterClient(client string) int {
+	return boundRetry(s.store.ClientBacklog(client) / s.cfg.Pool)
+}
+
+// retryAfterDrain estimates a drain-time hint: the daemon is going away,
+// so the client should come back after the grace period a restart will
+// take plus however long the parked backlog needs.
+func (s *Server) retryAfterDrain() int {
+	grace := int(s.cfg.DrainGrace / time.Second)
+	return boundRetry(grace + (s.store.QueueDepth()+s.store.Running())/s.cfg.Pool)
+}
+
+func boundRetry(sec int) int {
 	if sec < 1 {
 		sec = 1
 	}

@@ -155,6 +155,41 @@ type Attempt struct {
 	ErrKind string `json:"err_kind,omitempty"`
 }
 
+// Cancellation causes. A scheduler that cancels a supervised run for its
+// own reasons — preempting it onto its certified checkpoint to free a
+// worker slot, or aborting it on a client's request — passes these as the
+// context cancel cause so attempt reports and job outcomes say *why* the
+// run stopped, not just that it was cancelled. The distinction matters
+// downstream: a preempted run is re-queued resumable, an aborted one is
+// terminal, and a plain cancellation is a drain.
+var (
+	// ErrPreempted: the run was parked on its checkpoint to yield its
+	// worker slot to higher-priority work; it will be resumed as the same
+	// passage (the recoverable-passage model of Chan–Woelfel).
+	ErrPreempted = errors.New("supervise: preempted onto checkpoint")
+	// ErrAborted: a client cancelled the job (the abortable-mutex analogy
+	// of Pareek–Woelfel); the outcome is terminal.
+	ErrAborted = errors.New("supervise: aborted by client")
+)
+
+// ClassifyCancel refines ClassifyErr with the context's cancellation
+// cause: a "canceled" error whose cause is ErrPreempted or ErrAborted is
+// reported as "preempted" or "aborted" respectively. Every other
+// classification passes through unchanged.
+func ClassifyCancel(ctx context.Context, err error) string {
+	kind := ClassifyErr(err)
+	if kind != "canceled" || ctx == nil {
+		return kind
+	}
+	switch cause := context.Cause(ctx); {
+	case errors.Is(cause, ErrPreempted):
+		return "preempted"
+	case errors.Is(cause, ErrAborted):
+		return "aborted"
+	}
+	return kind
+}
+
 // ClassifyErr maps an attempt (or job) error to the ErrKind vocabulary
 // above. Classification order matters: a worker killed by cancellation is
 // reported as the cancellation, and a budget trip inside a worker is
@@ -305,7 +340,7 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 		rep.States = res.States
 		if err != nil {
 			rep.Err = err.Error()
-			rep.ErrKind = ClassifyErr(err)
+			rep.ErrKind = ClassifyCancel(ctx, err)
 		}
 		out.Attempts = append(out.Attempts, rep)
 		out.Result = res
