@@ -35,8 +35,9 @@ func realMain() int {
 	dump := flag.String("dump", "", "print the program listing of a lock (bakery, tournament, peterson, gtF) instead of measuring")
 	explain := flag.String("explain", "", "attribute a lock's RMR bill to its register arrays instead of measuring")
 	dumpN := flag.Int("n", 4, "process count for -dump / -explain / -check")
-	chk := flag.String("check", "", "model-check mutual exclusion of a lock instead of measuring")
+	chk := flag.String("check", "", "model-check mutual exclusion of a lock instead of measuring (recoverable locks rtas, rbakery, rtournament, ... route through the RME checker)")
 	model := flag.String("model", "pso", "memory model for -check: sc, tso, pso")
+	crashes := flag.Int("crashes", 0, "adversarial crash budget for -check (recoverable locks recover, plain locks cold-restart)")
 	states := flag.Int("states", 0, "state budget for -check (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer)")
 	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction for -check (no-op for locks without a symmetry declaration)")
@@ -62,7 +63,7 @@ func realMain() int {
 	err := func() error {
 		switch {
 		case *chk != "":
-			return runCheck(*chk, *dumpN, *model, *states, *workers, *symmetry)
+			return runCheck(*chk, *dumpN, *model, *states, *workers, *crashes, *symmetry)
 		case *dump != "":
 			return runDump(*dump, *dumpN)
 		case *explain != "":
@@ -124,11 +125,7 @@ func parseLock(name string) (tradingfences.LockSpec, error) {
 	return spec, nil
 }
 
-func runCheck(name string, n int, model string, states, workers int, symmetry bool) error {
-	spec, err := parseLock(name)
-	if err != nil {
-		return err
-	}
+func runCheck(name string, n int, model string, states, workers, crashes int, symmetry bool) error {
 	mm, err := tradingfences.ParseMemoryModel(model)
 	if err != nil {
 		return err
@@ -138,8 +135,30 @@ func runCheck(name string, n int, model string, states, workers int, symmetry bo
 		Workers:  workers,
 		Symmetry: symmetry,
 	}
+	if crashes > 0 {
+		opts.Faults = &tradingfences.FaultPlan{MaxCrashes: crashes}
+	}
+	var (
+		v    *tradingfences.MutexVerdict
+		cerr error
+		kind = "mutex"
+		what = name
+	)
 	start := time.Now()
-	v, cerr := tradingfences.CheckMutexCtx(context.Background(), spec, n, 1, mm, opts)
+	if tradingfences.IsRMELock(name) {
+		// Recoverable locks route through the RME checker: crashes recover
+		// instead of cold-restarting, and the verdict carries per-passage
+		// RMR watermarks.
+		kind = "rme"
+		v, cerr = tradingfences.CheckRMECtx(context.Background(), name, n, 1, mm, opts)
+	} else {
+		spec, perr := parseLock(name)
+		if perr != nil {
+			return perr
+		}
+		what = spec.String()
+		v, cerr = tradingfences.CheckMutexCtx(context.Background(), spec, n, 1, mm, opts)
+	}
 	wall := time.Since(start)
 	if v == nil {
 		return cerr
@@ -155,8 +174,16 @@ func runCheck(name string, n int, model string, states, workers int, symmetry bo
 	if v.SymmetryApplied {
 		sym = " (symmetry orbits)"
 	}
-	fmt.Printf("mutex %v: %s under %v, n=%d, %d states%s, mode=%s, %.0f ms\n",
-		spec, verdict, mm, n, v.States, sym, v.Mode, float64(wall.Microseconds())/1000)
+	budget := ""
+	if crashes > 0 {
+		budget = fmt.Sprintf(", crashes<=%d", crashes)
+	}
+	fmt.Printf("%s %s: %s under %v, n=%d%s, %d states%s, mode=%s, %.0f ms\n",
+		kind, what, verdict, mm, n, budget, v.States, sym, v.Mode, float64(wall.Microseconds())/1000)
+	if ps := v.Passages; ps != nil && ps.Count > 0 {
+		fmt.Printf("max RMRs/passage: CC=%d DSM=%d (%d passages; Chan-Woelfel log n/log log n = %.2f)\n",
+			ps.MaxCC, ps.MaxDSM, ps.Count, tradingfences.ChanWoelfelBound(n))
+	}
 	if v.Violated {
 		fmt.Printf("witness: %s\n", v.WitnessSchedule)
 	}

@@ -40,6 +40,12 @@ type Subject struct {
 	// is not PID-symmetric); Opts.Symmetry keys the visited set on
 	// symmetry-canonical state encodings when it is set.
 	Sym *machine.SymmetrySpec
+	// Passages, when non-nil, names the passage-delimiting probe registers
+	// of a recoverable (RME) subject: each checker attaches a fresh
+	// machine.PassageLog to the configurations it builds and reports the
+	// observed per-passage RMR watermark in Result.Passages. See
+	// internal/rme and machine/passage.go.
+	Passages *machine.PassageProbes
 }
 
 // NewMutexSubject instruments the lock built by ctor for n processes with
@@ -152,6 +158,34 @@ type Result struct {
 	// lock declares a SymmetrySpec. False under Opts.Symmetry for
 	// non-symmetric locks (the flag is then an honest no-op).
 	SymmetryApplied bool
+	// Passages aggregates recoverable-passage RMR accounting when the
+	// subject declares passage probes (nil otherwise, and nil on resumed
+	// parallel runs — passage watermarks are not part of the checkpoint
+	// schema). Because passage counters are excluded from state keys, the
+	// maxima are a certified lower bound over the explored spanning tree,
+	// and sequential DFS and parallel BFS may report different (equally
+	// valid) watermarks.
+	Passages *machine.PassageStats
+}
+
+// attachPassages enables passage accounting on a freshly built root when
+// the subject declares probes, returning the log to snapshot at the end.
+func (s *Subject) attachPassages(c *machine.Config) *machine.PassageLog {
+	if s.Passages == nil {
+		return nil
+	}
+	log := machine.NewPassageLog()
+	c.EnablePassages(*s.Passages, log)
+	return log
+}
+
+// fillPassages publishes the log's aggregate into the result (no-op when
+// passage accounting is off).
+func fillPassages(res *Result, log *machine.PassageLog) {
+	if log != nil {
+		st := log.Snapshot()
+		res.Passages = &st
+	}
 }
 
 // stateKeyOverhead is the fixed per-visited-state bookkeeping cost (map
@@ -246,6 +280,7 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 	if err != nil {
 		return Result{}, err
 	}
+	plog := s.attachPassages(root)
 	meter := run.NewMeter(ctx, opts.Budget)
 	visited := make(map[machine.StateKey]struct{}, 1024)
 	kr := s.newKeyer(opts)
@@ -332,12 +367,14 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 	if _, err := dfs(root, nil, 0, 0); err != nil {
 		res.States = len(visited)
 		res.Complete = false
+		fillPassages(&res, plog)
 		return res, err
 	}
 	res.States = len(visited)
 	if res.Violation {
 		res.Complete = false
 	}
+	fillPassages(&res, plog)
 	return res, nil
 }
 
@@ -351,16 +388,24 @@ func (s *Subject) Random(ctx context.Context, model machine.Model, rng *rand.Ran
 	meter := run.NewMeter(ctx, opts.Budget)
 	maxCrashes, crashProb := opts.randomCrash()
 	var res Result
+	var plog *machine.PassageLog
+	if s.Passages != nil {
+		plog = machine.NewPassageLog()
+	}
 	for r := 0; r < runs; r++ {
 		c, err := s.Build(model)
 		if err != nil {
 			return Result{}, err
 		}
 		c.SetFaultPlan(opts.Faults)
+		if plog != nil {
+			c.EnablePassages(*s.Passages, plog)
+		}
 		crashes := 0
 		var path machine.Schedule
 		for step := 0; step < maxSteps && !c.AllHalted(); step++ {
 			if err := meter.AddStep(); err != nil {
+				fillPassages(&res, plog)
 				return res, err
 			}
 			var live []int
@@ -396,10 +441,12 @@ func (s *Subject) Random(ctx context.Context, model machine.Model, rng *rand.Ran
 				res.Violation = true
 				res.Witness = path
 				res.InCS = in
+				fillPassages(&res, plog)
 				return res, nil
 			}
 		}
 	}
+	fillPassages(&res, plog)
 	return res, nil
 }
 
@@ -413,6 +460,9 @@ func (s *Subject) Replay(model machine.Model, witness machine.Schedule, faults *
 	if err != nil {
 		return nil, nil, err
 	}
+	// A fresh passage log per replay: the returned configuration's
+	// PassageStats then covers exactly this witness execution.
+	s.attachPassages(c)
 	c.SetFaultPlan(faults)
 	tr := machine.NewTrace()
 	c.SetTrace(tr)

@@ -158,7 +158,7 @@ func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Mo
 	return s.runParallel(ctx, model, opts, rs)
 }
 
-func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opts, rs *resumeState) (Result, error) {
+func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opts, rs *resumeState) (out Result, rerr error) {
 	maxCrashes, err := opts.exhaustiveCrashBudget()
 	if err != nil {
 		return Result{}, err
@@ -170,6 +170,14 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 	meter := run.NewMeter(ctx, opts.Budget)
 	kr := s.newKeyer(opts)
 	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
+
+	// Passage accounting spans the whole exploration through one shared
+	// log (clones inherit the pointer via the pool's cloneInto). Resumed
+	// runs leave it off: passage watermarks are not part of the checkpoint
+	// schema, so a resumed run could only report the post-resume remainder
+	// — reporting nothing is honest, a partial watermark is not.
+	var plog *machine.PassageLog
+	defer func() { fillPassages(&out, plog) }()
 
 	// Frontier configurations are recycled through a pool: once a node has
 	// been expanded and merged it is dead weight (checkpoints serialize
@@ -220,6 +228,7 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 		if err != nil {
 			return Result{}, err
 		}
+		plog = s.attachPassages(root)
 		key, err := kr.key(root, 0, maxCrashes)
 		if err != nil {
 			return Result{}, err

@@ -304,6 +304,21 @@ type ReturnStmt struct{ E Expr }
 func (*ReturnStmt) stmtNode()        {}
 func (s *ReturnStmt) String() string { return fmt.Sprintf("return %s", s.E) }
 
+// TasStmt performs an atomic test-and-set on register Reg: in one machine
+// step, the old shared-memory value is read, Val is stored iff the old
+// value was 0 (the ⊥ convention: unset means free), and the old value is
+// bound to Dst. The recoverable locks use it as their one atomic base
+// object — a successful TAS leaves a durable ownership mark in shared
+// memory that a crashed process's recovery section can consult.
+type TasStmt struct {
+	Dst string
+	Reg Expr
+	Val Expr
+}
+
+func (*TasStmt) stmtNode()        {}
+func (s *TasStmt) String() string { return fmt.Sprintf("%s := tas(%s, %s)", s.Dst, s.Reg, s.Val) }
+
 // IfStmt executes Then if Cond is nonzero and Else (possibly empty)
 // otherwise.
 type IfStmt struct {
@@ -342,6 +357,12 @@ func Fence() Stmt { return &FenceStmt{} }
 // Return returns a return statement with value e.
 func Return(e Expr) Stmt { return &ReturnStmt{E: e} }
 
+// Tas returns the statement dst := tas(reg, val): atomically read
+// register reg, store val iff the old value was 0, and bind the old value
+// to dst. Like a fence, a TAS drains the process's write buffer before
+// executing (an atomic read-modify-write is ordered on every model here).
+func Tas(dst string, reg, val Expr) Stmt { return &TasStmt{Dst: dst, Reg: reg, Val: val} }
+
 // If returns a one-armed conditional.
 func If(cond Expr, then ...Stmt) Stmt { return &IfStmt{Cond: cond, Then: then} }
 
@@ -373,9 +394,22 @@ type Program struct {
 	Name string
 	// Body is the statement sequence each process executes.
 	Body []Stmt
+
+	// Recovery, when non-empty, makes the program recoverable: a crashed
+	// process does not cold-restart but re-enters here, repairs its
+	// protocol state, and then resumes the main body at Body[ResumeAt].
+	// Durable names the locals that survive a crash (per-process
+	// non-volatile memory); all other locals are volatile and reset to
+	// unbound. See DESIGN.md §5h.
+	Recovery []Stmt
+	ResumeAt int
+	Durable  []string
 }
 
 // NewProgram returns a program with the given name and body.
 func NewProgram(name string, body ...Stmt) *Program {
 	return &Program{Name: name, Body: body}
 }
+
+// Recoverable reports whether the program declares a recovery section.
+func (p *Program) Recoverable() bool { return len(p.Recovery) > 0 }

@@ -15,6 +15,7 @@ const (
 	OpWrite
 	OpFence
 	OpReturn
+	OpTAS
 )
 
 func (k OpKind) String() string {
@@ -27,6 +28,8 @@ func (k OpKind) String() string {
 		return "fence"
 	case OpReturn:
 		return "return"
+	case OpTAS:
+		return "tas"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -53,6 +56,8 @@ func (o Op) String() string {
 		return "fence()"
 	case OpReturn:
 		return fmt.Sprintf("return(%d)", o.Val)
+	case OpTAS:
+		return fmt.Sprintf("tas(%d, %d)", o.Reg, o.Val)
 	default:
 		return o.Kind.String()
 	}
@@ -130,6 +135,34 @@ func (s *ProcState) PID() int { return s.env.PID }
 // stack, pending operation and any recorded error are discarded.
 func (s *ProcState) Restart() *ProcState {
 	return NewProcState(s.prog, s.env.PID, s.env.N)
+}
+
+// CrashRestart returns the post-crash state under the recoverable
+// mutual-exclusion model. For a program with no recovery section it is a
+// cold Restart. For a recoverable program, volatile locals and control
+// state are lost but the program's declared durable locals survive, and
+// the process re-enters execution at its recovery section; when recovery
+// finishes, control resumes at Body[ResumeAt] rather than at the top of
+// the program — the Chan–Woelfel recover→re-compete shape, not a fresh
+// super-passage.
+func (s *ProcState) CrashRestart() *ProcState {
+	p := s.prog
+	if len(p.Recovery) == 0 {
+		return s.Restart()
+	}
+	ns := NewProcState(p, s.env.PID, s.env.N)
+	for _, name := range p.Durable {
+		if v, ok := s.env.Locals[name]; ok {
+			ns.env.Locals[name] = v
+		}
+	}
+	// Bottom frame resumes the main body at ResumeAt once the recovery
+	// frame on top of it is exhausted.
+	ns.frames = []frame{
+		{stmts: p.Body, idx: p.ResumeAt},
+		{stmts: p.Recovery},
+	}
+	return ns
 }
 
 // Program returns the program this state executes.
@@ -256,6 +289,18 @@ func (s *ProcState) settle() error {
 			s.pending = Op{Kind: OpFence}
 			s.settled = true
 			return nil
+		case *TasStmt:
+			reg, err := st.Reg.eval(&s.env)
+			if err != nil {
+				return s.fail(err)
+			}
+			val, err := st.Val.eval(&s.env)
+			if err != nil {
+				return s.fail(err)
+			}
+			s.pending = Op{Kind: OpTAS, Reg: reg, Val: val}
+			s.settled = true
+			return nil
 		case *ReturnStmt:
 			v, err := st.E.eval(&s.env)
 			if err != nil {
@@ -310,6 +355,26 @@ func (s *ProcState) CompleteRead(v Value) error {
 	}
 	st := s.frames[len(s.frames)-1].stmts[s.frames[len(s.frames)-1].idx].(*ReadStmt)
 	s.env.Locals[st.Dst] = v
+	s.advance()
+	return nil
+}
+
+// CompleteTas delivers the old shared-memory value of the pending
+// test-and-set and advances the program. The machine performs the atomic
+// read-modify-write itself; the process only learns the old value.
+func (s *ProcState) CompleteTas(old Value) error {
+	op, ok, err := s.NextOp()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrHalted
+	}
+	if op.Kind != OpTAS {
+		return s.fail(fmt.Errorf("CompleteTas while poised at %s", op))
+	}
+	st := s.frames[len(s.frames)-1].stmts[s.frames[len(s.frames)-1].idx].(*TasStmt)
+	s.env.Locals[st.Dst] = old
 	s.advance()
 	return nil
 }

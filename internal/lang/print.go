@@ -15,6 +15,15 @@ func Format(p *Program) string {
 	fmt.Fprintf(&b, "program %s {\n", p.Name)
 	formatBlock(&b, p.Body, 1)
 	b.WriteString("}\n")
+	if len(p.Recovery) > 0 {
+		// The recovery section is part of the program's identity: two
+		// programs with equal bodies but different recovery code (or
+		// different durable sets) must format differently, because the
+		// machine's identity fingerprint hashes this listing.
+		fmt.Fprintf(&b, "recovery resume=%d durable=%s {\n", p.ResumeAt, strings.Join(p.Durable, ","))
+		formatBlock(&b, p.Recovery, 1)
+		b.WriteString("}\n")
+	}
 	return b.String()
 }
 
@@ -85,6 +94,10 @@ func Analyze(p *Program) Analysis {
 			case *ReadStmt:
 				a.Reads++
 				locals[s.Dst] = struct{}{}
+			case *TasStmt:
+				a.Reads++
+				a.Writes++
+				locals[s.Dst] = struct{}{}
 			case *WriteStmt:
 				a.Writes++
 			case *FenceStmt:
@@ -100,6 +113,7 @@ func Analyze(p *Program) Analysis {
 		}
 	}
 	walk(p.Body, 0)
+	walk(p.Recovery, 0)
 	a.Locals = make([]string, 0, len(locals))
 	for l := range locals {
 		a.Locals = append(a.Locals, l)

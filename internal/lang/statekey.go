@@ -83,6 +83,8 @@ func buildCodeIndex(p *Program) *codeIndex {
 				names[st.Dst] = true
 			case *ReadStmt:
 				names[st.Dst] = true
+			case *TasStmt:
+				names[st.Dst] = true
 			case *IfStmt:
 				walk(st.Then)
 				walk(st.Else)
@@ -95,6 +97,9 @@ func buildCodeIndex(p *Program) *codeIndex {
 		}
 	}
 	walk(p.Body)
+	// The recovery section is walked after the body so that adding one to
+	// an existing program never renumbers the body's blocks or loops.
+	walk(p.Recovery)
 	// Local indices in sorted-name order, matching the legacy string
 	// fingerprint's sorted encoding so both induce the same state
 	// partition.

@@ -38,6 +38,13 @@ type Algorithm struct {
 	// ordered ticket scan compares slot numbers with <, and tournament
 	// trees wire processes to fixed leaves, so neither renames soundly.
 	symmetry *machine.SymmetrySpec
+
+	// recovery, when non-empty, makes the lock recoverable (the RME
+	// model): a crashed process re-enters here before resuming its
+	// passage loop, and the locals named in durable survive the crash.
+	// See internal/rme and DESIGN.md §5h.
+	recovery []lang.Stmt
+	durable  []string
 }
 
 // HasDoorway reports whether the lock declares a wait-free doorway.
@@ -84,6 +91,25 @@ func (a *Algorithm) Symmetry() *machine.SymmetrySpec { return a.symmetry }
 // use it to carry the base lock's declaration onto the transformed lock.
 func (a *Algorithm) WithSymmetry(spec *machine.SymmetrySpec) *Algorithm {
 	a.symmetry = spec
+	return a
+}
+
+// Recoverable reports whether the lock declares a recovery fragment.
+func (a *Algorithm) Recoverable() bool { return len(a.recovery) > 0 }
+
+// Recovery returns the crash-recovery statement fragment (nil for
+// non-recoverable locks).
+func (a *Algorithm) Recovery() []lang.Stmt { return a.recovery }
+
+// Durable returns the names of the locals that survive a crash (the
+// process's non-volatile private memory).
+func (a *Algorithm) Durable() []string { return a.durable }
+
+// WithRecovery declares a crash-recovery fragment and the durable locals
+// it relies on, making the lock recoverable, and returns the algorithm.
+func (a *Algorithm) WithRecovery(recovery []lang.Stmt, durable ...string) *Algorithm {
+	a.recovery = recovery
+	a.durable = durable
 	return a
 }
 

@@ -1,0 +1,277 @@
+package locks
+
+import (
+	"fmt"
+
+	"tradingfences/internal/lang"
+	"tradingfences/internal/machine"
+)
+
+// Recoverable locks — the RME workload family (Chan–Woelfel; Golab &
+// Ramaraju). Each lock here declares a recovery fragment via
+// WithRecovery: a crashed process re-enters at that fragment with only
+// its durable locals intact, repairs the lock's shared state it may have
+// left behind, and then resumes its passage loop to re-compete. The
+// safety obligation on a recovery fragment is strict: it may only undo
+// the *crashed process's own* protocol footprint — clearing a register
+// another process legitimately holds frees a lock someone is inside,
+// which is exactly the bug the rtas-unsafe negative control exhibits.
+
+// NewRTAS returns a recoverable test-and-set lock: one unowned TAS
+// register holding 0 (free) or pid+1 (held by pid). Acquire loops a TAS
+// with a read spin between attempts; release clears the register. The
+// recovery fragment reads the register and frees it only if this process
+// owns it (the durable ownership mark a successful TAS leaves behind) —
+// a crash between the TAS and the critical section, inside it, or before
+// the release commit all repair to a free lock, while a crash after
+// someone else re-acquired leaves their ownership untouched.
+func NewRTAS(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	return newRTASVariant(lay, name, n, true)
+}
+
+// NewRTASUnsafe returns the negative control: the same TAS lock with a
+// recovery fragment that frees the lock *unconditionally*. A process
+// that crashes while a rival holds the lock then releases the rival's
+// lock during recovery, and the checker exhibits a two-process mutual
+// exclusion violation with a single crash. Kept as the golden
+// crash-witness subject.
+func NewRTASUnsafe(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	return newRTASVariant(lay, name, n, false)
+}
+
+func newRTASVariant(lay *machine.Layout, name string, n int, guarded bool) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: rtas needs n >= 1, got %d", n)
+	}
+	lock, err := lay.Alloc(name+".lock", 1, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	reg := lang.I(lock.Base)
+	pfx := name + "_"
+	got, old, cur := pfx+"got", pfx+"old", pfx+"cur"
+
+	acquire := []lang.Stmt{
+		lang.Assign(got, lang.I(0)),
+		lang.While(lang.Eq(lang.L(got), lang.I(0)),
+			lang.Tas(old, reg, lang.Add(lang.PID(), lang.I(1))),
+			lang.IfElse(lang.Eq(lang.L(old), lang.I(0)),
+				[]lang.Stmt{lang.Assign(got, lang.I(1))},
+				[]lang.Stmt{
+					// Local spin on the cached value until the lock looks
+					// free, then retry the TAS.
+					lang.Read(cur, reg),
+					lang.While(lang.Ne(lang.L(cur), lang.I(0)),
+						lang.Read(cur, reg)),
+				},
+			),
+		),
+	}
+	release := []lang.Stmt{
+		lang.Write(reg, lang.I(0)),
+		lang.Fence(),
+	}
+	var recovery []lang.Stmt
+	if guarded {
+		recovery = []lang.Stmt{
+			lang.Read(cur, reg),
+			lang.If(lang.Eq(lang.L(cur), lang.Add(lang.PID(), lang.I(1))),
+				lang.Write(reg, lang.I(0))),
+			lang.Fence(),
+		}
+	} else {
+		// UNSAFE: frees the lock whether or not this process holds it.
+		recovery = []lang.Stmt{
+			lang.Write(reg, lang.I(0)),
+			lang.Fence(),
+		}
+	}
+	alg := &Algorithm{name: name, n: n, acquire: acquire, release: release}
+	return alg.WithRecovery(recovery), nil
+}
+
+// NewRBakery returns a Golab–Ramaraju-style recoverable transformation
+// of the classic Bakery lock: the base algorithm is unchanged (its
+// choosing flag C[p] and ticket T[p] already live in shared memory, so a
+// passage leaves no volatile protocol state behind), and the recovery
+// fragment abandons the crashed process's own entitlement by clearing
+// T[p] then C[p]. Clearing only the process's own registers cannot free
+// a rival's ticket, so exclusivity is preserved across any crash point:
+// a crash inside the critical section releases (T[p] := 0 is exactly
+// bakeryRelease), and a crash mid-doorway removes the half-published
+// ticket other scanners might otherwise wait on forever.
+func NewRBakery(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: rbakery needs n >= 1, got %d", n)
+	}
+	c, err := lay.Alloc(name+".C", n, machine.OwnedBy)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	t, err := lay.Alloc(name+".T", n, machine.OwnedBy)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	spec := bakerySpec{
+		pfx:    name + "_",
+		cBase:  lang.I(c.Base),
+		tBase:  lang.I(t.Base),
+		me:     lang.PID(),
+		g:      lang.I(int64(n)),
+		fences: bakeryClassic,
+	}
+	acquire, doorway := bakeryAcquire(spec)
+	recovery := []lang.Stmt{
+		lang.Write(lang.Add(lang.I(t.Base), lang.PID()), lang.I(0)),
+		lang.Fence(),
+		lang.Write(lang.Add(lang.I(c.Base), lang.PID()), lang.I(0)),
+		lang.Fence(),
+	}
+	alg := &Algorithm{
+		name:         name,
+		n:            n,
+		acquire:      acquire,
+		release:      bakeryRelease(spec),
+		doorwaySplit: doorway,
+	}
+	return alg.WithRecovery(recovery), nil
+}
+
+// NewRTournament returns the recoverable tournament-tree lock: the
+// binary tournament of NewTournament plus a durable per-process depth
+// counter recording how many path nodes the process currently holds
+// (counted from the leaf; depth d means it has won the nodes at heights
+// 1..d of its leaf-to-root path). Acquire increments depth after each
+// node win; release clears top-down, decrementing depth *before* each
+// level's clear-write. The recovery fragment clears the path from
+// height min(depth+1, levels) down to 1, root-of-range first with a
+// fence per clear (the same discipline release needs under PSO).
+//
+// Why clearing height depth+1 is safe even though the process may not
+// hold that node: a rival occupying the process's slot at height k must
+// first have won the child node feeding that slot — which is the crashed
+// process's own path node at height k−1, still held (depth >= k−1)
+// whenever recovery ranges over k, and a held Peterson node admits no
+// new winner (the rival re-points the victim at itself and spins on the
+// holder's flag). So the only value the slot can hold is the crashed
+// process's own stale announce, and clearing it is exactly the repair
+// wanted. At k = 1 the slot is the process's leaf slot, which no other
+// process ever writes. Blind path-clearing without the depth bound is
+// NOT safe: clearing a higher slot the process never reached can erase
+// a subtree sibling's live announce.
+//
+// The decrement-before-clear order in release is load-bearing, and its
+// two crash sides are asymmetric. Crash after the decrement but before
+// the clear commits: depth under-reports, recovery re-clears the level —
+// a slot that still holds the process's own stale announce (the level
+// below is still held, so no rival reached it). Crash after the clear
+// commits but before a trailing decrement would have run: depth would
+// OVER-report — the clear that just committed is precisely what opens
+// the subtree to a rival, so by the time recovery runs the slot can
+// hold the rival's live announce, and re-clearing it breaks
+// exclusivity. The checker found exactly that interleaving at n = 3
+// with one crash when this code decremented after the fence (p0
+// finishes release, crashes before the final decrement; p1 wins the
+// freed subtree and announces at the root; p0's recovery re-clears the
+// root slot; p2 sails past p1).
+func NewRTournament(lay *machine.Layout, name string, n int) (*Algorithm, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("locks: rtournament needs n >= 1, got %d", n)
+	}
+	pow, levels := ceilPow2(n)
+	if levels == 0 {
+		// Single process: the lock is trivial and nothing needs repair.
+		return &Algorithm{name: name, n: n}, nil
+	}
+	flags, err := lay.Alloc(name+".flag", 2*pow, func(i int) int {
+		m, s := i/2, i%2
+		if m >= pow/2 {
+			if p := m*2 + s - pow; p < n {
+				return p
+			}
+		}
+		return machine.NoOwner
+	})
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+	victim, err := lay.Alloc(name+".victim", pow, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("locks: %w", err)
+	}
+
+	pfx := name + "_"
+	v := func(suffix string) string { return pfx + suffix }
+	node, side, cur, pw, leaf := v("node"), v("side"), v("cur"), v("pw"), v("leaf")
+	depth, hh, k := v("depth"), v("hh"), v("k")
+
+	spec := petersonSpec{
+		pfx:      pfx,
+		flagBase: lang.Add(lang.I(flags.Base), lang.Mul(lang.L(node), lang.I(2))),
+		victim:   lang.Add(lang.I(victim.Base), lang.L(node)),
+		me:       lang.L(side),
+		fences:   petersonPSO,
+	}
+
+	nodeAcquire, _ := petersonAcquire(spec)
+	acquire := []lang.Stmt{
+		lang.Assign(cur, lang.Add(lang.I(int64(pow)), lang.PID())),
+		lang.While(lang.Gt(lang.L(cur), lang.I(1)),
+			append([]lang.Stmt{
+				lang.Assign(node, lang.Div(lang.L(cur), lang.I(2))),
+				lang.Assign(side, lang.Mod(lang.L(cur), lang.I(2))),
+			}, append(nodeAcquire,
+				// The node is won: record it durably before climbing. A
+				// crash between the win and this increment under-reports by
+				// one, which is why recovery clears up to depth+1.
+				lang.Assign(depth, lang.Add(lang.L(depth), lang.I(1))),
+				lang.Assign(cur, lang.L(node)),
+			)...)...,
+		),
+	}
+
+	// clearDown clears the path nodes at heights hh..1, top first, with a
+	// fence after each clear (see NewTournament on why per-clear fences
+	// are essential under PSO). depth is decremented BEFORE the clear is
+	// issued: recording the level as released while its flag is still set
+	// only makes recovery re-clear the process's own stale announce,
+	// whereas the reverse order (clear, then decrement) leaves a window
+	// where a crash has depth claiming a level the process no longer
+	// holds — recovery would then wipe the slot out from under the rival
+	// who legitimately won it (see the NewRTournament comment; the model
+	// checker exhibits the violation at n = 3 with a single crash).
+	clearDown := lang.While(lang.Ge(lang.L(pw), lang.I(2)),
+		lang.Assign(node, lang.Div(lang.L(leaf), lang.L(pw))),
+		lang.Assign(side, lang.Mod(lang.Div(lang.L(leaf), lang.Div(lang.L(pw), lang.I(2))), lang.I(2))),
+		lang.Assign(hh, lang.Sub(lang.L(hh), lang.I(1))),
+		lang.Assign(depth, lang.L(hh)),
+		lang.Write(lang.Add(spec.flagBase, lang.L(side)), lang.I(0)),
+		lang.Fence(),
+		lang.Assign(pw, lang.Div(lang.L(pw), lang.I(2))),
+	)
+
+	release := []lang.Stmt{
+		lang.Assign(leaf, lang.Add(lang.I(int64(pow)), lang.PID())),
+		lang.Assign(pw, lang.I(int64(pow))),
+		lang.Assign(hh, lang.I(int64(levels))),
+		clearDown,
+	}
+
+	// Recovery: hh := min(depth+1, levels); pw := 2^hh; clear down.
+	// Re-entrant by construction — a crash during recovery re-enters with
+	// the updated depth and simply re-clears the current level.
+	recovery := []lang.Stmt{
+		lang.Assign(hh, lang.Add(lang.L(depth), lang.I(1))),
+		lang.If(lang.Gt(lang.L(hh), lang.I(int64(levels))),
+			lang.Assign(hh, lang.I(int64(levels)))),
+		lang.Assign(leaf, lang.Add(lang.I(int64(pow)), lang.PID())),
+		lang.Assign(pw, lang.I(1)),
+	}
+	recovery = append(recovery, lang.For(k, lang.I(0), lang.L(hh),
+		lang.Assign(pw, lang.Mul(lang.L(pw), lang.I(2))),
+	)...)
+	recovery = append(recovery, clearDown)
+
+	alg := &Algorithm{name: name, n: n, acquire: acquire, release: release}
+	return alg.WithRecovery(recovery, depth), nil
+}

@@ -136,7 +136,15 @@ func (fp *FaultPlan) Instrument(sched Schedule) Schedule {
 		return append(Schedule(nil), sched...)
 	}
 	pts := append([]CrashPoint(nil), fp.Crashes...)
-	sort.SliceStable(pts, func(i, j int) bool { return pts[i].At < pts[j].At })
+	// Sort by (At, P), not At alone: two crash points at the same index
+	// must weave in the same order no matter how the plan was assembled
+	// (plans built from map iteration used to leak that order here).
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].At != pts[j].At {
+			return pts[i].At < pts[j].At
+		}
+		return pts[i].P < pts[j].P
+	})
 	out := make(Schedule, 0, len(sched)+len(pts))
 	next := 0
 	for i, e := range sched {
@@ -170,11 +178,16 @@ func (c *Config) TotalSteps() int64 { return c.steps }
 func (c *Config) Crashed(p int) int64 { return c.stats.Crashes[p] }
 
 // crashStep executes Crash(p): process p loses its write buffer, its
-// interpreter state (restarting the program from the top) and its
-// knowledge cache. Shared memory and the last-committer table survive.
-// Crashing a halted process produces no step — a process that has
-// returned has left the protocol (the checker and the RME substitution
-// both want restarts of live processes only).
+// volatile interpreter state and its knowledge cache. Shared memory and
+// the last-committer table survive. A non-recoverable program restarts
+// from the top; a recoverable program keeps its durable locals and
+// re-enters at its recovery section (lang.CrashRestart) — the RME model's
+// recover-and-re-compete semantics. An open passage window also survives:
+// the re-entry continues the same super-passage, so recovery RMRs are
+// charged to the passage the crash interrupted. Crashing a halted process
+// produces no step — a process that has returned has left the protocol
+// (the checker and the RME model both want restarts of live processes
+// only).
 func (c *Config) crashStep(p int, u *Undo) (StepRecord, bool, error) {
 	ps := c.procs[p]
 	if ps.Halted() {
@@ -191,7 +204,7 @@ func (c *Config) crashStep(p int, u *Undo) (StepRecord, bool, error) {
 		u.prevCacheKnown = append([]bool(nil), known...)
 	}
 	c.wbs[p] = newBuffer(c.model)
-	c.procs[p] = ps.Restart()
+	c.procs[p] = ps.CrashRestart()
 	for i := range known {
 		known[i] = false
 	}

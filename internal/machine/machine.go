@@ -115,6 +115,19 @@ type Config struct {
 
 	stats *Stats
 	trace *Trace
+
+	// Recoverable-passage accounting (see passage.go). When enabled, a
+	// read of passEnter opens process p's passage and a read of passExit
+	// closes it, recording the passage's dual CC/DSM remote-reference
+	// counts into passLog. Crashes do not close a passage: a re-entry
+	// through recovery continues the same super-passage, exactly the
+	// Chan–Woelfel cost unit. Deliberately excluded from state keys and
+	// fingerprints — it is cost accounting, not behaviour.
+	passEnabled        bool
+	passEnter, passExit Reg
+	passLog            *PassageLog
+	passOpen           []bool
+	passCC, passDSM    []int64
 }
 
 // NewConfig returns the initial configuration C_init for n processes
@@ -239,6 +252,12 @@ func (c *Config) Clone() *Config {
 		lastCommitter: append([]int32(nil), c.lastCommitter...),
 		stats:         c.stats.Clone(),
 	}
+	if c.passEnabled {
+		d.passEnabled, d.passEnter, d.passExit, d.passLog = true, c.passEnter, c.passExit, c.passLog
+		d.passOpen = append([]bool(nil), c.passOpen...)
+		d.passCC = append([]int64(nil), c.passCC...)
+		d.passDSM = append([]int64(nil), c.passDSM...)
+	}
 	for p := 0; p < c.n; p++ {
 		d.procs[p] = c.procs[p].Clone()
 		d.wbs[p] = c.wbs[p].clone()
@@ -261,6 +280,10 @@ func (c *Config) cloneInto(dst *Config) {
 	dst.lastCommitter = append(dst.lastCommitter[:0], c.lastCommitter...)
 	c.stats.CloneInto(dst.stats)
 	dst.trace = nil
+	dst.passEnabled, dst.passEnter, dst.passExit, dst.passLog = c.passEnabled, c.passEnter, c.passExit, c.passLog
+	dst.passOpen = append(dst.passOpen[:0], c.passOpen...)
+	dst.passCC = append(dst.passCC[:0], c.passCC...)
+	dst.passDSM = append(dst.passDSM[:0], c.passDSM...)
 	for p := 0; p < c.n; p++ {
 		dst.procs[p] = c.procs[p].Clone()
 		dst.wbs[p] = c.wbs[p].cloneInto(dst.wbs[p])
@@ -395,7 +418,7 @@ func (c *Config) Enabled(e Elem) bool {
 	if !ok {
 		return false
 	}
-	if op.Kind == lang.OpFence && c.wbs[p].len() > 0 {
+	if (op.Kind == lang.OpFence || op.Kind == lang.OpTAS) && c.wbs[p].len() > 0 {
 		_, can := c.drainCandidate(p)
 		return can
 	}
@@ -441,8 +464,10 @@ func (c *Config) step(e Elem, u *Undo) (rec StepRecord, took bool, err error) {
 
 	// Rule 3: blocked at a fence with a non-empty buffer — drain, unless
 	// every drain candidate is suspended by a stall window (then the
-	// element produces no step: the store queue is stalled).
-	if op.Kind == lang.OpFence && c.wbs[p].len() > 0 {
+	// element produces no step: the store queue is stalled). A TAS is an
+	// implicit fence: the atomic read-modify-write is ordered after every
+	// buffered write on all models here, so it drains the same way.
+	if (op.Kind == lang.OpFence || op.Kind == lang.OpTAS) && c.wbs[p].len() > 0 {
 		r, can := c.drainCandidate(p)
 		if !can {
 			return StepRecord{}, false, nil
@@ -462,6 +487,8 @@ func (c *Config) step(e Elem, u *Undo) (rec StepRecord, took bool, err error) {
 		return c.readStep(p, op, u)
 	case lang.OpWrite:
 		return c.writeStep(p, op, u)
+	case lang.OpTAS:
+		return c.tasStep(p, op, u)
 	case lang.OpFence:
 		if err := ps.CompleteFence(); err != nil {
 			return StepRecord{}, false, err
@@ -525,7 +552,8 @@ func (c *Config) commitStep(p int, r Reg, u *Undo) StepRecord {
 
 	owner := c.lay.Owner(w.Reg)
 	last, seen := c.lastCommitterOf(w.Reg)
-	remote := c.classifyCommit(owner == p, seen && last == p)
+	wasLast := seen && last == p
+	remote := c.classifyCommit(owner == p, wasLast)
 	c.lastCommitter[w.Reg] = int32(p)
 
 	c.stats.Commits[p]++
@@ -535,6 +563,7 @@ func (c *Config) commitStep(p int, r Reg, u *Undo) StepRecord {
 		c.stats.RemoteCommits[p]++
 		c.stats.RMRs[p]++
 	}
+	c.passageAccount(p, w.Reg, !wasLast, owner != p)
 	rec := StepRecord{P: p, Kind: StepCommit, Reg: w.Reg, Val: w.Val, Remote: remote, SegOwner: owner}
 	c.trace.append(rec)
 	return rec
@@ -561,7 +590,26 @@ func (c *Config) readStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error) 
 		val = c.memAt(r)
 		fromMemory = true
 		cached, known := c.cacheAt(p, r)
-		remote = c.classifyRead(owner == p, known && cached == val)
+		hit := known && cached == val
+		remote = c.classifyRead(owner == p, hit)
+		if c.passEnabled {
+			switch r {
+			case c.passEnter:
+				// Re-reading the entry probe after a crash continues the
+				// open super-passage rather than starting a fresh one.
+				if !c.passOpen[p] {
+					c.passOpen[p] = true
+					c.passCC[p], c.passDSM[p] = 0, 0
+				}
+			case c.passExit:
+				if c.passOpen[p] {
+					c.passOpen[p] = false
+					c.passLog.record(c.passCC[p], c.passDSM[p])
+				}
+			default:
+				c.passageAccount(p, r, !hit, owner != p)
+			}
+		}
 	}
 	if u != nil {
 		u.cacheTouched = true
@@ -622,13 +670,15 @@ func (c *Config) writeStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error)
 		}
 		c.mem[r] = v
 		last, seen := c.lastCommitterOf(r)
-		remote := c.classifyCommit(owner == p, seen && last == p)
+		wasLast := seen && last == p
+		remote := c.classifyCommit(owner == p, wasLast)
 		c.lastCommitter[r] = int32(p)
 		c.stats.Commits[p]++
 		if remote {
 			c.stats.RemoteCommits[p]++
 			c.stats.RMRs[p]++
 		}
+		c.passageAccount(p, r, !wasLast, owner != p)
 		rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, Remote: remote, SegOwner: owner}
 		c.trace.append(rec)
 		return rec, true, nil
@@ -643,6 +693,59 @@ func (c *Config) writeStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error)
 		u.bufOld = old
 	}
 	rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, SegOwner: owner}
+	c.trace.append(rec)
+	return rec, true, nil
+}
+
+// tasStep performs process p's pending atomic test-and-set: read r, store
+// Val iff the old value was 0, deliver the old value to the process — all
+// in one indivisible step. The rule-3 arm in step() guarantees the
+// process's write buffer is empty by the time this runs (a TAS drains
+// like a fence), so no buffered write can shadow the read. Cost-wise a
+// TAS is a commit: it takes the cache line exclusively whether or not the
+// stored value changes, so a failed TAS is still charged by the
+// last-committer rule.
+func (c *Config) tasStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error) {
+	r, v := op.Reg, op.Val
+	if r < 0 {
+		return StepRecord{}, false, fmt.Errorf("%w: p%d tas(R%d)", ErrBadReg, p, r)
+	}
+	c.ensureReg(r)
+	owner := c.lay.Owner(r)
+	old := c.mem[r]
+	if u != nil {
+		u.memTouched = true
+		u.memReg = r
+		u.memPrev = old
+		u.lcTouched = true
+		u.lcReg = r
+		u.lcPrev = c.lastCommitter[r]
+		u.cacheTouched = true
+		u.cacheReg = r
+		u.cachePrev, u.cachePrevKnown = c.cacheAt(p, r)
+	}
+	newVal := old
+	if old == 0 {
+		newVal = v
+		c.mem[r] = v
+	}
+	last, seen := c.lastCommitterOf(r)
+	wasLast := seen && last == p
+	remote := c.classifyCommit(owner == p, wasLast)
+	c.lastCommitter[r] = int32(p)
+	c.setCache(p, r, newVal)
+	if err := c.procs[p].CompleteTas(old); err != nil {
+		return StepRecord{}, false, err
+	}
+	c.stats.Commits[p]++
+	c.stats.Steps[p]++
+	c.steps++
+	if remote {
+		c.stats.RemoteCommits[p]++
+		c.stats.RMRs[p]++
+	}
+	c.passageAccount(p, r, !wasLast, owner != p)
+	rec := StepRecord{P: p, Kind: StepTas, Reg: r, Val: old, Remote: remote, SegOwner: owner}
 	c.trace.append(rec)
 	return rec, true, nil
 }

@@ -1,0 +1,126 @@
+package machine
+
+import "sync"
+
+// Recoverable-passage RMR accounting (the Chan–Woelfel cost unit).
+//
+// A *passage* is one traversal of a lock from entry to exit; under the
+// recoverable mutual-exclusion model a passage survives crashes — a
+// process that fails inside the lock and re-enters through its recovery
+// section is still inside the *same* (super-)passage, and every remote
+// memory reference it performs while recovering is charged to it. The
+// lower bound of Chan–Woelfel (Ω(log n / log log n) RMRs) is stated per
+// passage in exactly this sense, which is why the accounting here spans
+// crash-recovery re-entries instead of resetting on crash.
+//
+// The machine is told which two registers delimit a passage (entry and
+// exit probe registers allocated by the check subject, read exactly once
+// per boundary): a memory read of the entry probe opens the process's
+// passage window, a read of the exit probe closes it and publishes the
+// window's counters to a PassageLog. While a window is open, every
+// memory-touching step is classified under *both* the CC rule (cache
+// miss / lost cache-line ownership) and the DSM rule (out-of-segment),
+// independent of the Config's active Accounting mode — the RME
+// experiment wants both numbers from one exploration.
+//
+// Passage counters are cost bookkeeping, not behaviour: they are
+// deliberately excluded from state keys and fingerprints, so explorers
+// that prune on visited states record passage costs only along the
+// spanning tree they actually walk. The logged maxima are therefore a
+// certified lower bound on the true worst case (every logged passage
+// really happens in some execution), which is the correct direction for
+// comparing measured costs against a lower bound.
+
+// PassageProbes names the two probe registers delimiting a passage.
+type PassageProbes struct {
+	Enter, Exit Reg
+}
+
+// PassageStats is the aggregate over every completed passage observed by
+// one PassageLog: how many passages closed, and the worst and summed
+// remote-reference counts under each accounting rule.
+type PassageStats struct {
+	Count  int64
+	MaxCC  int64
+	MaxDSM int64
+	SumCC  int64
+	SumDSM int64
+}
+
+// PassageLog accumulates completed passages across every configuration
+// that shares it — an exploration attaches one log to its root and every
+// clone inherits the pointer, so the log is a watermark over the whole
+// explored tree. It is safe for concurrent use (the parallel BFS closes
+// passages from many workers).
+type PassageLog struct {
+	mu sync.Mutex
+	s  PassageStats
+}
+
+// NewPassageLog returns an empty log.
+func NewPassageLog() *PassageLog { return &PassageLog{} }
+
+// record publishes one completed passage. Nil-safe so that a Config with
+// passages enabled but no log installed degrades to window tracking only.
+func (l *PassageLog) record(cc, dsm int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.s.Count++
+	l.s.SumCC += cc
+	l.s.SumDSM += dsm
+	if cc > l.s.MaxCC {
+		l.s.MaxCC = cc
+	}
+	if dsm > l.s.MaxDSM {
+		l.s.MaxDSM = dsm
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the current aggregate.
+func (l *PassageLog) Snapshot() PassageStats {
+	if l == nil {
+		return PassageStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s
+}
+
+// EnablePassages turns on per-passage accounting for this configuration:
+// reads of pr.Enter/pr.Exit open and close per-process passage windows,
+// and completed windows are recorded into log (which may be shared across
+// clones; may be nil). Call before stepping.
+func (c *Config) EnablePassages(pr PassageProbes, log *PassageLog) {
+	c.passEnabled = true
+	c.passEnter, c.passExit = pr.Enter, pr.Exit
+	c.passLog = log
+	c.passOpen = make([]bool, c.n)
+	c.passCC = make([]int64, c.n)
+	c.passDSM = make([]int64, c.n)
+}
+
+// PassageStats returns the aggregate of the attached log (zero if
+// passage accounting is off).
+func (c *Config) PassageStats() PassageStats { return c.passLog.Snapshot() }
+
+// passageAccount charges one memory-touching step to process p's open
+// passage window, under both accounting rules at once. Steps on the
+// probe registers themselves are instrumentation, not protocol, and are
+// never charged ([passEnter, passExit] is one contiguous probe block).
+func (c *Config) passageAccount(p int, r Reg, remoteCC, remoteDSM bool) {
+	if !c.passEnabled || (r >= c.passEnter && r <= c.passExit) {
+		return
+	}
+	if !c.passOpen[p] {
+		return
+	}
+	if remoteCC {
+		c.passCC[p]++
+	}
+	if remoteDSM {
+		c.passDSM[p]++
+	}
+}

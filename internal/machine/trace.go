@@ -21,6 +21,9 @@ const (
 	StepReturn
 	StepCommit
 	StepCrash
+	// StepTas is an atomic test-and-set: a read and a conditional commit
+	// in one indivisible step (recoverable locks' base object).
+	StepTas
 )
 
 func (k StepKind) String() string {
@@ -37,6 +40,8 @@ func (k StepKind) String() string {
 		return "commit"
 	case StepCrash:
 		return "crash"
+	case StepTas:
+		return "tas"
 	default:
 		return fmt.Sprintf("StepKind(%d)", int(k))
 	}
@@ -84,6 +89,8 @@ func (r StepRecord) String() string {
 		return fmt.Sprintf("p%d commit(R%d,%d) [%s]", r.P, r.Reg, r.Val, locality(r.Remote))
 	case StepCrash:
 		return fmt.Sprintf("p%d crash!", r.P)
+	case StepTas:
+		return fmt.Sprintf("p%d tas(R%d)=%d [%s]", r.P, r.Reg, r.Val, locality(r.Remote))
 	default:
 		return fmt.Sprintf("p%d %v", r.P, r.Kind)
 	}
@@ -181,7 +188,7 @@ func (t *Trace) Format(lay *Layout) string {
 	var b strings.Builder
 	for i, s := range t.Steps {
 		line := s.String()
-		if lay != nil && (s.Kind == StepRead || s.Kind == StepWrite || s.Kind == StepCommit) {
+		if lay != nil && (s.Kind == StepRead || s.Kind == StepWrite || s.Kind == StepCommit || s.Kind == StepTas) {
 			line = strings.Replace(line, fmt.Sprintf("R%d", s.Reg), lay.Describe(s.Reg), 1)
 		}
 		fmt.Fprintf(&b, "%4d  %s\n", i, line)

@@ -83,6 +83,13 @@ type Undo struct {
 	statsPrev    [statsCounters]int64
 	stepsPrev    int64
 	tracePrevLen int
+
+	// Passage window of process p (only its own window can change in one
+	// step). The shared PassageLog is a watermark over the explored tree
+	// and is deliberately not rolled back.
+	passPrevOpen bool
+	passPrevCC   int64
+	passPrevDSM  int64
 }
 
 // StepUndo executes the schedule element e in place, exactly like Step,
@@ -97,6 +104,11 @@ func (c *Config) StepUndo(e Elem) (rec StepRecord, took bool, u Undo, err error)
 		u.stepsPrev = c.steps
 		u.tracePrevLen = c.trace.Len()
 		c.stats.snapshotRow(e.P, &u.statsPrev)
+		if c.passEnabled {
+			u.passPrevOpen = c.passOpen[e.P]
+			u.passPrevCC = c.passCC[e.P]
+			u.passPrevDSM = c.passDSM[e.P]
+		}
 	}
 	rec, took, err = c.step(e, &u)
 	u.valid = took && err == nil
@@ -145,4 +157,9 @@ func (u *Undo) Revert() {
 	c.stats.restoreRow(p, &u.statsPrev)
 	c.steps = u.stepsPrev
 	c.trace.truncate(u.tracePrevLen)
+	if c.passEnabled {
+		c.passOpen[p] = u.passPrevOpen
+		c.passCC[p] = u.passPrevCC
+		c.passDSM[p] = u.passPrevDSM
+	}
 }

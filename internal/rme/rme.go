@@ -1,0 +1,133 @@
+// Package rme assembles the recoverable mutual-exclusion (RME) workload:
+// check subjects for the recoverable lock family under the crash-restart
+// model of Chan & Woelfel, with per-passage RMR accounting under both CC
+// and DSM rules.
+//
+// An RME subject differs from the plain mutex subject in three ways:
+//
+//   - the per-process program declares a recovery section (the lock's
+//     recovery fragment) and a durable-local set, so a crash re-enters
+//     recovery and then resumes the passage loop instead of cold-
+//     restarting the whole program;
+//   - the passage body is bracketed by two extra probe reads (entry and
+//     exit), which the machine's passage accounting uses to delimit
+//     recoverable passages — a passage interrupted by a crash stays open
+//     through recovery, so its RMR count spans the re-entry (the
+//     super-passage cost the Chan–Woelfel Ω(log n / log log n) lower
+//     bound is stated against);
+//   - the critical-section probes sit inside the passage probes, so the
+//     usual exclusivity check ("no two processes poised at the exit-probe
+//     read") is unchanged and now certifies exclusivity across every
+//     interleaving of crashes and recoveries.
+package rme
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tradingfences/internal/check"
+	"tradingfences/internal/lang"
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+)
+
+// Locks is the recoverable lock registry: name → constructor. The
+// rtas-unsafe entry is a deliberate negative control (its recovery frees
+// a lock it may not hold) kept for witness and regression tests.
+var Locks = map[string]locks.Constructor{
+	"rtas":        locks.NewRTAS,
+	"rtas-unsafe": locks.NewRTASUnsafe,
+	"rbakery":     locks.NewRBakery,
+	"rtournament": locks.NewRTournament,
+}
+
+// Names returns the registered recoverable lock names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Locks))
+	for n := range Locks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewSubject instruments the named recoverable lock for n processes and
+// the given number of passages per process, returning a check.Subject
+// with passage probes declared. The probe block is one contiguous
+// unowned array [passEnter, csIn, csOut, passExit] so the machine can
+// exclude instrumentation reads from passage accounting by range.
+func NewSubject(name string, n, passages int) (*check.Subject, error) {
+	ctor, ok := Locks[name]
+	if !ok {
+		return nil, fmt.Errorf("rme: unknown recoverable lock %q (have %v)", name, Names())
+	}
+	if passages < 1 {
+		return nil, fmt.Errorf("rme: passages must be >= 1, got %d", passages)
+	}
+	lay := machine.NewLayout()
+	lk, err := ctor(lay, "lk", n)
+	if err != nil {
+		return nil, fmt.Errorf("rme: %w", err)
+	}
+	probes, err := lay.Alloc("rme.probe", 4, machine.Unowned)
+	if err != nil {
+		return nil, fmt.Errorf("rme: %w", err)
+	}
+	passEnter, csIn, csOut, passExit := probes.At(0), probes.At(1), probes.At(2), probes.At(3)
+
+	passage := make([]lang.Stmt, 0, 16)
+	passage = append(passage, lang.Read("_pin", lang.I(passEnter)))
+	passage = append(passage, lk.Acquire()...)
+	passage = append(passage,
+		lang.Read("_csin", lang.I(csIn)),
+		lang.Read("_csout", lang.I(csOut)),
+	)
+	passage = append(passage, lk.Release()...)
+	passage = append(passage, lang.Read("_pout", lang.I(passExit)))
+
+	body := lang.For("_pass", lang.I(0), lang.I(int64(passages)), passage...)
+	body = append(body, lang.Fence(), lang.Return(lang.I(0)))
+	prog := lang.NewProgram("rme:"+name, body...)
+	if lk.Recoverable() {
+		// Crash-restart re-enters the recovery fragment and then resumes
+		// at the passage loop (Body[1]; Body[0] is the loop counter init).
+		// The loop counter is durable: a crashed process continues its
+		// remaining passages, it does not start a fresh workload.
+		prog.Recovery = lk.Recovery()
+		prog.ResumeAt = 1
+		prog.Durable = append([]string{"_pass"}, lk.Durable()...)
+	}
+
+	progs := make([]*lang.Program, n)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return &check.Subject{
+		Name: "rme:" + name,
+		Build: func(model machine.Model) (*machine.Config, error) {
+			return machine.NewConfig(model, lay, progs)
+		},
+		CSExit:   csOut,
+		Layout:   lay,
+		Passages: &machine.PassageProbes{Enter: passEnter, Exit: passExit},
+	}, nil
+}
+
+// ChanWoelfelBound returns the Chan–Woelfel RME lower bound
+// Ω(log n / log log n) evaluated at n (the raw quotient, no hidden
+// constant), against which the measured worst-case passage RMRs are
+// tabulated in EXPERIMENTS.md. For n <= 2 the quotient is degenerate
+// (log log n <= 0) and the bound is reported as 1 — any passage that
+// contends performs at least one remote reference.
+func ChanWoelfelBound(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	l := math.Log2(float64(n))
+	ll := math.Log2(l)
+	if ll <= 0 {
+		return 1
+	}
+	return l / ll
+}

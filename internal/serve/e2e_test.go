@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -47,6 +48,49 @@ func TestEndToEndFacadeRunner(t *testing.T) {
 	}
 	if got := srv.Metrics().StatesExplored.Load(); got != states {
 		t.Fatalf("cache hits explored states: %d -> %d", states, got)
+	}
+	srv.Drain()
+}
+
+// End to end for the rme op: a safe recoverable lock proves under a crash
+// budget and reports passage watermarks; the unsafe negative control is
+// refuted with a crash witness. Both are authoritative, so duplicates hit
+// the cache.
+func TestEndToEndRME(t *testing.T) {
+	cfg := testConfig(t, t.TempDir(), FacadeRunner{})
+	cfg.Pool = 2
+	cfg.DrainGrace = 5 * time.Second
+	srv, hs := startServer(t, cfg)
+
+	const proving = `{"op":"rme","lock":"rtas","n":2,"model":"sc","max_crashes":1}`
+	_, pj, _ := submitJSON(t, hs.URL, proving)
+	proved := waitStatus(t, hs.URL, pj.JobID, StatusDone)
+	co := proved.Result.Check
+	if co == nil || !co.Proved || !proved.Result.Authoritative {
+		t.Fatalf("rtas not proved under crashes: %+v", proved.Result)
+	}
+	if co.PassageCount == 0 || co.PassageMaxCC < 1 || co.PassageMaxDSM < 1 {
+		t.Fatalf("rme verdict without passage watermarks: %+v", co)
+	}
+
+	const violating = `{"op":"rme","lock":"rtas-unsafe","n":2,"model":"sc","max_crashes":1}`
+	_, vj, _ := submitJSON(t, hs.URL, violating)
+	violated := waitStatus(t, hs.URL, vj.JobID, StatusDone)
+	vo := violated.Result.Check
+	if vo == nil || !vo.Violated || !violated.Result.Authoritative {
+		t.Fatalf("rtas-unsafe not refuted: %+v", violated.Result)
+	}
+	if !strings.Contains(vo.WitnessSchedule, "!") {
+		t.Fatalf("rme violation witness has no crash element: %q", vo.WitnessSchedule)
+	}
+
+	states := srv.Metrics().StatesExplored.Load()
+	code, sr, _ := submitJSON(t, hs.URL, proving)
+	if code != 200 || !sr.Cached || sr.Result == nil {
+		t.Fatalf("rme duplicate not served from cache: code=%d resp=%+v", code, sr)
+	}
+	if got := srv.Metrics().StatesExplored.Load(); got != states {
+		t.Fatalf("rme cache hit explored states: %d -> %d", states, got)
 	}
 	srv.Drain()
 }

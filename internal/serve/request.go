@@ -17,12 +17,20 @@ import (
 // way a StateKey codec bump invalidates checkpoints: old outbox records
 // simply stop matching any key today's daemon can mint, so they are
 // re-run fresh instead of being served stale.
-const IdentitySchemaVersion = 1
+//
+// v2: added the "rme" op (recoverable mutual exclusion). The op field was
+// always part of the identity, but v1 records predate passage accounting
+// in check results, so the whole generation is invalidated.
+const IdentitySchemaVersion = 2
 
 // Request operations.
 const (
 	OpCheck = "check"
 	OpSynth = "synth"
+	// OpRME checks recoverable mutual exclusion: a recoverable lock
+	// (Request.Lock names one of tradingfences.RMELocks) under an
+	// adversarial crash budget, reporting per-passage RMR watermarks.
+	OpRME = "rme"
 )
 
 // Priority classes, in scheduling order. Priority is a run parameter, not
@@ -112,13 +120,24 @@ type Request struct {
 // bytes. It returns the parsed spec and model for the runner.
 func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel, error) {
 	switch r.Op {
-	case OpCheck, OpSynth:
+	case OpCheck, OpSynth, OpRME:
 	default:
-		return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: unknown op %q (want %q or %q)", r.Op, OpCheck, OpSynth)
+		return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: unknown op %q (want %q, %q or %q)", r.Op, OpCheck, OpSynth, OpRME)
 	}
-	spec, err := tradingfences.ParseLockSpec(r.Lock)
-	if err != nil {
-		return tradingfences.LockSpec{}, 0, err
+	var spec tradingfences.LockSpec
+	if r.Op == OpRME {
+		// Recoverable locks live in their own registry, not the LockSpec
+		// namespace; the zero spec is returned and the runner dispatches on
+		// the op. The bare name is already canonical.
+		if !tradingfences.IsRMELock(r.Lock) {
+			return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: unknown recoverable lock %q (want one of %v)", r.Lock, tradingfences.RMELocks())
+		}
+	} else {
+		var err error
+		spec, err = tradingfences.ParseLockSpec(r.Lock)
+		if err != nil {
+			return tradingfences.LockSpec{}, 0, err
+		}
 	}
 	model, err := tradingfences.ParseMemoryModel(r.Model)
 	if err != nil {
@@ -142,7 +161,7 @@ func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel
 	}
 	r.Priority = PriorityName(prio)
 	switch r.Op {
-	case OpCheck:
+	case OpCheck, OpRME:
 		if r.Oracle != "" {
 			return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: oracle is a synth parameter (op %q)", r.Op)
 		}
@@ -158,7 +177,9 @@ func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel
 			return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: unknown oracle %q (want exhaustive or supervised)", r.Oracle)
 		}
 	}
-	r.Lock = spec.String()
+	if r.Op != OpRME {
+		r.Lock = spec.String()
+	}
 	r.Model = model.String()
 	return spec, model, nil
 }

@@ -103,3 +103,34 @@ func TestNormalizeRejects(t *testing.T) {
 		}
 	}
 }
+
+// The rme op: recoverable locks normalize against their own registry, get
+// their own identity region, and reject parameters that do not apply.
+func TestNormalizeRME(t *testing.T) {
+	r := normalized(t, Request{Op: OpRME, Lock: "rtournament", N: 2, Model: "sc", MaxCrashes: 2})
+	if r.Lock != "rtournament" || r.Passages != 1 {
+		t.Fatalf("rme normalization drifted: %+v", r)
+	}
+	// An rme question is never the same question as a plain check, even if
+	// a lock name ever appeared in both registries.
+	chk := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 2, Model: "sc"})
+	rme := normalized(t, Request{Op: OpRME, Lock: "rbakery", N: 2, Model: "sc"})
+	if chk.Key() == rme.Key() {
+		t.Fatal("rme and check identities collide")
+	}
+	if a, b := rme.Key(), normalized(t, Request{Op: OpRME, Lock: "rbakery", N: 2, Model: "sc", MaxCrashes: 1}).Key(); a == b {
+		t.Fatal("crash budget does not move the rme key")
+	}
+
+	bad := map[string]Request{
+		"plain lock on rme": {Op: OpRME, Lock: "bakery", N: 2, Model: "sc"},
+		"unknown rme lock":  {Op: OpRME, Lock: "rmcs", N: 2, Model: "sc"},
+		"oracle on rme":     {Op: OpRME, Lock: "rtas", N: 2, Model: "sc", Oracle: "exhaustive"},
+		"neg crashes":       {Op: OpRME, Lock: "rtas", N: 2, Model: "sc", MaxCrashes: -1},
+	}
+	for name, r := range bad {
+		if _, _, err := r.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, r)
+		}
+	}
+}

@@ -20,6 +20,13 @@ type CheckOutcome struct {
 	ExhaustiveStates int    `json:"exhaustive_states"`
 	RandomSteps      int    `json:"random_steps,omitempty"`
 	WitnessSchedule  string `json:"witness_schedule,omitempty"`
+	// Passage accounting (rme jobs only): passages closed during the
+	// exploration and the worst per-passage RMR count under the CC and DSM
+	// rules. Watermarks over the explored spanning tree — certified lower
+	// bounds on the worst case.
+	PassageCount  int64 `json:"passage_count,omitempty"`
+	PassageMaxCC  int64 `json:"passage_max_cc,omitempty"`
+	PassageMaxDSM int64 `json:"passage_max_dsm,omitempty"`
 }
 
 // SynthOutcome is the serialized frontier of a synth job.
@@ -80,10 +87,57 @@ func (FacadeRunner) Run(ctx context.Context, job View, onAttempt func(supervise.
 	if err != nil {
 		return nil, err
 	}
-	if req.Op == OpSynth {
+	switch req.Op {
+	case OpSynth:
 		return runSynth(ctx, spec, model, req)
+	case OpRME:
+		return runRME(ctx, model, req)
 	}
 	return runCheck(ctx, spec, model, req, job, onAttempt)
+}
+
+// runRME checks recoverable mutual exclusion through the facade. Unlike
+// plain checks, rme jobs run unsupervised and without a checkpoint: the
+// passage watermarks are path-dependent and deliberately excluded from the
+// checkpoint schema, so a resumed exploration could not report them
+// honestly. A job replayed after a daemon crash simply re-runs from
+// scratch — the verdict is deterministic, so idempotency is unaffected.
+func runRME(ctx context.Context, model tradingfences.MemoryModel, req Request) (*Result, error) {
+	opts := tradingfences.CheckOptions{
+		Budget:   req.Budget(),
+		Seed:     req.Seed,
+		Symmetry: req.Symmetry,
+		Workers:  req.Workers,
+	}
+	if req.MaxCrashes > 0 {
+		opts.Faults = &tradingfences.FaultPlan{MaxCrashes: req.MaxCrashes}
+	}
+	v, err := tradingfences.CheckRMECtx(ctx, req.Lock, req.N, req.Passages, model, opts)
+	if err != nil && !tradingfences.IsLimit(err) {
+		return nil, err
+	}
+	if v == nil {
+		return nil, err
+	}
+	out := &CheckOutcome{
+		Violated:         v.Violated,
+		Proved:           v.Proved,
+		Mode:             v.Mode,
+		States:           v.States,
+		SymmetryApplied:  v.SymmetryApplied,
+		ExhaustiveStates: v.Coverage.ExhaustiveStates,
+		RandomSteps:      v.Coverage.RandomSteps,
+		WitnessSchedule:  v.WitnessSchedule,
+	}
+	if ps := v.Passages; ps != nil {
+		out.PassageCount, out.PassageMaxCC, out.PassageMaxDSM = ps.Count, ps.MaxCC, ps.MaxDSM
+	}
+	return &Result{
+		Op:            OpRME,
+		Check:         out,
+		States:        v.States,
+		Authoritative: v.Proved || v.Violated,
+	}, err
 }
 
 func runCheck(ctx context.Context, spec tradingfences.LockSpec, model tradingfences.MemoryModel,

@@ -60,6 +60,13 @@ type Witness struct {
 	// InCS lists the processes co-resident in the critical section at the
 	// violation (mutex witnesses).
 	InCS []int `json:"in_cs,omitempty"`
+	// PassageCC and PassageDSM record the worst-case per-passage RMR
+	// counts (cache-coherent and distributed-shared-memory rule) observed
+	// while replaying this witness, for subjects instrumented with passage
+	// probes (RME workloads). Informational: replay certification is by
+	// the trace fingerprint, not these counters.
+	PassageCC  int64 `json:"passage_cc,omitempty"`
+	PassageDSM int64 `json:"passage_dsm,omitempty"`
 }
 
 // Validate checks structural well-formedness: version, kind, subject

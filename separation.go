@@ -69,6 +69,14 @@ type MutexVerdict struct {
 	// when no violation was found). Serialize with EncodeWitness, replay
 	// with ReplayWitness.
 	Artifact *Witness
+	// Passages reports the per-passage RMR watermarks observed during the
+	// exploration, for subjects instrumented with passage probes (the RME
+	// workload; nil for plain mutex subjects and for resumed parallel
+	// runs). Maxima are certified lower bounds on the worst case: every
+	// recorded passage occurred on a real explored execution, but passage
+	// counters are excluded from state keys, so revisits along cheaper
+	// prefixes are not re-counted.
+	Passages *PassageStats
 }
 
 // newMutexSubject builds the instrumented workload for a lock spec.
@@ -139,6 +147,12 @@ func mutexArtifact(subject *check.Subject, lockName string, n, passages int, mod
 		TraceFP:  tr.Fingerprint(),
 		InCS:     inCS,
 	}
+	if subject.Passages != nil {
+		// The replay attaches a fresh passage log, so these watermarks
+		// cover exactly this witness execution.
+		st := c.PassageStats()
+		w.PassageCC, w.PassageDSM = st.MaxCC, st.MaxDSM
+	}
 	return w, tr.Format(subject.Layout), nil
 }
 
@@ -168,7 +182,7 @@ func attachWitness(ctx context.Context, subject *check.Subject, lockName string,
 
 // checkOpts lowers the facade options to the internal checker's, wiring
 // the checkpoint policy (and its subject metadata) when a path is set.
-func (o CheckOptions) checkOpts(spec LockSpec, n, passages int) check.Opts {
+func (o CheckOptions) checkOpts(kind, lockName string, n, passages int) check.Opts {
 	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: o.Workers}
 	if o.CheckpointPath != "" {
 		if chk.Workers <= 0 {
@@ -177,7 +191,7 @@ func (o CheckOptions) checkOpts(spec LockSpec, n, passages int) check.Opts {
 		chk.Checkpoint = &check.CheckpointPolicy{
 			Path:        o.CheckpointPath,
 			EveryLevels: o.CheckpointEvery,
-			Meta:        check.CheckpointMeta{Kind: "mutex", Lock: spec.String(), N: n, Passages: passages},
+			Meta:        check.CheckpointMeta{Kind: kind, Lock: lockName, N: n, Passages: passages},
 		}
 	}
 	return chk
@@ -205,7 +219,20 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 	if err != nil {
 		return nil, err
 	}
-	chkOpts := opts.checkOpts(spec, n, passages)
+	v, err = checkSubject(ctx, subject, spec.String(), n, passages, model, opts, opts.checkOpts("mutex", spec.String(), n, passages))
+	if v != nil {
+		v.Lock = spec
+	}
+	return v, err
+}
+
+// checkSubject is the subject-generic core of CheckMutexCtx, shared with
+// the recoverable (RME) workload: exhaustive (or parallel) exploration,
+// graceful degradation to randomized search on a tripped state budget,
+// and witness minimization + artifact packaging on violation. The
+// returned verdict's Lock spec is left zero; callers that check a
+// LockSpec-named subject fill it in.
+func checkSubject(ctx context.Context, subject *check.Subject, lockName string, n, passages int, model MemoryModel, opts CheckOptions, chkOpts check.Opts) (*MutexVerdict, error) {
 	var res check.Result
 	var xerr error
 	if opts.parallel() {
@@ -213,8 +240,7 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 	} else {
 		res, xerr = subject.Exhaustive(ctx, model.internal(), chkOpts)
 	}
-	v = &MutexVerdict{
-		Lock:            spec,
+	v := &MutexVerdict{
 		Model:           model,
 		Mode:            ModeExhaustive,
 		Violated:        res.Violation,
@@ -222,6 +248,7 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 		States:          res.States,
 		SymmetryApplied: res.SymmetryApplied,
 		Coverage:        Coverage{ExhaustiveStates: res.States},
+		Passages:        res.Passages,
 	}
 	wsched := res.Witness
 	if xerr != nil {
@@ -235,6 +262,9 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 			v.Mode = ModeDegraded
 			v.Proved = false
 			v.Coverage.RandomSteps = rres.States
+			if rres.Passages != nil {
+				v.Passages = rres.Passages
+			}
 			if rres.Violation {
 				v.Violated = true
 				wsched = rres.Witness
@@ -249,7 +279,7 @@ func CheckMutexCtx(ctx context.Context, spec LockSpec, n, passages int, model Me
 			return nil, xerr
 		}
 	}
-	if aerr := attachWitness(ctx, subject, spec.String(), n, passages, model, v, wsched, opts.Faults); aerr != nil {
+	if aerr := attachWitness(ctx, subject, lockName, n, passages, model, v, wsched, opts.Faults); aerr != nil {
 		return v, aerr
 	}
 	return v, nil

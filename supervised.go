@@ -169,7 +169,7 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 	// were minted with (the resume re-certifies this).
 	opts.Symmetry = ck.Symmetry
 	opts.CheckpointPath = path
-	res, xerr := subject.ResumeExhaustiveParallel(ctx, model.internal(), ck, opts.checkOpts(spec, n, passages))
+	res, xerr := subject.ResumeExhaustiveParallel(ctx, model.internal(), ck, opts.checkOpts("mutex", spec.String(), n, passages))
 	v = &MutexVerdict{
 		Lock:            spec,
 		Model:           model,

@@ -1,6 +1,7 @@
 package tradingfences
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -232,6 +233,71 @@ func TestGoldenWitnessReplays(t *testing.T) {
 	}
 	if !strings.Contains(trace, "read") {
 		t.Fatalf("golden trace looks wrong:\n%s", trace)
+	}
+}
+
+// TestGoldenRMEWitnessReplays replays the committed recoverable-mutex
+// violation: rtas-unsafe (the negative control whose recovery section
+// clears the lock word unconditionally) under SC with a one-crash budget.
+// The golden schedule must contain a crash element — the violation only
+// exists through a recovery re-entry — and must survive the full pipeline:
+// decode, bit-identical re-encode, certified replay, minimize, and replay
+// of the minimized artifact. Regenerate with UPDATE_GOLDEN_WITNESS=1 after
+// an intentional machine or recovery-semantics change.
+func TestGoldenRMEWitnessReplays(t *testing.T) {
+	path := filepath.Join("testdata", "rme-rtas-unsafe_sc.witness.json")
+	if os.Getenv("UPDATE_GOLDEN_WITNESS") != "" {
+		v, err := CheckRME("rtas-unsafe", 2, 1, SC, 1, 3_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Violated || v.Artifact == nil {
+			t.Fatal("rtas-unsafe did not violate under a one-crash budget")
+		}
+		data, err := EncodeWitness(v.Artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden rme witness missing (regenerate with UPDATE_GOLDEN_WITNESS=1): %v", err)
+	}
+	w, err := DecodeWitness(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Lock != "rme:rtas-unsafe" {
+		t.Fatalf("golden rme witness records lock %q", w.Lock)
+	}
+	if !strings.Contains(w.Schedule, "!") {
+		t.Fatalf("golden rme schedule has no crash element: %s", w.Schedule)
+	}
+	if re, err := EncodeWitness(w); err != nil || !bytes.Equal(re, data) {
+		t.Fatalf("golden rme witness does not re-encode bit-identically (err %v)", err)
+	}
+	if _, err := ReplayWitness(w); err != nil {
+		t.Fatalf("golden rme witness no longer replays bit-for-bit: %v", err)
+	}
+	mw, err := MinimizeWitness(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mw.Schedule, "!") {
+		t.Fatalf("minimization dropped the crash the violation needs: %s", mw.Schedule)
+	}
+	if _, err := ReplayWitness(mw); err != nil {
+		t.Fatalf("minimized rme witness does not replay: %v", err)
+	}
+	if me, err := EncodeWitness(mw); err != nil {
+		t.Fatal(err)
+	} else if md, err := DecodeWitness(me); err != nil {
+		t.Fatal(err)
+	} else if me2, err := EncodeWitness(md); err != nil || !bytes.Equal(me, me2) {
+		t.Fatalf("minimized rme witness does not round-trip bit-identically (err %v)", err)
 	}
 }
 

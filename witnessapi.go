@@ -79,6 +79,9 @@ func ParseMemoryModel(s string) (MemoryModel, error) {
 // "gt2") or a synthesized placement "synth:<base>:<sites>" produced by
 // SynthesizeFences, where <sites> is a dash-joined site list or "none".
 func subjectForLockName(name string, n, passages int) (*check.Subject, error) {
+	if strings.HasPrefix(name, "rme:") {
+		return newRMESubject(name, n, passages)
+	}
 	rest, ok := strings.CutPrefix(name, "synth:")
 	if !ok {
 		spec, err := ParseLockSpec(name)
