@@ -13,10 +13,9 @@ import (
 // fixed amount per visited state — the 16-byte binary StateKey plus a
 // constant per-entry map overhead — so the estimate is exact and
 // independent of lock size, process count and memory model. The visited
-// set is the dominant retained memory of an exploration: the sequential
-// explorer walks a single configuration with an undo trail, and the
-// parallel explorer recycles frontier configurations through a pool, so
-// neither accumulates per-state configuration copies. (Analyses that
+// set is the dominant retained memory of an exploration: both explorers
+// walk one configuration per goroutine under an undo trail, so neither
+// accumulates per-state configuration copies. (Analyses that
 // retain whole configurations, like liveness checking, charge a larger
 // per-node constant instead.)
 type Budget = run.Budget
@@ -74,26 +73,30 @@ type CheckOptions struct {
 	// rejects the flag: its precedence monitor distinguishes processes, so
 	// the reduction would be unsound there.
 	Symmetry bool
-	// Workers > 0 selects the parallel level-synchronous explorer with
-	// that many expansion goroutines. Verdicts, violation schedules and
-	// visited-state counts are bit-identical for every worker count; 0
-	// keeps the sequential depth-first explorer. Workers and the
-	// checkpoint fields apply to mutual-exclusion checking; CheckFCFSCtx
-	// rejects them rather than silently running sequentially.
+	// Workers > 0 selects the work-stealing parallel explorer with that
+	// many goroutines; 0 keeps the sequential depth-first explorer.
+	// Workers=1 is bit-identical to sequential (verdict, witness schedule,
+	// state count, budget-trip point); at higher counts verdicts and
+	// complete-run state counts stay exact, but which witness is found
+	// first and where a budget trips become scheduling-dependent. Workers
+	// and the checkpoint fields apply to mutual-exclusion checking;
+	// CheckFCFSCtx rejects them rather than silently running sequentially.
 	Workers int
 	// CheckpointPath, when non-empty, makes the exploration write periodic
 	// atomic snapshots there (and implies the parallel explorer with one
-	// worker if Workers is 0). A later ResumeMutexCheckCtx continues from
-	// the snapshot.
+	// worker if Workers is 0 — single-threaded, so snapshot contents and
+	// budget-trip points stay deterministic). A later ResumeMutexCheckCtx
+	// continues from the snapshot.
 	CheckpointPath string
-	// CheckpointEvery is the snapshot cadence in BFS levels (0 = every
-	// level).
+	// CheckpointEvery is the snapshot cadence floor in freshly interned
+	// states (0 = the 1024 default; the interval grows geometrically with
+	// the state space — see the internal CheckpointPolicy).
 	CheckpointEvery int
 }
 
-// parallel reports whether the options select the level-synchronous
-// explorer (explicitly via Workers, or implicitly by asking for
-// checkpoints, which only that explorer writes).
+// parallel reports whether the options select the work-stealing explorer
+// (explicitly via Workers, or implicitly by asking for checkpoints, which
+// only that explorer writes).
 func (o CheckOptions) parallel() bool { return o.Workers > 0 || o.CheckpointPath != "" }
 
 const (

@@ -39,7 +39,7 @@ func realMain() int {
 	model := flag.String("model", "pso", "memory model for -check: sc, tso, pso")
 	crashes := flag.Int("crashes", 0, "adversarial crash budget for -check (recoverable locks recover, plain locks cold-restart)")
 	states := flag.Int("states", 0, "state budget for -check (0 = unlimited)")
-	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer)")
+	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer; >1 selects the work-stealing parallel engine, 1 is its bit-identical single-threaded mode)")
 	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction for -check (no-op for locks without a symmetry declaration)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")

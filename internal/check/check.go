@@ -142,15 +142,16 @@ type Result struct {
 	// state space within its bounds; a Complete result without Violation
 	// is a proof of mutual exclusion for the subject's bounded workload.
 	Complete bool
-	// ResumedLevel is the BFS depth a resumed parallel exploration
-	// continued from (0 for a fresh run; see ResumeExhaustiveParallel).
+	// ResumedLevel is the snapshot generation a resumed parallel
+	// exploration continued from (0 for a fresh run; see
+	// ResumeExhaustiveParallel and Checkpoint.Level).
 	ResumedLevel int
 	// VisitedReused reports whether a resumed exploration could reuse the
 	// checkpoint's visited-state set. Binary state keys are stable across
 	// OS processes, so a certified resume normally reuses the shards;
 	// when the snapshot's root key does not reproduce (defense in depth),
-	// the shards are dropped and coverage is re-derived from the frontier
-	// — sound, but it may revisit states behind the frontier (States then
+	// the shards are dropped and coverage is re-derived from the pending
+	// entries — sound, but it may revisit states behind them (States then
 	// overcounts the clean run).
 	VisitedReused bool
 	// SymmetryApplied reports whether a non-trivial process-symmetry
@@ -163,9 +164,14 @@ type Result struct {
 	// parallel runs — passage watermarks are not part of the checkpoint
 	// schema). Because passage counters are excluded from state keys, the
 	// maxima are a certified lower bound over the explored spanning tree,
-	// and sequential DFS and parallel BFS may report different (equally
-	// valid) watermarks.
+	// and different explorers (or worker counts) may report different
+	// (equally valid) watermarks.
 	Passages *machine.PassageStats
+	// Engine reports the work-stealing parallel engine's behavior
+	// (steals, parks, batched lookups, snapshots written) when the check
+	// ran through ExhaustiveParallel; nil for the sequential and random
+	// checkers.
+	Engine *EngineStats
 }
 
 // attachPassages enables passage accounting on a freshly built root when

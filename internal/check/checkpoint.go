@@ -19,24 +19,33 @@ import (
 // from zero). Version 2 added the crash budget (MaxCrashes) to the
 // certified identity. Version 3 switched the visited shards from
 // process-local string fingerprints to fixed-width binary StateKeys and
-// certifies the codec version and symmetry mode the keys were minted
-// under: version-2 snapshots carry keys no current explorer can
-// reproduce, so they are rejected instead of silently dropping the
-// visited set.
-const CheckpointVersion = 3
+// certifies the codec version and symmetry mode. Version 4 certifies the
+// exploration engine: snapshots are taken by the work-stealing DFS
+// explorer at quiescent barriers (and at budget trips), the frontier
+// holds pending *edges* instead of unexpanded BFS nodes, worker DFS
+// stacks are serialized alongside it, and Level is reinterpreted as the
+// snapshot generation (a save counter, >= 1). Level-synchronous v3
+// snapshots carry a frontier no current explorer can consume, so they are
+// rejected instead of silently misread.
+const CheckpointVersion = 4
 
-// checkpointShards is the number of visited-set shards: the visited
-// fingerprints are partitioned by key hash both in memory (so expansion
-// workers and the merge touch disjoint maps) and in the serialized
-// snapshot (so shards stream independently). The count is fixed —
-// independent of Opts.Workers — which keeps snapshots and state counts
-// identical across worker-pool sizes.
-const checkpointShards = 16
+// EngineWSDFS names the work-stealing undo-log DFS engine inside
+// checkpoint snapshots. It is the only engine the current decoder
+// certifies; snapshots naming any other engine fail closed with
+// ErrCheckpointDrift.
+const EngineWSDFS = "ws-dfs"
+
+// defaultCheckpointStates is the snapshot cadence floor when
+// CheckpointPolicy.EveryStates is unset: the explorer requests a snapshot
+// barrier after this many freshly interned states, or a quarter of the
+// visited-set size, whichever is larger (geometric spacing keeps the
+// total serialization cost linear in the final state count).
+const defaultCheckpointStates = 1024
 
 // ErrCheckpointDrift is the sentinel matched by resume failures caused by
 // a snapshot that does not certify against the subject being resumed: the
-// lock program, process count, layout or memory model changed since the
-// snapshot was taken.
+// lock program, process count, layout, memory model, key codec or
+// exploration engine changed since the snapshot was taken.
 var ErrCheckpointDrift = errors.New("check: checkpoint does not match subject")
 
 // CheckpointMeta identifies the checked subject well enough for a fresh
@@ -60,37 +69,66 @@ type CheckpointPolicy struct {
 	// previous snapshot (tmp+rename), so the file always holds one
 	// complete, certified snapshot.
 	Path string
-	// EveryLevels is the number of BFS levels between snapshots
-	// (default 1: snapshot at every level boundary).
-	EveryLevels int
+	// EveryStates is the snapshot cadence floor in freshly interned
+	// states (default 1024). The effective interval between barriers is
+	// max(EveryStates, visitedSize/4): early snapshots come quickly, and
+	// the interval then grows geometrically with the state space so the
+	// cumulative cost of serializing the visited set stays linear.
+	EveryStates int
 	// Meta is copied into every snapshot for subject reconstruction.
 	Meta CheckpointMeta
 }
 
-func (p *CheckpointPolicy) everyLevels() int {
-	if p.EveryLevels <= 0 {
-		return 1
+func (p *CheckpointPolicy) everyStates() int {
+	if p.EveryStates <= 0 {
+		return defaultCheckpointStates
 	}
-	return p.EveryLevels
+	return p.EveryStates
 }
 
-// CheckpointNode is one frontier configuration, stored as the schedule
-// that reaches it from the initial configuration (configurations are
-// reconstructed by replay, never serialized).
+// CheckpointNode is one pending frontier edge, stored as the schedule
+// that reaches its (not yet interned) target from the initial
+// configuration. Configurations are reconstructed by replay, never
+// serialized; Crashes is the crash budget spent along the whole schedule.
 type CheckpointNode struct {
 	Schedule string `json:"schedule"`
 	Crashes  int    `json:"crashes,omitempty"`
 }
 
-// Checkpoint is a versioned snapshot of a level-synchronous exhaustive
-// exploration: the BFS frontier (as root schedules), the visited-set
-// shards, and the meter usage charged so far. A CRC over the canonical
-// encoding detects corrupted snapshots; the subject identity hash (the
-// same machine.IdentityFingerprint witness artifacts use) detects drift
-// of the subject between save and resume.
+// CheckpointFrame is one pending DFS stack frame: a node at Depth along
+// the owning stack's schedule, with the successor elements not yet
+// explored (a schedule-element list) and the crash budget spent at the
+// node.
+type CheckpointFrame struct {
+	Depth   int    `json:"depth"`
+	Crashes int    `json:"crashes,omitempty"`
+	Elems   string `json:"elems"`
+}
+
+// CheckpointStack is one worker's serialized DFS stack: the schedule from
+// the root to its deepest pending frame, plus every frame that still has
+// unexplored successor elements (frames in between that were exhausted
+// are dropped, so Depth may skip values). Resume hands a whole stack to
+// one worker, which replays the schedule once and re-enters the DFS —
+// deep stacks therefore cost one replay, not one per pending edge.
+type CheckpointStack struct {
+	Schedule string            `json:"schedule"`
+	Frames   []CheckpointFrame `json:"frames"`
+}
+
+// Checkpoint is a versioned snapshot of a work-stealing exhaustive
+// exploration: the stealable frontier edges, the paused workers' DFS
+// stacks, the visited-set shards, and the meter usage charged so far. A
+// CRC over the canonical encoding detects corrupted snapshots; the
+// subject identity hash (the same machine.IdentityFingerprint witness
+// artifacts use) detects drift of the subject between save and resume.
 type Checkpoint struct {
-	Version int            `json:"version"`
-	Meta    CheckpointMeta `json:"meta"`
+	Version int `json:"version"`
+	// Engine names the exploration engine the snapshot was taken by
+	// (EngineWSDFS). Frontier and stack entries are only meaningful to
+	// the engine that wrote them; a mismatch is ErrCheckpointDrift.
+	Engine string         `json:"engine"`
+	Meta   CheckpointMeta `json:"meta"`
 	// Model names the memory model ("SC", "TSO", "PSO").
 	Model string `json:"model"`
 	// Identity is the build-stable identity hash of the subject's fresh
@@ -120,10 +158,22 @@ type Checkpoint struct {
 	// a frontier generated under one budget is not a sound starting point
 	// for another — resume rejects a mismatch with ErrCheckpointDrift.
 	MaxCrashes int `json:"max_crashes"`
-	// Level is the BFS depth of the frontier.
-	Level    int              `json:"level"`
+	// Level is the snapshot generation: 1 for the first save of a run and
+	// incremented on every later save (the JSON name predates the
+	// work-stealing engine, when it was the BFS frontier depth; keeping
+	// it makes v4 files greppable by the same tooling). A resumed run
+	// continues the donor's numbering, so generations are monotone across
+	// an interrupted-and-resumed chain.
+	Level int `json:"level"`
+	// Frontier holds the stealable pending edges that were still queued
+	// (published by donating workers or re-queued at shutdown).
 	Frontier []CheckpointNode `json:"frontier"`
-	// Shards holds the visited fingerprints partitioned by key hash.
+	// Stacks holds the paused workers' serialized DFS stacks. Frontier
+	// and Stacks together cover every unexplored successor; at least one
+	// of them is non-empty (completed runs are not snapshotted).
+	Stacks []CheckpointStack `json:"stacks,omitempty"`
+	// Shards holds the visited fingerprints partitioned by key hash
+	// (machine.VisitedShards shards, independent of the worker count).
 	Shards [][]string `json:"shards"`
 	// Steps, States and Mem are the meter charges at snapshot time;
 	// Resume preloads them so budgets span the whole logical run.
@@ -144,6 +194,9 @@ func (ck *Checkpoint) validate() error {
 	if ck.Version != CheckpointVersion {
 		return fmt.Errorf("%w: unsupported snapshot version %d (have %d)", ErrCheckpointDrift, ck.Version, CheckpointVersion)
 	}
+	if ck.Engine != EngineWSDFS {
+		return fmt.Errorf("%w: snapshot taken by engine %q (have %q)", ErrCheckpointDrift, ck.Engine, EngineWSDFS)
+	}
 	if ck.Codec != machine.StateKeyCodecVersion {
 		return fmt.Errorf("%w: snapshot keys use codec %d (have %d)", ErrCheckpointDrift, ck.Codec, machine.StateKeyCodecVersion)
 	}
@@ -163,21 +216,58 @@ func (ck *Checkpoint) validate() error {
 	if ck.MaxCrashes < 0 {
 		return fmt.Errorf("checkpoint: negative crash budget %d", ck.MaxCrashes)
 	}
-	if ck.Level < 0 {
-		return fmt.Errorf("checkpoint: negative level %d", ck.Level)
+	if ck.Level < 1 {
+		return fmt.Errorf("checkpoint: generation %d, want >= 1", ck.Level)
 	}
-	if len(ck.Frontier) == 0 {
-		return errors.New("checkpoint: empty frontier (completed runs are not snapshotted)")
+	if len(ck.Frontier) == 0 && len(ck.Stacks) == 0 {
+		return errors.New("checkpoint: no pending work (completed runs are not snapshotted)")
 	}
 	for i, nd := range ck.Frontier {
-		if _, err := machine.ParseSchedule(nd.Schedule); err != nil {
+		sched, err := machine.ParseSchedule(nd.Schedule)
+		if err != nil {
 			return fmt.Errorf("checkpoint: frontier[%d]: %w", i, err)
+		}
+		if len(sched) == 0 {
+			return fmt.Errorf("checkpoint: frontier[%d]: empty edge schedule", i)
 		}
 		if nd.Crashes < 0 {
 			return fmt.Errorf("checkpoint: frontier[%d]: negative crash count", i)
 		}
 		if nd.Crashes > ck.MaxCrashes {
 			return fmt.Errorf("checkpoint: frontier[%d]: %d crashes spent exceeds budget %d", i, nd.Crashes, ck.MaxCrashes)
+		}
+	}
+	for i, st := range ck.Stacks {
+		sched, err := machine.ParseSchedule(st.Schedule)
+		if err != nil {
+			return fmt.Errorf("checkpoint: stacks[%d]: %w", i, err)
+		}
+		if len(st.Frames) == 0 {
+			return fmt.Errorf("checkpoint: stacks[%d]: no frames", i)
+		}
+		prev := -1
+		for j, fr := range st.Frames {
+			if fr.Depth <= prev {
+				return fmt.Errorf("checkpoint: stacks[%d]: frame depths not strictly increasing at [%d]", i, j)
+			}
+			prev = fr.Depth
+			if fr.Depth > len(sched) {
+				return fmt.Errorf("checkpoint: stacks[%d][%d]: depth %d beyond schedule length %d", i, j, fr.Depth, len(sched))
+			}
+			elems, err := machine.ParseSchedule(fr.Elems)
+			if err != nil {
+				return fmt.Errorf("checkpoint: stacks[%d][%d]: %w", i, j, err)
+			}
+			if len(elems) == 0 {
+				return fmt.Errorf("checkpoint: stacks[%d][%d]: no pending elements", i, j)
+			}
+			if fr.Crashes < 0 || fr.Crashes > ck.MaxCrashes {
+				return fmt.Errorf("checkpoint: stacks[%d][%d]: crash count %d outside budget %d", i, j, fr.Crashes, ck.MaxCrashes)
+			}
+		}
+		if st.Frames[len(st.Frames)-1].Depth != len(sched) {
+			return fmt.Errorf("checkpoint: stacks[%d]: schedule not truncated at deepest frame (%d elems, deepest frame at %d)",
+				i, len(sched), st.Frames[len(st.Frames)-1].Depth)
 		}
 	}
 	for i, shard := range ck.Shards {
@@ -268,16 +358,15 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	return DecodeCheckpoint(data)
 }
 
-// buildCheckpoint assembles a snapshot of the exploration at a level
-// boundary.
+// buildCheckpoint assembles a snapshot from the engine's quiesced state:
+// the queued stealable edges, the paused workers' serialized stacks, the
+// visited shards and the meter charges.
 func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootKey string,
-	symmetry bool, maxCrashes, level int, frontier []*bfsNode, visited *shardedVisited, meter *run.Meter) *Checkpoint {
-	nodes := make([]CheckpointNode, len(frontier))
-	for i, nd := range frontier {
-		nodes[i] = CheckpointNode{Schedule: nd.path.String(), Crashes: nd.crashes}
-	}
+	symmetry bool, maxCrashes, gen int, frontier []CheckpointNode, stacks []CheckpointStack,
+	visited *machine.VisitedSet, meter *run.SharedMeter) *Checkpoint {
 	return &Checkpoint{
 		Version:    CheckpointVersion,
+		Engine:     EngineWSDFS,
 		Meta:       policy.Meta,
 		Model:      model.String(),
 		Identity:   identity,
@@ -285,9 +374,10 @@ func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, ro
 		Symmetry:   symmetry,
 		RootFP:     rootKey,
 		MaxCrashes: maxCrashes,
-		Level:      level,
-		Frontier:   nodes,
-		Shards:     visited.dump(),
+		Level:      gen,
+		Frontier:   frontier,
+		Stacks:     stacks,
+		Shards:     visited.Dump(),
 		Steps:      meter.Steps(),
 		States:     meter.States(),
 		Mem:        meter.Mem(),
@@ -307,25 +397,28 @@ func saveCheckpoint(ck *Checkpoint, path string) error {
 
 // resumeState is a decoded snapshot rehydrated against a live subject.
 type resumeState struct {
-	level    int
-	frontier []*bfsNode
-	visited  *shardedVisited
-	reused   bool // visited shards certified compatible and reloaded
-	steps    int64
-	states   int64
-	mem      int64
+	gen     int       // snapshot generation the run continues from
+	entries []wsEntry // pending edges and whole-stack adoptions
+	visited *machine.VisitedSet
+	reused  bool // visited shards certified compatible and reloaded
+	steps   int64
+	states  int64
+	mem     int64
 }
 
 // loadCheckpoint certifies a snapshot against the subject and rebuilds the
-// exploration state: the frontier configurations are reconstructed by
-// replaying their schedules from a fresh root, and the visited shards are
-// reused when the fresh root's StateKey reproduces the snapshot's (see
+// exploration state: pending-edge schedules and stack schedules are
+// verified to replay on a fresh build, and the visited shards are reused
+// when the fresh root's StateKey reproduces the snapshot's (see
 // Checkpoint.RootFP — with stable binary keys this is the norm, including
-// across OS processes). Identity, model, crash-budget, codec or symmetry
-// drift is rejected with ErrCheckpointDrift: the snapshot's frontier and
-// visited keys are meaningful only under the budget, codec and
-// canonicalization they were minted with, so resuming under different
-// ones would either skip reachable states or prune on mismatched keys.
+// across OS processes). Identity, model, crash-budget, codec, symmetry or
+// engine drift is rejected with ErrCheckpointDrift: the snapshot's pending
+// work and visited keys are meaningful only under the budget, codec,
+// canonicalization and engine they were minted with, so resuming under
+// different ones would either skip reachable states or prune on mismatched
+// keys. When the shards are dropped (root-key mismatch), the pending edges
+// still cover every unexplored successor, so the resumed run is sound but
+// may revisit states behind them (States then overcounts the clean run).
 func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes int, opts Opts) (*resumeState, error) {
 	if err := ck.validate(); err != nil {
 		return nil, err
@@ -352,37 +445,80 @@ func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes
 		return nil, err
 	}
 	rs := &resumeState{
-		level:   ck.Level,
-		visited: newShardedVisited(checkpointShards),
+		gen:     ck.Level,
+		visited: machine.NewVisitedSet(),
 		reused:  rootKey.String() == ck.RootFP,
 		steps:   ck.Steps,
 		states:  ck.States,
 		mem:     ck.Mem,
 	}
 	if rs.reused {
+		// Bulk-load the shards through the batch API: one lock acquisition
+		// per (chunk, shard) instead of per key.
+		batch := make([]machine.StateKey, 0, 512)
+		fresh := make([]bool, 512)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			rs.visited.TryVisitBatch(batch, fresh[:len(batch)])
+			batch = batch[:0]
+			return nil
+		}
 		for _, shard := range ck.Shards {
 			for _, hexKey := range shard {
 				key, err := machine.ParseStateKey(hexKey)
 				if err != nil {
 					return nil, fmt.Errorf("checkpoint: %w", err)
 				}
-				rs.visited.add(key)
+				if batch = append(batch, key); len(batch) == cap(batch) {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	replays := func(what string, i int, sched machine.Schedule) error {
+		cfg, err := s.Build(model)
+		if err != nil {
+			return err
+		}
+		if _, err := cfg.Exec(sched); err != nil {
+			return fmt.Errorf("%w: %s[%d] schedule does not replay: %v", ErrCheckpointDrift, what, i, err)
+		}
+		return nil
 	}
 	for i, nd := range ck.Frontier {
 		sched, err := machine.ParseSchedule(nd.Schedule)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: frontier[%d]: %w", i, err)
 		}
-		cfg, err := s.Build(model)
-		if err != nil {
+		if err := replays("frontier", i, sched); err != nil {
 			return nil, err
 		}
-		if _, err := cfg.Exec(sched); err != nil {
-			return nil, fmt.Errorf("%w: frontier[%d] schedule does not replay: %v", ErrCheckpointDrift, i, err)
+		rs.entries = append(rs.entries, wsEntry{sched: sched, crashes: nd.Crashes, donor: -1, charged: true})
+	}
+	for i, st := range ck.Stacks {
+		sched, err := machine.ParseSchedule(st.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: stacks[%d]: %w", i, err)
 		}
-		rs.frontier = append(rs.frontier, &bfsNode{cfg: cfg, path: sched, crashes: nd.Crashes})
+		if err := replays("stacks", i, sched); err != nil {
+			return nil, err
+		}
+		frames := make([]wsStackFrame, len(st.Frames))
+		for j, fr := range st.Frames {
+			elems, err := machine.ParseSchedule(fr.Elems)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: stacks[%d][%d]: %w", i, j, err)
+			}
+			frames[j] = wsStackFrame{depth: fr.Depth, crashes: fr.Crashes, elems: elems}
+		}
+		rs.entries = append(rs.entries, wsEntry{sched: sched, donor: -1, charged: true, stack: frames})
 	}
 	return rs, nil
 }

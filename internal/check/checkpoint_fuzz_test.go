@@ -11,11 +11,13 @@ import (
 func FuzzCheckpointDecode(f *testing.F) {
 	if seed, err := EncodeCheckpoint(sampleCheckpoint()); err == nil {
 		f.Add(seed)
-		// Seed a truncation and a flip so the corpus starts near the
-		// interesting boundary.
+		// Seed a truncation and flips so the corpus starts near the
+		// interesting boundaries: the generation counter, the certified
+		// engine name, and a stack frame's pending elements.
 		f.Add(seed[:len(seed)/2])
-		flipped := bytes.Replace(seed, []byte(`"level":4`), []byte(`"level":5`), 1)
-		f.Add(flipped)
+		f.Add(bytes.Replace(seed, []byte(`"level":4`), []byte(`"level":5`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"engine":"ws-dfs"`), []byte(`"engine":"bfs-sync"`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"frames":[`), []byte(`"frames":[{"depth":9,"elems":"p0"},`), 1))
 	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json`))
@@ -23,6 +25,11 @@ func FuzzCheckpointDecode(f *testing.F) {
 		ck, err := DecodeCheckpoint(data)
 		if err != nil {
 			return // rejected: fine, as long as it did not panic
+		}
+		// Anything accepted certifies the current engine (v4 snapshots
+		// name it; anything else is drift the decoder must refuse).
+		if ck.Engine != EngineWSDFS {
+			t.Fatalf("decoder certified a snapshot for engine %q", ck.Engine)
 		}
 		// Anything accepted must re-encode and decode to the same
 		// snapshot — the CRC pins the canonical encoding.
@@ -35,7 +42,8 @@ func FuzzCheckpointDecode(f *testing.F) {
 			t.Fatalf("re-encoded snapshot rejected: %v", err)
 		}
 		if ck2.Level != ck.Level || ck2.States != ck.States ||
-			ck2.Identity != ck.Identity || len(ck2.Frontier) != len(ck.Frontier) {
+			ck2.Identity != ck.Identity || len(ck2.Frontier) != len(ck.Frontier) ||
+			len(ck2.Stacks) != len(ck.Stacks) {
 			t.Fatalf("round trip drifted: %+v vs %+v", ck2, ck)
 		}
 	})

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"tradingfences/internal/locks"
@@ -20,6 +21,7 @@ func hexKey(seed string) string {
 func sampleCheckpoint() *Checkpoint {
 	return &Checkpoint{
 		Version:    CheckpointVersion,
+		Engine:     EngineWSDFS,
 		Meta:       CheckpointMeta{Kind: "mutex", Lock: "bakery-tso", N: 2, Passages: 1},
 		Model:      "PSO",
 		Identity:   "deadbeefdeadbeef",
@@ -28,10 +30,17 @@ func sampleCheckpoint() *Checkpoint {
 		MaxCrashes: 1,
 		Level:      4,
 		Frontier:   []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
-		Shards:     [][]string{{hexKey("a"), hexKey("b")}, {hexKey("c")}},
-		Steps:      123,
-		States:     45,
-		Mem:        6789,
+		Stacks: []CheckpointStack{{
+			Schedule: "p0 p1",
+			Frames: []CheckpointFrame{
+				{Depth: 0, Elems: "p1"},
+				{Depth: 2, Crashes: 1, Elems: "p0 p1!"},
+			},
+		}},
+		Shards: [][]string{{hexKey("a"), hexKey("b")}, {hexKey("c")}},
+		Steps:  123,
+		States: 45,
+		Mem:    6789,
 	}
 }
 
@@ -46,8 +55,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Level != ck.Level || got.States != ck.States || got.Model != ck.Model ||
-		got.Identity != ck.Identity || len(got.Frontier) != len(ck.Frontier) {
+		got.Identity != ck.Identity || got.Engine != ck.Engine ||
+		len(got.Frontier) != len(ck.Frontier) || len(got.Stacks) != len(ck.Stacks) {
 		t.Fatalf("round trip drifted: %+v vs %+v", got, ck)
+	}
+	if len(got.Stacks[0].Frames) != 2 || got.Stacks[0].Frames[1].Crashes != 1 {
+		t.Fatalf("stack frames drifted: %+v", got.Stacks)
 	}
 	if got.Checksum == "" {
 		t.Fatal("decoded snapshot lost its checksum")
@@ -90,8 +103,9 @@ func TestCheckpointValidation(t *testing.T) {
 		return ck
 	}
 	cases := map[string]*Checkpoint{
-		"nil frontier":  mut(func(c *Checkpoint) { c.Frontier = nil }),
-		"bad model":     mut(func(c *Checkpoint) { c.Model = "RMO" }),
+		"no pending work": mut(func(c *Checkpoint) { c.Frontier, c.Stacks = nil, nil }),
+		"wrong engine":    mut(func(c *Checkpoint) { c.Engine = "bfs-level-sync" }),
+		"bad model":       mut(func(c *Checkpoint) { c.Model = "RMO" }),
 		"bad schedule":  mut(func(c *Checkpoint) { c.Frontier[0].Schedule = "q9" }),
 		"no identity":   mut(func(c *Checkpoint) { c.Identity = "" }),
 		"bad codec":     mut(func(c *Checkpoint) { c.Codec = machine.StateKeyCodecVersion + 1 }),
@@ -100,12 +114,29 @@ func TestCheckpointValidation(t *testing.T) {
 		"short shard key": mut(func(c *Checkpoint) {
 			c.Shards[0][0] = c.Shards[0][0][:30]
 		}),
+		"zero generation":       mut(func(c *Checkpoint) { c.Level = 0 }),
 		"negative level":        mut(func(c *Checkpoint) { c.Level = -1 }),
 		"negative meter":        mut(func(c *Checkpoint) { c.Steps = -5 }),
 		"negative crash budget": mut(func(c *Checkpoint) { c.MaxCrashes = -1 }),
 		"crashes over budget":   mut(func(c *Checkpoint) { c.Frontier[1].Crashes = 2 }),
 		"crashes without budget": mut(func(c *Checkpoint) {
 			c.MaxCrashes = 0 // frontier[1] has spent one crash
+		}),
+		"bad stack schedule": mut(func(c *Checkpoint) { c.Stacks[0].Schedule = "q9" }),
+		"stack without frames": mut(func(c *Checkpoint) {
+			c.Stacks[0].Frames = nil
+		}),
+		"frame depth regression": mut(func(c *Checkpoint) {
+			c.Stacks[0].Frames[1].Depth = 0
+		}),
+		"stack not truncated at deepest frame": mut(func(c *Checkpoint) {
+			c.Stacks[0].Frames[1].Depth = 1
+		}),
+		"frame without pending elems": mut(func(c *Checkpoint) {
+			c.Stacks[0].Frames[1].Elems = ""
+		}),
+		"frame crashes over budget": mut(func(c *Checkpoint) {
+			c.Stacks[0].Frames[1].Crashes = 2
 		}),
 	}
 	for name, ck := range cases {
@@ -116,20 +147,20 @@ func TestCheckpointValidation(t *testing.T) {
 }
 
 func TestResumeRejectsDrift(t *testing.T) {
-	s, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	kill := func(level, worker int) error {
-		if level == 5 {
+	kill := func(gen, worker int) error {
+		if gen >= 1 {
 			return errors.New("chaos")
 		}
 		return nil
 	}
 	_, err = s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2, WorkerFault: kill,
-		Checkpoint: &CheckpointPolicy{Path: path},
+		Checkpoint: &CheckpointPolicy{Path: path, EveryStates: 64},
 	})
 	if err == nil {
 		t.Fatal("expected chaos kill")
@@ -144,7 +175,7 @@ func TestResumeRejectsDrift(t *testing.T) {
 		t.Fatalf("model drift not rejected: %v", err)
 	}
 	// Different lock program: identity hash must mismatch.
-	other, err := NewMutexSubject("bakery", locks.NewBakery, 2, 1)
+	other, err := NewMutexSubject("bakery-tso", locks.NewBakeryTSO, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,15 +250,15 @@ func TestResumeRejectsCrashBudgetDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	kill := func(level, worker int) error {
-		if level == 4 {
+	kill := func(gen, worker int) error {
+		if gen >= 1 {
 			return errors.New("chaos")
 		}
 		return nil
 	}
 	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2, Faults: faults, WorkerFault: kill,
-		Checkpoint: &CheckpointPolicy{Path: path},
+		Checkpoint: &CheckpointPolicy{Path: path, EveryStates: 64},
 	}); err == nil {
 		t.Fatal("expected chaos kill")
 	}
@@ -249,12 +280,19 @@ func TestResumeRejectsCrashBudgetDrift(t *testing.T) {
 	}); !errors.Is(err, ErrCheckpointDrift) {
 		t.Fatalf("crash-budget drift not rejected: %v", err)
 	}
-	// The matching budget resumes to the clean verdict bit for bit.
+	// The matching budget resumes to the clean verdict, with the exact
+	// state count when the run is a complete proof.
 	resumed, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2, Faults: faults})
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireSameResult(t, "crash-budget resume", clean, resumed)
+	if resumed.Violation != clean.Violation || resumed.Complete != clean.Complete {
+		t.Fatalf("crash-budget resume verdict drifted: (viol=%v complete=%v) vs (viol=%v complete=%v)",
+			resumed.Violation, resumed.Complete, clean.Violation, clean.Complete)
+	}
+	if clean.Complete && resumed.States != clean.States {
+		t.Fatalf("crash-budget resume visited %d states, clean visited %d", resumed.States, clean.States)
+	}
 }
 
 // Checkpoint files are written atomically: at any moment the file on disk
@@ -265,26 +303,26 @@ func TestCheckpointFileAlwaysDecodable(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	seen := 0
-	hook := func(level, worker int) error {
-		if worker != 0 {
-			return nil
-		}
+	var seen atomic.Int32
+	// The hook runs on every worker goroutine (at start and whenever a
+	// worker observes a new snapshot generation), so the observation
+	// counter must be atomic.
+	hook := func(gen, worker int) error {
 		if data, err := os.ReadFile(path); err == nil {
 			if _, derr := DecodeCheckpoint(data); derr != nil {
-				t.Errorf("level %d: snapshot on disk undecodable: %v", level, derr)
+				t.Errorf("generation %d: snapshot on disk undecodable: %v", gen, derr)
 			}
-			seen++
+			seen.Add(1)
 		}
 		return nil
 	}
 	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2, WorkerFault: hook,
-		Checkpoint: &CheckpointPolicy{Path: path, EveryLevels: 1},
+		Checkpoint: &CheckpointPolicy{Path: path, EveryStates: 32},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if seen == 0 {
+	if seen.Load() == 0 {
 		t.Fatal("hook never observed a snapshot on disk")
 	}
 }

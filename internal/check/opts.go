@@ -2,6 +2,7 @@ package check
 
 import (
 	"errors"
+	"runtime"
 
 	"tradingfences/internal/machine"
 	"tradingfences/internal/run"
@@ -44,30 +45,39 @@ type Opts struct {
 	// force.
 	Symmetry bool
 
-	// Workers sizes the worker pool of the level-synchronous parallel
-	// explorer (ExhaustiveParallel). Values <= 1 run the same engine on a
-	// single goroutine; any value produces bit-identical verdicts, witness
-	// schedules and visited-state counts. The recursive Exhaustive ignores
-	// this field.
+	// Workers sizes the worker pool of the work-stealing parallel
+	// explorer (ExhaustiveParallel). 0 resolves to runtime.NumCPU();
+	// an explicit 1 runs single-threaded, which is bit-identical to the
+	// sequential Exhaustive (verdict, witness schedule, state count and
+	// budget-trip point). With more than one worker, verdicts and
+	// complete-run state counts stay exact, but which witness is found
+	// first and where a budget trips become scheduling-dependent. Negative
+	// values behave like 1. The recursive Exhaustive ignores this field.
 	Workers int
 
 	// Checkpoint enables periodic snapshots of the parallel explorer's
-	// frontier, visited set and meter usage (nil = none). Snapshots are
-	// written atomically (tmp+rename) at level boundaries; see
-	// CheckpointPolicy.
+	// pending frontier, worker stacks, visited set and meter usage
+	// (nil = none). Snapshots are written atomically (tmp+rename) at
+	// quiescent barriers; see CheckpointPolicy.
 	Checkpoint *CheckpointPolicy
 
-	// WorkerFault is a chaos-testing hook called once per (level, worker)
-	// at the start of each expansion level. Returning a non-nil error kills
-	// that worker: the level fails with a *WorkerError and the partial
-	// result, leaving any checkpoint at the previous boundary intact. The
-	// hook may also sleep to simulate a stalled worker. Nil in production.
+	// WorkerFault is a chaos-testing hook called per worker at worker
+	// start and again whenever the worker observes a new snapshot
+	// generation (the level argument is the generation; see
+	// Checkpoint.Level). Returning a non-nil error kills that worker: the
+	// run fails with a *WorkerError and the partial result, leaving any
+	// checkpoint intact. The hook may also sleep to simulate a stalled
+	// worker. Nil in production.
 	WorkerFault func(level, worker int) error
 }
 
-// workerCount resolves Opts.Workers to a positive pool size.
+// workerCount resolves Opts.Workers to a positive pool size: 0 means one
+// worker per CPU, negative values mean 1.
 func (o Opts) workerCount() int {
-	if o.Workers <= 1 {
+	if o.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	if o.Workers < 1 {
 		return 1
 	}
 	return o.Workers

@@ -1,24 +1,35 @@
-// Parallel exhaustive exploration: a level-synchronous BFS over the
-// subject's state space whose frontier expansion is partitioned across a
-// worker pool. Two properties make the pool safe and reproducible:
+// Parallel exhaustive exploration: a work-stealing DFS over the subject's
+// state space. Each worker owns one flat machine.Config plus a private
+// undo trail (the same machinery the sequential explorer rides) and walks
+// a subtree depth-first, stepping transitions in place and reverting them
+// on backtrack — no per-edge cloning, no per-level barrier. Load balance
+// comes from stealing: a worker that observes idle peers donates the
+// shallowest unexplored edge of its stack as a schedule prefix (never a
+// configuration — consistent with how checkpoints serialize state), and
+// the thief re-materializes the subtree root by replaying the prefix under
+// its own undo trail.
 //
-//   - during a level, the visited set is frozen — workers only read it to
-//     pre-filter known states — and every worker expands disjoint frontier
-//     nodes into private candidate lists, so there is no write sharing;
-//   - interning, budget charging, violation detection and the next
-//     frontier are produced by a single deterministic merge that walks the
-//     candidates in (frontier index, successor index) order.
+// Shared state is minimal: a sharded concurrent visited set over the
+// 16-byte StateKeys (machine.VisitedSet — fixed shard count derived from
+// the key, independent of the worker count), a shared budget meter
+// (run.SharedMeter), and a mutex-protected steal queue.
 //
-// The schedule order a worker observes therefore never influences the
-// result: Workers=N is bit-identical to Workers=1 in verdict, witness
-// schedule and visited-state count — the property the determinism tests
-// pin and the checkpoint/resume machinery relies on.
+// Determinism contract. With Workers=1 the engine is bit-identical to the
+// sequential Exhaustive: one worker, no donations, the same canonical
+// successor order and the same charge order, so verdict, witness schedule,
+// state count and budget-trip point all match (parity_test.go pins this).
+// With Workers>1 the verdict and — on complete runs — the state count and
+// step total are still exact, but traversal order is scheduling-dependent:
+// which violation witness is found first, and where a budget trips, may
+// vary between runs. Snapshots taken by this engine are certified as an
+// explicit mode in checkpoint schema v4 (Checkpoint.Engine); level-sync v2
+// and v3 snapshots fail closed with ErrCheckpointDrift.
 package check
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,11 +37,15 @@ import (
 	"tradingfences/internal/run"
 )
 
-// WorkerError reports the death of one expansion worker (a panic, an
-// injected chaos fault, or a machine error inside an expansion). It is
-// retryable from the last checkpoint: the failed level was never merged,
-// so the snapshot on disk is consistent.
+// WorkerError reports the death of one exploration worker (a panic, an
+// injected chaos fault, or a machine error inside its subtree). It is
+// retryable from the last checkpoint: snapshots are only written at
+// quiescent barriers, so the file on disk is always consistent.
 type WorkerError struct {
+	// Level is the snapshot generation current when the worker died (0
+	// before the first save). The field name predates the work-stealing
+	// engine, when it was the BFS level; it keeps its name so attempt
+	// reports stay wire-compatible.
 	Level, Worker int
 	Err           error
 }
@@ -41,111 +56,165 @@ func (e *WorkerError) Error() string {
 
 func (e *WorkerError) Unwrap() error { return e.Err }
 
-// bfsNode is one unexpanded frontier configuration.
-type bfsNode struct {
+// EngineStats reports how the work-stealing engine behaved during one run:
+// whether exploration scaled (steals spread load) or contended (parks mean
+// workers starved for stealable work). Surfaced through Result.Engine,
+// supervise.Attempt and the serve daemon's /metrics.
+type EngineStats struct {
+	// Workers is the resolved pool size the run used.
+	Workers int `json:"workers"`
+	// Steals counts frontier entries consumed by a worker other than the
+	// one that donated them.
+	Steals int64 `json:"steals"`
+	// Donated counts edges published to the steal queue by busy workers.
+	Donated int64 `json:"donated"`
+	// Parks counts the times a worker went idle waiting for stealable
+	// work (or for a checkpoint barrier to complete).
+	Parks int64 `json:"parks"`
+	// BatchLookups counts batched visited-set pre-filters (one per
+	// expanded node at Workers>1).
+	BatchLookups int64 `json:"batch_lookups"`
+	// Checkpoints counts snapshots written during the run.
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// errStopped is the internal signal that the engine stopped (violation
+// found, budget tripped elsewhere, worker died elsewhere, or checkpoint
+// save failed) and the worker should park its pending work and exit. It
+// never escapes the engine.
+var errStopped = errors.New("check: exploration stopped")
+
+// wsEntry is one stealable unit of work. Two shapes:
+//
+//   - an edge: sched reaches a not-yet-interned target configuration from
+//     the root (stack == nil). The consumer replays sched[:len-1], steps
+//     the final element, and explores the subtree under the target. The
+//     root entry is the degenerate edge with an empty schedule.
+//   - a whole stack (stack != nil): a serialized DFS stack from a
+//     checkpoint. The consumer replays sched once and re-enters the DFS
+//     with every pending frame — deep checkpointed stacks cost one
+//     replay, not one per pending edge.
+type wsEntry struct {
+	sched   machine.Schedule
+	crashes int  // crash budget spent along sched (edge entries)
+	donor   int  // donating worker id, -1 for root/resume entries
+	charged bool // final edge element's step charge already metered
+	stack   []wsStackFrame
+}
+
+// wsStackFrame is one pending frame of an adopted checkpoint stack.
+type wsStackFrame struct {
+	depth   int // node position along the entry schedule
+	crashes int // crash budget spent at the node
+	elems   []machine.Elem
+}
+
+// wsFrame is one live DFS stack frame: a node's not-yet-explored successor
+// elements. keys caches the successors' StateKeys when the batched
+// pre-pass ran (Workers>1 fresh frames); keys == nil marks the direct
+// flavor (Workers=1, and adopted checkpoint frames), whose step charges
+// happen at descent — the exact sequential charge order.
+type wsFrame struct {
+	elems   []machine.Elem
+	keys    []machine.StateKey
+	next    int // cursor: elems[next:end] are pending
+	end     int // donations shrink end from the right
+	crashes int // crash budget spent at this frame's node
+	depth   int // len(path) at this frame's node
+}
+
+// wsEngine is the shared coordination state of one run.
+type wsEngine struct {
+	s          *Subject
+	model      machine.Model
+	opts       Opts
+	maxCrashes int
+	workers    int
+	prepass    bool // Workers>1: batched successor pre-filtering
+	meter      *run.SharedMeter
+	visited    *machine.VisitedSet
+	plog       *machine.PassageLog
+	policy     *CheckpointPolicy
+	identity   string
+	rootKey    string
+	symmetry   bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []wsEntry
+	idle     int
+	paused   int // workers parked at the checkpoint barrier
+	stopped  bool
+	stopErr  error
+	violated bool
+	vioPath  machine.Schedule
+	vioInCS  []int
+	gen      int // completed snapshot generation
+	contribs []*CheckpointStack
+
+	// Lock-free mirrors polled on worker hot paths.
+	stopFlag  atomic.Bool
+	ckWant    atomic.Bool
+	idleCount atomic.Int32
+	genFlag   atomic.Int64
+	sinceCk   atomic.Int64
+	threshold atomic.Int64
+
+	steals       atomic.Int64
+	donated      atomic.Int64
+	parks        atomic.Int64
+	batchLookups atomic.Int64
+	snapshots    atomic.Int64
+}
+
+// wsWorker is one worker's private exploration state.
+type wsWorker struct {
+	id      int
+	e       *wsEngine
 	cfg     *machine.Config
+	kr      *keyer
 	path    machine.Schedule
-	crashes int
-}
+	trail   []machine.Undo
+	frames  []wsFrame
+	donHint int   // frames below this index have no stealable elements
+	lastGen int64 // last generation the chaos hook was consulted at
+	entry   wsEntry
 
-// candidate is a successor produced by a worker, pending the merge.
-type candidate struct {
-	elem    machine.Elem
-	cfg     *machine.Config
-	key     machine.StateKey
-	crashes int
-	inCS    []int
-}
-
-// expansion is the result of expanding one frontier node.
-type expansion struct {
-	attempts int64 // schedule elements tried, including not-taken ones
-	cands    []candidate
-	err      error
-}
-
-// shardedVisited partitions the visited-key set into a fixed number of
-// shards (checkpointShards, independent of the worker count). Reads may
-// run concurrently with each other; writes happen only in the
-// single-goroutine merge.
-type shardedVisited struct {
-	shards []map[machine.StateKey]struct{}
-	count  int
-}
-
-func newShardedVisited(n int) *shardedVisited {
-	v := &shardedVisited{shards: make([]map[machine.StateKey]struct{}, n)}
-	for i := range v.shards {
-		v.shards[i] = make(map[machine.StateKey]struct{}, 256)
-	}
-	return v
-}
-
-// shardOf routes a key by its leading hash byte — uniform because StateKey
-// is itself a hash, and cheap enough to vanish from profiles.
-func (v *shardedVisited) shardOf(key machine.StateKey) int {
-	return int(key[0]) % len(v.shards)
-}
-
-func (v *shardedVisited) has(key machine.StateKey) bool {
-	_, ok := v.shards[v.shardOf(key)][key]
-	return ok
-}
-
-func (v *shardedVisited) add(key machine.StateKey) {
-	sh := v.shards[v.shardOf(key)]
-	if _, ok := sh[key]; !ok {
-		sh[key] = struct{}{}
-		v.count++
-	}
-}
-
-func (v *shardedVisited) size() int { return v.count }
-
-// dump returns the shard contents as fixed-width hex strings in
-// deterministic order (shard-major, keys sorted within each shard — the
-// serialization must be stable for the checkpoint CRC).
-func (v *shardedVisited) dump() [][]string {
-	out := make([][]string, len(v.shards))
-	for i, sh := range v.shards {
-		keys := make([]string, 0, len(sh))
-		for k := range sh {
-			keys = append(keys, k.String())
-		}
-		sort.Strings(keys)
-		out[i] = keys
-	}
-	return out
+	// Reusable scratch.
+	regs  []machine.Reg
+	in    []int
+	fresh []bool
 }
 
 // ExhaustiveParallel explores every schedule of the subject under the
-// given model with a level-synchronous BFS, pruning revisited states. It
-// returns the same verdicts as Exhaustive and additionally:
+// given model with the work-stealing DFS engine, pruning revisited states.
+// It returns the same verdicts as Exhaustive and additionally:
 //
-//   - partitions each level's expansion across opts.Workers goroutines,
-//     with results invariant under the worker count (bit-identical
-//     verdict, witness schedule, visited-state count);
-//   - with opts.Checkpoint, snapshots the frontier, visited shards and
-//     meter usage at level boundaries (atomic tmp+rename), so a killed or
-//     budget-tripped run resumes via ResumeExhaustiveParallel instead of
-//     restarting from zero.
+//   - spreads the exploration over opts.Workers goroutines (0 resolves to
+//     runtime.NumCPU; see Opts.Workers) through donation and stealing of
+//     schedule-prefix frontier entries;
+//   - with opts.Checkpoint, snapshots the pending frontier, worker stacks,
+//     visited shards and meter usage at quiescent barriers and at budget
+//     trips (atomic tmp+rename), so a killed or budget-tripped run resumes
+//     via ResumeExhaustiveParallel instead of restarting from zero.
 //
 // Budgets and cancellation behave like Exhaustive: partial results return
-// together with a structured error. Because BFS discovers shallowest
-// states first, a violation witness is a shortest-depth counterexample
-// (it may differ from the recursive explorer's DFS witness; both replay
-// and minimize identically).
+// together with a structured error. Workers=1 is bit-identical to the
+// sequential Exhaustive — verdict, witness, state count and budget-trip
+// point. Workers>1 keeps verdicts, complete-run state counts and step
+// totals exact, but which witness is found and where a budget trips become
+// scheduling-dependent (see the package comment).
 func (s *Subject) ExhaustiveParallel(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
-	return s.runParallel(ctx, model, opts, nil)
+	return s.runWS(ctx, model, opts, nil)
 }
 
 // ResumeExhaustiveParallel continues an exploration from a decoded
 // checkpoint. The snapshot is re-certified first: the memory model, the
-// subject's identity hash and the crash budget (opts.Faults.MaxCrashes
-// versus the budget recorded in the snapshot) must match
-// (ErrCheckpointDrift otherwise), and every frontier schedule must replay
-// on a fresh build. Meter usage is preloaded so opts.Budget spans the
-// whole logical run; the wall clock restarts (see run.Meter.Preload).
+// subject's identity hash, the crash budget, the key codec, the symmetry
+// mode and the engine must match (ErrCheckpointDrift otherwise), and every
+// pending schedule must replay on a fresh build. Meter usage is preloaded
+// so opts.Budget spans the whole logical run; the wall clock restarts (see
+// run.SharedMeter.Preload).
 func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Model, ck *Checkpoint, opts Opts) (Result, error) {
 	maxCrashes, err := opts.exhaustiveCrashBudget()
 	if err != nil {
@@ -155,10 +224,10 @@ func (s *Subject) ResumeExhaustiveParallel(ctx context.Context, model machine.Mo
 	if err != nil {
 		return Result{}, err
 	}
-	return s.runParallel(ctx, model, opts, rs)
+	return s.runWS(ctx, model, opts, rs)
 }
 
-func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opts, rs *resumeState) (out Result, rerr error) {
+func (s *Subject) runWS(ctx context.Context, model machine.Model, opts Opts, rs *resumeState) (out Result, rerr error) {
 	maxCrashes, err := opts.exhaustiveCrashBudget()
 	if err != nil {
 		return Result{}, err
@@ -167,304 +236,795 @@ func (s *Subject) runParallel(ctx context.Context, model machine.Model, opts Opt
 		ctx = context.Background()
 	}
 	workers := opts.workerCount()
-	meter := run.NewMeter(ctx, opts.Budget)
-	kr := s.newKeyer(opts)
-	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
+	e := &wsEngine{
+		s:          s,
+		model:      model,
+		opts:       opts,
+		maxCrashes: maxCrashes,
+		workers:    workers,
+		prepass:    workers > 1,
+		meter:      run.NewSharedMeter(ctx, opts.Budget),
+		policy:     opts.Checkpoint,
+		contribs:   make([]*CheckpointStack, workers),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.symmetry = s.newKeyer(opts).reduces()
+	res := Result{Complete: true, SymmetryApplied: e.symmetry}
 
-	// Passage accounting spans the whole exploration through one shared
-	// log (clones inherit the pointer via the pool's cloneInto). Resumed
-	// runs leave it off: passage watermarks are not part of the checkpoint
-	// schema, so a resumed run could only report the post-resume remainder
-	// — reporting nothing is honest, a partial watermark is not.
-	var plog *machine.PassageLog
-	defer func() { fillPassages(&out, plog) }()
-
-	// Frontier configurations are recycled through a pool: once a node has
-	// been expanded and merged it is dead weight (checkpoints serialize
-	// frontier *schedules*, never configurations), so its flat storage is
-	// reused for the next level's clones instead of reallocated.
-	pool := machine.NewConfigPool()
-
-	var (
-		visited  *shardedVisited
-		frontier []*bfsNode
-		level    int
-		identity string
-		rootKey  string
-	)
-	if opts.Checkpoint != nil || rs != nil {
+	if e.policy != nil || rs != nil {
 		fresh, err := s.Build(model)
 		if err != nil {
 			return Result{}, err
 		}
-		identity = fresh.IdentityFingerprint()
+		e.identity = fresh.IdentityFingerprint()
+		kr := s.newKeyer(opts)
 		rk, err := kr.key(fresh, 0, maxCrashes)
 		if err != nil {
 			return Result{}, err
 		}
-		rootKey = rk.String()
+		e.rootKey = rk.String()
 	}
+
+	// Passage accounting spans the whole exploration through one shared
+	// log (each worker's configuration is enabled onto it). Resumed runs
+	// leave it off: passage watermarks are not part of the checkpoint
+	// schema, so a resumed run could only report the post-resume remainder
+	// — reporting nothing is honest, a partial watermark is not.
+	defer func() { fillPassages(&out, e.plog) }()
 
 	if rs != nil {
-		visited, frontier, level = rs.visited, rs.frontier, rs.level
-		meter.Preload(rs.steps, rs.states, rs.mem)
-		res.ResumedLevel = rs.level
+		e.visited = rs.visited
+		e.queue = rs.entries
+		e.gen = rs.gen
+		e.genFlag.Store(int64(rs.gen))
+		e.meter.Preload(rs.steps, rs.states, rs.mem)
+		res.ResumedLevel = rs.gen
 		res.VisitedReused = rs.reused
-		if !rs.reused {
-			// Defense in depth: binary keys are build-stable, so a shard
-			// whose root key disagrees indicates drift the certification
-			// missed. Drop the shards, but re-intern the frontier's own
-			// states so sibling duplicates and self-loops dedup.
-			for _, nd := range frontier {
-				key, err := kr.key(nd.cfg, nd.crashes, maxCrashes)
-				if err != nil {
-					return Result{}, err
-				}
-				visited.add(key)
-			}
-		}
 	} else {
-		root, err := s.Build(model)
-		if err != nil {
-			return Result{}, err
+		e.visited = machine.NewVisitedSet()
+		e.queue = []wsEntry{{donor: -1}}
+		if s.Passages != nil {
+			e.plog = machine.NewPassageLog()
 		}
-		plog = s.attachPassages(root)
-		key, err := kr.key(root, 0, maxCrashes)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
-			res.Complete = false
-			return res, err
-		}
-		visited = newShardedVisited(checkpointShards)
-		visited.add(key)
-		in, err := s.occupancy(root)
-		if err != nil {
-			return Result{}, err
-		}
-		if len(in) >= 2 {
-			res.Violation = true
-			res.InCS = in
-			res.Witness = machine.Schedule{}
-			res.Complete = false
-			res.States = visited.size()
-			return res, nil
-		}
-		frontier = []*bfsNode{{cfg: root}}
+	}
+	if e.policy != nil {
+		e.threshold.Store(int64(max(e.policy.everyStates(), e.visited.Size()/4)))
 	}
 
-	lastSaved := -1
-	for len(frontier) > 0 {
-		if p := opts.Checkpoint; p != nil && level != lastSaved &&
-			level%p.everyLevels() == 0 && (rs == nil || level > rs.level) {
-			ck := buildCheckpoint(p, model, identity, rootKey, kr.reduces(), maxCrashes, level, frontier, visited, meter)
-			if err := saveCheckpoint(ck, p.Path); err != nil {
-				res.Complete = false
-				res.States = visited.size()
-				return res, err
-			}
-			lastSaved = level
-		}
-
-		// Re-check wall budget and context once per level: charge-count
-		// triggered checks alone can miss a wall trip on small state
-		// spaces. The checkpoint above is already on disk, so a trip here
-		// resumes from this very level.
-		if err := meter.Check(); err != nil {
-			res.Complete = false
-			res.States = visited.size()
-			return res, err
-		}
-
-		exps := s.expandLevel(ctx, frontier, workers, level, maxCrashes, opts, visited, pool)
-
-		next := make([]*bfsNode, 0, len(frontier))
-		for i, exp := range exps {
-			if exp.err != nil {
-				res.Complete = false
-				res.States = visited.size()
-				return res, exp.err
-			}
-			if err := meter.AddSteps(exp.attempts); err != nil {
-				res.Complete = false
-				res.States = visited.size()
-				return res, err
-			}
-			for _, cand := range exp.cands {
-				if visited.has(cand.key) {
-					// A sibling interned this state earlier in merge order;
-					// the duplicate's configuration is recycled.
-					pool.Put(cand.cfg)
-					continue
-				}
-				if err := meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
-					res.Complete = false
-					res.States = visited.size()
-					return res, err
-				}
-				visited.add(cand.key)
-				if len(cand.inCS) >= 2 {
-					w := make(machine.Schedule, len(frontier[i].path)+1)
-					copy(w, frontier[i].path)
-					w[len(w)-1] = cand.elem
-					res.Violation = true
-					res.Witness = w
-					res.InCS = cand.inCS
-					res.Complete = false
-					res.States = visited.size()
-					return res, nil
-				}
-				path := make(machine.Schedule, len(frontier[i].path)+1)
-				copy(path, frontier[i].path)
-				path[len(path)-1] = cand.elem
-				next = append(next, &bfsNode{cfg: cand.cfg, path: path, crashes: cand.crashes})
-			}
-			// Node i is fully merged; recycle its configuration for the
-			// next level's clones.
-			pool.Put(frontier[i].cfg)
-			frontier[i].cfg = nil
-		}
-		frontier = next
-		level++
-	}
-	res.States = visited.size()
-	return res, nil
-}
-
-// expandLevel fans the frontier out over the worker pool. Workers claim
-// nodes through an atomic cursor and write each node's expansion into its
-// own slot, so the output is positionally deterministic regardless of how
-// the pool was scheduled. A worker that panics, hits a machine error, or
-// is killed by the chaos hook dooms the level: its error is surfaced in
-// deterministic order and the level is never merged.
-func (s *Subject) expandLevel(ctx context.Context, frontier []*bfsNode, workers, level, maxCrashes int, opts Opts, visited *shardedVisited, pool *machine.ConfigPool) []expansion {
-	exps := make([]expansion, len(frontier))
-	if workers > len(frontier) && len(frontier) > 0 {
-		workers = len(frontier)
-	}
-	var cursor atomic.Int64
-	workerErrs := make([]error, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func(id int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					workerErrs[worker] = &WorkerError{Level: level, Worker: worker,
-						Err: fmt.Errorf("panic: %v", r)}
+					e.fail(&WorkerError{Level: int(e.genFlag.Load()), Worker: id,
+						Err: fmt.Errorf("panic: %v", r)})
 				}
 			}()
-			if opts.WorkerFault != nil {
-				if err := opts.WorkerFault(level, worker); err != nil {
-					workerErrs[worker] = &WorkerError{Level: level, Worker: worker, Err: err}
-					return
-				}
+			w := &wsWorker{id: id, e: e, kr: s.newKeyer(opts), lastGen: e.genFlag.Load()}
+			cfg, err := s.Build(model)
+			if err != nil {
+				e.fail(err)
+				return
 			}
-			// One keyer and one scratch set per worker: their buffers are
-			// reused across every node this worker expands, so steady-state
-			// expansion does not allocate for keying, successor enumeration
-			// or occupancy checks at all.
-			kr := s.newKeyer(opts)
-			var sc expandScratch
+			if e.plog != nil {
+				cfg.EnablePassages(*s.Passages, e.plog)
+			}
+			w.cfg = cfg
+			if err := w.fault(); err != nil {
+				e.fail(err)
+				return
+			}
 			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(frontier) {
+				ent, ok := e.next(w)
+				if !ok {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					exps[i].err = fmt.Errorf("check: expansion cancelled at level %d: %w", level, err)
-					continue
+				if err := w.runEntry(ent); err != nil {
+					w.registerContrib()
+					if !errors.Is(err, errStopped) {
+						e.fail(err)
+					}
+					return
 				}
-				exps[i] = s.expandNode(frontier[i], maxCrashes, visited, kr, pool, &sc)
 			}
-		}(w)
+		}(i)
 	}
 	wg.Wait()
-	for _, err := range workerErrs {
-		if err != nil {
-			// Attribute the worker death to the first node so the merge
-			// fails before consuming any of this level.
-			if exps[0].err == nil {
-				exps[0].err = err
+
+	res.States = e.visited.Size()
+	res.Engine = &EngineStats{
+		Workers:      workers,
+		Steals:       e.steals.Load(),
+		Donated:      e.donated.Load(),
+		Parks:        e.parks.Load(),
+		BatchLookups: e.batchLookups.Load(),
+		Checkpoints:  e.snapshots.Load(),
+	}
+	if e.violated {
+		res.Violation = true
+		res.Witness = e.vioPath
+		res.InCS = e.vioInCS
+		res.Complete = false
+		return res, nil
+	}
+	if e.stopErr != nil {
+		res.Complete = false
+		// A limit trip (budget or cancellation) with snapshots enabled
+		// parks the exact trip point: the final snapshot covers the queue
+		// plus every worker's registered pending stack, so the resumed run
+		// continues from precisely the states this one did not consume.
+		if e.policy != nil && run.IsLimit(e.stopErr) {
+			e.mu.Lock()
+			serr := e.snapshotLocked()
+			e.mu.Unlock()
+			if serr != nil {
+				return res, fmt.Errorf("check: parking on budget trip: %w", serr)
 			}
+		}
+		return res, e.stopErr
+	}
+	return res, nil
+}
+
+// fail stops the engine with an error. The first stop wins: a violation or
+// earlier error already in place is kept.
+func (e *wsEngine) fail(err error) {
+	e.mu.Lock()
+	if !e.stopped {
+		e.stopped = true
+		e.stopErr = err
+		e.stopFlag.Store(true)
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// foundViolation records the first mutual-exclusion violation and stops
+// the engine.
+func (e *wsEngine) foundViolation(path machine.Schedule, in []int) {
+	e.mu.Lock()
+	if !e.stopped {
+		e.stopped = true
+		e.violated = true
+		e.vioPath = append(machine.Schedule{}, path...)
+		e.vioInCS = append([]int(nil), in...)
+		e.stopFlag.Store(true)
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// next blocks until a frontier entry is available, the engine stops, or
+// the whole exploration completes (every worker idle, nothing queued,
+// nobody paused). During a checkpoint barrier the queue is frozen — idle
+// workers count themselves into the barrier instead of popping.
+func (e *wsEngine) next(w *wsWorker) (wsEntry, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.stopped {
+			return wsEntry{}, false
+		}
+		if !e.ckWant.Load() && len(e.queue) > 0 {
+			ent := e.queue[0]
+			e.queue = e.queue[1:]
+			if ent.donor >= 0 && ent.donor != w.id {
+				e.steals.Add(1)
+			}
+			return ent, true
+		}
+		e.idle++
+		e.idleCount.Store(int32(e.idle))
+		if e.ckWant.Load() {
+			// Idle participation in the barrier: we hold no pending work,
+			// so counting ourselves idle is our whole contribution. The
+			// last counter-in completes the snapshot.
+			e.completeBarrierLocked()
+		} else if e.idle == e.workers && e.paused == 0 && len(e.queue) == 0 {
+			e.stopped = true
+			e.stopFlag.Store(true)
+			e.cond.Broadcast()
+			e.idle--
+			e.idleCount.Store(int32(e.idle))
+			return wsEntry{}, false
+		}
+		if e.stopped || (!e.ckWant.Load() && len(e.queue) > 0) {
+			// completeBarrierLocked released the queue (or stopped the
+			// engine) — re-evaluate before sleeping, the wakeup broadcast
+			// already happened.
+			e.idle--
+			e.idleCount.Store(int32(e.idle))
+			continue
+		}
+		e.parks.Add(1)
+		e.cond.Wait()
+		e.idle--
+		e.idleCount.Store(int32(e.idle))
+	}
+}
+
+// donate publishes the last pending element of frame f as a stealable
+// edge. Caller must have verified the frame has an element to spare.
+func (e *wsEngine) donate(w *wsWorker, f *wsFrame) {
+	elem := f.elems[f.end-1]
+	sched := make(machine.Schedule, f.depth+1)
+	copy(sched, w.path[:f.depth])
+	sched[f.depth] = elem
+	nc := f.crashes
+	if elem.Crash {
+		nc++
+	}
+	ent := wsEntry{sched: sched, crashes: nc, donor: w.id, charged: f.keys != nil}
+	e.mu.Lock()
+	if e.stopped {
+		// The queue is final-snapshot material now; keep the element on
+		// our own stack, which the exit path serializes.
+		e.mu.Unlock()
+		return
+	}
+	f.end--
+	e.queue = append(e.queue, ent)
+	e.mu.Unlock()
+	e.donated.Add(1)
+	e.cond.Signal()
+}
+
+// requestSnapshot flags a checkpoint barrier when enough fresh states have
+// been interned since the last snapshot. Cheap enough for the per-state
+// hot path: one atomic add and one load.
+func (e *wsEngine) requestSnapshot() {
+	if e.policy == nil {
+		return
+	}
+	if e.sinceCk.Add(1) >= e.threshold.Load() {
+		e.ckWant.Store(true)
+	}
+}
+
+// barrier parks an exploring worker at the checkpoint barrier: its stack
+// is serialized as its contribution, and the last worker in (counting the
+// idle ones) writes the snapshot. Returns when the snapshot is done (or
+// abandoned because the engine stopped).
+func (e *wsEngine) barrier(w *wsWorker) {
+	contrib := w.serializeStack()
+	e.mu.Lock()
+	if !e.ckWant.Load() || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.contribs[w.id] = contrib
+	e.paused++
+	gen := e.gen
+	e.completeBarrierLocked()
+	for e.gen == gen && e.ckWant.Load() && !e.stopped {
+		e.parks.Add(1)
+		e.cond.Wait()
+	}
+	e.paused--
+	e.contribs[w.id] = nil
+	e.mu.Unlock()
+}
+
+// completeBarrierLocked writes the snapshot if every worker has arrived
+// (paused at the barrier or idle in next) and releases the barrier.
+func (e *wsEngine) completeBarrierLocked() {
+	if !e.ckWant.Load() || e.stopped || e.paused+e.idle < e.workers {
+		return
+	}
+	if err := e.snapshotLocked(); err != nil {
+		// A snapshot that cannot be persisted is a hard error: continuing
+		// silently would void the recoverability the caller asked for.
+		e.stopped = true
+		e.stopErr = err
+		e.stopFlag.Store(true)
+	}
+	e.ckWant.Store(false)
+	e.sinceCk.Store(0)
+	e.cond.Broadcast()
+}
+
+// snapshotLocked serializes the pending work (queued entries plus every
+// registered worker stack) and writes the snapshot. No-op when nothing is
+// pending — completed runs are not snapshotted. Caller holds e.mu and
+// guarantees quiescence.
+func (e *wsEngine) snapshotLocked() error {
+	var frontier []CheckpointNode
+	var stacks []CheckpointStack
+	for _, ent := range e.queue {
+		if ent.stack != nil {
+			stacks = append(stacks, stackEntryCheckpoint(ent))
+			continue
+		}
+		frontier = append(frontier, CheckpointNode{Schedule: ent.sched.String(), Crashes: ent.crashes})
+	}
+	for _, st := range e.contribs {
+		if st != nil {
+			stacks = append(stacks, *st)
+		}
+	}
+	if len(frontier) == 0 && len(stacks) == 0 {
+		return nil
+	}
+	ck := buildCheckpoint(e.policy, e.model, e.identity, e.rootKey, e.symmetry,
+		e.maxCrashes, e.gen+1, frontier, stacks, e.visited, e.meter)
+	if err := saveCheckpoint(ck, e.policy.Path); err != nil {
+		return err
+	}
+	e.gen++
+	e.genFlag.Store(int64(e.gen))
+	e.snapshots.Add(1)
+	e.threshold.Store(int64(max(e.policy.everyStates(), e.visited.Size()/4)))
+	return nil
+}
+
+// stackEntryCheckpoint serializes a queued (never-adopted) stack entry
+// back into its checkpoint form.
+func stackEntryCheckpoint(ent wsEntry) CheckpointStack {
+	st := CheckpointStack{Schedule: ent.sched.String()}
+	for _, fr := range ent.stack {
+		st.Frames = append(st.Frames, CheckpointFrame{
+			Depth:   fr.depth,
+			Crashes: fr.crashes,
+			Elems:   machine.Schedule(fr.elems).String(),
+		})
+	}
+	return st
+}
+
+// fault consults the chaos hook at the worker's current generation.
+func (w *wsWorker) fault() error {
+	if w.e.opts.WorkerFault == nil {
+		return nil
+	}
+	if err := w.e.opts.WorkerFault(int(w.lastGen), w.id); err != nil {
+		return &WorkerError{Level: int(w.lastGen), Worker: w.id, Err: err}
+	}
+	return nil
+}
+
+// checkFlags is the per-iteration stable-point poll: stop, checkpoint
+// barrier, and generation-keyed chaos faults.
+func (w *wsWorker) checkFlags() error {
+	e := w.e
+	if e.stopFlag.Load() {
+		return errStopped
+	}
+	if e.ckWant.Load() {
+		e.barrier(w)
+		if e.stopFlag.Load() {
+			return errStopped
+		}
+	}
+	if g := e.genFlag.Load(); g != w.lastGen {
+		w.lastGen = g
+		if err := w.fault(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerContrib parks the worker's pending stack for the final snapshot
+// on its way out. Without a policy there is nothing to park.
+func (w *wsWorker) registerContrib() {
+	if w.e.policy == nil {
+		return
+	}
+	st := w.serializeStack()
+	if st == nil {
+		return
+	}
+	w.e.mu.Lock()
+	w.e.contribs[w.id] = st
+	w.e.mu.Unlock()
+}
+
+// serializeStack captures the worker's pending frames as a checkpoint
+// stack (nil when nothing is pending). Exhausted frames are dropped; the
+// schedule is truncated at the deepest pending frame.
+func (w *wsWorker) serializeStack() *CheckpointStack {
+	top := -1
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		if w.frames[i].next < w.frames[i].end {
+			top = i
 			break
 		}
 	}
-	return exps
+	if top < 0 {
+		return nil
+	}
+	st := &CheckpointStack{Schedule: w.path[:w.frames[top].depth].String()}
+	for i := 0; i <= top; i++ {
+		f := &w.frames[i]
+		if f.next >= f.end {
+			continue
+		}
+		st.Frames = append(st.Frames, CheckpointFrame{
+			Depth:   f.depth,
+			Crashes: f.crashes,
+			Elems:   machine.Schedule(f.elems[f.next:f.end]).String(),
+		})
+	}
+	return st
 }
 
-// expandScratch is one worker's reusable successor-enumeration storage.
-type expandScratch struct {
-	elems []machine.Elem
-	regs  []machine.Reg
-	in    []int
+// unwindAll reverts the whole undo trail, returning the configuration to
+// the initial state, and clears the stack.
+func (w *wsWorker) unwindAll() {
+	for i := len(w.trail) - 1; i >= 0; i-- {
+		w.trail[i].Revert()
+	}
+	w.trail = w.trail[:0]
+	w.path = w.path[:0]
+	w.frames = w.frames[:0]
+	w.donHint = 0
 }
 
-// expandNode enumerates one node's successors in the canonical order the
-// recursive explorer uses (per process: ⊥, then committable registers
-// ascending, then crash), pre-filtered against the frozen visited set.
-// Cloning happens only for elements Config.Enabled says will take — the
-// not-taken majority (halted processes, stalled commits) costs an
-// enabledness probe instead of a deep copy — and the clones themselves
-// come from the pool, reusing flat storage retired by earlier levels.
-func (s *Subject) expandNode(nd *bfsNode, maxCrashes int, visited *shardedVisited, kr *keyer, pool *machine.ConfigPool, sc *expandScratch) expansion {
-	var exp expansion
-	c := nd.cfg
+// abortWith unwinds and re-queues the in-flight entry (its subtree was not
+// consumed), then returns err — used when the entry must survive into the
+// final snapshot (engine stop, budget trip during materialization).
+func (w *wsWorker) abortWith(err error) error {
+	w.unwindAll()
+	e := w.e
+	e.mu.Lock()
+	e.queue = append(e.queue, w.entry)
+	e.mu.Unlock()
+	return err
+}
+
+// pushFrame appends a fresh frame at the current depth, recycling the
+// slot's element storage.
+func (w *wsWorker) pushFrame(crashes int) *wsFrame {
+	n := len(w.frames)
+	if cap(w.frames) > n {
+		w.frames = w.frames[:n+1]
+	} else {
+		w.frames = append(w.frames, wsFrame{})
+	}
+	f := &w.frames[n]
+	f.elems = f.elems[:0]
+	f.keys = nil
+	f.next, f.end = 0, 0
+	f.crashes = crashes
+	f.depth = len(w.path)
+	return f
+}
+
+// popFrame discards the exhausted top frame and reverts the trail down to
+// the new top frame's depth (or to the root).
+func (w *wsWorker) popFrame() {
+	w.frames = w.frames[:len(w.frames)-1]
+	target := 0
+	if n := len(w.frames); n > 0 {
+		target = w.frames[n-1].depth
+	}
+	for len(w.trail) > target {
+		w.trail[len(w.trail)-1].Revert()
+		w.trail = w.trail[:len(w.trail)-1]
+	}
+	w.path = w.path[:target]
+	if w.donHint > len(w.frames) {
+		w.donHint = len(w.frames)
+	}
+}
+
+// runEntry materializes and fully explores one frontier entry, leaving the
+// configuration back at the initial state on success. On error the stack
+// and trail are left intact for serialization by the caller.
+func (w *wsWorker) runEntry(ent wsEntry) error {
+	w.entry = ent
+	if err := w.materialize(ent); err != nil {
+		return err
+	}
+	if err := w.explore(); err != nil {
+		return err
+	}
+	w.unwindAll()
+	return nil
+}
+
+// materialize replays the entry's schedule under the worker's undo trail
+// and installs its pending work: for an edge entry the final element is
+// stepped (charging its step unless the donor already did) and the target
+// visited; for a stack entry the serialized frames are adopted.
+func (w *wsWorker) materialize(ent wsEntry) error {
+	e := w.e
+	replay := ent.sched
+	var final machine.Elem
+	hasFinal := false
+	if ent.stack == nil && len(ent.sched) > 0 {
+		replay = ent.sched[:len(ent.sched)-1]
+		final = ent.sched[len(ent.sched)-1]
+		hasFinal = true
+	}
+	crashes := 0
+	for _, el := range replay {
+		if e.stopFlag.Load() {
+			return w.abortWith(errStopped)
+		}
+		_, took, u, err := w.cfg.StepUndo(el)
+		if err != nil || !took {
+			if err == nil {
+				err = fmt.Errorf("check: frontier entry %q does not replay", ent.sched)
+			}
+			w.unwindAll()
+			return err
+		}
+		w.path = append(w.path, el)
+		w.trail = append(w.trail, u)
+		if el.Crash {
+			crashes++
+		}
+	}
+	if ent.stack != nil {
+		for _, fr := range ent.stack {
+			f := w.pushFrame(fr.crashes)
+			f.depth = fr.depth
+			f.elems = append(f.elems, fr.elems...)
+			f.end = len(f.elems)
+		}
+		return nil
+	}
+	if hasFinal {
+		if !ent.charged {
+			if err := e.meter.AddStep(); err != nil {
+				return w.abortWith(err)
+			}
+		}
+		_, took, u, err := w.cfg.StepUndo(final)
+		if err != nil {
+			w.unwindAll()
+			return err
+		}
+		if !took {
+			// The donated element turned out disabled on this path — a
+			// donor race is impossible (the donor's configuration was
+			// bit-identical after replay), so this is a stale resume edge;
+			// treat as consumed.
+			w.unwindAll()
+			return nil
+		}
+		w.path = append(w.path, final)
+		w.trail = append(w.trail, u)
+		if final.Crash {
+			crashes++
+		}
+	}
+	pushed, err := w.visit(crashes, machine.StateKey{}, false)
+	if err != nil {
+		if errors.Is(err, errStopped) {
+			return err
+		}
+		if run.IsLimit(err) {
+			return w.abortWith(err)
+		}
+		return err
+	}
+	if !pushed {
+		w.unwindAll()
+	}
+	return nil
+}
+
+// visit interns and expands the configuration the worker currently sits
+// at. Returns pushed=false when the state was already visited (the caller
+// backtracks its edge). On a limit error the interning is rolled back so
+// the interned count sits exactly at the budget cap — the sequential trip
+// point — and the caller re-queues the edge for resume.
+func (w *wsWorker) visit(crashes int, key machine.StateKey, haveKey bool) (pushed bool, err error) {
+	e := w.e
+	if !haveKey {
+		key, err = w.kr.key(w.cfg, crashes, e.maxCrashes)
+		if err != nil {
+			return false, err
+		}
+	}
+	if !e.visited.TryVisit(key) {
+		return false, nil
+	}
+	if err := e.meter.AddState(machine.StateKeySize + stateKeyOverhead); err != nil {
+		e.visited.Remove(key)
+		return false, err
+	}
+	e.requestSnapshot()
+
+	in, err := e.s.occupancyInto(w.cfg, w.in[:0])
+	if err != nil {
+		return false, err
+	}
+	w.in = in[:0]
+	if len(in) >= 2 {
+		e.foundViolation(w.path, in)
+		return false, errStopped
+	}
+	return w.expand(crashes, key)
+}
+
+// expand enumerates the current configuration's successors in the
+// canonical order (per process: ⊥, committable registers ascending, crash)
+// into a fresh frame. At Workers>1 the successors are pre-screened: every
+// element's step is charged up front (the same elements the sequential
+// explorer charges), taken successors are keyed via a speculative
+// step+revert, and a single batched visited-set lookup drops the
+// already-known majority before they ever reach the stack — cutting both
+// lock traffic and redundant replay. At Workers=1 the frame stays lazy
+// (keys == nil) and charges happen at descent, preserving the sequential
+// charge order bit-for-bit.
+func (w *wsWorker) expand(crashes int, nodeKey machine.StateKey) (bool, error) {
+	e := w.e
+	c := w.cfg
+	f := w.pushFrame(crashes)
 	for p := 0; p < c.N(); p++ {
 		if c.Halted(p) {
 			continue
 		}
-		elems := append(sc.elems[:0], machine.PBottom(p))
-		sc.regs = c.AppendBufferRegs(p, sc.regs[:0])
-		for _, r := range sc.regs {
+		f.elems = append(f.elems, machine.PBottom(p))
+		w.regs = c.AppendBufferRegs(p, w.regs[:0])
+		for _, r := range w.regs {
 			if c.CanCommit(p, r) {
-				elems = append(elems, machine.PReg(p, r))
+				f.elems = append(f.elems, machine.PReg(p, r))
 			}
 		}
-		if nd.crashes < maxCrashes {
-			elems = append(elems, machine.PCrash(p))
-		}
-		sc.elems = elems
-		for _, e := range elems {
-			exp.attempts++
-			if !c.Enabled(e) {
-				continue
-			}
-			next := pool.Get(c)
-			if _, took, err := next.Step(e); err != nil {
-				exp.err = err
-				return exp
-			} else if !took {
-				pool.Put(next)
-				continue
-			}
-			nc := nd.crashes
-			if e.Crash {
-				nc++
-			}
-			key, err := kr.key(next, nc, maxCrashes)
-			if err != nil {
-				exp.err = err
-				return exp
-			}
-			if visited.has(key) {
-				pool.Put(next)
-				continue
-			}
-			in, err := s.occupancyInto(next, sc.in[:0])
-			if err != nil {
-				exp.err = err
-				return exp
-			}
-			sc.in = in[:0]
-			var inCS []int
-			if len(in) > 0 {
-				inCS = append([]int(nil), in...)
-			}
-			exp.cands = append(exp.cands, candidate{elem: e, cfg: next, key: key, crashes: nc, inCS: inCS})
+		if crashes < e.maxCrashes {
+			f.elems = append(f.elems, machine.PCrash(p))
 		}
 	}
-	return exp
+	if !e.prepass {
+		f.end = len(f.elems)
+		return true, nil
+	}
+
+	// Batched pre-pass. On a limit error the node's interning is rolled
+	// back too: its expansion was not completed, so it must be re-visited
+	// (and re-charged) by the resumed run.
+	bail := func(err error) (bool, error) {
+		w.popFrame()
+		e.visited.Remove(nodeKey)
+		return false, err
+	}
+	kept := 0
+	f.keys = f.keys[:0]
+	for _, el := range f.elems {
+		if err := e.meter.AddStep(); err != nil {
+			return bail(err)
+		}
+		_, took, u, err := c.StepUndo(el)
+		if err != nil {
+			return bail(err)
+		}
+		if !took {
+			continue
+		}
+		nc := crashes
+		if el.Crash {
+			nc++
+		}
+		ck, kerr := w.kr.key(c, nc, e.maxCrashes)
+		u.Revert()
+		if kerr != nil {
+			return bail(kerr)
+		}
+		f.elems[kept] = el
+		f.keys = append(f.keys, ck)
+		kept++
+	}
+	f.elems = f.elems[:kept]
+	if kept > 0 {
+		if cap(w.fresh) < kept {
+			w.fresh = make([]bool, kept*2)
+		}
+		seen := w.fresh[:kept]
+		e.visited.HasBatch(f.keys, seen)
+		e.batchLookups.Add(1)
+		j := 0
+		for i := 0; i < kept; i++ {
+			if seen[i] {
+				continue
+			}
+			f.elems[j], f.keys[j] = f.elems[i], f.keys[i]
+			j++
+		}
+		f.elems = f.elems[:j]
+		f.keys = f.keys[:j]
+	}
+	f.end = len(f.elems)
+	return true, nil
+}
+
+// explore runs the DFS loop over the worker's frame stack until it
+// empties, donating stealable edges to idle peers along the way.
+func (w *wsWorker) explore() error {
+	e := w.e
+	for len(w.frames) > 0 {
+		if err := w.checkFlags(); err != nil {
+			return err
+		}
+		f := &w.frames[len(w.frames)-1]
+		if f.next >= f.end {
+			w.popFrame()
+			continue
+		}
+		if e.idleCount.Load() > 0 {
+			w.maybeDonate()
+			f = &w.frames[len(w.frames)-1]
+			if f.next >= f.end {
+				w.popFrame()
+				continue
+			}
+		}
+		i := f.next
+		f.next++
+		el := f.elems[i]
+		if f.keys == nil {
+			if err := e.meter.AddStep(); err != nil {
+				f.next--
+				return err
+			}
+		}
+		_, took, u, err := w.cfg.StepUndo(el)
+		if err != nil {
+			return err
+		}
+		if !took {
+			continue
+		}
+		w.path = append(w.path, el)
+		w.trail = append(w.trail, u)
+		nc := f.crashes
+		if el.Crash {
+			nc++
+		}
+		var key machine.StateKey
+		haveKey := false
+		if f.keys != nil {
+			key, haveKey = f.keys[i], true
+		}
+		pushed, verr := w.visit(nc, key, haveKey)
+		if verr != nil {
+			if !errors.Is(verr, errStopped) {
+				// Rewind the edge so it stays pending: the snapshot then
+				// parks the exact trip point. visit/expand already rolled
+				// back anything below it; the frame slice may have been
+				// reallocated by the push, so re-take the top pointer.
+				last := len(w.trail) - 1
+				w.trail[last].Revert()
+				w.trail = w.trail[:last]
+				w.path = w.path[:len(w.path)-1]
+				w.frames[len(w.frames)-1].next--
+			}
+			return verr
+		}
+		if !pushed {
+			last := len(w.trail) - 1
+			w.trail[last].Revert()
+			w.trail = w.trail[:last]
+			w.path = w.path[:len(w.path)-1]
+		}
+	}
+	return nil
+}
+
+// maybeDonate publishes the shallowest stealable edge when peers are idle.
+// Donating from the bottom of the stack hands thieves the largest
+// subtrees, which keeps steal traffic logarithmic in practice.
+func (w *wsWorker) maybeDonate() {
+	for i := w.donHint; i < len(w.frames); i++ {
+		f := &w.frames[i]
+		avail := f.end - f.next
+		if avail <= 0 {
+			if i == w.donHint {
+				w.donHint++
+			}
+			continue
+		}
+		if i == len(w.frames)-1 && avail < 2 {
+			// Keep the top frame's last element for ourselves: donating it
+			// would leave this worker re-queueing for its own work.
+			return
+		}
+		w.e.donate(w, f)
+		return
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"tradingfences/internal/locks"
@@ -12,7 +13,7 @@ import (
 )
 
 // seedPairs are the witness lock/model pairs of the separation matrix: the
-// acceptance surface for worker-count invariance.
+// acceptance surface for the work-stealing engine's determinism contract.
 var seedPairs = []struct {
 	name string
 	ctor locks.Constructor
@@ -51,9 +52,52 @@ func requireSameResult(t *testing.T, what string, a, b Result) {
 	}
 }
 
-// Workers ∈ {2, NumCPU} must return bit-identical verdicts, violation
-// schedules and visited-state counts as Workers=1, for every seed witness
-// lock/model pair (the PR's acceptance criterion).
+// requireReplayViolation replays a witness and asserts it really shows two
+// processes in the critical section.
+func requireReplayViolation(t *testing.T, s *Subject, m machine.Model, w machine.Schedule) {
+	t.Helper()
+	_, c, err := s.Replay(m, w, nil)
+	if err != nil {
+		t.Fatalf("witness does not replay: %v", err)
+	}
+	in, err := s.occupancy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) < 2 {
+		t.Fatalf("replayed witness shows %v in CS", in)
+	}
+}
+
+// Workers=1 is the engine's deterministic anchor: bit-identical to the
+// sequential Exhaustive in verdict, witness schedule and state count, for
+// every seed lock/model pair.
+func TestParallelWorkersOneMatchesSequential(t *testing.T) {
+	for _, tc := range seedPairs {
+		for _, m := range allModels {
+			s := mustSubject(t, tc.name, tc.ctor, tc.n)
+			seq, err := s.Exhaustive(bg(), m, Opts{})
+			if err != nil {
+				t.Fatalf("%s/%v sequential: %v", tc.name, m, err)
+			}
+			par, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%v workers=1: %v", tc.name, m, err)
+			}
+			requireSameResult(t, tc.name+"/"+m.String(), seq, par)
+			if par.Engine == nil || par.Engine.Workers != 1 {
+				t.Fatalf("%s/%v: missing or wrong EngineStats: %+v", tc.name, m, par.Engine)
+			}
+			if par.Engine.Steals != 0 || par.Engine.Donated != 0 {
+				t.Fatalf("%s/%v: a single worker has nobody to steal from: %+v", tc.name, m, par.Engine)
+			}
+		}
+	}
+}
+
+// Workers ∈ {2, NumCPU} keep verdicts exact for every seed pair; complete
+// runs additionally pin the exact state count, and violation witnesses —
+// which are scheduling-dependent at >1 workers — must replay.
 func TestParallelWorkerCountInvariance(t *testing.T) {
 	for _, tc := range seedPairs {
 		for _, m := range allModels {
@@ -67,16 +111,50 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%v workers=%d: %v", tc.name, m, w, err)
 				}
-				requireSameResult(t, tc.name+"/"+m.String(), base, got)
+				if got.Violation != base.Violation || got.Complete != base.Complete {
+					t.Fatalf("%s/%v workers=%d: verdict mismatch (viol=%v complete=%v) vs (viol=%v complete=%v)",
+						tc.name, m, w, got.Violation, got.Complete, base.Violation, base.Complete)
+				}
+				if base.Complete && got.States != base.States {
+					t.Fatalf("%s/%v workers=%d: complete run visited %d states, workers=1 visited %d",
+						tc.name, m, w, got.States, base.States)
+				}
+				if got.Violation {
+					requireReplayViolation(t, s, m, got.Witness)
+				}
 			}
 		}
 	}
 }
 
+// Opts.Workers resolution: 0 means one worker per CPU, an explicit 1 stays
+// 1, negatives clamp to 1 (the satellite fix for the old <=1 asymmetry).
+func TestWorkerCountResolution(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, runtime.NumCPU()},
+		{1, 1},
+		{-3, 1},
+		{2, 2},
+		{7, 7},
+	}
+	for _, tc := range cases {
+		if got := (Opts{Workers: tc.in}).workerCount(); got != tc.want {
+			t.Fatalf("workerCount(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
+	res, err := s.ExhaustiveParallel(bg(), machine.SC, Opts{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine == nil || res.Engine.Workers != runtime.NumCPU() {
+		t.Fatalf("Workers=0 should resolve to NumCPU=%d, got %+v", runtime.NumCPU(), res.Engine)
+	}
+}
+
 // The parallel explorer must agree with the recursive DFS explorer on
-// every verdict (the witness schedules may differ: BFS finds a shortest
-// counterexample, DFS a depth-first one — both must replay to a
-// violation).
+// every verdict, and on the exact state count for complete runs (both
+// cover the full reachable space).
 func TestParallelAgreesWithRecursive(t *testing.T) {
 	for _, tc := range seedPairs {
 		for _, m := range allModels {
@@ -85,71 +163,61 @@ func TestParallelAgreesWithRecursive(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v dfs: %v", tc.name, m, err)
 			}
-			bfs, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: 4})
+			par, err := s.ExhaustiveParallel(bg(), m, Opts{Workers: 4})
 			if err != nil {
-				t.Fatalf("%s/%v bfs: %v", tc.name, m, err)
+				t.Fatalf("%s/%v parallel: %v", tc.name, m, err)
 			}
-			if dfs.Violation != bfs.Violation || dfs.Complete != bfs.Complete {
-				t.Fatalf("%s/%v: dfs (viol=%v complete=%v) vs bfs (viol=%v complete=%v)",
-					tc.name, m, dfs.Violation, dfs.Complete, bfs.Violation, bfs.Complete)
+			if dfs.Violation != par.Violation || dfs.Complete != par.Complete {
+				t.Fatalf("%s/%v: dfs (viol=%v complete=%v) vs parallel (viol=%v complete=%v)",
+					tc.name, m, dfs.Violation, dfs.Complete, par.Violation, par.Complete)
 			}
-			if dfs.Complete && dfs.States != bfs.States {
+			if dfs.Complete && dfs.States != par.States {
 				// On proofs both engines cover the full reachable space;
 				// on violations each stops at its first counterexample,
 				// so the partial counts legitimately differ.
-				t.Fatalf("%s/%v: dfs visited %d states, bfs %d", tc.name, m, dfs.States, bfs.States)
+				t.Fatalf("%s/%v: dfs visited %d states, parallel %d", tc.name, m, dfs.States, par.States)
 			}
-			if bfs.Violation {
-				if len(bfs.Witness) > len(dfs.Witness) {
-					t.Fatalf("%s/%v: BFS witness (%d elems) longer than DFS witness (%d elems)",
-						tc.name, m, len(bfs.Witness), len(dfs.Witness))
-				}
-				_, c, err := s.Replay(m, bfs.Witness, nil)
-				if err != nil {
-					t.Fatalf("%s/%v: BFS witness does not replay: %v", tc.name, m, err)
-				}
-				in, err := s.occupancy(c)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if len(in) < 2 {
-					t.Fatalf("%s/%v: replayed BFS witness shows %v in CS", tc.name, m, in)
-				}
+			if par.Violation {
+				requireReplayViolation(t, s, m, par.Witness)
 			}
 		}
 	}
 }
 
-// Parallel exploration with an adversarial crash budget stays
-// worker-count invariant (crash counts are folded into the visited keys).
+// Parallel exploration with an adversarial crash budget: workers=1 is
+// bit-identical to the sequential explorer, and the multi-worker proof
+// covers the identical state count (crash counts are folded into the
+// visited keys, so the space itself is worker-count invariant).
 func TestParallelCrashBudgetInvariance(t *testing.T) {
 	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
 	opts := func(w int) Opts {
 		return Opts{Workers: w, Faults: &machine.FaultPlan{MaxCrashes: 1}}
 	}
-	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(runtime.NumCPU()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	requireSameResult(t, "peterson/PSO crashes=1", base, got)
-
 	dfs, err := s.Exhaustive(bg(), machine.PSO, Opts{Faults: &machine.FaultPlan{MaxCrashes: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dfs.States != base.States || dfs.Violation != base.Violation {
-		t.Fatalf("crash-budget BFS disagrees with DFS: %d/%v vs %d/%v",
-			base.States, base.Violation, dfs.States, dfs.Violation)
+	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "peterson/PSO crashes=1 workers=1", dfs, base)
+	got, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Violation != base.Violation || got.Complete != base.Complete {
+		t.Fatalf("crash-budget verdict drifted across worker counts")
+	}
+	if base.Complete && got.States != base.States {
+		t.Fatalf("crash-budget state count drifted: %d vs %d", got.States, base.States)
 	}
 }
 
-// A checkpointed run that is killed mid-flight and resumed in-process
-// reaches the same certified verdict, witness and state count as an
-// uninterrupted run.
+// A checkpointed run that is killed mid-flight (chaos hook keyed by the
+// snapshot generation) and resumed in-process reaches the same certified
+// verdict as an uninterrupted run — and the same state count when the run
+// is a proof.
 func TestCheckpointKillResumeSameVerdict(t *testing.T) {
 	cases := []struct {
 		name string
@@ -167,10 +235,12 @@ func TestCheckpointKillResumeSameVerdict(t *testing.T) {
 		}
 
 		path := filepath.Join(t.TempDir(), "ck.json")
-		policy := &CheckpointPolicy{Path: path, EveryLevels: 2,
+		policy := &CheckpointPolicy{Path: path, EveryStates: 64,
 			Meta: CheckpointMeta{Kind: "mutex", Lock: tc.name, N: 2, Passages: 1}}
-		kill := func(level, worker int) error {
-			if level == 7 && worker == 0 {
+		// No worker filter: with work stealing a given worker may park idle
+		// for the whole run and never observe a generation change.
+		kill := func(gen, worker int) error {
+			if gen >= 1 {
 				return errors.New("chaos: worker killed")
 			}
 			return nil
@@ -178,15 +248,24 @@ func TestCheckpointKillResumeSameVerdict(t *testing.T) {
 		_, err = s.ExhaustiveParallel(bg(), tc.m, Opts{Workers: 2, Checkpoint: policy, WorkerFault: kill})
 		var we *WorkerError
 		if !errors.As(err, &we) {
+			if err == nil && tc.m == machine.PSO && clean.Violation {
+				// The violating run can legitimately finish before the
+				// first snapshot generation on a fast schedule; the proof
+				// case below still exercises the kill.
+				continue
+			}
 			t.Fatalf("%s: want *WorkerError from killed run, got %v", tc.name, err)
+		}
+		if we.Level < 1 {
+			t.Fatalf("%s: kill fired at generation %d, want >= 1", tc.name, we.Level)
 		}
 
 		ck, err := ReadCheckpoint(path)
 		if err != nil {
 			t.Fatalf("%s: read checkpoint: %v", tc.name, err)
 		}
-		if ck.Level == 0 || ck.Level > 7 {
-			t.Fatalf("%s: checkpoint at level %d, want within (0, 7]", tc.name, ck.Level)
+		if ck.Level < 1 {
+			t.Fatalf("%s: checkpoint at generation %d, want >= 1", tc.name, ck.Level)
 		}
 		resumed, err := s.ResumeExhaustiveParallel(bg(), tc.m, ck, Opts{Workers: 2})
 		if err != nil {
@@ -196,27 +275,36 @@ func TestCheckpointKillResumeSameVerdict(t *testing.T) {
 			t.Fatalf("%s: in-process resume should reuse the visited set", tc.name)
 		}
 		if resumed.ResumedLevel != ck.Level {
-			t.Fatalf("%s: resumed from level %d, checkpoint says %d", tc.name, resumed.ResumedLevel, ck.Level)
+			t.Fatalf("%s: resumed from generation %d, checkpoint says %d", tc.name, resumed.ResumedLevel, ck.Level)
 		}
-		requireSameResult(t, tc.name+" resumed", clean, resumed)
+		if resumed.Violation != clean.Violation || resumed.Complete != clean.Complete {
+			t.Fatalf("%s: resumed verdict (viol=%v complete=%v) differs from clean (viol=%v complete=%v)",
+				tc.name, resumed.Violation, resumed.Complete, clean.Violation, clean.Complete)
+		}
+		if clean.Complete && resumed.States != clean.States {
+			t.Fatalf("%s: resumed proof visited %d states, clean visited %d", tc.name, resumed.States, clean.States)
+		}
+		if resumed.Violation {
+			requireReplayViolation(t, s, tc.m, resumed.Witness)
+		}
 	}
 }
 
 // Binary state keys are build-stable: a resume in a fresh Subject
 // instance (same identity, different AST pointers — exactly what a new OS
 // process would see) certifies the snapshot's visited set, reuses it, and
-// reproduces the clean run bit for bit. Under the legacy string
-// fingerprints this path had to drop the visited set and re-explore.
+// reproduces the clean verdict. Under the legacy string fingerprints this
+// path had to drop the visited set and re-explore.
 func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
-	s := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
 	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	policy := &CheckpointPolicy{Path: path, EveryLevels: 3}
-	kill := func(level, worker int) error {
-		if level == 6 && worker == 1 {
+	policy := &CheckpointPolicy{Path: path, EveryStates: 64}
+	kill := func(gen, worker int) error {
+		if gen >= 2 {
 			return errors.New("chaos: worker killed")
 		}
 		return nil
@@ -228,7 +316,7 @@ func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := mustSubject(t, "bakery-tso", locks.NewBakeryTSO, 2)
+	s2 := mustSubject(t, "bakery", locks.NewBakery, 2)
 	resumed, err := s2.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 2})
 	if err != nil {
 		t.Fatalf("resume: %v", err)
@@ -240,57 +328,55 @@ func TestCheckpointCrossProcessResumeSameVerdict(t *testing.T) {
 		t.Fatalf("verdict drifted across process boundary: (viol=%v complete=%v) vs (viol=%v complete=%v)",
 			resumed.Violation, resumed.Complete, clean.Violation, clean.Complete)
 	}
-	if resumed.Violation {
-		_, c, err := s2.Replay(machine.PSO, resumed.Witness, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		in, err := s2.occupancy(c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(in) < 2 {
-			t.Fatalf("resumed witness shows %v in CS", in)
-		}
+	if clean.Complete && resumed.States != clean.States {
+		t.Fatalf("resumed proof visited %d states, clean visited %d", resumed.States, clean.States)
 	}
 }
 
 // Budget trips surface the same structured errors as the recursive
-// explorer, with the partial result attached, at a worker-count-invariant
-// point.
+// explorer with the partial result attached. The interned count sits
+// exactly at the cap for every worker count (over-cap internings are
+// rolled back), and workers=1 trips at the bit-identical sequential point.
 func TestParallelBudgetTripDeterministic(t *testing.T) {
 	s := mustSubject(t, "bakery", locks.NewBakery, 2)
 	opts := func(w int) Opts {
 		return Opts{Workers: w, Budget: run.Budget{MaxStates: 500}}
 	}
-	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
+	seq, seqErr := s.Exhaustive(bg(), machine.PSO, Opts{Budget: run.Budget{MaxStates: 500}})
 	var be *run.BudgetError
+	if !errors.As(seqErr, &be) || be.Resource != "states" {
+		t.Fatalf("sequential: want states BudgetError, got %v", seqErr)
+	}
+	base, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(1))
 	if !errors.As(err, &be) || be.Resource != "states" {
 		t.Fatalf("want states BudgetError, got %v", err)
 	}
 	if base.Complete {
 		t.Fatal("tripped run must not report completeness")
 	}
+	if base.States != seq.States {
+		t.Fatalf("workers=1 tripped at %d states, sequential at %d", base.States, seq.States)
+	}
 	for _, w := range []int{2, runtime.NumCPU()} {
 		got, err := s.ExhaustiveParallel(bg(), machine.PSO, opts(w))
 		if !errors.As(err, &be) {
 			t.Fatalf("workers=%d: want BudgetError, got %v", w, err)
 		}
-		if got.States != base.States {
-			t.Fatalf("workers=%d: tripped at %d states, workers=1 at %d", w, got.States, base.States)
+		if got.States != 500 {
+			t.Fatalf("workers=%d: tripped at %d states, want exactly the 500 cap", w, got.States)
 		}
 	}
 }
 
-// A killed level is never merged: the checkpoint on disk stays consistent
-// and a stalled worker (hook sleeping past the wall budget) surfaces the
-// wall trip rather than hanging.
+// A worker killed by the chaos hook fails the run closed: a *WorkerError
+// carrying the generation, no completeness claim, and — dead on arrival —
+// no states explored (the root entry is never consumed).
 func TestParallelWorkerFaultFailsClosed(t *testing.T) {
 	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
 	res, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2,
-		WorkerFault: func(level, worker int) error {
-			if level == 0 {
+		WorkerFault: func(gen, worker int) error {
+			if gen == 0 {
 				return errors.New("chaos: dead on arrival")
 			}
 			return nil
@@ -301,12 +387,73 @@ func TestParallelWorkerFaultFailsClosed(t *testing.T) {
 		t.Fatalf("want WorkerError, got %v", err)
 	}
 	if we.Level != 0 {
-		t.Fatalf("fault at level %d, want 0", we.Level)
+		t.Fatalf("fault at generation %d, want 0", we.Level)
 	}
 	if res.Complete {
 		t.Fatal("failed run must not claim completeness")
 	}
-	if res.States != 1 {
-		t.Fatalf("level 0 failed before merging, want only the root interned, got %d", res.States)
+	if res.States != 0 {
+		t.Fatalf("both workers died on arrival, want 0 states, got %d", res.States)
+	}
+}
+
+// Multi-worker runs on a big enough space actually steal: the engine's
+// counters show work moving between workers, and the complete-run state
+// count still matches the sequential explorer exactly.
+func TestParallelStealsAndStaysExact(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU runner: no parallelism to observe")
+	}
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.Exhaustive(bg(), machine.SC, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := s.ExhaustiveParallel(bg(), machine.SC, Opts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Complete || par.States != seq.States {
+		t.Fatalf("parallel proof diverged: complete=%v states=%d vs sequential %d",
+			par.Complete, par.States, seq.States)
+	}
+	es := par.Engine
+	if es == nil {
+		t.Fatal("missing EngineStats")
+	}
+	if es.Donated == 0 {
+		t.Fatalf("4 workers on %d states never donated: %+v", seq.States, es)
+	}
+	if es.BatchLookups == 0 {
+		t.Fatal("multi-worker runs must use the batched visited pre-filter")
+	}
+}
+
+// Donation/steal traffic under concurrent kill pressure must not corrupt
+// the engine: run a pool where one worker dies at a random-ish point and
+// assert the error surfaces as a WorkerError while the others shut down
+// cleanly (no hang, no panic). Exercised under -race in CI.
+func TestParallelKillDuringStealRace(t *testing.T) {
+	s, err := NewMutexSubject("bakery", locks.NewBakery, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	_, err = s.ExhaustiveParallel(bg(), machine.SC, Opts{
+		Workers: 4,
+		Budget:  run.Budget{MaxStates: 20000},
+		WorkerFault: func(gen, worker int) error {
+			if calls.Add(1) == 3 {
+				return errors.New("chaos: raced kill")
+			}
+			return nil
+		},
+	})
+	var we *WorkerError
+	if err != nil && !errors.As(err, &we) && !errors.Is(err, run.ErrBudgetExceeded) {
+		t.Fatalf("want WorkerError or budget trip, got %v", err)
 	}
 }

@@ -189,15 +189,15 @@ func TestSymmetryCheckpointCertification(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
-	kill := func(level, worker int) error {
-		if level == 4 {
+	kill := func(gen, worker int) error {
+		if gen >= 1 {
 			return errors.New("chaos")
 		}
 		return nil
 	}
 	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Symmetry: true, Workers: 2, WorkerFault: kill,
-		Checkpoint: &CheckpointPolicy{Path: path},
+		Checkpoint: &CheckpointPolicy{Path: path, EveryStates: 16},
 	}); err == nil {
 		t.Fatal("expected chaos kill")
 	}
@@ -218,13 +218,15 @@ func TestSymmetryCheckpointCertification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The clean run is a complete proof, so the resumed orbit count and
+	// (empty) witness must match it exactly even at two workers.
 	requireSameResult(t, "symmetric resume", clean, resumed)
 
 	// The reverse flip: a plain snapshot must not resume symmetrically.
 	plainPath := filepath.Join(t.TempDir(), "plain.json")
 	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2, WorkerFault: kill,
-		Checkpoint: &CheckpointPolicy{Path: plainPath},
+		Checkpoint: &CheckpointPolicy{Path: plainPath, EveryStates: 16},
 	}); err == nil {
 		t.Fatal("expected chaos kill")
 	}
@@ -245,7 +247,7 @@ func TestSymmetryCheckpointCertification(t *testing.T) {
 	bcleanPath := filepath.Join(t.TempDir(), "bakery.json")
 	if _, err := b.ExhaustiveParallel(bg(), machine.PSO, Opts{
 		Workers: 2, WorkerFault: kill,
-		Checkpoint: &CheckpointPolicy{Path: bcleanPath},
+		Checkpoint: &CheckpointPolicy{Path: bcleanPath, EveryStates: 16},
 	}); err == nil {
 		t.Fatal("expected chaos kill")
 	}
@@ -449,6 +451,105 @@ func TestUndoExplorerMatchesCloneReferenceAtBudgetTrip(t *testing.T) {
 		}
 		requireSameResult(t, "budget trip", undo, ref)
 	}
+}
+
+// TestWSWorkersOneMatchesSequentialSuite: across the full lock suite, all
+// three models and the symmetry knob, a single work-stealing worker is
+// bit-identical to the sequential explorer — verdicts, witness schedules,
+// co-residency sets and state counts. This is the engine's determinism
+// anchor: workers=1 takes the direct enumeration flavor, so every charge
+// and every visit happens in the sequential order.
+func TestWSWorkersOneMatchesSequentialSuite(t *testing.T) {
+	variants := []struct {
+		tag  string
+		opts Opts
+	}{
+		{"plain", Opts{}},
+		{"symmetry", Opts{Symmetry: true}},
+	}
+	for _, tc := range parityPairs {
+		for _, m := range allModels {
+			for _, v := range variants {
+				what := tc.name + "/" + m.String() + "/" + v.tag
+				s := mustSubject(t, tc.name, tc.ctor, tc.n)
+				seq, serr := s.Exhaustive(bg(), m, v.opts)
+				popts := v.opts
+				popts.Workers = 1
+				par, perr := s.ExhaustiveParallel(bg(), m, popts)
+				if (serr == nil) != (perr == nil) {
+					t.Fatalf("%s: error mismatch: %v vs %v", what, serr, perr)
+				}
+				requireSameResult(t, what, seq, par)
+				requireSameInCS(t, what, seq, par)
+				if par.SymmetryApplied != seq.SymmetryApplied {
+					t.Fatalf("%s: SymmetryApplied mismatch", what)
+				}
+			}
+		}
+	}
+}
+
+// TestWSWorkersOneMatchesSequentialWithCrashes: the bit-parity survives
+// adversarial crash budgets — crash edges both mutate the most state and
+// interact with the crashes-spent component of the visited keys.
+func TestWSWorkersOneMatchesSequentialWithCrashes(t *testing.T) {
+	opts := Opts{Faults: &machine.FaultPlan{MaxCrashes: 1}}
+	for _, tc := range []struct {
+		name string
+		ctor locks.Constructor
+	}{
+		{"peterson", locks.NewPeterson},
+		{"bakery", locks.NewBakery},
+	} {
+		for _, m := range allModels {
+			what := tc.name + "/" + m.String() + "/crashes=1/workers=1"
+			s := mustSubject(t, tc.name, tc.ctor, 2)
+			seq, serr := s.Exhaustive(bg(), m, opts)
+			popts := opts
+			popts.Workers = 1
+			par, perr := s.ExhaustiveParallel(bg(), m, popts)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("%s: error mismatch: %v vs %v", what, serr, perr)
+			}
+			requireSameResult(t, what, seq, par)
+			requireSameInCS(t, what, seq, par)
+		}
+	}
+}
+
+// TestWSCheckpointResumeWorkersOneBitParity: a workers=1 checkpointed run
+// killed after its first snapshot and resumed with workers=1 lands
+// bit-for-bit on the sequential explorer's proof — the facade's
+// CheckpointPath mode (which pins one worker) keeps its deterministic
+// contract across a kill/resume cycle.
+func TestWSCheckpointResumeWorkersOneBitParity(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	seq, err := s.Exhaustive(bg(), machine.PSO, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	kill := func(gen, worker int) error {
+		if gen >= 1 {
+			return errors.New("chaos")
+		}
+		return nil
+	}
+	if _, err := s.ExhaustiveParallel(bg(), machine.PSO, Opts{
+		Workers: 1, WorkerFault: kill,
+		Checkpoint: &CheckpointPolicy{Path: path, EveryStates: 64},
+	}); err == nil {
+		t.Fatal("expected chaos kill")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := s.ResumeExhaustiveParallel(bg(), machine.PSO, ck, Opts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "workers=1 kill/resume", seq, resumed)
 }
 
 // TestFCFSRejectsSymmetry: the precedence monitor tracks which concrete

@@ -14,9 +14,11 @@ import (
 // interned per second) and per-state allocation on the two configurations
 // recorded in BENCH_check.json: the full bakery n=3 proof under PSO
 // (~78k states) and the first 150k states of GT_2 n=4 under PSO (the
-// state budget makes the truncated exploration deterministic). Both the
-// sequential DFS and the level-synchronous parallel engine are measured,
-// the latter at workers=1 and workers=NumCPU.
+// state budget trips at exactly MaxStates interned states at any worker
+// count — over-cap internings are rolled back — so the truncated rows
+// stay comparable). Both the sequential DFS and the work-stealing
+// undo-log parallel engine are measured, the latter at workers=1 and
+// workers=NumCPU.
 //
 // bytes/state for BENCH_check.json is B/op divided by the reported
 // states/op metric; the peak visited-set size equals the state count

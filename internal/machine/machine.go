@@ -265,31 +265,6 @@ func (c *Config) Clone() *Config {
 	return d
 }
 
-// cloneInto overwrites dst — a recycled configuration of the same shape
-// (layout, model, process count) — with a deep copy of c, reusing dst's
-// slice storage and write buffers. Stats are copied; the trace is cleared.
-// ConfigPool guarantees shape compatibility before calling this.
-func (c *Config) cloneInto(dst *Config) {
-	dst.accounting = c.accounting
-	dst.faults = c.faults
-	dst.steps = c.steps
-	dst.mem = append(dst.mem[:0], c.mem...)
-	dst.cache = append(dst.cache[:0], c.cache...)
-	dst.cacheKnown = append(dst.cacheKnown[:0], c.cacheKnown...)
-	dst.cacheStride = c.cacheStride
-	dst.lastCommitter = append(dst.lastCommitter[:0], c.lastCommitter...)
-	c.stats.CloneInto(dst.stats)
-	dst.trace = nil
-	dst.passEnabled, dst.passEnter, dst.passExit, dst.passLog = c.passEnabled, c.passEnter, c.passExit, c.passLog
-	dst.passOpen = append(dst.passOpen[:0], c.passOpen...)
-	dst.passCC = append(dst.passCC[:0], c.passCC...)
-	dst.passDSM = append(dst.passDSM[:0], c.passDSM...)
-	for p := 0; p < c.n; p++ {
-		dst.procs[p] = c.procs[p].Clone()
-		dst.wbs[p] = c.wbs[p].cloneInto(dst.wbs[p])
-	}
-}
-
 // N returns the number of processes.
 func (c *Config) N() int { return c.n }
 

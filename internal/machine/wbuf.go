@@ -98,10 +98,6 @@ type writeBuffer interface {
 	appendEntries(dst []Write) []Write
 	// clone returns an independent deep copy.
 	clone() writeBuffer
-	// cloneInto copies this buffer's contents into dst when dst is a
-	// recycled buffer of the same implementation (reusing its storage),
-	// falling back to a fresh clone otherwise. Returns the buffer to use.
-	cloneInto(dst writeBuffer) writeBuffer
 }
 
 // psoBuffer implements the paper's unordered write buffer as a flat slice
@@ -211,13 +207,6 @@ func (b *psoBuffer) clone() writeBuffer {
 	return c
 }
 
-func (b *psoBuffer) cloneInto(dst writeBuffer) writeBuffer {
-	if d, ok := dst.(*psoBuffer); ok {
-		d.ws = append(d.ws[:0], b.ws...)
-		return d
-	}
-	return b.clone()
-}
 
 // tsoBuffer implements a FIFO store buffer: only the oldest write may
 // commit, so writes reach memory in program order. A later write to a
@@ -308,13 +297,6 @@ func (b *tsoBuffer) clone() writeBuffer {
 	copy(c.q, b.q)
 	return c
 }
-func (b *tsoBuffer) cloneInto(dst writeBuffer) writeBuffer {
-	if d, ok := dst.(*tsoBuffer); ok {
-		d.q = append(d.q[:0], b.q...)
-		return d
-	}
-	return b.clone()
-}
 
 // scBuffer is the degenerate buffer of sequential consistency: the machine
 // commits every write within the same step, so the buffer is always empty
@@ -336,8 +318,7 @@ func (scBuffer) entries() []Write           { return nil }
 func (scBuffer) appendEntries(dst []Write) []Write {
 	return dst
 }
-func (scBuffer) clone() writeBuffer                    { return scBuffer{} }
-func (scBuffer) cloneInto(dst writeBuffer) writeBuffer { return scBuffer{} }
+func (scBuffer) clone() writeBuffer { return scBuffer{} }
 
 func newBuffer(m Model) writeBuffer {
 	switch m {

@@ -148,6 +148,38 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// A single work-stealing worker replays the sequential DFS order exactly,
+// so on recoverable subjects even the path-dependent per-passage RMR
+// watermarks are bit-identical to the sequential explorer — the strongest
+// form of the engine's workers=1 determinism contract.
+func TestParallelWorkersOneMatchesSequentialWatermarks(t *testing.T) {
+	for _, lock := range []string{"rtas", "rtas-unsafe"} {
+		s, err := NewSubject(lock, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := &machine.FaultPlan{MaxCrashes: 1}
+		seq, err := s.Exhaustive(context.Background(), machine.SC, check.Opts{Faults: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := s.ExhaustiveParallel(context.Background(), machine.SC, check.Opts{Faults: faults, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Violation != par.Violation || seq.Complete != par.Complete ||
+			seq.States != par.States || seq.Witness.String() != par.Witness.String() {
+			t.Fatalf("%s: workers=1 diverged from sequential: %+v vs %+v", lock, par, seq)
+		}
+		if seq.Passages == nil || par.Passages == nil {
+			t.Fatalf("%s: missing passage stats (seq=%v par=%v)", lock, seq.Passages, par.Passages)
+		}
+		if *seq.Passages != *par.Passages {
+			t.Fatalf("%s: passage watermarks diverged: %+v vs %+v", lock, *par.Passages, *seq.Passages)
+		}
+	}
+}
+
 // A violation witness of a crashed execution replays through the subject
 // and reproduces co-residency — the foundation of the facade's witness
 // artifacts for the rme op.

@@ -638,9 +638,24 @@ func (s *Store) AppendAttempt(j *Job, a supervise.Attempt) {
 // terminal record is already journaled, so a result that raced the abort
 // is discarded rather than contradicting the journal.
 func (s *Store) Finish(j *Job, status string, res *Result, errMsg, errKind string) {
+	s.FinishObserved(j, status, res, errMsg, errKind, nil)
+}
+
+// FinishObserved is Finish with a completion hook: observe (when non-nil)
+// runs with the store lock held, after the abort-pinning decision but
+// before the terminal status becomes visible to Snapshot or WaitStatus.
+// Counters bumped inside the hook are therefore readable by the time any
+// client observes the terminal status; without it, a poller that has just
+// seen "done" can read a metric in the window between the status flip and
+// the accounting. The hook receives the pinned final status and must not
+// call back into the store.
+func (s *Store) FinishObserved(j *Job, status string, res *Result, errMsg, errKind string, observe func(finalStatus string)) {
 	s.mu.Lock()
 	if j.Aborting {
 		status, res, errMsg, errKind = StatusAborted, nil, "aborted by client", "aborted"
+	}
+	if observe != nil {
+		observe(status)
 	}
 	j.Status = status
 	j.Result = res

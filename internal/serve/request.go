@@ -21,7 +21,13 @@ import (
 // v2: added the "rme" op (recoverable mutual exclusion). The op field was
 // always part of the identity, but v1 records predate passage accounting
 // in check results, so the whole generation is invalidated.
-const IdentitySchemaVersion = 2
+//
+// v3: the work-stealing DFS engine replaced the level-synchronous BFS and
+// checkpoints moved to schema v4 (the ckpt= component below tracks that
+// automatically); cached results from the old engine are invalidated
+// because multi-worker runs no longer pin bit-identical witnesses and
+// budget-trip state counts, so old and new outcomes are not comparable.
+const IdentitySchemaVersion = 3
 
 // Request operations.
 const (

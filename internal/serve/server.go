@@ -286,9 +286,15 @@ func (s *Server) runJob(j *Job) {
 		if a.Index > 0 {
 			s.metrics.Escalations.Add(1)
 		}
+		s.metrics.EngineSteals.Add(a.Steals)
+		s.metrics.EngineDonated.Add(a.Donated)
+		s.metrics.EngineParks.Add(a.Parks)
+		s.metrics.EngineBatchLookups.Add(a.BatchLookups)
+		s.metrics.EngineCheckpoints.Add(a.Checkpoints)
 		s.decision("attempt", map[string]any{
 			"job": j.ID, "index": a.Index, "workers": a.Workers,
 			"states": a.States, "resumed_level": a.ResumedLevel,
+			"steals": a.Steals, "parks": a.Parks,
 			"err_kind": a.ErrKind, "err": a.Err,
 			"checkpoint_rejected": a.CheckpointRejected,
 		})
@@ -302,8 +308,8 @@ func (s *Server) runJob(j *Job) {
 		// Client abort — the terminal aborted record was journaled by the
 		// DELETE handler before the cancellation fired; Finish pins the
 		// outcome to aborted (discarding any racing result).
-		s.store.Finish(j, StatusAborted, nil, err.Error(), "aborted")
-		s.metrics.JobsAborted.Add(1)
+		s.store.FinishObserved(j, StatusAborted, nil, err.Error(), "aborted",
+			func(string) { s.metrics.JobsAborted.Add(1) })
 		s.decision("aborted", map[string]any{"job": j.ID, "where": "running"})
 		s.maybeCompact()
 	case err != nil && kind == "preempted":
@@ -328,8 +334,14 @@ func (s *Server) runJob(j *Job) {
 		// resuming the job. Park it instead: no terminal outbox event, so
 		// the dangling submitted record re-enqueues it on the next start,
 		// picking up the checkpoint the run left on disk.
-		s.store.Finish(j, StatusInterrupted, nil, err.Error(), supervise.ClassifyErr(err))
-		s.metrics.JobsInterrupted.Add(1)
+		s.store.FinishObserved(j, StatusInterrupted, nil, err.Error(), supervise.ClassifyErr(err),
+			func(final string) {
+				if final == StatusInterrupted {
+					s.metrics.JobsInterrupted.Add(1)
+				} else {
+					s.metrics.JobsAborted.Add(1)
+				}
+			})
 		s.decision("interrupted", map[string]any{"job": j.ID, "err_kind": supervise.ClassifyErr(err)})
 	case res != nil:
 		// A result — authoritative, degraded or partial — is a completed
@@ -337,19 +349,28 @@ func (s *Server) runJob(j *Job) {
 		// non-degradable budget trip) is already reflected in the
 		// result's mode/verdict fields. An abort that raced completion
 		// wins: Finish pins the aborted outcome the handler journaled.
-		s.store.Finish(j, StatusDone, res, "", "")
-		if s.store.Snapshot(j).Status == StatusAborted {
-			s.metrics.JobsAborted.Add(1)
-			s.decision("aborted", map[string]any{"job": j.ID, "where": "finish_race"})
-		} else {
-			s.outbox.Append(Record{Event: EventDone, Job: j.ID, Key: j.Key, Result: res})
+		// The counters are bumped inside the finish hook — before the
+		// terminal status is visible — so a client that has polled its way
+		// to "done" is guaranteed to see the job's states in /metrics.
+		counted := false
+		s.store.FinishObserved(j, StatusDone, res, "", "", func(final string) {
+			if final != StatusDone {
+				return
+			}
 			s.metrics.JobsDone.Add(1)
 			s.metrics.StatesExplored.Add(int64(res.States))
 			s.metrics.ObserveThroughput(res.States, wall.Seconds())
+			counted = true
+		})
+		if counted {
+			s.outbox.Append(Record{Event: EventDone, Job: j.ID, Key: j.Key, Result: res})
 			s.decision("done", map[string]any{
 				"job": j.ID, "states": res.States, "wall_ms": wall.Milliseconds(),
 				"authoritative": res.Authoritative,
 			})
+		} else {
+			s.metrics.JobsAborted.Add(1)
+			s.decision("aborted", map[string]any{"job": j.ID, "where": "finish_race"})
 		}
 		s.maybeCompact()
 	default:
@@ -357,13 +378,19 @@ func (s *Server) runJob(j *Job) {
 		if err != nil {
 			msg = err.Error()
 		}
-		s.store.Finish(j, StatusFailed, nil, msg, kind)
-		if s.store.Snapshot(j).Status == StatusAborted {
+		failed := false
+		s.store.FinishObserved(j, StatusFailed, nil, msg, kind, func(final string) {
+			if final != StatusFailed {
+				return
+			}
+			s.metrics.JobsFailed.Add(1)
+			failed = true
+		})
+		if !failed {
 			s.metrics.JobsAborted.Add(1)
 			s.decision("aborted", map[string]any{"job": j.ID, "where": "finish_race"})
 		} else {
 			s.outbox.Append(Record{Event: EventFailed, Job: j.ID, Key: j.Key, Error: msg, ErrKind: kind})
-			s.metrics.JobsFailed.Add(1)
 			s.decision("failed", map[string]any{"job": j.ID, "err_kind": kind, "err": msg})
 		}
 		s.maybeCompact()

@@ -27,13 +27,14 @@ func TestCancelMidAttemptKeepsResumableCheckpoint(t *testing.T) {
 	ctx, cancel := context.WithCancel(bg())
 	defer cancel()
 	out, err := CheckMutex(ctx, s, machine.PSO, Options{
-		Workers:        2,
-		CheckpointPath: path,
-		MaxAttempts:    5,
-		// Cancel from inside the exploration once a few levels (and thus a
-		// few snapshots) are behind us — a deterministic mid-attempt cut.
-		WorkerFault: func(attempt, level, worker int) error {
-			if level >= 4 {
+		Workers:         2,
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+		MaxAttempts:     5,
+		// Cancel from inside the exploration once a few snapshot
+		// generations are behind us — a deterministic mid-attempt cut.
+		WorkerFault: func(attempt, gen, worker int) error {
+			if gen >= 4 {
 				cancel()
 			}
 			return nil

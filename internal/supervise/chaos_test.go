@@ -10,6 +10,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -43,10 +44,15 @@ func TestChaosWorkerKillResumes(t *testing.T) {
 			out, err := CheckMutex(bg(), s, machine.PSO, Options{
 				Workers:        2,
 				CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
-				BackoffBase:    time.Microsecond,
-				Sleep:          noSleep,
-				WorkerFault: func(attempt, level, worker int) error {
-					if attempt == 0 && level == 7 && worker == 0 {
+				// A one-state cadence forces the first snapshot generation
+				// before any violation can be reached, so the gen-keyed
+				// kill below fires deterministically even on the
+				// violating subject.
+				CheckpointEvery: 1,
+				BackoffBase:     time.Microsecond,
+				Sleep:           noSleep,
+				WorkerFault: func(attempt, gen, worker int) error {
+					if attempt == 0 && gen >= 1 {
 						return errors.New("chaos: worker shot")
 					}
 					return nil
@@ -67,7 +73,7 @@ func TestChaosWorkerKillResumes(t *testing.T) {
 			if out.Attempts[1].ResumedLevel == 0 || !out.Attempts[1].VisitedReused {
 				t.Fatalf("retry did not resume from checkpoint: %+v", out.Attempts[1])
 			}
-			requireSameResult(t, tc.name, out.Result, clean)
+			requireSameVerdict(t, tc.name, s, machine.PSO, out.Result, clean)
 		})
 	}
 }
@@ -84,12 +90,13 @@ func TestChaosCorruptedCheckpointFailsClosed(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
 	out, err := CheckMutex(bg(), s, machine.PSO, Options{
-		Workers:        2,
-		CheckpointPath: path,
-		BackoffBase:    time.Microsecond,
-		Sleep:          noSleep,
-		WorkerFault: func(attempt, level, worker int) error {
-			if attempt == 0 && level == 6 && worker == 0 {
+		Workers:         2,
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+		BackoffBase:     time.Microsecond,
+		Sleep:           noSleep,
+		WorkerFault: func(attempt, gen, worker int) error {
+			if attempt == 0 && gen >= 1 {
 				// Scribble over the snapshot, then die: the retry finds
 				// garbage where its resume point should be.
 				if werr := os.WriteFile(path, []byte(`{"version":1,"level":`), 0o644); werr != nil {
@@ -126,12 +133,13 @@ func TestChaosTruncatedCheckpointFailsClosed(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "ck.json")
 	out, err := CheckMutex(bg(), s, machine.PSO, Options{
-		Workers:        2,
-		CheckpointPath: path,
-		BackoffBase:    time.Microsecond,
-		Sleep:          noSleep,
-		WorkerFault: func(attempt, level, worker int) error {
-			if attempt == 0 && level == 5 && worker == 0 {
+		Workers:         2,
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+		BackoffBase:     time.Microsecond,
+		Sleep:           noSleep,
+		WorkerFault: func(attempt, gen, worker int) error {
+			if attempt == 0 && gen >= 1 {
 				if werr := os.Truncate(path, 0); werr != nil {
 					t.Errorf("truncating checkpoint: %v", werr)
 				}
@@ -143,30 +151,37 @@ func TestChaosTruncatedCheckpointFailsClosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(out.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(out.Attempts))
+	}
 	if out.Attempts[1].CheckpointRejected == "" {
 		t.Fatal("truncated checkpoint was not rejected")
 	}
-	requireSameResult(t, "after truncation", out.Result, clean)
+	requireSameVerdict(t, "after truncation", s, machine.PSO, out.Result, clean)
 }
 
 // A stalled worker that drags the attempt past its wall budget is
 // retried from the checkpoint with a fresh (and grown) wall clock; the
-// healthy retry completes with the clean verdict.
+// healthy retry completes with the clean verdict. The stall fires in
+// every worker at the first snapshot generation — the subject is big
+// enough that plenty of metered steps (and thus wall checks) remain
+// after the stall.
 func TestChaosStallRetriesWallTrip(t *testing.T) {
-	s := mustSubject(t, "peterson", locks.NewPeterson, 2)
-	clean, err := s.ExhaustiveParallel(bg(), machine.SC, check.Opts{Workers: 2})
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	clean, err := s.ExhaustiveParallel(bg(), machine.PSO, check.Opts{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := CheckMutex(bg(), s, machine.SC, Options{
-		Workers:        2,
-		Budget:         run.Budget{MaxWall: 300 * time.Millisecond},
-		CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
-		MaxAttempts:    4,
-		BackoffBase:    time.Microsecond,
-		Sleep:          noSleep,
-		WorkerFault: func(attempt, level, worker int) error {
-			if attempt == 0 && level == 2 && worker == 0 {
+	out, err := CheckMutex(bg(), s, machine.PSO, Options{
+		Workers:         2,
+		Budget:          run.Budget{MaxWall: 300 * time.Millisecond},
+		CheckpointPath:  filepath.Join(t.TempDir(), "ck.json"),
+		CheckpointEvery: 1,
+		MaxAttempts:     4,
+		BackoffBase:     time.Microsecond,
+		Sleep:           noSleep,
+		WorkerFault: func(attempt, gen, worker int) error {
+			if attempt == 0 && gen == 1 {
 				time.Sleep(600 * time.Millisecond) // stall past MaxWall
 			}
 			return nil
@@ -192,15 +207,28 @@ func TestChaosStallRetriesWallTrip(t *testing.T) {
 // exhaustive verdict.
 func TestChaosPersistentKillerDegrades(t *testing.T) {
 	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	// Snapshot generations are monotone across resumes, so an absolute
+	// threshold would re-fire at the very start of every retry with no
+	// progress in between. Key the kill on progress instead: each attempt
+	// is allowed two generations past the one it started from, then dies.
+	var mu sync.Mutex
+	startGen := map[int]int{}
 	out, err := CheckMutex(bg(), s, machine.PSO, Options{
-		Workers:        2,
-		CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
-		MaxAttempts:    3,
-		BackoffBase:    time.Microsecond,
-		Sleep:          noSleep,
-		Seed:           3,
-		WorkerFault: func(attempt, level, worker int) error {
-			if level == 4+attempt && worker == 0 {
+		Workers:         2,
+		CheckpointPath:  filepath.Join(t.TempDir(), "ck.json"),
+		CheckpointEvery: 1,
+		MaxAttempts:     3,
+		BackoffBase:     time.Microsecond,
+		Sleep:           noSleep,
+		Seed:            3,
+		WorkerFault: func(attempt, gen, worker int) error {
+			mu.Lock()
+			first, ok := startGen[attempt]
+			if !ok {
+				startGen[attempt], first = gen, gen
+			}
+			mu.Unlock()
+			if gen >= first+2 {
 				return errors.New("chaos: worker shot")
 			}
 			return nil

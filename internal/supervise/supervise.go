@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"tradingfences/internal/check"
@@ -42,8 +43,11 @@ const (
 
 // Options configures a supervised check.
 type Options struct {
-	// Workers sizes the parallel explorer's pool (values <= 1: one
-	// worker). The descent rung of the ladder halves it, never below 1.
+	// Workers sizes the parallel explorer's pool (0 resolves to
+	// runtime.NumCPU(), negative values to 1 — matching
+	// check.Opts.Workers). The descent rung of the ladder halves the
+	// resolved value, never below 1; attempt reports carry the resolved
+	// count.
 	Workers int
 	// Budget bounds each attempt; the growth rung multiplies the bounded
 	// resources by BudgetGrowth.
@@ -80,7 +84,9 @@ type Options struct {
 	// instead of clearing it. The snapshot is still re-certified —
 	// identity, model and crash budget must match — before it is trusted.
 	Resume bool
-	// CheckpointEvery is the snapshot cadence in BFS levels (default 1).
+	// CheckpointEvery is the snapshot cadence floor in freshly interned
+	// states (default 1024; see check.CheckpointPolicy.EveryStates — the
+	// effective interval grows geometrically with the visited set).
 	CheckpointEvery int
 	// Meta is stamped into snapshots for cross-process reconstruction.
 	Meta check.CheckpointMeta
@@ -133,10 +139,19 @@ type Attempt struct {
 	// Workers and Budget are the escalated parameters in force.
 	Workers int        `json:"workers"`
 	Budget  run.Budget `json:"budget"`
-	// ResumedLevel is the checkpoint level the attempt continued from
+	// ResumedLevel is the snapshot generation the attempt continued from
 	// (0 = fresh start); VisitedReused whether its visited set certified.
 	ResumedLevel  int  `json:"resumed_level"`
 	VisitedReused bool `json:"visited_reused,omitempty"`
+	// Steals, Donated, Parks, BatchLookups and Checkpoints mirror the
+	// work-stealing engine's counters for this attempt
+	// (check.EngineStats): whether exploration scaled or starved, and how
+	// many snapshots the attempt wrote.
+	Steals       int64 `json:"steals,omitempty"`
+	Donated      int64 `json:"donated,omitempty"`
+	Parks        int64 `json:"parks,omitempty"`
+	BatchLookups int64 `json:"batch_lookups,omitempty"`
+	Checkpoints  int64 `json:"checkpoints,omitempty"`
 	// CheckpointRejected records why a snapshot was discarded before this
 	// attempt ("" = none rejected): corrupted bytes, identity drift, etc.
 	CheckpointRejected string `json:"checkpoint_rejected,omitempty"`
@@ -295,7 +310,15 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 	}
 	out := &Outcome{Mode: ModeExhaustive}
 	budget := o.Budget
+	// Resolve the pool size up front so the halving rung operates on the
+	// actual count (halving a 0-means-NumCPU sentinel would widen it).
 	workers := o.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	var backoff time.Duration
 
 	for attempt := 0; attempt < o.MaxAttempts; attempt++ {
@@ -307,7 +330,7 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 		chk := check.Opts{Budget: budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: workers}
 		if o.CheckpointPath != "" {
 			chk.Checkpoint = &check.CheckpointPolicy{
-				Path: o.CheckpointPath, EveryLevels: o.CheckpointEvery, Meta: o.Meta,
+				Path: o.CheckpointPath, EveryStates: o.CheckpointEvery, Meta: o.Meta,
 			}
 		}
 		if o.WorkerFault != nil {
@@ -338,6 +361,13 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 			return res, err
 		}()
 		rep.States = res.States
+		if es := res.Engine; es != nil {
+			rep.Steals = es.Steals
+			rep.Donated = es.Donated
+			rep.Parks = es.Parks
+			rep.BatchLookups = es.BatchLookups
+			rep.Checkpoints = es.Checkpoints
+		}
 		if err != nil {
 			rep.Err = err.Error()
 			rep.ErrKind = ClassifyCancel(ctx, err)

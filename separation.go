@@ -186,11 +186,14 @@ func (o CheckOptions) checkOpts(kind, lockName string, n, passages int) check.Op
 	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: o.Workers}
 	if o.CheckpointPath != "" {
 		if chk.Workers <= 0 {
+			// Checkpointing without an explicit worker count pins a single
+			// worker: snapshot contents and budget-trip points are then
+			// deterministic (0 would resolve to NumCPU inside the engine).
 			chk.Workers = 1
 		}
 		chk.Checkpoint = &check.CheckpointPolicy{
 			Path:        o.CheckpointPath,
-			EveryLevels: o.CheckpointEvery,
+			EveryStates: o.CheckpointEvery,
 			Meta:        check.CheckpointMeta{Kind: kind, Lock: lockName, N: n, Passages: passages},
 		}
 	}
