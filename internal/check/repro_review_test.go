@@ -1,0 +1,28 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"tradingfences/internal/locks"
+	"tradingfences/internal/machine"
+	"tradingfences/internal/run"
+)
+
+func TestReviewReproStepBudgetTripWorkers(t *testing.T) {
+	s := mustSubject(t, "bakery", locks.NewBakery, 2)
+	for steps := int64(1); steps <= 80; steps++ {
+		opts := Opts{Budget: run.Budget{MaxSteps: steps}, Workers: 2}
+		_, err := s.ExhaustiveParallel(bg(), machine.PSO, opts)
+		if err == nil {
+			continue
+		}
+		var we *WorkerError
+		if errors.As(err, &we) {
+			t.Fatalf("MaxSteps=%d: got WorkerError instead of budget error: %v", steps, err)
+		}
+		if !run.IsLimit(err) {
+			t.Fatalf("MaxSteps=%d: unexpected error: %v", steps, err)
+		}
+	}
+}
