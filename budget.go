@@ -92,6 +92,25 @@ type CheckOptions struct {
 	// states (0 = the 1024 default; the interval grows geometrically with
 	// the state space — see the internal CheckpointPolicy).
 	CheckpointEvery int
+	// ReorderBound > 0 switches exhaustive exploration under TSO/PSO to
+	// reorder-bounded buffer semantics: each buffered write may reorder
+	// past at most ReorderBound of its own process's later program-order
+	// operations before the process must retire it. The bounded graph
+	// under-approximates the full semantics, so a violation-free complete
+	// run is a *bounded* certificate — MutexVerdict.Proved stays false and
+	// Coverage.ReorderBound/BoundedComplete record what was shown. Every
+	// violation found is genuine and its witness replays under the full
+	// semantics. Inert under SC (reported as 0). Bounds above 255 are
+	// rejected. The randomized fallback always searches the full
+	// semantics; liveness and FCFS checking reject the flag.
+	ReorderBound int
+	// POR enables commit-step partial-order reduction with sleep sets in
+	// exhaustive mutual-exclusion checking: provably independent
+	// commit/step interleavings are explored once. Verdicts and witness
+	// replayability are preserved, so a complete violation-free POR run is
+	// still a full proof (Proved stays true); state counts shrink.
+	// Liveness and FCFS checking reject the flag.
+	POR bool
 }
 
 // parallel reports whether the options select the work-stealing explorer

@@ -110,6 +110,7 @@ func main() {
 		{"E12", "FCFS fairness", runE12},
 		{"E13", "Fence-placement synthesis frontier", runE13},
 		{"E14", "Recoverable mutual exclusion (RME) passage costs", runE14},
+		{"E15", "Certified state-space reduction (POR + reorder bounds)", runE15},
 	}
 
 	results := make(map[string]*table)
@@ -526,6 +527,91 @@ func runE14(ctx context.Context, quick bool) (*table, error) {
 				mark+fmt.Sprint(ps.MaxCC), mark+fmt.Sprint(ps.MaxDSM),
 				tradingfences.ChanWoelfelBound(n))
 		}
+	}
+	return t, nil
+}
+
+// E15: certified state-space reduction. Re-check a buffered-model slice
+// of the suite under commit-step partial-order reduction and under a
+// k=1 reorder bound, cross-checking in-process that POR preserves the
+// full verdict and that a bounded run never claims a proof and never
+// reports a violation the full semantics lacks. The multi-minute
+// budget-trip rows (bakery/gt2 n=4 proved under budgets the full
+// explorer trips) are lockstat runs recorded in BENCH_check.json's
+// reduction section, not re-run here.
+func runE15(ctx context.Context, quick bool) (*table, error) {
+	states := pick(quick, 300_000, 1_000_000)
+	t := &table{
+		Note: "Full semantics vs commit-step POR (verdict-preserving) and vs a " +
+			"k=1 reorder bound (under-approximate: violations are genuine, " +
+			"violation-free completions are bounded certificates, never proofs). " +
+			"`states` is the visited count on complete runs and the " +
+			"states-to-witness on VIOLATED rows; `vs full` compares the two. " +
+			"With -workers > 1 the POR engine is ample-only (no sleep sets), so " +
+			"reduced counts grow but verdicts hold. The n >= 4 budget-trip rows " +
+			"live in BENCH_check.json's reduction section.",
+		Headers: []string{"lock", "n", "model", "mode", "verdict", "states", "vs full"},
+	}
+	runOne := func(spec tradingfences.LockSpec, n int, model tradingfences.MemoryModel, por bool, bound int) (*tradingfences.MutexVerdict, error) {
+		opts := tradingfences.CheckOptions{
+			Budget:       tradingfences.Budget{MaxStates: states},
+			Workers:      workers,
+			POR:          por,
+			ReorderBound: bound,
+		}
+		return tradingfences.CheckMutexCtx(ctx, spec, n, 1, model, opts)
+	}
+	verdict := func(v *tradingfences.MutexVerdict) string {
+		switch {
+		case v.Violated:
+			return "VIOLATED"
+		case v.Coverage.BoundedComplete:
+			return fmt.Sprintf("BOUNDED-COMPLETE(k=%d)", v.Coverage.ReorderBound)
+		case v.Proved:
+			return "proved"
+		}
+		return "inconclusive"
+	}
+	cases := []struct {
+		spec  tradingfences.LockSpec
+		n     int
+		model tradingfences.MemoryModel
+		por   bool
+		bound int
+	}{
+		{tradingfences.LockSpec{Kind: tradingfences.Bakery}, 3, tradingfences.PSO, true, 0},
+		{tradingfences.LockSpec{Kind: tradingfences.GT, F: 2}, 3, tradingfences.PSO, true, 0},
+		{tradingfences.LockSpec{Kind: tradingfences.PetersonNoFence}, 2, tradingfences.PSO, false, 1},
+		{tradingfences.LockSpec{Kind: tradingfences.BakeryNoFence}, 2, tradingfences.TSO, false, 1},
+	}
+	for _, c := range cases {
+		full, err := runOne(c.spec, c.n, c.model, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		red, err := runOne(c.spec, c.n, c.model, c.por, c.bound)
+		if err != nil {
+			return nil, err
+		}
+		mode := "POR"
+		if c.bound > 0 {
+			mode = fmt.Sprintf("k=%d", c.bound)
+		}
+		if c.por && (red.Violated != full.Violated || red.Proved != full.Proved) {
+			return nil, fmt.Errorf("E15: POR verdict diverged from full on %s n=%d %s", c.spec, c.n, c.model)
+		}
+		if c.bound > 0 && red.Violated && !full.Violated {
+			return nil, fmt.Errorf("E15: bounded run found a violation the full semantics lacks on %s n=%d %s", c.spec, c.n, c.model)
+		}
+		if c.bound > 0 && red.Proved {
+			return nil, fmt.Errorf("E15: bounded run claimed a full proof on %s n=%d %s", c.spec, c.n, c.model)
+		}
+		ratio := "-"
+		if red.States > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(full.States)/float64(red.States))
+		}
+		t.add(c.spec.String(), c.n, c.model.String(), "full", verdict(full), full.States, "-")
+		t.add(c.spec.String(), c.n, c.model.String(), mode, verdict(red), red.States, ratio)
 	}
 	return t, nil
 }

@@ -41,6 +41,8 @@ func realMain() int {
 	states := flag.Int("states", 0, "state budget for -check (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker pool for -check (0 = sequential explorer; >1 selects the work-stealing parallel engine, 1 is its bit-identical single-threaded mode)")
 	symmetry := flag.Bool("symmetry", false, "enable process-symmetry reduction for -check (no-op for locks without a symmetry declaration)")
+	por := flag.Bool("por", false, "enable commit-step partial-order reduction for -check (verdict-preserving; a complete run is still a full proof)")
+	reorderBound := flag.Int("reorder-bound", 0, "reorder-bounded buffer semantics for -check: each buffered write may reorder past at most this many later same-process operations (0 = full semantics; a violation-free bounded run is a bounded certificate, not a proof)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	flag.Parse()
@@ -63,7 +65,7 @@ func realMain() int {
 	err := func() error {
 		switch {
 		case *chk != "":
-			return runCheck(*chk, *dumpN, *model, *states, *workers, *crashes, *symmetry)
+			return runCheck(*chk, *dumpN, *model, *states, *workers, *crashes, *symmetry, *por, *reorderBound)
 		case *dump != "":
 			return runDump(*dump, *dumpN)
 		case *explain != "":
@@ -125,15 +127,17 @@ func parseLock(name string) (tradingfences.LockSpec, error) {
 	return spec, nil
 }
 
-func runCheck(name string, n int, model string, states, workers, crashes int, symmetry bool) error {
+func runCheck(name string, n int, model string, states, workers, crashes int, symmetry, por bool, reorderBound int) error {
 	mm, err := tradingfences.ParseMemoryModel(model)
 	if err != nil {
 		return err
 	}
 	opts := tradingfences.CheckOptions{
-		Budget:   tradingfences.Budget{MaxStates: states},
-		Workers:  workers,
-		Symmetry: symmetry,
+		Budget:       tradingfences.Budget{MaxStates: states},
+		Workers:      workers,
+		Symmetry:     symmetry,
+		POR:          por,
+		ReorderBound: reorderBound,
 	}
 	if crashes > 0 {
 		opts.Faults = &tradingfences.FaultPlan{MaxCrashes: crashes}
@@ -169,10 +173,17 @@ func runCheck(name string, n int, model string, states, workers, crashes int, sy
 		verdict = "VIOLATED"
 	case v.Proved:
 		verdict = "PROVED"
+	case v.Coverage.BoundedComplete:
+		// Complete over the reorder-bounded graph only: no violation up to
+		// the bound, not a proof of the full semantics.
+		verdict = fmt.Sprintf("BOUNDED-COMPLETE(k=%d)", v.Coverage.ReorderBound)
 	}
 	sym := ""
 	if v.SymmetryApplied {
 		sym = " (symmetry orbits)"
+	}
+	if v.Coverage.POR {
+		sym += " (POR)"
 	}
 	budget := ""
 	if crashes > 0 {

@@ -159,6 +159,21 @@ type Result struct {
 	// lock declares a SymmetrySpec. False under Opts.Symmetry for
 	// non-symmetric locks (the flag is then an honest no-op).
 	SymmetryApplied bool
+	// ReorderBound echoes the reorder bound the exploration ran under
+	// (0 = full buffer semantics; SC runs report 0 even when a bound was
+	// requested — SC buffers are always empty, so the bound is an honest
+	// no-op there). A Complete run under a positive bound covers only the
+	// bounded semantics: callers must never present it as a full proof —
+	// the facade keeps MutexVerdict.Proved false and tags Coverage with
+	// the bound instead. Violations are genuine regardless: a bounded
+	// witness replays identically under the full semantics.
+	ReorderBound int
+	// PORApplied reports that commit-step partial-order/sleep-set
+	// reduction was in force; States then counts the reduced graph.
+	// Verdicts are preserved exactly (the reduction is sound for the
+	// occupancy invariant), so a Complete violation-free POR run is still
+	// a full proof.
+	PORApplied bool
 	// Passages aggregates recoverable-passage RMR accounting when the
 	// subject declares passage probes (nil otherwise, and nil on resumed
 	// parallel runs — passage watermarks are not part of the checkpoint
@@ -278,6 +293,15 @@ func (k *keyer) key(c *machine.Config, crashes, maxCrashes int) (machine.StateKe
 // unchanged — the clone-vs-undo parity suite in parity_test.go holds the
 // two explorers equal.
 func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
+	if err := opts.Reduction.validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.Reduction.POR {
+		// Partial-order reduction restructures the successor enumeration;
+		// it lives in its own walker (por.go) so the unreduced path below
+		// stays bit-identical to the historical explorer.
+		return s.exhaustivePOR(ctx, model, opts)
+	}
 	maxCrashes, err := opts.exhaustiveCrashBudget()
 	if err != nil {
 		return Result{}, err
@@ -286,11 +310,12 @@ func (s *Subject) Exhaustive(ctx context.Context, model machine.Model, opts Opts
 	if err != nil {
 		return Result{}, err
 	}
+	root.SetReorderBound(opts.Reduction.ReorderBound)
 	plog := s.attachPassages(root)
 	meter := run.NewMeter(ctx, opts.Budget)
 	visited := make(map[machine.StateKey]struct{}, 1024)
 	kr := s.newKeyer(opts)
-	res := Result{Complete: true, SymmetryApplied: kr.reduces()}
+	res := Result{Complete: true, SymmetryApplied: kr.reduces(), ReorderBound: root.ReorderBound()}
 
 	// Reusable scratch, hoisted out of the per-state loop: one successor
 	// slice per recursion depth (a depth's slice stays live across the

@@ -26,8 +26,14 @@ import (
 // stacks are serialized alongside it, and Level is reinterpreted as the
 // snapshot generation (a save counter, >= 1). Level-synchronous v3
 // snapshots carry a frontier no current explorer can consume, so they are
-// rejected instead of silently misread.
-const CheckpointVersion = 4
+// rejected instead of silently misread. Version 5 certifies the
+// state-space reduction modes (the resolved reorder bound and the
+// partial-order-reduction flag): a reduced run's frontier and visited keys
+// cover the reduced graph only, and a bounded run's keys carry reorder
+// ages, so resuming under different reduction modes would either skip
+// reachable states or prune on keys from a different encoding — both flips
+// fail closed with ErrCheckpointDrift.
+const CheckpointVersion = 5
 
 // EngineWSDFS names the work-stealing undo-log DFS engine inside
 // checkpoint snapshots. It is the only engine the current decoder
@@ -146,6 +152,20 @@ type Checkpoint struct {
 	// requires the same mode and rejects a mismatch with
 	// ErrCheckpointDrift.
 	Symmetry bool `json:"symmetry,omitempty"`
+	// ReorderBound is the resolved reorder bound the exploration ran under
+	// (0 = full buffer semantics; SC runs always record 0 — the honest
+	// no-op convention). Part of the certified identity: bounded visited
+	// keys embed reorder ages and the bounded frontier covers the bounded
+	// graph only, so resume requires the identical bound and rejects a
+	// mismatch with ErrCheckpointDrift.
+	ReorderBound int `json:"reorder_bound,omitempty"`
+	// POR records whether ample-set partial-order reduction was in force.
+	// A reduced frontier does not cover the unreduced graph's pending
+	// successors (and vice versa: an unreduced visited set makes the
+	// reduced run's proviso checks meaningless for certification), so
+	// resume requires the same mode and rejects a mismatch with
+	// ErrCheckpointDrift.
+	POR bool `json:"por,omitempty"`
 	// RootFP is the hex StateKey of the fresh initial configuration.
 	// Binary keys are build-stable, so any process that rebuilds the same
 	// subject reproduces it and reuses the visited shards; a mismatch
@@ -215,6 +235,9 @@ func (ck *Checkpoint) validate() error {
 	}
 	if ck.MaxCrashes < 0 {
 		return fmt.Errorf("checkpoint: negative crash budget %d", ck.MaxCrashes)
+	}
+	if ck.ReorderBound < 0 || ck.ReorderBound > machine.MaxReorderBound {
+		return fmt.Errorf("checkpoint: reorder bound %d outside [0, %d]", ck.ReorderBound, machine.MaxReorderBound)
 	}
 	if ck.Level < 1 {
 		return fmt.Errorf("checkpoint: generation %d, want >= 1", ck.Level)
@@ -362,25 +385,27 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 // the queued stealable edges, the paused workers' serialized stacks, the
 // visited shards and the meter charges.
 func buildCheckpoint(policy *CheckpointPolicy, model machine.Model, identity, rootKey string,
-	symmetry bool, maxCrashes, gen int, frontier []CheckpointNode, stacks []CheckpointStack,
-	visited *machine.VisitedSet, meter *run.SharedMeter) *Checkpoint {
+	symmetry bool, bound int, por bool, maxCrashes, gen int, frontier []CheckpointNode,
+	stacks []CheckpointStack, visited *machine.VisitedSet, meter *run.SharedMeter) *Checkpoint {
 	return &Checkpoint{
-		Version:    CheckpointVersion,
-		Engine:     EngineWSDFS,
-		Meta:       policy.Meta,
-		Model:      model.String(),
-		Identity:   identity,
-		Codec:      machine.StateKeyCodecVersion,
-		Symmetry:   symmetry,
-		RootFP:     rootKey,
-		MaxCrashes: maxCrashes,
-		Level:      gen,
-		Frontier:   frontier,
-		Stacks:     stacks,
-		Shards:     visited.Dump(),
-		Steps:      meter.Steps(),
-		States:     meter.States(),
-		Mem:        meter.Mem(),
+		Version:      CheckpointVersion,
+		Engine:       EngineWSDFS,
+		Meta:         policy.Meta,
+		Model:        model.String(),
+		Identity:     identity,
+		Codec:        machine.StateKeyCodecVersion,
+		Symmetry:     symmetry,
+		ReorderBound: bound,
+		POR:          por,
+		RootFP:       rootKey,
+		MaxCrashes:   maxCrashes,
+		Level:        gen,
+		Frontier:     frontier,
+		Stacks:       stacks,
+		Shards:       visited.Dump(),
+		Steps:        meter.Steps(),
+		States:       meter.States(),
+		Mem:          meter.Mem(),
 	}
 }
 
@@ -432,6 +457,16 @@ func (s *Subject) loadCheckpoint(model machine.Model, ck *Checkpoint, maxCrashes
 	kr := s.newKeyer(opts)
 	if kr.reduces() != ck.Symmetry {
 		return nil, fmt.Errorf("%w: snapshot keys minted with symmetry=%v, resuming with symmetry=%v", ErrCheckpointDrift, ck.Symmetry, kr.reduces())
+	}
+	bound := opts.Reduction.ReorderBound
+	if model == machine.SC {
+		bound = 0 // Config.SetReorderBound's honest no-op convention
+	}
+	if bound != ck.ReorderBound {
+		return nil, fmt.Errorf("%w: snapshot was taken under reorder bound %d, resuming under %d", ErrCheckpointDrift, ck.ReorderBound, bound)
+	}
+	if opts.Reduction.POR != ck.POR {
+		return nil, fmt.Errorf("%w: snapshot was taken with por=%v, resuming with por=%v", ErrCheckpointDrift, ck.POR, opts.Reduction.POR)
 	}
 	root, err := s.Build(model)
 	if err != nil {

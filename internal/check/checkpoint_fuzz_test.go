@@ -13,11 +13,19 @@ func FuzzCheckpointDecode(f *testing.F) {
 		f.Add(seed)
 		// Seed a truncation and flips so the corpus starts near the
 		// interesting boundaries: the generation counter, the certified
-		// engine name, and a stack frame's pending elements.
+		// engine name, a stack frame's pending elements, and the certified
+		// reduction modes (a flipped bound or POR bit must fail the CRC —
+		// resuming a reduced snapshot as unreduced or vice versa would
+		// silently change what the completed run certifies).
 		f.Add(seed[:len(seed)/2])
 		f.Add(bytes.Replace(seed, []byte(`"level":4`), []byte(`"level":5`), 1))
 		f.Add(bytes.Replace(seed, []byte(`"engine":"ws-dfs"`), []byte(`"engine":"bfs-sync"`), 1))
 		f.Add(bytes.Replace(seed, []byte(`"frames":[`), []byte(`"frames":[{"depth":9,"elems":"p0"},`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"reorder_bound":2`), []byte(`"reorder_bound":3`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"reorder_bound":2,`), []byte(``), 1))
+		f.Add(bytes.Replace(seed, []byte(`"por":true`), []byte(`"por":false`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"reorder_bound":2`), []byte(`"reorder_bound":-1`), 1))
+		f.Add(bytes.Replace(seed, []byte(`"reorder_bound":2`), []byte(`"reorder_bound":999`), 1))
 	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json`))
@@ -26,7 +34,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 		if err != nil {
 			return // rejected: fine, as long as it did not panic
 		}
-		// Anything accepted certifies the current engine (v4 snapshots
+		// Anything accepted certifies the current engine (v4+ snapshots
 		// name it; anything else is drift the decoder must refuse).
 		if ck.Engine != EngineWSDFS {
 			t.Fatalf("decoder certified a snapshot for engine %q", ck.Engine)
@@ -43,7 +51,8 @@ func FuzzCheckpointDecode(f *testing.F) {
 		}
 		if ck2.Level != ck.Level || ck2.States != ck.States ||
 			ck2.Identity != ck.Identity || len(ck2.Frontier) != len(ck.Frontier) ||
-			len(ck2.Stacks) != len(ck.Stacks) {
+			len(ck2.Stacks) != len(ck.Stacks) ||
+			ck2.ReorderBound != ck.ReorderBound || ck2.POR != ck.POR {
 			t.Fatalf("round trip drifted: %+v vs %+v", ck2, ck)
 		}
 	})

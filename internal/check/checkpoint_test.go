@@ -28,7 +28,11 @@ func sampleCheckpoint() *Checkpoint {
 		Codec:      machine.StateKeyCodecVersion,
 		RootFP:     hexKey("root"),
 		MaxCrashes: 1,
-		Level:      4,
+		// Nonzero reduction modes so their certification fields appear in
+		// the sample's encoding (round-trip and fuzz mutants cover them).
+		ReorderBound: 2,
+		POR:          true,
+		Level:        4,
 		Frontier:   []CheckpointNode{{Schedule: "p0 p1 p0:R3"}, {Schedule: "p1 p0!", Crashes: 1}},
 		Stacks: []CheckpointStack{{
 			Schedule: "p0 p1",

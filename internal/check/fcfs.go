@@ -171,12 +171,18 @@ type FCFSResult struct {
 // process would keep its doorway-precedence obligations, which is not the
 // notion Lamport's condition defines. Symmetry reduction is rejected too:
 // the monitor's precedence relation distinguishes processes, so renaming
-// them is not an automorphism of the product system.
+// them is not an automorphism of the product system. State-space
+// reductions (Opts.Reduction) are rejected for the same structural
+// reason: the commit-independence relation ignores the monitor, whose
+// state every doorway step changes.
 func (s *FCFSSubject) Exhaustive(ctx context.Context, model machine.Model, opts Opts) (FCFSResult, error) {
 	if err := opts.noFaults("FCFS checking"); err != nil {
 		return FCFSResult{}, err
 	}
 	if err := s.noSymmetry(opts); err != nil {
+		return FCFSResult{}, err
+	}
+	if err := opts.noReduction("FCFS checking"); err != nil {
 		return FCFSResult{}, err
 	}
 	root, err := s.Build(model)
@@ -274,13 +280,16 @@ func (s *FCFSSubject) noSymmetry(opts Opts) error {
 }
 
 // Random hunts for FCFS violations with random schedules, bounded by
-// opts.Budget and cancelled by ctx. Fault plans and symmetry reduction
-// are rejected (see Exhaustive).
+// opts.Budget and cancelled by ctx. Fault plans, symmetry reduction and
+// state-space reductions are rejected (see Exhaustive).
 func (s *FCFSSubject) Random(ctx context.Context, model machine.Model, rng *rand.Rand, runs, maxSteps int, commitProb float64, opts Opts) (FCFSResult, error) {
 	if err := opts.noFaults("FCFS checking"); err != nil {
 		return FCFSResult{}, err
 	}
 	if err := s.noSymmetry(opts); err != nil {
+		return FCFSResult{}, err
+	}
+	if err := opts.noReduction("FCFS checking"); err != nil {
 		return FCFSResult{}, err
 	}
 	meter := run.NewMeter(ctx, opts.Budget)

@@ -69,6 +69,71 @@ type Opts struct {
 	// checkpoint intact. The hook may also sleep to simulate a stalled
 	// worker. Nil in production.
 	WorkerFault func(level, worker int) error
+
+	// Reduction selects the opt-in certified state-space reductions for
+	// exhaustive mutual-exclusion exploration (sequential and parallel).
+	// The zero value is bit-identical to the unreduced explorers. Both
+	// modes are certified into checkpoint snapshots (schema v5): a resume
+	// whose reduction modes differ from the snapshot's fails closed with
+	// ErrCheckpointDrift. The randomized search (Random, and the degraded
+	// fallback) always runs full unreduced semantics — a violation it finds
+	// is genuine either way, and the broader hunt can only help. FCFS and
+	// progress/liveness checking reject reductions loudly: their analyses
+	// are not covered by the reduction soundness arguments.
+	Reduction Reduction
+}
+
+// Reduction selects the certified state-space reduction modes of
+// exhaustive exploration. See Opts.Reduction for scope and certification.
+type Reduction struct {
+	// ReorderBound > 0 switches the TSO/PSO buffer semantics to the
+	// reorder-bounded discipline (Joshi–Kroening): each buffered write may
+	// reorder past at most ReorderBound of its own process's later
+	// program-order operations before the process must retire it (commits
+	// and crashes stay enabled; program steps are suppressed). The
+	// explored graph under-approximates the full semantics, so a
+	// violation-free complete run is a *bounded* certificate, never a full
+	// proof — Result.ReorderBound tags it and the facade layers keep
+	// Proved false. Every violation found is genuine: a bounded witness
+	// replays identically under the full semantics (the bound only
+	// suppresses steps, and every witness element took its step). Bounds
+	// above machine.MaxReorderBound (255) are rejected. SC is unaffected
+	// (its buffers are always empty), which the honest no-op convention
+	// reports as ReorderBound = 0 in the result.
+	ReorderBound int
+
+	// POR enables commit-step partial-order reduction with sleep sets:
+	// singleton ample sets over processes whose next operation is
+	// process-local (a buffered write under TSO/PSO, a fence over an empty
+	// buffer, a return), guarded by an in-CS visibility check and a cycle
+	// proviso, plus sleep-set pruning of independent commit-commit
+	// interleavings. Verdicts and witness replayability are preserved
+	// (parity suite); state counts shrink. Complete violation-free runs
+	// remain full proofs.
+	POR bool
+}
+
+// Enabled reports whether any reduction mode is selected.
+func (r Reduction) Enabled() bool { return r.ReorderBound > 0 || r.POR }
+
+// validate rejects out-of-range reduction parameters.
+func (r Reduction) validate() error {
+	if r.ReorderBound < 0 {
+		return errors.New("check: Reduction.ReorderBound must be >= 0")
+	}
+	if r.ReorderBound > machine.MaxReorderBound {
+		return errors.New("check: Reduction.ReorderBound exceeds machine.MaxReorderBound (255)")
+	}
+	return nil
+}
+
+// noReduction rejects reduction modes, for analyses the reduction
+// soundness arguments do not cover (FCFS precedence, liveness).
+func (o Opts) noReduction(what string) error {
+	if !o.Reduction.Enabled() {
+		return nil
+	}
+	return errors.New("check: " + what + " does not support state-space reduction (Reduction.ReorderBound/POR); reductions are certified for exhaustive mutual-exclusion checking only")
 }
 
 // workerCount resolves Opts.Workers to a positive pool size: 0 means one

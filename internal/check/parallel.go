@@ -138,6 +138,8 @@ type wsEngine struct {
 	identity   string
 	rootKey    string
 	symmetry   bool
+	bound      int  // resolved reorder bound (0 under SC: honest no-op)
+	por        bool // ample-set partial-order reduction in force
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -204,6 +206,14 @@ type wsWorker struct {
 // point. Workers>1 keeps verdicts, complete-run state counts and step
 // totals exact, but which witness is found and where a budget trips become
 // scheduling-dependent (see the package comment).
+//
+// Opts.Reduction applies here too, with one asymmetry: under POR this
+// engine runs ample sets only (no sleep sets — their covered-for
+// bookkeeping races the shared visited set; see DESIGN.md §5j) and checks
+// the cycle proviso against the visited set instead of a DFS stack.
+// Verdicts still match the sequential and unreduced explorers, but reduced
+// state counts differ from the sequential POR walker — even at Workers=1 —
+// and become scheduling-dependent at Workers>1.
 func (s *Subject) ExhaustiveParallel(ctx context.Context, model machine.Model, opts Opts) (Result, error) {
 	return s.runWS(ctx, model, opts, nil)
 }
@@ -232,6 +242,9 @@ func (s *Subject) runWS(ctx context.Context, model machine.Model, opts Opts, rs 
 	if err != nil {
 		return Result{}, err
 	}
+	if err := opts.Reduction.validate(); err != nil {
+		return Result{}, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -249,13 +262,26 @@ func (s *Subject) runWS(ctx context.Context, model machine.Model, opts Opts, rs 
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.symmetry = s.newKeyer(opts).reduces()
-	res := Result{Complete: true, SymmetryApplied: e.symmetry}
+	// Resolve the reorder bound once, mirroring Config.SetReorderBound's
+	// honest-no-op convention: SC buffers are always empty, so the bound is
+	// reported (and certified) as 0 there.
+	if model != machine.SC {
+		e.bound = opts.Reduction.ReorderBound
+	}
+	e.por = opts.Reduction.POR
+	res := Result{
+		Complete:        true,
+		SymmetryApplied: e.symmetry,
+		ReorderBound:    e.bound,
+		PORApplied:      e.por,
+	}
 
 	if e.policy != nil || rs != nil {
 		fresh, err := s.Build(model)
 		if err != nil {
 			return Result{}, err
 		}
+		fresh.SetReorderBound(e.bound)
 		e.identity = fresh.IdentityFingerprint()
 		kr := s.newKeyer(opts)
 		rk, err := kr.key(fresh, 0, maxCrashes)
@@ -308,6 +334,7 @@ func (s *Subject) runWS(ctx context.Context, model machine.Model, opts Opts, rs 
 				e.fail(err)
 				return
 			}
+			cfg.SetReorderBound(e.bound)
 			if e.plog != nil {
 				cfg.EnablePassages(*s.Passages, e.plog)
 			}
@@ -548,7 +575,7 @@ func (e *wsEngine) snapshotLocked() error {
 		return nil
 	}
 	ck := buildCheckpoint(e.policy, e.model, e.identity, e.rootKey, e.symmetry,
-		e.maxCrashes, e.gen+1, frontier, stacks, e.visited, e.meter)
+		e.bound, e.por, e.maxCrashes, e.gen+1, frontier, stacks, e.visited, e.meter)
 	if err := saveCheckpoint(ck, e.policy.Path); err != nil {
 		return err
 	}
@@ -856,19 +883,35 @@ func (w *wsWorker) expand(crashes int, nodeKey machine.StateKey) (bool, error) {
 	e := w.e
 	c := w.cfg
 	f := w.pushFrame(crashes)
-	for p := 0; p < c.N(); p++ {
-		if c.Halted(p) {
-			continue
-		}
-		f.elems = append(f.elems, machine.PBottom(p))
-		w.regs = c.AppendBufferRegs(p, w.regs[:0])
-		for _, r := range w.regs {
-			if c.CanCommit(p, r) {
-				f.elems = append(f.elems, machine.PReg(p, r))
+	ample := false
+	if e.por {
+		var err error
+		ample, err = w.tryAmple(f, crashes)
+		if err != nil {
+			// Terminal machine error: drop the frame (nothing charged yet)
+			// and let the engine fail.
+			w.frames = w.frames[:len(w.frames)-1]
+			if w.donHint > len(w.frames) {
+				w.donHint = len(w.frames)
 			}
+			return false, err
 		}
-		if crashes < e.maxCrashes {
-			f.elems = append(f.elems, machine.PCrash(p))
+	}
+	if !ample {
+		for p := 0; p < c.N(); p++ {
+			if c.Halted(p) {
+				continue
+			}
+			f.elems = append(f.elems, machine.PBottom(p))
+			w.regs = c.AppendBufferRegs(p, w.regs[:0])
+			for _, r := range w.regs {
+				if c.CanCommit(p, r) {
+					f.elems = append(f.elems, machine.PReg(p, r))
+				}
+			}
+			if crashes < e.maxCrashes {
+				f.elems = append(f.elems, machine.PCrash(p))
+			}
 		}
 	}
 	if !e.prepass {
@@ -880,7 +923,15 @@ func (w *wsWorker) expand(crashes int, nodeKey machine.StateKey) (bool, error) {
 	// back too: its expansion was not completed, so it must be re-visited
 	// (and re-charged) by the resumed run.
 	bail := func(err error) (bool, error) {
-		w.popFrame()
+		// Drop only the frame pushed above — not popFrame, which would
+		// unwind the trail to the parent frame's depth and revert the
+		// caller-owned edge under explore's feet (every speculative
+		// pre-pass step was already reverted in place, so the trail is
+		// at this frame's depth).
+		w.frames = w.frames[:len(w.frames)-1]
+		if w.donHint > len(w.frames) {
+			w.donHint = len(w.frames)
+		}
 		e.visited.Remove(nodeKey)
 		return false, err
 	}
@@ -930,6 +981,69 @@ func (w *wsWorker) expand(crashes int, nodeKey machine.StateKey) (bool, error) {
 		f.keys = f.keys[:j]
 	}
 	f.end = len(f.elems)
+	return true, nil
+}
+
+// tryAmple attempts to reduce the node to a singleton-process ample set
+// (see por.go for the independence argument: a process with an empty write
+// buffer poised at a buffered write, fence or return touches only its own
+// state). On success the frame is pre-populated with just that process's
+// transitions and true is returned; the caller then runs the normal charge
+// and pre-filter machinery over them. Guards mirror the sequential POR
+// walker, except the cycle proviso: workers share no DFS stack, so an
+// ample successor already in the *visited set* forces full expansion. That
+// is strictly more conservative than the sequential on-stack check (the
+// stack is a subset of visited) and stays sound under work stealing and
+// checkpoint resume: in any cycle of the reduced graph, the node interned
+// last probes after every other cycle member was interned, sees a visited
+// successor, and expands fully. It also makes reduced state counts at
+// Workers>1 scheduling-dependent — racing workers tilt individual proviso
+// probes — unlike the unreduced engine's exact counts.
+func (w *wsWorker) tryAmple(f *wsFrame, crashes int) (bool, error) {
+	e := w.e
+	c := w.cfg
+	amp, err := e.s.ampleCandidate(c, e.model)
+	if err != nil {
+		return false, err
+	}
+	if amp < 0 {
+		return false, nil
+	}
+	elems := append(f.elems[:0], machine.PBottom(amp))
+	if crashes < e.maxCrashes {
+		elems = append(elems, machine.PCrash(amp))
+	}
+	for _, el := range elems {
+		_, took, u, err := c.StepUndo(el)
+		if err != nil {
+			return false, err
+		}
+		if !took {
+			return false, nil
+		}
+		in, err := e.s.InCS(c, amp)
+		if err != nil {
+			u.Revert()
+			return false, err
+		}
+		var key machine.StateKey
+		if !in {
+			nc := crashes
+			if el.Crash {
+				nc++
+			}
+			key, err = w.kr.key(c, nc, e.maxCrashes)
+			if err != nil {
+				u.Revert()
+				return false, err
+			}
+		}
+		u.Revert()
+		if in || e.visited.Has(key) {
+			return false, nil
+		}
+	}
+	f.elems = elems
 	return true, nil
 }
 

@@ -56,9 +56,16 @@ type ProgressResult struct {
 // (Complete=false, DeadlockFree=false — proving nothing) and the partial
 // result is returned together with the *run.BudgetError. Fault plans are
 // rejected: the liveness notions above are defined for crash-free
-// executions.
+// executions. State-space reductions (Opts.Reduction) are rejected too:
+// the reduction soundness arguments cover reachability of
+// mutual-exclusion violations, not the successor-graph structure this
+// analysis inspects (an ample-reduced graph drops edges deadlock-freedom
+// must see, and bounded semantics drop whole executions).
 func (s *Subject) CheckProgress(ctx context.Context, model machine.Model, opts Opts) (*ProgressResult, error) {
 	if err := opts.noFaults("liveness analysis"); err != nil {
+		return nil, err
+	}
+	if err := opts.noReduction("liveness analysis"); err != nil {
 		return nil, err
 	}
 	meter := run.NewMeter(ctx, opts.Budget)

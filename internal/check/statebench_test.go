@@ -13,12 +13,15 @@ import (
 // BenchmarkStateThroughput measures raw explorer throughput (states
 // interned per second) and per-state allocation on the two configurations
 // recorded in BENCH_check.json: the full bakery n=3 proof under PSO
-// (~78k states) and the first 150k states of GT_2 n=4 under PSO (the
+// (~78k states, plus the same proof under partial-order reduction at
+// ~30k) and the first 150k states of GT_2 n=4 under PSO (the
 // state budget trips at exactly MaxStates interned states at any worker
 // count — over-cap internings are rolled back — so the truncated rows
 // stay comparable). Both the sequential DFS and the work-stealing
 // undo-log parallel engine are measured, the latter at workers=1 and
-// workers=NumCPU.
+// workers=NumCPU. The parallel POR rows use the engine's ample-only
+// reduction, so their state counts sit between the sequential POR count
+// and the full graph (see ExhaustiveParallel's doc).
 //
 // bytes/state for BENCH_check.json is B/op divided by the reported
 // states/op metric; the peak visited-set size equals the state count
@@ -33,16 +36,22 @@ func BenchmarkStateThroughput(b *testing.B) {
 		n         int
 		maxStates int
 		complete  bool
+		reduction Reduction
 	}{
-		{"bakery-n3", locks.NewBakery, 3, 3_000_000, true},
-		{"gt2-n4", gt2, 4, 150_000, false},
+		{"bakery-n3", locks.NewBakery, 3, 3_000_000, true, Reduction{}},
+		// The same proof under commit-step partial-order reduction: the
+		// verdict is identical (pinned by TestPORVerdictParity), the
+		// visited set shrinks — the states/op ratio against the row above
+		// is the reduction factor the CI floor guards.
+		{"bakery-n3-por", locks.NewBakery, 3, 3_000_000, true, Reduction{POR: true}},
+		{"gt2-n4", gt2, 4, 150_000, false, Reduction{}},
 	}
 	for _, c := range cases {
 		s, err := NewMutexSubject(c.name, c.ctor, c.n, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		opts := Opts{Budget: run.Budget{MaxStates: c.maxStates}}
+		opts := Opts{Budget: run.Budget{MaxStates: c.maxStates}, Reduction: c.reduction}
 		verify := func(b *testing.B, res Result, err error) int {
 			b.Helper()
 			if c.complete {

@@ -128,7 +128,26 @@ type Config struct {
 	passLog            *PassageLog
 	passOpen           []bool
 	passCC, passDSM    []int64
+
+	// Reorder-bounded buffer semantics (opt-in; see SetReorderBound). When
+	// reorderBound > 0, wbAges[p*cacheStride+r] is the reorder distance of
+	// the write process p currently buffers to r: how many of p's later
+	// program-order operations have completed while the write sat in the
+	// buffer. A rule-4 program step is suppressed while any buffered write
+	// of the process has exhausted the bound, leaving commits (and crashes)
+	// as the process's only moves until the write retires. Cells of
+	// registers not currently buffered are stale and never read. Ages gate
+	// enabledness, so they are behavioural state: the state-key encoding
+	// includes them whenever the bound is active.
+	reorderBound int
+	wbAges       []uint8
+	ageScratch   []Reg
 }
+
+// MaxReorderBound is the largest accepted reorder bound: ages are stored
+// as bytes and never exceed the bound (the gate blocks further bumps), so
+// one byte per (process, register) cell suffices.
+const MaxReorderBound = 255
 
 // NewConfig returns the initial configuration C_init for n processes
 // executing progs (progs[p] is process p's program) under the given memory
@@ -194,6 +213,13 @@ func (c *Config) ensureReg(r Reg) {
 		copy(cache[p*stride:], c.cache[p*c.cacheStride:(p+1)*c.cacheStride])
 		copy(known[p*stride:], c.cacheKnown[p*c.cacheStride:(p+1)*c.cacheStride])
 	}
+	if c.wbAges != nil {
+		ages := make([]uint8, c.n*stride)
+		for p := 0; p < c.n; p++ {
+			copy(ages[p*stride:], c.wbAges[p*c.cacheStride:(p+1)*c.cacheStride])
+		}
+		c.wbAges = ages
+	}
 	c.mem, c.lastCommitter, c.cache, c.cacheKnown, c.cacheStride = mem, lc, cache, known, stride
 }
 
@@ -243,6 +269,7 @@ func (c *Config) Clone() *Config {
 		accounting:    c.accounting,
 		faults:        c.faults, // plans are immutable once installed
 		steps:         c.steps,
+		reorderBound:  c.reorderBound,
 		mem:           append([]Value(nil), c.mem...),
 		procs:         make([]*lang.ProcState, c.n),
 		wbs:           make([]writeBuffer, c.n),
@@ -257,6 +284,9 @@ func (c *Config) Clone() *Config {
 		d.passOpen = append([]bool(nil), c.passOpen...)
 		d.passCC = append([]int64(nil), c.passCC...)
 		d.passDSM = append([]int64(nil), c.passDSM...)
+	}
+	if c.wbAges != nil {
+		d.wbAges = append([]uint8(nil), c.wbAges...)
 	}
 	for p := 0; p < c.n; p++ {
 		d.procs[p] = c.procs[p].Clone()
@@ -354,6 +384,78 @@ func (c *Config) CanCommit(p int, r Reg) bool { return c.wbs[p].canCommit(r) }
 // next_p(C) — with ok=false when p is in a final state.
 func (c *Config) NextOp(p int) (lang.Op, bool, error) { return c.procs[p].NextOp() }
 
+// SetReorderBound installs reorder-bounded buffer semantics: each buffered
+// write may reorder past at most k of its own process's later program-order
+// operations before the process's program steps are suppressed (commits and
+// crashes stay enabled, so the write can always retire). k <= 0 removes the
+// bound; k is clamped to MaxReorderBound. Under SC the call is an honest
+// no-op (ReorderBound stays 0): SC commits writes in-step, so its buffers
+// are always empty and the bound can never fire. Install before stepping —
+// the bound is part of the machine's behaviour, and configurations running
+// different bounds must never share a visited set (the bound changes which
+// states are reachable, and ages enter the key encoding only while a bound
+// is active).
+func (c *Config) SetReorderBound(k int) {
+	if k <= 0 || c.model == SC {
+		c.reorderBound, c.wbAges = 0, nil
+		return
+	}
+	if k > MaxReorderBound {
+		k = MaxReorderBound
+	}
+	c.reorderBound = k
+	if c.wbAges == nil {
+		c.wbAges = make([]uint8, c.n*c.cacheStride)
+	}
+}
+
+// ReorderBound returns the installed reorder bound (0 = unbounded).
+func (c *Config) ReorderBound() int { return c.reorderBound }
+
+// reorderBlocked reports whether a rule-4 program step of process p is
+// suppressed because some write p still buffers has exhausted the reorder
+// bound. Buffered registers are always inside the dense tables (buffering
+// goes through setCache, which grows them), so the row index is safe.
+func (c *Config) reorderBlocked(p int) bool {
+	if c.reorderBound <= 0 || c.wbs[p].len() == 0 {
+		return false
+	}
+	c.ageScratch = c.wbs[p].appendRegs(c.ageScratch[:0])
+	row := c.wbAges[p*c.cacheStride:]
+	for _, r := range c.ageScratch {
+		if int(row[r]) >= c.reorderBound {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpAges charges one unit of reorder distance to every write process p
+// still buffers — called once per taken rule-4 program step, before the
+// step's own buffering (a coalescing write passes its register as skip and
+// resets that entry instead; reads and returns pass skip = -1). The gate in
+// step() runs first, so no age ever exceeds the bound. No-op unless a
+// reorder bound is active and the buffer is non-empty.
+func (c *Config) bumpAges(p int, skip Reg, u *Undo) {
+	if c.reorderBound <= 0 || c.wbs[p].len() == 0 {
+		return
+	}
+	c.ageScratch = c.wbs[p].appendRegs(c.ageScratch[:0])
+	row := c.wbAges[p*c.cacheStride:]
+	bumped := false
+	for _, r := range c.ageScratch {
+		if r == skip {
+			continue
+		}
+		row[r]++
+		bumped = true
+	}
+	if bumped && u != nil {
+		u.agesBumped = true
+		u.agesSkip = skip
+	}
+}
+
 // PoisedAtFence reports whether process p's next operation is fence().
 func (c *Config) PoisedAtFence(p int) bool {
 	op, ok, err := c.procs[p].NextOp()
@@ -397,7 +499,7 @@ func (c *Config) Enabled(e Elem) bool {
 		_, can := c.drainCandidate(p)
 		return can
 	}
-	return true
+	return !c.reorderBlocked(p)
 }
 
 // Step executes the schedule element e and returns the resulting step
@@ -450,6 +552,13 @@ func (c *Config) step(e Elem, u *Undo) (rec StepRecord, took bool, err error) {
 		return c.commitStep(p, r, u), true, nil
 	}
 
+	// Reorder bound: while any write still buffered by p has exhausted its
+	// reorder budget, p's program steps produce no step — commits (rules
+	// 2/3 above) and crashes remain p's only moves until the write retires.
+	if c.reorderBlocked(p) {
+		return StepRecord{}, false, nil
+	}
+
 	// Rule 4: perform the pending program operation. These arms mutate the
 	// process's interpreter state in place, so the undo log snapshots it
 	// first (commit steps above never touch it — NextOp settled it, and
@@ -478,6 +587,7 @@ func (c *Config) step(e Elem, u *Undo) (rec StepRecord, took bool, err error) {
 		if err := ps.CompleteReturn(); err != nil {
 			return StepRecord{}, false, err
 		}
+		c.bumpAges(p, -1, u)
 		c.stats.Steps[p]++
 		c.steps++
 		rec = StepRecord{P: p, Kind: StepReturn, Val: op.Val, SegOwner: NoOwner}
@@ -592,6 +702,7 @@ func (c *Config) readStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error) 
 		u.cachePrev, u.cachePrevKnown = c.cacheAt(p, r)
 	}
 	c.setCache(p, r, val)
+	c.bumpAges(p, -1, u)
 
 	if err := c.procs[p].CompleteRead(val); err != nil {
 		return StepRecord{}, false, err
@@ -626,6 +737,9 @@ func (c *Config) writeStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error)
 		u.cachePrev, u.cachePrevKnown = c.cacheAt(p, r)
 	}
 	c.setCache(p, r, v)
+	// The buffered writes that predate this one each reorder past it; the
+	// write's own (possibly coalesced) entry restarts at distance zero.
+	c.bumpAges(p, r, u)
 	c.stats.Writes[p]++
 	c.stats.Steps[p]++
 	c.steps++
@@ -666,6 +780,14 @@ func (c *Config) writeStep(p int, op lang.Op, u *Undo) (StepRecord, bool, error)
 		u.bufWrite = w
 		u.bufReplaced = replaced
 		u.bufOld = old
+	}
+	if c.reorderBound > 0 {
+		if u != nil {
+			u.agePutTouched = true
+			u.agePutReg = r
+			u.agePutPrev = c.wbAges[p*c.cacheStride+int(r)]
+		}
+		c.wbAges[p*c.cacheStride+int(r)] = 0
 	}
 	rec := StepRecord{P: p, Kind: StepWrite, Reg: r, Val: v, SegOwner: owner}
 	c.trace.append(rec)

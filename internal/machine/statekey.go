@@ -74,6 +74,7 @@ func HashStateKey(b []byte) StateKey {
 // encoder is not safe for concurrent use.
 type KeyEncoder struct {
 	ws []Write // write-buffer / renamed-memory scratch
+	as []uint8 // reorder-age scratch, parallel to ws (reorder-bounded runs)
 }
 
 // AppendStateBytes appends the canonical binary encoding of the
@@ -142,6 +143,17 @@ func (e *KeyEncoder) append(c *Config, buf []byte, ren *renamer) ([]byte, error)
 
 		e.ws = e.ws[:0]
 		e.ws = c.wbs[p].appendEntries(e.ws)
+		bounded := c.reorderBound > 0
+		if bounded {
+			// Reorder ages gate enabledness, so they are part of the
+			// behavioural state whenever a bound is active. Capture them by
+			// the entry's original register before any renaming.
+			e.as = e.as[:0]
+			row := c.wbAges[p*c.cacheStride:]
+			for _, w := range e.ws {
+				e.as = append(e.as, row[w.Reg])
+			}
+		}
 		if ren != nil {
 			for i := range e.ws {
 				r := e.ws[i].Reg
@@ -150,13 +162,20 @@ func (e *KeyEncoder) append(c *Config, buf []byte, ren *renamer) ([]byte, error)
 			if c.model != TSO {
 				// PSO semantic order is ascending register, which the
 				// renaming may permute; TSO queue order is preserved.
-				sortWrites(e.ws)
+				if bounded {
+					sortWritesAges(e.ws, e.as)
+				} else {
+					sortWrites(e.ws)
+				}
 			}
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(e.ws)))
-		for _, w := range e.ws {
+		for i, w := range e.ws {
 			buf = binary.AppendUvarint(buf, uint64(w.Reg))
 			buf = binary.AppendVarint(buf, w.Val)
+			if bounded {
+				buf = append(buf, e.as[i])
+			}
 		}
 	}
 	return buf, nil
@@ -186,6 +205,17 @@ func sortWrites(ws []Write) {
 	for i := 1; i < len(ws); i++ {
 		for j := i; j > 0 && ws[j].Reg < ws[j-1].Reg; j-- {
 			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// sortWritesAges is sortWrites with a parallel reorder-age slice kept in
+// lockstep, for reorder-bounded encodings under a symmetry renaming.
+func sortWritesAges(ws []Write, as []uint8) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].Reg < ws[j-1].Reg; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+			as[j], as[j-1] = as[j-1], as[j]
 		}
 	}
 }

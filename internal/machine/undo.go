@@ -71,6 +71,18 @@ type Undo struct {
 	bufReplaced bool
 	bufOld      Value
 
+	// Reorder-age mutations of process p (only under an active reorder
+	// bound): a rule-4 program step bumps every buffered register's age
+	// except agesSkip, and a buffering write additionally resets its own
+	// entry (agePutReg) after saving the stale byte. Crashes never touch
+	// ages — the wiped buffer's cells simply go stale — so the crash branch
+	// needs no age restore.
+	agesBumped    bool
+	agesSkip      Reg
+	agePutTouched bool
+	agePutReg     Reg
+	agePutPrev    uint8
+
 	// Crash-only bulk state: the replaced write buffer (kept, not copied —
 	// crashStep installs a fresh one) and the cache row's presence bits
 	// (a crash clears them; the value cells are untouched).
@@ -140,6 +152,20 @@ func (u *Undo) Revert() {
 			c.wbs[p].uncommit(u.bufWrite)
 		case bufUnput:
 			c.wbs[p].unput(u.bufWrite, u.bufReplaced, u.bufOld)
+		}
+		if u.agePutTouched {
+			c.wbAges[p*c.cacheStride+int(u.agePutReg)] = u.agePutPrev
+		}
+		if u.agesBumped {
+			// The buffer restore above re-established the pre-step buffered
+			// set — exactly the registers the step bumped (minus agesSkip).
+			c.ageScratch = c.wbs[p].appendRegs(c.ageScratch[:0])
+			row := c.wbAges[p*c.cacheStride:]
+			for _, r := range c.ageScratch {
+				if r != u.agesSkip {
+					row[r]--
+				}
+			}
 		}
 		if u.memTouched {
 			c.mem[u.memReg] = u.memPrev

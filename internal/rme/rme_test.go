@@ -252,3 +252,48 @@ func TestNamesAndUnknown(t *testing.T) {
 		t.Fatal("NewSubject(nope) succeeded")
 	}
 }
+
+// Partial-order reduction preserves recoverable-mutex verdicts: the safe
+// family stays proved and the negative control stays refuted under POR,
+// across models and crash budgets, with strictly fewer or equal states.
+// Passage watermarks are NOT asserted equal — they are path-dependent
+// maxima over the explored spanning tree, and the reduced exploration
+// walks a different tree; both runs report certified lower bounds on the
+// worst case.
+func TestPORVerdictParityRME(t *testing.T) {
+	run := func(lock string, crashes int, model machine.Model, por bool) check.Result {
+		t.Helper()
+		s, err := NewSubject(lock, 2, 1)
+		if err != nil {
+			t.Fatalf("NewSubject(%s): %v", lock, err)
+		}
+		opts := check.Opts{Reduction: check.Reduction{POR: por}}
+		if crashes > 0 {
+			opts.Faults = &machine.FaultPlan{MaxCrashes: crashes}
+		}
+		res, err := s.Exhaustive(context.Background(), model, opts)
+		if err != nil {
+			t.Fatalf("Exhaustive(%s, crashes=%d, %v, por=%v): %v", lock, crashes, model, por, err)
+		}
+		return res
+	}
+	for _, lock := range []string{"rtas", "rbakery", "rtournament", "rtas-unsafe"} {
+		for _, crashes := range []int{0, 1} {
+			for _, model := range []machine.Model{machine.SC, machine.TSO, machine.PSO} {
+				base := run(lock, crashes, model, false)
+				red := run(lock, crashes, model, true)
+				if red.Violation != base.Violation || red.Complete != base.Complete {
+					t.Errorf("%s crashes=%d %v: POR verdict drifted: violation %v/%v complete %v/%v",
+						lock, crashes, model, base.Violation, red.Violation, base.Complete, red.Complete)
+				}
+				if !red.PORApplied {
+					t.Errorf("%s crashes=%d %v: PORApplied not reported", lock, crashes, model)
+				}
+				if red.States > base.States {
+					t.Errorf("%s crashes=%d %v: POR grew the state space: %d > %d",
+						lock, crashes, model, red.States, base.States)
+				}
+			}
+		}
+	}
+}

@@ -27,7 +27,14 @@ import (
 // automatically); cached results from the old engine are invalidated
 // because multi-worker runs no longer pin bit-identical witnesses and
 // budget-trip state counts, so old and new outcomes are not comparable.
-const IdentitySchemaVersion = 3
+//
+// v4: reorder-bounded buffer semantics and commit-step partial-order
+// reduction joined the identity (reorder=/por= components). They change
+// what is proved — a bounded run is a bounded certificate, a POR run a
+// reduced-graph proof — so a reduced result must never be served for an
+// unreduced request or vice versa; making them identity fields gives each
+// (request, reduction) pair its own job, outbox record and checkpoint.
+const IdentitySchemaVersion = 4
 
 // Request operations.
 const (
@@ -101,6 +108,16 @@ type Request struct {
 	MaxCrashes int `json:"max_crashes,omitempty"`
 	// Symmetry enables process-symmetry reduction.
 	Symmetry bool `json:"symmetry,omitempty"`
+	// ReorderBound > 0 runs the exploration under reorder-bounded buffer
+	// semantics (check/rme: bounded certificate, Proved suppressed;
+	// synth: refute-only oracle). Identity, not a run parameter: the
+	// bounded question is a different question.
+	ReorderBound int `json:"reorder_bound,omitempty"`
+	// POR enables commit-step partial-order reduction. Identity even
+	// though verdict-preserving: the reduced exploration visits a
+	// different state set, so its checkpoints and state counts are not
+	// interchangeable with the unreduced run's.
+	POR bool `json:"por,omitempty"`
 	// Oracle selects the synthesis safety oracle ("exhaustive" or
 	// "supervised"; synth only, default "exhaustive").
 	Oracle string `json:"oracle,omitempty"`
@@ -161,6 +178,15 @@ func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel
 	if r.MaxCrashes < 0 {
 		return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: negative crash budget %d", r.MaxCrashes)
 	}
+	if r.ReorderBound < 0 || r.ReorderBound > machine.MaxReorderBound {
+		return tradingfences.LockSpec{}, 0, fmt.Errorf("serve: reorder bound %d out of range [0, %d]", r.ReorderBound, machine.MaxReorderBound)
+	}
+	if model == tradingfences.SC {
+		// SC has no write buffers to bound; the explorer resolves any bound
+		// to 0 (an honest no-op), so canonicalizing here keeps the bounded
+		// and unbounded spellings of the same SC question on one identity.
+		r.ReorderBound = 0
+	}
 	prio, err := ParsePriority(r.Priority)
 	if err != nil {
 		return tradingfences.LockSpec{}, 0, err
@@ -199,9 +225,9 @@ func (r *Request) Normalize() (tradingfences.LockSpec, tradingfences.MemoryModel
 // results and checkpoints from the old build fail this certification by
 // construction and are re-run fresh, never served stale.
 func (r Request) identity() string {
-	return fmt.Sprintf("tfserve/%d|codec=%d|ckpt=%d|op=%s|lock=%s|n=%d|passages=%d|model=%s|crashes=%d|symmetry=%t|oracle=%s",
+	return fmt.Sprintf("tfserve/%d|codec=%d|ckpt=%d|op=%s|lock=%s|n=%d|passages=%d|model=%s|crashes=%d|symmetry=%t|reorder=%d|por=%t|oracle=%s",
 		IdentitySchemaVersion, machine.StateKeyCodecVersion, check.CheckpointVersion,
-		r.Op, r.Lock, r.N, r.Passages, r.Model, r.MaxCrashes, r.Symmetry, r.Oracle)
+		r.Op, r.Lock, r.N, r.Passages, r.Model, r.MaxCrashes, r.Symmetry, r.ReorderBound, r.POR, r.Oracle)
 }
 
 // Key returns the canonical request hash: the idempotency key duplicate

@@ -40,6 +40,8 @@ func TestKeyCoversIdentityFields(t *testing.T) {
 		"model":    {Op: OpCheck, Lock: "bakery", N: 3, Model: "tso"},
 		"crashes":  {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", MaxCrashes: 1},
 		"symmetry": {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", Symmetry: true},
+		"reorder":  {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", ReorderBound: 2},
+		"por":      {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", POR: true},
 		"oracle":   {Op: OpSynth, Lock: "bakery", N: 3, Model: "pso", Oracle: "supervised"},
 	}
 	seen := map[string]string{base.Key(): "base"}
@@ -96,11 +98,37 @@ func TestNormalizeRejects(t *testing.T) {
 		"crashes on synth": {
 			Op: OpSynth, Lock: "peterson", N: 2, Model: "pso", MaxCrashes: 1},
 		"unknown oracle": {Op: OpSynth, Lock: "peterson", N: 2, Model: "pso", Oracle: "magic"},
+		"neg reorder":    {Op: OpCheck, Lock: "bakery", N: 2, Model: "pso", ReorderBound: -1},
+		"huge reorder":   {Op: OpCheck, Lock: "bakery", N: 2, Model: "pso", ReorderBound: 256},
 	}
 	for name, r := range bad {
 		if _, _, err := r.Normalize(); err == nil {
 			t.Errorf("%s: Normalize accepted %+v", name, r)
 		}
+	}
+}
+
+// Reduction modes are identity: a reduced exploration answers a different
+// question (bounded certificate, reduced graph) than the full one, so the
+// daemon must never collapse them onto one job or serve one's cached
+// result for the other. SC canonicalizes any bound to 0 — the explorer
+// treats it as an honest no-op, so both spellings are the same question.
+func TestReductionIdentity(t *testing.T) {
+	full := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "pso"})
+	for name, r := range map[string]Request{
+		"reorder":     {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", ReorderBound: 1},
+		"por":         {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", POR: true},
+		"reorder+por": {Op: OpCheck, Lock: "bakery", N: 3, Model: "pso", ReorderBound: 1, POR: true},
+	} {
+		if k := normalized(t, r).Key(); k == full.Key() {
+			t.Errorf("%s collapses onto the unreduced identity", name)
+		}
+	}
+	sc := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "sc"})
+	scBound := normalized(t, Request{Op: OpCheck, Lock: "bakery", N: 3, Model: "sc", ReorderBound: 5})
+	if scBound.ReorderBound != 0 || sc.Key() != scBound.Key() {
+		t.Fatalf("SC bound not canonicalized to the no-op: bound=%d\n  %s\n  %s",
+			scBound.ReorderBound, sc.identity(), scBound.identity())
 	}
 }
 

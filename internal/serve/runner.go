@@ -20,6 +20,14 @@ type CheckOutcome struct {
 	ExhaustiveStates int    `json:"exhaustive_states"`
 	RandomSteps      int    `json:"random_steps,omitempty"`
 	WitnessSchedule  string `json:"witness_schedule,omitempty"`
+	// Reduction accounting (mirrors tradingfences.Coverage): the resolved
+	// reorder bound the exploration ran under (0 = full semantics), whether
+	// a bounded exploration completed violation-free (a bounded
+	// certificate — Proved stays false), and whether partial-order
+	// reduction was applied.
+	ReorderBound    int  `json:"reorder_bound,omitempty"`
+	BoundedComplete bool `json:"bounded_complete,omitempty"`
+	POR             bool `json:"por,omitempty"`
 	// Passage accounting (rme jobs only): passages closed during the
 	// exploration and the worst per-passage RMR count under the CC and DSM
 	// rules. Watermarks over the explored spanning tree — certified lower
@@ -104,10 +112,12 @@ func (FacadeRunner) Run(ctx context.Context, job View, onAttempt func(supervise.
 // scratch — the verdict is deterministic, so idempotency is unaffected.
 func runRME(ctx context.Context, model tradingfences.MemoryModel, req Request) (*Result, error) {
 	opts := tradingfences.CheckOptions{
-		Budget:   req.Budget(),
-		Seed:     req.Seed,
-		Symmetry: req.Symmetry,
-		Workers:  req.Workers,
+		Budget:       req.Budget(),
+		Seed:         req.Seed,
+		Symmetry:     req.Symmetry,
+		ReorderBound: req.ReorderBound,
+		POR:          req.POR,
+		Workers:      req.Workers,
 	}
 	if req.MaxCrashes > 0 {
 		opts.Faults = &tradingfences.FaultPlan{MaxCrashes: req.MaxCrashes}
@@ -119,7 +129,21 @@ func runRME(ctx context.Context, model tradingfences.MemoryModel, req Request) (
 	if v == nil {
 		return nil, err
 	}
-	out := &CheckOutcome{
+	out := checkOutcomeOf(v)
+	if ps := v.Passages; ps != nil {
+		out.PassageCount, out.PassageMaxCC, out.PassageMaxDSM = ps.Count, ps.MaxCC, ps.MaxDSM
+	}
+	return &Result{
+		Op:            OpRME,
+		Check:         out,
+		States:        v.States,
+		Authoritative: authoritative(v),
+	}, err
+}
+
+// checkOutcomeOf lowers the deterministic fields of a verdict.
+func checkOutcomeOf(v *tradingfences.MutexVerdict) *CheckOutcome {
+	return &CheckOutcome{
 		Violated:         v.Violated,
 		Proved:           v.Proved,
 		Mode:             v.Mode,
@@ -128,26 +152,32 @@ func runRME(ctx context.Context, model tradingfences.MemoryModel, req Request) (
 		ExhaustiveStates: v.Coverage.ExhaustiveStates,
 		RandomSteps:      v.Coverage.RandomSteps,
 		WitnessSchedule:  v.WitnessSchedule,
+		ReorderBound:     v.Coverage.ReorderBound,
+		BoundedComplete:  v.Coverage.BoundedComplete,
+		POR:              v.Coverage.POR,
 	}
-	if ps := v.Passages; ps != nil {
-		out.PassageCount, out.PassageMaxCC, out.PassageMaxDSM = ps.Count, ps.MaxCC, ps.MaxDSM
-	}
-	return &Result{
-		Op:            OpRME,
-		Check:         out,
-		States:        v.States,
-		Authoritative: v.Proved || v.Violated,
-	}, err
+}
+
+// authoritative reports whether the verdict answers its identity for good.
+// The reorder bound is an identity field, so a bounded-complete run — the
+// bounded graph fully explored, violation-free — is the final answer to
+// the bounded question even though it proves nothing about the full
+// semantics (Proved stays false and the outcome says so). An unreduced
+// submission computes a different key and never sees it.
+func authoritative(v *tradingfences.MutexVerdict) bool {
+	return v.Proved || v.Violated || v.Coverage.BoundedComplete
 }
 
 func runCheck(ctx context.Context, spec tradingfences.LockSpec, model tradingfences.MemoryModel,
 	req Request, job View, onAttempt func(supervise.Attempt)) (*Result, error) {
 	opts := tradingfences.SuperviseOptions{
 		CheckOptions: tradingfences.CheckOptions{
-			Budget:   req.Budget(),
-			Seed:     req.Seed,
-			Symmetry: req.Symmetry,
-			Workers:  req.Workers,
+			Budget:       req.Budget(),
+			Seed:         req.Seed,
+			Symmetry:     req.Symmetry,
+			ReorderBound: req.ReorderBound,
+			POR:          req.POR,
+			Workers:      req.Workers,
 			// Every job checkpoints: crash-safety of the daemon is the
 			// point, not an option.
 			CheckpointPath: checkpointPathOf(job),
@@ -168,24 +198,14 @@ func runCheck(ctx context.Context, spec tradingfences.LockSpec, model tradingfen
 	if v == nil {
 		return nil, err
 	}
-	out := &CheckOutcome{
-		Violated:         v.Violated,
-		Proved:           v.Proved,
-		Mode:             v.Mode,
-		States:           v.States,
-		SymmetryApplied:  v.SymmetryApplied,
-		ExhaustiveStates: v.Coverage.ExhaustiveStates,
-		RandomSteps:      v.Coverage.RandomSteps,
-		WitnessSchedule:  v.WitnessSchedule,
-	}
 	return &Result{
 		Op:     OpCheck,
-		Check:  out,
+		Check:  checkOutcomeOf(v),
 		States: v.States,
 		// A degraded pass that found a violation is still a real
 		// refutation (its witness replays); a degraded pass that found
 		// nothing proves nothing and must not be served to later traffic.
-		Authoritative: v.Proved || v.Violated,
+		Authoritative: authoritative(v),
 	}, err
 }
 
@@ -198,6 +218,8 @@ func runSynth(ctx context.Context, spec tradingfences.LockSpec, model tradingfen
 		Seed:           req.Seed,
 		MaxOracleCalls: req.MaxOracleCalls,
 		Symmetry:       req.Symmetry,
+		ReorderBound:   req.ReorderBound,
+		POR:            req.POR,
 	}
 	if req.Oracle == "supervised" {
 		opts.Oracle = tradingfences.OracleSupervised

@@ -58,6 +58,13 @@ type Options struct {
 	// see check.Opts.Symmetry). Checkpoints certify the symmetry mode, so
 	// resumed attempts stay consistent automatically.
 	Symmetry bool
+	// Reduction is forwarded to the explorer (reorder-bounded buffer
+	// semantics and commit-step partial-order reduction; see
+	// check.Opts.Reduction). Checkpoints certify both modes, so resumed
+	// attempts stay consistent automatically. The degraded randomized
+	// fallback always searches the full semantics — reductions shrink
+	// exhaustive graphs, not sampled runs.
+	Reduction check.Reduction
 
 	// MaxAttempts caps the exhaustive attempts before the randomized
 	// fallback (default 3; the first run counts as attempt 0).
@@ -327,7 +334,7 @@ func CheckMutex(ctx context.Context, subject *check.Subject, model machine.Model
 			o.Sleep(backoff)
 		}
 
-		chk := check.Opts{Budget: budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: workers}
+		chk := check.Opts{Budget: budget, Faults: o.Faults, Symmetry: o.Symmetry, Reduction: o.Reduction, Workers: workers}
 		if o.CheckpointPath != "" {
 			chk.Checkpoint = &check.CheckpointPolicy{
 				Path: o.CheckpointPath, EveryStates: o.CheckpointEvery, Meta: o.Meta,

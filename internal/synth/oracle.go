@@ -92,7 +92,13 @@ func verdictFrom(res check.Result, states int, err error) (Verdict, error) {
 		}
 		return v, err
 	}
-	if res.Complete {
+	// A completion under reorder-bounded semantics is a bounded
+	// certificate, not a proof: the bounded graph under-approximates the
+	// full one, so a placement it clears could still violate. The engine
+	// treats such verdicts as undecided — a bounded oracle can refute
+	// (every violation is genuine and replays under full semantics) but
+	// never admit a placement into the safe frontier.
+	if res.Complete && res.ReorderBound == 0 {
 		v.Proved = true
 	}
 	return v, nil

@@ -35,6 +35,20 @@ type Coverage struct {
 	// RandomSteps is the number of schedule steps executed by the
 	// randomized phase (degraded or random mode).
 	RandomSteps int
+	// ReorderBound echoes the reorder bound the exhaustive phase ran
+	// under (0 = full buffer semantics, including every SC run — the
+	// bound is inert there and reported as such).
+	ReorderBound int
+	// BoundedComplete is true when the exhaustive phase exhausted the
+	// *reorder-bounded* state space without finding a violation: a
+	// certificate for executions within the bound, deliberately kept out
+	// of Proved because the full semantics admit executions the bounded
+	// graph never visits.
+	BoundedComplete bool
+	// POR is true when the exhaustive phase ran commit-step partial-order
+	// reduction; ExhaustiveStates then counts the reduced graph's states.
+	// POR preserves verdicts, so it never affects Proved.
+	POR bool
 }
 
 // MutexVerdict is the outcome of checking one lock under one memory model.
@@ -46,7 +60,10 @@ type MutexVerdict struct {
 	Violated bool
 	// Proved is true if the state space was explored exhaustively without
 	// finding a violation — a proof of mutual exclusion for the bounded
-	// workload. Never true in degraded or random mode.
+	// workload. Never true in degraded or random mode, and never true
+	// under a reorder bound (CheckOptions.ReorderBound): a bounded
+	// exploration under-approximates the full semantics, so its clean
+	// completion is recorded as Coverage.BoundedComplete instead.
 	Proved bool
 	// States is the number of distinct states explored.
 	States int
@@ -183,7 +200,13 @@ func attachWitness(ctx context.Context, subject *check.Subject, lockName string,
 // checkOpts lowers the facade options to the internal checker's, wiring
 // the checkpoint policy (and its subject metadata) when a path is set.
 func (o CheckOptions) checkOpts(kind, lockName string, n, passages int) check.Opts {
-	chk := check.Opts{Budget: o.Budget, Faults: o.Faults, Symmetry: o.Symmetry, Workers: o.Workers}
+	chk := check.Opts{
+		Budget:    o.Budget,
+		Faults:    o.Faults,
+		Symmetry:  o.Symmetry,
+		Workers:   o.Workers,
+		Reduction: check.Reduction{ReorderBound: o.ReorderBound, POR: o.POR},
+	}
 	if o.CheckpointPath != "" {
 		if chk.Workers <= 0 {
 			// Checkpointing without an explicit worker count pins a single
@@ -244,14 +267,23 @@ func checkSubject(ctx context.Context, subject *check.Subject, lockName string, 
 		res, xerr = subject.Exhaustive(ctx, model.internal(), chkOpts)
 	}
 	v := &MutexVerdict{
-		Model:           model,
-		Mode:            ModeExhaustive,
-		Violated:        res.Violation,
-		Proved:          res.Complete && !res.Violation,
+		Model:    model,
+		Mode:     ModeExhaustive,
+		Violated: res.Violation,
+		// A complete clean run under a reorder bound is a bounded
+		// certificate, not a proof: the bounded graph under-approximates
+		// the full semantics. POR needs no such demotion — it preserves
+		// verdicts exactly.
+		Proved:          res.Complete && !res.Violation && res.ReorderBound == 0,
 		States:          res.States,
 		SymmetryApplied: res.SymmetryApplied,
-		Coverage:        Coverage{ExhaustiveStates: res.States},
-		Passages:        res.Passages,
+		Coverage: Coverage{
+			ExhaustiveStates: res.States,
+			ReorderBound:     res.ReorderBound,
+			BoundedComplete:  res.ReorderBound > 0 && res.Complete && !res.Violation,
+			POR:              res.PORApplied,
+		},
+		Passages: res.Passages,
 	}
 	wsched := res.Witness
 	if xerr != nil {
@@ -356,7 +388,15 @@ func CheckLivenessCtx(ctx context.Context, spec LockSpec, n, passages int, model
 	if err != nil {
 		return nil, err
 	}
-	res, cerr := subject.CheckProgress(ctx, model.internal(), check.Opts{Budget: opts.Budget, Faults: opts.Faults})
+	res, cerr := subject.CheckProgress(ctx, model.internal(), check.Opts{
+		Budget: opts.Budget,
+		Faults: opts.Faults,
+		// Threaded so the liveness checker rejects reductions loudly: its
+		// successor-graph analysis is not covered by the reduction
+		// soundness arguments, and silently dropping the flags would let a
+		// reduced-looking run masquerade as a full liveness proof.
+		Reduction: check.Reduction{ReorderBound: opts.ReorderBound, POR: opts.POR},
+	})
 	if cerr != nil && (res == nil || !run.IsLimit(cerr)) {
 		return nil, cerr
 	}

@@ -52,10 +52,17 @@ func supervisedVerdict(ctx context.Context, subject *check.Subject, spec LockSpe
 		Model:           model,
 		Mode:            ModeExhaustive,
 		Violated:        res.Violation,
-		Proved:          res.Complete && !res.Violation,
+		// A bounded-semantics completion is a bounded certificate, not a
+		// proof (same suppression as the unsupervised path).
+		Proved:          res.Complete && !res.Violation && res.ReorderBound == 0,
 		States:          res.States,
 		SymmetryApplied: res.SymmetryApplied,
-		Coverage:        Coverage{ExhaustiveStates: res.States},
+		Coverage: Coverage{
+			ExhaustiveStates: res.States,
+			ReorderBound:     res.ReorderBound,
+			BoundedComplete:  res.ReorderBound > 0 && res.Complete && !res.Violation,
+			POR:              res.PORApplied,
+		},
 	}
 	wsched := res.Witness
 	if out.Mode == supervise.ModeDegraded {
@@ -95,6 +102,7 @@ func CheckMutexSupervisedCtx(ctx context.Context, spec LockSpec, n, passages int
 		Budget:           opts.Budget,
 		Faults:           opts.Faults,
 		Symmetry:         opts.Symmetry,
+		Reduction:        check.Reduction{ReorderBound: opts.ReorderBound, POR: opts.POR},
 		MaxAttempts:      opts.MaxAttempts,
 		BackoffBase:      opts.BackoffBase,
 		BudgetGrowth:     opts.BudgetGrowth,
@@ -166,8 +174,14 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 	}
 	// Like the fault plan, the symmetry mode is pinned by the snapshot:
 	// its visited keys are only meaningful under the canonicalization they
-	// were minted with (the resume re-certifies this).
+	// were minted with (the resume re-certifies this). So are the
+	// reduction modes — bounded keys carry reorder ages and a reduced
+	// frontier covers the reduced graph only. ck.ReorderBound is the
+	// resolved bound (SC snapshots already carry 0), so copying it back
+	// survives the SC no-op convention.
 	opts.Symmetry = ck.Symmetry
+	opts.ReorderBound = ck.ReorderBound
+	opts.POR = ck.POR
 	opts.CheckpointPath = path
 	res, xerr := subject.ResumeExhaustiveParallel(ctx, model.internal(), ck, opts.checkOpts("mutex", spec.String(), n, passages))
 	v = &MutexVerdict{
@@ -175,10 +189,15 @@ func ResumeMutexCheckCtx(ctx context.Context, path string, opts CheckOptions) (v
 		Model:           model,
 		Mode:            ModeExhaustive,
 		Violated:        res.Violation,
-		Proved:          res.Complete && !res.Violation,
+		Proved:          res.Complete && !res.Violation && res.ReorderBound == 0,
 		States:          res.States,
 		SymmetryApplied: res.SymmetryApplied,
-		Coverage:        Coverage{ExhaustiveStates: res.States},
+		Coverage: Coverage{
+			ExhaustiveStates: res.States,
+			ReorderBound:     res.ReorderBound,
+			BoundedComplete:  res.ReorderBound > 0 && res.Complete && !res.Violation,
+			POR:              res.PORApplied,
+		},
 	}
 	if xerr != nil {
 		v.Proved = false

@@ -59,6 +59,19 @@ type SynthOptions struct {
 	// symmetric locks every oracle call over the lattice shares the
 	// reduction.
 	Symmetry bool
+	// POR enables commit-step partial-order reduction in the safety
+	// oracle (see CheckOptions.POR). Verdict-preserving, so oracle proofs
+	// stay full proofs — placements admitted to the frontier under POR
+	// are exactly those admitted without it, found with fewer states.
+	POR bool
+	// ReorderBound > 0 runs the safety oracle under reorder-bounded
+	// buffer semantics (see CheckOptions.ReorderBound). The bounded graph
+	// under-approximates the full semantics, so the oracle becomes
+	// refute-only: every violation it finds is genuine (witnesses replay
+	// under full semantics), but a violation-free completion is reported
+	// undecided, never as a safe placement — with a bound set, expect a
+	// partial frontier unless every surviving placement is refuted.
+	ReorderBound int
 	// WitnessDir, when set, receives one replayable witness artifact per
 	// oracle-refuted placement (synth-<lock>-<sites>_<model>.witness.json).
 	WitnessDir string
@@ -158,14 +171,16 @@ func SynthLockName(spec LockSpec, sites []int) (string, error) {
 
 // oracleFor lowers the facade oracle selection to the engine's.
 func (o SynthOptions) oracleFor() synth.Oracle {
+	red := check.Reduction{ReorderBound: o.ReorderBound, POR: o.POR}
 	if o.Oracle == OracleExhaustive {
-		return synth.ExhaustiveOracle(check.Opts{Budget: o.Budget, Symmetry: o.Symmetry})
+		return synth.ExhaustiveOracle(check.Opts{Budget: o.Budget, Symmetry: o.Symmetry, Reduction: red})
 	}
 	runs, maxSteps := CheckOptions{}.fallback()
 	return synth.SupervisedOracle(supervise.Options{
 		Workers:          o.Workers,
 		Budget:           o.Budget,
 		Symmetry:         o.Symmetry,
+		Reduction:        red,
 		Seed:             o.Seed,
 		FallbackRuns:     runs,
 		FallbackMaxSteps: maxSteps,
